@@ -1,0 +1,68 @@
+//! Optimizer and Recost scaling with join-graph size. The DP explores
+//! O(3^n) subset splits while Recost walks O(n) plan nodes, so the gap
+//! between the two — the reason SCR's cost check is affordable — widens
+//! with query complexity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use pqo_catalog::schemas;
+use pqo_core::engine::QueryEngine;
+use pqo_optimizer::svector::{compute_svector, instance_for_target};
+use pqo_optimizer::template::{QueryTemplate, RangeOp, TemplateBuilder};
+
+/// Chain join over TPC-H of the given length:
+/// region - nation - customer - orders - lineitem (- supplier via nation).
+fn chain(n: usize) -> Arc<QueryTemplate> {
+    let cat = schemas::tpch_skew();
+    let mut b = TemplateBuilder::new(&format!("chain{n}"));
+    let c = b.relation(cat.expect_table("customer"), "c");
+    b.param(c, "c_acctbal", RangeOp::Le);
+    if n >= 2 {
+        let o = b.relation(cat.expect_table("orders"), "o");
+        b.join((c, "customer_pk"), (o, "customer_fk"));
+        b.param(o, "o_totalprice", RangeOp::Le);
+    }
+    if n >= 3 {
+        let l = b.relation(cat.expect_table("lineitem"), "l");
+        b.join((1, "orders_pk"), (l, "orders_fk"));
+        b.param(l, "l_shipdate", RangeOp::Le);
+    }
+    if n >= 4 {
+        let nt = b.relation(cat.expect_table("nation"), "n");
+        b.join((c, "nation_fk"), (nt, "nation_pk"));
+    }
+    if n >= 5 {
+        let r = b.relation(cat.expect_table("region"), "r");
+        b.join((3, "region_fk"), (r, "region_pk"));
+    }
+    if n >= 6 {
+        let s = b.relation(cat.expect_table("supplier"), "s");
+        b.join((2, "supplier_fk"), (s, "supplier_pk"));
+    }
+    b.build()
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_scaling");
+    for n in [1usize, 2, 3, 4, 5, 6] {
+        let template = chain(n);
+        let d = template.dimensions();
+        let inst = instance_for_target(&template, &vec![0.02; d]);
+        let sv = compute_svector(&template, &inst);
+        let mut engine = QueryEngine::new(Arc::clone(&template));
+        let plan = engine.optimize(&sv).plan;
+
+        group.bench_with_input(BenchmarkId::new("optimize", n), &sv, |b, sv| {
+            b.iter(|| black_box(engine.optimize_untracked(black_box(sv)).cost))
+        });
+        group.bench_with_input(BenchmarkId::new("recost", n), &sv, |b, sv| {
+            b.iter(|| black_box(engine.recost_untracked(black_box(&plan), black_box(sv))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

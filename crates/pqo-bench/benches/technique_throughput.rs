@@ -1,0 +1,57 @@
+//! End-to-end throughput of each online PQO technique: instances processed
+//! per second over a fixed 200-instance sequence (Table 2's competitors +
+//! SCR). This is the "average overhead for picking a plan from the cache"
+//! dimension of the paper's Section 2.1 metrics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use pqo_bench::techniques::TechSpec;
+use pqo_core::engine::QueryEngine;
+use pqo_optimizer::svector::SVector;
+use pqo_optimizer::template::QueryInstance;
+use pqo_workload::corpus::corpus;
+
+fn bench_techniques(c: &mut Criterion) {
+    let spec = corpus().iter().find(|s| s.id == "tpch_skew_B_d2").unwrap();
+    let m = 200usize;
+    let instances: Vec<QueryInstance> = spec.generate(m, 99);
+    let template = Arc::clone(&spec.template);
+    let svs: Vec<SVector> = instances
+        .iter()
+        .map(|i| pqo_optimizer::svector::compute_svector(&template, i))
+        .collect();
+
+    let mut group = c.benchmark_group("technique_throughput");
+    group.throughput(Throughput::Elements(m as u64));
+    for tech in [
+        TechSpec::OptAlways,
+        TechSpec::OptOnce,
+        TechSpec::Pcm { lambda: 2.0 },
+        TechSpec::Ellipse { delta: 0.9 },
+        TechSpec::Density,
+        TechSpec::Ranges { margin: 0.01 },
+        TechSpec::Scr { lambda: 2.0, budget: None },
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(tech.label()), &tech, |b, tech| {
+            b.iter(|| {
+                // Fresh technique + engine per iteration: the measured unit
+                // is "process the whole sequence online".
+                let mut t = tech.build();
+                let mut engine = QueryEngine::new(Arc::clone(&template));
+                let mut reused = 0u32;
+                for (inst, sv) in instances.iter().zip(&svs) {
+                    if !t.get_plan(inst, sv, &mut engine).optimized {
+                        reused += 1;
+                    }
+                }
+                black_box(reused)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_techniques);
+criterion_main!(benches);

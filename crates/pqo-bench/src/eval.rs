@@ -1,0 +1,227 @@
+//! Corpus-scale evaluation: run technique sets over (template × ordering)
+//! sequences and summarize.
+//!
+//! Ground truth (optimal plan + cost per instance) is computed once per
+//! template and shared across the five orderings — the orderings permute
+//! the same instance set (Section 7.1). Work is distributed over a small
+//! thread pool; each worker owns its engine.
+
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex};
+
+use pqo_core::engine::QueryEngine;
+use pqo_core::runner::{run_sequence, GroundTruth};
+use pqo_workload::corpus::TemplateSpec;
+use pqo_workload::orderings::Ordering;
+
+use crate::techniques::TechSpec;
+
+/// Summary of one (template, ordering, technique) sequence run.
+#[derive(Debug, Clone)]
+pub struct SeqSummary {
+    /// Template id, e.g. `"rd2_P_d10"`.
+    pub template_id: String,
+    /// Template dimensionality.
+    pub dimensions: usize,
+    /// Ordering name.
+    pub ordering: &'static str,
+    /// Technique label.
+    pub technique: String,
+    /// Sequence length.
+    pub m: usize,
+    /// Max sub-optimality over the sequence.
+    pub mso: f64,
+    /// TotalCostRatio over the sequence.
+    pub tcr: f64,
+    /// Optimizer calls.
+    pub num_opt: u64,
+    /// Optimizer calls as % of m.
+    pub num_opt_pct: f64,
+    /// Max plans cached simultaneously.
+    pub num_plans: usize,
+    /// Distinct optimal plans in the sequence (workload property).
+    pub distinct_plans: usize,
+    /// Recost calls issued by the technique.
+    pub recost_calls: u64,
+    /// Wall milliseconds in optimizer calls.
+    pub optimize_ms: f64,
+    /// Wall milliseconds in Recost calls.
+    pub recost_ms: f64,
+    /// Wall milliseconds across all getPlan invocations.
+    pub getplan_ms: f64,
+    /// Fraction of instances exceeding a λ=2 bound (violation bookkeeping
+    /// for Figure 7-style analyses; meaningful for SCR/PCM runs).
+    pub so_over_2_rate: f64,
+}
+
+/// One evaluation request.
+#[derive(Debug, Clone)]
+pub struct EvalPlan<'a> {
+    /// Templates to run.
+    pub specs: Vec<&'a TemplateSpec>,
+    /// Orderings per template.
+    pub orderings: Vec<Ordering>,
+    /// Techniques per sequence.
+    pub techniques: Vec<TechSpec>,
+    /// Override the per-template sequence length (`None` = paper default:
+    /// 1000, or 2000 for d > 3).
+    pub m_override: Option<usize>,
+    /// Seed for instance generation and the random ordering.
+    pub seed: u64,
+}
+
+impl<'a> EvalPlan<'a> {
+    /// Evaluation over the given templates with the paper's five orderings.
+    pub fn new(specs: Vec<&'a TemplateSpec>, techniques: Vec<TechSpec>) -> Self {
+        EvalPlan { specs, orderings: Ordering::ALL.to_vec(), techniques, m_override: None, seed: 0xC0FFEE }
+    }
+
+    /// Total number of sequences this plan will run.
+    pub fn num_sequences(&self) -> usize {
+        self.specs.len() * self.orderings.len()
+    }
+
+    /// Execute the plan, parallelizing across templates.
+    pub fn run(&self) -> Vec<SeqSummary> {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(self.specs.len().max(1));
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<SeqSummary>> = Mutex::new(Vec::new());
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, AtomicOrdering::Relaxed);
+                    if i >= self.specs.len() {
+                        break;
+                    }
+                    let out = self.run_template(self.specs[i]);
+                    results.lock().unwrap().extend(out);
+                });
+            }
+        })
+        .expect("worker panicked");
+        let mut out = results.into_inner().unwrap();
+        // Deterministic output order regardless of scheduling.
+        out.sort_by(|a, b| {
+            (&a.template_id, a.ordering, &a.technique).cmp(&(&b.template_id, b.ordering, &b.technique))
+        });
+        out
+    }
+
+    fn run_template(&self, spec: &TemplateSpec) -> Vec<SeqSummary> {
+        let m = self.m_override.unwrap_or_else(|| spec.default_len());
+        let instances = spec.generate(m, self.seed);
+        let mut engine = QueryEngine::new(Arc::clone(&spec.template));
+        let gt = GroundTruth::compute(&mut engine, &instances);
+        let mut out = Vec::with_capacity(self.orderings.len() * self.techniques.len());
+        for &ordering in &self.orderings {
+            let order = ordering.permutation(&gt, self.seed ^ spec.seed);
+            let seq = Ordering::apply(&order, &instances);
+            let seq_gt = gt.permute(&order);
+            for tech in &self.techniques {
+                let mut t = tech.build();
+                let r = run_sequence(t.as_mut(), &mut engine, &seq, &seq_gt);
+                out.push(SeqSummary {
+                    template_id: spec.id.clone(),
+                    dimensions: spec.dimensions,
+                    ordering: ordering.name(),
+                    technique: tech.label(),
+                    m,
+                    mso: r.mso(),
+                    tcr: r.total_cost_ratio(),
+                    num_opt: r.num_opt,
+                    num_opt_pct: r.num_opt_pct(),
+                    num_plans: r.num_plans,
+                    distinct_plans: r.distinct_optimal_plans,
+                    recost_calls: r.recost_calls,
+                    optimize_ms: r.optimize_time.as_secs_f64() * 1e3,
+                    recost_ms: r.recost_time.as_secs_f64() * 1e3,
+                    getplan_ms: r.getplan_time.as_secs_f64() * 1e3,
+                    so_over_2_rate: r.violation_rate(2.0),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Running cumulative numOpt% after each instance — the "running numOpt"
+/// curves of Figures 11 and 18.
+pub fn running_num_opt(
+    spec: &TemplateSpec,
+    tech: &TechSpec,
+    m: usize,
+    seed: u64,
+    checkpoints: &[usize],
+) -> Vec<(usize, f64)> {
+    let instances = spec.generate(m, seed);
+    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
+    let mut t = tech.build();
+    let mut opts = 0u64;
+    let mut out = Vec::new();
+    let mut next_cp = 0usize;
+    for (i, inst) in instances.iter().enumerate() {
+        let sv = engine.compute_svector(inst);
+        let choice = t.get_plan(inst, &sv, &mut engine);
+        if choice.optimized {
+            opts += 1;
+        }
+        if next_cp < checkpoints.len() && i + 1 == checkpoints[next_cp] {
+            out.push((i + 1, 100.0 * opts as f64 / (i + 1) as f64));
+            next_cp += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqo_workload::corpus::corpus;
+
+    #[test]
+    fn small_plan_runs_end_to_end() {
+        let specs = vec![&corpus()[0], &corpus()[12]];
+        let mut plan = EvalPlan::new(specs, vec![TechSpec::OptOnce, TechSpec::Scr { lambda: 2.0, budget: None }]);
+        plan.orderings = vec![Ordering::Random, Ordering::DecreasingCost];
+        plan.m_override = Some(60);
+        assert_eq!(plan.num_sequences(), 4);
+        let out = plan.run();
+        assert_eq!(out.len(), 8); // 2 templates × 2 orderings × 2 techniques
+        for s in &out {
+            assert!(s.mso >= 1.0);
+            assert!(s.tcr >= 1.0 && s.tcr <= s.mso + 1e-9);
+            assert!(s.num_opt_pct <= 100.0);
+            if s.technique == "OptOnce" {
+                assert_eq!(s.num_opt, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_deterministic_and_sorted() {
+        let specs = vec![&corpus()[1]];
+        let mut plan = EvalPlan::new(specs, vec![TechSpec::OptOnce]);
+        plan.m_override = Some(40);
+        let a = plan.run();
+        let b = plan.run();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.mso, y.mso);
+            assert_eq!(x.num_opt, y.num_opt);
+        }
+    }
+
+    #[test]
+    fn running_num_opt_is_decreasing_for_scr_on_reusable_workloads() {
+        let spec = &corpus()[12]; // a d=2 template
+        let curve = running_num_opt(
+            spec,
+            &TechSpec::Scr { lambda: 2.0, budget: None },
+            400,
+            7,
+            &[100, 200, 400],
+        );
+        assert_eq!(curve.len(), 3);
+        assert!(curve[2].1 <= curve[0].1 + 1e-9, "reuse should improve with m: {curve:?}");
+    }
+}

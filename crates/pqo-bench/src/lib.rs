@@ -1,0 +1,17 @@
+//! Benchmark harness: everything needed to regenerate the paper's tables
+//! and figures.
+//!
+//! * [`eval`] — runs sets of techniques over corpus sequences (90 templates
+//!   × 5 orderings, Section 7.1) and collects per-sequence summaries.
+//! * [`techniques`] — declarative technique specifications (Table 2 plus
+//!   the λ/k/λr/dynamic-λ variants the experiments sweep).
+//! * [`report`] — CSV output and console summary tables.
+//! * [`exec_sim`] — the execution-time simulation behind Table 3.
+//!
+//! The `figures` binary drives all experiments:
+//! `cargo run --release -p pqo-bench --bin figures -- all`.
+
+pub mod eval;
+pub mod exec_sim;
+pub mod report;
+pub mod techniques;

@@ -1,0 +1,201 @@
+//! CSV output and console summary helpers.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+use pqo_core::metrics::{mean, percentile};
+
+use crate::eval::SeqSummary;
+
+/// Write rows to `results/<name>.csv` (creating the directory), with a
+/// header line. Fields containing commas/quotes are quoted.
+pub fn write_csv(dir: &Path, name: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<std::path::PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "{}", header.join(","))?;
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|s| escape(s)).collect();
+        writeln!(f, "{}", line.join(","))?;
+    }
+    Ok(path)
+}
+
+fn escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Per-technique aggregate over a set of sequence summaries.
+#[derive(Debug, Clone)]
+pub struct TechAggregate {
+    /// Technique label.
+    pub technique: String,
+    /// Number of sequences aggregated.
+    pub sequences: usize,
+    /// Mean / p95 of MSO.
+    pub mso_mean: f64,
+    /// 95th percentile MSO.
+    pub mso_p95: f64,
+    /// Mean TotalCostRatio.
+    pub tcr_mean: f64,
+    /// 95th percentile TotalCostRatio.
+    pub tcr_p95: f64,
+    /// Mean numOpt %.
+    pub num_opt_pct_mean: f64,
+    /// 95th percentile numOpt %.
+    pub num_opt_pct_p95: f64,
+    /// Mean numPlans.
+    pub num_plans_mean: f64,
+    /// 95th percentile numPlans.
+    pub num_plans_p95: f64,
+}
+
+/// Group summaries by technique and aggregate (mean + p95 of each metric).
+pub fn aggregate_by_technique(rows: &[SeqSummary]) -> Vec<TechAggregate> {
+    let mut techniques: Vec<String> = rows.iter().map(|r| r.technique.clone()).collect();
+    techniques.sort();
+    techniques.dedup();
+    techniques
+        .into_iter()
+        .map(|tech| {
+            let sel: Vec<&SeqSummary> = rows.iter().filter(|r| r.technique == tech).collect();
+            let msos: Vec<f64> = sel.iter().map(|r| r.mso).collect();
+            let tcrs: Vec<f64> = sel.iter().map(|r| r.tcr).collect();
+            let opts: Vec<f64> = sel.iter().map(|r| r.num_opt_pct).collect();
+            let plans: Vec<f64> = sel.iter().map(|r| r.num_plans as f64).collect();
+            TechAggregate {
+                technique: tech,
+                sequences: sel.len(),
+                mso_mean: mean(&msos).unwrap_or(f64::NAN),
+                mso_p95: percentile(&msos, 95.0).unwrap_or(f64::NAN),
+                tcr_mean: mean(&tcrs).unwrap_or(f64::NAN),
+                tcr_p95: percentile(&tcrs, 95.0).unwrap_or(f64::NAN),
+                num_opt_pct_mean: mean(&opts).unwrap_or(f64::NAN),
+                num_opt_pct_p95: percentile(&opts, 95.0).unwrap_or(f64::NAN),
+                num_plans_mean: mean(&plans).unwrap_or(f64::NAN),
+                num_plans_p95: percentile(&plans, 95.0).unwrap_or(f64::NAN),
+            }
+        })
+        .collect()
+}
+
+/// Render the aggregate table the way the paper's aggregate figures
+/// (16, 17, 9, 13) present it.
+pub fn print_aggregates(title: &str, aggs: &[TechAggregate]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<14} {:>5} {:>12} {:>12} {:>9} {:>9} {:>10} {:>10} {:>9} {:>9}",
+        "technique", "seqs", "MSO.avg", "MSO.p95", "TC.avg", "TC.p95", "opt%.avg", "opt%.p95", "plans.avg", "plans.p95"
+    );
+    for a in aggs {
+        println!(
+            "{:<14} {:>5} {:>12.2} {:>12.2} {:>9.3} {:>9.3} {:>10.1} {:>10.1} {:>9.1} {:>9.1}",
+            a.technique,
+            a.sequences,
+            a.mso_mean,
+            a.mso_p95,
+            a.tcr_mean,
+            a.tcr_p95,
+            a.num_opt_pct_mean,
+            a.num_opt_pct_p95,
+            a.num_plans_mean,
+            a.num_plans_p95
+        );
+    }
+}
+
+/// CSV rows for the full per-sequence dump.
+pub fn summary_rows(rows: &[SeqSummary]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                r.template_id.clone(),
+                r.dimensions.to_string(),
+                r.ordering.to_string(),
+                r.technique.clone(),
+                r.m.to_string(),
+                format!("{:.6}", r.mso),
+                format!("{:.6}", r.tcr),
+                r.num_opt.to_string(),
+                format!("{:.3}", r.num_opt_pct),
+                r.num_plans.to_string(),
+                r.distinct_plans.to_string(),
+                r.recost_calls.to_string(),
+                format!("{:.3}", r.optimize_ms),
+                format!("{:.3}", r.recost_ms),
+                format!("{:.3}", r.getplan_ms),
+                format!("{:.6}", r.so_over_2_rate),
+            ]
+        })
+        .collect()
+}
+
+/// Header matching [`summary_rows`].
+pub const SUMMARY_HEADER: &[&str] = &[
+    "template", "d", "ordering", "technique", "m", "mso", "tcr", "num_opt", "num_opt_pct",
+    "num_plans", "distinct_plans", "recost_calls", "optimize_ms", "recost_ms", "getplan_ms",
+    "so_over_2_rate",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(tech: &str, mso: f64, opt_pct: f64) -> SeqSummary {
+        SeqSummary {
+            template_id: "t".into(),
+            dimensions: 2,
+            ordering: "random",
+            technique: tech.into(),
+            m: 100,
+            mso,
+            tcr: mso.min(1.5),
+            num_opt: (opt_pct as u64).max(1),
+            num_opt_pct: opt_pct,
+            num_plans: 3,
+            distinct_plans: 5,
+            recost_calls: 7,
+            optimize_ms: 1.0,
+            recost_ms: 0.1,
+            getplan_ms: 1.5,
+            so_over_2_rate: 0.0,
+        }
+    }
+
+    #[test]
+    fn aggregates_group_by_technique() {
+        let rows = vec![summary("A", 2.0, 10.0), summary("A", 4.0, 20.0), summary("B", 1.0, 5.0)];
+        let aggs = aggregate_by_technique(&rows);
+        assert_eq!(aggs.len(), 2);
+        let a = aggs.iter().find(|x| x.technique == "A").unwrap();
+        assert_eq!(a.sequences, 2);
+        assert!((a.mso_mean - 3.0).abs() < 1e-12);
+        assert!((a.num_opt_pct_mean - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn csv_writes_to_disk() {
+        let dir = std::env::temp_dir().join("pqo_report_test");
+        let path = write_csv(&dir, "probe", &["a", "b"], &[vec!["1".into(), "x,y".into()]]).unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "a,b\n1,\"x,y\"\n");
+    }
+
+    #[test]
+    fn summary_rows_align_with_header() {
+        let rows = summary_rows(&[summary("A", 2.0, 10.0)]);
+        assert_eq!(rows[0].len(), SUMMARY_HEADER.len());
+    }
+}

@@ -1,0 +1,109 @@
+//! The catalog: a named collection of tables.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::table::TableDef;
+
+/// A database catalog. Tables are stored behind `Arc` so query templates can
+/// reference them cheaply.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    name: String,
+    tables: BTreeMap<String, Arc<TableDef>>,
+}
+
+impl Catalog {
+    /// Create an empty catalog with a display name (e.g. `"tpch_skew"`).
+    pub fn new(name: &str) -> Self {
+        Catalog { name: name.to_string(), tables: BTreeMap::new() }
+    }
+
+    /// Catalog display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Register a table.
+    ///
+    /// # Panics
+    /// Panics if a table with the same name is already registered.
+    pub fn add_table(&mut self, table: TableDef) {
+        let prev = self.tables.insert(table.name.clone(), Arc::new(table));
+        assert!(prev.is_none(), "duplicate table registered in catalog");
+    }
+
+    /// Look up a table by name.
+    pub fn table(&self, name: &str) -> Option<&Arc<TableDef>> {
+        self.tables.get(name)
+    }
+
+    /// Table lookup that panics with a useful message on a miss.
+    pub fn expect_table(&self, name: &str) -> &Arc<TableDef> {
+        self.table(name)
+            .unwrap_or_else(|| panic!("table `{name}` not found in catalog `{}`", self.name))
+    }
+
+    /// All tables, sorted by name.
+    pub fn tables(&self) -> impl Iterator<Item = &Arc<TableDef>> {
+        self.tables.values()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the catalog has no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::Distribution;
+    use crate::table::TableBuilder;
+
+    fn tiny() -> TableDef {
+        TableBuilder::new("tiny", 10)
+            .column("x", Distribution::Uniform { min: 0.0, max: 1.0 }, 10, false)
+            .build()
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut c = Catalog::new("test");
+        c.add_table(tiny());
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+        assert_eq!(c.table("tiny").unwrap().row_count, 10);
+        assert!(c.table("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate table")]
+    fn duplicate_table_panics() {
+        let mut c = Catalog::new("test");
+        c.add_table(tiny());
+        c.add_table(tiny());
+    }
+
+    #[test]
+    #[should_panic(expected = "not found in catalog")]
+    fn expect_table_panics_on_missing() {
+        let c = Catalog::new("test");
+        c.expect_table("nope");
+    }
+
+    #[test]
+    fn tables_iterates_sorted() {
+        let mut c = Catalog::new("test");
+        for n in ["zeta", "alpha", "mid"] {
+            c.add_table(TableBuilder::new(n, 5).build());
+        }
+        let names: Vec<_> = c.tables().map(|t| t.name.clone()).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+}

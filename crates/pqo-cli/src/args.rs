@@ -1,0 +1,63 @@
+//! Minimal `--key value` argument parsing (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` pairs.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parse a flat `--key value` list.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut values = BTreeMap::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let key = argv[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected `--key`, got `{}`", argv[i]))?;
+            let value = argv.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
+            if values.insert(key.to_string(), value.clone()).is_some() {
+                return Err(format!("--{key} given twice"));
+            }
+            i += 2;
+        }
+        Ok(Args { values })
+    }
+
+    /// Required argument.
+    pub fn get(&self, key: &str) -> Result<String, String> {
+        self.values.get(key).cloned().ok_or_else(|| format!("missing required --{key}"))
+    }
+
+    /// Optional argument.
+    pub fn opt(&self, key: &str) -> Option<String> {
+        self.values.get(key).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let a = Args::parse(&s(&["--template", "x", "--m", "100"])).unwrap();
+        assert_eq!(a.get("template").unwrap(), "x");
+        assert_eq!(a.opt("m"), Some("100".into()));
+        assert_eq!(a.opt("missing"), None);
+        assert!(a.get("missing").is_err());
+    }
+
+    #[test]
+    fn rejects_bare_values_and_dangling_keys() {
+        assert!(Args::parse(&s(&["template", "x"])).is_err());
+        assert!(Args::parse(&s(&["--template"])).is_err());
+        assert!(Args::parse(&s(&["--a", "1", "--a", "2"])).is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! Density: parametric plan caching with density-based clustering (Aluç,
+//! DeHaan, Bowman — reference [2] of the paper).
+//!
+//! Inference criterion (Table 1): the new instance has a *sufficient number
+//! of instances with the same optimal plan choice* in a circular
+//! neighbourhood. The paper's parameters (Table 2): radius `0.1`,
+//! confidence threshold `0.5`. We additionally require at least two
+//! neighbours, consistent with Section 3's observation that every existing
+//! technique needs two or more supporting instances before it can reuse.
+
+use std::collections::HashMap;
+
+use pqo_optimizer::engine::QueryEngine;
+use pqo_optimizer::plan::PlanFingerprint;
+use pqo_optimizer::svector::SVector;
+use pqo_optimizer::template::QueryInstance;
+
+use super::BaselineStore;
+use crate::{OnlinePqo, PlanChoice};
+
+/// Minimum number of in-radius optimized neighbours before inference.
+const MIN_NEIGHBOURS: usize = 2;
+
+/// The Density heuristic.
+#[derive(Debug)]
+pub struct Density {
+    radius: f64,
+    confidence: f64,
+    store: BaselineStore,
+}
+
+impl Density {
+    /// Density with a neighbourhood `radius` and majority `confidence`
+    /// threshold in `(0, 1]`.
+    pub fn new(radius: f64, confidence: f64) -> Self {
+        assert!(radius > 0.0);
+        assert!(confidence > 0.0 && confidence <= 1.0);
+        Density { radius, confidence, store: BaselineStore::new(None) }
+    }
+
+    /// Density augmented with the Recost redundancy check (Appendix H.6).
+    pub fn with_redundancy(radius: f64, confidence: f64, lambda_r: f64) -> Self {
+        assert!(radius > 0.0);
+        assert!(confidence > 0.0 && confidence <= 1.0);
+        Density { radius, confidence, store: BaselineStore::new(Some(lambda_r)) }
+    }
+}
+
+impl OnlinePqo for Density {
+    fn name(&self) -> String {
+        "Density".into()
+    }
+
+    fn get_plan(
+        &mut self,
+        _instance: &QueryInstance,
+        sv: &SVector,
+        engine: &mut QueryEngine,
+    ) -> PlanChoice {
+        let mut votes: HashMap<PlanFingerprint, usize> = HashMap::new();
+        let mut neighbours = 0usize;
+        for e in self.store.instances() {
+            if sv.distance(&e.svector) <= self.radius {
+                neighbours += 1;
+                *votes.entry(e.plan).or_insert(0) += 1;
+            }
+        }
+        if neighbours >= MIN_NEIGHBOURS {
+            if let Some((&fp, &count)) = votes.iter().max_by_key(|(fp, c)| (**c, **fp)) {
+                if count as f64 >= self.confidence * neighbours as f64 {
+                    return PlanChoice { plan: self.store.plan(fp), optimized: false };
+                }
+            }
+        }
+        let opt = engine.optimize(sv);
+        self.store.record(sv, &opt, engine);
+        PlanChoice { plan: opt.plan, optimized: true }
+    }
+
+    fn plans_cached(&self) -> usize {
+        self.store.plans_cached()
+    }
+
+    fn max_plans_cached(&self) -> usize {
+        self.store.max_plans_cached()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::*;
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn two_confident_neighbours_enable_inference() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let mut tech = Density::new(0.1, 0.5);
+        let a = run_point(&mut tech, &mut engine, &[0.30, 0.30]);
+        let b = run_point(&mut tech, &mut engine, &[0.33, 0.33]);
+        assert!(a.optimized && b.optimized);
+        let c = run_point(&mut tech, &mut engine, &[0.31, 0.31]);
+        if a.plan.fingerprint() == b.plan.fingerprint() {
+            assert!(!c.optimized, "majority plan in the neighbourhood should be reused");
+        }
+    }
+
+    #[test]
+    fn sparse_region_forces_optimizer() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let mut tech = Density::new(0.1, 0.5);
+        let _ = run_point(&mut tech, &mut engine, &[0.2, 0.2]);
+        assert!(run_point(&mut tech, &mut engine, &[0.8, 0.8]).optimized);
+    }
+
+    #[test]
+    fn one_neighbour_is_not_enough() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let mut tech = Density::new(0.1, 0.5);
+        let _ = run_point(&mut tech, &mut engine, &[0.30, 0.30]);
+        assert!(run_point(&mut tech, &mut engine, &[0.305, 0.305]).optimized);
+    }
+}

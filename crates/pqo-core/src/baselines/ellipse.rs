@@ -1,0 +1,125 @@
+//! Ellipse: the PPQO heuristic of reference [4].
+//!
+//! Inference criterion (Table 1): the new instance lies in an elliptical
+//! neighbourhood whose foci are a pair of previously optimized instances
+//! that share the same optimal plan. With `Δ ∈ (0, 1]` (the paper uses
+//! `Δ = 0.90`), `qc` is inside the ellipse of foci `(qi, qj)` when
+//!
+//! ```text
+//! d(qc, qi) + d(qc, qj) ≤ d(qi, qj) / Δ
+//! ```
+//!
+//! No guarantee: selectivity distance says nothing about cost behaviour
+//! (Appendix A of the paper), so MSO is unbounded.
+
+use pqo_optimizer::engine::QueryEngine;
+use pqo_optimizer::svector::SVector;
+use pqo_optimizer::template::QueryInstance;
+
+use super::BaselineStore;
+use crate::{OnlinePqo, PlanChoice};
+
+/// The Ellipse heuristic.
+#[derive(Debug)]
+pub struct Ellipse {
+    delta: f64,
+    store: BaselineStore,
+}
+
+impl Ellipse {
+    /// Ellipse with eccentricity threshold `delta` in `(0, 1]`.
+    pub fn new(delta: f64) -> Self {
+        assert!(delta > 0.0 && delta <= 1.0);
+        Ellipse { delta, store: BaselineStore::new(None) }
+    }
+
+    /// Ellipse augmented with the Recost redundancy check (Appendix H.6).
+    pub fn with_redundancy(delta: f64, lambda_r: f64) -> Self {
+        assert!(delta > 0.0 && delta <= 1.0);
+        Ellipse { delta, store: BaselineStore::new(Some(lambda_r)) }
+    }
+}
+
+impl OnlinePqo for Ellipse {
+    fn name(&self) -> String {
+        format!("Ellipse{}", self.delta)
+    }
+
+    fn get_plan(
+        &mut self,
+        _instance: &QueryInstance,
+        sv: &SVector,
+        engine: &mut QueryEngine,
+    ) -> PlanChoice {
+        // Group stored instances by plan, then test qc against every pair of
+        // foci within each group.
+        let instances = self.store.instances();
+        for (i, a) in instances.iter().enumerate() {
+            let da = sv.distance(&a.svector);
+            for b in &instances[i + 1..] {
+                if a.plan != b.plan {
+                    continue;
+                }
+                let db = sv.distance(&b.svector);
+                let focal = a.svector.distance(&b.svector);
+                if da + db <= focal / self.delta {
+                    let fp = a.plan;
+                    return PlanChoice { plan: self.store.plan(fp), optimized: false };
+                }
+            }
+        }
+        let opt = engine.optimize(sv);
+        self.store.record(sv, &opt, engine);
+        PlanChoice { plan: opt.plan, optimized: true }
+    }
+
+    fn plans_cached(&self) -> usize {
+        self.store.plans_cached()
+    }
+
+    fn max_plans_cached(&self) -> usize {
+        self.store.max_plans_cached()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::*;
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn needs_two_same_plan_foci() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let mut tech = Ellipse::new(0.9);
+        assert!(run_point(&mut tech, &mut engine, &[0.3, 0.3]).optimized);
+        // A second instance: even if it shares the plan, no pair existed yet
+        // when it arrived, so it optimizes too.
+        assert!(run_point(&mut tech, &mut engine, &[0.34, 0.34]).optimized);
+    }
+
+    #[test]
+    fn infers_between_close_foci_with_same_plan() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let mut tech = Ellipse::new(0.9);
+        let a = run_point(&mut tech, &mut engine, &[0.30, 0.30]);
+        let b = run_point(&mut tech, &mut engine, &[0.40, 0.40]);
+        if a.plan.fingerprint() == b.plan.fingerprint() {
+            let c = run_point(&mut tech, &mut engine, &[0.35, 0.35]);
+            assert!(!c.optimized, "midpoint of the foci lies inside any ellipse");
+            assert_eq!(c.plan.fingerprint(), a.plan.fingerprint());
+        }
+    }
+
+    #[test]
+    fn point_far_from_all_foci_optimizes() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let mut tech = Ellipse::new(0.9);
+        let _ = run_point(&mut tech, &mut engine, &[0.30, 0.30]);
+        let _ = run_point(&mut tech, &mut engine, &[0.32, 0.32]);
+        assert!(run_point(&mut tech, &mut engine, &[0.95, 0.05]).optimized);
+    }
+}

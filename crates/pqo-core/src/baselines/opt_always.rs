@@ -1,0 +1,70 @@
+//! Optimize-Always: the quality oracle.
+
+use pqo_optimizer::engine::QueryEngine;
+use pqo_optimizer::svector::SVector;
+use pqo_optimizer::template::QueryInstance;
+
+use crate::{OnlinePqo, PlanChoice};
+
+/// Optimizes every query instance. Perfect plan quality (`SO = 1`
+/// everywhere), maximal optimization overhead (`numOpt = m`). Not a PQO
+/// technique, but both the upper baseline of the paper's comparisons and the
+/// ground-truth oracle the metrics are computed against.
+#[derive(Debug, Default)]
+pub struct OptimizeAlways {
+    distinct_plans: std::collections::BTreeSet<pqo_optimizer::plan::PlanFingerprint>,
+}
+
+impl OptimizeAlways {
+    /// New instance.
+    pub fn new() -> Self {
+        OptimizeAlways::default()
+    }
+}
+
+impl OnlinePqo for OptimizeAlways {
+    fn name(&self) -> String {
+        "OptAlways".into()
+    }
+
+    fn get_plan(
+        &mut self,
+        _instance: &QueryInstance,
+        sv: &SVector,
+        engine: &mut QueryEngine,
+    ) -> PlanChoice {
+        let opt = engine.optimize(sv);
+        self.distinct_plans.insert(opt.plan.fingerprint());
+        PlanChoice { plan: opt.plan, optimized: true }
+    }
+
+    fn plans_cached(&self) -> usize {
+        // Optimize-Always stores no plans; it reports the number of distinct
+        // optimal plans seen (the paper's `n = |P|`), useful as a reference.
+        self.distinct_plans.len()
+    }
+
+    fn max_plans_cached(&self) -> usize {
+        self.distinct_plans.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::*;
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn optimizes_every_instance() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let mut tech = OptimizeAlways::new();
+        for i in 1..=5 {
+            let c = run_point(&mut tech, &mut engine, &[0.1 * i as f64, 0.1]);
+            assert!(c.optimized);
+        }
+        assert_eq!(engine.stats().optimize_calls, 5);
+        assert!(tech.plans_cached() >= 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Optimize-Once: plan caching as shipped by commercial engines.
+
+use std::sync::Arc;
+
+use pqo_optimizer::engine::QueryEngine;
+use pqo_optimizer::plan::Plan;
+use pqo_optimizer::svector::SVector;
+use pqo_optimizer::template::QueryInstance;
+
+use crate::{OnlinePqo, PlanChoice};
+
+/// Optimizes only the first instance and reuses that plan for every
+/// subsequent one (`numOpt = 1`, `numPlans = 1`). Sub-optimality is
+/// unbounded: the paper's Figure 6 shows MSO and TotalCostRatio can be very
+/// large, which is the whole motivation for PQO.
+#[derive(Debug, Default)]
+pub struct OptimizeOnce {
+    plan: Option<Arc<Plan>>,
+}
+
+impl OptimizeOnce {
+    /// New instance.
+    pub fn new() -> Self {
+        OptimizeOnce::default()
+    }
+}
+
+impl OnlinePqo for OptimizeOnce {
+    fn name(&self) -> String {
+        "OptOnce".into()
+    }
+
+    fn get_plan(
+        &mut self,
+        _instance: &QueryInstance,
+        sv: &SVector,
+        engine: &mut QueryEngine,
+    ) -> PlanChoice {
+        match &self.plan {
+            Some(p) => PlanChoice { plan: Arc::clone(p), optimized: false },
+            None => {
+                let opt = engine.optimize(sv);
+                self.plan = Some(Arc::clone(&opt.plan));
+                PlanChoice { plan: opt.plan, optimized: true }
+            }
+        }
+    }
+
+    fn plans_cached(&self) -> usize {
+        usize::from(self.plan.is_some())
+    }
+
+    fn max_plans_cached(&self) -> usize {
+        self.plans_cached()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::*;
+    use super::*;
+
+    #[test]
+    fn only_first_instance_optimizes() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let mut tech = OptimizeOnce::new();
+        let first = run_point(&mut tech, &mut engine, &[0.5, 0.5]);
+        assert!(first.optimized);
+        for target in [[0.001, 0.001], [0.9, 0.9]] {
+            let c = run_point(&mut tech, &mut engine, &target);
+            assert!(!c.optimized);
+            assert_eq!(c.plan.fingerprint(), first.plan.fingerprint());
+        }
+        assert_eq!(engine.stats().optimize_calls, 1);
+        assert_eq!(tech.max_plans_cached(), 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! PCM: Bounded Progressive Parametric Query Optimization (Bizarro, Bruno,
+//! DeWitt — reference [4] of the paper).
+//!
+//! PCM is the only prior online technique with a sub-optimality guarantee.
+//! Its inference criterion (Table 1): the new instance `qc` lies in the
+//! rectangle spanned by a pair of previously optimized instances
+//! `q1 ≤ qc ≤ q2` (component-wise selectivity dominance) whose optimal
+//! costs are within a factor λ. Under Plan Cost Monotonicity:
+//!
+//! ```text
+//! Cost(P2, qc) ≤ Cost(P2, q2) = C2 ≤ λ·C1 ≤ λ·Cost(Popt(q1), q1)
+//!            ≤ λ·Cost(Popt(qc), qc)
+//! ```
+//!
+//! so reusing the *dominating* instance's plan is λ-optimal. PCM stores
+//! every optimized instance and every distinct plan, and needs a pair on
+//! both sides of each new instance before it can infer — the reasons for
+//! its high `numOpt` and `numPlans` in the paper's evaluation.
+
+use pqo_optimizer::engine::QueryEngine;
+use pqo_optimizer::svector::SVector;
+use pqo_optimizer::template::QueryInstance;
+
+use super::BaselineStore;
+use crate::{OnlinePqo, PlanChoice};
+
+/// The PCM technique with bound λ.
+#[derive(Debug)]
+pub struct Pcm {
+    lambda: f64,
+    store: BaselineStore,
+}
+
+impl Pcm {
+    /// PCM with sub-optimality bound `lambda ≥ 1`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda >= 1.0);
+        Pcm { lambda, store: BaselineStore::new(None) }
+    }
+
+    /// PCM augmented with the Recost redundancy check (Appendix H.6).
+    pub fn with_redundancy(lambda: f64, lambda_r: f64) -> Self {
+        assert!(lambda >= 1.0);
+        Pcm { lambda, store: BaselineStore::new(Some(lambda_r)) }
+    }
+}
+
+impl OnlinePqo for Pcm {
+    fn name(&self) -> String {
+        format!("PCM{}", self.lambda)
+    }
+
+    fn get_plan(
+        &mut self,
+        _instance: &QueryInstance,
+        sv: &SVector,
+        engine: &mut QueryEngine,
+    ) -> PlanChoice {
+        // Cheapest dominating instance (q2 candidate) and most expensive
+        // dominated instance (q1 candidate) give the tightest pair.
+        let mut best_upper: Option<(f64, usize)> = None;
+        let mut best_lower: Option<f64> = None;
+        for (idx, e) in self.store.instances().iter().enumerate() {
+            if e.svector.dominates(sv) && best_upper.is_none_or(|(c, _)| e.opt_cost < c) {
+                best_upper = Some((e.opt_cost, idx));
+            }
+            if sv.dominates(&e.svector) && best_lower.is_none_or(|c| e.opt_cost > c) {
+                best_lower = Some(e.opt_cost);
+            }
+        }
+        if let (Some((c2, idx)), Some(c1)) = (best_upper, best_lower) {
+            if c2 <= self.lambda * c1 {
+                let fp = self.store.instances()[idx].plan;
+                return PlanChoice { plan: self.store.plan(fp), optimized: false };
+            }
+        }
+        let opt = engine.optimize(sv);
+        self.store.record(sv, &opt, engine);
+        PlanChoice { plan: opt.plan, optimized: true }
+    }
+
+    fn plans_cached(&self) -> usize {
+        self.store.plans_cached()
+    }
+
+    fn max_plans_cached(&self) -> usize {
+        self.store.max_plans_cached()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::*;
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn needs_a_dominating_pair_before_inferring() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let mut tech = Pcm::new(2.0);
+        assert!(run_point(&mut tech, &mut engine, &[0.3, 0.3]).optimized);
+        // Dominated on one axis, dominating on the other: no pair exists.
+        assert!(run_point(&mut tech, &mut engine, &[0.2, 0.4]).optimized);
+    }
+
+    #[test]
+    fn infers_inside_a_cost_close_rectangle() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let mut tech = Pcm::new(2.0);
+        assert!(run_point(&mut tech, &mut engine, &[0.30, 0.30]).optimized);
+        assert!(run_point(&mut tech, &mut engine, &[0.40, 0.40]).optimized);
+        // Inside [0.3,0.4]² and the corner costs are within 2x here.
+        let c = run_point(&mut tech, &mut engine, &[0.35, 0.35]);
+        assert!(!c.optimized, "PCM should infer inside the rectangle");
+        assert_eq!(engine.stats().optimize_calls, 2);
+    }
+
+    #[test]
+    fn refuses_when_corner_costs_differ_too_much() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let mut tech = Pcm::new(1.05);
+        assert!(run_point(&mut tech, &mut engine, &[0.01, 0.01]).optimized);
+        assert!(run_point(&mut tech, &mut engine, &[0.95, 0.95]).optimized);
+        // Rectangle spans nearly the whole space: corner costs differ far
+        // beyond 1.05x, so PCM must optimize.
+        assert!(run_point(&mut tech, &mut engine, &[0.5, 0.5]).optimized);
+    }
+
+    #[test]
+    fn guarantee_holds_on_grid() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let lambda = 2.0;
+        let mut tech = Pcm::new(lambda);
+        let mut worst = 1.0f64;
+        for i in 0..10 {
+            for j in 0..10 {
+                let target = [0.01 + 0.1 * i as f64, 0.01 + 0.1 * j as f64];
+                let inst = pqo_optimizer::svector::instance_for_target(&t, &target);
+                let sv = pqo_optimizer::svector::compute_svector(&t, &inst);
+                let choice = tech.get_plan(&inst, &sv, &mut engine);
+                let opt = engine.optimize_untracked(&sv);
+                worst = worst.max(engine.recost_untracked(&choice.plan, &sv) / opt.cost);
+            }
+        }
+        assert!(worst <= lambda * 1.001, "PCM MSO {worst} exceeded λ (PCM assumption held here)");
+    }
+}

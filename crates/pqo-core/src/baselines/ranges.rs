@@ -1,0 +1,157 @@
+//! Ranges: cursor-sharing style selectivity ranges (Lee, Zait, "Closing the
+//! query processing loop in Oracle 11g" — reference [17] of the paper).
+//!
+//! Inference criterion (Table 1): the new instance lies inside a rectangular
+//! neighbourhood enclosing the minimum bounding rectangle of all previously
+//! optimized instances that share the same optimal plan, expanded by a
+//! near-selectivity margin on each side (the paper uses `0.01`). As with
+//! the other heuristics, at least two supporting instances are required.
+
+use std::collections::HashMap;
+
+use pqo_optimizer::engine::QueryEngine;
+use pqo_optimizer::plan::PlanFingerprint;
+use pqo_optimizer::svector::SVector;
+use pqo_optimizer::template::QueryInstance;
+
+use super::BaselineStore;
+use crate::{OnlinePqo, PlanChoice};
+
+/// Per-plan minimum bounding rectangle over selectivity vectors.
+#[derive(Debug, Clone)]
+struct Mbr {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    count: usize,
+}
+
+impl Mbr {
+    fn of(sv: &SVector) -> Self {
+        Mbr { lo: sv.0.clone(), hi: sv.0.clone(), count: 1 }
+    }
+
+    fn extend(&mut self, sv: &SVector) {
+        for (i, &v) in sv.0.iter().enumerate() {
+            self.lo[i] = self.lo[i].min(v);
+            self.hi[i] = self.hi[i].max(v);
+        }
+        self.count += 1;
+    }
+
+    fn contains(&self, sv: &SVector, margin: f64) -> bool {
+        sv.0.iter()
+            .enumerate()
+            .all(|(i, &v)| v >= self.lo[i] - margin && v <= self.hi[i] + margin)
+    }
+}
+
+/// The Ranges heuristic.
+#[derive(Debug)]
+pub struct Ranges {
+    margin: f64,
+    mbrs: HashMap<PlanFingerprint, Mbr>,
+    store: BaselineStore,
+}
+
+impl Ranges {
+    /// Ranges with the given near-selectivity `margin` (paper: 0.01).
+    pub fn new(margin: f64) -> Self {
+        assert!(margin >= 0.0);
+        Ranges { margin, mbrs: HashMap::new(), store: BaselineStore::new(None) }
+    }
+
+    /// Ranges augmented with the Recost redundancy check (Appendix H.6).
+    pub fn with_redundancy(margin: f64, lambda_r: f64) -> Self {
+        assert!(margin >= 0.0);
+        Ranges { margin, mbrs: HashMap::new(), store: BaselineStore::new(Some(lambda_r)) }
+    }
+}
+
+impl OnlinePqo for Ranges {
+    fn name(&self) -> String {
+        format!("Ranges{}", self.margin)
+    }
+
+    fn get_plan(
+        &mut self,
+        _instance: &QueryInstance,
+        sv: &SVector,
+        engine: &mut QueryEngine,
+    ) -> PlanChoice {
+        // Deterministic tie-break: smallest fingerprint wins among matching
+        // rectangles.
+        let mut hit: Option<PlanFingerprint> = None;
+        for (&fp, mbr) in &self.mbrs {
+            if mbr.count >= 2 && mbr.contains(sv, self.margin) && hit.is_none_or(|h| fp < h) {
+                hit = Some(fp);
+            }
+        }
+        if let Some(fp) = hit {
+            return PlanChoice { plan: self.store.plan(fp), optimized: false };
+        }
+        let opt = engine.optimize(sv);
+        self.store.record(sv, &opt, engine);
+        // The recorded plan may have been substituted by the redundancy
+        // augmentation: extend the MBR of whatever the store recorded.
+        let recorded = self.store.instances().last().expect("record just pushed").plan;
+        self.mbrs.entry(recorded).and_modify(|m| m.extend(sv)).or_insert_with(|| Mbr::of(sv));
+        PlanChoice { plan: opt.plan, optimized: true }
+    }
+
+    fn plans_cached(&self) -> usize {
+        self.store.plans_cached()
+    }
+
+    fn max_plans_cached(&self) -> usize {
+        self.store.max_plans_cached()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::*;
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mbr_geometry() {
+        let mut m = Mbr::of(&SVector(vec![0.2, 0.5]));
+        m.extend(&SVector(vec![0.4, 0.3]));
+        assert!(m.contains(&SVector(vec![0.3, 0.4]), 0.0));
+        assert!(m.contains(&SVector(vec![0.41, 0.29]), 0.01));
+        assert!(!m.contains(&SVector(vec![0.45, 0.4]), 0.01));
+        assert_eq!(m.count, 2);
+    }
+
+    #[test]
+    fn infers_inside_grown_rectangle() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let mut tech = Ranges::new(0.01);
+        let a = run_point(&mut tech, &mut engine, &[0.30, 0.30]);
+        let b = run_point(&mut tech, &mut engine, &[0.40, 0.40]);
+        if a.plan.fingerprint() == b.plan.fingerprint() {
+            let c = run_point(&mut tech, &mut engine, &[0.35, 0.35]);
+            assert!(!c.optimized);
+        }
+    }
+
+    #[test]
+    fn single_instance_rectangle_does_not_infer() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let mut tech = Ranges::new(0.01);
+        let _ = run_point(&mut tech, &mut engine, &[0.30, 0.30]);
+        assert!(run_point(&mut tech, &mut engine, &[0.301, 0.301]).optimized);
+    }
+
+    #[test]
+    fn outside_all_rectangles_optimizes() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let mut tech = Ranges::new(0.01);
+        let _ = run_point(&mut tech, &mut engine, &[0.30, 0.30]);
+        let _ = run_point(&mut tech, &mut engine, &[0.32, 0.32]);
+        assert!(run_point(&mut tech, &mut engine, &[0.9, 0.1]).optimized);
+    }
+}

@@ -1,0 +1,390 @@
+//! The plan cache data structure (paper Section 6.1, Figure 5).
+//!
+//! The cache holds a **plan list** (the distinct plans, keyed by structural
+//! fingerprint) and an **instance list** of 5-tuples
+//! `I = <V, PP, C, S, U>` — one per optimized query instance:
+//!
+//! * `V` — the instance's selectivity vector;
+//! * `PP` — pointer to the plan the instance uses (it may differ from the
+//!   instance's optimal plan when the redundancy check discarded that plan);
+//! * `C` — the optimizer-estimated *optimal* cost at the instance;
+//! * `S` — sub-optimality of the pointed-to plan at the instance;
+//! * `U` — running count of instances served through this entry.
+//!
+//! Many instance entries typically point to the same stored plan.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pqo_optimizer::plan::{Plan, PlanFingerprint};
+use pqo_optimizer::svector::SVector;
+
+use crate::spatial::LogSelIndex;
+
+/// One entry of the instance list — the paper's 5-tuple.
+#[derive(Debug, Clone)]
+pub struct InstanceEntry {
+    /// `V`: selectivity vector of the optimized instance.
+    pub svector: SVector,
+    /// `PP`: fingerprint of the plan this entry points to.
+    pub plan: PlanFingerprint,
+    /// `C`: optimizer-estimated optimal cost at this instance.
+    pub opt_cost: f64,
+    /// `S`: sub-optimality of the pointed-to plan at this instance (1.0 when
+    /// the pointed-to plan is the instance's optimal plan).
+    pub sub_opt: f64,
+    /// `U`: number of instances served through this entry.
+    pub usage: u64,
+    /// Appendix G: set when a BCG/PCM violation was detected through this
+    /// entry, disabling it for future cost checks.
+    pub violation_detected: bool,
+}
+
+/// Estimated plan-cache memory footprint (Section 6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBreakdown {
+    /// Bytes held by the instance list (5-tuples + selectivity vectors).
+    pub instance_list_bytes: usize,
+    /// Bytes held by the plan list under the tree representation.
+    pub plan_list_bytes: usize,
+    /// Bytes the plan list would occupy under the Appendix B compact
+    /// encoding.
+    pub plan_list_compact_bytes: usize,
+}
+
+/// The plan cache: plan list + instance list, with a spatial index over the
+/// instances' log-selectivity vectors (Section 6.2) kept in sync with every
+/// mutation.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: HashMap<PlanFingerprint, Arc<Plan>>,
+    instances: Vec<InstanceEntry>,
+    max_plans: usize,
+    index: Option<LogSelIndex>,
+}
+
+impl PlanCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Number of plans currently stored.
+    pub fn num_plans(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Maximum number of plans stored at any point in time.
+    pub fn max_plans(&self) -> usize {
+        self.max_plans
+    }
+
+    /// Number of instance entries.
+    pub fn num_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Whether a plan with this fingerprint is cached.
+    pub fn contains_plan(&self, fp: PlanFingerprint) -> bool {
+        self.plans.contains_key(&fp)
+    }
+
+    /// Fetch a cached plan by fingerprint.
+    pub fn plan(&self, fp: PlanFingerprint) -> Option<&Arc<Plan>> {
+        self.plans.get(&fp)
+    }
+
+    /// Iterate over cached plans.
+    pub fn plans(&self) -> impl Iterator<Item = &Arc<Plan>> {
+        self.plans.values()
+    }
+
+    /// The instance list (read-only).
+    pub fn instances(&self) -> &[InstanceEntry] {
+        &self.instances
+    }
+
+    /// Mutable access to one instance entry.
+    pub fn instance_mut(&mut self, idx: usize) -> &mut InstanceEntry {
+        &mut self.instances[idx]
+    }
+
+    /// Insert a plan (idempotent) and return its fingerprint.
+    pub fn insert_plan(&mut self, plan: Arc<Plan>) -> PlanFingerprint {
+        let fp = plan.fingerprint();
+        self.plans.entry(fp).or_insert(plan);
+        self.max_plans = self.max_plans.max(self.plans.len());
+        fp
+    }
+
+    /// Append an instance entry.
+    ///
+    /// # Panics
+    /// Panics (debug) if the entry points to a plan not in the plan list —
+    /// the structural invariant of Figure 5.
+    pub fn push_instance(&mut self, entry: InstanceEntry) {
+        debug_assert!(self.plans.contains_key(&entry.plan), "instance entry points to missing plan");
+        let idx = self.instances.len();
+        self.index
+            .get_or_insert_with(|| LogSelIndex::new(entry.svector.len()))
+            .insert(&entry.svector.0, idx);
+        self.instances.push(entry);
+    }
+
+    /// Instance entries within L1 log-selectivity distance `radius` of
+    /// `sv`, i.e. entries whose `G·L` relative to `sv` is at most
+    /// `exp(radius)`, in ascending G·L order (spatial index, Section 6.2).
+    pub fn instances_within(&self, sv: &SVector, radius: f64) -> Vec<(f64, usize)> {
+        match &self.index {
+            Some(ix) => ix.within(&sv.0, radius),
+            None => Vec::new(),
+        }
+    }
+
+    /// The `k` instance entries nearest to `sv` in log-selectivity L1
+    /// distance (ascending G·L).
+    pub fn nearest_instances(&self, sv: &SVector, k: usize) -> Vec<(f64, usize)> {
+        match &self.index {
+            Some(ix) => ix.nearest(&sv.0, k),
+            None => Vec::new(),
+        }
+    }
+
+    /// Aggregate usage count per plan: the sum of `U` over entries pointing
+    /// at it. Used by the plan-budget eviction policy (Section 6.3.1).
+    pub fn plan_usage(&self, fp: PlanFingerprint) -> u64 {
+        self.instances.iter().filter(|e| e.plan == fp).map(|e| e.usage).sum()
+    }
+
+    /// The cached plan with minimum aggregate usage (LFU victim).
+    pub fn min_usage_plan(&self) -> Option<PlanFingerprint> {
+        self.plans
+            .keys()
+            .map(|&fp| (self.plan_usage(fp), fp))
+            .min_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)))
+            .map(|(_, fp)| fp)
+    }
+
+    /// Drop a plan and every instance entry pointing at it (required so
+    /// dropping can never violate the sub-optimality guarantee —
+    /// Section 6.3.1).
+    pub fn drop_plan(&mut self, fp: PlanFingerprint) {
+        self.plans.remove(&fp);
+        self.remove_instances_of(fp);
+    }
+
+    /// Remove and return all instance entries pointing at `fp`, keeping the
+    /// plan itself. Used by the existing-plan redundancy sweep (Appendix F).
+    pub fn take_instances_of(&mut self, fp: PlanFingerprint) -> Vec<InstanceEntry> {
+        self.remove_instances_of(fp)
+    }
+
+    fn remove_instances_of(&mut self, fp: PlanFingerprint) -> Vec<InstanceEntry> {
+        // Compute the compaction map before mutating, then keep the spatial
+        // index aligned with the compacted instance list.
+        let mut remap = vec![usize::MAX; self.instances.len()];
+        let mut next = 0usize;
+        for (i, e) in self.instances.iter().enumerate() {
+            if e.plan != fp {
+                remap[i] = next;
+                next += 1;
+            }
+        }
+        let (taken, kept): (Vec<_>, Vec<_>) =
+            std::mem::take(&mut self.instances).into_iter().partition(|e| e.plan == fp);
+        self.instances = kept;
+        if let Some(ix) = &mut self.index {
+            ix.retain_remap(|i| remap[i] != usize::MAX, |i| remap[i]);
+        }
+        taken
+    }
+
+    /// Remove a plan from the plan list only (Appendix F temporarily removes
+    /// a plan while probing redundancy).
+    pub fn remove_plan_only(&mut self, fp: PlanFingerprint) -> Option<Arc<Plan>> {
+        self.plans.remove(&fp)
+    }
+
+    /// Estimated memory footprint (Section 6.1's overheads discussion: the
+    /// instance list costs ~100 bytes per optimized instance; the plan list
+    /// dominates because each plan must stay executable and re-costable).
+    /// `plan_list_compact_bytes` is what the Appendix B byte encoding would
+    /// pay instead of the tree representation.
+    pub fn memory_breakdown(&self) -> MemoryBreakdown {
+        let instance_list_bytes = self
+            .instances
+            .iter()
+            .map(|e| std::mem::size_of::<InstanceEntry>() + e.svector.0.capacity() * 8)
+            .sum();
+        let plan_list_bytes = self
+            .plans
+            .values()
+            .map(|p| pqo_optimizer::compact::estimated_tree_bytes(p))
+            .sum();
+        let plan_list_compact_bytes = self
+            .plans
+            .values()
+            .map(|p| pqo_optimizer::compact::CompactPlan::encode(p).bytes_len())
+            .sum();
+        MemoryBreakdown { instance_list_bytes, plan_list_bytes, plan_list_compact_bytes }
+    }
+
+    /// Check the Figure 5 invariant: every instance entry points to a live
+    /// plan. Exposed for tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, e) in self.instances.iter().enumerate() {
+            if !self.plans.contains_key(&e.plan) {
+                return Err(format!("instance {i} points to evicted plan {}", e.plan));
+            }
+            if e.sub_opt.is_nan() || e.sub_opt < 1.0 {
+                return Err(format!("instance {i} has S = {} < 1", e.sub_opt));
+            }
+            if e.opt_cost.is_nan() || e.opt_cost <= 0.0 {
+                return Err(format!("instance {i} has non-positive C = {}", e.opt_cost));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqo_optimizer::plan::{PlanNode, PlanOp};
+
+    fn plan(r: usize) -> Arc<Plan> {
+        Arc::new(Plan::new(PlanNode::leaf(PlanOp::SeqScan { relation: r })))
+    }
+
+    fn entry(fp: PlanFingerprint, usage: u64) -> InstanceEntry {
+        InstanceEntry {
+            svector: SVector(vec![0.1]),
+            plan: fp,
+            opt_cost: 100.0,
+            sub_opt: 1.0,
+            usage,
+            violation_detected: false,
+        }
+    }
+
+    #[test]
+    fn insert_is_idempotent_and_tracks_max() {
+        let mut c = PlanCache::new();
+        let p = plan(0);
+        let fp = c.insert_plan(p.clone());
+        assert_eq!(c.insert_plan(p), fp);
+        assert_eq!(c.num_plans(), 1);
+        let fp2 = c.insert_plan(plan(1));
+        assert_eq!(c.num_plans(), 2);
+        assert_eq!(c.max_plans(), 2);
+        c.drop_plan(fp2);
+        assert_eq!(c.num_plans(), 1);
+        assert_eq!(c.max_plans(), 2, "max is monotone");
+    }
+
+    #[test]
+    fn drop_plan_removes_its_instances() {
+        let mut c = PlanCache::new();
+        let fp0 = c.insert_plan(plan(0));
+        let fp1 = c.insert_plan(plan(1));
+        c.push_instance(entry(fp0, 1));
+        c.push_instance(entry(fp1, 2));
+        c.push_instance(entry(fp0, 3));
+        c.drop_plan(fp0);
+        assert_eq!(c.num_instances(), 1);
+        assert_eq!(c.instances()[0].plan, fp1);
+        assert!(c.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn min_usage_plan_is_lfu_victim() {
+        let mut c = PlanCache::new();
+        let fp0 = c.insert_plan(plan(0));
+        let fp1 = c.insert_plan(plan(1));
+        c.push_instance(entry(fp0, 5));
+        c.push_instance(entry(fp1, 1));
+        c.push_instance(entry(fp1, 2));
+        assert_eq!(c.min_usage_plan(), Some(fp1)); // usage 3 < 5
+        c.instance_mut(1).usage = 10;
+        assert_eq!(c.min_usage_plan(), Some(fp0));
+    }
+
+    #[test]
+    fn plan_with_no_instances_is_first_victim() {
+        let mut c = PlanCache::new();
+        let fp0 = c.insert_plan(plan(0));
+        let fp1 = c.insert_plan(plan(1));
+        c.push_instance(entry(fp0, 5));
+        assert_eq!(c.min_usage_plan(), Some(fp1));
+    }
+
+    #[test]
+    fn take_instances_partitions_correctly() {
+        let mut c = PlanCache::new();
+        let fp0 = c.insert_plan(plan(0));
+        let fp1 = c.insert_plan(plan(1));
+        c.push_instance(entry(fp0, 1));
+        c.push_instance(entry(fp1, 2));
+        c.push_instance(entry(fp0, 3));
+        let taken = c.take_instances_of(fp0);
+        assert_eq!(taken.len(), 2);
+        assert_eq!(c.num_instances(), 1);
+        assert!(c.contains_plan(fp0), "plan itself is kept");
+    }
+
+    #[test]
+    fn memory_breakdown_reports_all_parts() {
+        let mut c = PlanCache::new();
+        let fp0 = c.insert_plan(plan(0));
+        c.push_instance(entry(fp0, 1));
+        c.push_instance(entry(fp0, 2));
+        let m = c.memory_breakdown();
+        assert!(m.instance_list_bytes >= 2 * std::mem::size_of::<InstanceEntry>());
+        assert!(m.plan_list_bytes > 0);
+        assert!(m.plan_list_compact_bytes > 0);
+        assert!(
+            m.plan_list_compact_bytes < m.plan_list_bytes,
+            "compact encoding must be smaller: {} vs {}",
+            m.plan_list_compact_bytes,
+            m.plan_list_bytes
+        );
+    }
+
+    #[test]
+    fn spatial_queries_follow_mutations() {
+        let mut c = PlanCache::new();
+        let fp0 = c.insert_plan(plan(0));
+        let fp1 = c.insert_plan(plan(1));
+        for (i, s) in [0.1, 0.2, 0.4, 0.8].iter().enumerate() {
+            c.push_instance(InstanceEntry {
+                svector: SVector(vec![*s]),
+                plan: if i % 2 == 0 { fp0 } else { fp1 },
+                opt_cost: 10.0,
+                sub_opt: 1.0,
+                usage: 1,
+                violation_detected: false,
+            });
+        }
+        let near = c.nearest_instances(&SVector(vec![0.1]), 2);
+        assert_eq!(near.len(), 2);
+        assert_eq!(near[0].1, 0, "closest entry is the 0.1 one");
+        // Dropping fp0 removes entries 0 and 2; indices compact to 0..2.
+        c.drop_plan(fp0);
+        assert_eq!(c.num_instances(), 2);
+        let all = c.nearest_instances(&SVector(vec![0.1]), 10);
+        assert_eq!(all.len(), 2);
+        for &(_, idx) in &all {
+            assert!(idx < 2, "index must be remapped after compaction");
+            assert_eq!(c.instances()[idx].plan, fp1);
+        }
+    }
+
+    #[test]
+    fn invariant_detects_bad_entries() {
+        let mut c = PlanCache::new();
+        let fp0 = c.insert_plan(plan(0));
+        c.push_instance(entry(fp0, 1));
+        c.remove_plan_only(fp0);
+        assert!(c.check_invariants().is_err());
+    }
+}

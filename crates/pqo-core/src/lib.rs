@@ -1,0 +1,75 @@
+//! The paper's contribution: online parametric query optimization with
+//! guarantees.
+//!
+//! Given a parameterized query and a tolerable cost sub-optimality bound
+//! `λ ≥ 1`, an online PQO technique decides *per query instance* whether to
+//! reuse a cached plan or invoke the optimizer. Three metrics matter
+//! (Section 2.1):
+//!
+//! 1. **cost sub-optimality** — `SO(q) = Cost(P(q), q) / Cost(Popt(q), q)`,
+//!    summarized as `MSO` (max) and `TotalCostRatio` (cost-weighted mean);
+//! 2. **optimization overheads** — `numOpt`, the number of optimizer calls;
+//! 3. **number of plans cached** — `numPlans`.
+//!
+//! [`scr::Scr`] implements the paper's SCR technique (Selectivity check,
+//! Cost check, Redundancy check) with the λ-optimality guarantee under the
+//! Bounded Cost Growth assumption. [`baselines`] implements every technique
+//! the paper compares against (Table 2): Optimize-Always, Optimize-Once,
+//! PCM, Ellipse, Density and Ranges. [`runner`] executes a technique over a
+//! workload sequence against a ground-truth oracle and produces
+//! [`metrics::RunResult`]s.
+
+pub mod baselines;
+pub mod cache;
+pub mod concurrent;
+pub mod manager;
+pub mod metrics;
+pub mod persist;
+pub mod runner;
+pub mod scr;
+pub mod spatial;
+
+pub use pqo_optimizer::engine;
+pub use scr::Scr;
+
+use std::sync::Arc;
+
+use pqo_optimizer::engine::QueryEngine;
+use pqo_optimizer::plan::Plan;
+use pqo_optimizer::svector::SVector;
+use pqo_optimizer::template::QueryInstance;
+
+/// The plan an online technique selected for one query instance.
+#[derive(Debug, Clone)]
+pub struct PlanChoice {
+    /// The selected plan.
+    pub plan: Arc<Plan>,
+    /// Whether a full optimizer call was made for this instance.
+    pub optimized: bool,
+}
+
+/// An online PQO technique: the `getPlan` interface of Figure 2.
+///
+/// Implementations receive the instance, its pre-computed selectivity vector
+/// and the engine (for optimizer / Recost calls), and must return a plan for
+/// every instance. Cache management (`manageCache`) is internal to the
+/// implementation.
+pub trait OnlinePqo {
+    /// Display name, e.g. `"SCR2"` or `"PCM1.1"`.
+    fn name(&self) -> String;
+
+    /// Choose a plan for the incoming instance `qc`.
+    fn get_plan(
+        &mut self,
+        instance: &QueryInstance,
+        sv: &SVector,
+        engine: &mut QueryEngine,
+    ) -> PlanChoice;
+
+    /// Number of plans currently cached.
+    fn plans_cached(&self) -> usize;
+
+    /// Maximum number of plans ever cached simultaneously (the paper's
+    /// `numPlans` metric).
+    fn max_plans_cached(&self) -> usize;
+}

@@ -1,0 +1,157 @@
+//! Evaluation metrics (paper Section 2.1).
+
+use std::time::Duration;
+
+/// Everything measured while running one technique over one workload
+/// sequence.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Technique display name.
+    pub technique: String,
+    /// Number of query instances processed (`m`).
+    pub num_instances: usize,
+    /// Per-instance sub-optimality `SO(q) ≥ 1`, in sequence order.
+    pub so: Vec<f64>,
+    /// Per-instance optimal cost (from the ground-truth oracle).
+    pub opt_costs: Vec<f64>,
+    /// Number of optimizer calls the technique issued (`numOpt`).
+    pub num_opt: u64,
+    /// Maximum number of plans cached simultaneously (`numPlans`).
+    pub num_plans: usize,
+    /// Recost calls issued by the technique.
+    pub recost_calls: u64,
+    /// Wall time the technique spent inside optimizer calls.
+    pub optimize_time: Duration,
+    /// Wall time the technique spent inside Recost calls.
+    pub recost_time: Duration,
+    /// Total wall time of all `getPlan` invocations (includes optimizer and
+    /// Recost time).
+    pub getplan_time: Duration,
+    /// Number of distinct optimal plans across the sequence (`n = |P|`,
+    /// from the ground truth — a property of the workload, not of the
+    /// technique).
+    pub distinct_optimal_plans: usize,
+}
+
+impl RunResult {
+    /// `MSO = max SO(q)` over the sequence.
+    pub fn mso(&self) -> f64 {
+        self.so.iter().copied().fold(1.0, f64::max)
+    }
+
+    /// `TotalCostRatio = Σ Cost(P(q), q) / Σ Cost(Popt(q), q)` — the
+    /// cost-weighted aggregate sub-optimality, in `[1, MSO]`.
+    pub fn total_cost_ratio(&self) -> f64 {
+        let opt: f64 = self.opt_costs.iter().sum();
+        let chosen: f64 = self.so.iter().zip(&self.opt_costs).map(|(s, c)| s * c).sum();
+        if opt > 0.0 {
+            chosen / opt
+        } else {
+            1.0
+        }
+    }
+
+    /// Fraction of instances that triggered an optimizer call, in percent.
+    pub fn num_opt_pct(&self) -> f64 {
+        if self.num_instances == 0 {
+            0.0
+        } else {
+            100.0 * self.num_opt as f64 / self.num_instances as f64
+        }
+    }
+
+    /// Fraction of instances with `SO > bound` (the guarantee-violation rate
+    /// of Section 7.2).
+    pub fn violation_rate(&self, bound: f64) -> f64 {
+        if self.so.is_empty() {
+            return 0.0;
+        }
+        self.so.iter().filter(|&&s| s > bound * (1.0 + 1e-9)).count() as f64 / self.so.len() as f64
+    }
+}
+
+/// `p`-th percentile (0..=100) of `values` using nearest-rank on a sorted
+/// copy. Returns `None` on empty input.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+    Some(v[rank.min(v.len() - 1)])
+}
+
+/// Arithmetic mean; `None` on empty input.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(so: Vec<f64>, costs: Vec<f64>) -> RunResult {
+        RunResult {
+            technique: "t".into(),
+            num_instances: so.len(),
+            so,
+            opt_costs: costs,
+            num_opt: 2,
+            num_plans: 1,
+            recost_calls: 0,
+            optimize_time: Duration::ZERO,
+            recost_time: Duration::ZERO,
+            getplan_time: Duration::ZERO,
+            distinct_optimal_plans: 1,
+        }
+    }
+
+    #[test]
+    fn mso_is_max_so() {
+        let r = result(vec![1.0, 3.0, 1.5], vec![1.0, 1.0, 1.0]);
+        assert_eq!(r.mso(), 3.0);
+    }
+
+    #[test]
+    fn total_cost_ratio_is_cost_weighted() {
+        // SO=2 on the expensive instance dominates.
+        let r = result(vec![1.0, 2.0], vec![1.0, 99.0]);
+        let tcr = r.total_cost_ratio();
+        assert!((tcr - 199.0 / 100.0).abs() < 1e-12);
+        assert!(tcr <= r.mso());
+        assert!(tcr >= 1.0);
+    }
+
+    #[test]
+    fn num_opt_pct() {
+        let r = result(vec![1.0; 10], vec![1.0; 10]);
+        assert!((r.num_opt_pct() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn violation_rate_counts_exceedances() {
+        let r = result(vec![1.0, 2.5, 2.0, 1.9], vec![1.0; 4]);
+        assert!((r.violation_rate(2.0) - 0.25).abs() < 1e-12);
+        assert_eq!(r.violation_rate(3.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 50.0), Some(3.0));
+        assert_eq!(percentile(&v, 100.0), Some(5.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+    }
+}

@@ -1,0 +1,213 @@
+//! Sequence runner: execute a technique over a workload against the
+//! Optimize-Always ground truth.
+//!
+//! The paper evaluates with *optimizer-estimated costs* (Section 2.1), so
+//! the oracle is: optimize every instance once (untracked, outside the
+//! technique's accounting), remember `Popt(q)` and `Cost(Popt(q), q)`, and
+//! score each technique's choice by re-costing it at the instance.
+//! Ground truth depends only on the instance *set*, not its order, so one
+//! [`GroundTruth`] is shared across all orderings of the same instances via
+//! [`GroundTruth::permute`].
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pqo_optimizer::engine::QueryEngine;
+use pqo_optimizer::plan::Plan;
+use pqo_optimizer::svector::SVector;
+use pqo_optimizer::template::QueryInstance;
+
+use crate::metrics::RunResult;
+use crate::OnlinePqo;
+
+/// Per-instance oracle data, aligned with a workload sequence.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// Selectivity vector per instance.
+    pub svectors: Vec<SVector>,
+    /// Optimal cost per instance.
+    pub opt_costs: Vec<f64>,
+    /// Optimal plan per instance.
+    pub opt_plans: Vec<Arc<Plan>>,
+}
+
+impl GroundTruth {
+    /// Compute the oracle for `instances` (one untracked optimizer call
+    /// each).
+    pub fn compute(engine: &mut QueryEngine, instances: &[QueryInstance]) -> Self {
+        let template = Arc::clone(engine.template());
+        let mut svectors = Vec::with_capacity(instances.len());
+        let mut opt_costs = Vec::with_capacity(instances.len());
+        let mut opt_plans = Vec::with_capacity(instances.len());
+        for inst in instances {
+            let sv = pqo_optimizer::svector::compute_svector(&template, inst);
+            let opt = engine.optimize_untracked(&sv);
+            svectors.push(sv);
+            opt_costs.push(opt.cost);
+            opt_plans.push(opt.plan);
+        }
+        GroundTruth { svectors, opt_costs, opt_plans }
+    }
+
+    /// Number of instances covered.
+    pub fn len(&self) -> usize {
+        self.opt_costs.len()
+    }
+
+    /// Whether the oracle is empty.
+    pub fn is_empty(&self) -> bool {
+        self.opt_costs.is_empty()
+    }
+
+    /// Number of distinct optimal plans (`n = |P|`, Section 2).
+    pub fn distinct_plans(&self) -> usize {
+        let mut fps: Vec<_> = self.opt_plans.iter().map(|p| p.fingerprint()).collect();
+        fps.sort();
+        fps.dedup();
+        fps.len()
+    }
+
+    /// Re-align the oracle with a permuted sequence: entry `i` of the result
+    /// corresponds to `order[i]` of `self`.
+    pub fn permute(&self, order: &[usize]) -> GroundTruth {
+        GroundTruth {
+            svectors: order.iter().map(|&i| self.svectors[i].clone()).collect(),
+            opt_costs: order.iter().map(|&i| self.opt_costs[i]).collect(),
+            opt_plans: order.iter().map(|&i| Arc::clone(&self.opt_plans[i])).collect(),
+        }
+    }
+}
+
+/// Run `technique` over `instances` (aligned with `gt`) and collect every
+/// metric. The engine's counters are reset at the start, so the result
+/// reflects only this run.
+pub fn run_sequence(
+    technique: &mut dyn OnlinePqo,
+    engine: &mut QueryEngine,
+    instances: &[QueryInstance],
+    gt: &GroundTruth,
+) -> RunResult {
+    assert_eq!(instances.len(), gt.len(), "ground truth misaligned with workload");
+    engine.reset_stats();
+    let mut so = Vec::with_capacity(instances.len());
+    let mut getplan_time = std::time::Duration::ZERO;
+    for (i, inst) in instances.iter().enumerate() {
+        let start = Instant::now();
+        let sv = engine.compute_svector(inst);
+        let choice = technique.get_plan(inst, &sv, engine);
+        getplan_time += start.elapsed();
+        let s = if choice.plan.fingerprint() == gt.opt_plans[i].fingerprint() {
+            1.0
+        } else {
+            (engine.recost_untracked(&choice.plan, &gt.svectors[i]) / gt.opt_costs[i]).max(1.0)
+        };
+        so.push(s);
+    }
+    let stats = engine.stats().clone();
+    RunResult {
+        technique: technique.name(),
+        num_instances: instances.len(),
+        so,
+        opt_costs: gt.opt_costs.clone(),
+        num_opt: stats.optimize_calls,
+        num_plans: technique.max_plans_cached(),
+        recost_calls: stats.recost_calls,
+        optimize_time: stats.optimize_time,
+        recost_time: stats.recost_time,
+        getplan_time,
+        distinct_optimal_plans: gt.distinct_plans(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{OptimizeAlways, OptimizeOnce};
+    use crate::scr::Scr;
+    use pqo_optimizer::svector::instance_for_target;
+    use pqo_optimizer::template::{QueryTemplate, RangeOp, TemplateBuilder};
+
+    fn fixture() -> Arc<QueryTemplate> {
+        let cat = pqo_catalog::schemas::tpch_skew();
+        let mut b = TemplateBuilder::new("runner_test");
+        let o = b.relation(cat.expect_table("orders"), "o");
+        let l = b.relation(cat.expect_table("lineitem"), "l");
+        b.join((o, "orders_pk"), (l, "orders_fk"));
+        b.param(o, "o_totalprice", RangeOp::Le);
+        b.param(l, "l_extendedprice", RangeOp::Le);
+        b.build()
+    }
+
+    fn grid(t: &QueryTemplate, n: usize) -> Vec<QueryInstance> {
+        let mut v = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let target =
+                    [0.01 + 0.9 * i as f64 / n as f64, 0.01 + 0.9 * j as f64 / n as f64];
+                v.push(instance_for_target(t, &target));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn oracle_has_so_one_everywhere() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let instances = grid(&t, 4);
+        let gt = GroundTruth::compute(&mut engine, &instances);
+        let mut oracle = OptimizeAlways::new();
+        let r = run_sequence(&mut oracle, &mut engine, &instances, &gt);
+        assert_eq!(r.mso(), 1.0);
+        assert_eq!(r.total_cost_ratio(), 1.0);
+        assert_eq!(r.num_opt as usize, instances.len());
+    }
+
+    #[test]
+    fn opt_once_is_cheap_but_suboptimal() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let instances = grid(&t, 5);
+        let gt = GroundTruth::compute(&mut engine, &instances);
+        let mut once = OptimizeOnce::new();
+        let r = run_sequence(&mut once, &mut engine, &instances, &gt);
+        assert_eq!(r.num_opt, 1);
+        assert!(r.mso() > 1.0, "a single plan cannot be optimal across the grid");
+    }
+
+    #[test]
+    fn scr_respects_lambda_on_this_workload() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let instances = grid(&t, 5);
+        let gt = GroundTruth::compute(&mut engine, &instances);
+        let mut scr = Scr::new(2.0);
+        let r = run_sequence(&mut scr, &mut engine, &instances, &gt);
+        assert!(r.mso() <= 2.0 * 1.001, "MSO {}", r.mso());
+        assert!(r.num_opt < instances.len() as u64, "SCR must save optimizer calls");
+        assert!(r.total_cost_ratio() <= r.mso());
+    }
+
+    #[test]
+    fn permute_realigns_oracle() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let instances = grid(&t, 3);
+        let gt = GroundTruth::compute(&mut engine, &instances);
+        let order: Vec<usize> = (0..instances.len()).rev().collect();
+        let pg = gt.permute(&order);
+        assert_eq!(pg.opt_costs[0], gt.opt_costs[instances.len() - 1]);
+        assert_eq!(pg.distinct_plans(), gt.distinct_plans());
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_ground_truth_panics() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let instances = grid(&t, 2);
+        let gt = GroundTruth::compute(&mut engine, &instances[..2]);
+        let mut once = OptimizeOnce::new();
+        let _ = run_sequence(&mut once, &mut engine, &instances, &gt);
+    }
+}

@@ -1,0 +1,862 @@
+//! SCR: the paper's online PQO technique with guarantees.
+//!
+//! SCR processes query instances online with three checks:
+//!
+//! 1. **Selectivity check** (Sections 5.3, 6.2): for a stored instance `qe`
+//!    with entry `<V, PP, C, S, U>`, compute the selectivity-ratio factors
+//!    `G = ∏_{αi>1} αi` and `L = ∏_{αi<1} 1/αi`. Under Bounded Cost Growth
+//!    with `fi(α) = α`, `SubOpt(P(qe), qc) ≤ G·S·L`, so the check
+//!    `G·L ≤ λ/S` guarantees λ-optimality using arithmetic only.
+//! 2. **Cost check** (Section 6.2): for the most promising candidates (in
+//!    increasing `G·L` order), replace the `G` bound by the exact ratio
+//!    `R = Recost(P(qe), qc) / C`; reuse when `R·L ≤ λ/S`.
+//! 3. **Redundancy check** (Section 6.3): when a fresh optimization yields a
+//!    plan not in the cache, discard it if some cached plan is within
+//!    `λr = √λ` of optimal at `qc` (Appendix E justifies the √λ choice).
+//!
+//! Extensions implemented: plan budget `k` with least-frequently-used
+//! eviction (Section 6.3.1), dynamic λ (Appendix D), redundancy sweep for
+//! existing plans (Appendix F), and BCG/PCM violation detection with entry
+//! disabling (Appendix G).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pqo_optimizer::engine::{OptimizedPlan, QueryEngine};
+use pqo_optimizer::plan::PlanFingerprint;
+use pqo_optimizer::svector::SVector;
+use pqo_optimizer::template::QueryInstance;
+
+use crate::cache::{InstanceEntry, PlanCache};
+use crate::{OnlinePqo, PlanChoice};
+
+/// Dynamic λ mapping of Appendix D: cheaper instances tolerate a larger λ.
+#[derive(Debug, Clone, Copy)]
+pub struct DynamicLambda {
+    /// λ used for the most expensive instances.
+    pub lambda_min: f64,
+    /// λ approached by the cheapest instances.
+    pub lambda_max: f64,
+}
+
+/// Order in which selectivity-check survivors are tried by the cost check
+/// (Section 6.2 discusses these alternatives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateOrder {
+    /// Increasing `G·L` — the paper's default: small G·L is most likely to
+    /// pass.
+    GlAscending,
+    /// Decreasing usage count `U`: frequently reused entries first.
+    UsageDescending,
+    /// Decreasing selectivity-region area (∝ ∏ si, Section 5.3): entries
+    /// with larger inference regions first.
+    AreaDescending,
+}
+
+/// SCR configuration.
+#[derive(Debug, Clone)]
+pub struct ScrConfig {
+    /// The sub-optimality bound λ ≥ 1.
+    pub lambda: f64,
+    /// Redundancy-check threshold λr (Appendix E). `0.0` disables the
+    /// redundancy check (every new plan is stored); the paper's default is
+    /// `√λ`.
+    pub lambda_r: f64,
+    /// Optional hard budget `k` on the number of cached plans
+    /// (Section 6.3.1). Eviction removes the plan with minimum aggregate
+    /// usage together with all its instance entries.
+    pub plan_budget: Option<usize>,
+    /// Maximum number of candidate entries the cost check may re-cost per
+    /// `getPlan` call — the G·L-pruning heuristic of Section 6.2.
+    pub max_recost_candidates: usize,
+    /// Dynamic λ range (Appendix D); `None` keeps λ static.
+    pub dynamic_lambda: Option<DynamicLambda>,
+    /// Appendix G: detect BCG/PCM violations during cost checks and disable
+    /// the offending entries for future cost checks.
+    pub violation_handling: bool,
+    /// Appendix F: after adding a new plan, probe whether existing plans
+    /// became redundant and drop them. Off by default (the paper's
+    /// evaluation only applies the redundancy check to new plans).
+    pub existing_plan_redundancy: bool,
+    /// Instance-list size at which `getPlan` switches from the linear scan
+    /// to the spatial index of Section 6.2 (`usize::MAX` disables the
+    /// index).
+    pub spatial_index_threshold: usize,
+    /// Cost-check candidate ordering for the linear path (the indexed path
+    /// is inherently G·L-ascending).
+    pub candidate_order: CandidateOrder,
+}
+
+impl ScrConfig {
+    /// The paper's default configuration for a given λ: `λr = √λ`, no plan
+    /// budget, at most 8 Recost candidates, static λ, violation handling on.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda >= 1.0, "λ must be at least 1");
+        ScrConfig {
+            lambda,
+            lambda_r: lambda.sqrt(),
+            plan_budget: None,
+            max_recost_candidates: 8,
+            dynamic_lambda: None,
+            violation_handling: true,
+            existing_plan_redundancy: false,
+            spatial_index_threshold: 64,
+            candidate_order: CandidateOrder::GlAscending,
+        }
+    }
+}
+
+/// Counters describing how SCR served a sequence (Section 7.3's overhead
+/// anatomy).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScrStats {
+    /// Instances served by the selectivity check.
+    pub selectivity_hits: u64,
+    /// Instances served by the cost check.
+    pub cost_hits: u64,
+    /// Instances that required an optimizer call.
+    pub optimizer_calls: u64,
+    /// New plans discarded by the redundancy check.
+    pub redundant_plans_discarded: u64,
+    /// Existing plans dropped by the Appendix F sweep.
+    pub existing_plans_dropped: u64,
+    /// Plans evicted to enforce the budget `k`.
+    pub budget_evictions: u64,
+    /// Total Recost calls issued from `getPlan` (cost check only).
+    pub getplan_recost_calls: u64,
+    /// Maximum Recost calls issued by any single `getPlan` invocation.
+    pub max_recosts_per_getplan: u64,
+    /// Entries disabled after a detected BCG/PCM violation (Appendix G).
+    pub violations_detected: u64,
+}
+
+/// The SCR technique (Figure 2 architecture: `getPlan` + `manageCache` over
+/// the plan cache of Figure 5).
+#[derive(Debug)]
+pub struct Scr {
+    config: ScrConfig,
+    cache: PlanCache,
+    stats: ScrStats,
+    /// Running Σ log(C) and count over optimized instances — the cost scale
+    /// for the dynamic-λ mapping.
+    log_cost_sum: f64,
+    opt_count: u64,
+}
+
+impl Scr {
+    /// SCR with the paper's defaults for the given λ.
+    pub fn new(lambda: f64) -> Self {
+        Scr::with_config(ScrConfig::new(lambda))
+    }
+
+    /// SCR with an explicit configuration.
+    pub fn with_config(config: ScrConfig) -> Self {
+        assert!(config.lambda >= 1.0);
+        assert!(config.lambda_r >= 0.0);
+        Scr { config, cache: PlanCache::new(), stats: ScrStats::default(), log_cost_sum: 0.0, opt_count: 0 }
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &ScrConfig {
+        &self.config
+    }
+
+    /// The plan cache (read-only).
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Technique counters.
+    pub fn stats(&self) -> &ScrStats {
+        &self.stats
+    }
+
+    /// Evict one plan (and its instance entries) from the cache — used by
+    /// the global budget of [`crate::manager::PqoManager`]. Safe for the
+    /// guarantee: inference entries leave with the plan (Section 6.3.1).
+    pub fn evict_plan(&mut self, fp: pqo_optimizer::plan::PlanFingerprint) {
+        self.cache.drop_plan(fp);
+        self.stats.budget_evictions += 1;
+    }
+
+    /// The dynamic-λ accumulators `(Σ log C, optimized count)` — persisted
+    /// alongside the cache so a restored SCR keeps its cost scale.
+    pub fn lambda_accumulators(&self) -> (f64, u64) {
+        (self.log_cost_sum, self.opt_count)
+    }
+
+    /// Reassemble an SCR from persisted parts (see [`crate::persist`]).
+    ///
+    /// # Panics
+    /// Panics if an entry references a plan not in `plans` (the snapshot
+    /// loader validates this before calling).
+    pub fn from_parts(
+        config: ScrConfig,
+        plans: Vec<std::sync::Arc<pqo_optimizer::plan::Plan>>,
+        entries: Vec<InstanceEntry>,
+        log_cost_sum: f64,
+        opt_count: u64,
+    ) -> Self {
+        let mut scr = Scr::with_config(config);
+        for p in plans {
+            scr.cache.insert_plan(p);
+        }
+        for e in entries {
+            scr.cache.push_instance(e);
+        }
+        scr.log_cost_sum = log_cost_sum;
+        scr.opt_count = opt_count;
+        debug_assert!(scr.cache.check_invariants().is_ok());
+        scr
+    }
+
+    /// Effective λ for an entry with optimal cost `c` (Appendix D): static
+    /// λ, or `λmin + (λmax − λmin)·exp(−c / Cref)` where `Cref` is the
+    /// geometric mean of optimal costs seen so far.
+    fn effective_lambda(&self, c: f64) -> f64 {
+        match self.config.dynamic_lambda {
+            None => self.config.lambda,
+            Some(DynamicLambda { lambda_min, lambda_max }) => {
+                if self.opt_count == 0 {
+                    return lambda_min;
+                }
+                let c_ref = (self.log_cost_sum / self.opt_count as f64).exp();
+                lambda_min + (lambda_max - lambda_min) * (-c / c_ref.max(f64::MIN_POSITIVE)).exp()
+            }
+        }
+    }
+
+    /// `getPlan` (Algorithm 1): selectivity check, then cost check, then an
+    /// optimizer call followed by `manageCache`.
+    fn get_plan_inner(&mut self, sv: &SVector, engine: &mut QueryEngine) -> PlanChoice {
+        if let Some(choice) = self.try_cached_plan(sv, engine) {
+            return choice;
+        }
+
+        // --- Optimizer call + manageCache -----------------------------------
+        let opt = engine.optimize(sv);
+        let plan = Arc::clone(&opt.plan);
+        self.manage_cache_entry(sv, opt, engine);
+        PlanChoice { plan, optimized: true }
+    }
+
+    /// The cache-only part of `getPlan`: selectivity check then cost check,
+    /// never an optimizer call. Exposed for the asynchronous-maintenance
+    /// front end ([`crate::concurrent::AsyncScr`]).
+    pub(crate) fn try_cached_plan(
+        &mut self,
+        sv: &SVector,
+        engine: &mut QueryEngine,
+    ) -> Option<PlanChoice> {
+        let use_index = self.config.spatial_index_threshold != usize::MAX
+            && self.cache.num_instances() >= self.config.spatial_index_threshold;
+        let candidates = if use_index {
+            match self.selectivity_check_indexed(sv) {
+                Ok(choice) => return Some(choice),
+                Err(c) => c,
+            }
+        } else {
+            match self.selectivity_check_linear(sv) {
+                Ok(choice) => return Some(choice),
+                Err(c) => c,
+            }
+        };
+        self.cost_check(sv, candidates, engine)
+    }
+
+    /// Record a fresh optimization in the cache (`manageCache`), including
+    /// the optimizer-call bookkeeping. Public within the crate so the
+    /// asynchronous front end can run it on a worker thread (Section 4.1).
+    pub(crate) fn manage_cache_entry(
+        &mut self,
+        sv: &SVector,
+        opt: OptimizedPlan,
+        engine: &mut QueryEngine,
+    ) {
+        self.stats.optimizer_calls += 1;
+        self.log_cost_sum += opt.cost.max(f64::MIN_POSITIVE).ln();
+        self.opt_count += 1;
+        self.manage_cache(sv, opt, engine);
+    }
+
+    /// Serve an instance through cache entry `idx` without an optimizer
+    /// call.
+    fn serve(&mut self, idx: usize) -> PlanChoice {
+        let fp = self.cache.instances()[idx].plan;
+        self.cache.instance_mut(idx).usage += 1;
+        let plan = Arc::clone(self.cache.plan(fp).expect("entry points to live plan"));
+        PlanChoice { plan, optimized: false }
+    }
+
+    /// Linear-scan selectivity check (small instance lists): returns the
+    /// serving choice, or the cost-check candidates `(G, L, idx)` ordered
+    /// per [`ScrConfig::candidate_order`].
+    fn selectivity_check_linear(&mut self, sv: &SVector) -> Result<PlanChoice, Vec<(f64, f64, usize)>> {
+        let mut candidates: Vec<(f64, f64, usize)> = Vec::new(); // (G, L, idx)
+        for idx in 0..self.cache.instances().len() {
+            let e = &self.cache.instances()[idx];
+            let (g, l) = sv.g_and_l(&e.svector);
+            let lambda_e = self.effective_lambda(e.opt_cost);
+            if g * l <= lambda_e / e.sub_opt {
+                self.stats.selectivity_hits += 1;
+                return Ok(self.serve(idx));
+            }
+            if !e.violation_detected {
+                candidates.push((g, l, idx));
+            }
+        }
+        let key = |&(g, l, idx): &(f64, f64, usize)| -> f64 {
+            let e = &self.cache.instances()[idx];
+            match self.config.candidate_order {
+                CandidateOrder::GlAscending => g * l,
+                CandidateOrder::UsageDescending => -(e.usage as f64),
+                CandidateOrder::AreaDescending => -e.svector.0.iter().product::<f64>(),
+            }
+        };
+        candidates.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap());
+        candidates.truncate(self.config.max_recost_candidates);
+        Err(candidates)
+    }
+
+    /// Spatial-index selectivity check (Section 6.2): the selectivity check
+    /// is an L1 ball query in log-selectivity space (G·L = e^distance), and
+    /// the cost-check candidates are the nearest neighbours — smallest G·L
+    /// first without scanning the instance list.
+    fn selectivity_check_indexed(&mut self, sv: &SVector) -> Result<PlanChoice, Vec<(f64, f64, usize)>> {
+        let lambda_upper = match self.config.dynamic_lambda {
+            Some(d) => d.lambda_max,
+            None => self.config.lambda,
+        };
+        for (dist, idx) in self.cache.instances_within(sv, lambda_upper.ln()) {
+            let e = &self.cache.instances()[idx];
+            let gl = dist.exp();
+            if gl <= self.effective_lambda(e.opt_cost) / e.sub_opt {
+                self.stats.selectivity_hits += 1;
+                return Ok(self.serve(idx));
+            }
+        }
+        // Over-fetch so violation-disabled entries do not starve the list.
+        let fetch = self.config.max_recost_candidates.saturating_mul(4).max(16);
+        let mut candidates: Vec<(f64, f64, usize)> = self
+            .cache
+            .nearest_instances(sv, fetch)
+            .into_iter()
+            .filter(|&(_, idx)| !self.cache.instances()[idx].violation_detected)
+            .map(|(_, idx)| {
+                let (g, l) = sv.g_and_l(&self.cache.instances()[idx].svector);
+                (g, l, idx)
+            })
+            .collect();
+        candidates.truncate(self.config.max_recost_candidates);
+        Err(candidates)
+    }
+
+    /// Cost check over ordered candidates: replace the `G` bound by the
+    /// exact Recost ratio `R`, re-costing each distinct plan at most once.
+    fn cost_check(
+        &mut self,
+        sv: &SVector,
+        candidates: Vec<(f64, f64, usize)>,
+        engine: &mut QueryEngine,
+    ) -> Option<PlanChoice> {
+        let mut recosted: HashMap<PlanFingerprint, f64> = HashMap::new();
+        let mut recosts_this_call = 0u64;
+        for (g, l, idx) in candidates {
+            let e = &self.cache.instances()[idx];
+            let (fp, c, s, lambda_e) = (e.plan, e.opt_cost, e.sub_opt, self.effective_lambda(e.opt_cost));
+            let new_cost = match recosted.get(&fp) {
+                Some(&c) => c,
+                None => {
+                    let plan = Arc::clone(self.cache.plan(fp).expect("live plan"));
+                    let c = engine.recost(&plan, sv);
+                    recosts_this_call += 1;
+                    recosted.insert(fp, c);
+                    c
+                }
+            };
+            let r = new_cost / c;
+            // Appendix G: Cost(P, qe) = S·C, so BCG demands
+            // S·C/L ≤ Cost(P, qc) ≤ G·S·C. Outside → violation at qe.
+            if self.config.violation_handling {
+                let upper = g * s * c;
+                let lower = s * c / l;
+                if new_cost > upper * (1.0 + 1e-9) || new_cost < lower * (1.0 - 1e-9) {
+                    self.cache.instance_mut(idx).violation_detected = true;
+                    self.stats.violations_detected += 1;
+                    continue;
+                }
+            }
+            if r * l <= lambda_e / s {
+                self.stats.cost_hits += 1;
+                self.stats.getplan_recost_calls += recosts_this_call;
+                self.stats.max_recosts_per_getplan =
+                    self.stats.max_recosts_per_getplan.max(recosts_this_call);
+                return Some(self.serve(idx));
+            }
+        }
+        self.stats.getplan_recost_calls += recosts_this_call;
+        self.stats.max_recosts_per_getplan = self.stats.max_recosts_per_getplan.max(recosts_this_call);
+        None
+    }
+
+    /// `manageCache` (Algorithm 2).
+    fn manage_cache(&mut self, sv: &SVector, opt: OptimizedPlan, engine: &mut QueryEngine) {
+        let fp = opt.plan.fingerprint();
+        if self.cache.contains_plan(fp) {
+            // Plan already cached: extend its inference region with qc.
+            self.cache.push_instance(InstanceEntry {
+                svector: sv.clone(),
+                plan: fp,
+                opt_cost: opt.cost,
+                sub_opt: 1.0,
+                usage: 1,
+                violation_detected: false,
+            });
+            return;
+        }
+
+        // Redundancy check: is some cached plan λr-close to optimal at qc?
+        if self.config.lambda_r > 0.0 && self.cache.num_plans() > 0 {
+            let (min_fp, min_cost) = self
+                .cache
+                .plans()
+                .map(|p| (p.fingerprint(), engine.recost(p, sv)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .expect("non-empty plan list");
+            let s_min = (min_cost / opt.cost).max(1.0);
+            if s_min <= self.config.lambda_r {
+                self.stats.redundant_plans_discarded += 1;
+                self.cache.push_instance(InstanceEntry {
+                    svector: sv.clone(),
+                    plan: min_fp,
+                    opt_cost: opt.cost,
+                    sub_opt: s_min,
+                    usage: 1,
+                    violation_detected: false,
+                });
+                return;
+            }
+        }
+
+        // Enforce the plan budget before inserting (Section 6.3.1): drop the
+        // minimum-aggregate-usage plan along with its instance entries.
+        if let Some(k) = self.config.plan_budget {
+            while self.cache.num_plans() >= k.max(1) {
+                let victim = self.cache.min_usage_plan().expect("budget > 0 ⇒ victim exists");
+                self.cache.drop_plan(victim);
+                self.stats.budget_evictions += 1;
+            }
+        }
+
+        self.cache.insert_plan(opt.plan);
+        self.cache.push_instance(InstanceEntry {
+            svector: sv.clone(),
+            plan: fp,
+            opt_cost: opt.cost,
+            sub_opt: 1.0,
+            usage: 1,
+            violation_detected: false,
+        });
+
+        if self.config.existing_plan_redundancy {
+            self.sweep_existing_plans(engine);
+        }
+        debug_assert!(self.cache.check_invariants().is_ok());
+    }
+
+    /// Appendix F: probe each pre-existing plan (in increasing instance-set
+    /// size) for redundancy — temporarily remove it, re-run the simulated
+    /// `getPlan` for each of its instances against the rest of the cache,
+    /// and keep the removal only if every instance finds an alternative
+    /// λ-optimal plan.
+    fn sweep_existing_plans(&mut self, engine: &mut QueryEngine) {
+        let mut plans: Vec<PlanFingerprint> = self.cache.plans().map(|p| p.fingerprint()).collect();
+        plans.sort_by_key(|&fp| {
+            (self.cache.instances().iter().filter(|e| e.plan == fp).count(), fp)
+        });
+        for fp in plans {
+            if self.cache.num_plans() <= 1 {
+                break;
+            }
+            let taken = self.cache.take_instances_of(fp);
+            let plan = self.cache.remove_plan_only(fp).expect("plan listed");
+            let mut replacements: Vec<InstanceEntry> = Vec::with_capacity(taken.len());
+            let mut ok = true;
+            for e in &taken {
+                match self.simulated_get_plan(&e.svector, e.opt_cost, engine) {
+                    Some((alt_fp, s_new)) => replacements.push(InstanceEntry {
+                        svector: e.svector.clone(),
+                        plan: alt_fp,
+                        opt_cost: e.opt_cost,
+                        sub_opt: s_new,
+                        usage: e.usage,
+                        violation_detected: e.violation_detected,
+                    }),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                for r in replacements {
+                    self.cache.push_instance(r);
+                }
+                self.stats.existing_plans_dropped += 1;
+            } else {
+                self.cache.insert_plan(plan);
+                for e in taken {
+                    self.cache.push_instance(e);
+                }
+            }
+        }
+    }
+
+    /// The simulated `getPlan` of Appendix F: find an alternative λ-optimal
+    /// plan for a stored instance (selectivity check, then cost check) and
+    /// return it with its *exact* sub-optimality at that instance (one extra
+    /// Recost against the instance's stored optimal cost).
+    fn simulated_get_plan(
+        &self,
+        sv: &SVector,
+        opt_cost: f64,
+        engine: &mut QueryEngine,
+    ) -> Option<(PlanFingerprint, f64)> {
+        let mut candidates: Vec<(f64, usize)> = Vec::new();
+        for (idx, e) in self.cache.instances().iter().enumerate() {
+            let (g, l) = sv.g_and_l(&e.svector);
+            let lambda_e = self.effective_lambda(e.opt_cost);
+            if g * l <= lambda_e / e.sub_opt {
+                let plan = Arc::clone(self.cache.plan(e.plan).expect("live plan"));
+                let s_new = (engine.recost(&plan, sv) / opt_cost).max(1.0);
+                return Some((e.plan, s_new));
+            }
+            if !e.violation_detected {
+                candidates.push((g * l, idx));
+            }
+        }
+        candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        candidates.truncate(self.config.max_recost_candidates);
+        for (_, idx) in candidates {
+            let e = &self.cache.instances()[idx];
+            let (_, l) = sv.g_and_l(&e.svector);
+            let plan = Arc::clone(self.cache.plan(e.plan).expect("live plan"));
+            let new_cost = engine.recost(&plan, sv);
+            let r = new_cost / e.opt_cost;
+            if r * l <= self.effective_lambda(e.opt_cost) / e.sub_opt {
+                return Some((e.plan, (new_cost / opt_cost).max(1.0)));
+            }
+        }
+        None
+    }
+}
+
+impl OnlinePqo for Scr {
+    fn name(&self) -> String {
+        let mut n = format!("SCR{}", self.config.lambda);
+        if let Some(d) = self.config.dynamic_lambda {
+            n = format!("SCR[{},{}]", d.lambda_min, d.lambda_max);
+        }
+        if let Some(k) = self.config.plan_budget {
+            n.push_str(&format!("-k{k}"));
+        }
+        n
+    }
+
+    fn get_plan(
+        &mut self,
+        _instance: &QueryInstance,
+        sv: &SVector,
+        engine: &mut QueryEngine,
+    ) -> PlanChoice {
+        self.get_plan_inner(sv, engine)
+    }
+
+    fn plans_cached(&self) -> usize {
+        self.cache.num_plans()
+    }
+
+    fn max_plans_cached(&self) -> usize {
+        self.cache.max_plans()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqo_optimizer::svector::{compute_svector, instance_for_target};
+    use pqo_optimizer::template::QueryTemplate;
+
+    fn fixture() -> Arc<QueryTemplate> {
+        // Reuse the optimizer's test fixture shape: build a small template
+        // over the TPC-H catalog directly here.
+        use pqo_optimizer::template::{RangeOp, TemplateBuilder};
+        let cat = pqo_catalog::schemas::tpch_skew();
+        let mut b = TemplateBuilder::new("scr_test");
+        let o = b.relation(cat.expect_table("orders"), "o");
+        let l = b.relation(cat.expect_table("lineitem"), "l");
+        b.join((o, "orders_pk"), (l, "orders_fk"));
+        b.param(o, "o_totalprice", RangeOp::Le);
+        b.param(l, "l_extendedprice", RangeOp::Le);
+        b.build()
+    }
+
+    fn run_point(scr: &mut Scr, engine: &mut QueryEngine, target: &[f64]) -> PlanChoice {
+        let t = Arc::clone(engine.template());
+        let inst = instance_for_target(&t, target);
+        let sv = compute_svector(&t, &inst);
+        scr.get_plan(&inst, &sv, engine)
+    }
+
+    #[test]
+    fn first_instance_always_optimizes() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(t);
+        let mut scr = Scr::new(2.0);
+        let c = run_point(&mut scr, &mut engine, &[0.1, 0.1]);
+        assert!(c.optimized);
+        assert_eq!(scr.plans_cached(), 1);
+        assert_eq!(scr.cache().num_instances(), 1);
+    }
+
+    #[test]
+    fn identical_instance_passes_selectivity_check() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(t);
+        let mut scr = Scr::new(1.1);
+        let _ = run_point(&mut scr, &mut engine, &[0.1, 0.1]);
+        let c = run_point(&mut scr, &mut engine, &[0.1, 0.1]);
+        assert!(!c.optimized, "G = L = 1 must pass the selectivity check");
+        assert_eq!(scr.stats().selectivity_hits, 1);
+        assert_eq!(engine.stats().optimize_calls, 1);
+    }
+
+    #[test]
+    fn nearby_instance_reuses_within_lambda() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(t);
+        let mut scr = Scr::new(2.0);
+        let _ = run_point(&mut scr, &mut engine, &[0.10, 0.10]);
+        // α = (1.2, 1.1) → G·L = 1.32 ≤ 2.
+        let c = run_point(&mut scr, &mut engine, &[0.12, 0.11]);
+        assert!(!c.optimized);
+    }
+
+    #[test]
+    fn distant_instance_triggers_optimizer() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(t);
+        let mut scr = Scr::new(1.1);
+        let _ = run_point(&mut scr, &mut engine, &[0.001, 0.001]);
+        let c = run_point(&mut scr, &mut engine, &[0.9, 0.9]);
+        assert!(c.optimized, "selectivity and cost growth is far beyond λ=1.1");
+        assert_eq!(scr.stats().optimizer_calls, 2);
+    }
+
+    #[test]
+    fn cost_check_extends_reuse_beyond_selectivity_region() {
+        // SeqScan-dominated region: cost barely changes with selectivity, so
+        // the exact ratio R stays near 1 even when G is large.
+        let t = fixture();
+        let mut engine = QueryEngine::new(t);
+        let mut scr = Scr::new(1.2);
+        let _ = run_point(&mut scr, &mut engine, &[0.55, 0.55]);
+        let c = run_point(&mut scr, &mut engine, &[0.8, 0.8]);
+        if !c.optimized {
+            assert!(scr.stats().cost_hits + scr.stats().selectivity_hits >= 1);
+        }
+        // Either way the cache never exceeds the plans actually needed.
+        assert!(scr.plans_cached() <= 2);
+    }
+
+    #[test]
+    fn redundancy_check_discards_near_duplicate_plans() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(t);
+        // λr = √4 = 2: generous redundancy threshold.
+        let mut scr = Scr::new(4.0);
+        let points: Vec<[f64; 2]> = (1..=20).map(|i| [0.04 * i as f64, 0.03 * i as f64]).collect();
+        for p in &points {
+            let _ = run_point(&mut scr, &mut engine, p);
+        }
+        let opt_calls = engine.stats().optimize_calls;
+        assert!(
+            (scr.plans_cached() as u64) < opt_calls || opt_calls <= 1,
+            "redundancy check should retain fewer plans ({}) than optimizer calls ({})",
+            scr.plans_cached(),
+            opt_calls,
+        );
+        assert!(scr.cache().check_invariants().is_ok());
+    }
+
+    #[test]
+    fn lambda_r_zero_stores_every_new_plan() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(t);
+        let mut cfg = ScrConfig::new(2.0);
+        cfg.lambda_r = 0.0;
+        let mut scr = Scr::with_config(cfg);
+        for i in 1..=10 {
+            let _ = run_point(&mut scr, &mut engine, &[0.09 * i as f64, 0.005]);
+        }
+        assert_eq!(scr.stats().redundant_plans_discarded, 0);
+    }
+
+    #[test]
+    fn plan_budget_is_enforced() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(t);
+        let mut cfg = ScrConfig::new(1.05);
+        cfg.lambda_r = 0.0; // store aggressively to stress the budget
+        cfg.plan_budget = Some(2);
+        let mut scr = Scr::with_config(cfg);
+        for i in 1..=12 {
+            let _ = run_point(&mut scr, &mut engine, &[0.08 * i as f64, 0.08 * i as f64]);
+            assert!(scr.plans_cached() <= 2, "budget violated: {}", scr.plans_cached());
+            assert!(scr.cache().check_invariants().is_ok());
+        }
+    }
+
+    #[test]
+    fn guarantee_holds_across_a_grid() {
+        // The λ-optimality contract, verified against the oracle on a grid.
+        // BCG violations are possible in principle (sort super-linearity) but
+        // must be rare; on this fixture they do not occur.
+        let t = fixture();
+        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let lambda = 2.0;
+        let mut scr = Scr::new(lambda);
+        let mut worst = 1.0f64;
+        for i in 0..12 {
+            for j in 0..12 {
+                let target = [0.002 + 0.08 * i as f64, 0.002 + 0.08 * j as f64];
+                let inst = instance_for_target(&t, &target);
+                let sv = compute_svector(&t, &inst);
+                let choice = scr.get_plan(&inst, &sv, &mut engine);
+                let opt = engine.optimize_untracked(&sv);
+                let so = engine.recost_untracked(&choice.plan, &sv) / opt.cost;
+                worst = worst.max(so);
+            }
+        }
+        assert!(worst <= lambda * 1.001, "MSO {worst} exceeds λ={lambda}");
+    }
+
+    #[test]
+    fn usage_counters_accumulate() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(t);
+        let mut scr = Scr::new(2.0);
+        let _ = run_point(&mut scr, &mut engine, &[0.2, 0.2]);
+        for _ in 0..5 {
+            let _ = run_point(&mut scr, &mut engine, &[0.2, 0.2]);
+        }
+        assert_eq!(scr.cache().instances()[0].usage, 6);
+    }
+
+    #[test]
+    fn dynamic_lambda_reports_name_and_relaxes_cheap_instances() {
+        let mut cfg = ScrConfig::new(1.1);
+        cfg.dynamic_lambda = Some(DynamicLambda { lambda_min: 1.1, lambda_max: 10.0 });
+        let scr = Scr::with_config(cfg);
+        assert_eq!(scr.name(), "SCR[1.1,10]");
+        // Before any optimization the mapping falls back to λmin.
+        assert_eq!(scr.effective_lambda(123.0), 1.1);
+    }
+
+    #[test]
+    fn existing_plan_sweep_keeps_cache_consistent() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(t);
+        let mut cfg = ScrConfig::new(3.0);
+        cfg.existing_plan_redundancy = true;
+        cfg.lambda_r = 0.0; // force storing, so the sweep has work to do
+        let mut scr = Scr::with_config(cfg);
+        for i in 1..=15 {
+            let _ = run_point(&mut scr, &mut engine, &[0.06 * i as f64, 0.06 * i as f64]);
+            assert!(scr.cache().check_invariants().is_ok());
+        }
+    }
+
+    #[test]
+    fn indexed_and_linear_paths_agree_on_decisions() {
+        // The spatial index must make the same optimize-or-reuse decisions
+        // as the linear scan (it sees the same candidate set, just without
+        // scanning): same numOpt, same guarantee.
+        let points: Vec<[f64; 2]> = (0..12)
+            .flat_map(|i| (0..12).map(move |j| [0.004 + 0.08 * i as f64, 0.004 + 0.08 * j as f64]))
+            .collect();
+
+        let run = |threshold: usize| {
+            let mut engine = QueryEngine::new(fixture());
+            let mut cfg = ScrConfig::new(2.0);
+            cfg.spatial_index_threshold = threshold;
+            let mut scr = Scr::with_config(cfg);
+            for p in &points {
+                let _ = run_point(&mut scr, &mut engine, p);
+            }
+            (engine.stats().optimize_calls, scr.plans_cached())
+        };
+        let linear = run(usize::MAX);
+        let indexed = run(0);
+        assert_eq!(linear.0, indexed.0, "optimizer-call counts must match");
+        assert_eq!(linear.1, indexed.1, "plan-cache sizes must match");
+    }
+
+    #[test]
+    fn indexed_path_respects_guarantee() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let mut cfg = ScrConfig::new(2.0);
+        cfg.spatial_index_threshold = 0; // always use the index
+        let mut scr = Scr::with_config(cfg);
+        let mut worst = 1.0f64;
+        for i in 0..10 {
+            for j in 0..10 {
+                let target = [0.01 + 0.09 * i as f64, 0.01 + 0.09 * j as f64];
+                let inst = instance_for_target(&t, &target);
+                let sv = compute_svector(&t, &inst);
+                let choice = scr.get_plan(&inst, &sv, &mut engine);
+                let opt = engine.optimize_untracked(&sv);
+                worst = worst.max(engine.recost_untracked(&choice.plan, &sv) / opt.cost);
+            }
+        }
+        assert!(worst <= 2.0 * 1.001, "indexed path broke λ-optimality: {worst}");
+    }
+
+    #[test]
+    fn candidate_orders_all_preserve_guarantee() {
+        let t = fixture();
+        for order in [CandidateOrder::GlAscending, CandidateOrder::UsageDescending, CandidateOrder::AreaDescending] {
+            let mut engine = QueryEngine::new(Arc::clone(&t));
+            let mut cfg = ScrConfig::new(1.5);
+            cfg.candidate_order = order;
+            cfg.spatial_index_threshold = usize::MAX; // ordering applies to the linear path
+            let mut scr = Scr::with_config(cfg);
+            let mut worst = 1.0f64;
+            for i in 0..8 {
+                for j in 0..8 {
+                    let target = [0.02 + 0.12 * i as f64, 0.02 + 0.12 * j as f64];
+                    let inst = instance_for_target(&t, &target);
+                    let sv = compute_svector(&t, &inst);
+                    let choice = scr.get_plan(&inst, &sv, &mut engine);
+                    let opt = engine.optimize_untracked(&sv);
+                    worst = worst.max(engine.recost_untracked(&choice.plan, &sv) / opt.cost);
+                }
+            }
+            assert!(worst <= 1.5 * 1.001, "{order:?} broke the bound: {worst}");
+        }
+    }
+
+    #[test]
+    fn max_recost_candidates_caps_recosts() {
+        let t = fixture();
+        let mut engine = QueryEngine::new(t);
+        let mut cfg = ScrConfig::new(1.01); // tight λ forces many cost checks
+        cfg.max_recost_candidates = 3;
+        let mut scr = Scr::with_config(cfg);
+        for i in 1..=30 {
+            let _ = run_point(&mut scr, &mut engine, &[(0.03 * i as f64).min(1.0), 0.5]);
+        }
+        assert!(scr.stats().max_recosts_per_getplan <= 3);
+    }
+}

@@ -1,0 +1,354 @@
+//! Spatial index over the instance list (paper Section 6.2).
+//!
+//! *"...the overheads can also be improved by exploiting [the] idea of
+//! checking instances with smaller GL values first. This can be achieved by
+//! using a spatial index that can provide such instances without scanning
+//! the entire list."*
+//!
+//! The key observation: for selectivity vectors `a`, `b` with per-dimension
+//! ratios `αi = ai/bi`,
+//!
+//! ```text
+//! G·L = ∏_{αi>1} αi · ∏_{αi<1} 1/αi = exp( Σi |ln ai − ln bi| )
+//! ```
+//!
+//! so **G·L is the exponential of the L1 distance in log-selectivity
+//! space**. "Smallest G·L first" is exactly a nearest-neighbour walk under
+//! the L1 metric, and "selectivity check can pass" is an L1 ball of radius
+//! `ln(λ/S)`. This module provides a k-d tree over log-selectivity points
+//! with incremental insertion (amortized by rebuilding when the pending
+//! buffer outgrows the tree) and best-first nearest-neighbour traversal.
+
+/// A point in log-selectivity space with its instance-list index.
+#[derive(Debug, Clone)]
+struct Point {
+    coords: Vec<f64>,
+    item: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    point: Point,
+    axis: usize,
+    left: Option<Box<Node>>,
+    right: Option<Box<Node>>,
+}
+
+/// k-d tree over log-selectivity vectors, mapping to instance-list indices.
+///
+/// Insertions are buffered; the tree is rebuilt (perfectly balanced) when
+/// the buffer exceeds the tree size, giving amortized O(log n) structure
+/// without incremental rebalancing. Queries merge the tree walk with a
+/// linear scan of the buffer.
+#[derive(Debug, Default)]
+pub struct LogSelIndex {
+    dims: usize,
+    root: Option<Box<Node>>,
+    tree_size: usize,
+    pending: Vec<Point>,
+}
+
+impl LogSelIndex {
+    /// Empty index over `dims`-dimensional selectivity vectors.
+    pub fn new(dims: usize) -> Self {
+        LogSelIndex { dims, root: None, tree_size: 0, pending: Vec::new() }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.tree_size + self.pending.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Map a selectivity vector to log space.
+    pub fn to_log(selectivities: &[f64]) -> Vec<f64> {
+        selectivities.iter().map(|&s| s.max(f64::MIN_POSITIVE).ln()).collect()
+    }
+
+    /// Insert an instance-list index at the given selectivities.
+    pub fn insert(&mut self, selectivities: &[f64], item: usize) {
+        assert_eq!(selectivities.len(), self.dims, "dimension mismatch");
+        self.pending.push(Point { coords: Self::to_log(selectivities), item });
+        if self.pending.len() > self.tree_size.max(16) {
+            self.rebuild();
+        }
+    }
+
+    /// Remove every point whose item index fails `keep`, remapping the
+    /// survivors with `remap` (the instance list compacts on plan drops).
+    pub fn retain_remap(&mut self, keep: impl Fn(usize) -> bool, remap: impl Fn(usize) -> usize) {
+        let mut points = Vec::with_capacity(self.len());
+        collect(self.root.take(), &mut points);
+        points.append(&mut self.pending);
+        points.retain(|p| keep(p.item));
+        for p in &mut points {
+            p.item = remap(p.item);
+        }
+        self.tree_size = points.len();
+        self.root = build(points, 0, self.dims);
+    }
+
+    fn rebuild(&mut self) {
+        let mut points = Vec::with_capacity(self.len());
+        collect(self.root.take(), &mut points);
+        points.append(&mut self.pending);
+        self.tree_size = points.len();
+        self.root = build(points, 0, self.dims);
+    }
+
+    /// All items within L1 distance `radius` of `query` (log-space), as
+    /// `(distance, item)` sorted by ascending distance.
+    pub fn within(&self, query: &[f64], radius: f64) -> Vec<(f64, usize)> {
+        let q = Self::to_log(query);
+        let mut out = Vec::new();
+        range_walk(self.root.as_deref(), &q, radius, &mut out);
+        for p in &self.pending {
+            let d = l1(&p.coords, &q);
+            if d <= radius {
+                out.push((d, p.item));
+            }
+        }
+        out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        out
+    }
+
+    /// The `k` nearest items to `query` under L1 distance, ascending.
+    pub fn nearest(&self, query: &[f64], k: usize) -> Vec<(f64, usize)> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let q = Self::to_log(query);
+        // Bounded max-heap of the best k.
+        let mut heap: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        let mut push = |d: f64, item: usize, heap: &mut Vec<(f64, usize)>| {
+            heap.push((d, item));
+            heap.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            heap.truncate(k);
+        };
+        nn_walk(self.root.as_deref(), &q, k, &mut heap, &mut push);
+        for p in &self.pending {
+            push(l1(&p.coords, &q), p.item, &mut heap);
+        }
+        heap
+    }
+}
+
+fn l1(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+fn collect(node: Option<Box<Node>>, out: &mut Vec<Point>) {
+    if let Some(n) = node {
+        out.push(n.point);
+        collect(n.left, out);
+        collect(n.right, out);
+    }
+}
+
+fn build(mut points: Vec<Point>, depth: usize, dims: usize) -> Option<Box<Node>> {
+    if points.is_empty() {
+        return None;
+    }
+    let axis = if dims == 0 { 0 } else { depth % dims };
+    points.sort_by(|a, b| a.coords[axis].partial_cmp(&b.coords[axis]).unwrap());
+    let mid = points.len() / 2;
+    let right: Vec<Point> = points.split_off(mid + 1);
+    let point = points.pop().expect("mid element");
+    Some(Box::new(Node {
+        point,
+        axis,
+        left: build(points, depth + 1, dims),
+        right: build(right, depth + 1, dims),
+    }))
+}
+
+fn range_walk(node: Option<&Node>, q: &[f64], radius: f64, out: &mut Vec<(f64, usize)>) {
+    let Some(n) = node else { return };
+    let d = l1(&n.point.coords, q);
+    if d <= radius {
+        out.push((d, n.point.item));
+    }
+    let diff = q[n.axis] - n.point.coords[n.axis];
+    let (near, far) = if diff <= 0.0 {
+        (n.left.as_deref(), n.right.as_deref())
+    } else {
+        (n.right.as_deref(), n.left.as_deref())
+    };
+    range_walk(near, q, radius, out);
+    // The splitting plane's L1 contribution alone bounds the far side.
+    if diff.abs() <= radius {
+        range_walk(far, q, radius, out);
+    }
+}
+
+fn nn_walk(
+    node: Option<&Node>,
+    q: &[f64],
+    k: usize,
+    heap: &mut Vec<(f64, usize)>,
+    push: &mut impl FnMut(f64, usize, &mut Vec<(f64, usize)>),
+) {
+    let Some(n) = node else { return };
+    push(l1(&n.point.coords, q), n.point.item, heap);
+    let diff = q[n.axis] - n.point.coords[n.axis];
+    let (near, far) = if diff <= 0.0 {
+        (n.left.as_deref(), n.right.as_deref())
+    } else {
+        (n.right.as_deref(), n.left.as_deref())
+    };
+    nn_walk(near, q, k, heap, push);
+    let worst = if heap.len() < k { f64::INFINITY } else { heap[heap.len() - 1].0 };
+    if diff.abs() <= worst {
+        nn_walk(far, q, k, heap, push);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn brute_nearest(points: &[Vec<f64>], q: &[f64], k: usize) -> Vec<(f64, usize)> {
+        let ql = LogSelIndex::to_log(q);
+        let mut d: Vec<(f64, usize)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (l1(&LogSelIndex::to_log(p), &ql), i))
+            .collect();
+        d.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        d.truncate(k);
+        d
+    }
+
+    #[test]
+    fn insert_and_count() {
+        let mut idx = LogSelIndex::new(2);
+        assert!(idx.is_empty());
+        for i in 0..100 {
+            idx.insert(&[0.01 + i as f64 * 0.009, 0.5], i);
+        }
+        assert_eq!(idx.len(), 100);
+    }
+
+    #[test]
+    fn within_radius_matches_gl_bound() {
+        // within(q, ln λ) must return exactly the entries with G·L ≤ λ.
+        let mut idx = LogSelIndex::new(2);
+        let points = [[0.1, 0.1], [0.12, 0.1], [0.4, 0.1], [0.1, 0.45], [0.105, 0.098]];
+        for (i, p) in points.iter().enumerate() {
+            idx.insert(p, i);
+        }
+        let q = [0.1, 0.1];
+        let lambda: f64 = 1.5;
+        let hits = idx.within(&q, lambda.ln());
+        let expect: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| {
+                let gl: f64 = p
+                    .iter()
+                    .zip(&q)
+                    .map(|(a, b)| if a > b { a / b } else { b / a })
+                    .product();
+                gl <= lambda
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let got: Vec<usize> = hits.iter().map(|&(_, i)| i).collect();
+        let mut got_sorted = got.clone();
+        got_sorted.sort();
+        assert_eq!(got_sorted, expect);
+        // Ascending distance = ascending G·L.
+        for w in hits.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn nearest_returns_k_ascending() {
+        let mut idx = LogSelIndex::new(3);
+        let pts: Vec<Vec<f64>> =
+            (0..50).map(|i| vec![0.01 * (i + 1) as f64, 0.3, 0.02 * (i + 1) as f64]).collect();
+        for (i, p) in pts.iter().enumerate() {
+            idx.insert(p, i);
+        }
+        let got = idx.nearest(&[0.25, 0.3, 0.5], 5);
+        assert_eq!(got.len(), 5);
+        let want = brute_nearest(&pts, &[0.25, 0.3, 0.5], 5);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn retain_remap_compacts_items() {
+        let mut idx = LogSelIndex::new(1);
+        for i in 0..10 {
+            idx.insert(&[0.05 * (i + 1) as f64], i);
+        }
+        // Drop even items; odd item j becomes (j-1)/2.
+        idx.retain_remap(|i| i % 2 == 1, |i| (i - 1) / 2);
+        assert_eq!(idx.len(), 5);
+        let all = idx.nearest(&[0.5], 10);
+        let mut items: Vec<usize> = all.iter().map(|&(_, i)| i).collect();
+        items.sort();
+        assert_eq!(items, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_k_and_empty_index() {
+        let idx = LogSelIndex::new(2);
+        assert!(idx.nearest(&[0.1, 0.1], 3).is_empty());
+        let mut idx = LogSelIndex::new(2);
+        idx.insert(&[0.1, 0.1], 0);
+        assert!(idx.nearest(&[0.1, 0.1], 0).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn nearest_matches_brute_force(
+            pts in proptest::collection::vec(proptest::collection::vec(0.001f64..1.0, 3), 1..120),
+            q in proptest::collection::vec(0.001f64..1.0, 3),
+            k in 1usize..8,
+        ) {
+            let mut idx = LogSelIndex::new(3);
+            for (i, p) in pts.iter().enumerate() {
+                idx.insert(p, i);
+            }
+            let got = idx.nearest(&q, k);
+            let want = brute_nearest(&pts, &q, k);
+            prop_assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                // Items may differ on exact ties; distances must agree.
+                prop_assert!((g.0 - w.0).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn within_matches_brute_force(
+            pts in proptest::collection::vec(proptest::collection::vec(0.001f64..1.0, 2), 1..120),
+            q in proptest::collection::vec(0.001f64..1.0, 2),
+            radius in 0.0f64..3.0,
+        ) {
+            let mut idx = LogSelIndex::new(2);
+            for (i, p) in pts.iter().enumerate() {
+                idx.insert(p, i);
+            }
+            let got: Vec<usize> = {
+                let mut v: Vec<usize> = idx.within(&q, radius).iter().map(|&(_, i)| i).collect();
+                v.sort();
+                v
+            };
+            let ql = LogSelIndex::to_log(&q);
+            let want: Vec<usize> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| l1(&LogSelIndex::to_log(p), &ql) <= radius)
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

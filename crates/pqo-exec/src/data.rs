@@ -1,0 +1,291 @@
+//! Scaled synthetic data with PK/FK consistency.
+//!
+//! Each catalog table is materialized at `full_rows / divisor` rows (the
+//! catalogs describe multi-gigabyte databases; execution experiments need
+//! laptop-scale data). Consistency rules:
+//!
+//! * a `<table>_pk` column holds `row_index · stride` where
+//!   `stride = full_rows / scaled_rows` — unique, uniform over the full
+//!   declared domain, exactly representable;
+//! * a `<target>_fk` column samples its declared distribution over the
+//!   target's full domain and snaps to the target's PK grid, so every FK
+//!   value matches exactly one PK;
+//! * every other column samples its declared distribution — the same
+//!   distributions the optimizer's histograms were built from, so
+//!   estimated and actual selectivities of parameterized predicates agree
+//!   (up to sampling noise).
+//!
+//! Indexed columns get a sorted `(value, row)` index supporting range
+//! prefixes/suffixes (IndexSeek), full ordered scans (SortedIndexScan) and
+//! exact-match lookups (index nested-loops joins).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use pqo_catalog::table::TableDef;
+use pqo_catalog::Catalog;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Default downscale factor.
+pub const DEFAULT_DIVISOR: u64 = 1000;
+
+/// Minimum scaled row count per table.
+pub const MIN_ROWS: usize = 20;
+
+/// Maximum scaled row count per table (keeps 10⁸-row fact tables tractable).
+pub const MAX_ROWS: usize = 200_000;
+
+/// One materialized table.
+#[derive(Debug)]
+pub struct ScaledTable {
+    /// Table name.
+    pub name: String,
+    /// Declared (full-scale) row count.
+    pub full_rows: u64,
+    /// Materialized row count.
+    pub rows: usize,
+    /// PK spacing: `full_rows / rows`.
+    pub stride: f64,
+    /// Column-major data: `columns[c][row]`.
+    pub columns: Vec<Vec<f64>>,
+    /// Per-column sorted `(value, row)` index; `None` for unindexed columns.
+    pub indexes: Vec<Option<Vec<(f64, u32)>>>,
+}
+
+impl ScaledTable {
+    fn build(def: &Arc<TableDef>, divisor: u64, seed: u64, pk_grid: &BTreeMap<String, (f64, usize)>) -> Self {
+        let rows = ((def.row_count / divisor.max(1)) as usize)
+            .clamp(MIN_ROWS, MAX_ROWS)
+            .min((def.row_count as usize).max(1));
+        let stride = def.row_count as f64 / rows as f64;
+        let mut columns = Vec::with_capacity(def.columns.len());
+        for (ci, col) in def.columns.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(seed ^ (ci as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let data: Vec<f64> = if col.name == format!("{}_pk", def.name) {
+                (0..rows).map(|r| r as f64 * stride).collect()
+            } else if let Some(target) = col.name.strip_suffix("_fk") {
+                let &(t_stride, t_rows) = pk_grid
+                    .get(target)
+                    .unwrap_or_else(|| panic!("fk {} references unmaterialized table", col.name));
+                (0..rows)
+                    .map(|_| {
+                        let v = col.distribution.sample(&mut rng);
+                        let idx = ((v / t_stride).floor() as usize).min(t_rows - 1);
+                        idx as f64 * t_stride
+                    })
+                    .collect()
+            } else {
+                (0..rows).map(|_| col.distribution.sample(&mut rng)).collect()
+            };
+            columns.push(data);
+        }
+        let indexes = def
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(ci, col)| {
+                col.indexed.then(|| {
+                    let mut ix: Vec<(f64, u32)> =
+                        columns[ci].iter().enumerate().map(|(r, &v)| (v, r as u32)).collect();
+                    ix.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+                    ix
+                })
+            })
+            .collect();
+        ScaledTable { name: def.name.clone(), full_rows: def.row_count, rows, stride, columns, indexes }
+    }
+
+    /// Value of column `c` at row `r`.
+    #[inline]
+    pub fn value(&self, c: usize, r: u32) -> f64 {
+        self.columns[c][r as usize]
+    }
+
+    /// Rows with `columns[c] <= v` via the index (prefix of the sorted
+    /// index). Panics if the column is unindexed.
+    pub fn index_range_le(&self, c: usize, v: f64) -> &[(f64, u32)] {
+        let ix = self.indexes[c].as_ref().expect("index required");
+        let end = ix.partition_point(|&(x, _)| x <= v);
+        &ix[..end]
+    }
+
+    /// Rows with `columns[c] >= v` via the index (suffix).
+    pub fn index_range_ge(&self, c: usize, v: f64) -> &[(f64, u32)] {
+        let ix = self.indexes[c].as_ref().expect("index required");
+        let start = ix.partition_point(|&(x, _)| x < v);
+        &ix[start..]
+    }
+
+    /// Rows with `columns[c] == v` exactly via the index.
+    pub fn index_lookup_eq(&self, c: usize, v: f64) -> &[(f64, u32)] {
+        let ix = self.indexes[c].as_ref().expect("index required");
+        let start = ix.partition_point(|&(x, _)| x < v);
+        let end = ix.partition_point(|&(x, _)| x <= v);
+        &ix[start..end]
+    }
+
+    /// Full ordered scan of an indexed column.
+    pub fn index_full(&self, c: usize) -> &[(f64, u32)] {
+        self.indexes[c].as_ref().expect("index required")
+    }
+}
+
+/// A materialized database: one scaled table per catalog table.
+#[derive(Debug)]
+pub struct Database {
+    tables: BTreeMap<String, ScaledTable>,
+    divisor: u64,
+}
+
+impl Database {
+    /// Materialize `catalog` at `1/divisor` scale, deterministically per
+    /// `seed`.
+    pub fn build(catalog: &Catalog, divisor: u64, seed: u64) -> Self {
+        // First pass: every table's PK grid, so FK columns can snap.
+        let pk_grid: BTreeMap<String, (f64, usize)> = catalog
+            .tables()
+            .map(|t| {
+                let rows = ((t.row_count / divisor.max(1)) as usize)
+                    .clamp(MIN_ROWS, MAX_ROWS)
+                    .min((t.row_count as usize).max(1));
+                (t.name.clone(), (t.row_count as f64 / rows as f64, rows))
+            })
+            .collect();
+        let tables = catalog
+            .tables()
+            .map(|t| {
+                let tseed = seed ^ fnv(&t.name);
+                (t.name.clone(), ScaledTable::build(t, divisor, tseed, &pk_grid))
+            })
+            .collect();
+        Database { tables, divisor }
+    }
+
+    /// Look up a materialized table.
+    pub fn table(&self, name: &str) -> &ScaledTable {
+        self.tables.get(name).unwrap_or_else(|| panic!("table `{name}` not materialized"))
+    }
+
+    /// The downscale factor the database was built with.
+    pub fn divisor(&self) -> u64 {
+        self.divisor
+    }
+
+    /// Total materialized rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(|t| t.rows).sum()
+    }
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqo_catalog::schemas;
+
+    fn db() -> Database {
+        Database::build(&schemas::tpch_skew(), 1000, 7)
+    }
+
+    #[test]
+    fn scales_row_counts() {
+        let db = db();
+        assert_eq!(db.table("lineitem").rows, 6000);
+        assert_eq!(db.table("orders").rows, 1500);
+        assert_eq!(db.table("region").rows, 5.max(MIN_ROWS).min(5)); // tiny table keeps its 5 rows
+        assert!(db.total_rows() > 8000);
+    }
+
+    #[test]
+    fn pk_columns_are_unique_and_gridded() {
+        let db = db();
+        let t = db.table("orders");
+        let pk_col = 0; // orders_pk is declared first
+        let mut seen = std::collections::BTreeSet::new();
+        for r in 0..t.rows {
+            let v = t.columns[pk_col][r];
+            assert_eq!(v, r as f64 * t.stride);
+            assert!(seen.insert(v.to_bits()));
+        }
+    }
+
+    #[test]
+    fn fk_values_hit_existing_pks() {
+        let db = db();
+        let li = db.table("lineitem");
+        let orders = db.table("orders");
+        // lineitem.orders_fk is column index 1 (after lineitem_pk).
+        let pks: std::collections::BTreeSet<u64> =
+            orders.columns[0].iter().map(|v| v.to_bits()).collect();
+        for r in 0..li.rows {
+            let fk = li.columns[1][r];
+            assert!(pks.contains(&fk.to_bits()), "dangling fk {fk} at row {r}");
+        }
+    }
+
+    #[test]
+    fn index_ranges_agree_with_scan() {
+        let db = db();
+        let li = db.table("lineitem");
+        // l_shipdate is indexed; find its column position.
+        let cat = schemas::tpch_skew();
+        let c = cat.expect_table("lineitem").column_index("l_shipdate").unwrap();
+        let v = 1200.0;
+        let via_index = li.index_range_le(c, v).len();
+        let via_scan = li.columns[c].iter().filter(|&&x| x <= v).count();
+        assert_eq!(via_index, via_scan);
+        let ge_index = li.index_range_ge(c, v).len();
+        let ge_scan = li.columns[c].iter().filter(|&&x| x >= v).count();
+        assert_eq!(ge_index, ge_scan);
+    }
+
+    #[test]
+    fn index_eq_lookup_finds_all_matches() {
+        let db = db();
+        let li = db.table("lineitem");
+        let orders_fk_col = 1;
+        assert!(li.indexes[orders_fk_col].is_some(), "orders_fk is indexed");
+        let probe = li.columns[orders_fk_col][17];
+        let via_index = li.index_lookup_eq(orders_fk_col, probe).len();
+        let via_scan = li.columns[orders_fk_col].iter().filter(|&&x| x == probe).count();
+        assert_eq!(via_index, via_scan);
+        assert!(via_index >= 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Database::build(&schemas::tpch_skew(), 1000, 7);
+        let b = Database::build(&schemas::tpch_skew(), 1000, 7);
+        assert_eq!(a.table("lineitem").columns[3], b.table("lineitem").columns[3]);
+        let c = Database::build(&schemas::tpch_skew(), 1000, 8);
+        assert_ne!(a.table("lineitem").columns[3], c.table("lineitem").columns[3]);
+    }
+
+    #[test]
+    fn selectivities_roughly_match_histograms() {
+        let db = db();
+        let cat = schemas::tpch_skew();
+        let li_def = cat.expect_table("lineitem");
+        let c = li_def.column_index("l_extendedprice").unwrap();
+        let hist = &li_def.columns[c].stats.histogram;
+        let li = db.table("lineitem");
+        for target in [0.1, 0.4, 0.8] {
+            let v = hist.quantile(target);
+            let actual =
+                li.columns[c].iter().filter(|&&x| x <= v).count() as f64 / li.rows as f64;
+            assert!(
+                (actual - target).abs() < 0.05,
+                "target {target} actual {actual} for value {v}"
+            );
+        }
+    }
+}

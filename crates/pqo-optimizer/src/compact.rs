@@ -1,0 +1,413 @@
+//! Compact plan representation — the Appendix B trade-off.
+//!
+//! The paper stores a `shrunkenMemo` per cached plan to support Recost and
+//! notes: *"there can be alternative implementations of Recost that require
+//! lesser memory overheads at the cost of increased time overheads for each
+//! Recost call."* This module is that alternative: a postfix byte encoding
+//! of the plan tree (a few bytes per operator instead of a pointer-rich
+//! tree) that can be re-costed by a single stack-machine pass over the
+//! bytes, or decoded back into a [`Plan`] when the executor needs it.
+//!
+//! Invariant (tested across the corpus):
+//! `recost_compact(encode(P), q) == recost(P, q)` exactly, and
+//! `decode(encode(P)) == P` including the fingerprint.
+
+use crate::cost::CostModel;
+use crate::plan::{Plan, PlanNode, PlanOp};
+use crate::recost::BaseDerivation;
+use crate::svector::SVector;
+use crate::template::QueryTemplate;
+
+/// Operator tags of the byte encoding.
+mod tag {
+    pub const SEQ_SCAN: u8 = 0;
+    pub const INDEX_SEEK: u8 = 1;
+    pub const SORTED_INDEX_SCAN: u8 = 2;
+    pub const HASH_JOIN: u8 = 3;
+    pub const MERGE_JOIN: u8 = 4;
+    pub const INDEX_NLJ: u8 = 5;
+    pub const HASH_AGG: u8 = 6;
+    pub const STREAM_AGG: u8 = 7;
+    pub const SORT: u8 = 8;
+}
+
+/// A plan serialized as postfix bytes. A handful of bytes per operator —
+/// compare [`Plan`]'s boxed tree (see [`CompactPlan::bytes_len`] vs
+/// [`estimated_tree_bytes`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactPlan {
+    bytes: Box<[u8]>,
+}
+
+/// Rough heap footprint of a plan's tree representation (what the plan
+/// cache pays per plan, Section 6.1's "few hundred KBs per plan" in SQL
+/// Server terms; far smaller here, but the ratio is what matters).
+pub fn estimated_tree_bytes(plan: &Plan) -> usize {
+    fn node_bytes(n: &PlanNode) -> usize {
+        let own = std::mem::size_of::<PlanNode>()
+            + match &n.op {
+                PlanOp::HashJoin { edges, .. }
+                | PlanOp::MergeJoin { edges, .. }
+                | PlanOp::IndexNlj { edges, .. } => edges.capacity() * std::mem::size_of::<usize>(),
+                _ => 0,
+            };
+        own + n.children.iter().map(node_bytes).sum::<usize>()
+    }
+    std::mem::size_of::<Plan>() + node_bytes(plan.root())
+}
+
+impl CompactPlan {
+    /// Serialize a plan.
+    pub fn encode(plan: &Plan) -> Self {
+        let mut bytes = Vec::with_capacity(plan.size() * 4);
+        encode_node(plan.root(), &mut bytes);
+        CompactPlan { bytes: bytes.into_boxed_slice() }
+    }
+
+    /// Size of the encoding in bytes.
+    pub fn bytes_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Decode back into a full [`Plan`] (identical fingerprint).
+    ///
+    /// # Panics
+    /// Panics on a corrupt encoding (see [`CompactPlan::checked_decode`]
+    /// for the fallible variant used by persistence).
+    pub fn decode(&self) -> Plan {
+        self.checked_decode().unwrap_or_else(|e| panic!("corrupt compact plan: {e}"))
+    }
+
+    /// Raw encoded bytes (persistence writes these verbatim).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Wrap raw bytes read back from storage (validated on decode).
+    pub fn from_bytes(bytes: Box<[u8]>) -> Self {
+        CompactPlan { bytes }
+    }
+
+    /// Fallible decode: every read is bounds-checked and arity-checked, so
+    /// corrupt or truncated input produces an error instead of a panic.
+    pub fn checked_decode(&self) -> Result<Plan, String> {
+        let b = &self.bytes;
+        let mut stack: Vec<PlanNode> = Vec::new();
+        let mut i = 0usize;
+        fn byte(b: &[u8], i: &mut usize) -> Result<u8, String> {
+            let v = *b.get(*i).ok_or_else(|| format!("truncated at offset {i}", i = *i))?;
+            *i += 1;
+            Ok(v)
+        }
+        fn edges(b: &[u8], i: &mut usize) -> Result<Vec<usize>, String> {
+            let n = byte(b, i)? as usize;
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(byte(b, i)? as usize);
+            }
+            Ok(out)
+        }
+        fn pop(stack: &mut Vec<PlanNode>, what: &str) -> Result<PlanNode, String> {
+            stack.pop().ok_or_else(|| format!("missing {what} operand"))
+        }
+        while i < b.len() {
+            let t = byte(b, &mut i)?;
+            match t {
+                tag::SEQ_SCAN => {
+                    let rel = byte(b, &mut i)? as usize;
+                    stack.push(PlanNode::leaf(PlanOp::SeqScan { relation: rel }));
+                }
+                tag::INDEX_SEEK => {
+                    let rel = byte(b, &mut i)? as usize;
+                    let pred = byte(b, &mut i)? as usize;
+                    stack.push(PlanNode::leaf(PlanOp::IndexSeek { relation: rel, seek_pred: pred }));
+                }
+                tag::SORTED_INDEX_SCAN => {
+                    let rel = byte(b, &mut i)? as usize;
+                    let col = byte(b, &mut i)? as usize;
+                    stack.push(PlanNode::leaf(PlanOp::SortedIndexScan { relation: rel, column: col }));
+                }
+                tag::HASH_JOIN => {
+                    let build_left = byte(b, &mut i)? != 0;
+                    let edges = edges(b, &mut i)?;
+                    let r = pop(&mut stack, "hash-join rhs")?;
+                    let l = pop(&mut stack, "hash-join lhs")?;
+                    stack.push(PlanNode::internal(PlanOp::HashJoin { build_left, edges }, vec![l, r]));
+                }
+                tag::MERGE_JOIN => {
+                    let merge_edge = byte(b, &mut i)? as usize;
+                    let edges = edges(b, &mut i)?;
+                    let r = pop(&mut stack, "merge-join rhs")?;
+                    let l = pop(&mut stack, "merge-join lhs")?;
+                    stack.push(PlanNode::internal(PlanOp::MergeJoin { merge_edge, edges }, vec![l, r]));
+                }
+                tag::INDEX_NLJ => {
+                    let inner = byte(b, &mut i)? as usize;
+                    let seek_edge = byte(b, &mut i)? as usize;
+                    let edges = edges(b, &mut i)?;
+                    let outer = pop(&mut stack, "index-nlj outer")?;
+                    stack.push(PlanNode::internal(
+                        PlanOp::IndexNlj { inner, seek_edge, edges },
+                        vec![outer],
+                    ));
+                }
+                tag::HASH_AGG | tag::STREAM_AGG => {
+                    let child = pop(&mut stack, "aggregate input")?;
+                    let op = if t == tag::HASH_AGG { PlanOp::HashAggregate } else { PlanOp::StreamAggregate };
+                    stack.push(PlanNode::internal(op, vec![child]));
+                }
+                tag::SORT => {
+                    let key = if byte(b, &mut i)? != 0 {
+                        let r = byte(b, &mut i)? as usize;
+                        let c = byte(b, &mut i)? as usize;
+                        Some((r, c))
+                    } else {
+                        None
+                    };
+                    let child = pop(&mut stack, "sort input")?;
+                    stack.push(PlanNode::internal(PlanOp::Sort { key }, vec![child]));
+                }
+                other => return Err(format!("unknown tag {other}")),
+            }
+        }
+        if stack.len() != 1 {
+            return Err(format!("{} roots after decode", stack.len()));
+        }
+        Ok(Plan::new(stack.pop().unwrap()))
+    }
+}
+
+fn encode_node(n: &PlanNode, out: &mut Vec<u8>) {
+    for c in &n.children {
+        encode_node(c, out);
+    }
+    let push_edges = |edges: &[usize], out: &mut Vec<u8>| {
+        out.push(u8::try_from(edges.len()).expect("≤255 edges"));
+        for &e in edges {
+            out.push(u8::try_from(e).expect("edge index fits u8"));
+        }
+    };
+    match &n.op {
+        PlanOp::SeqScan { relation } => {
+            out.push(tag::SEQ_SCAN);
+            out.push(*relation as u8);
+        }
+        PlanOp::IndexSeek { relation, seek_pred } => {
+            out.push(tag::INDEX_SEEK);
+            out.push(*relation as u8);
+            out.push(*seek_pred as u8);
+        }
+        PlanOp::SortedIndexScan { relation, column } => {
+            out.push(tag::SORTED_INDEX_SCAN);
+            out.push(*relation as u8);
+            out.push(u8::try_from(*column).expect("column index fits u8"));
+        }
+        PlanOp::HashJoin { build_left, edges } => {
+            out.push(tag::HASH_JOIN);
+            out.push(u8::from(*build_left));
+            push_edges(edges, out);
+        }
+        PlanOp::MergeJoin { merge_edge, edges } => {
+            out.push(tag::MERGE_JOIN);
+            out.push(u8::try_from(*merge_edge).expect("edge index fits u8"));
+            push_edges(edges, out);
+        }
+        PlanOp::IndexNlj { inner, seek_edge, edges } => {
+            out.push(tag::INDEX_NLJ);
+            out.push(*inner as u8);
+            out.push(u8::try_from(*seek_edge).expect("edge index fits u8"));
+            push_edges(edges, out);
+        }
+        PlanOp::HashAggregate => out.push(tag::HASH_AGG),
+        PlanOp::StreamAggregate => out.push(tag::STREAM_AGG),
+        PlanOp::Sort { key } => {
+            out.push(tag::SORT);
+            match key {
+                Some((r, c)) => {
+                    out.push(1);
+                    out.push(*r as u8);
+                    out.push(u8::try_from(*c).expect("column fits u8"));
+                }
+                None => out.push(0),
+            }
+        }
+    }
+}
+
+/// Re-cost a compact plan without materializing the tree: one pass over the
+/// postfix bytes with a `(rows, cost)` stack. Same formulas as
+/// [`crate::recost::recost`] — the two agree exactly.
+pub fn recost_compact(
+    template: &QueryTemplate,
+    model: &CostModel,
+    plan: &CompactPlan,
+    sv: &SVector,
+) -> f64 {
+    let base = BaseDerivation::new(template, sv);
+    let b = &plan.bytes;
+    let mut stack: Vec<(f64, f64)> = Vec::with_capacity(8);
+    let mut i = 0usize;
+    let edge_sel = |i: &mut usize| -> (f64, usize) {
+        let n = b[*i] as usize;
+        *i += 1;
+        let mut sel = 1.0;
+        for k in 0..n {
+            sel *= template.join_edges[b[*i + k] as usize].selectivity;
+        }
+        *i += n;
+        (sel, n)
+    };
+    while i < b.len() {
+        let t = b[i];
+        i += 1;
+        match t {
+            tag::SEQ_SCAN => {
+                let rel = b[i] as usize;
+                i += 1;
+                let tb = &template.relations[rel].table;
+                stack.push((
+                    base.base_rows[rel],
+                    model.seq_scan(tb.page_count as f64, tb.row_count as f64, base.pred_count[rel]),
+                ));
+            }
+            tag::INDEX_SEEK => {
+                let (rel, pred) = (b[i] as usize, b[i + 1] as usize);
+                i += 2;
+                let tb = &template.relations[rel].table;
+                let fetch = (tb.row_count as f64 * sv.get(pred)).max(1e-9);
+                stack.push((
+                    base.base_rows[rel],
+                    model.index_seek(tb.row_count as f64, fetch, base.pred_count[rel].saturating_sub(1)),
+                ));
+            }
+            tag::SORTED_INDEX_SCAN => {
+                let rel = b[i] as usize;
+                i += 2; // skip column: cost does not depend on which key
+                let tb = &template.relations[rel].table;
+                stack.push((
+                    base.base_rows[rel],
+                    model.sorted_index_scan(tb.page_count as f64, tb.row_count as f64, base.pred_count[rel]),
+                ));
+            }
+            tag::HASH_JOIN => {
+                let build_left = b[i] != 0;
+                i += 1;
+                let (sel, _) = edge_sel(&mut i);
+                let (rr, rc) = stack.pop().expect("rhs");
+                let (lr, lc) = stack.pop().expect("lhs");
+                let out = lr * rr * sel;
+                let (bu, pr) = if build_left { (lr, rr) } else { (rr, lr) };
+                stack.push((out, lc + rc + model.hash_join(bu, pr, out)));
+            }
+            tag::MERGE_JOIN => {
+                i += 1; // merge edge: cost-irrelevant
+                let (sel, _) = edge_sel(&mut i);
+                let (rr, rc) = stack.pop().expect("rhs");
+                let (lr, lc) = stack.pop().expect("lhs");
+                let out = lr * rr * sel;
+                stack.push((out, lc + rc + model.merge_join(lr, rr, out)));
+            }
+            tag::INDEX_NLJ => {
+                let (inner, seek_edge) = (b[i] as usize, b[i + 1] as usize);
+                i += 2;
+                let (sel, n_edges) = edge_sel(&mut i);
+                let (or, oc) = stack.pop().expect("outer");
+                let tb = &template.relations[inner].table;
+                let n_inner = tb.row_count as f64;
+                let lookup = n_inner * template.join_edges[seek_edge].selectivity;
+                let residual = base.pred_count[inner] + n_edges.saturating_sub(1);
+                let out = or * base.base_rows[inner] * sel;
+                stack.push((out, oc + model.index_nlj(or, n_inner, lookup, residual, out)));
+            }
+            tag::HASH_AGG | tag::STREAM_AGG => {
+                let (ir, ic) = stack.pop().expect("agg input");
+                let g = template.aggregate.as_ref().map(|a| a.groups).unwrap_or(1.0).min(ir);
+                let cost = if t == tag::HASH_AGG {
+                    model.hash_aggregate(ir, g)
+                } else {
+                    model.stream_aggregate(ir, g)
+                };
+                stack.push((g, ic + cost));
+            }
+            tag::SORT => {
+                i += if b[i] != 0 { 3 } else { 1 }; // key: cost-irrelevant
+                let (ir, ic) = stack.pop().expect("sort input");
+                stack.push((ir, ic + model.sort(ir)));
+            }
+            other => panic!("corrupt compact plan: tag {other}"),
+        }
+    }
+    assert_eq!(stack.len(), 1, "corrupt compact plan");
+    stack.pop().unwrap().1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::optimize;
+    use crate::recost::recost;
+    use crate::svector::{compute_svector, instance_for_target};
+    use crate::template::test_fixtures;
+
+    fn plan_at(t: &QueryTemplate, target: &[f64]) -> (Plan, SVector) {
+        let sv = compute_svector(t, &instance_for_target(t, target));
+        (optimize(t, &CostModel::default(), &sv).plan, sv)
+    }
+
+    #[test]
+    fn roundtrip_preserves_fingerprint() {
+        let t = test_fixtures::three_dim();
+        for target in [[0.01, 0.01, 0.01], [0.6, 0.6, 0.6], [0.9, 0.01, 0.4]] {
+            let (plan, _) = plan_at(&t, &target);
+            let compact = CompactPlan::encode(&plan);
+            assert_eq!(compact.decode().fingerprint(), plan.fingerprint());
+        }
+    }
+
+    #[test]
+    fn recost_compact_matches_tree_recost() {
+        let t = test_fixtures::three_dim();
+        let m = CostModel::default();
+        let (plan, _) = plan_at(&t, &[0.1, 0.2, 0.05]);
+        let compact = CompactPlan::encode(&plan);
+        for target in [[0.01, 0.01, 0.01], [0.5, 0.5, 0.5], [0.9, 0.05, 0.3]] {
+            let sv = compute_svector(&t, &instance_for_target(&t, &target));
+            let a = recost(&t, &m, &plan, &sv);
+            let b = recost_compact(&t, &m, &compact, &sv);
+            assert!((a - b).abs() <= 1e-9 * a.max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn compact_is_much_smaller_than_tree() {
+        let t = test_fixtures::three_dim();
+        let (plan, _) = plan_at(&t, &[0.2, 0.2, 0.2]);
+        let compact = CompactPlan::encode(&plan);
+        let tree = estimated_tree_bytes(&plan);
+        assert!(
+            compact.bytes_len() * 4 < tree,
+            "compact {} bytes should be ≲ 1/4 of tree {} bytes",
+            compact.bytes_len(),
+            tree
+        );
+    }
+
+    #[test]
+    fn single_relation_plans_roundtrip() {
+        let t = test_fixtures::one_rel();
+        for target in [[0.001], [0.9]] {
+            let (plan, sv) = plan_at(&t, &target);
+            let compact = CompactPlan::encode(&plan);
+            assert_eq!(compact.decode().fingerprint(), plan.fingerprint());
+            let m = CostModel::default();
+            assert_eq!(recost(&t, &m, &plan, &sv), recost_compact(&t, &m, &compact, &sv));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt compact plan")]
+    fn corrupt_bytes_panic() {
+        let cp = CompactPlan { bytes: vec![99u8].into_boxed_slice() };
+        let _ = cp.decode();
+    }
+}

@@ -1,0 +1,220 @@
+//! The query-engine façade.
+//!
+//! Section 4.2 of the paper lists exactly two APIs a database engine must
+//! add (beyond the traditional optimizer call) to support SCR:
+//!
+//! 1. *Compute selectivity vector* — [`QueryEngine::compute_svector`];
+//! 2. *Recost plan* — [`QueryEngine::recost`].
+//!
+//! [`QueryEngine`] bundles those with the optimizer call, counts every
+//! invocation and accumulates wall-clock time per API, which is what the
+//! overhead experiments (Sections 7.3, Table 3) report. It also interns
+//! plans by structural fingerprint so that repeated optimizations returning
+//! the same plan share one allocation — mirroring a real plan cache's
+//! handle semantics.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::cost::CostModel;
+use crate::optimizer::{self, OptimizeResult};
+use crate::plan::{Plan, PlanFingerprint};
+use crate::recost;
+use crate::svector::{self, SVector};
+use crate::template::{QueryInstance, QueryTemplate};
+
+/// Call counters and accumulated latencies for the three engine APIs.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Number of full optimizer calls.
+    pub optimize_calls: u64,
+    /// Number of Recost calls.
+    pub recost_calls: u64,
+    /// Number of selectivity-vector computations.
+    pub svector_calls: u64,
+    /// Total wall time spent in the optimizer.
+    pub optimize_time: Duration,
+    /// Total wall time spent re-costing.
+    pub recost_time: Duration,
+    /// Total wall time spent computing selectivity vectors.
+    pub svector_time: Duration,
+}
+
+impl EngineStats {
+    /// Mean optimizer-call latency, if any call was made.
+    pub fn mean_optimize(&self) -> Option<Duration> {
+        (self.optimize_calls > 0).then(|| self.optimize_time / self.optimize_calls as u32)
+    }
+
+    /// Mean Recost latency, if any call was made.
+    pub fn mean_recost(&self) -> Option<Duration> {
+        (self.recost_calls > 0).then(|| self.recost_time / self.recost_calls as u32)
+    }
+}
+
+/// An optimized plan together with its estimated optimal cost.
+#[derive(Debug, Clone)]
+pub struct OptimizedPlan {
+    /// The optimal plan (interned: equal structures share the `Arc`).
+    pub plan: Arc<Plan>,
+    /// `Cost(Popt(q), q)` at the optimized instance.
+    pub cost: f64,
+}
+
+/// The engine a PQO technique talks to: one parameterized query template,
+/// a cost model, and the three API entry points with accounting.
+#[derive(Debug)]
+pub struct QueryEngine {
+    template: Arc<QueryTemplate>,
+    cost_model: CostModel,
+    stats: EngineStats,
+    interned: HashMap<PlanFingerprint, Arc<Plan>>,
+}
+
+impl QueryEngine {
+    /// Create an engine for `template` with the default cost model.
+    pub fn new(template: Arc<QueryTemplate>) -> Self {
+        QueryEngine::with_cost_model(template, CostModel::default())
+    }
+
+    /// Create an engine with a custom cost model.
+    pub fn with_cost_model(template: Arc<QueryTemplate>, cost_model: CostModel) -> Self {
+        QueryEngine { template, cost_model, stats: EngineStats::default(), interned: HashMap::new() }
+    }
+
+    /// The template this engine serves.
+    pub fn template(&self) -> &Arc<QueryTemplate> {
+        &self.template
+    }
+
+    /// The engine's cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// Accumulated API statistics.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Reset counters (e.g. between workload sequences).
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+    }
+
+    /// API 1 (Section 4.2): compute the selectivity vector of an instance.
+    pub fn compute_svector(&mut self, instance: &QueryInstance) -> SVector {
+        let start = Instant::now();
+        let sv = svector::compute_svector(&self.template, instance);
+        self.stats.svector_time += start.elapsed();
+        self.stats.svector_calls += 1;
+        sv
+    }
+
+    /// The traditional optimizer call: optimal plan + cost for `sv`.
+    pub fn optimize(&mut self, sv: &SVector) -> OptimizedPlan {
+        let start = Instant::now();
+        let OptimizeResult { plan, cost, .. } = optimizer::optimize(&self.template, &self.cost_model, sv);
+        self.stats.optimize_time += start.elapsed();
+        self.stats.optimize_calls += 1;
+        let plan = self.intern(plan);
+        OptimizedPlan { plan, cost }
+    }
+
+    /// API 2 (Section 4.2): re-cost a frozen plan at new selectivities.
+    pub fn recost(&mut self, plan: &Plan, sv: &SVector) -> f64 {
+        let start = Instant::now();
+        let cost = recost::recost(&self.template, &self.cost_model, plan, sv);
+        self.stats.recost_time += start.elapsed();
+        self.stats.recost_calls += 1;
+        cost
+    }
+
+    /// Re-cost without touching the counters. Evaluation harnesses use this
+    /// to compute ground-truth sub-optimality; it must never pollute the
+    /// overhead accounting of the technique under test.
+    pub fn recost_untracked(&self, plan: &Plan, sv: &SVector) -> f64 {
+        recost::recost(&self.template, &self.cost_model, plan, sv)
+    }
+
+    /// Optimize without touching the counters (ground-truth oracle).
+    pub fn optimize_untracked(&mut self, sv: &SVector) -> OptimizedPlan {
+        let OptimizeResult { plan, cost, .. } = optimizer::optimize(&self.template, &self.cost_model, sv);
+        let plan = self.intern(plan);
+        OptimizedPlan { plan, cost }
+    }
+
+    fn intern(&mut self, plan: Plan) -> Arc<Plan> {
+        Arc::clone(
+            self.interned
+                .entry(plan.fingerprint())
+                .or_insert_with(|| Arc::new(plan)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::svector::instance_for_target;
+    use crate::template::test_fixtures;
+
+    #[test]
+    fn counters_track_calls() {
+        let t = test_fixtures::two_dim();
+        let mut e = QueryEngine::new(t.clone());
+        let inst = instance_for_target(&t, &[0.1, 0.2]);
+        let sv = e.compute_svector(&inst);
+        let opt = e.optimize(&sv);
+        let _ = e.recost(&opt.plan, &sv);
+        assert_eq!(e.stats().svector_calls, 1);
+        assert_eq!(e.stats().optimize_calls, 1);
+        assert_eq!(e.stats().recost_calls, 1);
+        assert!(e.stats().mean_optimize().is_some());
+    }
+
+    #[test]
+    fn untracked_calls_do_not_count() {
+        let t = test_fixtures::two_dim();
+        let mut e = QueryEngine::new(t.clone());
+        let inst = instance_for_target(&t, &[0.1, 0.2]);
+        let sv = svector::compute_svector(&t, &inst);
+        let opt = e.optimize_untracked(&sv);
+        let _ = e.recost_untracked(&opt.plan, &sv);
+        assert_eq!(e.stats().optimize_calls, 0);
+        assert_eq!(e.stats().recost_calls, 0);
+    }
+
+    #[test]
+    fn plans_are_interned() {
+        let t = test_fixtures::two_dim();
+        let mut e = QueryEngine::new(t.clone());
+        let a = e.optimize(&svector::compute_svector(&t, &instance_for_target(&t, &[0.10, 0.20])));
+        let b = e.optimize(&svector::compute_svector(&t, &instance_for_target(&t, &[0.11, 0.21])));
+        if a.plan.fingerprint() == b.plan.fingerprint() {
+            assert!(Arc::ptr_eq(&a.plan, &b.plan), "same fingerprint must share the Arc");
+        }
+    }
+
+    #[test]
+    fn recost_matches_optimize_cost_at_same_point() {
+        let t = test_fixtures::three_dim();
+        let mut e = QueryEngine::new(t.clone());
+        let sv = svector::compute_svector(&t, &instance_for_target(&t, &[0.2, 0.1, 0.05]));
+        let opt = e.optimize(&sv);
+        let rc = e.recost(&opt.plan, &sv);
+        assert!((opt.cost - rc).abs() < 1e-9 * opt.cost.max(1.0));
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let t = test_fixtures::two_dim();
+        let mut e = QueryEngine::new(t.clone());
+        let sv = svector::compute_svector(&t, &instance_for_target(&t, &[0.3, 0.3]));
+        let _ = e.optimize(&sv);
+        e.reset_stats();
+        assert_eq!(e.stats().optimize_calls, 0);
+        assert_eq!(e.stats().optimize_time, Duration::ZERO);
+    }
+}

@@ -1,0 +1,602 @@
+//! The cost-based optimizer: dynamic programming over connected join
+//! subsets with physical alternatives per group and **interesting-order**
+//! tracking.
+//!
+//! This plays the role of the paper's (Cascades-based) SQL Server optimizer.
+//! The memo is the DP table: one group per connected subset of relations
+//! and required physical property (unsorted, or sorted by one of the join
+//! keys), each holding logical properties (cardinality) and the winning
+//! physical expression. Physical alternatives considered:
+//!
+//! * scans: sequential scan, an index seek on any indexed parameterized
+//!   column, or a full *sorted index scan* on an indexed join column
+//!   (delivers an interesting order);
+//! * joins, for every connected partition of the subset: hash join (either
+//!   build side), index nested-loops when one side is a base relation with
+//!   an index on its join column, and merge join per crossing edge —
+//!   consuming children sorted on the edge's keys, with explicit `Sort`
+//!   enforcers planned when no sorted alternative wins;
+//! * on top of the full join: hash vs. stream aggregation, then a final
+//!   sort for ORDER BY.
+//!
+//! The returned plan's cost is computed through [`crate::recost`] so that
+//! `optimize(q).cost == recost(plan, q)` holds exactly — the invariant that
+//! makes the paper's sub-optimality accounting consistent.
+
+use crate::cost::CostModel;
+use crate::plan::{Plan, PlanNode, PlanOp};
+use crate::recost::{self, BaseDerivation};
+use crate::svector::SVector;
+use crate::template::QueryTemplate;
+
+/// Result of one optimizer call.
+#[derive(Debug, Clone)]
+pub struct OptimizeResult {
+    /// The optimal plan.
+    pub plan: Plan,
+    /// Its estimated cost at the optimized selectivities.
+    pub cost: f64,
+    /// Number of (subset × property) memo groups with a winner.
+    pub groups_explored: usize,
+    /// Number of physical alternatives costed during the search.
+    pub alternatives_costed: usize,
+}
+
+/// Physical property index: 0 = no required order, `k + 1` = sorted by
+/// join-key `k` (an entry of the template's distinct join-column list).
+type Prop = usize;
+
+/// The winning physical expression of one memo group.
+#[derive(Debug, Clone)]
+enum Choice {
+    SeqScan { relation: usize },
+    IndexSeek { relation: usize, seek_pred: usize },
+    SortedIndexScan { relation: usize, column: usize },
+    /// Explicit sort enforcer over the subset's unordered winner.
+    Enforce,
+    HashJoin { left: u32, right: u32, build_left: bool, edges: Vec<usize> },
+    MergeJoin { left: u32, right: u32, left_prop: Prop, right_prop: Prop, merge_edge: usize, edges: Vec<usize> },
+    IndexNlj { outer: u32, inner: usize, seek_edge: usize, edges: Vec<usize> },
+}
+
+#[derive(Debug, Clone)]
+struct Group {
+    cost: f64,
+    choice: Choice,
+}
+
+/// Search-space description shared by the DP and plan extraction.
+struct Search {
+    /// Distinct join-key columns `(relation, column)`; index = key id.
+    keys: Vec<(usize, usize)>,
+    /// `groups[mask][prop]`.
+    groups: Vec<Vec<Option<Group>>>,
+}
+
+impl Search {
+    fn key_id(&self, rel: usize, col: usize) -> Option<usize> {
+        self.keys.iter().position(|&(r, c)| (r, c) == (rel, col))
+    }
+}
+
+/// Optimize `template` at the selectivities `sv`.
+///
+/// # Panics
+/// Panics if the template has more than 16 relations or `sv` has the wrong
+/// arity.
+pub fn optimize(template: &QueryTemplate, model: &CostModel, sv: &SVector) -> OptimizeResult {
+    let n = template.num_relations();
+    assert!(n <= 16, "optimizer supports at most 16 relations");
+    let base = BaseDerivation::new(template, sv);
+    let full = template.full_relation_set();
+    let mut alternatives = 0usize;
+
+    // Distinct join-key columns define the interesting orders.
+    let mut keys: Vec<(usize, usize)> = Vec::new();
+    for e in &template.join_edges {
+        for &(r, c) in &[e.left, e.right] {
+            if !keys.contains(&(r, c)) {
+                keys.push((r, c));
+            }
+        }
+    }
+    let nprops = keys.len() + 1;
+
+    // Logical property: output cardinality per relation subset. A pure
+    // product, so it factorizes identically over any join split.
+    let mut rows = vec![0.0f64; (full as usize) + 1];
+    for mask in 1..=full {
+        let mut r = 1.0;
+        for rel in 0..n {
+            if mask & (1 << rel) != 0 {
+                r *= base.base_rows[rel];
+            }
+        }
+        for e in &template.join_edges {
+            if mask & (1 << e.left.0) != 0 && mask & (1 << e.right.0) != 0 {
+                r *= e.selectivity;
+            }
+        }
+        rows[mask as usize] = r;
+    }
+
+    let mut search = Search {
+        keys,
+        groups: (0..=full as usize).map(|_| vec![None; nprops]).collect(),
+    };
+
+    // Helper: offer an alternative for (mask, prop).
+    fn consider(groups: &mut [Vec<Option<Group>>], mask: u32, prop: Prop, cost: f64, choice: Choice) {
+        let slot = &mut groups[mask as usize][prop];
+        if slot.as_ref().is_none_or(|g| cost < g.cost) {
+            *slot = Some(Group { cost, choice });
+        }
+    }
+
+    // Singleton groups: scan alternatives.
+    for rel in 0..n {
+        let mask = 1u32 << rel;
+        let t = &template.relations[rel].table;
+        let trows = t.row_count as f64;
+        let pages = t.page_count as f64;
+        alternatives += 1;
+        consider(
+            &mut search.groups,
+            mask,
+            0,
+            model.seq_scan(pages, trows, base.pred_count[rel]),
+            Choice::SeqScan { relation: rel },
+        );
+        for p in template.param_preds_on(rel) {
+            let col = template.param_preds[p].column;
+            if t.columns[col].indexed {
+                let fetch = trows * sv.get(p);
+                alternatives += 1;
+                consider(
+                    &mut search.groups,
+                    mask,
+                    0,
+                    model.index_seek(trows, fetch, base.pred_count[rel].saturating_sub(1)),
+                    Choice::IndexSeek { relation: rel, seek_pred: p },
+                );
+            }
+        }
+        // Sorted scans on indexed join columns: interesting orders.
+        for (k, &(kr, kc)) in search.keys.iter().enumerate() {
+            if kr == rel && t.columns[kc].indexed {
+                let cost = model.sorted_index_scan(pages, trows, base.pred_count[rel]);
+                alternatives += 1;
+                consider(&mut search.groups, mask, k + 1, cost, Choice::SortedIndexScan { relation: rel, column: kc });
+                consider(&mut search.groups, mask, 0, cost, Choice::SortedIndexScan { relation: rel, column: kc });
+            }
+        }
+        close_with_enforcers(&mut search.groups, mask, nprops, rows[mask as usize], model, &mut alternatives);
+    }
+
+    // Composite groups in increasing mask order (submasks are smaller).
+    for mask in 1..=full {
+        if mask.count_ones() < 2 || !template.is_connected(mask) {
+            continue;
+        }
+        let low = mask & mask.wrapping_neg();
+        let out = rows[mask as usize];
+
+        // Enumerate unordered partitions once (s1 always contains `low`).
+        let mut s1 = (mask - 1) & mask;
+        while s1 > 0 {
+            let s2 = mask ^ s1;
+            if s1 & low != 0 {
+                let have_children =
+                    search.groups[s1 as usize][0].is_some() && search.groups[s2 as usize][0].is_some();
+                if have_children {
+                    let edges: Vec<usize> = template
+                        .join_edges
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, e)| e.crosses(s1, s2))
+                        .map(|(i, _)| i)
+                        .collect();
+                    if !edges.is_empty() {
+                        let (r1, r2) = (rows[s1 as usize], rows[s2 as usize]);
+                        let c1 = search.groups[s1 as usize][0].as_ref().unwrap().cost;
+                        let c2 = search.groups[s2 as usize][0].as_ref().unwrap().cost;
+
+                        // Hash join, both build sides.
+                        alternatives += 2;
+                        consider(
+                            &mut search.groups,
+                            mask,
+                            0,
+                            c1 + c2 + model.hash_join(r1, r2, out),
+                            Choice::HashJoin { left: s1, right: s2, build_left: true, edges: edges.clone() },
+                        );
+                        consider(
+                            &mut search.groups,
+                            mask,
+                            0,
+                            c1 + c2 + model.hash_join(r2, r1, out),
+                            Choice::HashJoin { left: s1, right: s2, build_left: false, edges: edges.clone() },
+                        );
+
+                        // Merge join per crossing edge, consuming sorted
+                        // children (sorted scans or enforcers).
+                        for &e in &edges {
+                            let edge = &template.join_edges[e];
+                            let (l_side, r_side) = if s1 & (1 << edge.left.0) != 0 {
+                                (edge.left, edge.right)
+                            } else {
+                                (edge.right, edge.left)
+                            };
+                            let (Some(kl), Some(kr)) = (
+                                search.key_id(l_side.0, l_side.1),
+                                search.key_id(r_side.0, r_side.1),
+                            ) else {
+                                continue;
+                            };
+                            let (Some(gl), Some(gr)) = (
+                                search.groups[s1 as usize][kl + 1].as_ref(),
+                                search.groups[s2 as usize][kr + 1].as_ref(),
+                            ) else {
+                                continue;
+                            };
+                            let cost = gl.cost + gr.cost + model.merge_join(r1, r2, out);
+                            alternatives += 1;
+                            let choice = Choice::MergeJoin {
+                                left: s1,
+                                right: s2,
+                                left_prop: kl + 1,
+                                right_prop: kr + 1,
+                                merge_edge: e,
+                                edges: edges.clone(),
+                            };
+                            // Output carries both (equal) join keys' orders.
+                            consider(&mut search.groups, mask, 0, cost, choice.clone());
+                            consider(&mut search.groups, mask, kl + 1, cost, choice.clone());
+                            consider(&mut search.groups, mask, kr + 1, cost, choice);
+                        }
+
+                        // Index nested-loops with a singleton inner side.
+                        for (inner_mask, outer_mask, outer_cost, outer_rows) in
+                            [(s2, s1, c1, r1), (s1, s2, c2, r2)]
+                        {
+                            if inner_mask.count_ones() != 1 {
+                                continue;
+                            }
+                            let inner = inner_mask.trailing_zeros() as usize;
+                            let t = &template.relations[inner].table;
+                            for &e in &edges {
+                                let Some(col) = template.join_edges[e].column_on(inner) else {
+                                    continue;
+                                };
+                                if !t.columns[col].indexed {
+                                    continue;
+                                }
+                                let lookup = t.row_count as f64 * template.join_edges[e].selectivity;
+                                let residual = base.pred_count[inner] + edges.len() - 1;
+                                alternatives += 1;
+                                consider(
+                                    &mut search.groups,
+                                    mask,
+                                    0,
+                                    outer_cost
+                                        + model.index_nlj(outer_rows, t.row_count as f64, lookup, residual, out),
+                                    Choice::IndexNlj { outer: outer_mask, inner, seek_edge: e, edges: edges.clone() },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            s1 = (s1 - 1) & mask;
+        }
+        close_with_enforcers(&mut search.groups, mask, nprops, out, model, &mut alternatives);
+    }
+
+    let join_group = search.groups[full as usize][0]
+        .as_ref()
+        .unwrap_or_else(|| panic!("no plan found for template `{}`", template.name));
+    let groups_explored = search
+        .groups
+        .iter()
+        .map(|props| props.iter().filter(|g| g.is_some()).count())
+        .sum();
+
+    // Assemble the full plan: join tree, then aggregate, then final sort.
+    let mut dp_cost = join_group.cost;
+    let mut root = extract(&search, full, 0);
+    if let Some(agg) = &template.aggregate {
+        let in_rows = rows[full as usize];
+        let g = agg.groups.min(in_rows);
+        let hash = model.hash_aggregate(in_rows, g);
+        let stream = model.stream_aggregate(in_rows, g);
+        alternatives += 2;
+        if hash <= stream {
+            root = PlanNode::internal(PlanOp::HashAggregate, vec![root]);
+            dp_cost += hash;
+        } else {
+            root = PlanNode::internal(PlanOp::StreamAggregate, vec![root]);
+            dp_cost += stream;
+        }
+    }
+    if template.order_by {
+        let out_rows = template
+            .aggregate
+            .as_ref()
+            .map(|a| a.groups.min(rows[full as usize]))
+            .unwrap_or(rows[full as usize]);
+        root = PlanNode::internal(PlanOp::Sort { key: None }, vec![root]);
+        dp_cost += model.sort(out_rows);
+        alternatives += 1;
+    }
+
+    let plan = Plan::new(root);
+    // Final cost goes through the Recost path so the two agree exactly.
+    let cost = recost::recost(template, model, &plan, sv);
+    debug_assert!(
+        (cost - dp_cost).abs() <= 1e-6 * dp_cost.abs().max(1.0),
+        "DP cost {dp_cost} disagrees with recost {cost} for `{}`",
+        template.name
+    );
+    OptimizeResult { plan, cost, groups_explored, alternatives_costed: alternatives }
+}
+
+/// Close a mask's property winners under the Sort enforcer: any required
+/// order can be produced by sorting the unordered winner.
+fn close_with_enforcers(
+    groups: &mut [Vec<Option<Group>>],
+    mask: u32,
+    nprops: usize,
+    rows: f64,
+    model: &CostModel,
+    alternatives: &mut usize,
+) {
+    let Some(base_cost) = groups[mask as usize][0].as_ref().map(|g| g.cost) else {
+        return;
+    };
+    let enforced = base_cost + model.sort(rows);
+    for slot in groups[mask as usize][1..nprops].iter_mut() {
+        *alternatives += 1;
+        if slot.as_ref().is_none_or(|g| enforced < g.cost) {
+            *slot = Some(Group { cost: enforced, choice: Choice::Enforce });
+        }
+    }
+}
+
+fn extract(search: &Search, mask: u32, prop: Prop) -> PlanNode {
+    let g = search.groups[mask as usize][prop]
+        .as_ref()
+        .expect("group must exist during extraction");
+    match &g.choice {
+        Choice::SeqScan { relation } => PlanNode::leaf(PlanOp::SeqScan { relation: *relation }),
+        Choice::IndexSeek { relation, seek_pred } => {
+            PlanNode::leaf(PlanOp::IndexSeek { relation: *relation, seek_pred: *seek_pred })
+        }
+        Choice::SortedIndexScan { relation, column } => {
+            PlanNode::leaf(PlanOp::SortedIndexScan { relation: *relation, column: *column })
+        }
+        Choice::Enforce => {
+            let input = extract(search, mask, 0);
+            let (r, c) = search.keys[prop - 1];
+            PlanNode::internal(PlanOp::Sort { key: Some((r, c)) }, vec![input])
+        }
+        Choice::HashJoin { left, right, build_left, edges } => {
+            // Canonical form: the build side is always the left child, so
+            // structurally identical joins fingerprint identically.
+            let l = extract(search, *left, 0);
+            let r = extract(search, *right, 0);
+            let (build, probe) = if *build_left { (l, r) } else { (r, l) };
+            PlanNode::internal(
+                PlanOp::HashJoin { build_left: true, edges: edges.clone() },
+                vec![build, probe],
+            )
+        }
+        Choice::MergeJoin { left, right, left_prop, right_prop, merge_edge, edges } => {
+            let l = extract(search, *left, *left_prop);
+            let r = extract(search, *right, *right_prop);
+            PlanNode::internal(
+                PlanOp::MergeJoin { merge_edge: *merge_edge, edges: edges.clone() },
+                vec![l, r],
+            )
+        }
+        Choice::IndexNlj { outer, inner, seek_edge, edges } => {
+            let o = extract(search, *outer, 0);
+            PlanNode::internal(
+                PlanOp::IndexNlj { inner: *inner, seek_edge: *seek_edge, edges: edges.clone() },
+                vec![o],
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recost::recost;
+    use crate::svector::{compute_svector, instance_for_target};
+    use crate::template::test_fixtures;
+    use std::collections::BTreeSet;
+
+    fn sv_for(t: &QueryTemplate, target: &[f64]) -> SVector {
+        compute_svector(t, &instance_for_target(t, target))
+    }
+
+    #[test]
+    fn single_relation_picks_index_at_low_selectivity() {
+        let t = test_fixtures::one_rel();
+        let m = CostModel::default();
+        let low = optimize(&t, &m, &SVector(vec![0.001]));
+        let high = optimize(&t, &m, &SVector(vec![0.8]));
+        assert!(matches!(low.plan.root().op, PlanOp::IndexSeek { .. }), "low sel should seek");
+        assert!(matches!(high.plan.root().op, PlanOp::SeqScan { .. }), "high sel should scan");
+        assert_ne!(low.plan.fingerprint(), high.plan.fingerprint());
+    }
+
+    #[test]
+    fn optimizer_cost_equals_recost_of_winner() {
+        let t = test_fixtures::three_dim();
+        let m = CostModel::default();
+        for target in [[0.01, 0.01, 0.01], [0.5, 0.5, 0.5], [0.9, 0.001, 0.3]] {
+            let sv = sv_for(&t, &target);
+            let r = optimize(&t, &m, &sv);
+            let rc = recost(&t, &m, &r.plan, &sv);
+            assert!((r.cost - rc).abs() < 1e-9 * r.cost.max(1.0), "{} vs {}", r.cost, rc);
+        }
+    }
+
+    #[test]
+    fn optimal_plan_is_at_least_as_cheap_as_any_other_observed_plan() {
+        // Cross-check optimality: the optimal plan at q1 recosted at q1 must
+        // not exceed the recost of plans found optimal elsewhere.
+        let t = test_fixtures::two_dim();
+        let m = CostModel::default();
+        let points: Vec<SVector> = [[0.001, 0.001], [0.9, 0.9], [0.001, 0.9], [0.9, 0.001], [0.1, 0.1]]
+            .iter()
+            .map(|p| sv_for(&t, p))
+            .collect();
+        let results: Vec<_> = points.iter().map(|sv| optimize(&t, &m, sv)).collect();
+        for (i, sv) in points.iter().enumerate() {
+            for r in &results {
+                let c = recost(&t, &m, &r.plan, sv);
+                assert!(
+                    results[i].cost <= c * (1.0 + 1e-9),
+                    "plan {} beats 'optimal' at point {i}: {c} < {}",
+                    r.plan.fingerprint(),
+                    results[i].cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_diversity_across_selectivity_space() {
+        // A PQO-worthy template must switch plans as selectivities move
+        // (otherwise Optimize-Once would be perfect).
+        let t = test_fixtures::three_dim();
+        let m = CostModel::default();
+        let mut plans = BTreeSet::new();
+        for i in 0..8 {
+            for j in 0..8 {
+                let s = [0.001 * 8f64.powi(i), 0.001 * 8f64.powi(j), 0.05];
+                let sv = sv_for(&t, &[s[0].min(1.0), s[1].min(1.0), s[2]]);
+                plans.insert(optimize(&t, &m, &sv).plan.fingerprint());
+            }
+        }
+        assert!(plans.len() >= 3, "only {} distinct plans", plans.len());
+    }
+
+    #[test]
+    fn merge_join_appears_for_large_unselective_joins() {
+        // Both inputs huge and unfiltered: sorted index scans + merge join
+        // should beat a spilling hash join somewhere in the space.
+        let t = test_fixtures::two_dim();
+        let m = CostModel::default();
+        let mut saw_merge = false;
+        for s in [[0.9, 0.9], [1.0, 1.0], [0.7, 0.9]] {
+            let r = optimize(&t, &m, &sv_for(&t, &s));
+            fn has_merge(n: &PlanNode) -> bool {
+                matches!(n.op, PlanOp::MergeJoin { .. }) || n.children.iter().any(has_merge)
+            }
+            saw_merge |= has_merge(r.plan.root());
+        }
+        assert!(saw_merge, "expected a merge join in the unselective region");
+    }
+
+    #[test]
+    fn merge_join_children_deliver_order() {
+        // Every MergeJoin child must be a sorted scan, a Sort, or another
+        // MergeJoin (order-preserving) — the enforcer invariant.
+        let t = test_fixtures::three_dim();
+        let m = CostModel::default();
+        for i in 0..6 {
+            for j in 0..6 {
+                let sv = sv_for(&t, &[0.15 * (i + 1) as f64, 0.15 * (j + 1) as f64, 0.5]);
+                let r = optimize(&t, &m, &sv.clone());
+                fn check(n: &PlanNode) {
+                    if let PlanOp::MergeJoin { .. } = n.op {
+                        for c in &n.children {
+                            assert!(
+                                matches!(
+                                    c.op,
+                                    PlanOp::SortedIndexScan { .. }
+                                        | PlanOp::Sort { .. }
+                                        | PlanOp::MergeJoin { .. }
+                                ),
+                                "merge-join child {:?} cannot deliver order",
+                                c.op
+                            );
+                        }
+                    }
+                    n.children.iter().for_each(check);
+                }
+                check(r.plan.root());
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_cost_is_monotone_along_each_dimension() {
+        // PCM at the level of optimal costs: min of monotone plan costs.
+        let t = test_fixtures::two_dim();
+        let m = CostModel::default();
+        let mut prev = 0.0;
+        for k in 1..=10 {
+            let sv = SVector(vec![0.1 * k as f64, 0.3]);
+            let c = optimize(&t, &m, &sv).cost;
+            assert!(c >= prev, "optimal cost dropped: {prev} -> {c} at k={k}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn join_order_respects_connectivity() {
+        // customer-lineitem have no direct edge: every join in the plan must
+        // apply at least one edge, so no cross products appear.
+        let t = test_fixtures::three_dim();
+        let m = CostModel::default();
+        let r = optimize(&t, &m, &sv_for(&t, &[0.2, 0.2, 0.2]));
+        fn no_empty_edges(n: &PlanNode) {
+            match &n.op {
+                PlanOp::HashJoin { edges, .. }
+                | PlanOp::MergeJoin { edges, .. }
+                | PlanOp::IndexNlj { edges, .. } => assert!(!edges.is_empty()),
+                _ => {}
+            }
+            n.children.iter().for_each(no_empty_edges);
+        }
+        no_empty_edges(r.plan.root());
+        assert_eq!(r.plan.root().relation_set(), t.full_relation_set());
+    }
+
+    #[test]
+    fn aggregate_and_order_by_are_planned() {
+        let t = test_fixtures::two_dim(); // has aggregate(100)
+        let m = CostModel::default();
+        let r = optimize(&t, &m, &sv_for(&t, &[0.1, 0.1]));
+        assert!(matches!(
+            r.plan.root().op,
+            PlanOp::HashAggregate | PlanOp::StreamAggregate
+        ));
+    }
+
+    #[test]
+    fn memo_explores_subset_and_property_groups() {
+        let t = test_fixtures::three_dim();
+        let m = CostModel::default();
+        let r = optimize(&t, &m, &sv_for(&t, &[0.1, 0.1, 0.1]));
+        // At least the 6 connected-subset unordered groups of the c-o-l
+        // chain, plus property winners from enforcer closure.
+        assert!(r.groups_explored >= 6, "only {} groups", r.groups_explored);
+        assert!(r.alternatives_costed > r.groups_explored);
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let t = test_fixtures::three_dim();
+        let m = CostModel::default();
+        let sv = sv_for(&t, &[0.3, 0.2, 0.1]);
+        let a = optimize(&t, &m, &sv);
+        let b = optimize(&t, &m, &sv);
+        assert_eq!(a.plan.fingerprint(), b.plan.fingerprint());
+        assert_eq!(a.cost, b.cost);
+    }
+}

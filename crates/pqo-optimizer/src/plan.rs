@@ -1,0 +1,333 @@
+//! Physical plan trees and structural plan identity.
+//!
+//! A [`Plan`] is what the plan cache stores. Two optimizer calls at different
+//! query instances frequently return *structurally identical* plans; PQO
+//! techniques must recognise that (the paper counts distinct plans, reuses
+//! cached plans, and merges inference regions of the same plan), so every
+//! plan carries a [`PlanFingerprint`] — a structural hash over operators,
+//! relation indices and join order, ignoring per-instance cardinalities.
+//!
+//! Each node also carries the logical annotations the Recost API needs
+//! (which relations it covers, which join edges it applies), mirroring the
+//! paper's `shrunkenMemo`: just enough of the memo to re-derive cardinality
+//! and cost bottom-up, with the search space pruned away.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::template::QueryTemplate;
+
+/// Structural identity of a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlanFingerprint(pub u64);
+
+impl fmt::Display for PlanFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{:08x}", self.0 >> 32 ^ self.0 & 0xffff_ffff)
+    }
+}
+
+/// A physical operator. Indices reference the owning [`QueryTemplate`]:
+/// `relation` into `template.relations`, `seek_pred` into
+/// `template.param_preds`, edge indices into `template.join_edges`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PlanOp {
+    /// Full scan of a base relation, applying all its predicates.
+    SeqScan { relation: usize },
+    /// Index seek on the column of parameterized predicate `seek_pred`,
+    /// applying the relation's remaining predicates as residuals.
+    IndexSeek { relation: usize, seek_pred: usize },
+    /// Full ordered scan through the index on `column`, delivering rows
+    /// sorted by that column (feeds sort-free merge joins).
+    SortedIndexScan { relation: usize, column: usize },
+    /// Hash join of the two children; `build_left` selects the build side.
+    /// `edges` are the join edges this node applies.
+    HashJoin { build_left: bool, edges: Vec<usize> },
+    /// Merge join of the two children, which must already deliver rows
+    /// sorted on the key of `merge_edge` (via sorted scans or explicit Sort
+    /// enforcers planted by the optimizer). Remaining `edges` are applied
+    /// as residual equality filters.
+    MergeJoin { merge_edge: usize, edges: Vec<usize> },
+    /// Index nested-loops join: the single child is the outer; the inner is
+    /// base relation `inner`, reached through the index on its side of
+    /// `seek_edge`. Remaining crossing `edges` are applied as residuals.
+    IndexNlj { inner: usize, seek_edge: usize, edges: Vec<usize> },
+    /// Hash aggregation (groups come from the template's aggregate spec).
+    HashAggregate,
+    /// Sort-based aggregation (includes its sort).
+    StreamAggregate,
+    /// Explicit sort: an interesting-order enforcer when `key` names a
+    /// `(relation, column)`, or the final ORDER BY sort when `key` is
+    /// `None`.
+    Sort { key: Option<(usize, usize)> },
+}
+
+impl PlanOp {
+    /// Short operator name for display.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlanOp::SeqScan { .. } => "SeqScan",
+            PlanOp::IndexSeek { .. } => "IndexSeek",
+            PlanOp::SortedIndexScan { .. } => "SortedIndexScan",
+            PlanOp::HashJoin { .. } => "HashJoin",
+            PlanOp::MergeJoin { .. } => "MergeJoin",
+            PlanOp::IndexNlj { .. } => "IndexNLJ",
+            PlanOp::HashAggregate => "HashAgg",
+            PlanOp::StreamAggregate => "StreamAgg",
+            PlanOp::Sort { .. } => "Sort",
+        }
+    }
+}
+
+/// A node of a physical plan tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanNode {
+    /// The operator.
+    pub op: PlanOp,
+    /// Child plans (0 for scans, 1 for IndexNLJ/Sort/aggregates, 2 for
+    /// hash/merge joins).
+    pub children: Vec<PlanNode>,
+}
+
+impl PlanNode {
+    /// Leaf constructor.
+    pub fn leaf(op: PlanOp) -> Self {
+        PlanNode { op, children: Vec::new() }
+    }
+
+    /// Internal-node constructor.
+    pub fn internal(op: PlanOp, children: Vec<PlanNode>) -> Self {
+        PlanNode { op, children }
+    }
+
+    /// Total number of operators in the subtree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(PlanNode::size).sum::<usize>()
+    }
+
+    /// Bitmask of relations covered by this subtree.
+    pub fn relation_set(&self) -> u32 {
+        let own = match self.op {
+            PlanOp::SeqScan { relation }
+            | PlanOp::IndexSeek { relation, .. }
+            | PlanOp::SortedIndexScan { relation, .. } => 1u32 << relation,
+            PlanOp::IndexNlj { inner, .. } => 1u32 << inner,
+            _ => 0,
+        };
+        own | self.children.iter().map(PlanNode::relation_set).fold(0, |a, b| a | b)
+    }
+}
+
+/// An immutable physical plan with a structural fingerprint.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    root: PlanNode,
+    fingerprint: PlanFingerprint,
+}
+
+impl Plan {
+    /// Wrap a plan tree, computing its fingerprint.
+    pub fn new(root: PlanNode) -> Self {
+        let mut h = Fnv64::new();
+        root.hash(&mut h);
+        Plan { fingerprint: PlanFingerprint(h.finish()), root }
+    }
+
+    /// Root node of the tree.
+    pub fn root(&self) -> &PlanNode {
+        &self.root
+    }
+
+    /// Structural fingerprint.
+    pub fn fingerprint(&self) -> PlanFingerprint {
+        self.fingerprint
+    }
+
+    /// Number of operators.
+    pub fn size(&self) -> usize {
+        self.root.size()
+    }
+
+    /// Render the plan as an indented operator tree, resolving relation
+    /// aliases through `template`.
+    pub fn display<'a>(&'a self, template: &'a QueryTemplate) -> PlanDisplay<'a> {
+        PlanDisplay { plan: self, template }
+    }
+}
+
+impl PartialEq for Plan {
+    fn eq(&self, other: &Self) -> bool {
+        self.fingerprint == other.fingerprint
+    }
+}
+impl Eq for Plan {}
+
+/// Helper returned by [`Plan::display`].
+pub struct PlanDisplay<'a> {
+    plan: &'a Plan,
+    template: &'a QueryTemplate,
+}
+
+impl fmt::Display for PlanDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn walk(
+            node: &PlanNode,
+            template: &QueryTemplate,
+            depth: usize,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            let pad = "  ".repeat(depth);
+            let alias = |r: usize| template.relations[r].alias.clone();
+            match &node.op {
+                PlanOp::SeqScan { relation } => writeln!(f, "{pad}SeqScan({})", alias(*relation))?,
+                PlanOp::IndexSeek { relation, seek_pred } => {
+                    let p = &template.param_preds[*seek_pred];
+                    let col = &template.relations[p.relation].table.columns[p.column].name;
+                    writeln!(f, "{pad}IndexSeek({} on {})", alias(*relation), col)?;
+                }
+                PlanOp::SortedIndexScan { relation, column } => {
+                    let col = &template.relations[*relation].table.columns[*column].name;
+                    writeln!(f, "{pad}SortedIndexScan({} by {})", alias(*relation), col)?;
+                }
+                PlanOp::HashJoin { build_left, .. } => {
+                    writeln!(f, "{pad}HashJoin(build={})", if *build_left { "left" } else { "right" })?
+                }
+                PlanOp::MergeJoin { merge_edge, .. } => {
+                    let e = &template.join_edges[*merge_edge];
+                    let col = &template.relations[e.left.0].table.columns[e.left.1].name;
+                    writeln!(f, "{pad}MergeJoin(on {}.{})", template.relations[e.left.0].alias, col)?;
+                }
+                PlanOp::IndexNlj { inner, .. } => writeln!(f, "{pad}IndexNLJ(inner={})", alias(*inner))?,
+                PlanOp::HashAggregate => writeln!(f, "{pad}HashAgg")?,
+                PlanOp::StreamAggregate => writeln!(f, "{pad}StreamAgg")?,
+                PlanOp::Sort { key: None } => writeln!(f, "{pad}Sort(order by)")?,
+                PlanOp::Sort { key: Some((r, c)) } => {
+                    let col = &template.relations[*r].table.columns[*c].name;
+                    writeln!(f, "{pad}Sort({}.{})", alias(*r), col)?;
+                }
+            }
+            for c in &node.children {
+                walk(c, template, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        writeln!(f, "plan {}:", self.plan.fingerprint())?;
+        walk(&self.plan.root, self.template, 1, f)
+    }
+}
+
+/// Minimal FNV-1a hasher, so fingerprints are stable across runs and
+/// platforms (std's `DefaultHasher` makes no such promise).
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Fnv64(0xcbf29ce484222325)
+    }
+}
+
+impl Hasher for Fnv64 {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(r: usize) -> PlanNode {
+        PlanNode::leaf(PlanOp::SeqScan { relation: r })
+    }
+
+    #[test]
+    fn identical_structures_share_fingerprints() {
+        let a = Plan::new(PlanNode::internal(
+            PlanOp::HashJoin { build_left: true, edges: vec![0] },
+            vec![scan(0), scan(1)],
+        ));
+        let b = Plan::new(PlanNode::internal(
+            PlanOp::HashJoin { build_left: true, edges: vec![0] },
+            vec![scan(0), scan(1)],
+        ));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_structures_differ() {
+        let a = Plan::new(PlanNode::internal(
+            PlanOp::HashJoin { build_left: true, edges: vec![0] },
+            vec![scan(0), scan(1)],
+        ));
+        let b = Plan::new(PlanNode::internal(
+            PlanOp::HashJoin { build_left: false, edges: vec![0] },
+            vec![scan(0), scan(1)],
+        ));
+        let c = Plan::new(PlanNode::internal(
+            PlanOp::HashJoin { build_left: true, edges: vec![0] },
+            vec![scan(1), scan(0)],
+        ));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn scan_choice_changes_fingerprint() {
+        let a = Plan::new(scan(0));
+        let b = Plan::new(PlanNode::leaf(PlanOp::IndexSeek { relation: 0, seek_pred: 0 }));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn size_and_relation_set() {
+        let p = PlanNode::internal(
+            PlanOp::IndexNlj { inner: 2, seek_edge: 1, edges: vec![1] },
+            vec![PlanNode::internal(
+                PlanOp::HashJoin { build_left: true, edges: vec![0] },
+                vec![scan(0), scan(1)],
+            )],
+        );
+        assert_eq!(p.size(), 4);
+        assert_eq!(p.relation_set(), 0b111);
+    }
+
+    #[test]
+    fn fingerprint_is_stable() {
+        // Guards against accidental changes to the hash: the fingerprint of
+        // this fixed tree must never change across runs or refactors that
+        // do not intend to change plan identity.
+        let p = Plan::new(PlanNode::internal(
+            PlanOp::MergeJoin { merge_edge: 0, edges: vec![0, 1] },
+            vec![scan(0), scan(3)],
+        ));
+        let again = Plan::new(PlanNode::internal(
+            PlanOp::MergeJoin { merge_edge: 0, edges: vec![0, 1] },
+            vec![scan(0), scan(3)],
+        ));
+        assert_eq!(p.fingerprint(), again.fingerprint());
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        use crate::template::test_fixtures;
+        let t = test_fixtures::two_dim();
+        let p = Plan::new(PlanNode::internal(
+            PlanOp::HashAggregate,
+            vec![PlanNode::internal(
+                PlanOp::HashJoin { build_left: true, edges: vec![0] },
+                vec![scan(0), scan(1)],
+            )],
+        ));
+        let s = format!("{}", p.display(&t));
+        assert!(s.contains("HashAgg"));
+        assert!(s.contains("SeqScan(o)"));
+        assert!(s.contains("SeqScan(l)"));
+    }
+}

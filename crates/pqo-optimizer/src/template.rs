@@ -1,0 +1,499 @@
+//! Parameterized query templates.
+//!
+//! A template is a join graph over catalog tables, decorated with:
+//!
+//! * **parameterized predicates** — `d` one-sided range predicates
+//!   `col <= ?` / `col >= ?` whose parameter changes per instance. These are
+//!   the paper's *dimensions* (Section 2); the workload generator of
+//!   Section 7.1 explicitly adds such predicates to benchmark queries.
+//! * **fixed predicates** — constant-selectivity filters.
+//! * **join edges** — equi-joins with a selectivity derived from column NDVs
+//!   (held fixed across instances; paper assumption (b), Section 5.2).
+//! * an optional **aggregate** and an optional final **order-by**.
+
+use std::sync::Arc;
+
+use pqo_catalog::table::TableDef;
+
+/// Direction of a one-sided range predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RangeOp {
+    /// `col <= ?`
+    Le,
+    /// `col >= ?`
+    Ge,
+}
+
+/// One parameterized predicate — one dimension of the selectivity space.
+#[derive(Debug, Clone)]
+pub struct ParamPredicate {
+    /// Index into [`QueryTemplate::relations`].
+    pub relation: usize,
+    /// Column index within that relation's table.
+    pub column: usize,
+    /// Predicate direction.
+    pub op: RangeOp,
+}
+
+/// A constant-selectivity filter on one relation.
+#[derive(Debug, Clone)]
+pub struct FixedPredicate {
+    /// Index into [`QueryTemplate::relations`].
+    pub relation: usize,
+    /// Selectivity in `(0, 1]`.
+    pub selectivity: f64,
+}
+
+/// An equi-join edge between two relations.
+#[derive(Debug, Clone)]
+pub struct JoinEdge {
+    /// `(relation index, column index)` of the left side.
+    pub left: (usize, usize),
+    /// `(relation index, column index)` of the right side.
+    pub right: (usize, usize),
+    /// Join selectivity: `|L ⋈ R| = |L| · |R| · selectivity`. Derived from
+    /// `1 / max(ndv_left, ndv_right)` at template construction.
+    pub selectivity: f64,
+}
+
+impl JoinEdge {
+    /// The relation on this edge other than `rel`, with its column, if the
+    /// edge touches `rel`.
+    pub fn other_side(&self, rel: usize) -> Option<(usize, usize)> {
+        if self.left.0 == rel {
+            Some(self.right)
+        } else if self.right.0 == rel {
+            Some(self.left)
+        } else {
+            None
+        }
+    }
+
+    /// Column used on relation `rel`'s side, if the edge touches `rel`.
+    pub fn column_on(&self, rel: usize) -> Option<usize> {
+        if self.left.0 == rel {
+            Some(self.left.1)
+        } else if self.right.0 == rel {
+            Some(self.right.1)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the edge connects a relation in `a` with one in `b`
+    /// (bitmask relation sets).
+    pub fn crosses(&self, a: u32, b: u32) -> bool {
+        let l = 1u32 << self.left.0;
+        let r = 1u32 << self.right.0;
+        (l & a != 0 && r & b != 0) || (l & b != 0 && r & a != 0)
+    }
+}
+
+/// Aggregation on top of the join tree.
+#[derive(Debug, Clone)]
+pub struct AggregateSpec {
+    /// Estimated number of distinct groups (capped by input cardinality).
+    pub groups: f64,
+}
+
+/// A relation occurrence in the template (table + alias).
+#[derive(Debug, Clone)]
+pub struct RelationRef {
+    /// The underlying table.
+    pub table: Arc<TableDef>,
+    /// Alias, unique within the template.
+    pub alias: String,
+}
+
+/// A parameterized query template — the paper's `Q`.
+#[derive(Debug, Clone)]
+pub struct QueryTemplate {
+    /// Template name, e.g. `"tpch_q3_d2"`.
+    pub name: String,
+    /// Relations in the FROM list (at most 16).
+    pub relations: Vec<RelationRef>,
+    /// Equi-join edges; the induced graph must be connected.
+    pub join_edges: Vec<JoinEdge>,
+    /// The `d` parameterized predicates, in dimension order.
+    pub param_preds: Vec<ParamPredicate>,
+    /// Constant-selectivity filters.
+    pub fixed_preds: Vec<FixedPredicate>,
+    /// Optional aggregate on top of the join tree.
+    pub aggregate: Option<AggregateSpec>,
+    /// Whether the final output must be sorted.
+    pub order_by: bool,
+}
+
+/// One instance of a template: the parameter values, in dimension order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryInstance {
+    /// Parameter values; `values.len() == template.dimensions()`.
+    pub values: Vec<f64>,
+}
+
+impl QueryInstance {
+    /// Wrap raw parameter values.
+    pub fn new(values: Vec<f64>) -> Self {
+        QueryInstance { values }
+    }
+}
+
+impl QueryTemplate {
+    /// Number of parameterized predicates — the paper's `d`.
+    pub fn dimensions(&self) -> usize {
+        self.param_preds.len()
+    }
+
+    /// Number of relations in the join graph.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Bitmask with one bit per relation, all set.
+    pub fn full_relation_set(&self) -> u32 {
+        (1u32 << self.relations.len()) - 1
+    }
+
+    /// Validate structural invariants. Returns a human-readable error.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.relations.len();
+        if n == 0 {
+            return Err("template has no relations".into());
+        }
+        if n > 16 {
+            return Err(format!("template has {n} relations; max 16"));
+        }
+        for (i, p) in self.param_preds.iter().enumerate() {
+            if p.relation >= n {
+                return Err(format!("param predicate {i} references relation {}", p.relation));
+            }
+            let t = &self.relations[p.relation].table;
+            if p.column >= t.columns.len() {
+                return Err(format!("param predicate {i} references column {} of {}", p.column, t.name));
+            }
+        }
+        for (i, p) in self.fixed_preds.iter().enumerate() {
+            if p.relation >= n {
+                return Err(format!("fixed predicate {i} references relation {}", p.relation));
+            }
+            if !(p.selectivity > 0.0 && p.selectivity <= 1.0) {
+                return Err(format!("fixed predicate {i} has selectivity {}", p.selectivity));
+            }
+        }
+        for (i, e) in self.join_edges.iter().enumerate() {
+            for &(r, c) in &[e.left, e.right] {
+                if r >= n {
+                    return Err(format!("join edge {i} references relation {r}"));
+                }
+                if c >= self.relations[r].table.columns.len() {
+                    return Err(format!("join edge {i} references column {c} of relation {r}"));
+                }
+            }
+            if e.left.0 == e.right.0 {
+                return Err(format!("join edge {i} is a self-loop"));
+            }
+            if !(e.selectivity > 0.0 && e.selectivity <= 1.0) {
+                return Err(format!("join edge {i} has selectivity {}", e.selectivity));
+            }
+        }
+        if n > 1 && !self.is_connected(self.full_relation_set()) {
+            return Err("join graph is not connected".into());
+        }
+        if let Some(agg) = &self.aggregate {
+            if agg.groups.is_nan() || agg.groups < 1.0 {
+                return Err(format!("aggregate groups {} < 1", agg.groups));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the relations in bitmask `set` form a connected subgraph.
+    pub fn is_connected(&self, set: u32) -> bool {
+        if set == 0 {
+            return false;
+        }
+        let start = set.trailing_zeros();
+        let mut reached = 1u32 << start;
+        loop {
+            let mut grew = false;
+            for e in &self.join_edges {
+                let l = 1u32 << e.left.0;
+                let r = 1u32 << e.right.0;
+                if l & set != 0 && r & set != 0 {
+                    if reached & l != 0 && reached & r == 0 {
+                        reached |= r;
+                        grew = true;
+                    } else if reached & r != 0 && reached & l == 0 {
+                        reached |= l;
+                        grew = true;
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        reached == set
+    }
+
+    /// Indices of param predicates on relation `rel`.
+    pub fn param_preds_on(&self, rel: usize) -> impl Iterator<Item = usize> + '_ {
+        self.param_preds
+            .iter()
+            .enumerate()
+            .filter(move |(_, p)| p.relation == rel)
+            .map(|(i, _)| i)
+    }
+
+    /// Product of fixed-predicate selectivities on relation `rel`.
+    pub fn fixed_selectivity_on(&self, rel: usize) -> f64 {
+        self.fixed_preds
+            .iter()
+            .filter(|p| p.relation == rel)
+            .map(|p| p.selectivity)
+            .product()
+    }
+}
+
+/// Convenience builder for templates; derives join selectivities from NDVs.
+pub struct TemplateBuilder {
+    name: String,
+    relations: Vec<RelationRef>,
+    join_edges: Vec<JoinEdge>,
+    param_preds: Vec<ParamPredicate>,
+    fixed_preds: Vec<FixedPredicate>,
+    aggregate: Option<AggregateSpec>,
+    order_by: bool,
+}
+
+impl TemplateBuilder {
+    /// Start a template.
+    pub fn new(name: &str) -> Self {
+        TemplateBuilder {
+            name: name.to_string(),
+            relations: Vec::new(),
+            join_edges: Vec::new(),
+            param_preds: Vec::new(),
+            fixed_preds: Vec::new(),
+            aggregate: None,
+            order_by: false,
+        }
+    }
+
+    /// Add a relation; returns its index.
+    pub fn relation(&mut self, table: &Arc<TableDef>, alias: &str) -> usize {
+        self.relations.push(RelationRef { table: Arc::clone(table), alias: alias.to_string() });
+        self.relations.len() - 1
+    }
+
+    /// Add an equi-join edge by column names. Selectivity is
+    /// `1 / max(ndv_left, ndv_right)`.
+    pub fn join(&mut self, left: (usize, &str), right: (usize, &str)) -> &mut Self {
+        let lc = self.relations[left.0]
+            .table
+            .column_index(left.1)
+            .unwrap_or_else(|| panic!("no column {} on {}", left.1, self.relations[left.0].alias));
+        let rc = self.relations[right.0]
+            .table
+            .column_index(right.1)
+            .unwrap_or_else(|| panic!("no column {} on {}", right.1, self.relations[right.0].alias));
+        let ndv_l = self.relations[left.0].table.columns[lc].stats.ndv.max(1);
+        let ndv_r = self.relations[right.0].table.columns[rc].stats.ndv.max(1);
+        let selectivity = 1.0 / ndv_l.max(ndv_r) as f64;
+        self.join_edges.push(JoinEdge { left: (left.0, lc), right: (right.0, rc), selectivity });
+        self
+    }
+
+    /// Add a parameterized one-sided range predicate (one dimension).
+    pub fn param(&mut self, rel: usize, column: &str, op: RangeOp) -> &mut Self {
+        let c = self.relations[rel]
+            .table
+            .column_index(column)
+            .unwrap_or_else(|| panic!("no column {} on {}", column, self.relations[rel].alias));
+        self.param_preds.push(ParamPredicate { relation: rel, column: c, op });
+        self
+    }
+
+    /// Add a fixed-selectivity filter.
+    pub fn filter(&mut self, rel: usize, selectivity: f64) -> &mut Self {
+        self.fixed_preds.push(FixedPredicate { relation: rel, selectivity });
+        self
+    }
+
+    /// Put a group-by aggregate on top.
+    pub fn aggregate(&mut self, groups: f64) -> &mut Self {
+        self.aggregate = Some(AggregateSpec { groups });
+        self
+    }
+
+    /// Require sorted output.
+    pub fn order_by(&mut self) -> &mut Self {
+        self.order_by = true;
+        self
+    }
+
+    /// Finish; panics if the template is invalid.
+    pub fn build(self) -> Arc<QueryTemplate> {
+        let t = QueryTemplate {
+            name: self.name,
+            relations: self.relations,
+            join_edges: self.join_edges,
+            param_preds: self.param_preds,
+            fixed_preds: self.fixed_preds,
+            aggregate: self.aggregate,
+            order_by: self.order_by,
+        };
+        t.validate().unwrap_or_else(|e| panic!("invalid template `{}`: {e}", t.name));
+        Arc::new(t)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_fixtures {
+    use super::*;
+    use pqo_catalog::schemas;
+
+    /// A 2-dimensional template over TPC-H: orders ⋈ lineitem with params on
+    /// o_totalprice and l_extendedprice.
+    pub fn two_dim() -> Arc<QueryTemplate> {
+        let cat = schemas::tpch_skew();
+        let mut b = TemplateBuilder::new("fixture_2d");
+        let o = b.relation(cat.expect_table("orders"), "o");
+        let l = b.relation(cat.expect_table("lineitem"), "l");
+        b.join((o, "orders_pk"), (l, "orders_fk"));
+        b.param(o, "o_totalprice", RangeOp::Le);
+        b.param(l, "l_extendedprice", RangeOp::Le);
+        b.aggregate(100.0);
+        b.build()
+    }
+
+    /// A 3-relation, 3-dimensional template: customer ⋈ orders ⋈ lineitem.
+    pub fn three_dim() -> Arc<QueryTemplate> {
+        let cat = schemas::tpch_skew();
+        let mut b = TemplateBuilder::new("fixture_3d");
+        let c = b.relation(cat.expect_table("customer"), "c");
+        let o = b.relation(cat.expect_table("orders"), "o");
+        let l = b.relation(cat.expect_table("lineitem"), "l");
+        b.join((c, "customer_pk"), (o, "customer_fk"));
+        b.join((o, "orders_pk"), (l, "orders_fk"));
+        b.param(c, "c_acctbal", RangeOp::Le);
+        b.param(o, "o_orderdate", RangeOp::Le);
+        b.param(l, "l_shipdate", RangeOp::Ge);
+        b.build()
+    }
+
+    /// Single-relation, 1-dimensional template.
+    pub fn one_rel() -> Arc<QueryTemplate> {
+        let cat = schemas::tpch_skew();
+        let mut b = TemplateBuilder::new("fixture_1r");
+        let l = b.relation(cat.expect_table("lineitem"), "l");
+        b.param(l, "l_shipdate", RangeOp::Le);
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_fixtures::*;
+    use super::*;
+    use pqo_catalog::schemas;
+
+    #[test]
+    fn builder_produces_valid_template() {
+        let t = two_dim();
+        assert_eq!(t.dimensions(), 2);
+        assert_eq!(t.num_relations(), 2);
+        assert!(t.validate().is_ok());
+        assert_eq!(t.full_relation_set(), 0b11);
+    }
+
+    #[test]
+    fn join_selectivity_from_ndv() {
+        let t = two_dim();
+        // orders_pk has ndv = 1.5M; lineitem.orders_fk ndv = 1.5M.
+        assert!((t.join_edges[0].selectivity - 1.0 / 1_500_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        let t = three_dim();
+        assert!(t.is_connected(0b111));
+        assert!(t.is_connected(0b011)); // customer-orders
+        assert!(t.is_connected(0b110)); // orders-lineitem
+        assert!(!t.is_connected(0b101)); // customer-lineitem: no direct edge
+        assert!(t.is_connected(0b001));
+        assert!(!t.is_connected(0));
+    }
+
+    #[test]
+    fn edge_helpers() {
+        let t = three_dim();
+        let e = &t.join_edges[0]; // customer(0) - orders(1)
+        assert_eq!(e.other_side(0).unwrap().0, 1);
+        assert_eq!(e.other_side(1).unwrap().0, 0);
+        assert!(e.other_side(2).is_none());
+        assert!(e.column_on(0).is_some());
+        assert!(e.column_on(2).is_none());
+        assert!(e.crosses(0b001, 0b010));
+        assert!(e.crosses(0b010, 0b001));
+        assert!(!e.crosses(0b001, 0b100));
+    }
+
+    #[test]
+    fn param_preds_on_relation() {
+        let t = three_dim();
+        assert_eq!(t.param_preds_on(0).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(t.param_preds_on(1).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(t.param_preds_on(2).collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn fixed_selectivity_product() {
+        let cat = schemas::tpch_skew();
+        let mut b = TemplateBuilder::new("t");
+        let l = b.relation(cat.expect_table("lineitem"), "l");
+        b.param(l, "l_shipdate", RangeOp::Le);
+        b.filter(l, 0.5);
+        b.filter(l, 0.25);
+        let t = b.build();
+        assert!((t.fixed_selectivity_on(0) - 0.125).abs() < 1e-12);
+        assert_eq!(t.fixed_selectivity_on(1), 1.0); // empty product
+    }
+
+    #[test]
+    fn disconnected_graph_rejected() {
+        let cat = schemas::tpch_skew();
+        let mut b = TemplateBuilder::new("bad");
+        let o = b.relation(cat.expect_table("orders"), "o");
+        let _l = b.relation(cat.expect_table("lineitem"), "l");
+        b.param(o, "o_totalprice", RangeOp::Le);
+        let t = QueryTemplate {
+            name: "bad".into(),
+            relations: b.relations.clone(),
+            join_edges: vec![],
+            param_preds: b.param_preds.clone(),
+            fixed_preds: vec![],
+            aggregate: None,
+            order_by: false,
+        };
+        assert!(t.validate().unwrap_err().contains("not connected"));
+    }
+
+    #[test]
+    fn bad_fixed_selectivity_rejected() {
+        let t = one_rel();
+        let mut bad = (*t).clone();
+        bad.fixed_preds.push(FixedPredicate { relation: 0, selectivity: 0.0 });
+        assert!(bad.validate().is_err());
+        bad.fixed_preds[0].selectivity = 1.5;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let t = two_dim();
+        let mut bad = (*t).clone();
+        bad.join_edges.push(JoinEdge { left: (0, 0), right: (0, 0), selectivity: 0.5 });
+        assert!(bad.validate().unwrap_err().contains("self-loop"));
+    }
+}

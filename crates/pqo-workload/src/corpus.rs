@@ -1,0 +1,690 @@
+//! The 90-template corpus (paper Section 7.1).
+//!
+//! The paper evaluates on 90 parameterized queries over TPC-H (skewed),
+//! TPC-DS, RD1 and RD2, built by adding one-sided range predicates so that
+//! selectivities can be controlled over wide ranges, with up to 10
+//! parameters and roughly a third of the templates having `d ≥ 4`
+//! (high-dimensional templates only on RD2).
+//!
+//! We define 20 join *shapes* across the four catalogs; each shape carries
+//! an ordered list of candidate parameterized predicates, and a template is
+//! a `(shape, d)` pair using the first `d` candidates. Some `(shape, d)`
+//! pairs additionally appear as a *variant* with the aggregate/order-by
+//! decoration toggled, which changes the plan space. The result is exactly
+//! 90 templates with the paper's dimension profile:
+//! `d = 1..=10` with counts `[12, 20, 28, 10, 5, 5, 3, 3, 2, 2]`.
+
+use std::sync::{Arc, OnceLock};
+
+use pqo_catalog::Catalog;
+use pqo_optimizer::template::{QueryTemplate, RangeOp, TemplateBuilder};
+
+use crate::regions;
+
+/// Which of the four catalogs a shape lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cat {
+    TpchSkew,
+    Tpcds,
+    Rd1,
+    Rd2,
+}
+
+impl Cat {
+    fn name(self) -> &'static str {
+        match self {
+            Cat::TpchSkew => "tpch_skew",
+            Cat::Tpcds => "tpcds",
+            Cat::Rd1 => "rd1",
+            Cat::Rd2 => "rd2",
+        }
+    }
+}
+
+use RangeOp::{Ge, Le};
+
+/// One side of a static join edge: `(relation index, column name)`.
+type JoinSide = (usize, &'static str);
+
+/// A join shape: tables, join edges, candidate parameter columns and
+/// decoration.
+struct ShapeDef {
+    id: &'static str,
+    catalog: Cat,
+    /// `(table, alias)` in relation order.
+    tables: &'static [(&'static str, &'static str)],
+    /// `((rel, col), (rel, col))` equi-join edges.
+    joins: &'static [(JoinSide, JoinSide)],
+    /// Candidate parameterized predicates, in dimension order.
+    params: &'static [(usize, &'static str, RangeOp)],
+    /// Aggregate group count, if the shape aggregates.
+    agg: Option<f64>,
+    /// Whether the shape sorts its output.
+    order_by: bool,
+}
+
+const SHAPES: &[ShapeDef] = &[
+    // ---- TPC-H (skewed) -------------------------------------------------
+    ShapeDef {
+        id: "A",
+        catalog: Cat::TpchSkew,
+        tables: &[("lineitem", "l")],
+        joins: &[],
+        params: &[
+            (0, "l_shipdate", Le),
+            (0, "l_extendedprice", Le),
+            (0, "l_quantity", Le),
+            (0, "l_receiptdate", Ge),
+            (0, "l_discount", Le),
+        ],
+        agg: None,
+        order_by: false,
+    },
+    ShapeDef {
+        id: "B",
+        catalog: Cat::TpchSkew,
+        tables: &[("orders", "o"), ("lineitem", "l")],
+        joins: &[((0, "orders_pk"), (1, "orders_fk"))],
+        params: &[
+            (0, "o_totalprice", Le),
+            (1, "l_extendedprice", Le),
+            (0, "o_orderdate", Le),
+            (1, "l_shipdate", Ge),
+            (1, "l_quantity", Le),
+        ],
+        agg: Some(100.0),
+        order_by: false,
+    },
+    ShapeDef {
+        id: "C",
+        catalog: Cat::TpchSkew,
+        tables: &[("customer", "c"), ("orders", "o")],
+        joins: &[((0, "customer_pk"), (1, "customer_fk"))],
+        params: &[(0, "c_acctbal", Le), (1, "o_totalprice", Le), (1, "o_orderdate", Ge)],
+        agg: None,
+        order_by: true,
+    },
+    ShapeDef {
+        id: "D",
+        catalog: Cat::TpchSkew,
+        tables: &[("customer", "c"), ("orders", "o"), ("lineitem", "l")],
+        joins: &[((0, "customer_pk"), (1, "customer_fk")), ((1, "orders_pk"), (2, "orders_fk"))],
+        params: &[
+            (0, "c_acctbal", Le),
+            (1, "o_orderdate", Le),
+            (2, "l_shipdate", Le),
+            (2, "l_extendedprice", Le),
+        ],
+        agg: Some(500.0),
+        order_by: false,
+    },
+    ShapeDef {
+        id: "E",
+        catalog: Cat::TpchSkew,
+        tables: &[("part", "p"), ("partsupp", "ps"), ("supplier", "s")],
+        joins: &[((0, "part_pk"), (1, "part_fk")), ((1, "supplier_fk"), (2, "supplier_pk"))],
+        params: &[
+            (0, "p_size", Le),
+            (1, "ps_supplycost", Le),
+            (2, "s_acctbal", Ge),
+            (0, "p_retailprice", Le),
+        ],
+        agg: None,
+        order_by: false,
+    },
+    ShapeDef {
+        id: "F",
+        catalog: Cat::TpchSkew,
+        tables: &[("orders", "o")],
+        joins: &[],
+        params: &[(0, "o_totalprice", Le), (0, "o_orderdate", Le)],
+        agg: Some(50.0),
+        order_by: false,
+    },
+    // ---- TPC-DS ---------------------------------------------------------
+    ShapeDef {
+        id: "G",
+        catalog: Cat::Tpcds,
+        tables: &[("store_sales", "ss"), ("date_dim", "dd"), ("item", "it")],
+        joins: &[
+            ((0, "date_dim_fk"), (1, "date_dim_pk")),
+            ((0, "item_fk"), (2, "item_pk")),
+        ],
+        params: &[
+            (0, "ss_sales_price", Le),
+            (2, "i_current_price", Le),
+            (1, "d_year", Le),
+            (0, "ss_quantity", Le),
+            (0, "ss_net_profit", Ge),
+        ],
+        agg: Some(200.0),
+        order_by: false,
+    },
+    ShapeDef {
+        id: "H",
+        catalog: Cat::Tpcds,
+        tables: &[("catalog_sales", "cs"), ("customer", "c"), ("customer_address", "ca")],
+        joins: &[
+            ((0, "customer_fk"), (1, "customer_pk")),
+            ((1, "customer_address_fk"), (2, "customer_address_pk")),
+        ],
+        params: &[
+            (0, "cs_wholesale_cost", Le),
+            (1, "c_birth_year", Le),
+            (0, "cs_quantity", Le),
+            (2, "ca_gmt_offset", Le),
+        ],
+        agg: None,
+        order_by: false,
+    },
+    ShapeDef {
+        id: "I",
+        catalog: Cat::Tpcds,
+        tables: &[("web_sales", "ws"), ("item", "it"), ("promotion", "pr")],
+        joins: &[
+            ((0, "item_fk"), (1, "item_pk")),
+            ((0, "promotion_fk"), (2, "promotion_pk")),
+        ],
+        params: &[
+            (0, "ws_sales_price", Le),
+            (1, "i_current_price", Ge),
+            (2, "p_cost", Le),
+            (0, "m1", Le),
+        ],
+        agg: None,
+        order_by: true,
+    },
+    ShapeDef {
+        id: "J",
+        catalog: Cat::Tpcds,
+        tables: &[("inventory", "inv"), ("item", "it"), ("warehouse", "w")],
+        joins: &[
+            ((0, "item_fk"), (1, "item_pk")),
+            ((0, "warehouse_fk"), (2, "warehouse_pk")),
+        ],
+        params: &[
+            (0, "inv_quantity_on_hand", Le),
+            (1, "i_current_price", Le),
+            (1, "i_brand", Le),
+        ],
+        agg: Some(80.0),
+        order_by: false,
+    },
+    ShapeDef {
+        id: "K",
+        catalog: Cat::Tpcds,
+        tables: &[("store_sales", "ss"), ("customer", "c")],
+        joins: &[((0, "customer_fk"), (1, "customer_pk"))],
+        params: &[
+            (0, "ss_net_profit", Le),
+            (1, "c_birth_year", Le),
+            (0, "ss_sales_price", Ge),
+            (0, "m2", Le),
+        ],
+        agg: None,
+        order_by: true,
+    },
+    // ---- RD1 ------------------------------------------------------------
+    ShapeDef {
+        id: "L",
+        catalog: Cat::Rd1,
+        tables: &[("transactions", "t"), ("accounts", "a"), ("merchants", "mr")],
+        joins: &[
+            ((0, "accounts_fk"), (1, "accounts_pk")),
+            ((0, "merchants_fk"), (2, "merchants_pk")),
+        ],
+        params: &[
+            (0, "t_amount", Le),
+            (1, "a_balance", Le),
+            (2, "mrc_rating", Le),
+            (0, "t_ts", Ge),
+        ],
+        agg: Some(300.0),
+        order_by: false,
+    },
+    ShapeDef {
+        id: "M",
+        catalog: Cat::Rd1,
+        tables: &[("sessions", "s"), ("users", "u")],
+        joins: &[((0, "users_fk"), (1, "users_pk"))],
+        params: &[
+            (0, "s_duration", Le),
+            (1, "u_score", Le),
+            (1, "u_age", Le),
+            (0, "s_ts", Ge),
+        ],
+        agg: None,
+        order_by: false,
+    },
+    ShapeDef {
+        id: "N",
+        catalog: Cat::Rd1,
+        tables: &[("orders_r", "or"), ("order_items", "oi"), ("products", "p")],
+        joins: &[
+            ((0, "orders_r_pk"), (1, "orders_r_fk")),
+            ((1, "products_fk"), (2, "products_pk")),
+        ],
+        params: &[
+            (0, "or_total", Le),
+            (1, "oi_price", Le),
+            (2, "p_price", Le),
+            (1, "oi_qty", Le),
+        ],
+        agg: Some(100.0),
+        order_by: false,
+    },
+    ShapeDef {
+        id: "O",
+        catalog: Cat::Rd1,
+        tables: &[("logs", "lg"), ("users", "u")],
+        joins: &[((0, "users_fk"), (1, "users_pk"))],
+        params: &[(0, "l_severity", Ge), (1, "u_score", Le), (0, "l_ts", Le)],
+        agg: None,
+        order_by: false,
+    },
+    // ---- RD2 (high-dimensional) ------------------------------------------
+    ShapeDef {
+        id: "P",
+        catalog: Cat::Rd2,
+        tables: &[("telemetry", "t"), ("devices", "d")],
+        joins: &[((0, "devices_fk"), (1, "devices_pk"))],
+        params: &[
+            (0, "t_ts", Le),
+            (0, "t_battery", Le),
+            (0, "t_signal", Le),
+            (1, "d_age_days", Le),
+            (0, "m1", Le),
+            (0, "m2", Le),
+            (0, "m3", Le),
+            (0, "m4", Ge),
+            (0, "m5", Le),
+            (0, "m6", Le),
+        ],
+        agg: Some(400.0),
+        order_by: false,
+    },
+    ShapeDef {
+        id: "Q",
+        catalog: Cat::Rd2,
+        tables: &[("readings", "r"), ("sensors", "sn")],
+        joins: &[((0, "sensors_fk"), (1, "sensors_pk"))],
+        params: &[
+            (0, "r_ts", Le),
+            (0, "r_value", Le),
+            (1, "sn_precision", Le),
+            (1, "sn_range", Le),
+            (0, "m1", Le),
+            (0, "m2", Le),
+            (0, "m3", Ge),
+            (0, "m4", Le),
+            (0, "m5", Le),
+        ],
+        agg: None,
+        order_by: false,
+    },
+    ShapeDef {
+        id: "R",
+        catalog: Cat::Rd2,
+        tables: &[("alerts", "al"), ("devices", "d"), ("firmware", "f")],
+        joins: &[
+            ((0, "devices_fk"), (1, "devices_pk")),
+            ((1, "firmware_fk"), (2, "firmware_pk")),
+        ],
+        params: &[
+            (0, "al_severity", Ge),
+            (0, "al_ts", Le),
+            (0, "m1", Le),
+            (0, "m2", Le),
+            (0, "m3", Le),
+            (0, "m4", Ge),
+            (1, "m1", Le),
+            (1, "m2", Le),
+        ],
+        agg: Some(100.0),
+        order_by: false,
+    },
+    ShapeDef {
+        id: "S",
+        catalog: Cat::Rd2,
+        tables: &[("maintenance", "mt"), ("devices", "d"), ("sites", "st")],
+        joins: &[
+            ((0, "devices_fk"), (1, "devices_pk")),
+            ((1, "sites_fk"), (2, "sites_pk")),
+        ],
+        params: &[
+            (0, "mt_cost", Le),
+            (0, "mt_duration", Le),
+            (1, "d_age_days", Le),
+            (2, "st_elevation", Le),
+            (1, "m1", Le),
+            (1, "m2", Le),
+            (1, "m3", Ge),
+            (1, "m4", Le),
+        ],
+        agg: None,
+        order_by: true,
+    },
+    ShapeDef {
+        id: "T",
+        catalog: Cat::Rd2,
+        tables: &[("telemetry", "t"), ("devices", "d"), ("sites", "st")],
+        joins: &[
+            ((0, "devices_fk"), (1, "devices_pk")),
+            ((1, "sites_fk"), (2, "sites_pk")),
+        ],
+        params: &[
+            (0, "t_signal", Le),
+            (0, "t_battery", Le),
+            (1, "d_age_days", Le),
+            (2, "st_elevation", Le),
+            (0, "m1", Le),
+            (0, "m2", Le),
+            (0, "m3", Le),
+            (0, "m4", Ge),
+            (0, "m5", Le),
+            (0, "m6", Le),
+        ],
+        agg: Some(250.0),
+        order_by: false,
+    },
+    // ---- Wide multi-relation shapes (the paper's real-world queries are
+    // multi-block statements over many relations, Section 7.1) -------------
+    ShapeDef {
+        id: "U",
+        catalog: Cat::TpchSkew,
+        tables: &[
+            ("customer", "c"),
+            ("orders", "o"),
+            ("lineitem", "l"),
+            ("part", "p"),
+            ("supplier", "s"),
+        ],
+        joins: &[
+            ((0, "customer_pk"), (1, "customer_fk")),
+            ((1, "orders_pk"), (2, "orders_fk")),
+            ((2, "part_fk"), (3, "part_pk")),
+            ((2, "supplier_fk"), (4, "supplier_pk")),
+        ],
+        params: &[
+            (0, "c_acctbal", Le),
+            (1, "o_totalprice", Le),
+            (2, "l_shipdate", Le),
+            (3, "p_retailprice", Le),
+        ],
+        agg: Some(300.0),
+        order_by: false,
+    },
+    ShapeDef {
+        id: "V",
+        catalog: Cat::Tpcds,
+        tables: &[
+            ("store_sales", "ss"),
+            ("date_dim", "dd"),
+            ("item", "it"),
+            ("customer", "c"),
+            ("store", "st"),
+        ],
+        joins: &[
+            ((0, "date_dim_fk"), (1, "date_dim_pk")),
+            ((0, "item_fk"), (2, "item_pk")),
+            ((0, "customer_fk"), (3, "customer_pk")),
+            ((0, "store_fk"), (4, "store_pk")),
+        ],
+        params: &[
+            (0, "ss_sales_price", Le),
+            (1, "d_year", Le),
+            (2, "i_current_price", Le),
+            (3, "c_birth_year", Le),
+        ],
+        agg: Some(200.0),
+        order_by: false,
+    },
+    ShapeDef {
+        id: "W",
+        catalog: Cat::Rd1,
+        tables: &[
+            ("order_items", "oi"),
+            ("orders_r", "or"),
+            ("users", "u"),
+            ("regions_r", "rr"),
+            ("products", "p"),
+        ],
+        joins: &[
+            ((0, "orders_r_fk"), (1, "orders_r_pk")),
+            ((1, "users_fk"), (2, "users_pk")),
+            ((2, "regions_r_fk"), (3, "regions_r_pk")),
+            ((0, "products_fk"), (4, "products_pk")),
+        ],
+        params: &[
+            (0, "oi_price", Le),
+            (1, "or_total", Le),
+            (2, "u_score", Le),
+            (4, "p_price", Le),
+        ],
+        agg: None,
+        order_by: true,
+    },
+];
+
+/// `(shape id, d, variant)` — the full corpus roster. A variant toggles the
+/// shape's aggregate/order-by decoration, yielding a different plan space
+/// over the same join shape.
+const ROSTER: &[(&str, usize, bool)] = &[
+    // d = 1 (12)
+    ("A", 1, false), ("B", 1, false), ("C", 1, false), ("F", 1, false),
+    ("G", 1, false), ("H", 1, false), ("J", 1, false), ("K", 1, false),
+    ("L", 1, false), ("M", 1, false), ("N", 1, false), ("O", 1, false),
+    // d = 2 (20)
+    ("A", 2, false), ("B", 2, false), ("C", 2, false), ("D", 2, false),
+    ("V", 2, false), ("F", 2, false), ("G", 2, false), ("H", 2, false),
+    ("I", 2, false), ("J", 2, false), ("K", 2, false), ("L", 2, false),
+    ("M", 2, false), ("N", 2, false), ("O", 2, false), ("P", 2, false),
+    ("Q", 2, false), ("R", 2, false), ("S", 2, false), ("T", 2, false),
+    // d = 3 (28)
+    ("A", 3, false), ("B", 3, false), ("C", 3, false), ("D", 3, false),
+    ("U", 3, false), ("G", 3, false), ("W", 3, false), ("I", 3, false),
+    ("J", 3, false), ("K", 3, false), ("L", 3, false), ("M", 3, false),
+    ("N", 3, false), ("O", 3, false), ("P", 3, false), ("Q", 3, false),
+    ("R", 3, false), ("S", 3, false), ("T", 3, false),
+    ("A", 3, true), ("B", 3, true), ("D", 3, true), ("G", 3, true),
+    ("I", 3, true), ("L", 3, true), ("N", 3, true), ("P", 3, true),
+    ("Q", 3, true),
+    // d = 4 (10)
+    ("A", 4, false), ("B", 4, false), ("U", 4, false), ("V", 4, false),
+    ("G", 4, false), ("W", 4, false), ("K", 4, false), ("L", 4, false),
+    ("M", 4, false), ("N", 4, false),
+    // d = 5 (5)
+    ("P", 5, false), ("Q", 5, false), ("R", 5, false), ("S", 5, false), ("T", 5, false),
+    // d = 6 (5)
+    ("P", 6, false), ("Q", 6, false), ("R", 6, false), ("S", 6, false), ("T", 6, false),
+    // d = 7 (3)
+    ("P", 7, false), ("Q", 7, false), ("T", 7, false),
+    // d = 8 (3)
+    ("P", 8, false), ("R", 8, false), ("S", 8, false),
+    // d = 9 (2)
+    ("Q", 9, false), ("T", 9, false),
+    // d = 10 (2)
+    ("P", 10, false), ("T", 10, false),
+];
+
+/// One corpus entry: a template plus generation metadata.
+#[derive(Debug, Clone)]
+pub struct TemplateSpec {
+    /// Corpus-unique identifier, e.g. `"tpch_skew_B_d2"`.
+    pub id: String,
+    /// Catalog the template queries.
+    pub catalog: &'static str,
+    /// The template.
+    pub template: Arc<QueryTemplate>,
+    /// Number of parameterized predicates.
+    pub dimensions: usize,
+    /// Per-template seed component for instance generation.
+    pub seed: u64,
+}
+
+impl TemplateSpec {
+    /// Generate `m` instances using the region bucketization of
+    /// Section 7.1, deterministic in `(self.seed, seed)`.
+    pub fn generate(&self, m: usize, seed: u64) -> Vec<pqo_optimizer::template::QueryInstance> {
+        regions::generate(&self.template, m, self.seed ^ seed.rotate_left(17))
+    }
+
+    /// The paper's sequence length for this template: 1000 instances, 2000
+    /// when `d > 3` (Section 7.1).
+    pub fn default_len(&self) -> usize {
+        if self.dimensions > 3 {
+            2000
+        } else {
+            1000
+        }
+    }
+}
+
+fn build_template(shape: &ShapeDef, cat: &Catalog, d: usize, variant: bool) -> Arc<QueryTemplate> {
+    assert!(d >= 1 && d <= shape.params.len(), "shape {} supports d ≤ {}", shape.id, shape.params.len());
+    let variant_tag = if variant { "v" } else { "" };
+    let name = format!("{}_{}_d{}{}", shape.catalog.name(), shape.id, d, variant_tag);
+    let mut b = TemplateBuilder::new(&name);
+    for (table, alias) in shape.tables {
+        let t = cat.expect_table(table);
+        b.relation(t, alias);
+    }
+    for ((lr, lc), (rr, rc)) in shape.joins {
+        b.join((*lr, lc), (*rr, rc));
+    }
+    for (rel, col, op) in &shape.params[..d] {
+        b.param(*rel, col, *op);
+    }
+    let (agg, order_by) = if variant {
+        // Variant: toggle the decoration to change the plan space.
+        match shape.agg {
+            Some(_) => (None, true),
+            None => (Some(150.0), shape.order_by),
+        }
+    } else {
+        (shape.agg, shape.order_by)
+    };
+    if let Some(g) = agg {
+        b.aggregate(g);
+    }
+    if order_by {
+        b.order_by();
+    }
+    b.build()
+}
+
+fn shape(id: &str) -> &'static ShapeDef {
+    SHAPES.iter().find(|s| s.id == id).unwrap_or_else(|| panic!("unknown shape {id}"))
+}
+
+/// The full 90-template corpus. Catalogs and statistics are built once and
+/// cached for the process lifetime.
+pub fn corpus() -> &'static [TemplateSpec] {
+    static CORPUS: OnceLock<Vec<TemplateSpec>> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let catalogs = [
+            pqo_catalog::schemas::tpch_skew(),
+            pqo_catalog::schemas::tpcds(),
+            pqo_catalog::schemas::rd1(),
+            pqo_catalog::schemas::rd2(),
+        ];
+        let cat_of = |c: Cat| match c {
+            Cat::TpchSkew => &catalogs[0],
+            Cat::Tpcds => &catalogs[1],
+            Cat::Rd1 => &catalogs[2],
+            Cat::Rd2 => &catalogs[3],
+        };
+        ROSTER
+            .iter()
+            .enumerate()
+            .map(|(i, &(id, d, variant))| {
+                let s = shape(id);
+                let template = build_template(s, cat_of(s.catalog), d, variant);
+                TemplateSpec {
+                    id: template.name.clone(),
+                    catalog: s.catalog.name(),
+                    template,
+                    dimensions: d,
+                    seed: 0x5eed_0000 + i as u64,
+                }
+            })
+            .collect()
+    })
+}
+
+/// Corpus entries with exactly `d` dimensions (used by the Figure 12
+/// dimension sweep).
+pub fn corpus_with_dimensions(d: usize) -> Vec<&'static TemplateSpec> {
+    corpus().iter().filter(|s| s.dimensions == d).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_ninety_templates() {
+        assert_eq!(corpus().len(), 90);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<_> = corpus().iter().map(|s| s.id.clone()).collect();
+        ids.sort();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate template ids");
+    }
+
+    #[test]
+    fn dimension_profile_matches_paper() {
+        let mut counts = [0usize; 11];
+        for s in corpus() {
+            counts[s.dimensions] += 1;
+        }
+        assert_eq!(&counts[1..], &[12, 20, 28, 10, 5, 5, 3, 3, 2, 2]);
+        // About a third have d >= 4 (paper: ≈ 1/3).
+        let high: usize = counts[4..].iter().sum();
+        assert_eq!(high, 30);
+    }
+
+    #[test]
+    fn high_dimensional_templates_only_on_rd2() {
+        for s in corpus() {
+            if s.dimensions >= 5 {
+                assert_eq!(s.catalog, "rd2", "{} has d={} on {}", s.id, s.dimensions, s.catalog);
+            }
+        }
+    }
+
+    #[test]
+    fn all_templates_validate() {
+        for s in corpus() {
+            assert!(s.template.validate().is_ok(), "{} invalid", s.id);
+            assert_eq!(s.template.dimensions(), s.dimensions);
+        }
+    }
+
+    #[test]
+    fn default_lengths_follow_paper() {
+        for s in corpus() {
+            assert_eq!(s.default_len(), if s.dimensions > 3 { 2000 } else { 1000 });
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_distinct_per_template() {
+        let a = &corpus()[0];
+        let b = &corpus()[1];
+        assert_eq!(a.generate(10, 1), a.generate(10, 1));
+        assert_ne!(a.seed, b.seed);
+    }
+
+    #[test]
+    fn every_dimension_query_works() {
+        for d in 1..=10 {
+            assert!(!corpus_with_dimensions(d).is_empty(), "no templates with d={d}");
+        }
+        assert!(corpus_with_dimensions(11).is_empty());
+    }
+}

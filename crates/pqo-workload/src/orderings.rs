@@ -1,0 +1,193 @@
+//! Workload orderings (paper Section 7.1 and Appendix H.1).
+//!
+//! The same instance set is presented in five different orders to test each
+//! technique's robustness to sequence patterns: a random order plus the
+//! four adversarial orders of Appendix H.1. The non-random orders require
+//! the per-instance optimal cost/plan, i.e. a
+//! [`pqo_core::runner::GroundTruth`].
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use pqo_core::runner::GroundTruth;
+
+/// The five sequence orderings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ordering {
+    /// Uniformly random shuffle.
+    Random,
+    /// Decreasing optimal-cost order (H.1 #1) — hostile to PCM, which never
+    /// sees a dominating pair until late.
+    DecreasingCost,
+    /// Round-robin across the optimality regions of distinct plans (H.1 #2).
+    RoundRobinByPlan,
+    /// Instances with near-average optimal cost first, diverging to the
+    /// extremes (H.1 #3).
+    InsideOut,
+    /// Extreme-cost instances first, converging to the average (H.1 #4).
+    OutsideIn,
+}
+
+impl Ordering {
+    /// All five orderings, in the order used by the evaluation.
+    pub const ALL: [Ordering; 5] = [
+        Ordering::Random,
+        Ordering::DecreasingCost,
+        Ordering::RoundRobinByPlan,
+        Ordering::InsideOut,
+        Ordering::OutsideIn,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Ordering::Random => "random",
+            Ordering::DecreasingCost => "dec_cost",
+            Ordering::RoundRobinByPlan => "round_robin",
+            Ordering::InsideOut => "inside_out",
+            Ordering::OutsideIn => "outside_in",
+        }
+    }
+
+    /// Compute the permutation (indices into the ground truth's instance
+    /// set) realizing this ordering.
+    pub fn permutation(self, gt: &GroundTruth, seed: u64) -> Vec<usize> {
+        let n = gt.len();
+        let mut idx: Vec<usize> = (0..n).collect();
+        match self {
+            Ordering::Random => {
+                idx.shuffle(&mut StdRng::seed_from_u64(seed));
+            }
+            Ordering::DecreasingCost => {
+                idx.sort_by(|&a, &b| gt.opt_costs[b].partial_cmp(&gt.opt_costs[a]).unwrap());
+            }
+            Ordering::RoundRobinByPlan => {
+                // Group indices by optimal plan, then deal one per group.
+                let mut groups: std::collections::BTreeMap<_, Vec<usize>> = Default::default();
+                for &i in &idx {
+                    groups.entry(gt.opt_plans[i].fingerprint()).or_default().push(i);
+                }
+                let mut queues: Vec<Vec<usize>> = groups.into_values().collect();
+                for q in &mut queues {
+                    q.reverse(); // pop from the back = original order
+                }
+                let mut out = Vec::with_capacity(n);
+                while out.len() < n {
+                    for q in &mut queues {
+                        if let Some(i) = q.pop() {
+                            out.push(i);
+                        }
+                    }
+                }
+                idx = out;
+            }
+            Ordering::InsideOut | Ordering::OutsideIn => {
+                let median = {
+                    let mut costs = gt.opt_costs.clone();
+                    costs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    costs[n / 2]
+                };
+                idx.sort_by(|&a, &b| {
+                    let da = (gt.opt_costs[a] - median).abs();
+                    let db = (gt.opt_costs[b] - median).abs();
+                    da.partial_cmp(&db).unwrap()
+                });
+                if self == Ordering::OutsideIn {
+                    idx.reverse();
+                }
+            }
+        }
+        idx
+    }
+
+    /// Apply the permutation to any per-instance slice.
+    pub fn apply<T: Clone>(order: &[usize], items: &[T]) -> Vec<T> {
+        order.iter().map(|&i| items[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqo_core::engine::QueryEngine;
+    use pqo_optimizer::template::{RangeOp, TemplateBuilder};
+    use std::sync::Arc;
+
+    fn ground_truth() -> GroundTruth {
+        let cat = pqo_catalog::schemas::tpch_skew();
+        let mut b = TemplateBuilder::new("ordering_test");
+        let l = b.relation(cat.expect_table("lineitem"), "l");
+        b.param(l, "l_shipdate", RangeOp::Le);
+        let t = b.build();
+        let instances = crate::regions::generate(&t, 60, 5);
+        let mut engine = QueryEngine::new(Arc::clone(&t));
+        GroundTruth::compute(&mut engine, &instances)
+    }
+
+    #[test]
+    fn permutations_are_complete() {
+        let gt = ground_truth();
+        for o in Ordering::ALL {
+            let mut p = o.permutation(&gt, 1);
+            assert_eq!(p.len(), gt.len());
+            p.sort();
+            assert_eq!(p, (0..gt.len()).collect::<Vec<_>>(), "{} not a permutation", o.name());
+        }
+    }
+
+    #[test]
+    fn decreasing_cost_is_sorted() {
+        let gt = ground_truth();
+        let p = Ordering::DecreasingCost.permutation(&gt, 0);
+        for w in p.windows(2) {
+            assert!(gt.opt_costs[w[0]] >= gt.opt_costs[w[1]]);
+        }
+    }
+
+    #[test]
+    fn inside_out_starts_near_median_and_outside_in_reverses_it() {
+        let gt = ground_truth();
+        let inside = Ordering::InsideOut.permutation(&gt, 0);
+        let outside = Ordering::OutsideIn.permutation(&gt, 0);
+        assert_eq!(inside.iter().rev().copied().collect::<Vec<_>>(), outside);
+        let mut costs = gt.opt_costs.clone();
+        costs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = costs[gt.len() / 2];
+        let first_dev = (gt.opt_costs[inside[0]] - median).abs();
+        let last_dev = (gt.opt_costs[*inside.last().unwrap()] - median).abs();
+        assert!(first_dev <= last_dev);
+    }
+
+    #[test]
+    fn round_robin_alternates_plan_groups() {
+        let gt = ground_truth();
+        let p = Ordering::RoundRobinByPlan.permutation(&gt, 0);
+        let plans: Vec<_> = p.iter().map(|&i| gt.opt_plans[i].fingerprint()).collect();
+        let distinct = gt.distinct_plans();
+        if distinct >= 2 {
+            // Within the first `distinct` picks, all plans must differ.
+            let head: std::collections::BTreeSet<_> = plans[..distinct].iter().collect();
+            assert_eq!(head.len(), distinct);
+        }
+    }
+
+    #[test]
+    fn random_is_seeded() {
+        let gt = ground_truth();
+        assert_eq!(
+            Ordering::Random.permutation(&gt, 42),
+            Ordering::Random.permutation(&gt, 42)
+        );
+        assert_ne!(
+            Ordering::Random.permutation(&gt, 42),
+            Ordering::Random.permutation(&gt, 43)
+        );
+    }
+
+    #[test]
+    fn apply_permutes_any_slice() {
+        let items = vec!["a", "b", "c"];
+        assert_eq!(Ordering::apply(&[2, 0, 1], &items), vec!["c", "a", "b"]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Region-bucketized instance generation (paper Section 7.1).
+//!
+//! A workload is challenging for online PQO when instances have widely
+//! varying selectivities and many distinct optimal plans, yet enough
+//! proximity for reuse. The paper achieves this by dividing the selectivity
+//! space into `d + 2` regions and drawing `m/(d+2)` instances from each:
+//!
+//! * `Region0` — every parameterized predicate selective (small);
+//! * `Region1` — every parameterized predicate non-selective (large);
+//! * `Region_di` — only dimension `i` non-selective.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use pqo_optimizer::svector::instance_for_target;
+use pqo_optimizer::template::{QueryInstance, QueryTemplate};
+
+/// Bounds for "small" selectivities (log-uniform within).
+pub const SMALL_SEL: (f64, f64) = (1e-3, 0.05);
+
+/// Bounds for "large" selectivities (uniform within).
+pub const LARGE_SEL: (f64, f64) = (0.2, 1.0);
+
+fn small<R: Rng>(rng: &mut R) -> f64 {
+    let (lo, hi) = SMALL_SEL;
+    (lo.ln() + rng.gen::<f64>() * (hi.ln() - lo.ln())).exp()
+}
+
+fn large<R: Rng>(rng: &mut R) -> f64 {
+    let (lo, hi) = LARGE_SEL;
+    rng.gen_range(lo..=hi)
+}
+
+/// One target selectivity vector from region `region` (0 = Region0,
+/// 1 = Region1, `2 + i` = Region_di).
+fn target_from_region<R: Rng>(rng: &mut R, d: usize, region: usize) -> Vec<f64> {
+    (0..d)
+        .map(|dim| match region {
+            0 => small(rng),
+            1 => large(rng),
+            r => {
+                if dim == r - 2 {
+                    large(rng)
+                } else {
+                    small(rng)
+                }
+            }
+        })
+        .collect()
+}
+
+/// Generate `m` instances for `template` using the region bucketization,
+/// then shuffle (the base "random" order). Deterministic per `seed`.
+pub fn generate(template: &QueryTemplate, m: usize, seed: u64) -> Vec<QueryInstance> {
+    let d = template.dimensions();
+    assert!(d >= 1, "template must be parameterized");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    let regions = d + 2;
+    let mut instances = Vec::with_capacity(m);
+    for k in 0..m {
+        // Cycle through regions so each gets ⌈m/(d+2)⌉ or ⌊m/(d+2)⌋.
+        let region = k % regions;
+        let target = target_from_region(&mut rng, d, region);
+        instances.push(instance_for_target(template, &target));
+    }
+    instances.shuffle(&mut rng);
+    instances
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqo_optimizer::svector::compute_svector;
+    use pqo_optimizer::template::{RangeOp, TemplateBuilder};
+    use std::sync::Arc;
+
+    fn fixture() -> Arc<QueryTemplate> {
+        let cat = pqo_catalog::schemas::tpch_skew();
+        let mut b = TemplateBuilder::new("regions_test");
+        let o = b.relation(cat.expect_table("orders"), "o");
+        let l = b.relation(cat.expect_table("lineitem"), "l");
+        b.join((o, "orders_pk"), (l, "orders_fk"));
+        b.param(o, "o_totalprice", RangeOp::Le);
+        b.param(l, "l_extendedprice", RangeOp::Le);
+        b.build()
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let t = fixture();
+        assert_eq!(generate(&t, 100, 1).len(), 100);
+        assert_eq!(generate(&t, 0, 1).len(), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = fixture();
+        assert_eq!(generate(&t, 50, 7), generate(&t, 50, 7));
+        assert_ne!(generate(&t, 50, 7), generate(&t, 50, 8));
+    }
+
+    #[test]
+    fn covers_all_regions() {
+        let t = fixture(); // d = 2 → 4 regions
+        let instances = generate(&t, 400, 3);
+        let mut seen = [0usize; 4]; // [both small, both large, d1 large, d2 large]
+        for inst in &instances {
+            let sv = compute_svector(&t, inst);
+            // Histogram quantization can push a "small" target slightly
+            // around; classify with a mid threshold.
+            let big0 = sv.get(0) > 0.1;
+            let big1 = sv.get(1) > 0.1;
+            match (big0, big1) {
+                (false, false) => seen[0] += 1,
+                (true, true) => seen[1] += 1,
+                (true, false) => seen[2] += 1,
+                (false, true) => seen[3] += 1,
+            }
+        }
+        for (i, &count) in seen.iter().enumerate() {
+            assert!(count >= 60, "region {i} underrepresented: {count}/400");
+        }
+    }
+
+    #[test]
+    fn small_selectivities_are_log_spread() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..2000).map(|_| small(&mut rng)).collect();
+        let (lo, hi) = SMALL_SEL;
+        assert!(samples.iter().all(|&s| (lo..=hi).contains(&s)));
+        // Log-uniform: the geometric midpoint splits the samples roughly in
+        // half, unlike a linear-uniform draw which would put ~86% above it.
+        let mid = (lo * hi).sqrt();
+        let below = samples.iter().filter(|&&s| s < mid).count();
+        assert!((800..1200).contains(&below), "{below}");
+    }
+}

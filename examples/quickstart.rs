@@ -1,0 +1,64 @@
+//! Quickstart: run SCR over a parameterized-query workload.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a TPC-H-style parameterized query, streams 500 instances through
+//! SCR with λ = 1.5, and reports the three metrics of the paper: cost
+//! sub-optimality, optimizer calls saved, and plans cached.
+
+use std::sync::Arc;
+
+use pqo::core::engine::QueryEngine;
+use pqo::core::runner::{run_sequence, GroundTruth};
+use pqo::core::scr::Scr;
+use pqo::optimizer::template::{RangeOp, TemplateBuilder};
+use pqo::workload::regions;
+
+fn main() {
+    // 1. A catalog: synthetic TPC-H with skewed data.
+    let catalog = pqo::catalog::schemas::tpch_skew();
+
+    // 2. A parameterized query: orders ⋈ lineitem with two parameterized
+    //    range predicates (the query's "dimensions").
+    let mut b = TemplateBuilder::new("quickstart");
+    let o = b.relation(catalog.expect_table("orders"), "o");
+    let l = b.relation(catalog.expect_table("lineitem"), "l");
+    b.join((o, "orders_pk"), (l, "orders_fk"));
+    b.param(o, "o_totalprice", RangeOp::Le);
+    b.param(l, "l_shipdate", RangeOp::Le);
+    b.aggregate(100.0);
+    let template = b.build();
+
+    // 3. A workload: 500 instances spanning the selectivity space.
+    let instances = regions::generate(&template, 500, 42);
+
+    // 4. The engine (optimizer + sVector + Recost APIs) and the oracle.
+    let mut engine = QueryEngine::new(Arc::clone(&template));
+    let gt = GroundTruth::compute(&mut engine, &instances);
+
+    // 5. SCR with a 1.5x sub-optimality budget.
+    let mut scr = Scr::new(1.5);
+    let result = run_sequence(&mut scr, &mut engine, &instances, &gt);
+
+    println!("instances processed : {}", result.num_instances);
+    println!("distinct optimal plans in workload: {}", result.distinct_optimal_plans);
+    println!();
+    println!("optimizer calls     : {} ({:.1}% of instances)", result.num_opt, result.num_opt_pct());
+    println!("plans cached        : {}", result.num_plans);
+    println!("max sub-optimality  : {:.3} (guaranteed ≤ 1.5 under BCG)", result.mso());
+    println!("total cost ratio    : {:.4}", result.total_cost_ratio());
+    println!();
+    println!(
+        "engine time — optimize: {:?}, recost: {:?} ({} calls)",
+        result.optimize_time, result.recost_time, result.recost_calls
+    );
+    println!(
+        "selectivity-check hits: {}, cost-check hits: {}",
+        scr.stats().selectivity_hits,
+        scr.stats().cost_hits
+    );
+
+    assert!(result.mso() <= 1.5 * 1.01, "λ-optimality violated beyond tolerance");
+}

@@ -1,0 +1,43 @@
+//! # pqo — online parametric query optimization with re-costing guarantees
+//!
+//! A from-scratch Rust reproduction of *"Leveraging Re-costing for Online
+//! Optimization of Parameterized Queries with Guarantees"* (Dutt, Narasayya,
+//! Chaudhuri — SIGMOD 2017).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`catalog`] — synthetic catalogs, histograms, column statistics.
+//! * [`optimizer`] — the cost-based memo/DP query optimizer substrate, with
+//!   the `sVector` and `Recost` engine APIs the paper requires (§4.2).
+//! * [`core`] — the paper's contribution: the SCR technique (selectivity,
+//!   cost, and redundancy checks), every baseline (Optimize-Always/Once,
+//!   PCM, Ellipse, Density, Ranges), metrics and the sequence runner.
+//! * [`workload`] — the 90-template corpus, region-bucketized instance
+//!   generation and the five orderings of §7.1.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pqo::core::{scr::Scr, OnlinePqo, engine::QueryEngine};
+//! use pqo::workload::corpus;
+//!
+//! // Pick a template from the corpus and generate a short workload.
+//! let spec = &corpus::corpus()[0];
+//! let workload = spec.generate(64, 7);
+//! let mut engine = QueryEngine::new(spec.template.clone());
+//!
+//! // Run SCR with a 2x sub-optimality budget.
+//! let mut scr = Scr::new(2.0);
+//! for inst in &workload {
+//!     let sv = engine.compute_svector(inst);
+//!     // choice.plan is guaranteed λ-optimal for this instance (under BCG).
+//!     let choice = scr.get_plan(inst, &sv, &mut engine);
+//!     assert!(choice.plan.size() >= 1);
+//! }
+//! assert!(engine.stats().optimize_calls < 64);
+//! ```
+
+pub use pqo_catalog as catalog;
+pub use pqo_core as core;
+pub use pqo_optimizer as optimizer;
+pub use pqo_workload as workload;

@@ -1,0 +1,150 @@
+//! Integration tests pinning the comparative behaviour of the baseline
+//! techniques — the qualitative claims of the paper's Section 3 and
+//! Table 1, verified end-to-end on corpus workloads.
+
+use std::sync::Arc;
+
+use pqo::core::baselines::{Density, Ellipse, OptimizeAlways, OptimizeOnce, Pcm, Ranges};
+use pqo::core::engine::QueryEngine;
+use pqo::core::runner::{run_sequence, GroundTruth};
+use pqo::core::OnlinePqo;
+use pqo::workload::corpus::corpus;
+
+fn run(
+    tech: &mut dyn OnlinePqo,
+    idx: usize,
+    m: usize,
+    seed: u64,
+) -> pqo::core::metrics::RunResult {
+    let spec = &corpus()[idx];
+    let instances = spec.generate(m, seed);
+    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
+    let gt = GroundTruth::compute(&mut engine, &instances);
+    run_sequence(tech, &mut engine, &instances, &gt)
+}
+
+#[test]
+fn optimize_always_is_the_quality_oracle() {
+    let r = run(&mut OptimizeAlways::new(), 14, 150, 1);
+    assert_eq!(r.mso(), 1.0);
+    assert_eq!(r.total_cost_ratio(), 1.0);
+    assert_eq!(r.num_opt as usize, r.num_instances);
+}
+
+#[test]
+fn optimize_once_has_minimal_overhead_and_unbounded_quality_risk() {
+    // Across several templates: exactly one optimizer call, one plan, and
+    // at least one template where the single plan is badly sub-optimal.
+    let mut worst = 1.0f64;
+    for idx in [3, 14, 33, 50] {
+        let r = run(&mut OptimizeOnce::new(), idx, 200, 2);
+        assert_eq!(r.num_opt, 1);
+        assert_eq!(r.num_plans, 1);
+        worst = worst.max(r.mso());
+    }
+    assert!(worst > 10.0, "OptOnce should be badly sub-optimal somewhere (worst {worst})");
+}
+
+#[test]
+fn pcm_guarantee_holds_under_monotone_costs() {
+    for idx in [5, 14, 33] {
+        let r = run(&mut Pcm::new(2.0), idx, 200, 3);
+        assert!(
+            r.mso() <= 2.0 * 1.001 || r.violation_rate(2.0) < 0.01,
+            "PCM bound broken on template {idx}: MSO {}",
+            r.mso()
+        );
+    }
+}
+
+#[test]
+fn pcm_pays_with_many_optimizer_calls() {
+    // PCM needs dominating pairs; on region-bucketized workloads it
+    // optimizes far more than the heuristics (paper Figure 9).
+    let idx = 30;
+    let pcm = run(&mut Pcm::new(2.0), idx, 300, 4);
+    let ranges = run(&mut Ranges::new(0.01), idx, 300, 4);
+    assert!(
+        pcm.num_opt > 2 * ranges.num_opt,
+        "PCM ({}) should optimize much more than Ranges ({})",
+        pcm.num_opt,
+        ranges.num_opt
+    );
+}
+
+#[test]
+fn heuristics_store_every_distinct_plan_they_meet() {
+    // No heuristic drops plans: numPlans equals the number of distinct
+    // plans among the instances each one optimized.
+    let idx = 22;
+    for tech in [
+        &mut Ellipse::new(0.9) as &mut dyn OnlinePqo,
+        &mut Density::new(0.1, 0.5),
+        &mut Ranges::new(0.01),
+    ] {
+        let r = run(tech, idx, 250, 5);
+        assert!(r.num_plans >= 1);
+        assert!(r.num_plans <= r.num_opt as usize, "cannot store more plans than optimizations");
+        assert_eq!(tech.plans_cached(), tech.max_plans_cached(), "heuristics never drop plans");
+    }
+}
+
+#[test]
+fn heuristics_can_violate_any_bound() {
+    // Section 3 / Appendix A: selectivity-distance inference has no cost
+    // guarantee. Find at least one corpus template where each heuristic
+    // exceeds MSO = 2 (the bound SCR/PCM would honour).
+    let mut ellipse_worst = 1.0f64;
+    let mut density_worst = 1.0f64;
+    let mut ranges_worst = 1.0f64;
+    for idx in [3, 14, 22, 33, 50, 61] {
+        ellipse_worst = ellipse_worst.max(run(&mut Ellipse::new(0.9), idx, 250, 6).mso());
+        density_worst = density_worst.max(run(&mut Density::new(0.1, 0.5), idx, 250, 6).mso());
+        ranges_worst = ranges_worst.max(run(&mut Ranges::new(0.01), idx, 250, 6).mso());
+    }
+    assert!(ellipse_worst > 2.0, "Ellipse stayed bounded ({ellipse_worst}) — suspicious");
+    assert!(density_worst > 2.0, "Density stayed bounded ({density_worst}) — suspicious");
+    assert!(ranges_worst > 2.0, "Ranges stayed bounded ({ranges_worst}) — suspicious");
+}
+
+#[test]
+fn redundancy_augmentation_trades_quality_for_plans() {
+    // Appendix H.6 / Figure 21: adding the Recost redundancy check to a
+    // heuristic shrinks its plan cache without improving its MSO.
+    let idx = 33;
+    let plain = run(&mut Ellipse::new(0.9), idx, 300, 7);
+    let lean = run(&mut Ellipse::with_redundancy(0.9, 2.0f64.sqrt()), idx, 300, 7);
+    assert!(
+        lean.num_plans <= plain.num_plans,
+        "redundancy check should not store more plans ({} vs {})",
+        lean.num_plans,
+        plain.num_plans
+    );
+}
+
+#[test]
+fn pcm_improves_dramatically_on_random_orderings() {
+    // Appendix H.5 / Figure 20: adversarial orderings (e.g. decreasing
+    // cost) starve PCM of dominating pairs.
+    use pqo::workload::orderings::Ordering;
+    let spec = &corpus()[14];
+    let instances = spec.generate(300, 8);
+    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
+    let gt = GroundTruth::compute(&mut engine, &instances);
+
+    let mut by_ordering = Vec::new();
+    for ordering in [Ordering::Random, Ordering::DecreasingCost] {
+        let order = ordering.permutation(&gt, 1);
+        let seq = Ordering::apply(&order, &instances);
+        let seq_gt = gt.permute(&order);
+        let mut pcm = Pcm::new(2.0);
+        let r = run_sequence(&mut pcm, &mut engine, &seq, &seq_gt);
+        by_ordering.push(r.num_opt);
+    }
+    assert!(
+        by_ordering[0] < by_ordering[1],
+        "random ({}) should need fewer PCM optimizations than decreasing-cost ({})",
+        by_ordering[0],
+        by_ordering[1]
+    );
+}

@@ -1,0 +1,149 @@
+//! Integration tests for the engine contract the paper requires
+//! (Section 4.2): the optimizer, the Recost API and sVector computation
+//! must agree with each other across the whole corpus.
+
+use std::sync::Arc;
+
+use pqo::core::engine::QueryEngine;
+use pqo::optimizer::svector::compute_svector;
+use pqo::workload::corpus::corpus;
+
+/// `optimize(q).cost == recost(optimize(q).plan, q)` — the consistency
+/// invariant the sub-optimality accounting rests on. Checked across every
+/// corpus template.
+#[test]
+fn recost_agrees_with_optimizer_on_every_template() {
+    for spec in corpus() {
+        let instances = spec.generate(20, 11);
+        let mut engine = QueryEngine::new(Arc::clone(&spec.template));
+        for inst in &instances {
+            let sv = engine.compute_svector(inst);
+            let opt = engine.optimize(&sv);
+            let rc = engine.recost(&opt.plan, &sv);
+            assert!(
+                (opt.cost - rc).abs() <= 1e-9 * opt.cost.max(1.0),
+                "{}: optimize {} != recost {}",
+                spec.id,
+                opt.cost,
+                rc
+            );
+        }
+    }
+}
+
+/// The optimizer must never be beaten by a plan it produced elsewhere for
+/// the same template (local optimality of the DP winner).
+#[test]
+fn optimizer_winner_is_never_beaten_by_sibling_plans() {
+    for spec in corpus().iter().step_by(9) {
+        let instances = spec.generate(12, 13);
+        let mut engine = QueryEngine::new(Arc::clone(&spec.template));
+        let results: Vec<_> = instances
+            .iter()
+            .map(|inst| {
+                let sv = engine.compute_svector(inst);
+                (sv.clone(), engine.optimize(&sv))
+            })
+            .collect();
+        for (sv, opt) in &results {
+            for (_, other) in &results {
+                let c = engine.recost(&other.plan, sv);
+                assert!(
+                    opt.cost <= c * (1.0 + 1e-9),
+                    "{}: plan {} beats the 'optimal' plan at some instance ({c} < {})",
+                    spec.id,
+                    other.plan.fingerprint(),
+                    opt.cost
+                );
+            }
+        }
+    }
+}
+
+/// Optimal cost must be monotone along every dimension (PCM at the level of
+/// the optimal-cost function — what the PCM baseline's guarantee rests on).
+#[test]
+fn optimal_cost_is_monotone_per_dimension() {
+    for spec in corpus().iter().step_by(11) {
+        let d = spec.dimensions;
+        let mut engine = QueryEngine::new(Arc::clone(&spec.template));
+        for dim in 0..d {
+            let mut prev = 0.0f64;
+            for step in 1..=8 {
+                let mut target = vec![0.05; d];
+                target[dim] = step as f64 / 8.0;
+                let inst = pqo::optimizer::svector::instance_for_target(&spec.template, &target);
+                let sv = compute_svector(&spec.template, &inst);
+                let cost = engine.optimize(&sv).cost;
+                assert!(
+                    cost >= prev * (1.0 - 1e-9),
+                    "{}: optimal cost dropped along dim {dim}: {prev} -> {cost}",
+                    spec.id
+                );
+                prev = cost;
+            }
+        }
+    }
+}
+
+/// The selectivity vector of a generated instance must stay within the
+/// generator's region bounds (up to histogram/value-grid quantization).
+#[test]
+fn generated_instances_land_near_their_target_regions() {
+    for spec in corpus().iter().step_by(7) {
+        let instances = spec.generate(60, 3);
+        for inst in &instances {
+            let sv = compute_svector(&spec.template, inst);
+            for i in 0..sv.len() {
+                let s = sv.get(i);
+                assert!(s > 0.0 && s <= 1.0, "{}: dim {i} selectivity {s}", spec.id);
+            }
+        }
+    }
+}
+
+/// Plan fingerprints must be consistent: re-optimizing the same selectivity
+/// vector returns the identical plan identity, and the engine's interner
+/// returns the same allocation.
+#[test]
+fn plan_identity_is_stable_across_repeated_optimizations() {
+    for spec in corpus().iter().step_by(13) {
+        let instances = spec.generate(8, 17);
+        let mut engine = QueryEngine::new(Arc::clone(&spec.template));
+        for inst in &instances {
+            let sv = engine.compute_svector(inst);
+            let a = engine.optimize(&sv);
+            let b = engine.optimize(&sv);
+            assert_eq!(a.plan.fingerprint(), b.plan.fingerprint());
+            assert_eq!(a.cost, b.cost);
+            assert!(Arc::ptr_eq(&a.plan, &b.plan), "interner must dedupe identical plans");
+        }
+    }
+}
+
+/// Recost must be strictly cheaper than optimization in wall time at the
+/// corpus scale (the premise of the whole technique). We assert a
+/// conservative 2x on the *aggregate* to avoid timing flakiness; the bench
+/// suite measures the real gap (typically 10-100x).
+#[test]
+fn recost_is_cheaper_than_optimize() {
+    let spec = corpus().iter().find(|s| s.template.num_relations() >= 3).unwrap();
+    let instances = spec.generate(50, 23);
+    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
+    let svs: Vec<_> = instances.iter().map(|i| engine.compute_svector(i)).collect();
+    let plan = engine.optimize(&svs[0]).plan;
+    engine.reset_stats();
+    for sv in &svs {
+        let _ = engine.optimize(sv);
+    }
+    for sv in &svs {
+        let _ = engine.recost(&plan, sv);
+    }
+    let stats = engine.stats();
+    assert!(
+        stats.optimize_time > stats.recost_time * 2,
+        "optimize {:?} should dwarf recost {:?}",
+        stats.optimize_time,
+        stats.recost_time
+    );
+}

@@ -1,0 +1,138 @@
+//! Numerical verification of the paper's formal results (Section 5):
+//!
+//! * **Lemma 1 (Cost Bounding)** — under BCG with `fi(α) = α`,
+//!   `Cost(Pe, qe)/L < Cost(Pe, qc) < G·Cost(Pe, qe)`.
+//! * **Theorem 1 (Sub-optimality Bound)** — when the BCG conditions hold
+//!   for both `Pe` and `Pc`, `SubOpt(Pe, qc) < G·L`.
+//! * The **improved bound** — with `R = Cost(Pe,qc)/Cost(Pe,qe)` known via
+//!   Recost, `SubOpt(Pe, qc) ≤ R·L`.
+//!
+//! The cost model deliberately allows rare BCG violations (sorts, spills),
+//! so the tests verify the *implications*: whenever the numeric BCG
+//! premises hold for a pair of instances, the bounds must hold; and the
+//! premises must hold for the vast majority of random pairs.
+
+use std::sync::Arc;
+
+use pqo::core::engine::QueryEngine;
+use pqo::optimizer::svector::{compute_svector, instance_for_target};
+use pqo::workload::corpus::corpus;
+
+const EPS: f64 = 1e-9;
+
+struct Pair {
+    g: f64,
+    l: f64,
+    cost_pe_qe: f64, // Cost(Pe, qe) = optimal at qe
+    cost_pe_qc: f64, // Cost(Pe, qc) via recost
+    cost_pc_qc: f64, // optimal at qc
+    cost_pc_qe: f64, // Cost(Pc, qe) via recost
+}
+
+fn sample_pairs(template_idx: usize, n: usize, seed: u64) -> Vec<Pair> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let spec = &corpus()[template_idx];
+    let d = spec.dimensions;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let te: Vec<f64> = (0..d).map(|_| rng.gen_range(0.002..1.0f64)).collect();
+        let tc: Vec<f64> = (0..d).map(|_| rng.gen_range(0.002..1.0f64)).collect();
+        let sv_e = compute_svector(&spec.template, &instance_for_target(&spec.template, &te));
+        let sv_c = compute_svector(&spec.template, &instance_for_target(&spec.template, &tc));
+        let opt_e = engine.optimize_untracked(&sv_e);
+        let opt_c = engine.optimize_untracked(&sv_c);
+        let (g, l) = sv_c.g_and_l(&sv_e);
+        out.push(Pair {
+            g,
+            l,
+            cost_pe_qe: opt_e.cost,
+            cost_pe_qc: engine.recost_untracked(&opt_e.plan, &sv_c),
+            cost_pc_qc: opt_c.cost,
+            cost_pc_qe: engine.recost_untracked(&opt_c.plan, &sv_e),
+        });
+    }
+    out
+}
+
+/// The BCG premises of Theorem 1's proof, checked numerically for a pair.
+fn bcg_premises_hold(p: &Pair) -> bool {
+    // Upper bound on Pe: Cost(Pe,qc) ≤ G·Cost(Pe,qe).
+    let upper_pe = p.cost_pe_qc <= p.g * p.cost_pe_qe * (1.0 + EPS);
+    // Lower bound on Pc: Cost(Pc,qc) ≥ Cost(Pc,qe)/L, written from qe's
+    // perspective (swapping roles swaps G and L).
+    let lower_pc = p.cost_pc_qc >= p.cost_pc_qe / p.l * (1.0 - EPS);
+    upper_pe && lower_pc
+}
+
+#[test]
+fn theorem1_bound_follows_from_bcg_premises() {
+    for &idx in &[1usize, 14, 30, 45, 60] {
+        for p in sample_pairs(idx, 200, 0x7E0) {
+            if bcg_premises_hold(&p) {
+                let sub_opt = p.cost_pe_qc / p.cost_pc_qc;
+                assert!(
+                    sub_opt <= p.g * p.l * (1.0 + EPS),
+                    "Theorem 1 violated with premises held: SubOpt {} > GL {}",
+                    sub_opt,
+                    p.g * p.l
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn improved_bound_rl_holds_when_pc_premise_holds() {
+    for &idx in &[1usize, 14, 30] {
+        for p in sample_pairs(idx, 200, 0x51) {
+            let lower_pc = p.cost_pc_qc >= p.cost_pc_qe / p.l * (1.0 - EPS);
+            if lower_pc {
+                let r = p.cost_pe_qc / p.cost_pe_qe;
+                let sub_opt = p.cost_pe_qc / p.cost_pc_qc;
+                assert!(
+                    sub_opt <= r * p.l * (1.0 + EPS),
+                    "R·L bound violated: SubOpt {} > RL {}",
+                    sub_opt,
+                    r * p.l
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bcg_premises_hold_for_the_vast_majority_of_pairs() {
+    // Section 7.2: "using fi(αi) = αi as bounding functions faces only rare
+    // violations".
+    let mut total = 0usize;
+    let mut held = 0usize;
+    for &idx in &[1usize, 14, 30, 45, 60, 75] {
+        for p in sample_pairs(idx, 300, 0xBC6) {
+            total += 1;
+            if bcg_premises_hold(&p) {
+                held += 1;
+            }
+        }
+    }
+    let rate = held as f64 / total as f64;
+    assert!(rate > 0.95, "BCG premises held for only {:.1}% of pairs", rate * 100.0);
+}
+
+#[test]
+fn recost_never_beats_the_optimum() {
+    // By definition of optimality: Cost(Pe, qc) ≥ Cost(Pc, qc) for every
+    // pair — the denominator of SubOpt is the true minimum.
+    for &idx in &[1usize, 30, 60] {
+        for p in sample_pairs(idx, 200, 0x0F) {
+            assert!(
+                p.cost_pe_qc >= p.cost_pc_qc * (1.0 - EPS),
+                "a re-costed foreign plan beat the optimizer: {} < {}",
+                p.cost_pe_qc,
+                p.cost_pc_qc
+            );
+        }
+    }
+}

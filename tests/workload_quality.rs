@@ -1,0 +1,128 @@
+//! Audits the corpus against Section 7.1's criteria for a challenging
+//! online-PQO workload: (a) widely varying selectivities, (b) many
+//! parameters, (c) many distinct optimal plan choices, (d) potential for
+//! plan reuse across instances.
+
+use std::sync::Arc;
+
+use pqo::core::engine::QueryEngine;
+use pqo::core::runner::GroundTruth;
+use pqo::optimizer::svector::compute_svector;
+use pqo::workload::corpus::corpus;
+use pqo::workload::orderings::Ordering;
+
+#[test]
+fn most_templates_have_multiple_optimal_plans() {
+    // Criterion (c): the workload must force plan switches. Audit a sample
+    // of templates; most must have >= 2 distinct optimal plans and several
+    // must have >= 5.
+    let mut multi = 0usize;
+    let mut rich = 0usize;
+    let mut total = 0usize;
+    for spec in corpus().iter().step_by(4) {
+        let instances = spec.generate(120, 3);
+        let mut engine = QueryEngine::new(Arc::clone(&spec.template));
+        let gt = GroundTruth::compute(&mut engine, &instances);
+        total += 1;
+        if gt.distinct_plans() >= 2 {
+            multi += 1;
+        }
+        if gt.distinct_plans() >= 5 {
+            rich += 1;
+        }
+    }
+    assert!(
+        multi as f64 >= 0.85 * total as f64,
+        "only {multi}/{total} sampled templates have plan switches"
+    );
+    assert!(rich >= total / 4, "only {rich}/{total} templates are plan-rich");
+}
+
+#[test]
+fn selectivities_span_orders_of_magnitude() {
+    // Criterion (a): per dimension, the generated instances must cover a
+    // wide dynamic range.
+    for spec in corpus().iter().step_by(10) {
+        let instances = spec.generate(200, 9);
+        let d = spec.dimensions;
+        for dim in 0..d {
+            let mut sels: Vec<f64> = instances
+                .iter()
+                .map(|i| compute_svector(&spec.template, i).get(dim))
+                .collect();
+            sels.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let (lo, hi) = (sels[sels.len() / 20], sels[sels.len() - 1 - sels.len() / 20]);
+            assert!(
+                hi / lo > 5.0,
+                "{}: dim {dim} spans only {lo:.4}..{hi:.4}",
+                spec.id
+            );
+        }
+    }
+}
+
+#[test]
+fn reuse_potential_exists() {
+    // Criterion (d): Optimize-Always would find far fewer distinct plans
+    // than instances — i.e., most instances share an optimal plan with
+    // someone.
+    for spec in corpus().iter().step_by(12) {
+        let instances = spec.generate(150, 4);
+        let mut engine = QueryEngine::new(Arc::clone(&spec.template));
+        let gt = GroundTruth::compute(&mut engine, &instances);
+        assert!(
+            gt.distinct_plans() * 4 <= instances.len(),
+            "{}: {} plans for {} instances leaves no reuse",
+            spec.id,
+            gt.distinct_plans(),
+            instances.len()
+        );
+    }
+}
+
+#[test]
+fn adversarial_orderings_actually_hurt_pcm() {
+    // The point of Appendix H.1's orderings: at least one adversarial
+    // ordering must cost PCM more optimizer calls than random, on some
+    // template (we check a known-sensitive one).
+    use pqo::core::baselines::Pcm;
+    use pqo::core::runner::run_sequence;
+    let spec = corpus().iter().find(|s| s.id == "tpcds_G_d3").unwrap();
+    let instances = spec.generate(400, 6);
+    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
+    let gt = GroundTruth::compute(&mut engine, &instances);
+
+    let mut counts = std::collections::BTreeMap::new();
+    for ordering in Ordering::ALL {
+        let order = ordering.permutation(&gt, 2);
+        let seq = Ordering::apply(&order, &instances);
+        let seq_gt = gt.permute(&order);
+        let mut pcm = Pcm::new(2.0);
+        let r = run_sequence(&mut pcm, &mut engine, &seq, &seq_gt);
+        counts.insert(ordering.name(), r.num_opt);
+    }
+    let random = counts["random"];
+    let worst = counts.values().copied().max().unwrap();
+    assert!(
+        worst > random,
+        "no adversarial ordering hurt PCM: {counts:?}"
+    );
+}
+
+#[test]
+fn ground_truth_is_order_invariant() {
+    // distinct_plans and total optimal cost are properties of the instance
+    // *set*: identical across all orderings.
+    let spec = &corpus()[8];
+    let instances = spec.generate(100, 11);
+    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
+    let gt = GroundTruth::compute(&mut engine, &instances);
+    let base_cost: f64 = gt.opt_costs.iter().sum();
+    for ordering in Ordering::ALL {
+        let order = ordering.permutation(&gt, 7);
+        let permuted = gt.permute(&order);
+        assert_eq!(permuted.distinct_plans(), gt.distinct_plans());
+        let cost: f64 = permuted.opt_costs.iter().sum();
+        assert!((cost - base_cost).abs() < 1e-6 * base_cost);
+    }
+}
