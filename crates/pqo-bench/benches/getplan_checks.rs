@@ -3,10 +3,10 @@
 //! number of Recost calls, and only a miss pays the optimizer. This bench
 //! measures each stage against a warmed cache.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 
+use pqo_bench::microbench::Runner;
 use pqo_core::engine::QueryEngine;
 use pqo_core::scr::Scr;
 use pqo_core::OnlinePqo;
@@ -17,35 +17,46 @@ fn warmed(lambda: f64, m: usize) -> (Scr, QueryEngine, Vec<SVector>) {
     warmed_with(lambda, m, None)
 }
 
-fn warmed_with(lambda: f64, m: usize, index_threshold: Option<usize>) -> (Scr, QueryEngine, Vec<SVector>) {
+fn warmed_with(
+    lambda: f64,
+    m: usize,
+    index_threshold: Option<usize>,
+) -> (Scr, QueryEngine, Vec<SVector>) {
     let spec = corpus().iter().find(|s| s.id == "tpcds_G_d3").unwrap();
     let instances = spec.generate(m, 77);
-    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
-    let mut cfg = pqo_core::scr::ScrConfig::new(lambda);
+    let engine = QueryEngine::new(Arc::clone(&spec.template));
+    let mut cfg = pqo_core::scr::ScrConfig::new(lambda).expect("valid bench λ");
     if let Some(t) = index_threshold {
         cfg.spatial_index_threshold = t;
     }
-    let mut scr = Scr::with_config(cfg);
+    let mut scr = Scr::with_config(cfg).expect("valid bench config");
     let mut svs = Vec::with_capacity(m);
     for inst in &instances {
         let sv = engine.compute_svector(inst);
-        let _ = scr.get_plan(inst, &sv, &mut engine);
+        let _ = scr.get_plan(inst, &sv, &engine);
         svs.push(sv);
     }
     (scr, engine, svs)
 }
 
-fn bench_getplan(c: &mut Criterion) {
-    let mut group = c.benchmark_group("getplan");
+fn main() {
+    let runner = Runner::from_args();
+    // Smoke runs (`cargo test`) shrink the warmed caches so setup stays
+    // cheap; full `cargo bench` runs use the paper-scale cache sizes.
+    let (warm_m, big_m) = if runner.quick() {
+        (50, 200)
+    } else {
+        (500, 2000)
+    };
 
     // Selectivity-check hit: re-presenting a seen instance always passes
     // the first check (G = L = 1).
     {
-        let (mut scr, mut engine, svs) = warmed(2.0, 500);
+        let (mut scr, engine, svs) = warmed(2.0, warm_m);
         let spec = corpus().iter().find(|s| s.id == "tpcds_G_d3").unwrap();
         let inst = spec.generate(1, 77).pop().unwrap();
-        group.bench_function("selectivity_check_hit", |b| {
-            b.iter(|| black_box(scr.get_plan(&inst, black_box(&svs[0]), &mut engine).optimized))
+        runner.bench("getplan/selectivity_check_hit", || {
+            black_box(scr.get_plan(&inst, black_box(&svs[0]), &engine).optimized)
         });
     }
 
@@ -53,48 +64,46 @@ fn bench_getplan(c: &mut Criterion) {
     // list during the selectivity check.
     {
         let a = SVector(vec![0.013, 0.021, 0.34]);
-        let b_ = SVector(vec![0.017, 0.019, 0.41]);
-        group.bench_function("g_and_l", |b| {
-            b.iter(|| black_box(black_box(&a).g_and_l(black_box(&b_))))
+        let b = SVector(vec![0.017, 0.019, 0.41]);
+        runner.bench("getplan/g_and_l", || {
+            black_box(black_box(&a).g_and_l(black_box(&b)))
         });
     }
 
     // A full getPlan on an unseen instance (may land in any of the three
     // outcomes — this is the realistic per-instance overhead).
     {
-        let (mut scr, mut engine, _) = warmed(2.0, 500);
+        let (mut scr, engine, _) = warmed(2.0, warm_m);
         let spec = corpus().iter().find(|s| s.id == "tpcds_G_d3").unwrap();
         let fresh = spec.generate(256, 1234);
-        let fresh_svs: Vec<SVector> =
-            fresh.iter().map(|i| compute_svector(&spec.template, i)).collect();
+        let fresh_svs: Vec<SVector> = fresh
+            .iter()
+            .map(|i| compute_svector(&spec.template, i))
+            .collect();
         let mut k = 0usize;
-        group.bench_function("getplan_unseen", |b| {
-            b.iter(|| {
-                k = (k + 1) % fresh.len();
-                black_box(scr.get_plan(&fresh[k], &fresh_svs[k], &mut engine).optimized)
-            })
+        runner.bench("getplan/getplan_unseen", || {
+            k = (k + 1) % fresh.len();
+            black_box(scr.get_plan(&fresh[k], &fresh_svs[k], &engine).optimized)
         });
     }
 
     // Section 6.2 ablation: the spatial index vs the linear scan over a
     // large instance list, measured on unseen instances.
-    for (label, threshold) in [("getplan_linear_scan", usize::MAX), ("getplan_spatial_index", 0)] {
-        let (mut scr, mut engine, _) = warmed_with(1.2, 2000, Some(threshold));
+    for (label, threshold) in [
+        ("getplan/linear_scan", usize::MAX),
+        ("getplan/spatial_index", 0),
+    ] {
+        let (mut scr, engine, _) = warmed_with(1.2, big_m, Some(threshold));
         let spec = corpus().iter().find(|s| s.id == "tpcds_G_d3").unwrap();
         let fresh = spec.generate(256, 4321);
-        let fresh_svs: Vec<SVector> =
-            fresh.iter().map(|i| compute_svector(&spec.template, i)).collect();
+        let fresh_svs: Vec<SVector> = fresh
+            .iter()
+            .map(|i| compute_svector(&spec.template, i))
+            .collect();
         let mut k = 0usize;
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                k = (k + 1) % fresh.len();
-                black_box(scr.get_plan(&fresh[k], &fresh_svs[k], &mut engine).optimized)
-            })
+        runner.bench(label, || {
+            k = (k + 1) % fresh.len();
+            black_box(scr.get_plan(&fresh[k], &fresh_svs[k], &engine).optimized)
         });
     }
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_getplan);
-criterion_main!(benches);

@@ -3,10 +3,10 @@
 //! between the two — the reason SCR's cost check is affordable — widens
 //! with query complexity.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 
+use pqo_bench::microbench::Runner;
 use pqo_catalog::schemas;
 use pqo_core::engine::QueryEngine;
 use pqo_optimizer::svector::{compute_svector, instance_for_target};
@@ -44,25 +44,21 @@ fn chain(n: usize) -> Arc<QueryTemplate> {
     b.build()
 }
 
-fn bench_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("optimizer_scaling");
+fn main() {
+    let runner = Runner::from_args();
     for n in [1usize, 2, 3, 4, 5, 6] {
         let template = chain(n);
         let d = template.dimensions();
         let inst = instance_for_target(&template, &vec![0.02; d]);
         let sv = compute_svector(&template, &inst);
-        let mut engine = QueryEngine::new(Arc::clone(&template));
+        let engine = QueryEngine::new(Arc::clone(&template));
         let plan = engine.optimize(&sv).plan;
 
-        group.bench_with_input(BenchmarkId::new("optimize", n), &sv, |b, sv| {
-            b.iter(|| black_box(engine.optimize_untracked(black_box(sv)).cost))
+        runner.bench(&format!("optimizer_scaling/optimize/{n}"), || {
+            black_box(engine.optimize_untracked(black_box(&sv)).cost)
         });
-        group.bench_with_input(BenchmarkId::new("recost", n), &sv, |b, sv| {
-            b.iter(|| black_box(engine.recost_untracked(black_box(&plan), black_box(sv))))
+        runner.bench(&format!("optimizer_scaling/recost/{n}"), || {
+            black_box(engine.recost_untracked(black_box(&plan), black_box(&sv)))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_scaling);
-criterion_main!(benches);

@@ -4,52 +4,54 @@
 //! measures all three engine APIs (optimize, recost, sVector) on templates
 //! of increasing size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 
+use pqo_bench::microbench::Runner;
 use pqo_core::engine::QueryEngine;
 use pqo_optimizer::svector::compute_svector;
 use pqo_workload::corpus::corpus;
 
-fn bench_engine_apis(c: &mut Criterion) {
+fn main() {
+    let runner = Runner::from_args();
     // One representative template per join-graph size.
-    let picks = ["tpch_skew_A_d2", "tpch_skew_B_d2", "tpcds_G_d3", "rd2_T_d10"];
-    let mut group = c.benchmark_group("engine_api");
+    let picks = [
+        "tpch_skew_A_d2",
+        "tpch_skew_B_d2",
+        "tpcds_G_d3",
+        "rd2_T_d10",
+    ];
     for id in picks {
-        let spec = corpus().iter().find(|s| s.id == id).expect("corpus template");
-        let mut engine = QueryEngine::new(Arc::clone(&spec.template));
+        let spec = corpus()
+            .iter()
+            .find(|s| s.id == id)
+            .expect("corpus template");
+        let engine = QueryEngine::new(Arc::clone(&spec.template));
         let inst = spec.generate(1, 5).pop().unwrap();
         let sv = compute_svector(&spec.template, &inst);
         let plan = engine.optimize(&sv).plan;
 
-        group.bench_with_input(BenchmarkId::new("optimize", id), &sv, |b, sv| {
-            b.iter(|| black_box(engine.optimize_untracked(black_box(sv)).cost))
+        runner.bench(&format!("engine_api/optimize/{id}"), || {
+            black_box(engine.optimize_untracked(black_box(&sv)).cost)
         });
-        group.bench_with_input(BenchmarkId::new("recost", id), &sv, |b, sv| {
-            b.iter(|| black_box(engine.recost_untracked(black_box(&plan), black_box(sv))))
+        runner.bench(&format!("engine_api/recost/{id}"), || {
+            black_box(engine.recost_untracked(black_box(&plan), black_box(&sv)))
         });
-        group.bench_with_input(BenchmarkId::new("svector", id), &inst, |b, inst| {
-            b.iter(|| black_box(compute_svector(&spec.template, black_box(inst))))
+        runner.bench(&format!("engine_api/svector/{id}"), || {
+            black_box(compute_svector(&spec.template, black_box(&inst)))
         });
 
         // Appendix B trade-off: the compact byte-encoded plan re-costs via
         // a stack machine — less memory per cached plan, more time per call.
         let compact = pqo_optimizer::compact::CompactPlan::encode(&plan);
         let model = engine.cost_model().clone();
-        group.bench_with_input(BenchmarkId::new("recost_compact", id), &sv, |b, sv| {
-            b.iter(|| {
-                black_box(pqo_optimizer::compact::recost_compact(
-                    &spec.template,
-                    &model,
-                    black_box(&compact),
-                    black_box(sv),
-                ))
-            })
+        runner.bench(&format!("engine_api/recost_compact/{id}"), || {
+            black_box(pqo_optimizer::compact::recost_compact(
+                &spec.template,
+                &model,
+                black_box(&compact),
+                black_box(&sv),
+            ))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_engine_apis);
-criterion_main!(benches);

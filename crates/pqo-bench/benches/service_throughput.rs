@@ -1,0 +1,75 @@
+//! Multi-threaded serving throughput of [`PqoService`]: N threads share one
+//! service and call `get_plan` concurrently over warmed per-template caches.
+//! Scaling beyond one thread is the point of the shard-per-template locking
+//! design — the read path takes only a registry read lock plus a shard read
+//! lock, so same-template and cross-template traffic both parallelize.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use pqo_bench::microbench::Runner;
+use pqo_core::scr::ScrConfig;
+use pqo_core::service::PqoService;
+use pqo_optimizer::template::QueryInstance;
+use pqo_workload::corpus::corpus;
+
+fn main() {
+    let runner = Runner::from_args();
+    let ids = ["tpch_skew_A_d2", "tpch_skew_B_d2", "tpcds_G_d3"];
+    let per_thread = if runner.quick() { 64usize } else { 512usize };
+
+    let service = Arc::new(PqoService::new());
+    let mut streams: Vec<(String, Vec<QueryInstance>)> = Vec::new();
+    for id in ids {
+        let spec = corpus()
+            .iter()
+            .find(|s| s.id == id)
+            .expect("corpus template");
+        service
+            .register(
+                Arc::clone(&spec.template),
+                ScrConfig::new(2.0).expect("valid bench λ"),
+            )
+            .expect("fresh template registers");
+        let warm = spec.generate(200, 7);
+        for inst in &warm {
+            service
+                .get_plan(&spec.template.name, inst)
+                .expect("warmup get_plan");
+        }
+        // The measured stream revisits the warmed region: the steady-state
+        // serving mix (mostly cache hits, occasional re-optimize).
+        streams.push((spec.template.name.clone(), spec.generate(per_thread, 7)));
+    }
+    let streams = Arc::new(streams);
+
+    for threads in [1usize, 2, 4, 8] {
+        let total = (threads * per_thread) as u64;
+        runner.bench_throughput(
+            &format!("service_throughput/get_plan/{threads}_threads"),
+            total,
+            || {
+                std::thread::scope(|scope| {
+                    for t in 0..threads {
+                        let service = Arc::clone(&service);
+                        let streams = Arc::clone(&streams);
+                        scope.spawn(move || {
+                            // Interleave templates across threads so the mix
+                            // exercises both same-shard and cross-shard reads.
+                            let (name, insts) = &streams[t % streams.len()];
+                            let mut hits = 0u32;
+                            for inst in insts {
+                                let choice =
+                                    service.get_plan(name, inst).expect("serving get_plan");
+                                if !choice.optimized {
+                                    hits += 1;
+                                }
+                            }
+                            black_box(hits)
+                        });
+                    }
+                });
+            },
+        );
+    }
+}

@@ -3,19 +3,20 @@
 //! SCR). This is the "average overhead for picking a plan from the cache"
 //! dimension of the paper's Section 2.1 metrics.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use std::sync::Arc;
 
+use pqo_bench::microbench::Runner;
 use pqo_bench::techniques::TechSpec;
 use pqo_core::engine::QueryEngine;
 use pqo_optimizer::svector::SVector;
 use pqo_optimizer::template::QueryInstance;
 use pqo_workload::corpus::corpus;
 
-fn bench_techniques(c: &mut Criterion) {
+fn main() {
+    let runner = Runner::from_args();
     let spec = corpus().iter().find(|s| s.id == "tpch_skew_B_d2").unwrap();
-    let m = 200usize;
+    let m = if runner.quick() { 50usize } else { 200usize };
     let instances: Vec<QueryInstance> = spec.generate(m, 99);
     let template = Arc::clone(&spec.template);
     let svs: Vec<SVector> = instances
@@ -23,8 +24,6 @@ fn bench_techniques(c: &mut Criterion) {
         .map(|i| pqo_optimizer::svector::compute_svector(&template, i))
         .collect();
 
-    let mut group = c.benchmark_group("technique_throughput");
-    group.throughput(Throughput::Elements(m as u64));
     for tech in [
         TechSpec::OptAlways,
         TechSpec::OptOnce,
@@ -32,26 +31,24 @@ fn bench_techniques(c: &mut Criterion) {
         TechSpec::Ellipse { delta: 0.9 },
         TechSpec::Density,
         TechSpec::Ranges { margin: 0.01 },
-        TechSpec::Scr { lambda: 2.0, budget: None },
+        TechSpec::Scr {
+            lambda: 2.0,
+            budget: None,
+        },
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(tech.label()), &tech, |b, tech| {
-            b.iter(|| {
-                // Fresh technique + engine per iteration: the measured unit
-                // is "process the whole sequence online".
-                let mut t = tech.build();
-                let mut engine = QueryEngine::new(Arc::clone(&template));
-                let mut reused = 0u32;
-                for (inst, sv) in instances.iter().zip(&svs) {
-                    if !t.get_plan(inst, sv, &mut engine).optimized {
-                        reused += 1;
-                    }
+        let label = format!("technique_throughput/{}", tech.label());
+        runner.bench_throughput(&label, m as u64, || {
+            // Fresh technique + engine per iteration: the measured unit
+            // is "process the whole sequence online".
+            let mut t = tech.build();
+            let engine = QueryEngine::new(Arc::clone(&template));
+            let mut reused = 0u32;
+            for (inst, sv) in instances.iter().zip(&svs) {
+                if !t.get_plan(inst, sv, &engine).optimized {
+                    reused += 1;
                 }
-                black_box(reused)
-            })
+            }
+            black_box(reused)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_techniques);
-criterion_main!(benches);

@@ -21,7 +21,9 @@ use std::time::Instant;
 
 use pqo_bench::eval::{running_num_opt, EvalPlan, SeqSummary};
 use pqo_bench::exec_sim::{simulate, ExecSimConfig};
-use pqo_bench::report::{aggregate_by_technique, print_aggregates, summary_rows, write_csv, SUMMARY_HEADER};
+use pqo_bench::report::{
+    aggregate_by_technique, print_aggregates, summary_rows, write_csv, SUMMARY_HEADER,
+};
 use pqo_bench::techniques::TechSpec;
 use pqo_core::engine::QueryEngine;
 use pqo_core::metrics::{mean, percentile};
@@ -40,7 +42,12 @@ struct Harness {
 
 impl Harness {
     fn new(quick: bool) -> Self {
-        Harness { quick, dir: PathBuf::from("results"), headline: OnceLock::new(), scr_sweep: OnceLock::new() }
+        Harness {
+            quick,
+            dir: PathBuf::from("results"),
+            headline: OnceLock::new(),
+            scr_sweep: OnceLock::new(),
+        }
     }
 
     fn specs(&self) -> Vec<&'static TemplateSpec> {
@@ -67,7 +74,11 @@ impl Harness {
         self.headline.get_or_init(|| {
             let t = Instant::now();
             let out = self.plan(TechSpec::headline()).run();
-            eprintln!("[headline run: {} sequences x 6 techniques in {:?}]", out.len() / 6, t.elapsed());
+            eprintln!(
+                "[headline run: {} sequences x 6 techniques in {:?}]",
+                out.len() / 6,
+                t.elapsed()
+            );
             out
         })
     }
@@ -88,7 +99,10 @@ impl Harness {
     }
 
     fn spec_by_id(&self, id: &str) -> &'static TemplateSpec {
-        corpus().iter().find(|s| s.id == id).unwrap_or_else(|| panic!("unknown template {id}"))
+        corpus()
+            .iter()
+            .find(|s| s.id == id)
+            .unwrap_or_else(|| panic!("unknown template {id}"))
     }
 }
 
@@ -124,13 +138,22 @@ fn fig1(h: &Harness) {
         .iter()
         .map(|t| pqo_optimizer::svector::instance_for_target(&spec.template, t))
         .collect();
-    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
-    let gt = GroundTruth::compute(&mut engine, &instances);
-    println!("distinct optimal plans in the example: {}", gt.distinct_plans());
-    println!("{:<12} {:>8} {:>9}  per-instance decisions (O = optimizer call, . = reuse)", "technique", "numOpt", "MSO");
+    let engine = QueryEngine::new(Arc::clone(&spec.template));
+    let gt = GroundTruth::compute(&engine, &instances);
+    println!(
+        "distinct optimal plans in the example: {}",
+        gt.distinct_plans()
+    );
+    println!(
+        "{:<12} {:>8} {:>9}  per-instance decisions (O = optimizer call, . = reuse)",
+        "technique", "numOpt", "MSO"
+    );
     let mut csv = Vec::new();
     for tech in [
-        TechSpec::Scr { lambda: 2.0, budget: None },
+        TechSpec::Scr {
+            lambda: 2.0,
+            budget: None,
+        },
         TechSpec::Pcm { lambda: 2.0 },
         TechSpec::Ellipse { delta: 0.9 },
         TechSpec::Density,
@@ -143,7 +166,7 @@ fn fig1(h: &Harness) {
         let mut worst: f64 = 1.0;
         for (i, inst) in instances.iter().enumerate() {
             let sv = engine.compute_svector(inst);
-            let c = t.get_plan(inst, &sv, &mut engine);
+            let c = t.get_plan(inst, &sv, &engine);
             marks.push(if c.optimized { 'O' } else { '.' });
             let so = if c.plan.fingerprint() == gt.opt_plans[i].fingerprint() {
                 1.0
@@ -152,10 +175,27 @@ fn fig1(h: &Harness) {
             };
             worst = worst.max(so);
         }
-        println!("{:<12} {:>8} {:>9.2}  {}", tech.label(), engine.stats().optimize_calls, worst, marks);
-        csv.push(vec![tech.label(), engine.stats().optimize_calls.to_string(), format!("{worst:.4}"), marks]);
+        println!(
+            "{:<12} {:>8} {:>9.2}  {}",
+            tech.label(),
+            engine.stats().optimize_calls,
+            worst,
+            marks
+        );
+        csv.push(vec![
+            tech.label(),
+            engine.stats().optimize_calls.to_string(),
+            format!("{worst:.4}"),
+            marks,
+        ]);
     }
-    let p = write_csv(&h.dir, "fig1", &["technique", "num_opt", "mso", "decisions"], &csv).unwrap();
+    let p = write_csv(
+        &h.dir,
+        "fig1",
+        &["technique", "num_opt", "mso", "decisions"],
+        &csv,
+    )
+    .unwrap();
     println!("[csv] {}", p.display());
     println!("(paper: SCR optimizes 6 of 13; PCM 12; best heuristic 8)");
 }
@@ -184,25 +224,44 @@ fn dist_figure(h: &Harness, name: &str, techs: [&str; 2], bound: Option<f64>) {
             tcrs.iter().cloned().fold(f64::NAN, f64::max),
         );
         let over10 = tcrs.iter().filter(|&&t| t > 10.0).count();
-        println!("{:<12} sequences with TC > 10: {}/{}", "", over10, sel.len());
+        println!(
+            "{:<12} sequences with TC > 10: {}/{}",
+            "",
+            over10,
+            sel.len()
+        );
         if let Some(b) = bound {
             let viol = msos.iter().filter(|&&m| m > b * (1.0 + 1e-9)).count();
-            println!("{:<12} sequences with MSO > λ={b}: {}/{} (assumption-violation cases)", "", viol, sel.len());
+            println!(
+                "{:<12} sequences with MSO > λ={b}: {}/{} (assumption-violation cases)",
+                "",
+                viol,
+                sel.len()
+            );
         }
         for r in sel {
-            csv_rows.push((r.tcr, vec![
-                tech.to_string(),
-                r.template_id.clone(),
-                r.ordering.to_string(),
-                format!("{:.6}", r.mso),
-                format!("{:.6}", r.tcr),
-            ]));
+            csv_rows.push((
+                r.tcr,
+                vec![
+                    tech.to_string(),
+                    r.template_id.clone(),
+                    r.ordering.to_string(),
+                    format!("{:.6}", r.mso),
+                    format!("{:.6}", r.tcr),
+                ],
+            ));
         }
     }
     // The paper plots sequences in increasing TotalCostRatio order.
     csv_rows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
     let rows_only: Vec<Vec<String>> = csv_rows.into_iter().map(|(_, r)| r).collect();
-    let p = write_csv(&h.dir, name, &["technique", "template", "ordering", "mso", "tcr"], &rows_only).unwrap();
+    let p = write_csv(
+        &h.dir,
+        name,
+        &["technique", "template", "ordering", "mso", "tcr"],
+        &rows_only,
+    )
+    .unwrap();
     println!("[csv] {}", p.display());
 }
 
@@ -247,7 +306,13 @@ fn sweep_figure(h: &Harness, name: &str, metric: &str) {
             format!("{:.4}", vals.iter().cloned().fold(f64::NAN, f64::max)),
         ]);
     }
-    let p = write_csv(&h.dir, name, &["technique", "avg", "p50", "p95", "max"], &csv).unwrap();
+    let p = write_csv(
+        &h.dir,
+        name,
+        &["technique", "avg", "p50", "p95", "max"],
+        &csv,
+    )
+    .unwrap();
     println!("[csv] {}", p.display());
 }
 
@@ -273,7 +338,9 @@ fn fig9(h: &Harness) {
     let aggs = aggregate_by_technique(h.headline());
     print_aggregates("Figure 9: optimizer overheads (numOpt %)", &aggs);
     h.save("fig9", h.headline());
-    println!("(paper: SCR2 avg 3.7% / p95 13.9%; best heuristic avg 3.2% / p95 10.9%; PCM avg > 30%)");
+    println!(
+        "(paper: SCR2 avg 3.7% / p95 13.9%; best heuristic avg 3.2% / p95 10.9%; PCM avg > 30%)"
+    );
 }
 
 fn fig13(h: &Harness) {
@@ -302,12 +369,28 @@ fn fig11(h: &Harness) {
     println!("\n=== Figure 11: 4-d example query — numOpt% vs m ===");
     let spec = h.spec_by_id("tpch_skew_B_d4");
     let max_m = if h.quick { 2000 } else { 10_000 };
-    let checkpoints: Vec<usize> = [1000, 2000, 5000, 10_000].into_iter().filter(|&c| c <= max_m).collect();
+    let checkpoints: Vec<usize> = [1000, 2000, 5000, 10_000]
+        .into_iter()
+        .filter(|&c| c <= max_m)
+        .collect();
     let mut csv = Vec::new();
-    println!("{:<8} {}", "tech", checkpoints.iter().map(|c| format!("{c:>9}")).collect::<String>());
+    println!(
+        "{:<8} {}",
+        "tech",
+        checkpoints
+            .iter()
+            .map(|c| format!("{c:>9}"))
+            .collect::<String>()
+    );
     for tech in [
-        TechSpec::Scr { lambda: 1.1, budget: None },
-        TechSpec::Scr { lambda: 2.0, budget: None },
+        TechSpec::Scr {
+            lambda: 1.1,
+            budget: None,
+        },
+        TechSpec::Scr {
+            lambda: 2.0,
+            budget: None,
+        },
         TechSpec::Pcm { lambda: 2.0 },
     ] {
         let curve = running_num_opt(spec, &tech, max_m, 11, &checkpoints);
@@ -337,18 +420,39 @@ fn fig12(h: &Harness) {
         if corpus_with_dimensions(d).is_empty() {
             continue;
         }
-        let scr: Vec<f64> = rows.iter().filter(|r| r.dimensions == d && r.technique == "SCR2").map(|r| r.num_opt_pct).collect();
-        let pcm: Vec<f64> = rows.iter().filter(|r| r.dimensions == d && r.technique == "PCM2").map(|r| r.num_opt_pct).collect();
+        let scr: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.dimensions == d && r.technique == "SCR2")
+            .map(|r| r.num_opt_pct)
+            .collect();
+        let pcm: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.dimensions == d && r.technique == "PCM2")
+            .map(|r| r.num_opt_pct)
+            .collect();
         if scr.is_empty() {
             continue;
         }
         let (s, p) = (mean(&scr).unwrap(), mean(&pcm).unwrap_or(f64::NAN));
         println!("{:<4} {:>9.1}% {:>9.1}% {:>6}", d, s, p, scr.len());
-        csv.push(vec![d.to_string(), format!("{s:.3}"), format!("{p:.3}"), scr.len().to_string()]);
+        csv.push(vec![
+            d.to_string(),
+            format!("{s:.3}"),
+            format!("{p:.3}"),
+            scr.len().to_string(),
+        ]);
     }
-    let p = write_csv(&h.dir, "fig12", &["d", "scr2_num_opt_pct", "pcm2_num_opt_pct", "sequences"], &csv).unwrap();
+    let p = write_csv(
+        &h.dir,
+        "fig12",
+        &["d", "scr2_num_opt_pct", "pcm2_num_opt_pct", "sequences"],
+        &csv,
+    )
+    .unwrap();
     println!("[csv] {}", p.display());
-    println!("(paper: PCM adds ≈10%/dimension (>50% at d=10); SCR starts at 6% and adds ≈5%/dimension)");
+    println!(
+        "(paper: PCM adds ≈10%/dimension (>50% at d=10); SCR starts at 6% and adds ≈5%/dimension)"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -384,7 +488,10 @@ fn fig18(h: &Harness) {
     let checkpoints: Vec<usize> = (1..=10).map(|k| k * max_m / 10).collect();
     let mut csv = Vec::new();
     for tech in [
-        TechSpec::Scr { lambda: 2.0, budget: None },
+        TechSpec::Scr {
+            lambda: 2.0,
+            budget: None,
+        },
         TechSpec::Pcm { lambda: 2.0 },
         TechSpec::Ellipse { delta: 0.9 },
     ] {
@@ -409,10 +516,22 @@ fn fig18(h: &Harness) {
 fn fig19(h: &Harness) {
     println!("\n=== Figure 19: numOpt% vs plan budget k for SCR2 ===");
     let techs = vec![
-        TechSpec::Scr { lambda: 2.0, budget: None },
-        TechSpec::Scr { lambda: 2.0, budget: Some(10) },
-        TechSpec::Scr { lambda: 2.0, budget: Some(5) },
-        TechSpec::Scr { lambda: 2.0, budget: Some(2) },
+        TechSpec::Scr {
+            lambda: 2.0,
+            budget: None,
+        },
+        TechSpec::Scr {
+            lambda: 2.0,
+            budget: Some(10),
+        },
+        TechSpec::Scr {
+            lambda: 2.0,
+            budget: Some(5),
+        },
+        TechSpec::Scr {
+            lambda: 2.0,
+            budget: Some(2),
+        },
     ];
     let rows = h.plan(techs).run();
     let aggs = aggregate_by_technique(&rows);
@@ -426,11 +545,18 @@ fn fig19(h: &Harness) {
 // ---------------------------------------------------------------------------
 fn fig20(h: &Harness) {
     println!("\n=== Figure 20: optimizer overheads, random orderings only ===");
-    let rows: Vec<SeqSummary> = h.headline().iter().filter(|r| r.ordering == "random").cloned().collect();
+    let rows: Vec<SeqSummary> = h
+        .headline()
+        .iter()
+        .filter(|r| r.ordering == "random")
+        .cloned()
+        .collect();
     let aggs = aggregate_by_technique(&rows);
     print_aggregates("random-ordering subset", &aggs);
     h.save("fig20", &rows);
-    println!("(paper: PCM2 p95 drops 81%→39% on random orderings; SCR2 stays ≈12% across all orderings)");
+    println!(
+        "(paper: PCM2 p95 drops 81%→39% on random orderings; SCR2 stays ≈12% across all orderings)"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -441,11 +567,17 @@ fn fig21(h: &Harness) {
     let lr = 2.0f64.sqrt();
     let techs = vec![
         TechSpec::Ellipse { delta: 0.9 },
-        TechSpec::EllipseRedundant { delta: 0.9, lambda_r: lr },
+        TechSpec::EllipseRedundant {
+            delta: 0.9,
+            lambda_r: lr,
+        },
         TechSpec::Density,
         TechSpec::DensityRedundant { lambda_r: lr },
         TechSpec::Ranges { margin: 0.01 },
-        TechSpec::RangesRedundant { margin: 0.01, lambda_r: lr },
+        TechSpec::RangesRedundant {
+            margin: 0.01,
+            lambda_r: lr,
+        },
     ];
     let rows = h.plan(techs).run();
     let aggs = aggregate_by_technique(&rows);
@@ -467,15 +599,24 @@ fn tab3(h: &Harness) {
         TechSpec::OptOnce,
         TechSpec::Ellipse { delta: 0.9 },
         TechSpec::Ellipse { delta: 0.7 },
-        TechSpec::Scr { lambda: 1.1, budget: None },
+        TechSpec::Scr {
+            lambda: 1.1,
+            budget: None,
+        },
         TechSpec::Pcm { lambda: 1.1 },
         TechSpec::Ranges { margin: 0.01 },
     ];
     let rows = simulate(spec, m, &techs, &cfg, 33);
-    println!("{:<12} {:>10} {:>11} {:>10} {:>6}", "technique", "opt (s)", "exec (s)", "total (s)", "plans");
+    println!(
+        "{:<12} {:>10} {:>11} {:>10} {:>6}",
+        "technique", "opt (s)", "exec (s)", "total (s)", "plans"
+    );
     let mut csv = Vec::new();
     for r in &rows {
-        println!("{:<12} {:>10.1} {:>11.1} {:>10.1} {:>6}", r.technique, r.opt_time_s, r.exec_time_s, r.total_s, r.plans);
+        println!(
+            "{:<12} {:>10.1} {:>11.1} {:>10.1} {:>6}",
+            r.technique, r.opt_time_s, r.exec_time_s, r.total_s, r.plans
+        );
         csv.push(vec![
             r.technique.clone(),
             format!("{:.2}", r.opt_time_s),
@@ -484,7 +625,13 @@ fn tab3(h: &Harness) {
             r.plans.to_string(),
         ]);
     }
-    let p = write_csv(&h.dir, "tab3", &["technique", "opt_s", "exec_s", "total_s", "plans"], &csv).unwrap();
+    let p = write_csv(
+        &h.dir,
+        "tab3",
+        &["technique", "opt_s", "exec_s", "total_s", "plans"],
+        &csv,
+    )
+    .unwrap();
     println!("[csv] {}", p.display());
     println!("(paper: OptAlways 188+230=418s/101 plans; OptOnce 543.5s; SCR1.1 280s/13 plans — the best total)");
 }
@@ -499,20 +646,44 @@ fn appd(h: &Harness) {
     let spec = h.spec_by_id("tpcds_G_d4");
     let m = if h.quick { 300 } else { 1000 };
     let techs = vec![
-        TechSpec::Scr { lambda: 1.1, budget: None },
-        TechSpec::ScrDynamic { lambda_min: 1.1, lambda_max: 10.0 },
+        TechSpec::Scr {
+            lambda: 1.1,
+            budget: None,
+        },
+        TechSpec::ScrDynamic {
+            lambda_min: 1.1,
+            lambda_max: 10.0,
+        },
     ];
     let mut plan = EvalPlan::new(vec![spec], techs);
     plan.orderings = vec![Ordering::Random];
     plan.m_override = Some(m);
     let rows = plan.run();
-    println!("{:<14} {:>9} {:>9} {:>9} {:>9}", "technique", "numOpt", "numPlans", "TC", "MSO");
+    println!(
+        "{:<14} {:>9} {:>9} {:>9} {:>9}",
+        "technique", "numOpt", "numPlans", "TC", "MSO"
+    );
     let mut csv = Vec::new();
     for r in &rows {
-        println!("{:<14} {:>9} {:>9} {:>9.3} {:>9.2}", r.technique, r.num_opt, r.num_plans, r.tcr, r.mso);
-        csv.push(vec![r.technique.clone(), r.num_opt.to_string(), r.num_plans.to_string(), format!("{:.4}", r.tcr), format!("{:.4}", r.mso)]);
+        println!(
+            "{:<14} {:>9} {:>9} {:>9.3} {:>9.2}",
+            r.technique, r.num_opt, r.num_plans, r.tcr, r.mso
+        );
+        csv.push(vec![
+            r.technique.clone(),
+            r.num_opt.to_string(),
+            r.num_plans.to_string(),
+            format!("{:.4}", r.tcr),
+            format!("{:.4}", r.mso),
+        ]);
     }
-    let p = write_csv(&h.dir, "appd", &["technique", "num_opt", "num_plans", "tcr", "mso"], &csv).unwrap();
+    let p = write_csv(
+        &h.dir,
+        "appd",
+        &["technique", "num_opt", "num_plans", "tcr", "mso"],
+        &csv,
+    )
+    .unwrap();
     println!("[csv] {}", p.display());
     println!("(paper: dynamic λ improved numPlans 148→96 and numOpt 502→310 while TC only rose 1.03→1.08)");
 }
@@ -521,13 +692,17 @@ fn appd(h: &Harness) {
 // Appendix E + Section 7.3 overhead anatomy: λr sweep on a Q18-like
 // template with direct access to SCR's internal counters.
 // ---------------------------------------------------------------------------
-fn run_scr_with_stats(spec: &TemplateSpec, m: usize, cfg: ScrConfig) -> (pqo_core::metrics::RunResult, pqo_core::scr::ScrStats, usize) {
+fn run_scr_with_stats(
+    spec: &TemplateSpec,
+    m: usize,
+    cfg: ScrConfig,
+) -> (pqo_core::metrics::RunResult, pqo_core::scr::ScrStats, usize) {
     let instances = spec.generate(m, 99);
-    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
-    let gt = GroundTruth::compute(&mut engine, &instances);
-    let mut scr = Scr::with_config(cfg);
-    let r = run_sequence(&mut scr, &mut engine, &instances, &gt);
-    (r, *scr.stats(), scr.plans_cached())
+    let engine = QueryEngine::new(Arc::clone(&spec.template));
+    let gt = GroundTruth::compute(&engine, &instances);
+    let mut scr = Scr::with_config(cfg).expect("valid figure config");
+    let r = run_sequence(&mut scr, &engine, &instances, &gt);
+    (r, scr.stats(), scr.plans_cached())
 }
 
 fn appe(h: &Harness) {
@@ -535,15 +710,27 @@ fn appe(h: &Harness) {
     let spec = h.spec_by_id("tpcds_G_d3");
     let m = if h.quick { 500 } else { 4000 };
     let lambda: f64 = 1.1;
-    println!("{:<10} {:>9} {:>12} {:>14} {:>9}", "λr", "plans", "numOpt", "maxRecost/gp", "TC");
+    println!(
+        "{:<10} {:>9} {:>12} {:>14} {:>9}",
+        "λr", "plans", "numOpt", "maxRecost/gp", "TC"
+    );
     let mut csv = Vec::new();
-    for (label, lr) in [("0", 0.0), ("1.01", 1.01), ("sqrt(λ)", lambda.sqrt()), ("λ", lambda)] {
-        let mut cfg = ScrConfig::new(lambda);
+    for (label, lr) in [
+        ("0", 0.0),
+        ("1.01", 1.01),
+        ("sqrt(λ)", lambda.sqrt()),
+        ("λ", lambda),
+    ] {
+        let mut cfg = ScrConfig::new(lambda).expect("valid figure λ");
         cfg.lambda_r = lr;
         let (r, stats, plans) = run_scr_with_stats(spec, m, cfg);
         println!(
             "{:<10} {:>9} {:>12} {:>14} {:>9.3}",
-            label, plans, r.num_opt, stats.max_recosts_per_getplan, r.total_cost_ratio()
+            label,
+            plans,
+            r.num_opt,
+            stats.max_recosts_per_getplan,
+            r.total_cost_ratio()
         );
         csv.push(vec![
             label.to_string(),
@@ -553,7 +740,19 @@ fn appe(h: &Harness) {
             format!("{:.4}", r.total_cost_ratio()),
         ]);
     }
-    let p = write_csv(&h.dir, "appe", &["lambda_r", "plans", "num_opt", "max_recost_per_getplan", "tcr"], &csv).unwrap();
+    let p = write_csv(
+        &h.dir,
+        "appe",
+        &[
+            "lambda_r",
+            "plans",
+            "num_opt",
+            "max_recost_per_getplan",
+            "tcr",
+        ],
+        &csv,
+    )
+    .unwrap();
     println!("[csv] {}", p.display());
     println!("(paper: λr=√λ retains 5 of 77 plans, ≤3 Recost calls per getPlan, TC 1.03→1.04)");
 }
@@ -568,7 +767,7 @@ fn sec73(h: &Harness) {
         ("λr=0, GL pruning(8)", 0.0, 8),
         ("λr=√λ, GL pruning(8)", 1.1f64.sqrt(), 8),
     ] {
-        let mut cfg = ScrConfig::new(1.1);
+        let mut cfg = ScrConfig::new(1.1).expect("valid figure λ");
         cfg.lambda_r = lr;
         cfg.max_recost_candidates = cap;
         let (r, stats, plans) = run_scr_with_stats(spec, m, cfg);
@@ -591,7 +790,16 @@ fn sec73(h: &Harness) {
     let p = write_csv(
         &h.dir,
         "sec73",
-        &["config", "plans", "num_opt", "recost_calls", "max_recost_per_getplan", "sel_hits", "cost_hits", "tcr"],
+        &[
+            "config",
+            "plans",
+            "num_opt",
+            "recost_calls",
+            "max_recost_per_getplan",
+            "sel_hits",
+            "cost_hits",
+            "tcr",
+        ],
         &csv,
     )
     .unwrap();
@@ -613,9 +821,12 @@ fn tab3x(h: &Harness) {
     let m = if h.quick { 100 } else { 500 };
     let divisor = if h.quick { 2000 } else { 500 };
     let db = pqo_exec::Database::build(&pqo_catalog::schemas::tpcds(), divisor, 99);
-    println!("scaled database: {} rows total (1/{divisor} scale)", db.total_rows());
+    println!(
+        "scaled database: {} rows total (1/{divisor} scale)",
+        db.total_rows()
+    );
     let instances = spec.generate(m, 33);
-    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
+    let engine = QueryEngine::new(Arc::clone(&spec.template));
     let (opt_ms, recost_ms, sv_ms) = (376.0, 5.0, 0.5);
     println!(
         "{:<12} {:>12} {:>12} {:>12} {:>10} {:>6}",
@@ -626,7 +837,10 @@ fn tab3x(h: &Harness) {
         TechSpec::OptAlways,
         TechSpec::OptOnce,
         TechSpec::Ellipse { delta: 0.9 },
-        TechSpec::Scr { lambda: 1.1, budget: None },
+        TechSpec::Scr {
+            lambda: 1.1,
+            budget: None,
+        },
         TechSpec::Pcm { lambda: 1.1 },
         TechSpec::Ranges { margin: 0.01 },
     ] {
@@ -636,7 +850,7 @@ fn tab3x(h: &Harness) {
         let mut out_rows = 0usize;
         for (i, inst) in instances.iter().enumerate() {
             let sv = engine.compute_svector(inst);
-            let choice = t.get_plan(inst, &sv, &mut engine);
+            let choice = t.get_plan(inst, &sv, &engine);
             let _ = i;
             let r = pqo_exec::execute(&db, &spec.template, &choice.plan, inst);
             exec_wall += r.wall;
@@ -666,7 +880,20 @@ fn tab3x(h: &Harness) {
             t.max_plans_cached().to_string(),
         ]);
     }
-    let p = write_csv(&h.dir, "tab3x", &["technique", "opt_charged_s", "exec_wall_s", "total_s", "out_rows", "plans"], &csv).unwrap();
+    let p = write_csv(
+        &h.dir,
+        "tab3x",
+        &[
+            "technique",
+            "opt_charged_s",
+            "exec_wall_s",
+            "total_s",
+            "out_rows",
+            "plans",
+        ],
+        &csv,
+    )
+    .unwrap();
     println!("[csv] {}", p.display());
     println!("note: identical out_rows across techniques = answers never change, only time;");
     println!("      at 1/{divisor} scale the execution seconds are small — compare ratios, not magnitudes.");
@@ -683,16 +910,24 @@ fn appf(h: &Harness) {
     println!("\n=== Appendix F (ablation): existing-plan redundancy sweep ===");
     let spec = h.spec_by_id("tpcds_G_d3");
     let m = if h.quick { 500 } else { 2000 };
-    println!("{:<10} {:>7} {:>9} {:>9} {:>12} {:>9}", "sweep", "plans", "dropped", "numOpt", "recostCalls", "TC");
+    println!(
+        "{:<10} {:>7} {:>9} {:>9} {:>12} {:>9}",
+        "sweep", "plans", "dropped", "numOpt", "recostCalls", "TC"
+    );
     let mut csv = Vec::new();
     for sweep in [false, true] {
-        let mut cfg = ScrConfig::new(1.5);
+        let mut cfg = ScrConfig::new(1.5).expect("valid figure λ");
         cfg.lambda_r = 0.0; // store aggressively so the sweep has work
         cfg.existing_plan_redundancy = sweep;
         let (r, stats, plans) = run_scr_with_stats(spec, m, cfg);
         println!(
             "{:<10} {:>7} {:>9} {:>9} {:>12} {:>9.3}",
-            sweep, plans, stats.existing_plans_dropped, r.num_opt, r.recost_calls, r.total_cost_ratio()
+            sweep,
+            plans,
+            stats.existing_plans_dropped,
+            r.num_opt,
+            r.recost_calls,
+            r.total_cost_ratio()
         );
         csv.push(vec![
             sweep.to_string(),
@@ -703,7 +938,20 @@ fn appf(h: &Harness) {
             format!("{:.4}", r.total_cost_ratio()),
         ]);
     }
-    let p = write_csv(&h.dir, "appf", &["sweep", "plans", "dropped", "num_opt", "recost_calls", "tcr"], &csv).unwrap();
+    let p = write_csv(
+        &h.dir,
+        "appf",
+        &[
+            "sweep",
+            "plans",
+            "dropped",
+            "num_opt",
+            "recost_calls",
+            "tcr",
+        ],
+        &csv,
+    )
+    .unwrap();
     println!("[csv] {}", p.display());
     println!("(extension: the paper describes the sweep but evaluates only new-plan redundancy)");
 }
@@ -713,20 +961,27 @@ fn sec62(h: &Harness) {
     use pqo_core::scr::CandidateOrder;
     let spec = h.spec_by_id("tpcds_G_d3");
     let m = if h.quick { 500 } else { 2000 };
-    println!("{:<18} {:>9} {:>12} {:>10} {:>9}", "order", "numOpt", "recostCalls", "costHits", "TC");
+    println!(
+        "{:<18} {:>9} {:>12} {:>10} {:>9}",
+        "order", "numOpt", "recostCalls", "costHits", "TC"
+    );
     let mut csv = Vec::new();
     for (label, order) in [
         ("gl_ascending", CandidateOrder::GlAscending),
         ("usage_descending", CandidateOrder::UsageDescending),
         ("area_descending", CandidateOrder::AreaDescending),
     ] {
-        let mut cfg = ScrConfig::new(1.2);
+        let mut cfg = ScrConfig::new(1.2).expect("valid figure λ");
         cfg.candidate_order = order;
         cfg.spatial_index_threshold = usize::MAX; // ordering applies to the linear path
         let (r, stats, _) = run_scr_with_stats(spec, m, cfg);
         println!(
             "{:<18} {:>9} {:>12} {:>10} {:>9.3}",
-            label, r.num_opt, r.recost_calls, stats.cost_hits, r.total_cost_ratio()
+            label,
+            r.num_opt,
+            r.recost_calls,
+            stats.cost_hits,
+            r.total_cost_ratio()
         );
         csv.push(vec![
             label.to_string(),
@@ -736,7 +991,13 @@ fn sec62(h: &Harness) {
             format!("{:.4}", r.total_cost_ratio()),
         ]);
     }
-    let p = write_csv(&h.dir, "sec62", &["order", "num_opt", "recost_calls", "cost_hits", "tcr"], &csv).unwrap();
+    let p = write_csv(
+        &h.dir,
+        "sec62",
+        &["order", "num_opt", "recost_calls", "cost_hits", "tcr"],
+        &csv,
+    )
+    .unwrap();
     println!("[csv] {}", p.display());
     println!("(extension: Section 6.2 lists these alternatives without evaluating them)");
 }
@@ -745,15 +1006,18 @@ fn sec61(h: &Harness) {
     println!("\n=== Section 6.1 (ablation): plan-cache memory accounting ===");
     let spec = h.spec_by_id("tpcds_G_d3");
     let m = if h.quick { 500 } else { 2000 };
-    println!("{:<8} {:>7} {:>9} {:>14} {:>14} {:>16}", "λ", "plans", "entries", "instList (B)", "planList (B)", "planCompact (B)");
+    println!(
+        "{:<8} {:>7} {:>9} {:>14} {:>14} {:>16}",
+        "λ", "plans", "entries", "instList (B)", "planList (B)", "planCompact (B)"
+    );
     let mut csv = Vec::new();
     for lambda in [1.1, 2.0] {
         let instances = spec.generate(m, 99);
-        let mut engine = QueryEngine::new(Arc::clone(&spec.template));
-        let mut scr = Scr::new(lambda);
+        let engine = QueryEngine::new(Arc::clone(&spec.template));
+        let mut scr = Scr::new(lambda).expect("valid figure λ");
         for inst in &instances {
             let sv = engine.compute_svector(inst);
-            let _ = scr.get_plan(inst, &sv, &mut engine);
+            let _ = scr.get_plan(inst, &sv, &engine);
         }
         let mem = scr.cache().memory_breakdown();
         println!(
@@ -777,7 +1041,14 @@ fn sec61(h: &Harness) {
     let p = write_csv(
         &h.dir,
         "sec61",
-        &["lambda", "plans", "instance_entries", "instance_list_bytes", "plan_list_bytes", "plan_list_compact_bytes"],
+        &[
+            "lambda",
+            "plans",
+            "instance_entries",
+            "instance_list_bytes",
+            "plan_list_bytes",
+            "plan_list_compact_bytes",
+        ],
         &csv,
     )
     .unwrap();
@@ -795,8 +1066,8 @@ fn sec61(h: &Harness) {
 // ---------------------------------------------------------------------------
 fn drift(h: &Harness) {
     use pqo_optimizer::svector::instance_for_target;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use pqo_rand::rngs::StdRng;
+    use pqo_rand::{Rng, SeedableRng};
     println!("\n=== Extension: workload drift (distribution flips at m/2) ===");
     let spec = h.spec_by_id("tpcds_G_d3");
     let m = if h.quick { 300 } else { 2000 };
@@ -817,8 +1088,8 @@ fn drift(h: &Harness) {
             .collect();
         instances.push(instance_for_target(&spec.template, &target));
     }
-    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
-    let gt = GroundTruth::compute(&mut engine, &instances);
+    let engine = QueryEngine::new(Arc::clone(&spec.template));
+    let gt = GroundTruth::compute(&engine, &instances);
 
     println!(
         "{:<14} {:>12} {:>12} {:>9} {:>9} {:>9}",
@@ -826,8 +1097,14 @@ fn drift(h: &Harness) {
     );
     let mut csv = Vec::new();
     for tech in [
-        TechSpec::Scr { lambda: 2.0, budget: None },
-        TechSpec::Scr { lambda: 2.0, budget: Some(5) },
+        TechSpec::Scr {
+            lambda: 2.0,
+            budget: None,
+        },
+        TechSpec::Scr {
+            lambda: 2.0,
+            budget: Some(5),
+        },
         TechSpec::Pcm { lambda: 2.0 },
         TechSpec::Ranges { margin: 0.01 },
         TechSpec::ReoptBind { threshold: 4.0 },
@@ -841,7 +1118,7 @@ fn drift(h: &Harness) {
         let mut opt_cost = 0.0;
         for (i, inst) in instances.iter().enumerate() {
             let sv = engine.compute_svector(inst);
-            let choice = t.get_plan(inst, &sv, &mut engine);
+            let choice = t.get_plan(inst, &sv, &engine);
             if choice.optimized {
                 opts[if i < m / 2 { 0 } else { 1 }] += 1;
             }
@@ -873,7 +1150,20 @@ fn drift(h: &Harness) {
             format!("{:.4}", chosen_cost / opt_cost),
         ]);
     }
-    let p = write_csv(&h.dir, "drift", &["technique", "opt_pct_phase1", "opt_pct_phase2", "plans", "mso", "tcr"], &csv).unwrap();
+    let p = write_csv(
+        &h.dir,
+        "drift",
+        &[
+            "technique",
+            "opt_pct_phase1",
+            "opt_pct_phase2",
+            "plans",
+            "mso",
+            "tcr",
+        ],
+        &csv,
+    )
+    .unwrap();
     println!("[csv] {}", p.display());
     println!("(extension: SCR re-learns the new region with a burst of calls, then settles;");
     println!(" the k=5 budget forces LFU turnover at the flip; single-plan baselines stay cheap but unbounded)");
@@ -884,17 +1174,27 @@ fn drift(h: &Harness) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let exps: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let exps: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
     if exps.is_empty() {
         eprintln!("usage: figures [--quick] <fig1|fig6..fig21|tab3|tab3x|appd|appe|sec73|appf|sec62|sec61|drift|all> ...");
         std::process::exit(2);
     }
     let h = Harness::new(quick);
     let t0 = Instant::now();
-    let all = ["fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-               "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "tab3", "appd", "appe", "sec73",
-               "appf", "sec62", "sec61", "tab3x", "drift"];
-    let run_list: Vec<&str> = if exps.contains(&"all") { all.to_vec() } else { exps };
+    let all = [
+        "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+        "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "tab3", "appd", "appe",
+        "sec73", "appf", "sec62", "sec61", "tab3x", "drift",
+    ];
+    let run_list: Vec<&str> = if exps.contains(&"all") {
+        all.to_vec()
+    } else {
+        exps
+    };
     for exp in run_list {
         match exp {
             "fig1" => fig1(&h),

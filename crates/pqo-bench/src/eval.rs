@@ -73,7 +73,13 @@ pub struct EvalPlan<'a> {
 impl<'a> EvalPlan<'a> {
     /// Evaluation over the given templates with the paper's five orderings.
     pub fn new(specs: Vec<&'a TemplateSpec>, techniques: Vec<TechSpec>) -> Self {
-        EvalPlan { specs, orderings: Ordering::ALL.to_vec(), techniques, m_override: None, seed: 0xC0FFEE }
+        EvalPlan {
+            specs,
+            orderings: Ordering::ALL.to_vec(),
+            techniques,
+            m_override: None,
+            seed: 0xC0FFEE,
+        }
     }
 
     /// Total number of sequences this plan will run.
@@ -83,12 +89,15 @@ impl<'a> EvalPlan<'a> {
 
     /// Execute the plan, parallelizing across templates.
     pub fn run(&self) -> Vec<SeqSummary> {
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(self.specs.len().max(1));
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(self.specs.len().max(1));
         let next = AtomicUsize::new(0);
         let results: Mutex<Vec<SeqSummary>> = Mutex::new(Vec::new());
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, AtomicOrdering::Relaxed);
                     if i >= self.specs.len() {
                         break;
@@ -97,12 +106,15 @@ impl<'a> EvalPlan<'a> {
                     results.lock().unwrap().extend(out);
                 });
             }
-        })
-        .expect("worker panicked");
+        });
         let mut out = results.into_inner().unwrap();
         // Deterministic output order regardless of scheduling.
         out.sort_by(|a, b| {
-            (&a.template_id, a.ordering, &a.technique).cmp(&(&b.template_id, b.ordering, &b.technique))
+            (&a.template_id, a.ordering, &a.technique).cmp(&(
+                &b.template_id,
+                b.ordering,
+                &b.technique,
+            ))
         });
         out
     }
@@ -110,8 +122,8 @@ impl<'a> EvalPlan<'a> {
     fn run_template(&self, spec: &TemplateSpec) -> Vec<SeqSummary> {
         let m = self.m_override.unwrap_or_else(|| spec.default_len());
         let instances = spec.generate(m, self.seed);
-        let mut engine = QueryEngine::new(Arc::clone(&spec.template));
-        let gt = GroundTruth::compute(&mut engine, &instances);
+        let engine = QueryEngine::new(Arc::clone(&spec.template));
+        let gt = GroundTruth::compute(&engine, &instances);
         let mut out = Vec::with_capacity(self.orderings.len() * self.techniques.len());
         for &ordering in &self.orderings {
             let order = ordering.permutation(&gt, self.seed ^ spec.seed);
@@ -119,7 +131,7 @@ impl<'a> EvalPlan<'a> {
             let seq_gt = gt.permute(&order);
             for tech in &self.techniques {
                 let mut t = tech.build();
-                let r = run_sequence(t.as_mut(), &mut engine, &seq, &seq_gt);
+                let r = run_sequence(t.as_mut(), &engine, &seq, &seq_gt);
                 out.push(SeqSummary {
                     template_id: spec.id.clone(),
                     dimensions: spec.dimensions,
@@ -154,14 +166,14 @@ pub fn running_num_opt(
     checkpoints: &[usize],
 ) -> Vec<(usize, f64)> {
     let instances = spec.generate(m, seed);
-    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
+    let engine = QueryEngine::new(Arc::clone(&spec.template));
     let mut t = tech.build();
     let mut opts = 0u64;
     let mut out = Vec::new();
     let mut next_cp = 0usize;
     for (i, inst) in instances.iter().enumerate() {
         let sv = engine.compute_svector(inst);
-        let choice = t.get_plan(inst, &sv, &mut engine);
+        let choice = t.get_plan(inst, &sv, &engine);
         if choice.optimized {
             opts += 1;
         }
@@ -181,7 +193,16 @@ mod tests {
     #[test]
     fn small_plan_runs_end_to_end() {
         let specs = vec![&corpus()[0], &corpus()[12]];
-        let mut plan = EvalPlan::new(specs, vec![TechSpec::OptOnce, TechSpec::Scr { lambda: 2.0, budget: None }]);
+        let mut plan = EvalPlan::new(
+            specs,
+            vec![
+                TechSpec::OptOnce,
+                TechSpec::Scr {
+                    lambda: 2.0,
+                    budget: None,
+                },
+            ],
+        );
         plan.orderings = vec![Ordering::Random, Ordering::DecreasingCost];
         plan.m_override = Some(60);
         assert_eq!(plan.num_sequences(), 4);
@@ -216,12 +237,18 @@ mod tests {
         let spec = &corpus()[12]; // a d=2 template
         let curve = running_num_opt(
             spec,
-            &TechSpec::Scr { lambda: 2.0, budget: None },
+            &TechSpec::Scr {
+                lambda: 2.0,
+                budget: None,
+            },
             400,
             7,
             &[100, 200, 400],
         );
         assert_eq!(curve.len(), 3);
-        assert!(curve[2].1 <= curve[0].1 + 1e-9, "reuse should improve with m: {curve:?}");
+        assert!(
+            curve[2].1 <= curve[0].1 + 1e-9,
+            "reuse should improve with m: {curve:?}"
+        );
     }
 }

@@ -19,8 +19,8 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pqo_rand::rngs::StdRng;
+use pqo_rand::{Rng, SeedableRng};
 
 use pqo_core::engine::QueryEngine;
 use pqo_core::runner::GroundTruth;
@@ -47,7 +47,13 @@ pub struct ExecSimConfig {
 
 impl Default for ExecSimConfig {
     fn default() -> Self {
-        ExecSimConfig { optimize_ms: 376.0, recost_ms: 5.0, svector_ms: 0.5, opt_always_exec_s: 230.0, noise: 0.2 }
+        ExecSimConfig {
+            optimize_ms: 376.0,
+            recost_ms: 5.0,
+            svector_ms: 0.5,
+            opt_always_exec_s: 230.0,
+            noise: 0.2,
+        }
     }
 }
 
@@ -77,13 +83,15 @@ pub fn simulate(
     seed: u64,
 ) -> Vec<ExecRow> {
     let instances = spec.generate(m, seed);
-    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
-    let gt = GroundTruth::compute(&mut engine, &instances);
+    let engine = QueryEngine::new(Arc::clone(&spec.template));
+    let gt = GroundTruth::compute(&engine, &instances);
 
     // Per-instance noise factors are fixed once: the same instance costs the
     // same to execute no matter which technique chose its plan.
     let mut rng = StdRng::seed_from_u64(seed ^ 0xE7EC);
-    let noise: Vec<f64> = (0..m).map(|_| 1.0 + cfg.noise * (rng.gen::<f64>() * 2.0 - 1.0)).collect();
+    let noise: Vec<f64> = (0..m)
+        .map(|_| 1.0 + cfg.noise * (rng.gen::<f64>() * 2.0 - 1.0))
+        .collect();
     let opt_always_cost: f64 = gt.opt_costs.iter().zip(&noise).map(|(c, n)| c * n).sum();
     let scale_s = cfg.opt_always_exec_s / opt_always_cost;
 
@@ -95,7 +103,7 @@ pub fn simulate(
             let mut exec_s = 0.0;
             for (i, inst) in instances.iter().enumerate() {
                 let sv = engine.compute_svector(inst);
-                let choice = t.get_plan(inst, &sv, &mut engine);
+                let choice = t.get_plan(inst, &sv, &engine);
                 let cost = if choice.plan.fingerprint() == gt.opt_plans[i].fingerprint() {
                     gt.opt_costs[i]
                 } else {
@@ -148,7 +156,10 @@ mod tests {
         let always = &rows[0];
         let once = &rows[1];
         assert!(once.opt_time_s < always.opt_time_s / 10.0);
-        assert!(once.exec_time_s >= always.exec_time_s, "OptOnce cannot execute faster than optimal");
+        assert!(
+            once.exec_time_s >= always.exec_time_s,
+            "OptOnce cannot execute faster than optimal"
+        );
         assert_eq!(once.plans, 1);
     }
 
@@ -159,7 +170,13 @@ mod tests {
         let rows = simulate(
             spec,
             200,
-            &[TechSpec::OptAlways, TechSpec::Scr { lambda: 1.1, budget: None }],
+            &[
+                TechSpec::OptAlways,
+                TechSpec::Scr {
+                    lambda: 1.1,
+                    budget: None,
+                },
+            ],
             &cfg,
             3,
         );

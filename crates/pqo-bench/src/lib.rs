@@ -13,5 +13,6 @@
 
 pub mod eval;
 pub mod exec_sim;
+pub mod microbench;
 pub mod report;
 pub mod techniques;

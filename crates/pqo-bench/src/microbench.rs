@@ -1,0 +1,164 @@
+//! Minimal micro-benchmark harness for the `harness = false` bench targets.
+//!
+//! The workspace builds fully offline, so the benches cannot rely on an
+//! external benchmarking crate. This module provides the small slice of
+//! that functionality they need: warmup, batched timing with
+//! automatically-chosen iteration counts, median-of-batches reporting, an
+//! optional name filter (`cargo bench -p pqo-bench -- <substring>`), and
+//! elements/second throughput lines.
+
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark (split over batches).
+const MEASURE: Duration = Duration::from_millis(200);
+const WARMUP: Duration = Duration::from_millis(50);
+const BATCHES: usize = 7;
+
+/// Runs labeled closures and prints one summary line each.
+pub struct Runner {
+    filter: Option<String>,
+    quick: bool,
+}
+
+impl Runner {
+    /// Build from `std::env::args`. `cargo bench` passes `--bench`, which
+    /// selects full measurement; without it (notably when `cargo test`
+    /// executes the bench binary as a smoke test) each closure runs once.
+    /// The first bare argument becomes a substring filter on labels.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Runner {
+            filter: args.iter().find(|a| !a.starts_with('-')).cloned(),
+            quick: !args.iter().any(|a| a == "--bench"),
+        }
+    }
+
+    /// Whether this run is a smoke pass (no `--bench` flag). Benches use
+    /// this to shrink workload setup that would otherwise dominate
+    /// `cargo test` time.
+    pub fn quick(&self) -> bool {
+        self.quick
+    }
+
+    fn selected(&self, label: &str) -> bool {
+        self.filter
+            .as_deref()
+            .map(|f| label.contains(f))
+            .unwrap_or(true)
+    }
+
+    /// Time `f`, printing `label  <ns>/iter`. Returns the per-iteration
+    /// nanoseconds (0.0 when filtered out).
+    pub fn bench<R>(&self, label: &str, mut f: impl FnMut() -> R) -> f64 {
+        self.bench_inner(label, None, &mut f)
+    }
+
+    /// Like [`Runner::bench`] but each call of `f` processes `elements`
+    /// items; additionally prints elements/second.
+    pub fn bench_throughput<R>(&self, label: &str, elements: u64, mut f: impl FnMut() -> R) -> f64 {
+        self.bench_inner(label, Some(elements), &mut f)
+    }
+
+    fn bench_inner<R>(&self, label: &str, elements: Option<u64>, f: &mut impl FnMut() -> R) -> f64 {
+        if !self.selected(label) {
+            return 0.0;
+        }
+        if self.quick {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            let ns = start.elapsed().as_secs_f64() * 1e9;
+            println!("{label:<44} {:>12}/iter  (smoke)", fmt_ns(ns));
+            return ns;
+        }
+        // Warmup while estimating the cost of one call.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Batch size targeting MEASURE/BATCHES per batch.
+        let per_batch = MEASURE.as_secs_f64() / BATCHES as f64;
+        let iters = ((per_batch / est.max(1e-9)).ceil() as u64).max(1);
+        let mut samples = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            samples.push(start.elapsed().as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        let ns = median * 1e9;
+        match elements {
+            Some(n) => {
+                let eps = n as f64 / median;
+                println!("{label:<44} {:>12}/iter  {:>14.0} elem/s", fmt_ns(ns), eps);
+            }
+            None => println!("{label:<44} {:>12}/iter", fmt_ns(ns)),
+        }
+        ns
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something() {
+        let r = Runner {
+            filter: None,
+            quick: true,
+        };
+        let mut x = 0u64;
+        let ns = r.bench("noop_accumulate", || {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn full_mode_batches() {
+        let r = Runner {
+            filter: None,
+            quick: false,
+        };
+        let ns = r.bench("spin_small", || std::hint::black_box(7u64).pow(3));
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn filter_skips_unmatched() {
+        let r = Runner {
+            filter: Some("only_this".into()),
+            quick: true,
+        };
+        let ns = r.bench("something_else", || 1);
+        assert_eq!(ns, 0.0);
+    }
+
+    #[test]
+    fn formats_scale() {
+        assert!(fmt_ns(12.3).ends_with("ns"));
+        assert!(fmt_ns(12_300.0).ends_with("µs"));
+        assert!(fmt_ns(12_300_000.0).ends_with("ms"));
+        assert!(fmt_ns(2.3e9).ends_with('s'));
+    }
+}

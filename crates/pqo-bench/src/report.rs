@@ -10,7 +10,12 @@ use crate::eval::SeqSummary;
 
 /// Write rows to `results/<name>.csv` (creating the directory), with a
 /// header line. Fields containing commas/quotes are quoted.
-pub fn write_csv(dir: &Path, name: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<std::path::PathBuf> {
+pub fn write_csv(
+    dir: &Path,
+    name: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<std::path::PathBuf> {
     fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.csv"));
     let mut f = fs::File::create(&path)?;
@@ -90,7 +95,16 @@ pub fn print_aggregates(title: &str, aggs: &[TechAggregate]) {
     println!("\n== {title} ==");
     println!(
         "{:<14} {:>5} {:>12} {:>12} {:>9} {:>9} {:>10} {:>10} {:>9} {:>9}",
-        "technique", "seqs", "MSO.avg", "MSO.p95", "TC.avg", "TC.p95", "opt%.avg", "opt%.p95", "plans.avg", "plans.p95"
+        "technique",
+        "seqs",
+        "MSO.avg",
+        "MSO.p95",
+        "TC.avg",
+        "TC.p95",
+        "opt%.avg",
+        "opt%.p95",
+        "plans.avg",
+        "plans.p95"
     );
     for a in aggs {
         println!(
@@ -137,8 +151,21 @@ pub fn summary_rows(rows: &[SeqSummary]) -> Vec<Vec<String>> {
 
 /// Header matching [`summary_rows`].
 pub const SUMMARY_HEADER: &[&str] = &[
-    "template", "d", "ordering", "technique", "m", "mso", "tcr", "num_opt", "num_opt_pct",
-    "num_plans", "distinct_plans", "recost_calls", "optimize_ms", "recost_ms", "getplan_ms",
+    "template",
+    "d",
+    "ordering",
+    "technique",
+    "m",
+    "mso",
+    "tcr",
+    "num_opt",
+    "num_opt_pct",
+    "num_plans",
+    "distinct_plans",
+    "recost_calls",
+    "optimize_ms",
+    "recost_ms",
+    "getplan_ms",
     "so_over_2_rate",
 ];
 
@@ -169,7 +196,11 @@ mod tests {
 
     #[test]
     fn aggregates_group_by_technique() {
-        let rows = vec![summary("A", 2.0, 10.0), summary("A", 4.0, 20.0), summary("B", 1.0, 5.0)];
+        let rows = vec![
+            summary("A", 2.0, 10.0),
+            summary("A", 4.0, 20.0),
+            summary("B", 1.0, 5.0),
+        ];
         let aggs = aggregate_by_technique(&rows);
         assert_eq!(aggs.len(), 2);
         let a = aggs.iter().find(|x| x.technique == "A").unwrap();
@@ -188,7 +219,13 @@ mod tests {
     #[test]
     fn csv_writes_to_disk() {
         let dir = std::env::temp_dir().join("pqo_report_test");
-        let path = write_csv(&dir, "probe", &["a", "b"], &[vec!["1".into(), "x,y".into()]]).unwrap();
+        let path = write_csv(
+            &dir,
+            "probe",
+            &["a", "b"],
+            &[vec!["1".into(), "x,y".into()]],
+        )
+        .unwrap();
         let content = std::fs::read_to_string(path).unwrap();
         assert_eq!(content, "a,b\n1,\"x,y\"\n");
     }

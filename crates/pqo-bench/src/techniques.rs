@@ -50,7 +50,10 @@ impl TechSpec {
             TechSpec::Ellipse { delta: 0.9 },
             TechSpec::Density,
             TechSpec::Ranges { margin: 0.01 },
-            TechSpec::Scr { lambda: 2.0, budget: None },
+            TechSpec::Scr {
+                lambda: 2.0,
+                budget: None,
+            },
         ]
     }
 
@@ -58,7 +61,10 @@ impl TechSpec {
     pub fn scr_lambda_sweep() -> Vec<TechSpec> {
         [1.1, 1.2, 1.5, 2.0]
             .into_iter()
-            .map(|lambda| TechSpec::Scr { lambda, budget: None })
+            .map(|lambda| TechSpec::Scr {
+                lambda,
+                budget: None,
+            })
             .collect()
     }
 
@@ -68,19 +74,25 @@ impl TechSpec {
             TechSpec::OptAlways => Box::new(OptimizeAlways::new()),
             TechSpec::OptOnce => Box::new(OptimizeOnce::new()),
             TechSpec::Scr { lambda, budget } => {
-                let mut cfg = ScrConfig::new(lambda);
+                let mut cfg = ScrConfig::new(lambda).expect("valid sweep λ");
                 cfg.plan_budget = budget;
-                Box::new(Scr::with_config(cfg))
+                Box::new(Scr::with_config(cfg).expect("valid SCR spec"))
             }
             TechSpec::ScrLambdaR { lambda, lambda_r } => {
-                let mut cfg = ScrConfig::new(lambda);
+                let mut cfg = ScrConfig::new(lambda).expect("valid sweep λ");
                 cfg.lambda_r = lambda_r;
-                Box::new(Scr::with_config(cfg))
+                Box::new(Scr::with_config(cfg).expect("valid SCR spec"))
             }
-            TechSpec::ScrDynamic { lambda_min, lambda_max } => {
-                let mut cfg = ScrConfig::new(lambda_min);
-                cfg.dynamic_lambda = Some(DynamicLambda { lambda_min, lambda_max });
-                Box::new(Scr::with_config(cfg))
+            TechSpec::ScrDynamic {
+                lambda_min,
+                lambda_max,
+            } => {
+                let mut cfg = ScrConfig::new(lambda_min).expect("valid sweep λ");
+                cfg.dynamic_lambda = Some(DynamicLambda {
+                    lambda_min,
+                    lambda_max,
+                });
+                Box::new(Scr::with_config(cfg).expect("valid SCR spec"))
             }
             TechSpec::Pcm { lambda } => Box::new(Pcm::new(lambda)),
             TechSpec::Ellipse { delta } => Box::new(Ellipse::new(delta)),
@@ -104,10 +116,19 @@ impl TechSpec {
         match *self {
             TechSpec::OptAlways => "OptAlways".into(),
             TechSpec::OptOnce => "OptOnce".into(),
-            TechSpec::Scr { lambda, budget: None } => format!("SCR{lambda}"),
-            TechSpec::Scr { lambda, budget: Some(k) } => format!("SCR{lambda}-k{k}"),
+            TechSpec::Scr {
+                lambda,
+                budget: None,
+            } => format!("SCR{lambda}"),
+            TechSpec::Scr {
+                lambda,
+                budget: Some(k),
+            } => format!("SCR{lambda}-k{k}"),
             TechSpec::ScrLambdaR { lambda, lambda_r } => format!("SCR{lambda}-lr{lambda_r:.2}"),
-            TechSpec::ScrDynamic { lambda_min, lambda_max } => {
+            TechSpec::ScrDynamic {
+                lambda_min,
+                lambda_max,
+            } => {
                 format!("SCR[{lambda_min},{lambda_max}]")
             }
             TechSpec::Pcm { lambda } => format!("PCM{lambda}"),
@@ -129,7 +150,17 @@ mod tests {
     #[test]
     fn headline_set_matches_paper() {
         let labels: Vec<String> = TechSpec::headline().iter().map(TechSpec::label).collect();
-        assert_eq!(labels, vec!["OptOnce", "PCM2", "Ellipse0.9", "Density", "Ranges0.01", "SCR2"]);
+        assert_eq!(
+            labels,
+            vec![
+                "OptOnce",
+                "PCM2",
+                "Ellipse0.9",
+                "Density",
+                "Ranges0.01",
+                "SCR2"
+            ]
+        );
     }
 
     #[test]
@@ -137,17 +168,32 @@ mod tests {
         let specs = [
             TechSpec::OptAlways,
             TechSpec::OptOnce,
-            TechSpec::Scr { lambda: 1.5, budget: Some(5) },
-            TechSpec::ScrLambdaR { lambda: 1.1, lambda_r: 1.01 },
-            TechSpec::ScrDynamic { lambda_min: 1.1, lambda_max: 10.0 },
+            TechSpec::Scr {
+                lambda: 1.5,
+                budget: Some(5),
+            },
+            TechSpec::ScrLambdaR {
+                lambda: 1.1,
+                lambda_r: 1.01,
+            },
+            TechSpec::ScrDynamic {
+                lambda_min: 1.1,
+                lambda_max: 10.0,
+            },
             TechSpec::Pcm { lambda: 2.0 },
             TechSpec::Ellipse { delta: 0.7 },
             TechSpec::Density,
             TechSpec::Ranges { margin: 0.01 },
             TechSpec::ReoptBind { threshold: 4.0 },
-            TechSpec::EllipseRedundant { delta: 0.9, lambda_r: 1.41 },
+            TechSpec::EllipseRedundant {
+                delta: 0.9,
+                lambda_r: 1.41,
+            },
             TechSpec::DensityRedundant { lambda_r: 1.41 },
-            TechSpec::RangesRedundant { margin: 0.01, lambda_r: 1.41 },
+            TechSpec::RangesRedundant {
+                margin: 0.01,
+                lambda_r: 1.41,
+            },
         ];
         for s in specs {
             let t = s.build();
@@ -158,7 +204,10 @@ mod tests {
 
     #[test]
     fn lambda_sweep_labels() {
-        let labels: Vec<String> = TechSpec::scr_lambda_sweep().iter().map(TechSpec::label).collect();
+        let labels: Vec<String> = TechSpec::scr_lambda_sweep()
+            .iter()
+            .map(TechSpec::label)
+            .collect();
         assert_eq!(labels, vec!["SCR1.1", "SCR1.2", "SCR1.5", "SCR2"]);
     }
 }

@@ -16,7 +16,10 @@ pub struct Catalog {
 impl Catalog {
     /// Create an empty catalog with a display name (e.g. `"tpch_skew"`).
     pub fn new(name: &str) -> Self {
-        Catalog { name: name.to_string(), tables: BTreeMap::new() }
+        Catalog {
+            name: name.to_string(),
+            tables: BTreeMap::new(),
+        }
     }
 
     /// Catalog display name.

@@ -5,8 +5,8 @@
 //! (see [`crate::histogram`]). The samplers are deterministic given a seed so
 //! that every run of the reproduction sees exactly the same statistics.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pqo_rand::rngs::StdRng;
+use pqo_rand::{Rng, SeedableRng};
 
 /// A univariate value distribution over a numeric domain.
 ///
@@ -21,7 +21,12 @@ pub enum Distribution {
     /// concentration near `min` for `exponent > 1`. `exponent` must be > 0.
     Zipf { min: f64, max: f64, exponent: f64 },
     /// Normal with the given mean/stddev, clamped to `[min, max]`.
-    Normal { min: f64, max: f64, mean: f64, stddev: f64 },
+    Normal {
+        min: f64,
+        max: f64,
+        mean: f64,
+        stddev: f64,
+    },
     /// Exponential decay from `min`, clamped to `[min, max]`. `rate` > 0;
     /// larger rates concentrate mass near `min`.
     Exponential { min: f64, max: f64, rate: f64 },
@@ -56,7 +61,12 @@ impl Distribution {
                 let u: f64 = rng.gen_range(0.0..=1.0);
                 min + (max - min) * u.powf(exponent)
             }
-            Distribution::Normal { min, max, mean, stddev } => {
+            Distribution::Normal {
+                min,
+                max,
+                mean,
+                stddev,
+            } => {
                 // Box-Muller; clamped to the declared support.
                 let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
                 let u2: f64 = rng.gen_range(0.0..1.0);
@@ -83,7 +93,10 @@ mod tests {
 
     #[test]
     fn uniform_stays_in_range() {
-        let d = Distribution::Uniform { min: 2.0, max: 10.0 };
+        let d = Distribution::Uniform {
+            min: 2.0,
+            max: 10.0,
+        };
         for v in d.sample_n(1000, 1) {
             assert!((2.0..=10.0).contains(&v));
         }
@@ -91,7 +104,11 @@ mod tests {
 
     #[test]
     fn zipf_is_skewed_towards_min() {
-        let d = Distribution::Zipf { min: 0.0, max: 100.0, exponent: 3.0 };
+        let d = Distribution::Zipf {
+            min: 0.0,
+            max: 100.0,
+            exponent: 3.0,
+        };
         let samples = d.sample_n(10_000, 2);
         let below_quarter = samples.iter().filter(|&&v| v < 25.0).count();
         // u^3 maps 63% of uniform mass below 0.25.
@@ -100,7 +117,12 @@ mod tests {
 
     #[test]
     fn normal_is_clamped() {
-        let d = Distribution::Normal { min: -1.0, max: 1.0, mean: 0.0, stddev: 10.0 };
+        let d = Distribution::Normal {
+            min: -1.0,
+            max: 1.0,
+            mean: 0.0,
+            stddev: 10.0,
+        };
         for v in d.sample_n(1000, 3) {
             assert!((-1.0..=1.0).contains(&v));
         }
@@ -108,7 +130,11 @@ mod tests {
 
     #[test]
     fn exponential_concentrates_near_min() {
-        let d = Distribution::Exponential { min: 0.0, max: 1000.0, rate: 10.0 };
+        let d = Distribution::Exponential {
+            min: 0.0,
+            max: 1000.0,
+            rate: 10.0,
+        };
         let samples = d.sample_n(10_000, 4);
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!(mean < 200.0, "mean {mean}");
@@ -123,7 +149,11 @@ mod tests {
 
     #[test]
     fn min_max_accessors() {
-        let d = Distribution::Zipf { min: 1.0, max: 9.0, exponent: 2.0 };
+        let d = Distribution::Zipf {
+            min: 1.0,
+            max: 9.0,
+            exponent: 2.0,
+        };
         assert_eq!(d.min(), 1.0);
         assert_eq!(d.max(), 9.0);
     }

@@ -117,10 +117,14 @@ impl Histogram {
 mod tests {
     use super::*;
     use crate::distribution::Distribution;
-    use proptest::prelude::*;
+    use pqo_rand::rngs::StdRng;
+    use pqo_rand::{Rng, SeedableRng};
 
     fn uniform_hist() -> Histogram {
-        let d = Distribution::Uniform { min: 0.0, max: 100.0 };
+        let d = Distribution::Uniform {
+            min: 0.0,
+            max: 100.0,
+        };
         Histogram::from_samples(d.sample_n(50_000, 7), 100)
     }
 
@@ -161,7 +165,11 @@ mod tests {
 
     #[test]
     fn works_on_skewed_data() {
-        let d = Distribution::Zipf { min: 0.0, max: 1000.0, exponent: 4.0 };
+        let d = Distribution::Zipf {
+            min: 0.0,
+            max: 1000.0,
+            exponent: 4.0,
+        };
         let h = Histogram::from_samples(d.sample_n(50_000, 9), 100);
         // Equi-depth: median of heavily skewed data is far below the midpoint.
         assert!(h.quantile(0.5) < 200.0);
@@ -191,39 +199,60 @@ mod tests {
         assert_eq!(h.selectivity_le(5.1), 1.0);
     }
 
-    proptest! {
-        #[test]
-        fn selectivity_le_is_monotone(vals in proptest::collection::vec(0.0f64..1000.0, 10..500),
-                                      a in 0.0f64..1000.0, b in 0.0f64..1000.0) {
+    fn random_vals(rng: &mut StdRng, lo: f64, hi: f64, min_n: usize, max_n: usize) -> Vec<f64> {
+        let n = rng.gen_range(min_n..max_n);
+        (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+    }
+
+    #[test]
+    fn selectivity_le_is_monotone_randomized() {
+        let mut rng = StdRng::seed_from_u64(0x4157_0001);
+        for _ in 0..256 {
+            let vals = random_vals(&mut rng, 0.0, 1000.0, 10, 500);
+            let a = rng.gen_range(0.0..1000.0);
+            let b = rng.gen_range(0.0..1000.0);
             let h = Histogram::from_samples(vals, 20);
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-            prop_assert!(h.selectivity_le(lo) <= h.selectivity_le(hi) + 1e-12);
+            assert!(h.selectivity_le(lo) <= h.selectivity_le(hi) + 1e-12);
         }
+    }
 
-        #[test]
-        fn quantile_is_monotone(vals in proptest::collection::vec(-50.0f64..50.0, 10..500),
-                                p in 0.0f64..1.0, q in 0.0f64..1.0) {
+    #[test]
+    fn quantile_is_monotone_randomized() {
+        let mut rng = StdRng::seed_from_u64(0x4157_0002);
+        for _ in 0..256 {
+            let vals = random_vals(&mut rng, -50.0, 50.0, 10, 500);
+            let p = rng.gen_range(0.0..1.0);
+            let q = rng.gen_range(0.0..1.0);
             let h = Histogram::from_samples(vals, 16);
             let (lo, hi) = if p <= q { (p, q) } else { (q, p) };
-            prop_assert!(h.quantile(lo) <= h.quantile(hi) + 1e-9);
+            assert!(h.quantile(lo) <= h.quantile(hi) + 1e-9);
         }
+    }
 
-        #[test]
-        fn selectivity_always_in_unit_interval(vals in proptest::collection::vec(0.0f64..10.0, 2..200),
-                                               v in -5.0f64..15.0) {
+    #[test]
+    fn selectivity_always_in_unit_interval_randomized() {
+        let mut rng = StdRng::seed_from_u64(0x4157_0003);
+        for _ in 0..256 {
+            let vals = random_vals(&mut rng, 0.0, 10.0, 2, 200);
+            let v = rng.gen_range(-5.0..15.0);
             let h = Histogram::from_samples(vals, 8);
             let s = h.selectivity_le(v);
-            prop_assert!((MIN_SELECTIVITY..=1.0).contains(&s));
+            assert!((MIN_SELECTIVITY..=1.0).contains(&s));
         }
+    }
 
-        #[test]
-        fn roundtrip_quantile_selectivity(p in 0.05f64..0.95) {
-            // On a smooth distribution the roundtrip error is bounded by one
-            // bucket width.
-            let d = Distribution::Uniform { min: 0.0, max: 1.0 };
-            let h = Histogram::from_samples(d.sample_n(20_000, 11), 50);
+    #[test]
+    fn roundtrip_quantile_selectivity_randomized() {
+        // On a smooth distribution the roundtrip error is bounded by one
+        // bucket width.
+        let d = Distribution::Uniform { min: 0.0, max: 1.0 };
+        let h = Histogram::from_samples(d.sample_n(20_000, 11), 50);
+        let mut rng = StdRng::seed_from_u64(0x4157_0004);
+        for _ in 0..256 {
+            let p = rng.gen_range(0.05..0.95);
             let v = h.quantile(p);
-            prop_assert!((h.selectivity_le(v) - p).abs() < 0.03);
+            assert!((h.selectivity_le(v) - p).abs() < 0.03, "p={p} v={v}");
         }
     }
 }

@@ -19,15 +19,28 @@ fn uni(max: f64) -> Distribution {
 }
 
 fn zipf(max: f64, e: f64) -> Distribution {
-    Distribution::Zipf { min: 0.0, max, exponent: e }
+    Distribution::Zipf {
+        min: 0.0,
+        max,
+        exponent: e,
+    }
 }
 
 fn norm(max: f64) -> Distribution {
-    Distribution::Normal { min: 0.0, max, mean: max / 2.0, stddev: max / 6.0 }
+    Distribution::Normal {
+        min: 0.0,
+        max,
+        mean: max / 2.0,
+        stddev: max / 6.0,
+    }
 }
 
 fn exp(max: f64, rate: f64) -> Distribution {
-    Distribution::Exponential { min: 0.0, max, rate }
+    Distribution::Exponential {
+        min: 0.0,
+        max,
+        rate,
+    }
 }
 
 /// Add `n` generic measure columns `m1..mn` with rotating distributions.
@@ -46,12 +59,7 @@ fn with_measures(mut b: TableBuilder, n: usize, ndv: u64) -> TableBuilder {
 }
 
 fn keyed(name: &str, rows: u64) -> TableBuilder {
-    TableBuilder::new(name, rows).column(
-        &format!("{name}_pk"),
-        uni(rows as f64),
-        rows,
-        true,
-    )
+    TableBuilder::new(name, rows).column(&format!("{name}_pk"), uni(rows as f64), rows, true)
 }
 
 /// TPC-H at scale factor 1 with skewed value distributions (the paper uses
@@ -59,7 +67,11 @@ fn keyed(name: &str, rows: u64) -> TableBuilder {
 pub fn tpch_skew() -> Catalog {
     let mut c = Catalog::new("tpch_skew");
     c.add_table(keyed("region", 5).build());
-    c.add_table(keyed("nation", 25).column("region_fk", uni(5.0), 5, false).build());
+    c.add_table(
+        keyed("nation", 25)
+            .column("region_fk", uni(5.0), 5, false)
+            .build(),
+    );
     c.add_table(
         keyed("supplier", 10_000)
             .column("nation_fk", uni(25.0), 25, false)
@@ -131,17 +143,33 @@ pub fn tpcds() -> Catalog {
             .column("customer_address_fk", uni(50_000.0), 50_000, false)
             .build(),
     );
-    c.add_table(keyed("customer_address", 50_000).column("ca_gmt_offset", uni(24.0), 24, false).build());
+    c.add_table(
+        keyed("customer_address", 50_000)
+            .column("ca_gmt_offset", uni(24.0), 24, false)
+            .build(),
+    );
     c.add_table(
         keyed("customer_demographics", 1_920_800)
             .column("cd_dep_count", uni(10.0), 10, true)
             .column("cd_purchase_estimate", zipf(10_000.0, 2.2), 9_000, false)
             .build(),
     );
-    c.add_table(keyed("household_demographics", 7_200).column("hd_vehicle_count", uni(5.0), 5, false).build());
-    c.add_table(keyed("store", 402).column("s_floor_space", norm(10_000_000.0), 400, false).build());
+    c.add_table(
+        keyed("household_demographics", 7_200)
+            .column("hd_vehicle_count", uni(5.0), 5, false)
+            .build(),
+    );
+    c.add_table(
+        keyed("store", 402)
+            .column("s_floor_space", norm(10_000_000.0), 400, false)
+            .build(),
+    );
     c.add_table(keyed("warehouse", 15).build());
-    c.add_table(keyed("promotion", 1_000).column("p_cost", exp(2_000.0, 2.0), 900, false).build());
+    c.add_table(
+        keyed("promotion", 1_000)
+            .column("p_cost", exp(2_000.0, 2.0), 900, false)
+            .build(),
+    );
     c.add_table(
         with_measures(
             keyed("store_sales", 2_880_404)
@@ -238,7 +266,11 @@ pub fn rd1() -> Catalog {
             .column("s_ts", uni(31_536_000.0), 8_000_000, true)
             .build(),
     );
-    c.add_table(keyed("products", 100_000).column("p_price", zipf(5_000.0, 2.0), 40_000, true).build());
+    c.add_table(
+        keyed("products", 100_000)
+            .column("p_price", zipf(5_000.0, 2.0), 40_000, true)
+            .build(),
+    );
     c.add_table(
         keyed("orders_r", 8_000_000)
             .column("users_fk", uni(5_000_000.0), 3_500_000, true)
@@ -269,8 +301,16 @@ pub fn rd1() -> Catalog {
 /// (d >= 5 "were only possible on RD2", Section 7.1).
 pub fn rd2() -> Catalog {
     let mut c = Catalog::new("rd2");
-    c.add_table(keyed("sites", 10_000).column("st_elevation", norm(4_000.0), 3_800, false).build());
-    c.add_table(keyed("firmware", 500).column("f_version", uni(500.0), 500, false).build());
+    c.add_table(
+        keyed("sites", 10_000)
+            .column("st_elevation", norm(4_000.0), 3_800, false)
+            .build(),
+    );
+    c.add_table(
+        keyed("firmware", 500)
+            .column("f_version", uni(500.0), 500, false)
+            .build(),
+    );
     c.add_table(
         with_measures(
             keyed("devices", 10_000_000)
@@ -289,7 +329,12 @@ pub fn rd2() -> Catalog {
             .column("sn_range", uni(10_000.0), 10_000, true)
             .build(),
     );
-    c.add_table(keyed("calib", 1_000_000).column("sensors_fk", uni(5_000_000.0), 1_000_000, true).column("cb_drift", norm(10.0), 10_000, false).build());
+    c.add_table(
+        keyed("calib", 1_000_000)
+            .column("sensors_fk", uni(5_000_000.0), 1_000_000, true)
+            .column("cb_drift", norm(10.0), 10_000, false)
+            .build(),
+    );
     c.add_table(
         with_measures(
             keyed("telemetry", 100_000_000)
@@ -362,7 +407,9 @@ mod tests {
     #[test]
     fn tpch_has_expected_tables() {
         let c = tpch_skew();
-        for t in ["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"] {
+        for t in [
+            "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+        ] {
             assert!(c.table(t).is_some(), "missing table {t}");
         }
         assert_eq!(c.expect_table("lineitem").row_count, 6_000_000);
@@ -373,7 +420,9 @@ mod tests {
         for cat in all_catalogs() {
             for t in cat.tables() {
                 let pk = format!("{}_pk", t.name);
-                let col = t.column(&pk).unwrap_or_else(|| panic!("{} missing pk", t.name));
+                let col = t
+                    .column(&pk)
+                    .unwrap_or_else(|| panic!("{} missing pk", t.name));
                 assert!(col.indexed, "{} pk not indexed", t.name);
                 assert_eq!(col.stats.ndv, t.row_count, "{} pk ndv", t.name);
             }
@@ -386,7 +435,12 @@ mod tests {
             for t in cat.tables() {
                 for col in &t.columns {
                     if let Some(target) = col.name.strip_suffix("_fk") {
-                        assert!(cat.table(target).is_some(), "{}.{} dangling fk", t.name, col.name);
+                        assert!(
+                            cat.table(target).is_some(),
+                            "{}.{} dangling fk",
+                            t.name,
+                            col.name
+                        );
                     }
                 }
             }
@@ -414,8 +468,16 @@ mod tests {
     fn statistics_are_deterministic_across_builds() {
         let a = tpch_skew();
         let b = tpch_skew();
-        let ca = &a.expect_table("lineitem").column("l_extendedprice").unwrap().stats;
-        let cb = &b.expect_table("lineitem").column("l_extendedprice").unwrap().stats;
+        let ca = &a
+            .expect_table("lineitem")
+            .column("l_extendedprice")
+            .unwrap()
+            .stats;
+        let cb = &b
+            .expect_table("lineitem")
+            .column("l_extendedprice")
+            .unwrap()
+            .stats;
         assert_eq!(ca.histogram.quantile(0.123), cb.histogram.quantile(0.123));
     }
 }

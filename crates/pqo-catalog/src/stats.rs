@@ -26,7 +26,10 @@ impl ColumnStats {
     /// makes the statistics deterministic per column.
     pub fn build(dist: &Distribution, ndv: u64, seed: u64) -> Self {
         let samples = dist.sample_n(STATS_SAMPLE_SIZE, seed);
-        ColumnStats { histogram: Histogram::from_samples(samples, STATS_BUCKETS), ndv }
+        ColumnStats {
+            histogram: Histogram::from_samples(samples, STATS_BUCKETS),
+            ndv,
+        }
     }
 }
 
@@ -44,7 +47,11 @@ mod tests {
 
     #[test]
     fn build_is_deterministic() {
-        let d = Distribution::Zipf { min: 0.0, max: 10.0, exponent: 2.0 };
+        let d = Distribution::Zipf {
+            min: 0.0,
+            max: 10.0,
+            exponent: 2.0,
+        };
         let a = ColumnStats::build(&d, 10, 99);
         let b = ColumnStats::build(&d, 10, 99);
         assert_eq!(a.histogram.quantile(0.37), b.histogram.quantile(0.37));

@@ -60,7 +60,12 @@ pub struct TableBuilder {
 impl TableBuilder {
     /// Start a table with the given name and row count.
     pub fn new(name: &str, row_count: u64) -> Self {
-        TableBuilder { name: name.to_string(), row_count, row_bytes: DEFAULT_ROW_BYTES, columns: Vec::new() }
+        TableBuilder {
+            name: name.to_string(),
+            row_count,
+            row_bytes: DEFAULT_ROW_BYTES,
+            columns: Vec::new(),
+        }
     }
 
     /// Override the assumed row width in bytes.
@@ -70,17 +75,35 @@ impl TableBuilder {
     }
 
     /// Add a column. `ndv` caps at the row count.
-    pub fn column(mut self, name: &str, distribution: Distribution, ndv: u64, indexed: bool) -> Self {
+    pub fn column(
+        mut self,
+        name: &str,
+        distribution: Distribution,
+        ndv: u64,
+        indexed: bool,
+    ) -> Self {
         let seed = seed_for(&self.name, name);
         let stats = ColumnStats::build(&distribution, ndv.min(self.row_count.max(1)), seed);
-        self.columns.push(ColumnDef { name: name.to_string(), distribution, indexed, stats });
+        self.columns.push(ColumnDef {
+            name: name.to_string(),
+            distribution,
+            indexed,
+            stats,
+        });
         self
     }
 
     /// Finish building.
     pub fn build(self) -> TableDef {
-        let page_count = (self.row_count * self.row_bytes).div_ceil(PAGE_BYTES).max(1);
-        TableDef { name: self.name, row_count: self.row_count, page_count, columns: self.columns }
+        let page_count = (self.row_count * self.row_bytes)
+            .div_ceil(PAGE_BYTES)
+            .max(1);
+        TableDef {
+            name: self.name,
+            row_count: self.row_count,
+            page_count,
+            columns: self.columns,
+        }
     }
 }
 
@@ -100,15 +123,32 @@ mod tests {
 
     fn sample_table() -> TableDef {
         TableBuilder::new("t", 100_000)
-            .column("a", Distribution::Uniform { min: 0.0, max: 1.0 }, 1000, true)
-            .column("b", Distribution::Zipf { min: 0.0, max: 50.0, exponent: 2.0 }, 50, false)
+            .column(
+                "a",
+                Distribution::Uniform { min: 0.0, max: 1.0 },
+                1000,
+                true,
+            )
+            .column(
+                "b",
+                Distribution::Zipf {
+                    min: 0.0,
+                    max: 50.0,
+                    exponent: 2.0,
+                },
+                50,
+                false,
+            )
             .build()
     }
 
     #[test]
     fn page_count_derivation() {
         let t = sample_table();
-        assert_eq!(t.page_count, (100_000u64 * DEFAULT_ROW_BYTES).div_ceil(PAGE_BYTES));
+        assert_eq!(
+            t.page_count,
+            (100_000u64 * DEFAULT_ROW_BYTES).div_ceil(PAGE_BYTES)
+        );
     }
 
     #[test]
@@ -131,7 +171,12 @@ mod tests {
     #[test]
     fn ndv_caps_at_row_count() {
         let t = TableBuilder::new("tiny", 10)
-            .column("x", Distribution::Uniform { min: 0.0, max: 1.0 }, 99999, false)
+            .column(
+                "x",
+                Distribution::Uniform { min: 0.0, max: 1.0 },
+                99999,
+                false,
+            )
             .build();
         assert_eq!(t.column("x").unwrap().stats.ndv, 10);
     }

@@ -17,7 +17,9 @@ impl Args {
             let key = argv[i]
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected `--key`, got `{}`", argv[i]))?;
-            let value = argv.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
+            let value = argv
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} needs a value"))?;
             if values.insert(key.to_string(), value.clone()).is_some() {
                 return Err(format!("--{key} given twice"));
             }
@@ -28,7 +30,10 @@ impl Args {
 
     /// Required argument.
     pub fn get(&self, key: &str) -> Result<String, String> {
-        self.values.get(key).cloned().ok_or_else(|| format!("missing required --{key}"))
+        self.values
+            .get(key)
+            .cloned()
+            .ok_or_else(|| format!("missing required --{key}"))
     }
 
     /// Optional argument.

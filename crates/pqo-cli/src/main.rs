@@ -77,10 +77,17 @@ fn spec(args: &Args) -> Result<&'static TemplateSpec, String> {
 
 fn sels(args: &Args, key: &str, d: usize) -> Result<Vec<f64>, String> {
     let raw = args.get(key)?;
-    let v: Result<Vec<f64>, _> = raw.split(',').map(str::trim).map(str::parse::<f64>).collect();
+    let v: Result<Vec<f64>, _> = raw
+        .split(',')
+        .map(str::trim)
+        .map(str::parse::<f64>)
+        .collect();
     let v = v.map_err(|e| format!("--{key}: {e}"))?;
     if v.len() != d {
-        return Err(format!("--{key}: expected {d} selectivities, got {}", v.len()));
+        return Err(format!(
+            "--{key}: expected {d} selectivities, got {}",
+            v.len()
+        ));
     }
     if v.iter().any(|s| !(*s > 0.0 && *s <= 1.0)) {
         return Err(format!("--{key}: selectivities must lie in (0, 1]"));
@@ -90,14 +97,22 @@ fn sels(args: &Args, key: &str, d: usize) -> Result<Vec<f64>, String> {
 
 fn templates(args: &Args) -> Result<(), String> {
     let filter = args.opt("catalog");
-    println!("{:<20} {:<10} {:>2} {:>5} {:>6}  relations", "id", "catalog", "d", "rels", "edges");
+    println!(
+        "{:<20} {:<10} {:>2} {:>5} {:>6}  relations",
+        "id", "catalog", "d", "rels", "edges"
+    );
     for s in corpus() {
         if let Some(c) = &filter {
             if s.catalog != *c {
                 continue;
             }
         }
-        let rels: Vec<&str> = s.template.relations.iter().map(|r| r.alias.as_str()).collect();
+        let rels: Vec<&str> = s
+            .template
+            .relations
+            .iter()
+            .map(|r| r.alias.as_str())
+            .collect();
         println!(
             "{:<20} {:<10} {:>2} {:>5} {:>6}  {}",
             s.id,
@@ -115,11 +130,14 @@ fn explain(args: &Args) -> Result<(), String> {
     let spec = spec(args)?;
     let target = sels(args, "sel", spec.dimensions)?;
     let inst = instance_for_target(&spec.template, &target);
-    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
+    let engine = QueryEngine::new(Arc::clone(&spec.template));
     let sv = engine.compute_svector(&inst);
     let opt = engine.optimize(&sv);
     println!("template : {} (d = {})", spec.id, spec.dimensions);
-    println!("sVector  : {:?}", sv.0.iter().map(|s| format!("{s:.4}")).collect::<Vec<_>>());
+    println!(
+        "sVector  : {:?}",
+        sv.0.iter().map(|s| format!("{s:.4}")).collect::<Vec<_>>()
+    );
     println!("cost     : {:.2}", opt.cost);
     println!("{}", opt.plan.display(&spec.template));
     Ok(())
@@ -130,7 +148,7 @@ fn recost_cmd(args: &Args) -> Result<(), String> {
     let d = spec.dimensions;
     let at_e = sels(args, "plan-at", d)?;
     let at_c = sels(args, "at", d)?;
-    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
+    let engine = QueryEngine::new(Arc::clone(&spec.template));
     let sv_e = compute_svector(&spec.template, &instance_for_target(&spec.template, &at_e));
     let sv_c = compute_svector(&spec.template, &instance_for_target(&spec.template, &at_c));
     let opt_e = engine.optimize(&sv_e);
@@ -139,8 +157,14 @@ fn recost_cmd(args: &Args) -> Result<(), String> {
     let (g, l) = sv_c.g_and_l(&sv_e);
     let r = recost / opt_e.cost;
     println!("plan optimized at {:?}  (cost {:.2})", at_e, opt_e.cost);
-    println!("re-costed at      {:?}  -> Cost(Pe, qc) = {:.2}", at_c, recost);
-    println!("optimal at qc                 -> Cost(Pc, qc) = {:.2}", opt_c.cost);
+    println!(
+        "re-costed at      {:?}  -> Cost(Pe, qc) = {:.2}",
+        at_c, recost
+    );
+    println!(
+        "optimal at qc                 -> Cost(Pc, qc) = {:.2}",
+        opt_c.cost
+    );
     println!();
     println!("G = {g:.4}  L = {l:.4}  R = {r:.4}");
     println!("selectivity bound  G*L = {:.4}", g * l);
@@ -151,9 +175,24 @@ fn recost_cmd(args: &Args) -> Result<(), String> {
 
 fn run_cmd(args: &Args) -> Result<(), String> {
     let spec = spec(args)?;
-    let lambda: f64 = args.opt("lambda").map(|s| s.parse()).transpose().map_err(|e| format!("--lambda: {e}"))?.unwrap_or(2.0);
-    let m: usize = args.opt("m").map(|s| s.parse()).transpose().map_err(|e| format!("--m: {e}"))?.unwrap_or(1000);
-    let seed: u64 = args.opt("seed").map(|s| s.parse()).transpose().map_err(|e| format!("--seed: {e}"))?.unwrap_or(42);
+    let lambda: f64 = args
+        .opt("lambda")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--lambda: {e}"))?
+        .unwrap_or(2.0);
+    let m: usize = args
+        .opt("m")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--m: {e}"))?
+        .unwrap_or(1000);
+    let seed: u64 = args
+        .opt("seed")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--seed: {e}"))?
+        .unwrap_or(42);
     let tech_name = args.opt("tech").unwrap_or_else(|| "scr".into());
     let load_cache = args.opt("load-cache");
     let save_cache = args.opt("save-cache");
@@ -162,15 +201,22 @@ fn run_cmd(args: &Args) -> Result<(), String> {
     }
 
     let instances = spec.generate(m, seed);
-    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
-    let gt = GroundTruth::compute(&mut engine, &instances);
+    let engine = QueryEngine::new(Arc::clone(&spec.template));
+    let gt = GroundTruth::compute(&engine, &instances);
 
     let print_result = |r: &pqo_core::metrics::RunResult| {
-        println!("template            : {} (d = {})", spec.id, spec.dimensions);
+        println!(
+            "template            : {} (d = {})",
+            spec.id, spec.dimensions
+        );
         println!("technique           : {}", r.technique);
         println!("instances           : {}", r.num_instances);
         println!("distinct opt. plans : {}", r.distinct_optimal_plans);
-        println!("optimizer calls     : {} ({:.1}%)", r.num_opt, r.num_opt_pct());
+        println!(
+            "optimizer calls     : {} ({:.1}%)",
+            r.num_opt,
+            r.num_opt_pct()
+        );
         println!("plans cached        : {}", r.num_plans);
         println!("MSO                 : {:.4}", r.mso());
         println!("TotalCostRatio      : {:.4}", r.total_cost_ratio());
@@ -182,8 +228,9 @@ fn run_cmd(args: &Args) -> Result<(), String> {
         let mut scr = match &load_cache {
             Some(path) => {
                 let mut f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
-                let scr = pqo_core::persist::restore(pqo_core::scr::ScrConfig::new(lambda), &mut f)
-                    .map_err(|e| format!("{path}: {e}"))?;
+                let cfg = pqo_core::scr::ScrConfig::new(lambda).map_err(|e| e.to_string())?;
+                let scr =
+                    pqo_core::persist::restore(cfg, &mut f).map_err(|e| format!("{path}: {e}"))?;
                 println!(
                     "loaded cache from {path}: {} plans, {} instance entries",
                     scr.cache().num_plans(),
@@ -191,9 +238,9 @@ fn run_cmd(args: &Args) -> Result<(), String> {
                 );
                 scr
             }
-            None => Scr::new(lambda),
+            None => Scr::new(lambda).map_err(|e| e.to_string())?,
         };
-        let r = run_sequence(&mut scr, &mut engine, &instances, &gt);
+        let r = run_sequence(&mut scr, &engine, &instances, &gt);
         print_result(&r);
         if let Some(path) = save_cache {
             let mut f = std::fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
@@ -215,21 +262,31 @@ fn run_cmd(args: &Args) -> Result<(), String> {
         "once" => Box::new(OptimizeOnce::new()),
         other => return Err(format!("unknown technique `{other}`")),
     };
-    let r = run_sequence(tech.as_mut(), &mut engine, &instances, &gt);
+    let r = run_sequence(tech.as_mut(), &engine, &instances, &gt);
     print_result(&r);
     Ok(())
 }
 
 fn cache_cmd(args: &Args) -> Result<(), String> {
     let spec = spec(args)?;
-    let lambda: f64 = args.opt("lambda").map(|s| s.parse()).transpose().map_err(|e| format!("--lambda: {e}"))?.unwrap_or(2.0);
-    let m: usize = args.opt("m").map(|s| s.parse()).transpose().map_err(|e| format!("--m: {e}"))?.unwrap_or(500);
+    let lambda: f64 = args
+        .opt("lambda")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--lambda: {e}"))?
+        .unwrap_or(2.0);
+    let m: usize = args
+        .opt("m")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--m: {e}"))?
+        .unwrap_or(500);
     let instances = spec.generate(m, 42);
-    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
-    let mut scr = Scr::new(lambda);
+    let engine = QueryEngine::new(Arc::clone(&spec.template));
+    let mut scr = Scr::new(lambda).map_err(|e| e.to_string())?;
     for inst in &instances {
         let sv = engine.compute_svector(inst);
-        let _ = scr.get_plan(inst, &sv, &mut engine);
+        let _ = scr.get_plan(inst, &sv, &engine);
     }
     let cache = scr.cache();
     let mem = cache.memory_breakdown();
@@ -239,17 +296,31 @@ fn cache_cmd(args: &Args) -> Result<(), String> {
     println!("selectivity hits    : {}", scr.stats().selectivity_hits);
     println!("cost-check hits     : {}", scr.stats().cost_hits);
     println!("optimizer calls     : {}", scr.stats().optimizer_calls);
-    println!("redundant discards  : {}", scr.stats().redundant_plans_discarded);
+    println!(
+        "redundant discards  : {}",
+        scr.stats().redundant_plans_discarded
+    );
     println!();
     println!("memory — instance list : {:>8} B", mem.instance_list_bytes);
-    println!("memory — plan list     : {:>8} B (tree)", mem.plan_list_bytes);
-    println!("memory — plan list     : {:>8} B (Appendix B compact encoding)", mem.plan_list_compact_bytes);
+    println!(
+        "memory — plan list     : {:>8} B (tree)",
+        mem.plan_list_bytes
+    );
+    println!(
+        "memory — plan list     : {:>8} B (Appendix B compact encoding)",
+        mem.plan_list_compact_bytes
+    );
     println!();
     println!("{:<10} {:>10} {:>8} {:>8}", "plan", "usage", "entries", "");
     for plan in cache.plans() {
         let fp = plan.fingerprint();
         let entries = cache.instances().iter().filter(|e| e.plan == fp).count();
-        println!("{:<10} {:>10} {:>8}", fp.to_string(), cache.plan_usage(fp), entries);
+        println!(
+            "{:<10} {:>10} {:>8}",
+            fp.to_string(),
+            cache.plan_usage(fp),
+            entries
+        );
     }
     Ok(())
 }
@@ -257,5 +328,8 @@ fn cache_cmd(args: &Args) -> Result<(), String> {
 /// Example selectivity vector formatting used in help/debug output.
 #[allow(dead_code)]
 fn fmt_sv(sv: &SVector) -> String {
-    sv.0.iter().map(|s| format!("{s:.4}")).collect::<Vec<_>>().join(",")
+    sv.0.iter()
+        .map(|s| format!("{s:.4}"))
+        .collect::<Vec<_>>()
+        .join(",")
 }

@@ -35,14 +35,22 @@ impl Density {
     pub fn new(radius: f64, confidence: f64) -> Self {
         assert!(radius > 0.0);
         assert!(confidence > 0.0 && confidence <= 1.0);
-        Density { radius, confidence, store: BaselineStore::new(None) }
+        Density {
+            radius,
+            confidence,
+            store: BaselineStore::new(None),
+        }
     }
 
     /// Density augmented with the Recost redundancy check (Appendix H.6).
     pub fn with_redundancy(radius: f64, confidence: f64, lambda_r: f64) -> Self {
         assert!(radius > 0.0);
         assert!(confidence > 0.0 && confidence <= 1.0);
-        Density { radius, confidence, store: BaselineStore::new(Some(lambda_r)) }
+        Density {
+            radius,
+            confidence,
+            store: BaselineStore::new(Some(lambda_r)),
+        }
     }
 }
 
@@ -55,7 +63,7 @@ impl OnlinePqo for Density {
         &mut self,
         _instance: &QueryInstance,
         sv: &SVector,
-        engine: &mut QueryEngine,
+        engine: &QueryEngine,
     ) -> PlanChoice {
         let mut votes: HashMap<PlanFingerprint, usize> = HashMap::new();
         let mut neighbours = 0usize;
@@ -68,13 +76,19 @@ impl OnlinePqo for Density {
         if neighbours >= MIN_NEIGHBOURS {
             if let Some((&fp, &count)) = votes.iter().max_by_key(|(fp, c)| (**c, **fp)) {
                 if count as f64 >= self.confidence * neighbours as f64 {
-                    return PlanChoice { plan: self.store.plan(fp), optimized: false };
+                    return PlanChoice {
+                        plan: self.store.plan(fp),
+                        optimized: false,
+                    };
                 }
             }
         }
         let opt = engine.optimize(sv);
         self.store.record(sv, &opt, engine);
-        PlanChoice { plan: opt.plan, optimized: true }
+        PlanChoice {
+            plan: opt.plan,
+            optimized: true,
+        }
     }
 
     fn plans_cached(&self) -> usize {
@@ -95,32 +109,35 @@ mod tests {
     #[test]
     fn two_confident_neighbours_enable_inference() {
         let t = fixture();
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let engine = QueryEngine::new(Arc::clone(&t));
         let mut tech = Density::new(0.1, 0.5);
-        let a = run_point(&mut tech, &mut engine, &[0.30, 0.30]);
-        let b = run_point(&mut tech, &mut engine, &[0.33, 0.33]);
+        let a = run_point(&mut tech, &engine, &[0.30, 0.30]);
+        let b = run_point(&mut tech, &engine, &[0.33, 0.33]);
         assert!(a.optimized && b.optimized);
-        let c = run_point(&mut tech, &mut engine, &[0.31, 0.31]);
+        let c = run_point(&mut tech, &engine, &[0.31, 0.31]);
         if a.plan.fingerprint() == b.plan.fingerprint() {
-            assert!(!c.optimized, "majority plan in the neighbourhood should be reused");
+            assert!(
+                !c.optimized,
+                "majority plan in the neighbourhood should be reused"
+            );
         }
     }
 
     #[test]
     fn sparse_region_forces_optimizer() {
         let t = fixture();
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let engine = QueryEngine::new(Arc::clone(&t));
         let mut tech = Density::new(0.1, 0.5);
-        let _ = run_point(&mut tech, &mut engine, &[0.2, 0.2]);
-        assert!(run_point(&mut tech, &mut engine, &[0.8, 0.8]).optimized);
+        let _ = run_point(&mut tech, &engine, &[0.2, 0.2]);
+        assert!(run_point(&mut tech, &engine, &[0.8, 0.8]).optimized);
     }
 
     #[test]
     fn one_neighbour_is_not_enough() {
         let t = fixture();
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let engine = QueryEngine::new(Arc::clone(&t));
         let mut tech = Density::new(0.1, 0.5);
-        let _ = run_point(&mut tech, &mut engine, &[0.30, 0.30]);
-        assert!(run_point(&mut tech, &mut engine, &[0.305, 0.305]).optimized);
+        let _ = run_point(&mut tech, &engine, &[0.30, 0.30]);
+        assert!(run_point(&mut tech, &engine, &[0.305, 0.305]).optimized);
     }
 }

@@ -30,13 +30,19 @@ impl Ellipse {
     /// Ellipse with eccentricity threshold `delta` in `(0, 1]`.
     pub fn new(delta: f64) -> Self {
         assert!(delta > 0.0 && delta <= 1.0);
-        Ellipse { delta, store: BaselineStore::new(None) }
+        Ellipse {
+            delta,
+            store: BaselineStore::new(None),
+        }
     }
 
     /// Ellipse augmented with the Recost redundancy check (Appendix H.6).
     pub fn with_redundancy(delta: f64, lambda_r: f64) -> Self {
         assert!(delta > 0.0 && delta <= 1.0);
-        Ellipse { delta, store: BaselineStore::new(Some(lambda_r)) }
+        Ellipse {
+            delta,
+            store: BaselineStore::new(Some(lambda_r)),
+        }
     }
 }
 
@@ -49,7 +55,7 @@ impl OnlinePqo for Ellipse {
         &mut self,
         _instance: &QueryInstance,
         sv: &SVector,
-        engine: &mut QueryEngine,
+        engine: &QueryEngine,
     ) -> PlanChoice {
         // Group stored instances by plan, then test qc against every pair of
         // foci within each group.
@@ -64,13 +70,19 @@ impl OnlinePqo for Ellipse {
                 let focal = a.svector.distance(&b.svector);
                 if da + db <= focal / self.delta {
                     let fp = a.plan;
-                    return PlanChoice { plan: self.store.plan(fp), optimized: false };
+                    return PlanChoice {
+                        plan: self.store.plan(fp),
+                        optimized: false,
+                    };
                 }
             }
         }
         let opt = engine.optimize(sv);
         self.store.record(sv, &opt, engine);
-        PlanChoice { plan: opt.plan, optimized: true }
+        PlanChoice {
+            plan: opt.plan,
+            optimized: true,
+        }
     }
 
     fn plans_cached(&self) -> usize {
@@ -91,23 +103,23 @@ mod tests {
     #[test]
     fn needs_two_same_plan_foci() {
         let t = fixture();
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let engine = QueryEngine::new(Arc::clone(&t));
         let mut tech = Ellipse::new(0.9);
-        assert!(run_point(&mut tech, &mut engine, &[0.3, 0.3]).optimized);
+        assert!(run_point(&mut tech, &engine, &[0.3, 0.3]).optimized);
         // A second instance: even if it shares the plan, no pair existed yet
         // when it arrived, so it optimizes too.
-        assert!(run_point(&mut tech, &mut engine, &[0.34, 0.34]).optimized);
+        assert!(run_point(&mut tech, &engine, &[0.34, 0.34]).optimized);
     }
 
     #[test]
     fn infers_between_close_foci_with_same_plan() {
         let t = fixture();
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let engine = QueryEngine::new(Arc::clone(&t));
         let mut tech = Ellipse::new(0.9);
-        let a = run_point(&mut tech, &mut engine, &[0.30, 0.30]);
-        let b = run_point(&mut tech, &mut engine, &[0.40, 0.40]);
+        let a = run_point(&mut tech, &engine, &[0.30, 0.30]);
+        let b = run_point(&mut tech, &engine, &[0.40, 0.40]);
         if a.plan.fingerprint() == b.plan.fingerprint() {
-            let c = run_point(&mut tech, &mut engine, &[0.35, 0.35]);
+            let c = run_point(&mut tech, &engine, &[0.35, 0.35]);
             assert!(!c.optimized, "midpoint of the foci lies inside any ellipse");
             assert_eq!(c.plan.fingerprint(), a.plan.fingerprint());
         }
@@ -116,10 +128,10 @@ mod tests {
     #[test]
     fn point_far_from_all_foci_optimizes() {
         let t = fixture();
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let engine = QueryEngine::new(Arc::clone(&t));
         let mut tech = Ellipse::new(0.9);
-        let _ = run_point(&mut tech, &mut engine, &[0.30, 0.30]);
-        let _ = run_point(&mut tech, &mut engine, &[0.32, 0.32]);
-        assert!(run_point(&mut tech, &mut engine, &[0.95, 0.05]).optimized);
+        let _ = run_point(&mut tech, &engine, &[0.30, 0.30]);
+        let _ = run_point(&mut tech, &engine, &[0.32, 0.32]);
+        assert!(run_point(&mut tech, &engine, &[0.95, 0.05]).optimized);
     }
 }

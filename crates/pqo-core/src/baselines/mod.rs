@@ -68,7 +68,10 @@ impl BaselineStore {
         if let Some(lr) = redundancy_lambda_r {
             assert!(lr >= 1.0, "λr must be at least 1 when enabled");
         }
-        BaselineStore { redundancy_lambda_r, ..Default::default() }
+        BaselineStore {
+            redundancy_lambda_r,
+            ..Default::default()
+        }
     }
 
     pub fn plans_cached(&self) -> usize {
@@ -90,7 +93,7 @@ impl BaselineStore {
     /// Record a fresh optimization. With the redundancy augmentation, a new
     /// plan is discarded when some cached plan is within `λr` of optimal at
     /// the instance, and the instance is recorded under that plan instead.
-    pub fn record(&mut self, sv: &SVector, opt: &OptimizedPlan, engine: &mut QueryEngine) {
+    pub fn record(&mut self, sv: &SVector, opt: &OptimizedPlan, engine: &QueryEngine) {
         let mut fp = opt.plan.fingerprint();
         if !self.plans.contains_key(&fp) {
             if let Some(lr) = self.redundancy_lambda_r {
@@ -107,10 +110,16 @@ impl BaselineStore {
             }
         }
         if fp == opt.plan.fingerprint() {
-            self.plans.entry(fp).or_insert_with(|| Arc::clone(&opt.plan));
+            self.plans
+                .entry(fp)
+                .or_insert_with(|| Arc::clone(&opt.plan));
             self.max_plans = self.max_plans.max(self.plans.len());
         }
-        self.instances.push(OptimizedInstance { svector: sv.clone(), plan: fp, opt_cost: opt.cost });
+        self.instances.push(OptimizedInstance {
+            svector: sv.clone(),
+            plan: fp,
+            opt_cost: opt.cost,
+        });
     }
 }
 
@@ -137,7 +146,7 @@ pub(crate) mod test_support {
 
     pub fn run_point<T: OnlinePqo>(
         tech: &mut T,
-        engine: &mut QueryEngine,
+        engine: &QueryEngine,
         target: &[f64],
     ) -> PlanChoice {
         let t = Arc::clone(engine.template());
@@ -156,12 +165,12 @@ mod tests {
     #[test]
     fn store_records_and_interns_plans() {
         let t = fixture();
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let engine = QueryEngine::new(Arc::clone(&t));
         let mut store = BaselineStore::new(None);
         for target in [[0.1, 0.1], [0.11, 0.11], [0.9, 0.9]] {
             let sv = compute_svector(&t, &instance_for_target(&t, &target));
             let opt = engine.optimize(&sv);
-            store.record(&sv, &opt, &mut engine);
+            store.record(&sv, &opt, &engine);
         }
         assert_eq!(store.instances().len(), 3);
         assert!(store.plans_cached() <= 3);
@@ -171,17 +180,17 @@ mod tests {
     #[test]
     fn redundancy_augmentation_reduces_plans() {
         let t = fixture();
-        let mut engine_a = QueryEngine::new(Arc::clone(&t));
-        let mut engine_b = QueryEngine::new(Arc::clone(&t));
+        let engine_a = QueryEngine::new(Arc::clone(&t));
+        let engine_b = QueryEngine::new(Arc::clone(&t));
         let mut plain = BaselineStore::new(None);
         let mut lean = BaselineStore::new(Some(4.0));
         for i in 1..=20 {
             let target = [0.048 * i as f64, 0.04 * i as f64];
             let sv = compute_svector(&t, &instance_for_target(&t, &target));
             let oa = engine_a.optimize(&sv);
-            plain.record(&sv, &oa, &mut engine_a);
+            plain.record(&sv, &oa, &engine_a);
             let ob = engine_b.optimize(&sv);
-            lean.record(&sv, &ob, &mut engine_b);
+            lean.record(&sv, &ob, &engine_b);
         }
         assert!(lean.plans_cached() <= plain.plans_cached());
     }

@@ -31,11 +31,14 @@ impl OnlinePqo for OptimizeAlways {
         &mut self,
         _instance: &QueryInstance,
         sv: &SVector,
-        engine: &mut QueryEngine,
+        engine: &QueryEngine,
     ) -> PlanChoice {
         let opt = engine.optimize(sv);
         self.distinct_plans.insert(opt.plan.fingerprint());
-        PlanChoice { plan: opt.plan, optimized: true }
+        PlanChoice {
+            plan: opt.plan,
+            optimized: true,
+        }
     }
 
     fn plans_cached(&self) -> usize {
@@ -58,10 +61,10 @@ mod tests {
     #[test]
     fn optimizes_every_instance() {
         let t = fixture();
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let engine = QueryEngine::new(Arc::clone(&t));
         let mut tech = OptimizeAlways::new();
         for i in 1..=5 {
-            let c = run_point(&mut tech, &mut engine, &[0.1 * i as f64, 0.1]);
+            let c = run_point(&mut tech, &engine, &[0.1 * i as f64, 0.1]);
             assert!(c.optimized);
         }
         assert_eq!(engine.stats().optimize_calls, 5);

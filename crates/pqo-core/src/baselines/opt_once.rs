@@ -34,14 +34,20 @@ impl OnlinePqo for OptimizeOnce {
         &mut self,
         _instance: &QueryInstance,
         sv: &SVector,
-        engine: &mut QueryEngine,
+        engine: &QueryEngine,
     ) -> PlanChoice {
         match &self.plan {
-            Some(p) => PlanChoice { plan: Arc::clone(p), optimized: false },
+            Some(p) => PlanChoice {
+                plan: Arc::clone(p),
+                optimized: false,
+            },
             None => {
                 let opt = engine.optimize(sv);
                 self.plan = Some(Arc::clone(&opt.plan));
-                PlanChoice { plan: opt.plan, optimized: true }
+                PlanChoice {
+                    plan: opt.plan,
+                    optimized: true,
+                }
             }
         }
     }
@@ -63,12 +69,12 @@ mod tests {
     #[test]
     fn only_first_instance_optimizes() {
         let t = fixture();
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let engine = QueryEngine::new(Arc::clone(&t));
         let mut tech = OptimizeOnce::new();
-        let first = run_point(&mut tech, &mut engine, &[0.5, 0.5]);
+        let first = run_point(&mut tech, &engine, &[0.5, 0.5]);
         assert!(first.optimized);
         for target in [[0.001, 0.001], [0.9, 0.9]] {
-            let c = run_point(&mut tech, &mut engine, &target);
+            let c = run_point(&mut tech, &engine, &target);
             assert!(!c.optimized);
             assert_eq!(c.plan.fingerprint(), first.plan.fingerprint());
         }

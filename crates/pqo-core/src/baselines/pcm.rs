@@ -35,13 +35,19 @@ impl Pcm {
     /// PCM with sub-optimality bound `lambda ≥ 1`.
     pub fn new(lambda: f64) -> Self {
         assert!(lambda >= 1.0);
-        Pcm { lambda, store: BaselineStore::new(None) }
+        Pcm {
+            lambda,
+            store: BaselineStore::new(None),
+        }
     }
 
     /// PCM augmented with the Recost redundancy check (Appendix H.6).
     pub fn with_redundancy(lambda: f64, lambda_r: f64) -> Self {
         assert!(lambda >= 1.0);
-        Pcm { lambda, store: BaselineStore::new(Some(lambda_r)) }
+        Pcm {
+            lambda,
+            store: BaselineStore::new(Some(lambda_r)),
+        }
     }
 }
 
@@ -54,7 +60,7 @@ impl OnlinePqo for Pcm {
         &mut self,
         _instance: &QueryInstance,
         sv: &SVector,
-        engine: &mut QueryEngine,
+        engine: &QueryEngine,
     ) -> PlanChoice {
         // Cheapest dominating instance (q2 candidate) and most expensive
         // dominated instance (q1 candidate) give the tightest pair.
@@ -71,12 +77,18 @@ impl OnlinePqo for Pcm {
         if let (Some((c2, idx)), Some(c1)) = (best_upper, best_lower) {
             if c2 <= self.lambda * c1 {
                 let fp = self.store.instances()[idx].plan;
-                return PlanChoice { plan: self.store.plan(fp), optimized: false };
+                return PlanChoice {
+                    plan: self.store.plan(fp),
+                    optimized: false,
+                };
             }
         }
         let opt = engine.optimize(sv);
         self.store.record(sv, &opt, engine);
-        PlanChoice { plan: opt.plan, optimized: true }
+        PlanChoice {
+            plan: opt.plan,
+            optimized: true,
+        }
     }
 
     fn plans_cached(&self) -> usize {
@@ -97,22 +109,22 @@ mod tests {
     #[test]
     fn needs_a_dominating_pair_before_inferring() {
         let t = fixture();
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let engine = QueryEngine::new(Arc::clone(&t));
         let mut tech = Pcm::new(2.0);
-        assert!(run_point(&mut tech, &mut engine, &[0.3, 0.3]).optimized);
+        assert!(run_point(&mut tech, &engine, &[0.3, 0.3]).optimized);
         // Dominated on one axis, dominating on the other: no pair exists.
-        assert!(run_point(&mut tech, &mut engine, &[0.2, 0.4]).optimized);
+        assert!(run_point(&mut tech, &engine, &[0.2, 0.4]).optimized);
     }
 
     #[test]
     fn infers_inside_a_cost_close_rectangle() {
         let t = fixture();
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let engine = QueryEngine::new(Arc::clone(&t));
         let mut tech = Pcm::new(2.0);
-        assert!(run_point(&mut tech, &mut engine, &[0.30, 0.30]).optimized);
-        assert!(run_point(&mut tech, &mut engine, &[0.40, 0.40]).optimized);
+        assert!(run_point(&mut tech, &engine, &[0.30, 0.30]).optimized);
+        assert!(run_point(&mut tech, &engine, &[0.40, 0.40]).optimized);
         // Inside [0.3,0.4]² and the corner costs are within 2x here.
-        let c = run_point(&mut tech, &mut engine, &[0.35, 0.35]);
+        let c = run_point(&mut tech, &engine, &[0.35, 0.35]);
         assert!(!c.optimized, "PCM should infer inside the rectangle");
         assert_eq!(engine.stats().optimize_calls, 2);
     }
@@ -120,19 +132,19 @@ mod tests {
     #[test]
     fn refuses_when_corner_costs_differ_too_much() {
         let t = fixture();
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let engine = QueryEngine::new(Arc::clone(&t));
         let mut tech = Pcm::new(1.05);
-        assert!(run_point(&mut tech, &mut engine, &[0.01, 0.01]).optimized);
-        assert!(run_point(&mut tech, &mut engine, &[0.95, 0.95]).optimized);
+        assert!(run_point(&mut tech, &engine, &[0.01, 0.01]).optimized);
+        assert!(run_point(&mut tech, &engine, &[0.95, 0.95]).optimized);
         // Rectangle spans nearly the whole space: corner costs differ far
         // beyond 1.05x, so PCM must optimize.
-        assert!(run_point(&mut tech, &mut engine, &[0.5, 0.5]).optimized);
+        assert!(run_point(&mut tech, &engine, &[0.5, 0.5]).optimized);
     }
 
     #[test]
     fn guarantee_holds_on_grid() {
         let t = fixture();
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let engine = QueryEngine::new(Arc::clone(&t));
         let lambda = 2.0;
         let mut tech = Pcm::new(lambda);
         let mut worst = 1.0f64;
@@ -141,11 +153,14 @@ mod tests {
                 let target = [0.01 + 0.1 * i as f64, 0.01 + 0.1 * j as f64];
                 let inst = pqo_optimizer::svector::instance_for_target(&t, &target);
                 let sv = pqo_optimizer::svector::compute_svector(&t, &inst);
-                let choice = tech.get_plan(&inst, &sv, &mut engine);
+                let choice = tech.get_plan(&inst, &sv, &engine);
                 let opt = engine.optimize_untracked(&sv);
                 worst = worst.max(engine.recost_untracked(&choice.plan, &sv) / opt.cost);
             }
         }
-        assert!(worst <= lambda * 1.001, "PCM MSO {worst} exceeded λ (PCM assumption held here)");
+        assert!(
+            worst <= lambda * 1.001,
+            "PCM MSO {worst} exceeded λ (PCM assumption held here)"
+        );
     }
 }

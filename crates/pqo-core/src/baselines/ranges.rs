@@ -27,7 +27,11 @@ struct Mbr {
 
 impl Mbr {
     fn of(sv: &SVector) -> Self {
-        Mbr { lo: sv.0.clone(), hi: sv.0.clone(), count: 1 }
+        Mbr {
+            lo: sv.0.clone(),
+            hi: sv.0.clone(),
+            count: 1,
+        }
     }
 
     fn extend(&mut self, sv: &SVector) {
@@ -57,13 +61,21 @@ impl Ranges {
     /// Ranges with the given near-selectivity `margin` (paper: 0.01).
     pub fn new(margin: f64) -> Self {
         assert!(margin >= 0.0);
-        Ranges { margin, mbrs: HashMap::new(), store: BaselineStore::new(None) }
+        Ranges {
+            margin,
+            mbrs: HashMap::new(),
+            store: BaselineStore::new(None),
+        }
     }
 
     /// Ranges augmented with the Recost redundancy check (Appendix H.6).
     pub fn with_redundancy(margin: f64, lambda_r: f64) -> Self {
         assert!(margin >= 0.0);
-        Ranges { margin, mbrs: HashMap::new(), store: BaselineStore::new(Some(lambda_r)) }
+        Ranges {
+            margin,
+            mbrs: HashMap::new(),
+            store: BaselineStore::new(Some(lambda_r)),
+        }
     }
 }
 
@@ -76,7 +88,7 @@ impl OnlinePqo for Ranges {
         &mut self,
         _instance: &QueryInstance,
         sv: &SVector,
-        engine: &mut QueryEngine,
+        engine: &QueryEngine,
     ) -> PlanChoice {
         // Deterministic tie-break: smallest fingerprint wins among matching
         // rectangles.
@@ -87,15 +99,29 @@ impl OnlinePqo for Ranges {
             }
         }
         if let Some(fp) = hit {
-            return PlanChoice { plan: self.store.plan(fp), optimized: false };
+            return PlanChoice {
+                plan: self.store.plan(fp),
+                optimized: false,
+            };
         }
         let opt = engine.optimize(sv);
         self.store.record(sv, &opt, engine);
         // The recorded plan may have been substituted by the redundancy
         // augmentation: extend the MBR of whatever the store recorded.
-        let recorded = self.store.instances().last().expect("record just pushed").plan;
-        self.mbrs.entry(recorded).and_modify(|m| m.extend(sv)).or_insert_with(|| Mbr::of(sv));
-        PlanChoice { plan: opt.plan, optimized: true }
+        let recorded = self
+            .store
+            .instances()
+            .last()
+            .expect("record just pushed")
+            .plan;
+        self.mbrs
+            .entry(recorded)
+            .and_modify(|m| m.extend(sv))
+            .or_insert_with(|| Mbr::of(sv));
+        PlanChoice {
+            plan: opt.plan,
+            optimized: true,
+        }
     }
 
     fn plans_cached(&self) -> usize {
@@ -126,12 +152,12 @@ mod tests {
     #[test]
     fn infers_inside_grown_rectangle() {
         let t = fixture();
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let engine = QueryEngine::new(Arc::clone(&t));
         let mut tech = Ranges::new(0.01);
-        let a = run_point(&mut tech, &mut engine, &[0.30, 0.30]);
-        let b = run_point(&mut tech, &mut engine, &[0.40, 0.40]);
+        let a = run_point(&mut tech, &engine, &[0.30, 0.30]);
+        let b = run_point(&mut tech, &engine, &[0.40, 0.40]);
         if a.plan.fingerprint() == b.plan.fingerprint() {
-            let c = run_point(&mut tech, &mut engine, &[0.35, 0.35]);
+            let c = run_point(&mut tech, &engine, &[0.35, 0.35]);
             assert!(!c.optimized);
         }
     }
@@ -139,19 +165,19 @@ mod tests {
     #[test]
     fn single_instance_rectangle_does_not_infer() {
         let t = fixture();
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let engine = QueryEngine::new(Arc::clone(&t));
         let mut tech = Ranges::new(0.01);
-        let _ = run_point(&mut tech, &mut engine, &[0.30, 0.30]);
-        assert!(run_point(&mut tech, &mut engine, &[0.301, 0.301]).optimized);
+        let _ = run_point(&mut tech, &engine, &[0.30, 0.30]);
+        assert!(run_point(&mut tech, &engine, &[0.301, 0.301]).optimized);
     }
 
     #[test]
     fn outside_all_rectangles_optimizes() {
         let t = fixture();
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let engine = QueryEngine::new(Arc::clone(&t));
         let mut tech = Ranges::new(0.01);
-        let _ = run_point(&mut tech, &mut engine, &[0.30, 0.30]);
-        let _ = run_point(&mut tech, &mut engine, &[0.32, 0.32]);
-        assert!(run_point(&mut tech, &mut engine, &[0.9, 0.1]).optimized);
+        let _ = run_point(&mut tech, &engine, &[0.30, 0.30]);
+        let _ = run_point(&mut tech, &engine, &[0.32, 0.32]);
+        assert!(run_point(&mut tech, &engine, &[0.9, 0.1]).optimized);
     }
 }

@@ -33,7 +33,11 @@ impl ReoptBind {
     /// Reopt-Bind with a per-dimension drift `threshold > 1`.
     pub fn new(threshold: f64) -> Self {
         assert!(threshold > 1.0, "threshold must exceed 1");
-        ReoptBind { threshold, bound: None, rebinds: 0 }
+        ReoptBind {
+            threshold,
+            bound: None,
+            rebinds: 0,
+        }
     }
 
     /// Number of times the binding was replaced (excludes the first bind).
@@ -61,7 +65,7 @@ impl OnlinePqo for ReoptBind {
         &mut self,
         _instance: &QueryInstance,
         sv: &SVector,
-        engine: &mut QueryEngine,
+        engine: &QueryEngine,
     ) -> PlanChoice {
         if self.drifted(sv) {
             let opt = engine.optimize(sv);
@@ -69,10 +73,16 @@ impl OnlinePqo for ReoptBind {
                 self.rebinds += 1;
             }
             self.bound = Some((sv.clone(), Arc::clone(&opt.plan)));
-            return PlanChoice { plan: opt.plan, optimized: true };
+            return PlanChoice {
+                plan: opt.plan,
+                optimized: true,
+            };
         }
         let (_, plan) = self.bound.as_ref().expect("bound after first call");
-        PlanChoice { plan: Arc::clone(plan), optimized: false }
+        PlanChoice {
+            plan: Arc::clone(plan),
+            optimized: false,
+        }
     }
 
     fn plans_cached(&self) -> usize {
@@ -92,13 +102,13 @@ mod tests {
     #[test]
     fn rebinds_on_drift_only() {
         let t = fixture();
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let engine = QueryEngine::new(Arc::clone(&t));
         let mut tech = ReoptBind::new(4.0);
-        assert!(run_point(&mut tech, &mut engine, &[0.2, 0.2]).optimized);
+        assert!(run_point(&mut tech, &engine, &[0.2, 0.2]).optimized);
         // Within 4x in both dimensions: reuse.
-        assert!(!run_point(&mut tech, &mut engine, &[0.3, 0.15]).optimized);
+        assert!(!run_point(&mut tech, &engine, &[0.3, 0.15]).optimized);
         // 0.2 -> 0.9 is a 4.5x drift: rebind.
-        assert!(run_point(&mut tech, &mut engine, &[0.9, 0.2]).optimized);
+        assert!(run_point(&mut tech, &engine, &[0.9, 0.2]).optimized);
         assert_eq!(tech.rebinds(), 1);
         assert_eq!(tech.max_plans_cached(), 1, "only ever one plan");
     }
@@ -106,12 +116,15 @@ mod tests {
     #[test]
     fn tight_threshold_degenerates_to_optimize_often() {
         let t = fixture();
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let engine = QueryEngine::new(Arc::clone(&t));
         let mut tech = ReoptBind::new(1.05);
         for i in 1..=10 {
-            let _ = run_point(&mut tech, &mut engine, &[0.08 * i as f64, 0.5]);
+            let _ = run_point(&mut tech, &engine, &[0.08 * i as f64, 0.5]);
         }
-        assert!(engine.stats().optimize_calls >= 8, "tight drift bound ≈ Optimize-Always");
+        assert!(
+            engine.stats().optimize_calls >= 8,
+            "tight drift bound ≈ Optimize-Always"
+        );
     }
 
     #[test]
@@ -121,10 +134,10 @@ mod tests {
         // corpus this exceeds any λ bound — here we just verify reuse
         // happens across a region where the optimal plan changes.
         let t = fixture();
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let engine = QueryEngine::new(Arc::clone(&t));
         let mut tech = ReoptBind::new(50.0); // generous: almost never rebinds
-        let first = run_point(&mut tech, &mut engine, &[0.02, 0.02]);
-        let later = run_point(&mut tech, &mut engine, &[0.6, 0.6]);
+        let first = run_point(&mut tech, &engine, &[0.02, 0.02]);
+        let later = run_point(&mut tech, &engine, &[0.6, 0.6]);
         assert!(!later.optimized, "generous threshold must reuse");
         assert_eq!(first.plan.fingerprint(), later.plan.fingerprint());
         let sv = pqo_optimizer::svector::compute_svector(
@@ -133,6 +146,9 @@ mod tests {
         );
         let opt = engine.optimize_untracked(&sv);
         let so = engine.recost_untracked(&later.plan, &sv) / opt.cost;
-        assert!(so > 1.0, "the stale plan is sub-optimal here (SO = {so:.2})");
+        assert!(
+            so > 1.0,
+            "the stale plan is sub-optimal here (SO = {so:.2})"
+        );
     }
 }

@@ -14,6 +14,7 @@
 //! Many instance entries typically point to the same stored plan.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use pqo_optimizer::plan::{Plan, PlanFingerprint};
@@ -22,7 +23,12 @@ use pqo_optimizer::svector::SVector;
 use crate::spatial::LogSelIndex;
 
 /// One entry of the instance list — the paper's 5-tuple.
-#[derive(Debug, Clone)]
+///
+/// The two mutable counters (`U` and the Appendix G violation flag) are
+/// atomics: `getPlan`'s read path bumps usage and marks violations while
+/// holding only a *read* lock on the cache, so concurrent servers never
+/// serialize on bookkeeping.
+#[derive(Debug)]
 pub struct InstanceEntry {
     /// `V`: selectivity vector of the optimized instance.
     pub svector: SVector,
@@ -34,10 +40,87 @@ pub struct InstanceEntry {
     /// the pointed-to plan is the instance's optimal plan).
     pub sub_opt: f64,
     /// `U`: number of instances served through this entry.
-    pub usage: u64,
+    usage: AtomicU64,
     /// Appendix G: set when a BCG/PCM violation was detected through this
     /// entry, disabling it for future cost checks.
-    pub violation_detected: bool,
+    violation_detected: AtomicBool,
+}
+
+impl InstanceEntry {
+    /// Fresh entry with an initial usage count and no violation recorded.
+    pub fn new(
+        svector: SVector,
+        plan: PlanFingerprint,
+        opt_cost: f64,
+        sub_opt: f64,
+        usage: u64,
+    ) -> Self {
+        InstanceEntry {
+            svector,
+            plan,
+            opt_cost,
+            sub_opt,
+            usage: AtomicU64::new(usage),
+            violation_detected: AtomicBool::new(false),
+        }
+    }
+
+    /// Entry rebuilt from a persisted snapshot, including its flags.
+    pub fn restored(
+        svector: SVector,
+        plan: PlanFingerprint,
+        opt_cost: f64,
+        sub_opt: f64,
+        usage: u64,
+        violation_detected: bool,
+    ) -> Self {
+        InstanceEntry {
+            svector,
+            plan,
+            opt_cost,
+            sub_opt,
+            usage: AtomicU64::new(usage),
+            violation_detected: AtomicBool::new(violation_detected),
+        }
+    }
+
+    /// Current usage count `U`.
+    pub fn usage(&self) -> u64 {
+        self.usage.load(Ordering::Relaxed)
+    }
+
+    /// Count one instance served through this entry (lock-free).
+    pub fn record_use(&self) {
+        self.usage.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Overwrite the usage count (tests and snapshot tooling).
+    pub fn set_usage(&self, usage: u64) {
+        self.usage.store(usage, Ordering::Relaxed);
+    }
+
+    /// Whether a BCG/PCM violation disabled this entry for cost checks.
+    pub fn violation_detected(&self) -> bool {
+        self.violation_detected.load(Ordering::Relaxed)
+    }
+
+    /// Disable this entry for future cost checks (Appendix G, lock-free).
+    pub fn mark_violation(&self) {
+        self.violation_detected.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Clone for InstanceEntry {
+    fn clone(&self) -> Self {
+        InstanceEntry {
+            svector: self.svector.clone(),
+            plan: self.plan,
+            opt_cost: self.opt_cost,
+            sub_opt: self.sub_opt,
+            usage: AtomicU64::new(self.usage()),
+            violation_detected: AtomicBool::new(self.violation_detected()),
+        }
+    }
 }
 
 /// Estimated plan-cache memory footprint (Section 6.1).
@@ -99,14 +182,11 @@ impl PlanCache {
         self.plans.values()
     }
 
-    /// The instance list (read-only).
+    /// The instance list. Entries expose their own interior-mutable
+    /// counters ([`InstanceEntry::record_use`], `mark_violation`), so no
+    /// `&mut` accessor is needed.
     pub fn instances(&self) -> &[InstanceEntry] {
         &self.instances
-    }
-
-    /// Mutable access to one instance entry.
-    pub fn instance_mut(&mut self, idx: usize) -> &mut InstanceEntry {
-        &mut self.instances[idx]
     }
 
     /// Insert a plan (idempotent) and return its fingerprint.
@@ -123,7 +203,10 @@ impl PlanCache {
     /// Panics (debug) if the entry points to a plan not in the plan list —
     /// the structural invariant of Figure 5.
     pub fn push_instance(&mut self, entry: InstanceEntry) {
-        debug_assert!(self.plans.contains_key(&entry.plan), "instance entry points to missing plan");
+        debug_assert!(
+            self.plans.contains_key(&entry.plan),
+            "instance entry points to missing plan"
+        );
         let idx = self.instances.len();
         self.index
             .get_or_insert_with(|| LogSelIndex::new(entry.svector.len()))
@@ -153,7 +236,11 @@ impl PlanCache {
     /// Aggregate usage count per plan: the sum of `U` over entries pointing
     /// at it. Used by the plan-budget eviction policy (Section 6.3.1).
     pub fn plan_usage(&self, fp: PlanFingerprint) -> u64 {
-        self.instances.iter().filter(|e| e.plan == fp).map(|e| e.usage).sum()
+        self.instances
+            .iter()
+            .filter(|e| e.plan == fp)
+            .map(|e| e.usage())
+            .sum()
     }
 
     /// The cached plan with minimum aggregate usage (LFU victim).
@@ -190,8 +277,9 @@ impl PlanCache {
                 next += 1;
             }
         }
-        let (taken, kept): (Vec<_>, Vec<_>) =
-            std::mem::take(&mut self.instances).into_iter().partition(|e| e.plan == fp);
+        let (taken, kept): (Vec<_>, Vec<_>) = std::mem::take(&mut self.instances)
+            .into_iter()
+            .partition(|e| e.plan == fp);
         self.instances = kept;
         if let Some(ix) = &mut self.index {
             ix.retain_remap(|i| remap[i] != usize::MAX, |i| remap[i]);
@@ -226,7 +314,11 @@ impl PlanCache {
             .values()
             .map(|p| pqo_optimizer::compact::CompactPlan::encode(p).bytes_len())
             .sum();
-        MemoryBreakdown { instance_list_bytes, plan_list_bytes, plan_list_compact_bytes }
+        MemoryBreakdown {
+            instance_list_bytes,
+            plan_list_bytes,
+            plan_list_compact_bytes,
+        }
     }
 
     /// Check the Figure 5 invariant: every instance entry points to a live
@@ -257,14 +349,7 @@ mod tests {
     }
 
     fn entry(fp: PlanFingerprint, usage: u64) -> InstanceEntry {
-        InstanceEntry {
-            svector: SVector(vec![0.1]),
-            plan: fp,
-            opt_cost: 100.0,
-            sub_opt: 1.0,
-            usage,
-            violation_detected: false,
-        }
+        InstanceEntry::new(SVector(vec![0.1]), fp, 100.0, 1.0, usage)
     }
 
     #[test]
@@ -305,7 +390,7 @@ mod tests {
         c.push_instance(entry(fp1, 1));
         c.push_instance(entry(fp1, 2));
         assert_eq!(c.min_usage_plan(), Some(fp1)); // usage 3 < 5
-        c.instance_mut(1).usage = 10;
+        c.instances()[1].set_usage(10);
         assert_eq!(c.min_usage_plan(), Some(fp0));
     }
 
@@ -356,14 +441,13 @@ mod tests {
         let fp0 = c.insert_plan(plan(0));
         let fp1 = c.insert_plan(plan(1));
         for (i, s) in [0.1, 0.2, 0.4, 0.8].iter().enumerate() {
-            c.push_instance(InstanceEntry {
-                svector: SVector(vec![*s]),
-                plan: if i % 2 == 0 { fp0 } else { fp1 },
-                opt_cost: 10.0,
-                sub_opt: 1.0,
-                usage: 1,
-                violation_detected: false,
-            });
+            c.push_instance(InstanceEntry::new(
+                SVector(vec![*s]),
+                if i % 2 == 0 { fp0 } else { fp1 },
+                10.0,
+                1.0,
+                1,
+            ));
         }
         let near = c.nearest_instances(&SVector(vec![0.1]), 2);
         assert_eq!(near.len(), 2);

@@ -8,6 +8,14 @@
 //! calls for the redundancy check — is shipped to a dedicated worker thread
 //! that owns its own engine handle.
 //!
+//! Built entirely on `std` primitives: jobs travel over a
+//! [`std::sync::mpsc`] channel, the shared SCR state sits behind an
+//! [`RwLock`] (the `getPlan` read path holds only the read lock, like
+//! [`crate::service::PqoService`]), and [`AsyncScr::flush`] waits on a
+//! [`Condvar`] over a pending-job counter rather than a channel roundtrip —
+//! so a flush returns only after every job *enqueued before it* has been
+//! fully applied, even when several threads flush at once.
+//!
 //! Consequences, faithful to the paper's design:
 //!
 //! * the caller never waits for redundancy-check Recosts;
@@ -18,28 +26,37 @@
 //! * cache mutations are serialized by the worker, so the Figure 5
 //!   invariants hold at every observable point.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::Mutex;
-
 use pqo_optimizer::engine::{OptimizedPlan, QueryEngine};
+use pqo_optimizer::error::PqoError;
 use pqo_optimizer::svector::SVector;
 use pqo_optimizer::template::{QueryInstance, QueryTemplate};
 
 use crate::scr::{Scr, ScrConfig};
-use crate::{OnlinePqo, PlanChoice};
+use crate::PlanChoice;
 
 enum Job {
     Manage(SVector, OptimizedPlan),
-    Flush(Sender<()>),
     Shutdown,
+}
+
+/// Flush rendezvous: `enqueued` counts jobs submitted, `applied` counts
+/// jobs the worker has committed. `flush` waits until `applied` catches up
+/// with the `enqueued` value it observed.
+struct Progress {
+    enqueued: AtomicU64,
+    applied: Mutex<u64>,
+    advanced: Condvar,
 }
 
 /// SCR with `manageCache` running on a background thread.
 pub struct AsyncScr {
-    shared: Arc<Mutex<Scr>>,
+    shared: Arc<RwLock<Scr>>,
+    progress: Arc<Progress>,
     tx: Sender<Job>,
     worker: Option<JoinHandle<()>>,
 }
@@ -47,71 +64,122 @@ pub struct AsyncScr {
 impl AsyncScr {
     /// Spawn the background worker. The worker owns a private engine for
     /// its Recost calls (counted separately from the foreground engine).
-    pub fn new(config: ScrConfig, template: Arc<QueryTemplate>) -> Self {
-        let shared = Arc::new(Mutex::new(Scr::with_config(config)));
-        let (tx, rx) = unbounded::<Job>();
+    ///
+    /// # Errors
+    /// [`PqoError::InvalidLambda`] / [`PqoError::InvalidBudget`] when the
+    /// configuration is invalid.
+    pub fn new(config: ScrConfig, template: Arc<QueryTemplate>) -> Result<Self, PqoError> {
+        let shared = Arc::new(RwLock::new(Scr::with_config(config)?));
+        let progress = Arc::new(Progress {
+            enqueued: AtomicU64::new(0),
+            applied: Mutex::new(0),
+            advanced: Condvar::new(),
+        });
+        let (tx, rx) = channel::<Job>();
         let worker_shared = Arc::clone(&shared);
+        let worker_progress = Arc::clone(&progress);
         let worker = std::thread::Builder::new()
             .name("scr-manage-cache".into())
             .spawn(move || {
-                let mut engine = QueryEngine::new(template);
+                let engine = QueryEngine::new(template);
                 while let Ok(job) = rx.recv() {
                     match job {
                         Job::Manage(sv, opt) => {
-                            worker_shared.lock().manage_cache_entry(&sv, opt, &mut engine);
-                        }
-                        Job::Flush(ack) => {
-                            let _ = ack.send(());
+                            worker_shared
+                                .write()
+                                .expect("scr lock poisoned")
+                                .manage_cache_entry(&sv, opt, &engine);
+                            let mut applied = worker_progress
+                                .applied
+                                .lock()
+                                .expect("progress lock poisoned");
+                            *applied += 1;
+                            worker_progress.advanced.notify_all();
                         }
                         Job::Shutdown => break,
                     }
                 }
             })
             .expect("spawn manageCache worker");
-        AsyncScr { shared, tx, worker: Some(worker) }
+        Ok(AsyncScr {
+            shared,
+            progress,
+            tx,
+            worker: Some(worker),
+        })
     }
 
-    /// Block until every queued `manageCache` job has been applied.
+    /// Block until every `manageCache` job enqueued before this call has
+    /// been applied. Safe to call from multiple threads concurrently.
     pub fn flush(&self) {
-        let (ack_tx, ack_rx) = unbounded();
-        if self.tx.send(Job::Flush(ack_tx)).is_ok() {
-            let _ = ack_rx.recv();
+        let target = self.progress.enqueued.load(Ordering::Acquire);
+        let mut applied = self
+            .progress
+            .applied
+            .lock()
+            .expect("progress lock poisoned");
+        while *applied < target {
+            applied = self
+                .progress
+                .advanced
+                .wait(applied)
+                .expect("progress lock poisoned");
         }
     }
 
     /// Plans currently cached (flush first for a quiescent view).
     pub fn plans_cached(&self) -> usize {
-        self.shared.lock().plans_cached()
+        self.shared
+            .read()
+            .expect("scr lock poisoned")
+            .cache()
+            .num_plans()
     }
 
     /// Run a closure against the underlying SCR state (e.g. to inspect
     /// stats or cache invariants in tests).
     pub fn with_inner<R>(&self, f: impl FnOnce(&Scr) -> R) -> R {
-        f(&self.shared.lock())
+        f(&self.shared.read().expect("scr lock poisoned"))
     }
 
-    /// The critical-path `getPlan`: checks under the shared lock; on a miss
-    /// the optimizer runs on the caller's thread and cache maintenance is
-    /// queued to the worker.
+    /// The critical-path `getPlan`: checks under the shared *read* lock; on
+    /// a miss the optimizer runs on the caller's thread and cache
+    /// maintenance is queued to the worker.
     pub fn get_plan(
         &self,
         _instance: &QueryInstance,
         sv: &SVector,
-        engine: &mut QueryEngine,
+        engine: &QueryEngine,
     ) -> PlanChoice {
-        if let Some(choice) = self.shared.lock().try_cached_plan(sv, engine) {
+        if let Some(choice) = self
+            .shared
+            .read()
+            .expect("scr lock poisoned")
+            .try_cached_plan(sv, engine)
+        {
             return choice;
         }
         let opt = engine.optimize(sv);
         let plan = Arc::clone(&opt.plan);
-        // Fire-and-forget: the worker commits the cache update.
-        let _ = self.tx.send(Job::Manage(sv.clone(), opt));
-        PlanChoice { plan, optimized: true }
+        // Count before sending so a racing flush that observes the send
+        // also waits for it.
+        self.progress.enqueued.fetch_add(1, Ordering::AcqRel);
+        if self.tx.send(Job::Manage(sv.clone(), opt)).is_err() {
+            // Worker gone (only during teardown): roll the counter back so
+            // flush cannot deadlock.
+            self.progress.enqueued.fetch_sub(1, Ordering::AcqRel);
+        }
+        PlanChoice {
+            plan,
+            optimized: true,
+        }
     }
 }
 
 impl Drop for AsyncScr {
     fn drop(&mut self) {
+        // Shutdown queues *behind* pending Manage jobs, so every enqueued
+        // mutation is applied before the worker exits.
         let _ = self.tx.send(Job::Shutdown);
         if let Some(h) = self.worker.take() {
             let _ = h.join();
@@ -122,50 +190,63 @@ impl Drop for AsyncScr {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::fixture_template;
+    use crate::OnlinePqo;
     use pqo_optimizer::svector::{compute_svector, instance_for_target};
-    use pqo_optimizer::template::{RangeOp, TemplateBuilder};
 
     fn fixture() -> Arc<QueryTemplate> {
-        let cat = pqo_catalog::schemas::tpch_skew();
-        let mut b = TemplateBuilder::new("async_test");
-        let o = b.relation(cat.expect_table("orders"), "o");
-        let l = b.relation(cat.expect_table("lineitem"), "l");
-        b.join((o, "orders_pk"), (l, "orders_fk"));
-        b.param(o, "o_totalprice", RangeOp::Le);
-        b.param(l, "l_extendedprice", RangeOp::Le);
-        b.build()
+        fixture_template("async_test")
     }
 
     #[test]
     fn async_variant_reuses_after_flush() {
         let t = fixture();
-        let scr = AsyncScr::new(ScrConfig::new(2.0), Arc::clone(&t));
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let scr = AsyncScr::new(ScrConfig::new(2.0).unwrap(), Arc::clone(&t)).unwrap();
+        let engine = QueryEngine::new(Arc::clone(&t));
         let inst = instance_for_target(&t, &[0.2, 0.2]);
         let sv = compute_svector(&t, &inst);
-        assert!(scr.get_plan(&inst, &sv, &mut engine).optimized);
+        assert!(scr.get_plan(&inst, &sv, &engine).optimized);
         scr.flush();
-        assert!(!scr.get_plan(&inst, &sv, &mut engine).optimized, "cached after flush");
+        assert!(
+            !scr.get_plan(&inst, &sv, &engine).optimized,
+            "cached after flush"
+        );
         assert_eq!(scr.plans_cached(), 1);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let t = fixture();
+        let cfg = ScrConfig {
+            lambda: 0.5,
+            ..ScrConfig::new(2.0).unwrap()
+        };
+        assert!(matches!(
+            AsyncScr::new(cfg, t),
+            Err(PqoError::InvalidLambda { lambda, .. }) if lambda == 0.5
+        ));
     }
 
     #[test]
     fn guarantee_holds_despite_async_maintenance() {
         let t = fixture();
-        let scr = AsyncScr::new(ScrConfig::new(2.0), Arc::clone(&t));
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let scr = AsyncScr::new(ScrConfig::new(2.0).unwrap(), Arc::clone(&t)).unwrap();
+        let engine = QueryEngine::new(Arc::clone(&t));
         let mut worst = 1.0f64;
         for i in 0..10 {
             for j in 0..10 {
                 let target = [0.01 + 0.09 * i as f64, 0.01 + 0.09 * j as f64];
                 let inst = instance_for_target(&t, &target);
                 let sv = compute_svector(&t, &inst);
-                let choice = scr.get_plan(&inst, &sv, &mut engine);
+                let choice = scr.get_plan(&inst, &sv, &engine);
                 let opt = engine.optimize_untracked(&sv);
                 worst = worst.max(engine.recost_untracked(&choice.plan, &sv) / opt.cost);
             }
         }
-        assert!(worst <= 2.0 * 1.001, "async path broke λ-optimality: {worst}");
+        assert!(
+            worst <= 2.0 * 1.001,
+            "async path broke λ-optimality: {worst}"
+        );
         scr.flush();
         scr.with_inner(|s| assert!(s.cache().check_invariants().is_ok()));
     }
@@ -175,12 +256,12 @@ mod tests {
         // Without flushing, back-to-back duplicates may both optimize (the
         // maintenance races the second call) — allowed; quality is not.
         let t = fixture();
-        let scr = AsyncScr::new(ScrConfig::new(2.0), Arc::clone(&t));
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let scr = AsyncScr::new(ScrConfig::new(2.0).unwrap(), Arc::clone(&t)).unwrap();
+        let engine = QueryEngine::new(Arc::clone(&t));
         let inst = instance_for_target(&t, &[0.5, 0.5]);
         let sv = compute_svector(&t, &inst);
-        let a = scr.get_plan(&inst, &sv, &mut engine);
-        let b = scr.get_plan(&inst, &sv, &mut engine);
+        let a = scr.get_plan(&inst, &sv, &engine);
+        let b = scr.get_plan(&inst, &sv, &engine);
         // Both came from the optimizer or the cache; either way both are
         // the optimal plan for this exact point.
         assert_eq!(a.plan.fingerprint(), b.plan.fingerprint());
@@ -189,30 +270,73 @@ mod tests {
     #[test]
     fn converges_to_sync_cache_contents() {
         let t = fixture();
-        let cfg = ScrConfig::new(1.5);
+        let cfg = ScrConfig::new(1.5).unwrap();
         let a_sync = {
-            let mut engine = QueryEngine::new(Arc::clone(&t));
-            let mut scr = Scr::with_config(cfg.clone());
+            let engine = QueryEngine::new(Arc::clone(&t));
+            let mut scr = Scr::with_config(cfg.clone()).unwrap();
             for i in 0..30 {
                 let target = [0.03 * (i + 1) as f64, 0.02 * (i + 1) as f64];
                 let inst = instance_for_target(&t, &target);
                 let sv = compute_svector(&t, &inst);
-                let _ = OnlinePqo::get_plan(&mut scr, &inst, &sv, &mut engine);
+                let _ = OnlinePqo::get_plan(&mut scr, &inst, &sv, &engine);
             }
             scr.plans_cached()
         };
         let a_async = {
-            let scr = AsyncScr::new(cfg, Arc::clone(&t));
-            let mut engine = QueryEngine::new(Arc::clone(&t));
+            let scr = AsyncScr::new(cfg, Arc::clone(&t)).unwrap();
+            let engine = QueryEngine::new(Arc::clone(&t));
             for i in 0..30 {
                 let target = [0.03 * (i + 1) as f64, 0.02 * (i + 1) as f64];
                 let inst = instance_for_target(&t, &target);
                 let sv = compute_svector(&t, &inst);
-                let _ = scr.get_plan(&inst, &sv, &mut engine);
+                let _ = scr.get_plan(&inst, &sv, &engine);
                 scr.flush(); // serialize: state identical to the sync path
             }
             scr.plans_cached()
         };
-        assert_eq!(a_sync, a_async, "flushed-after-every-call async must equal sync");
+        assert_eq!(
+            a_sync, a_async,
+            "flushed-after-every-call async must equal sync"
+        );
+    }
+
+    #[test]
+    fn concurrent_flush_and_drop_are_race_free() {
+        // Many threads interleave get_plan with flush; every flush must
+        // observe all work enqueued before it, and drop must apply the
+        // whole queue before joining the worker.
+        let t = fixture();
+        let scr = Arc::new(AsyncScr::new(ScrConfig::new(1.5).unwrap(), Arc::clone(&t)).unwrap());
+        std::thread::scope(|scope| {
+            for k in 0..4 {
+                let scr = Arc::clone(&scr);
+                let t = Arc::clone(&t);
+                scope.spawn(move || {
+                    let engine = QueryEngine::new(Arc::clone(&t));
+                    for i in 0..12 {
+                        let target = [
+                            0.03 + 0.07 * ((i * 4 + k) % 13) as f64,
+                            0.04 + 0.05 * k as f64,
+                        ];
+                        let inst = instance_for_target(&t, &target);
+                        let sv = compute_svector(&t, &inst);
+                        let _ = scr.get_plan(&inst, &sv, &engine);
+                        if i % 3 == 0 {
+                            scr.flush();
+                        }
+                    }
+                });
+            }
+        });
+        scr.flush();
+        let plans_before_drop = scr.plans_cached();
+        assert!(plans_before_drop >= 1);
+        scr.with_inner(|s| assert!(s.cache().check_invariants().is_ok()));
+        // Dropping the last handle joins the worker with the queue drained.
+        drop(
+            Arc::try_unwrap(scr)
+                .map_err(|_| "sole owner expected")
+                .unwrap(),
+        );
     }
 }

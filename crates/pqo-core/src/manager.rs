@@ -1,4 +1,4 @@
-//! Multi-query PQO manager.
+//! Multi-query PQO manager (single-threaded).
 //!
 //! The paper's machinery is per-template: one plan cache, one instance
 //! list, one λ per parameterized query (Section 2). A real deployment
@@ -13,11 +13,17 @@
 //!   cached plans across templates exceeds it, the least-used plan across
 //!   all templates is evicted (the same LFU rule as Section 6.3.1, lifted
 //!   one level).
+//!
+//! For concurrent serving, use [`crate::service::PqoService`] — the
+//! `Send + Sync` replacement with the same semantics. `PqoManager` remains
+//! for single-threaded embedding (benchmark loops, deterministic replay)
+//! where `&mut self` is natural and lock overhead is unwanted.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use pqo_optimizer::engine::QueryEngine;
+use pqo_optimizer::error::PqoError;
 use pqo_optimizer::template::{QueryInstance, QueryTemplate};
 
 use crate::scr::{Scr, ScrConfig};
@@ -37,6 +43,7 @@ struct Entry {
 /// use pqo_optimizer::template::{RangeOp, TemplateBuilder};
 /// use pqo_optimizer::svector::instance_for_target;
 ///
+/// # fn main() -> Result<(), pqo_core::PqoError> {
 /// let catalog = pqo_catalog::schemas::tpch_skew();
 /// let mut b = TemplateBuilder::new("dashboard");
 /// let o = b.relation(catalog.expect_table("orders"), "o");
@@ -44,45 +51,73 @@ struct Entry {
 /// let template = b.build();
 ///
 /// let mut manager = PqoManager::new();
-/// manager.register(template.clone(), ScrConfig::new(2.0));
+/// manager.register(template.clone(), ScrConfig::new(2.0)?)?;
 ///
 /// let q = instance_for_target(&template, &[0.2]);
-/// let first = manager.get_plan("dashboard", &q);
-/// let second = manager.get_plan("dashboard", &q);
+/// let first = manager.get_plan("dashboard", &q)?;
+/// let second = manager.get_plan("dashboard", &q)?;
 /// assert!(first.optimized && !second.optimized);
+/// # Ok(())
+/// # }
 /// ```
 pub struct PqoManager {
     entries: BTreeMap<String, Entry>,
     global_plan_budget: Option<usize>,
+    /// Running total of plans across all entries, adjusted by the exact
+    /// cache delta after every mutation — keeps the global-budget check
+    /// O(1) instead of re-summing every cache per loop iteration.
+    total_plans: usize,
     global_evictions: u64,
 }
 
 impl PqoManager {
     /// Manager without a global budget.
     pub fn new() -> Self {
-        PqoManager { entries: BTreeMap::new(), global_plan_budget: None, global_evictions: 0 }
-    }
-
-    /// Manager with a global cap on the total number of cached plans.
-    pub fn with_global_budget(budget: usize) -> Self {
-        assert!(budget >= 1);
         PqoManager {
             entries: BTreeMap::new(),
-            global_plan_budget: Some(budget),
+            global_plan_budget: None,
+            total_plans: 0,
             global_evictions: 0,
         }
     }
 
+    /// Manager with a global cap on the total number of cached plans.
+    ///
+    /// # Errors
+    /// [`PqoError::InvalidBudget`] if `budget` is zero.
+    pub fn with_global_budget(budget: usize) -> Result<Self, PqoError> {
+        if budget == 0 {
+            return Err(PqoError::InvalidBudget { budget });
+        }
+        let mut m = PqoManager::new();
+        m.global_plan_budget = Some(budget);
+        Ok(m)
+    }
+
     /// Register a template under its name with the given configuration.
     ///
-    /// # Panics
-    /// Panics if the name is already registered.
-    pub fn register(&mut self, template: Arc<QueryTemplate>, config: ScrConfig) {
+    /// # Errors
+    /// [`PqoError::DuplicateTemplate`] if the name is already registered;
+    /// [`PqoError::InvalidLambda`] / [`PqoError::InvalidBudget`] if the
+    /// configuration is invalid.
+    pub fn register(
+        &mut self,
+        template: Arc<QueryTemplate>,
+        config: ScrConfig,
+    ) -> Result<(), PqoError> {
         let name = template.name.clone();
-        let prev = self
-            .entries
-            .insert(name.clone(), Entry { engine: QueryEngine::new(template), scr: Scr::with_config(config) });
-        assert!(prev.is_none(), "template `{name}` registered twice");
+        if self.entries.contains_key(&name) {
+            return Err(PqoError::DuplicateTemplate { name });
+        }
+        let scr = Scr::with_config(config)?;
+        self.entries.insert(
+            name,
+            Entry {
+                engine: QueryEngine::new(template),
+                scr,
+            },
+        );
+        Ok(())
     }
 
     /// Registered template names.
@@ -92,29 +127,42 @@ impl PqoManager {
 
     /// Serve one instance of the named template.
     ///
-    /// # Panics
-    /// Panics if the template is not registered.
-    pub fn get_plan(&mut self, template: &str, instance: &QueryInstance) -> PlanChoice {
+    /// # Errors
+    /// [`PqoError::UnknownTemplate`] if the template is not registered.
+    pub fn get_plan(
+        &mut self,
+        template: &str,
+        instance: &QueryInstance,
+    ) -> Result<PlanChoice, PqoError> {
         let e = self
             .entries
             .get_mut(template)
-            .unwrap_or_else(|| panic!("template `{template}` not registered"));
+            .ok_or_else(|| PqoError::UnknownTemplate {
+                name: template.to_string(),
+            })?;
         let sv = e.engine.compute_svector(instance);
-        let choice = e.scr.get_plan(instance, &sv, &mut e.engine);
+        let before = e.scr.plans_cached();
+        let choice = e.scr.get_plan(instance, &sv, &e.engine);
+        let after = e.scr.plans_cached();
+        // `before` is part of the running total, so this never underflows.
+        self.total_plans = self.total_plans - before + after;
         if choice.optimized {
             self.enforce_global_budget();
         }
-        choice
+        Ok(choice)
     }
 
-    /// Total plans cached across all templates.
+    /// Total plans cached across all templates (O(1): a running total).
     pub fn total_plans(&self) -> usize {
-        self.entries.values().map(|e| e.scr.plans_cached()).sum()
+        self.total_plans
     }
 
     /// Total optimizer calls across all templates.
     pub fn total_optimizer_calls(&self) -> u64 {
-        self.entries.values().map(|e| e.engine.stats().optimize_calls).sum()
+        self.entries
+            .values()
+            .map(|e| e.engine.stats().optimize_calls)
+            .sum()
     }
 
     /// Plans evicted by the *global* budget (per-template budgets count in
@@ -128,22 +176,32 @@ impl PqoManager {
         self.entries.get(template).map(|e| &e.scr)
     }
 
+    /// Global LFU enforcement: the budget check reads the running total
+    /// (O(1)); each eviction scans the registry once to find the
+    /// minimum-aggregate-usage plan — O(templates) per victim instead of
+    /// the former re-count of every cache on every loop iteration.
     fn enforce_global_budget(&mut self) {
-        let Some(budget) = self.global_plan_budget else { return };
-        while self.total_plans() > budget {
+        let Some(budget) = self.global_plan_budget else {
+            return;
+        };
+        while self.total_plans > budget {
             // Global LFU: the (template, plan) with minimum aggregate usage.
             let victim = self
                 .entries
                 .iter()
                 .filter_map(|(name, e)| {
-                    e.scr.cache().min_usage_plan().map(|fp| {
-                        (e.scr.cache().plan_usage(fp), name.clone(), fp)
-                    })
+                    e.scr
+                        .cache()
+                        .min_usage_plan()
+                        .map(|fp| (e.scr.cache().plan_usage(fp), name.clone(), fp))
                 })
                 .min_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
             let Some((_, name, fp)) = victim else { break };
             let e = self.entries.get_mut(&name).expect("victim template exists");
+            let before = e.scr.plans_cached();
             e.scr.evict_plan(fp);
+            let after = e.scr.plans_cached();
+            self.total_plans -= before - after;
             self.global_evictions += 1;
         }
     }
@@ -158,81 +216,127 @@ impl Default for PqoManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::{inst_at, single_rel_template};
     use pqo_optimizer::svector::instance_for_target;
-    use pqo_optimizer::template::{RangeOp, TemplateBuilder};
-
-    fn template(name: &str, table: &str, col_a: &str, col_b: &str) -> Arc<QueryTemplate> {
-        let cat = pqo_catalog::schemas::tpch_skew();
-        let mut b = TemplateBuilder::new(name);
-        let r = b.relation(cat.expect_table(table), "t");
-        b.param(r, col_a, RangeOp::Le);
-        b.param(r, col_b, RangeOp::Le);
-        b.build()
-    }
 
     fn manager() -> PqoManager {
         let mut m = PqoManager::new();
-        m.register(template("q_orders", "orders", "o_totalprice", "o_orderdate"), ScrConfig::new(2.0));
-        m.register(template("q_lineitem", "lineitem", "l_shipdate", "l_extendedprice"), ScrConfig::new(1.5));
+        m.register(
+            single_rel_template("q_orders", "orders", "o_totalprice", "o_orderdate"),
+            ScrConfig::new(2.0).unwrap(),
+        )
+        .unwrap();
+        m.register(
+            single_rel_template("q_lineitem", "lineitem", "l_shipdate", "l_extendedprice"),
+            ScrConfig::new(1.5).unwrap(),
+        )
+        .unwrap();
         m
     }
 
-    fn inst(m: &PqoManager, name: &str, target: &[f64]) -> QueryInstance {
-        // Rebuild the template to invert targets; names are unique per test.
-        let _ = m;
+    fn inst(name: &str, target: &[f64]) -> QueryInstance {
         let t = match name {
-            "q_orders" => template("q_orders", "orders", "o_totalprice", "o_orderdate"),
-            _ => template("q_lineitem", "lineitem", "l_shipdate", "l_extendedprice"),
+            "q_orders" => single_rel_template("q_orders", "orders", "o_totalprice", "o_orderdate"),
+            _ => single_rel_template("q_lineitem", "lineitem", "l_shipdate", "l_extendedprice"),
         };
-        instance_for_target(&t, target)
+        inst_at(&t, target)
     }
 
     #[test]
     fn serves_multiple_templates_independently() {
         let mut m = manager();
         assert_eq!(m.templates().count(), 2);
-        let a = m.get_plan("q_orders", &inst(&m, "q_orders", &[0.1, 0.5]));
-        let b = m.get_plan("q_lineitem", &inst(&m, "q_lineitem", &[0.2, 0.4]));
+        let a = m
+            .get_plan("q_orders", &inst("q_orders", &[0.1, 0.5]))
+            .unwrap();
+        let b = m
+            .get_plan("q_lineitem", &inst("q_lineitem", &[0.2, 0.4]))
+            .unwrap();
         assert!(a.optimized && b.optimized);
         // Re-serving the same points reuses per-template caches.
-        let a2 = m.get_plan("q_orders", &inst(&m, "q_orders", &[0.1, 0.5]));
+        let a2 = m
+            .get_plan("q_orders", &inst("q_orders", &[0.1, 0.5]))
+            .unwrap();
         assert!(!a2.optimized);
         assert_eq!(m.total_optimizer_calls(), 2);
         assert!(m.total_plans() >= 2);
     }
 
     #[test]
-    #[should_panic(expected = "registered twice")]
-    fn duplicate_registration_panics() {
+    fn duplicate_registration_is_an_error() {
         let mut m = manager();
-        m.register(template("q_orders", "orders", "o_totalprice", "o_orderdate"), ScrConfig::new(2.0));
+        let err = m
+            .register(
+                single_rel_template("q_orders", "orders", "o_totalprice", "o_orderdate"),
+                ScrConfig::new(2.0).unwrap(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, PqoError::DuplicateTemplate { ref name } if name == "q_orders"));
     }
 
     #[test]
-    #[should_panic(expected = "not registered")]
-    fn unknown_template_panics() {
+    fn unknown_template_is_an_error() {
         let mut m = manager();
-        let i = inst(&m, "q_orders", &[0.5, 0.5]);
-        let _ = m.get_plan("nope", &i);
+        let i = inst("q_orders", &[0.5, 0.5]);
+        let err = m.get_plan("nope", &i).unwrap_err();
+        assert!(matches!(err, PqoError::UnknownTemplate { ref name } if name == "nope"));
+    }
+
+    #[test]
+    fn zero_budget_is_an_error() {
+        assert!(matches!(
+            PqoManager::with_global_budget(0),
+            Err(PqoError::InvalidBudget { budget: 0 })
+        ));
+    }
+
+    #[test]
+    fn running_total_matches_recount() {
+        let mut m = manager();
+        for i in 1..=9 {
+            let p = [0.1 * i as f64, 1.0 - 0.1 * i as f64];
+            let _ = m.get_plan("q_orders", &inst("q_orders", &p)).unwrap();
+            let _ = m.get_plan("q_lineitem", &inst("q_lineitem", &p)).unwrap();
+            let recount: usize = m.entries.values().map(|e| e.scr.cache().num_plans()).sum();
+            assert_eq!(m.total_plans(), recount);
+        }
     }
 
     #[test]
     fn global_budget_evicts_across_templates() {
-        let mut m = PqoManager::with_global_budget(3);
-        let mut cfg = ScrConfig::new(1.02);
+        let mut m = PqoManager::with_global_budget(3).unwrap();
+        let mut cfg = ScrConfig::new(1.02).unwrap();
         cfg.lambda_r = 0.0; // store aggressively to stress the budget
-        m.register(template("q_orders", "orders", "o_totalprice", "o_orderdate"), cfg.clone());
-        m.register(template("q_lineitem", "lineitem", "l_shipdate", "l_extendedprice"), cfg);
+        m.register(
+            single_rel_template("q_orders", "orders", "o_totalprice", "o_orderdate"),
+            cfg.clone(),
+        )
+        .unwrap();
+        m.register(
+            single_rel_template("q_lineitem", "lineitem", "l_shipdate", "l_extendedprice"),
+            cfg,
+        )
+        .unwrap();
         // Force plan diversity per template: seek-on-dim0, seek-on-dim1 and
         // plain-scan regions all appear.
-        let probes: [[f64; 2]; 6] =
-            [[0.001, 0.9], [0.9, 0.001], [0.9, 0.9], [0.002, 0.95], [0.95, 0.002], [0.85, 0.95]];
+        let probes: [[f64; 2]; 6] = [
+            [0.001, 0.9],
+            [0.9, 0.001],
+            [0.9, 0.9],
+            [0.002, 0.95],
+            [0.95, 0.002],
+            [0.85, 0.95],
+        ];
         for p in probes {
-            let io = inst(&m, "q_orders", &p);
-            let il = inst(&m, "q_lineitem", &p);
-            let _ = m.get_plan("q_orders", &io);
-            let _ = m.get_plan("q_lineitem", &il);
-            assert!(m.total_plans() <= 3, "global budget violated: {}", m.total_plans());
+            let io = inst("q_orders", &p);
+            let il = inst("q_lineitem", &p);
+            let _ = m.get_plan("q_orders", &io).unwrap();
+            let _ = m.get_plan("q_lineitem", &il).unwrap();
+            assert!(
+                m.total_plans() <= 3,
+                "global budget violated: {}",
+                m.total_plans()
+            );
         }
         assert!(m.global_evictions() > 0, "tight budget must evict");
         for name in ["q_orders", "q_lineitem"] {
@@ -242,15 +346,19 @@ mod tests {
 
     #[test]
     fn guarantee_holds_under_global_pressure() {
-        let mut m = PqoManager::with_global_budget(2);
-        m.register(template("q_orders", "orders", "o_totalprice", "o_orderdate"), ScrConfig::new(2.0));
-        let t = template("q_orders", "orders", "o_totalprice", "o_orderdate");
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let mut m = PqoManager::with_global_budget(2).unwrap();
+        m.register(
+            single_rel_template("q_orders", "orders", "o_totalprice", "o_orderdate"),
+            ScrConfig::new(2.0).unwrap(),
+        )
+        .unwrap();
+        let t = single_rel_template("q_orders", "orders", "o_totalprice", "o_orderdate");
+        let engine = QueryEngine::new(Arc::clone(&t));
         for i in 0..8 {
             for j in 0..8 {
                 let target = [0.02 + 0.12 * i as f64, 0.02 + 0.12 * j as f64];
                 let q = instance_for_target(&t, &target);
-                let choice = m.get_plan("q_orders", &q);
+                let choice = m.get_plan("q_orders", &q).unwrap();
                 let sv = pqo_optimizer::svector::compute_svector(&t, &q);
                 let opt = engine.optimize_untracked(&sv);
                 let so = engine.recost_untracked(&choice.plan, &sv) / opt.cost;

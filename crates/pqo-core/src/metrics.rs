@@ -43,7 +43,12 @@ impl RunResult {
     /// cost-weighted aggregate sub-optimality, in `[1, MSO]`.
     pub fn total_cost_ratio(&self) -> f64 {
         let opt: f64 = self.opt_costs.iter().sum();
-        let chosen: f64 = self.so.iter().zip(&self.opt_costs).map(|(s, c)| s * c).sum();
+        let chosen: f64 = self
+            .so
+            .iter()
+            .zip(&self.opt_costs)
+            .map(|(s, c)| s * c)
+            .sum();
         if opt > 0.0 {
             chosen / opt
         } else {
@@ -66,7 +71,11 @@ impl RunResult {
         if self.so.is_empty() {
             return 0.0;
         }
-        self.so.iter().filter(|&&s| s > bound * (1.0 + 1e-9)).count() as f64 / self.so.len() as f64
+        self.so
+            .iter()
+            .filter(|&&s| s > bound * (1.0 + 1e-9))
+            .count() as f64
+            / self.so.len() as f64
     }
 }
 

@@ -16,6 +16,7 @@ use std::io::{self, Read, Write};
 use std::sync::Arc;
 
 use pqo_optimizer::compact::CompactPlan;
+use pqo_optimizer::error::PqoError;
 use pqo_optimizer::plan::PlanFingerprint;
 use pqo_optimizer::svector::SVector;
 
@@ -34,11 +35,27 @@ pub enum RestoreError {
     /// Structurally invalid snapshot (truncated, dangling references, or
     /// non-finite numbers).
     Corrupt(String),
+    /// The caller-supplied [`ScrConfig`] is itself invalid.
+    Config(PqoError),
 }
 
 impl From<io::Error> for RestoreError {
     fn from(e: io::Error) -> Self {
         RestoreError::Io(e)
+    }
+}
+
+/// Collapse a restore failure into the workspace-wide error type, so
+/// serving layers surface one error enum. Configuration errors pass
+/// through unchanged; I/O and format errors become [`PqoError::Persist`].
+impl From<RestoreError> for PqoError {
+    fn from(e: RestoreError) -> Self {
+        match e {
+            RestoreError::Config(inner) => inner,
+            other => PqoError::Persist {
+                message: other.to_string(),
+            },
+        }
     }
 }
 
@@ -48,6 +65,7 @@ impl std::fmt::Display for RestoreError {
             RestoreError::Io(e) => write!(f, "i/o error: {e}"),
             RestoreError::BadHeader => write!(f, "not a pqo cache snapshot (bad magic/version)"),
             RestoreError::Corrupt(m) => write!(f, "corrupt snapshot: {m}"),
+            RestoreError::Config(e) => write!(f, "invalid restore configuration: {e}"),
         }
     }
 }
@@ -115,8 +133,8 @@ pub fn save(scr: &Scr, w: &mut impl Write) -> io::Result<()> {
         }
         w_f64(w, e.opt_cost)?;
         w_f64(w, e.sub_opt)?;
-        w_u64(w, e.usage)?;
-        w.write_all(&[u8::from(e.violation_detected)])?;
+        w_u64(w, e.usage())?;
+        w.write_all(&[u8::from(e.violation_detected())])?;
     }
 
     // Dynamic-λ accumulators.
@@ -137,7 +155,9 @@ pub fn restore(config: ScrConfig, r: &mut impl Read) -> Result<Scr, RestoreError
 
     let plan_count = r_u32(r)? as usize;
     if plan_count > 1_000_000 {
-        return Err(RestoreError::Corrupt(format!("implausible plan count {plan_count}")));
+        return Err(RestoreError::Corrupt(format!(
+            "implausible plan count {plan_count}"
+        )));
     }
     let mut plans = Vec::with_capacity(plan_count);
     for i in 0..plan_count {
@@ -155,23 +175,31 @@ pub fn restore(config: ScrConfig, r: &mut impl Read) -> Result<Scr, RestoreError
 
     let entry_count = r_u32(r)? as usize;
     if entry_count > 100_000_000 {
-        return Err(RestoreError::Corrupt(format!("implausible entry count {entry_count}")));
+        return Err(RestoreError::Corrupt(format!(
+            "implausible entry count {entry_count}"
+        )));
     }
     let mut entries = Vec::with_capacity(entry_count);
     for i in 0..entry_count {
         let plan_idx = r_u32(r)? as usize;
         if plan_idx >= plans.len() {
-            return Err(RestoreError::Corrupt(format!("entry {i} references plan {plan_idx}")));
+            return Err(RestoreError::Corrupt(format!(
+                "entry {i} references plan {plan_idx}"
+            )));
         }
         let d = r_u32(r)? as usize;
         if d == 0 || d > 64 {
-            return Err(RestoreError::Corrupt(format!("entry {i} has dimensionality {d}")));
+            return Err(RestoreError::Corrupt(format!(
+                "entry {i} has dimensionality {d}"
+            )));
         }
         let mut sels = Vec::with_capacity(d);
         for _ in 0..d {
             let s = r_f64(r)?;
             if !(s > 0.0 && s <= 1.0) {
-                return Err(RestoreError::Corrupt(format!("entry {i} has selectivity {s}")));
+                return Err(RestoreError::Corrupt(format!(
+                    "entry {i} has selectivity {s}"
+                )));
             }
             sels.push(s);
         }
@@ -181,16 +209,18 @@ pub fn restore(config: ScrConfig, r: &mut impl Read) -> Result<Scr, RestoreError
         let mut flag = [0u8; 1];
         r.read_exact(&mut flag)?;
         if !opt_cost.is_finite() || opt_cost <= 0.0 || !sub_opt.is_finite() || sub_opt < 1.0 {
-            return Err(RestoreError::Corrupt(format!("entry {i} has C={opt_cost}, S={sub_opt}")));
+            return Err(RestoreError::Corrupt(format!(
+                "entry {i} has C={opt_cost}, S={sub_opt}"
+            )));
         }
-        entries.push(InstanceEntry {
-            svector: SVector(sels),
-            plan: plans[plan_idx].fingerprint(),
+        entries.push(InstanceEntry::restored(
+            SVector(sels),
+            plans[plan_idx].fingerprint(),
             opt_cost,
             sub_opt,
             usage,
-            violation_detected: flag[0] != 0,
-        });
+            flag[0] != 0,
+        ));
     }
 
     let log_cost_sum = r_f64(r)?;
@@ -199,36 +229,30 @@ pub fn restore(config: ScrConfig, r: &mut impl Read) -> Result<Scr, RestoreError
         return Err(RestoreError::Corrupt("non-finite λ accumulator".into()));
     }
 
-    Ok(Scr::from_parts(config, plans, entries, log_cost_sum, opt_count))
+    Scr::from_parts(config, plans, entries, log_cost_sum, opt_count).map_err(RestoreError::Config)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::fixture_template;
     use crate::OnlinePqo;
     use pqo_optimizer::engine::QueryEngine;
     use pqo_optimizer::svector::{compute_svector, instance_for_target};
-    use pqo_optimizer::template::{QueryTemplate, RangeOp, TemplateBuilder};
+    use pqo_optimizer::template::QueryTemplate;
 
     fn fixture() -> Arc<QueryTemplate> {
-        let cat = pqo_catalog::schemas::tpch_skew();
-        let mut b = TemplateBuilder::new("persist_test");
-        let o = b.relation(cat.expect_table("orders"), "o");
-        let l = b.relation(cat.expect_table("lineitem"), "l");
-        b.join((o, "orders_pk"), (l, "orders_fk"));
-        b.param(o, "o_totalprice", RangeOp::Le);
-        b.param(l, "l_extendedprice", RangeOp::Le);
-        b.build()
+        fixture_template("persist_test")
     }
 
     fn warmed(t: &Arc<QueryTemplate>, n: usize) -> (Scr, QueryEngine) {
-        let mut engine = QueryEngine::new(Arc::clone(t));
-        let mut scr = Scr::new(1.5);
+        let engine = QueryEngine::new(Arc::clone(t));
+        let mut scr = Scr::new(1.5).unwrap();
         for i in 0..n {
             let target = [0.02 + 0.9 * (i as f64 / n as f64), 0.3];
             let inst = instance_for_target(t, &target);
             let sv = compute_svector(t, &inst);
-            let _ = scr.get_plan(&inst, &sv, &mut engine);
+            let _ = scr.get_plan(&inst, &sv, &engine);
         }
         (scr, engine)
     }
@@ -239,15 +263,23 @@ mod tests {
         let (scr, _) = warmed(&t, 40);
         let mut buf = Vec::new();
         save(&scr, &mut buf).unwrap();
-        let restored = restore(ScrConfig::new(1.5), &mut buf.as_slice()).unwrap();
+        let restored = restore(ScrConfig::new(1.5).unwrap(), &mut buf.as_slice()).unwrap();
         assert_eq!(restored.cache().num_plans(), scr.cache().num_plans());
-        assert_eq!(restored.cache().num_instances(), scr.cache().num_instances());
+        assert_eq!(
+            restored.cache().num_instances(),
+            scr.cache().num_instances()
+        );
         assert!(restored.cache().check_invariants().is_ok());
-        for (a, b) in restored.cache().instances().iter().zip(scr.cache().instances()) {
+        for (a, b) in restored
+            .cache()
+            .instances()
+            .iter()
+            .zip(scr.cache().instances())
+        {
             assert_eq!(a.plan, b.plan);
             assert_eq!(a.opt_cost, b.opt_cost);
             assert_eq!(a.sub_opt, b.sub_opt);
-            assert_eq!(a.usage, b.usage);
+            assert_eq!(a.usage(), b.usage());
             assert_eq!(a.svector.0, b.svector.0);
         }
     }
@@ -258,12 +290,12 @@ mod tests {
         let (scr, _) = warmed(&t, 40);
         let mut buf = Vec::new();
         save(&scr, &mut buf).unwrap();
-        let mut restored = restore(ScrConfig::new(1.5), &mut buf.as_slice()).unwrap();
+        let mut restored = restore(ScrConfig::new(1.5).unwrap(), &mut buf.as_slice()).unwrap();
         // A warm-region instance must be served from the restored cache.
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let engine = QueryEngine::new(Arc::clone(&t));
         let inst = instance_for_target(&t, &[0.47, 0.3]);
         let sv = compute_svector(&t, &inst);
-        let choice = restored.get_plan(&inst, &sv, &mut engine);
+        let choice = restored.get_plan(&inst, &sv, &engine);
         assert!(!choice.optimized, "warm cache should serve the instance");
         // And the guarantee still holds for the served plan.
         let opt = engine.optimize_untracked(&sv);
@@ -273,7 +305,7 @@ mod tests {
 
     #[test]
     fn bad_magic_is_rejected() {
-        let err = restore(ScrConfig::new(1.5), &mut &b"NOTACACHE"[..]).unwrap_err();
+        let err = restore(ScrConfig::new(1.5).unwrap(), &mut &b"NOTACACHE"[..]).unwrap_err();
         assert!(matches!(err, RestoreError::BadHeader), "{err}");
     }
 
@@ -284,7 +316,7 @@ mod tests {
         let mut buf = Vec::new();
         save(&scr, &mut buf).unwrap();
         for cut in [9, buf.len() / 2, buf.len() - 1] {
-            let err = restore(ScrConfig::new(1.5), &mut &buf[..cut]).unwrap_err();
+            let err = restore(ScrConfig::new(1.5).unwrap(), &mut &buf[..cut]).unwrap_err();
             assert!(
                 matches!(err, RestoreError::Io(_) | RestoreError::Corrupt(_)),
                 "cut at {cut}: {err}"
@@ -305,16 +337,17 @@ mod tests {
         for i in (8..buf.len().saturating_sub(8)).step_by(17) {
             let mut evil = buf.clone();
             evil[i] ^= 0xFF;
-            let _ = restore(ScrConfig::new(1.5), &mut evil.as_slice()); // must not panic
+            let _ = restore(ScrConfig::new(1.5).unwrap(), &mut evil.as_slice());
+            // must not panic
         }
     }
 
     #[test]
     fn empty_cache_roundtrips() {
-        let scr = Scr::new(2.0);
+        let scr = Scr::new(2.0).unwrap();
         let mut buf = Vec::new();
         save(&scr, &mut buf).unwrap();
-        let restored = restore(ScrConfig::new(2.0), &mut buf.as_slice()).unwrap();
+        let restored = restore(ScrConfig::new(2.0).unwrap(), &mut buf.as_slice()).unwrap();
         assert_eq!(restored.cache().num_plans(), 0);
         assert_eq!(restored.cache().num_instances(), 0);
     }

@@ -34,7 +34,7 @@ pub struct GroundTruth {
 impl GroundTruth {
     /// Compute the oracle for `instances` (one untracked optimizer call
     /// each).
-    pub fn compute(engine: &mut QueryEngine, instances: &[QueryInstance]) -> Self {
+    pub fn compute(engine: &QueryEngine, instances: &[QueryInstance]) -> Self {
         let template = Arc::clone(engine.template());
         let mut svectors = Vec::with_capacity(instances.len());
         let mut opt_costs = Vec::with_capacity(instances.len());
@@ -46,7 +46,11 @@ impl GroundTruth {
             opt_costs.push(opt.cost);
             opt_plans.push(opt.plan);
         }
-        GroundTruth { svectors, opt_costs, opt_plans }
+        GroundTruth {
+            svectors,
+            opt_costs,
+            opt_plans,
+        }
     }
 
     /// Number of instances covered.
@@ -73,7 +77,10 @@ impl GroundTruth {
         GroundTruth {
             svectors: order.iter().map(|&i| self.svectors[i].clone()).collect(),
             opt_costs: order.iter().map(|&i| self.opt_costs[i]).collect(),
-            opt_plans: order.iter().map(|&i| Arc::clone(&self.opt_plans[i])).collect(),
+            opt_plans: order
+                .iter()
+                .map(|&i| Arc::clone(&self.opt_plans[i]))
+                .collect(),
         }
     }
 }
@@ -83,11 +90,15 @@ impl GroundTruth {
 /// reflects only this run.
 pub fn run_sequence(
     technique: &mut dyn OnlinePqo,
-    engine: &mut QueryEngine,
+    engine: &QueryEngine,
     instances: &[QueryInstance],
     gt: &GroundTruth,
 ) -> RunResult {
-    assert_eq!(instances.len(), gt.len(), "ground truth misaligned with workload");
+    assert_eq!(
+        instances.len(),
+        gt.len(),
+        "ground truth misaligned with workload"
+    );
     engine.reset_stats();
     let mut so = Vec::with_capacity(instances.len());
     let mut getplan_time = std::time::Duration::ZERO;
@@ -103,7 +114,7 @@ pub fn run_sequence(
         };
         so.push(s);
     }
-    let stats = engine.stats().clone();
+    let stats = engine.stats();
     RunResult {
         technique: technique.name(),
         num_instances: instances.len(),
@@ -124,26 +135,22 @@ mod tests {
     use super::*;
     use crate::baselines::{OptimizeAlways, OptimizeOnce};
     use crate::scr::Scr;
+    use crate::testutil::fixture_template;
     use pqo_optimizer::svector::instance_for_target;
-    use pqo_optimizer::template::{QueryTemplate, RangeOp, TemplateBuilder};
+    use pqo_optimizer::template::QueryTemplate;
 
     fn fixture() -> Arc<QueryTemplate> {
-        let cat = pqo_catalog::schemas::tpch_skew();
-        let mut b = TemplateBuilder::new("runner_test");
-        let o = b.relation(cat.expect_table("orders"), "o");
-        let l = b.relation(cat.expect_table("lineitem"), "l");
-        b.join((o, "orders_pk"), (l, "orders_fk"));
-        b.param(o, "o_totalprice", RangeOp::Le);
-        b.param(l, "l_extendedprice", RangeOp::Le);
-        b.build()
+        fixture_template("runner_test")
     }
 
     fn grid(t: &QueryTemplate, n: usize) -> Vec<QueryInstance> {
         let mut v = Vec::new();
         for i in 0..n {
             for j in 0..n {
-                let target =
-                    [0.01 + 0.9 * i as f64 / n as f64, 0.01 + 0.9 * j as f64 / n as f64];
+                let target = [
+                    0.01 + 0.9 * i as f64 / n as f64,
+                    0.01 + 0.9 * j as f64 / n as f64,
+                ];
                 v.push(instance_for_target(t, &target));
             }
         }
@@ -153,11 +160,11 @@ mod tests {
     #[test]
     fn oracle_has_so_one_everywhere() {
         let t = fixture();
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let engine = QueryEngine::new(Arc::clone(&t));
         let instances = grid(&t, 4);
-        let gt = GroundTruth::compute(&mut engine, &instances);
+        let gt = GroundTruth::compute(&engine, &instances);
         let mut oracle = OptimizeAlways::new();
-        let r = run_sequence(&mut oracle, &mut engine, &instances, &gt);
+        let r = run_sequence(&mut oracle, &engine, &instances, &gt);
         assert_eq!(r.mso(), 1.0);
         assert_eq!(r.total_cost_ratio(), 1.0);
         assert_eq!(r.num_opt as usize, instances.len());
@@ -166,34 +173,40 @@ mod tests {
     #[test]
     fn opt_once_is_cheap_but_suboptimal() {
         let t = fixture();
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let engine = QueryEngine::new(Arc::clone(&t));
         let instances = grid(&t, 5);
-        let gt = GroundTruth::compute(&mut engine, &instances);
+        let gt = GroundTruth::compute(&engine, &instances);
         let mut once = OptimizeOnce::new();
-        let r = run_sequence(&mut once, &mut engine, &instances, &gt);
+        let r = run_sequence(&mut once, &engine, &instances, &gt);
         assert_eq!(r.num_opt, 1);
-        assert!(r.mso() > 1.0, "a single plan cannot be optimal across the grid");
+        assert!(
+            r.mso() > 1.0,
+            "a single plan cannot be optimal across the grid"
+        );
     }
 
     #[test]
     fn scr_respects_lambda_on_this_workload() {
         let t = fixture();
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let engine = QueryEngine::new(Arc::clone(&t));
         let instances = grid(&t, 5);
-        let gt = GroundTruth::compute(&mut engine, &instances);
-        let mut scr = Scr::new(2.0);
-        let r = run_sequence(&mut scr, &mut engine, &instances, &gt);
+        let gt = GroundTruth::compute(&engine, &instances);
+        let mut scr = Scr::new(2.0).unwrap();
+        let r = run_sequence(&mut scr, &engine, &instances, &gt);
         assert!(r.mso() <= 2.0 * 1.001, "MSO {}", r.mso());
-        assert!(r.num_opt < instances.len() as u64, "SCR must save optimizer calls");
+        assert!(
+            r.num_opt < instances.len() as u64,
+            "SCR must save optimizer calls"
+        );
         assert!(r.total_cost_ratio() <= r.mso());
     }
 
     #[test]
     fn permute_realigns_oracle() {
         let t = fixture();
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let engine = QueryEngine::new(Arc::clone(&t));
         let instances = grid(&t, 3);
-        let gt = GroundTruth::compute(&mut engine, &instances);
+        let gt = GroundTruth::compute(&engine, &instances);
         let order: Vec<usize> = (0..instances.len()).rev().collect();
         let pg = gt.permute(&order);
         assert_eq!(pg.opt_costs[0], gt.opt_costs[instances.len() - 1]);
@@ -204,10 +217,10 @@ mod tests {
     #[should_panic(expected = "misaligned")]
     fn misaligned_ground_truth_panics() {
         let t = fixture();
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let engine = QueryEngine::new(Arc::clone(&t));
         let instances = grid(&t, 2);
-        let gt = GroundTruth::compute(&mut engine, &instances[..2]);
+        let gt = GroundTruth::compute(&engine, &instances[..2]);
         let mut once = OptimizeOnce::new();
-        let _ = run_sequence(&mut once, &mut engine, &instances, &gt);
+        let _ = run_sequence(&mut once, &engine, &instances, &gt);
     }
 }

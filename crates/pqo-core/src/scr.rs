@@ -18,11 +18,23 @@
 //! eviction (Section 6.3.1), dynamic λ (Appendix D), redundancy sweep for
 //! existing plans (Appendix F), and BCG/PCM violation detection with entry
 //! disabling (Appendix G).
+//!
+//! # Concurrency split
+//!
+//! The cache-*read* path ([`Scr::try_cached_plan`] — selectivity check and
+//! cost check) takes `&self`: served-instance bookkeeping (usage counts,
+//! violation flags, technique counters) lives in atomics, so N threads can
+//! run `getPlan` under a shared read lock. Only `manageCache`
+//! ([`Scr::manage_cache_entry`]) mutates the cache structure and needs
+//! `&mut self` / the write lock. [`crate::service::PqoService`] builds on
+//! exactly this split.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use pqo_optimizer::engine::{OptimizedPlan, QueryEngine};
+use pqo_optimizer::error::PqoError;
 use pqo_optimizer::plan::PlanFingerprint;
 use pqo_optimizer::svector::SVector;
 use pqo_optimizer::template::QueryInstance;
@@ -90,9 +102,14 @@ pub struct ScrConfig {
 impl ScrConfig {
     /// The paper's default configuration for a given λ: `λr = √λ`, no plan
     /// budget, at most 8 Recost candidates, static λ, violation handling on.
-    pub fn new(lambda: f64) -> Self {
-        assert!(lambda >= 1.0, "λ must be at least 1");
-        ScrConfig {
+    ///
+    /// # Errors
+    /// [`PqoError::InvalidLambda`] unless λ is finite and ≥ 1.
+    pub fn new(lambda: f64) -> Result<Self, PqoError> {
+        if !lambda.is_finite() || lambda < 1.0 {
+            return Err(PqoError::InvalidLambda { lambda, what: "λ" });
+        }
+        Ok(ScrConfig {
             lambda,
             lambda_r: lambda.sqrt(),
             plan_budget: None,
@@ -102,12 +119,55 @@ impl ScrConfig {
             existing_plan_redundancy: false,
             spatial_index_threshold: 64,
             candidate_order: CandidateOrder::GlAscending,
+        })
+    }
+
+    /// Validate every knob (used by the `Scr` constructors, which accept
+    /// hand-edited configurations).
+    pub fn validate(&self) -> Result<(), PqoError> {
+        if !self.lambda.is_finite() || self.lambda < 1.0 {
+            return Err(PqoError::InvalidLambda {
+                lambda: self.lambda,
+                what: "λ",
+            });
         }
+        if !self.lambda_r.is_finite() || self.lambda_r < 0.0 {
+            return Err(PqoError::InvalidLambda {
+                lambda: self.lambda_r,
+                what: "λr",
+            });
+        }
+        if let Some(DynamicLambda {
+            lambda_min,
+            lambda_max,
+        }) = self.dynamic_lambda
+        {
+            if !lambda_min.is_finite() || lambda_min < 1.0 {
+                return Err(PqoError::InvalidLambda {
+                    lambda: lambda_min,
+                    what: "dynamic λ",
+                });
+            }
+            if !lambda_max.is_finite() || lambda_max < lambda_min {
+                return Err(PqoError::InvalidLambda {
+                    lambda: lambda_max,
+                    what: "dynamic λ",
+                });
+            }
+        }
+        if self.plan_budget == Some(0) {
+            return Err(PqoError::InvalidBudget { budget: 0 });
+        }
+        Ok(())
     }
 }
 
 /// Counters describing how SCR served a sequence (Section 7.3's overhead
 /// anatomy).
+///
+/// A point-in-time *snapshot*, returned by value from [`Scr::stats`]; the
+/// live counters are atomics inside the technique, so observers never block
+/// servers.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ScrStats {
     /// Instances served by the selectivity check.
@@ -130,30 +190,79 @@ pub struct ScrStats {
     pub violations_detected: u64,
 }
 
+/// The live (atomic) form of [`ScrStats`]. Counters bumped on the read path
+/// use `Relaxed` ordering — they are independent tallies, not
+/// synchronization.
+#[derive(Debug, Default)]
+struct ScrStatCells {
+    selectivity_hits: AtomicU64,
+    cost_hits: AtomicU64,
+    optimizer_calls: AtomicU64,
+    redundant_plans_discarded: AtomicU64,
+    existing_plans_dropped: AtomicU64,
+    budget_evictions: AtomicU64,
+    getplan_recost_calls: AtomicU64,
+    max_recosts_per_getplan: AtomicU64,
+    violations_detected: AtomicU64,
+}
+
+impl ScrStatCells {
+    fn bump(cell: &AtomicU64) {
+        cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ScrStats {
+        ScrStats {
+            selectivity_hits: self.selectivity_hits.load(Ordering::Relaxed),
+            cost_hits: self.cost_hits.load(Ordering::Relaxed),
+            optimizer_calls: self.optimizer_calls.load(Ordering::Relaxed),
+            redundant_plans_discarded: self.redundant_plans_discarded.load(Ordering::Relaxed),
+            existing_plans_dropped: self.existing_plans_dropped.load(Ordering::Relaxed),
+            budget_evictions: self.budget_evictions.load(Ordering::Relaxed),
+            getplan_recost_calls: self.getplan_recost_calls.load(Ordering::Relaxed),
+            max_recosts_per_getplan: self.max_recosts_per_getplan.load(Ordering::Relaxed),
+            violations_detected: self.violations_detected.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// The SCR technique (Figure 2 architecture: `getPlan` + `manageCache` over
 /// the plan cache of Figure 5).
 #[derive(Debug)]
 pub struct Scr {
     config: ScrConfig,
     cache: PlanCache,
-    stats: ScrStats,
+    stats: ScrStatCells,
     /// Running Σ log(C) and count over optimized instances — the cost scale
-    /// for the dynamic-λ mapping.
+    /// for the dynamic-λ mapping. Written only on the `&mut` maintenance
+    /// path, read on the shared read path (safe under the service's RwLock).
     log_cost_sum: f64,
     opt_count: u64,
 }
 
 impl Scr {
     /// SCR with the paper's defaults for the given λ.
-    pub fn new(lambda: f64) -> Self {
-        Scr::with_config(ScrConfig::new(lambda))
+    ///
+    /// # Errors
+    /// [`PqoError::InvalidLambda`] unless λ is finite and ≥ 1.
+    pub fn new(lambda: f64) -> Result<Self, PqoError> {
+        Scr::with_config(ScrConfig::new(lambda)?)
     }
 
     /// SCR with an explicit configuration.
-    pub fn with_config(config: ScrConfig) -> Self {
-        assert!(config.lambda >= 1.0);
-        assert!(config.lambda_r >= 0.0);
-        Scr { config, cache: PlanCache::new(), stats: ScrStats::default(), log_cost_sum: 0.0, opt_count: 0 }
+    ///
+    /// # Errors
+    /// [`PqoError::InvalidLambda`] / [`PqoError::InvalidBudget`] when the
+    /// configuration fails [`ScrConfig::validate`].
+    pub fn with_config(config: ScrConfig) -> Result<Self, PqoError> {
+        config.validate()?;
+        Ok(Scr {
+            config,
+            cache: PlanCache::new(),
+            stats: ScrStatCells::default(),
+            log_cost_sum: 0.0,
+            opt_count: 0,
+        })
     }
 
     /// Current configuration.
@@ -166,17 +275,18 @@ impl Scr {
         &self.cache
     }
 
-    /// Technique counters.
-    pub fn stats(&self) -> &ScrStats {
-        &self.stats
+    /// Point-in-time snapshot of the technique counters (lock-free).
+    pub fn stats(&self) -> ScrStats {
+        self.stats.snapshot()
     }
 
     /// Evict one plan (and its instance entries) from the cache — used by
-    /// the global budget of [`crate::manager::PqoManager`]. Safe for the
-    /// guarantee: inference entries leave with the plan (Section 6.3.1).
-    pub fn evict_plan(&mut self, fp: pqo_optimizer::plan::PlanFingerprint) {
+    /// the global budget of [`crate::manager::PqoManager`] and
+    /// [`crate::service::PqoService`]. Safe for the guarantee: inference
+    /// entries leave with the plan (Section 6.3.1).
+    pub fn evict_plan(&mut self, fp: PlanFingerprint) {
         self.cache.drop_plan(fp);
-        self.stats.budget_evictions += 1;
+        ScrStatCells::bump(&self.stats.budget_evictions);
     }
 
     /// The dynamic-λ accumulators `(Σ log C, optimized count)` — persisted
@@ -187,17 +297,21 @@ impl Scr {
 
     /// Reassemble an SCR from persisted parts (see [`crate::persist`]).
     ///
+    /// # Errors
+    /// Propagates configuration validation errors.
+    ///
     /// # Panics
-    /// Panics if an entry references a plan not in `plans` (the snapshot
-    /// loader validates this before calling).
+    /// Panics (debug) if an entry references a plan not in `plans` — an
+    /// internal cache invariant; the snapshot loader validates references
+    /// before calling.
     pub fn from_parts(
         config: ScrConfig,
-        plans: Vec<std::sync::Arc<pqo_optimizer::plan::Plan>>,
+        plans: Vec<Arc<pqo_optimizer::plan::Plan>>,
         entries: Vec<InstanceEntry>,
         log_cost_sum: f64,
         opt_count: u64,
-    ) -> Self {
-        let mut scr = Scr::with_config(config);
+    ) -> Result<Self, PqoError> {
+        let mut scr = Scr::with_config(config)?;
         for p in plans {
             scr.cache.insert_plan(p);
         }
@@ -207,7 +321,7 @@ impl Scr {
         scr.log_cost_sum = log_cost_sum;
         scr.opt_count = opt_count;
         debug_assert!(scr.cache.check_invariants().is_ok());
-        scr
+        Ok(scr)
     }
 
     /// Effective λ for an entry with optimal cost `c` (Appendix D): static
@@ -216,7 +330,10 @@ impl Scr {
     fn effective_lambda(&self, c: f64) -> f64 {
         match self.config.dynamic_lambda {
             None => self.config.lambda,
-            Some(DynamicLambda { lambda_min, lambda_max }) => {
+            Some(DynamicLambda {
+                lambda_min,
+                lambda_max,
+            }) => {
                 if self.opt_count == 0 {
                     return lambda_min;
                 }
@@ -228,7 +345,7 @@ impl Scr {
 
     /// `getPlan` (Algorithm 1): selectivity check, then cost check, then an
     /// optimizer call followed by `manageCache`.
-    fn get_plan_inner(&mut self, sv: &SVector, engine: &mut QueryEngine) -> PlanChoice {
+    fn get_plan_inner(&mut self, sv: &SVector, engine: &QueryEngine) -> PlanChoice {
         if let Some(choice) = self.try_cached_plan(sv, engine) {
             return choice;
         }
@@ -237,17 +354,17 @@ impl Scr {
         let opt = engine.optimize(sv);
         let plan = Arc::clone(&opt.plan);
         self.manage_cache_entry(sv, opt, engine);
-        PlanChoice { plan, optimized: true }
+        PlanChoice {
+            plan,
+            optimized: true,
+        }
     }
 
     /// The cache-only part of `getPlan`: selectivity check then cost check,
-    /// never an optimizer call. Exposed for the asynchronous-maintenance
-    /// front end ([`crate::concurrent::AsyncScr`]).
-    pub(crate) fn try_cached_plan(
-        &mut self,
-        sv: &SVector,
-        engine: &mut QueryEngine,
-    ) -> Option<PlanChoice> {
+    /// never an optimizer call, never a structural cache mutation — `&self`,
+    /// so concurrent servers share it under a read lock
+    /// ([`crate::concurrent::AsyncScr`], [`crate::service::PqoService`]).
+    pub fn try_cached_plan(&self, sv: &SVector, engine: &QueryEngine) -> Option<PlanChoice> {
         let use_index = self.config.spatial_index_threshold != usize::MAX
             && self.cache.num_instances() >= self.config.spatial_index_threshold;
         let candidates = if use_index {
@@ -265,15 +382,11 @@ impl Scr {
     }
 
     /// Record a fresh optimization in the cache (`manageCache`), including
-    /// the optimizer-call bookkeeping. Public within the crate so the
-    /// asynchronous front end can run it on a worker thread (Section 4.1).
-    pub(crate) fn manage_cache_entry(
-        &mut self,
-        sv: &SVector,
-        opt: OptimizedPlan,
-        engine: &mut QueryEngine,
-    ) {
-        self.stats.optimizer_calls += 1;
+    /// the optimizer-call bookkeeping — the only path that mutates cache
+    /// structure. Runs on a worker thread ([`crate::concurrent::AsyncScr`])
+    /// or under the service's write lock (Section 4.1).
+    pub fn manage_cache_entry(&mut self, sv: &SVector, opt: OptimizedPlan, engine: &QueryEngine) {
+        ScrStatCells::bump(&self.stats.optimizer_calls);
         self.log_cost_sum += opt.cost.max(f64::MIN_POSITIVE).ln();
         self.opt_count += 1;
         self.manage_cache(sv, opt, engine);
@@ -281,27 +394,29 @@ impl Scr {
 
     /// Serve an instance through cache entry `idx` without an optimizer
     /// call.
-    fn serve(&mut self, idx: usize) -> PlanChoice {
-        let fp = self.cache.instances()[idx].plan;
-        self.cache.instance_mut(idx).usage += 1;
-        let plan = Arc::clone(self.cache.plan(fp).expect("entry points to live plan"));
-        PlanChoice { plan, optimized: false }
+    fn serve(&self, idx: usize) -> PlanChoice {
+        let e = &self.cache.instances()[idx];
+        e.record_use();
+        let plan = Arc::clone(self.cache.plan(e.plan).expect("entry points to live plan"));
+        PlanChoice {
+            plan,
+            optimized: false,
+        }
     }
 
     /// Linear-scan selectivity check (small instance lists): returns the
     /// serving choice, or the cost-check candidates `(G, L, idx)` ordered
     /// per [`ScrConfig::candidate_order`].
-    fn selectivity_check_linear(&mut self, sv: &SVector) -> Result<PlanChoice, Vec<(f64, f64, usize)>> {
+    fn selectivity_check_linear(&self, sv: &SVector) -> Result<PlanChoice, Vec<(f64, f64, usize)>> {
         let mut candidates: Vec<(f64, f64, usize)> = Vec::new(); // (G, L, idx)
-        for idx in 0..self.cache.instances().len() {
-            let e = &self.cache.instances()[idx];
+        for (idx, e) in self.cache.instances().iter().enumerate() {
             let (g, l) = sv.g_and_l(&e.svector);
             let lambda_e = self.effective_lambda(e.opt_cost);
             if g * l <= lambda_e / e.sub_opt {
-                self.stats.selectivity_hits += 1;
+                ScrStatCells::bump(&self.stats.selectivity_hits);
                 return Ok(self.serve(idx));
             }
-            if !e.violation_detected {
+            if !e.violation_detected() {
                 candidates.push((g, l, idx));
             }
         }
@@ -309,7 +424,7 @@ impl Scr {
             let e = &self.cache.instances()[idx];
             match self.config.candidate_order {
                 CandidateOrder::GlAscending => g * l,
-                CandidateOrder::UsageDescending => -(e.usage as f64),
+                CandidateOrder::UsageDescending => -(e.usage() as f64),
                 CandidateOrder::AreaDescending => -e.svector.0.iter().product::<f64>(),
             }
         };
@@ -322,7 +437,10 @@ impl Scr {
     /// is an L1 ball query in log-selectivity space (G·L = e^distance), and
     /// the cost-check candidates are the nearest neighbours — smallest G·L
     /// first without scanning the instance list.
-    fn selectivity_check_indexed(&mut self, sv: &SVector) -> Result<PlanChoice, Vec<(f64, f64, usize)>> {
+    fn selectivity_check_indexed(
+        &self,
+        sv: &SVector,
+    ) -> Result<PlanChoice, Vec<(f64, f64, usize)>> {
         let lambda_upper = match self.config.dynamic_lambda {
             Some(d) => d.lambda_max,
             None => self.config.lambda,
@@ -331,7 +449,7 @@ impl Scr {
             let e = &self.cache.instances()[idx];
             let gl = dist.exp();
             if gl <= self.effective_lambda(e.opt_cost) / e.sub_opt {
-                self.stats.selectivity_hits += 1;
+                ScrStatCells::bump(&self.stats.selectivity_hits);
                 return Ok(self.serve(idx));
             }
         }
@@ -341,7 +459,7 @@ impl Scr {
             .cache
             .nearest_instances(sv, fetch)
             .into_iter()
-            .filter(|&(_, idx)| !self.cache.instances()[idx].violation_detected)
+            .filter(|&(_, idx)| !self.cache.instances()[idx].violation_detected())
             .map(|(_, idx)| {
                 let (g, l) = sv.g_and_l(&self.cache.instances()[idx].svector);
                 (g, l, idx)
@@ -354,16 +472,29 @@ impl Scr {
     /// Cost check over ordered candidates: replace the `G` bound by the
     /// exact Recost ratio `R`, re-costing each distinct plan at most once.
     fn cost_check(
-        &mut self,
+        &self,
         sv: &SVector,
         candidates: Vec<(f64, f64, usize)>,
-        engine: &mut QueryEngine,
+        engine: &QueryEngine,
     ) -> Option<PlanChoice> {
         let mut recosted: HashMap<PlanFingerprint, f64> = HashMap::new();
         let mut recosts_this_call = 0u64;
+        let flush_recost_tally = |n: u64| {
+            self.stats
+                .getplan_recost_calls
+                .fetch_add(n, Ordering::Relaxed);
+            self.stats
+                .max_recosts_per_getplan
+                .fetch_max(n, Ordering::Relaxed);
+        };
         for (g, l, idx) in candidates {
             let e = &self.cache.instances()[idx];
-            let (fp, c, s, lambda_e) = (e.plan, e.opt_cost, e.sub_opt, self.effective_lambda(e.opt_cost));
+            let (fp, c, s, lambda_e) = (
+                e.plan,
+                e.opt_cost,
+                e.sub_opt,
+                self.effective_lambda(e.opt_cost),
+            );
             let new_cost = match recosted.get(&fp) {
                 Some(&c) => c,
                 None => {
@@ -381,37 +512,28 @@ impl Scr {
                 let upper = g * s * c;
                 let lower = s * c / l;
                 if new_cost > upper * (1.0 + 1e-9) || new_cost < lower * (1.0 - 1e-9) {
-                    self.cache.instance_mut(idx).violation_detected = true;
-                    self.stats.violations_detected += 1;
+                    e.mark_violation();
+                    ScrStatCells::bump(&self.stats.violations_detected);
                     continue;
                 }
             }
             if r * l <= lambda_e / s {
-                self.stats.cost_hits += 1;
-                self.stats.getplan_recost_calls += recosts_this_call;
-                self.stats.max_recosts_per_getplan =
-                    self.stats.max_recosts_per_getplan.max(recosts_this_call);
+                ScrStatCells::bump(&self.stats.cost_hits);
+                flush_recost_tally(recosts_this_call);
                 return Some(self.serve(idx));
             }
         }
-        self.stats.getplan_recost_calls += recosts_this_call;
-        self.stats.max_recosts_per_getplan = self.stats.max_recosts_per_getplan.max(recosts_this_call);
+        flush_recost_tally(recosts_this_call);
         None
     }
 
     /// `manageCache` (Algorithm 2).
-    fn manage_cache(&mut self, sv: &SVector, opt: OptimizedPlan, engine: &mut QueryEngine) {
+    fn manage_cache(&mut self, sv: &SVector, opt: OptimizedPlan, engine: &QueryEngine) {
         let fp = opt.plan.fingerprint();
         if self.cache.contains_plan(fp) {
             // Plan already cached: extend its inference region with qc.
-            self.cache.push_instance(InstanceEntry {
-                svector: sv.clone(),
-                plan: fp,
-                opt_cost: opt.cost,
-                sub_opt: 1.0,
-                usage: 1,
-                violation_detected: false,
-            });
+            self.cache
+                .push_instance(InstanceEntry::new(sv.clone(), fp, opt.cost, 1.0, 1));
             return;
         }
 
@@ -425,15 +547,14 @@ impl Scr {
                 .expect("non-empty plan list");
             let s_min = (min_cost / opt.cost).max(1.0);
             if s_min <= self.config.lambda_r {
-                self.stats.redundant_plans_discarded += 1;
-                self.cache.push_instance(InstanceEntry {
-                    svector: sv.clone(),
-                    plan: min_fp,
-                    opt_cost: opt.cost,
-                    sub_opt: s_min,
-                    usage: 1,
-                    violation_detected: false,
-                });
+                ScrStatCells::bump(&self.stats.redundant_plans_discarded);
+                self.cache.push_instance(InstanceEntry::new(
+                    sv.clone(),
+                    min_fp,
+                    opt.cost,
+                    s_min,
+                    1,
+                ));
                 return;
             }
         }
@@ -442,21 +563,18 @@ impl Scr {
         // minimum-aggregate-usage plan along with its instance entries.
         if let Some(k) = self.config.plan_budget {
             while self.cache.num_plans() >= k.max(1) {
-                let victim = self.cache.min_usage_plan().expect("budget > 0 ⇒ victim exists");
+                let victim = self
+                    .cache
+                    .min_usage_plan()
+                    .expect("budget > 0 ⇒ victim exists");
                 self.cache.drop_plan(victim);
-                self.stats.budget_evictions += 1;
+                ScrStatCells::bump(&self.stats.budget_evictions);
             }
         }
 
         self.cache.insert_plan(opt.plan);
-        self.cache.push_instance(InstanceEntry {
-            svector: sv.clone(),
-            plan: fp,
-            opt_cost: opt.cost,
-            sub_opt: 1.0,
-            usage: 1,
-            violation_detected: false,
-        });
+        self.cache
+            .push_instance(InstanceEntry::new(sv.clone(), fp, opt.cost, 1.0, 1));
 
         if self.config.existing_plan_redundancy {
             self.sweep_existing_plans(engine);
@@ -469,10 +587,17 @@ impl Scr {
     /// `getPlan` for each of its instances against the rest of the cache,
     /// and keep the removal only if every instance finds an alternative
     /// λ-optimal plan.
-    fn sweep_existing_plans(&mut self, engine: &mut QueryEngine) {
+    fn sweep_existing_plans(&mut self, engine: &QueryEngine) {
         let mut plans: Vec<PlanFingerprint> = self.cache.plans().map(|p| p.fingerprint()).collect();
         plans.sort_by_key(|&fp| {
-            (self.cache.instances().iter().filter(|e| e.plan == fp).count(), fp)
+            (
+                self.cache
+                    .instances()
+                    .iter()
+                    .filter(|e| e.plan == fp)
+                    .count(),
+                fp,
+            )
         });
         for fp in plans {
             if self.cache.num_plans() <= 1 {
@@ -484,14 +609,14 @@ impl Scr {
             let mut ok = true;
             for e in &taken {
                 match self.simulated_get_plan(&e.svector, e.opt_cost, engine) {
-                    Some((alt_fp, s_new)) => replacements.push(InstanceEntry {
-                        svector: e.svector.clone(),
-                        plan: alt_fp,
-                        opt_cost: e.opt_cost,
-                        sub_opt: s_new,
-                        usage: e.usage,
-                        violation_detected: e.violation_detected,
-                    }),
+                    Some((alt_fp, s_new)) => replacements.push(InstanceEntry::restored(
+                        e.svector.clone(),
+                        alt_fp,
+                        e.opt_cost,
+                        s_new,
+                        e.usage(),
+                        e.violation_detected(),
+                    )),
                     None => {
                         ok = false;
                         break;
@@ -502,7 +627,7 @@ impl Scr {
                 for r in replacements {
                     self.cache.push_instance(r);
                 }
-                self.stats.existing_plans_dropped += 1;
+                ScrStatCells::bump(&self.stats.existing_plans_dropped);
             } else {
                 self.cache.insert_plan(plan);
                 for e in taken {
@@ -520,7 +645,7 @@ impl Scr {
         &self,
         sv: &SVector,
         opt_cost: f64,
-        engine: &mut QueryEngine,
+        engine: &QueryEngine,
     ) -> Option<(PlanFingerprint, f64)> {
         let mut candidates: Vec<(f64, usize)> = Vec::new();
         for (idx, e) in self.cache.instances().iter().enumerate() {
@@ -531,7 +656,7 @@ impl Scr {
                 let s_new = (engine.recost(&plan, sv) / opt_cost).max(1.0);
                 return Some((e.plan, s_new));
             }
-            if !e.violation_detected {
+            if !e.violation_detected() {
                 candidates.push((g * l, idx));
             }
         }
@@ -567,7 +692,7 @@ impl OnlinePqo for Scr {
         &mut self,
         _instance: &QueryInstance,
         sv: &SVector,
-        engine: &mut QueryEngine,
+        engine: &QueryEngine,
     ) -> PlanChoice {
         self.get_plan_inner(sv, engine)
     }
@@ -584,36 +709,43 @@ impl OnlinePqo for Scr {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::{fixture_template, run_point};
     use pqo_optimizer::svector::{compute_svector, instance_for_target};
-    use pqo_optimizer::template::QueryTemplate;
 
-    fn fixture() -> Arc<QueryTemplate> {
-        // Reuse the optimizer's test fixture shape: build a small template
-        // over the TPC-H catalog directly here.
-        use pqo_optimizer::template::{RangeOp, TemplateBuilder};
-        let cat = pqo_catalog::schemas::tpch_skew();
-        let mut b = TemplateBuilder::new("scr_test");
-        let o = b.relation(cat.expect_table("orders"), "o");
-        let l = b.relation(cat.expect_table("lineitem"), "l");
-        b.join((o, "orders_pk"), (l, "orders_fk"));
-        b.param(o, "o_totalprice", RangeOp::Le);
-        b.param(l, "l_extendedprice", RangeOp::Le);
-        b.build()
+    fn fixture() -> Arc<pqo_optimizer::template::QueryTemplate> {
+        fixture_template("scr_test")
     }
 
-    fn run_point(scr: &mut Scr, engine: &mut QueryEngine, target: &[f64]) -> PlanChoice {
-        let t = Arc::clone(engine.template());
-        let inst = instance_for_target(&t, target);
-        let sv = compute_svector(&t, &inst);
-        scr.get_plan(&inst, &sv, engine)
+    #[test]
+    fn invalid_configs_are_rejected_not_panicked() {
+        assert!(matches!(
+            ScrConfig::new(0.5),
+            Err(PqoError::InvalidLambda { what: "λ", .. })
+        ));
+        assert!(matches!(
+            Scr::new(f64::NAN),
+            Err(PqoError::InvalidLambda { .. })
+        ));
+        let mut cfg = ScrConfig::new(2.0).unwrap();
+        cfg.lambda_r = -1.0;
+        assert!(matches!(
+            Scr::with_config(cfg.clone()),
+            Err(PqoError::InvalidLambda { what: "λr", .. })
+        ));
+        cfg.lambda_r = 1.0;
+        cfg.plan_budget = Some(0);
+        assert!(matches!(
+            Scr::with_config(cfg),
+            Err(PqoError::InvalidBudget { budget: 0 })
+        ));
     }
 
     #[test]
     fn first_instance_always_optimizes() {
         let t = fixture();
-        let mut engine = QueryEngine::new(t);
-        let mut scr = Scr::new(2.0);
-        let c = run_point(&mut scr, &mut engine, &[0.1, 0.1]);
+        let engine = QueryEngine::new(t);
+        let mut scr = Scr::new(2.0).unwrap();
+        let c = run_point(&mut scr, &engine, &[0.1, 0.1]);
         assert!(c.optimized);
         assert_eq!(scr.plans_cached(), 1);
         assert_eq!(scr.cache().num_instances(), 1);
@@ -622,10 +754,10 @@ mod tests {
     #[test]
     fn identical_instance_passes_selectivity_check() {
         let t = fixture();
-        let mut engine = QueryEngine::new(t);
-        let mut scr = Scr::new(1.1);
-        let _ = run_point(&mut scr, &mut engine, &[0.1, 0.1]);
-        let c = run_point(&mut scr, &mut engine, &[0.1, 0.1]);
+        let engine = QueryEngine::new(t);
+        let mut scr = Scr::new(1.1).unwrap();
+        let _ = run_point(&mut scr, &engine, &[0.1, 0.1]);
+        let c = run_point(&mut scr, &engine, &[0.1, 0.1]);
         assert!(!c.optimized, "G = L = 1 must pass the selectivity check");
         assert_eq!(scr.stats().selectivity_hits, 1);
         assert_eq!(engine.stats().optimize_calls, 1);
@@ -634,22 +766,25 @@ mod tests {
     #[test]
     fn nearby_instance_reuses_within_lambda() {
         let t = fixture();
-        let mut engine = QueryEngine::new(t);
-        let mut scr = Scr::new(2.0);
-        let _ = run_point(&mut scr, &mut engine, &[0.10, 0.10]);
+        let engine = QueryEngine::new(t);
+        let mut scr = Scr::new(2.0).unwrap();
+        let _ = run_point(&mut scr, &engine, &[0.10, 0.10]);
         // α = (1.2, 1.1) → G·L = 1.32 ≤ 2.
-        let c = run_point(&mut scr, &mut engine, &[0.12, 0.11]);
+        let c = run_point(&mut scr, &engine, &[0.12, 0.11]);
         assert!(!c.optimized);
     }
 
     #[test]
     fn distant_instance_triggers_optimizer() {
         let t = fixture();
-        let mut engine = QueryEngine::new(t);
-        let mut scr = Scr::new(1.1);
-        let _ = run_point(&mut scr, &mut engine, &[0.001, 0.001]);
-        let c = run_point(&mut scr, &mut engine, &[0.9, 0.9]);
-        assert!(c.optimized, "selectivity and cost growth is far beyond λ=1.1");
+        let engine = QueryEngine::new(t);
+        let mut scr = Scr::new(1.1).unwrap();
+        let _ = run_point(&mut scr, &engine, &[0.001, 0.001]);
+        let c = run_point(&mut scr, &engine, &[0.9, 0.9]);
+        assert!(
+            c.optimized,
+            "selectivity and cost growth is far beyond λ=1.1"
+        );
         assert_eq!(scr.stats().optimizer_calls, 2);
     }
 
@@ -658,10 +793,10 @@ mod tests {
         // SeqScan-dominated region: cost barely changes with selectivity, so
         // the exact ratio R stays near 1 even when G is large.
         let t = fixture();
-        let mut engine = QueryEngine::new(t);
-        let mut scr = Scr::new(1.2);
-        let _ = run_point(&mut scr, &mut engine, &[0.55, 0.55]);
-        let c = run_point(&mut scr, &mut engine, &[0.8, 0.8]);
+        let engine = QueryEngine::new(t);
+        let mut scr = Scr::new(1.2).unwrap();
+        let _ = run_point(&mut scr, &engine, &[0.55, 0.55]);
+        let c = run_point(&mut scr, &engine, &[0.8, 0.8]);
         if !c.optimized {
             assert!(scr.stats().cost_hits + scr.stats().selectivity_hits >= 1);
         }
@@ -672,12 +807,14 @@ mod tests {
     #[test]
     fn redundancy_check_discards_near_duplicate_plans() {
         let t = fixture();
-        let mut engine = QueryEngine::new(t);
+        let engine = QueryEngine::new(t);
         // λr = √4 = 2: generous redundancy threshold.
-        let mut scr = Scr::new(4.0);
-        let points: Vec<[f64; 2]> = (1..=20).map(|i| [0.04 * i as f64, 0.03 * i as f64]).collect();
+        let mut scr = Scr::new(4.0).unwrap();
+        let points: Vec<[f64; 2]> = (1..=20)
+            .map(|i| [0.04 * i as f64, 0.03 * i as f64])
+            .collect();
         for p in &points {
-            let _ = run_point(&mut scr, &mut engine, p);
+            let _ = run_point(&mut scr, &engine, p);
         }
         let opt_calls = engine.stats().optimize_calls;
         assert!(
@@ -692,12 +829,12 @@ mod tests {
     #[test]
     fn lambda_r_zero_stores_every_new_plan() {
         let t = fixture();
-        let mut engine = QueryEngine::new(t);
-        let mut cfg = ScrConfig::new(2.0);
+        let engine = QueryEngine::new(t);
+        let mut cfg = ScrConfig::new(2.0).unwrap();
         cfg.lambda_r = 0.0;
-        let mut scr = Scr::with_config(cfg);
+        let mut scr = Scr::with_config(cfg).unwrap();
         for i in 1..=10 {
-            let _ = run_point(&mut scr, &mut engine, &[0.09 * i as f64, 0.005]);
+            let _ = run_point(&mut scr, &engine, &[0.09 * i as f64, 0.005]);
         }
         assert_eq!(scr.stats().redundant_plans_discarded, 0);
     }
@@ -705,14 +842,18 @@ mod tests {
     #[test]
     fn plan_budget_is_enforced() {
         let t = fixture();
-        let mut engine = QueryEngine::new(t);
-        let mut cfg = ScrConfig::new(1.05);
+        let engine = QueryEngine::new(t);
+        let mut cfg = ScrConfig::new(1.05).unwrap();
         cfg.lambda_r = 0.0; // store aggressively to stress the budget
         cfg.plan_budget = Some(2);
-        let mut scr = Scr::with_config(cfg);
+        let mut scr = Scr::with_config(cfg).unwrap();
         for i in 1..=12 {
-            let _ = run_point(&mut scr, &mut engine, &[0.08 * i as f64, 0.08 * i as f64]);
-            assert!(scr.plans_cached() <= 2, "budget violated: {}", scr.plans_cached());
+            let _ = run_point(&mut scr, &engine, &[0.08 * i as f64, 0.08 * i as f64]);
+            assert!(
+                scr.plans_cached() <= 2,
+                "budget violated: {}",
+                scr.plans_cached()
+            );
             assert!(scr.cache().check_invariants().is_ok());
         }
     }
@@ -723,16 +864,16 @@ mod tests {
         // BCG violations are possible in principle (sort super-linearity) but
         // must be rare; on this fixture they do not occur.
         let t = fixture();
-        let mut engine = QueryEngine::new(Arc::clone(&t));
+        let engine = QueryEngine::new(Arc::clone(&t));
         let lambda = 2.0;
-        let mut scr = Scr::new(lambda);
+        let mut scr = Scr::new(lambda).unwrap();
         let mut worst = 1.0f64;
         for i in 0..12 {
             for j in 0..12 {
                 let target = [0.002 + 0.08 * i as f64, 0.002 + 0.08 * j as f64];
                 let inst = instance_for_target(&t, &target);
                 let sv = compute_svector(&t, &inst);
-                let choice = scr.get_plan(&inst, &sv, &mut engine);
+                let choice = scr.get_plan(&inst, &sv, &engine);
                 let opt = engine.optimize_untracked(&sv);
                 let so = engine.recost_untracked(&choice.plan, &sv) / opt.cost;
                 worst = worst.max(so);
@@ -744,20 +885,23 @@ mod tests {
     #[test]
     fn usage_counters_accumulate() {
         let t = fixture();
-        let mut engine = QueryEngine::new(t);
-        let mut scr = Scr::new(2.0);
-        let _ = run_point(&mut scr, &mut engine, &[0.2, 0.2]);
+        let engine = QueryEngine::new(t);
+        let mut scr = Scr::new(2.0).unwrap();
+        let _ = run_point(&mut scr, &engine, &[0.2, 0.2]);
         for _ in 0..5 {
-            let _ = run_point(&mut scr, &mut engine, &[0.2, 0.2]);
+            let _ = run_point(&mut scr, &engine, &[0.2, 0.2]);
         }
-        assert_eq!(scr.cache().instances()[0].usage, 6);
+        assert_eq!(scr.cache().instances()[0].usage(), 6);
     }
 
     #[test]
     fn dynamic_lambda_reports_name_and_relaxes_cheap_instances() {
-        let mut cfg = ScrConfig::new(1.1);
-        cfg.dynamic_lambda = Some(DynamicLambda { lambda_min: 1.1, lambda_max: 10.0 });
-        let scr = Scr::with_config(cfg);
+        let mut cfg = ScrConfig::new(1.1).unwrap();
+        cfg.dynamic_lambda = Some(DynamicLambda {
+            lambda_min: 1.1,
+            lambda_max: 10.0,
+        });
+        let scr = Scr::with_config(cfg).unwrap();
         assert_eq!(scr.name(), "SCR[1.1,10]");
         // Before any optimization the mapping falls back to λmin.
         assert_eq!(scr.effective_lambda(123.0), 1.1);
@@ -766,13 +910,13 @@ mod tests {
     #[test]
     fn existing_plan_sweep_keeps_cache_consistent() {
         let t = fixture();
-        let mut engine = QueryEngine::new(t);
-        let mut cfg = ScrConfig::new(3.0);
+        let engine = QueryEngine::new(t);
+        let mut cfg = ScrConfig::new(3.0).unwrap();
         cfg.existing_plan_redundancy = true;
         cfg.lambda_r = 0.0; // force storing, so the sweep has work to do
-        let mut scr = Scr::with_config(cfg);
+        let mut scr = Scr::with_config(cfg).unwrap();
         for i in 1..=15 {
-            let _ = run_point(&mut scr, &mut engine, &[0.06 * i as f64, 0.06 * i as f64]);
+            let _ = run_point(&mut scr, &engine, &[0.06 * i as f64, 0.06 * i as f64]);
             assert!(scr.cache().check_invariants().is_ok());
         }
     }
@@ -787,12 +931,12 @@ mod tests {
             .collect();
 
         let run = |threshold: usize| {
-            let mut engine = QueryEngine::new(fixture());
-            let mut cfg = ScrConfig::new(2.0);
+            let engine = QueryEngine::new(fixture());
+            let mut cfg = ScrConfig::new(2.0).unwrap();
             cfg.spatial_index_threshold = threshold;
-            let mut scr = Scr::with_config(cfg);
+            let mut scr = Scr::with_config(cfg).unwrap();
             for p in &points {
-                let _ = run_point(&mut scr, &mut engine, p);
+                let _ = run_point(&mut scr, &engine, p);
             }
             (engine.stats().optimize_calls, scr.plans_cached())
         };
@@ -805,40 +949,47 @@ mod tests {
     #[test]
     fn indexed_path_respects_guarantee() {
         let t = fixture();
-        let mut engine = QueryEngine::new(Arc::clone(&t));
-        let mut cfg = ScrConfig::new(2.0);
+        let engine = QueryEngine::new(Arc::clone(&t));
+        let mut cfg = ScrConfig::new(2.0).unwrap();
         cfg.spatial_index_threshold = 0; // always use the index
-        let mut scr = Scr::with_config(cfg);
+        let mut scr = Scr::with_config(cfg).unwrap();
         let mut worst = 1.0f64;
         for i in 0..10 {
             for j in 0..10 {
                 let target = [0.01 + 0.09 * i as f64, 0.01 + 0.09 * j as f64];
                 let inst = instance_for_target(&t, &target);
                 let sv = compute_svector(&t, &inst);
-                let choice = scr.get_plan(&inst, &sv, &mut engine);
+                let choice = scr.get_plan(&inst, &sv, &engine);
                 let opt = engine.optimize_untracked(&sv);
                 worst = worst.max(engine.recost_untracked(&choice.plan, &sv) / opt.cost);
             }
         }
-        assert!(worst <= 2.0 * 1.001, "indexed path broke λ-optimality: {worst}");
+        assert!(
+            worst <= 2.0 * 1.001,
+            "indexed path broke λ-optimality: {worst}"
+        );
     }
 
     #[test]
     fn candidate_orders_all_preserve_guarantee() {
         let t = fixture();
-        for order in [CandidateOrder::GlAscending, CandidateOrder::UsageDescending, CandidateOrder::AreaDescending] {
-            let mut engine = QueryEngine::new(Arc::clone(&t));
-            let mut cfg = ScrConfig::new(1.5);
+        for order in [
+            CandidateOrder::GlAscending,
+            CandidateOrder::UsageDescending,
+            CandidateOrder::AreaDescending,
+        ] {
+            let engine = QueryEngine::new(Arc::clone(&t));
+            let mut cfg = ScrConfig::new(1.5).unwrap();
             cfg.candidate_order = order;
             cfg.spatial_index_threshold = usize::MAX; // ordering applies to the linear path
-            let mut scr = Scr::with_config(cfg);
+            let mut scr = Scr::with_config(cfg).unwrap();
             let mut worst = 1.0f64;
             for i in 0..8 {
                 for j in 0..8 {
                     let target = [0.02 + 0.12 * i as f64, 0.02 + 0.12 * j as f64];
                     let inst = instance_for_target(&t, &target);
                     let sv = compute_svector(&t, &inst);
-                    let choice = scr.get_plan(&inst, &sv, &mut engine);
+                    let choice = scr.get_plan(&inst, &sv, &engine);
                     let opt = engine.optimize_untracked(&sv);
                     worst = worst.max(engine.recost_untracked(&choice.plan, &sv) / opt.cost);
                 }
@@ -850,12 +1001,12 @@ mod tests {
     #[test]
     fn max_recost_candidates_caps_recosts() {
         let t = fixture();
-        let mut engine = QueryEngine::new(t);
-        let mut cfg = ScrConfig::new(1.01); // tight λ forces many cost checks
+        let engine = QueryEngine::new(t);
+        let mut cfg = ScrConfig::new(1.01).unwrap(); // tight λ forces many cost checks
         cfg.max_recost_candidates = 3;
-        let mut scr = Scr::with_config(cfg);
+        let mut scr = Scr::with_config(cfg).unwrap();
         for i in 1..=30 {
-            let _ = run_point(&mut scr, &mut engine, &[(0.03 * i as f64).min(1.0), 0.5]);
+            let _ = run_point(&mut scr, &engine, &[(0.03 * i as f64).min(1.0), 0.5]);
         }
         assert!(scr.stats().max_recosts_per_getplan <= 3);
     }

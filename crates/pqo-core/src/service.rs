@@ -1,0 +1,529 @@
+//! The concurrent serving layer: [`PqoService`].
+//!
+//! [`crate::manager::PqoManager`] is the single-threaded deployment surface;
+//! `PqoService` is its thread-safe replacement, realizing the paper's
+//! Figure 2 split at scale: `getPlan` stays on each caller's critical path
+//! while cache maintenance serializes per template, and N threads serve
+//! concurrently.
+//!
+//! # Locking granularity
+//!
+//! * **Registry** — `RwLock<BTreeMap<name, Arc<Shard>>>`, read-mostly:
+//!   `get_plan` takes a read lock just long enough to clone the shard's
+//!   `Arc`; only `register` writes.
+//! * **Shard** — one per template: a shared [`QueryEngine`] (interior-
+//!   mutable, no lock needed) plus `RwLock<Scr>`. The SCR read path
+//!   ([`crate::scr::Scr::try_cached_plan`]) runs under the *read* lock, so
+//!   hits on the same template proceed in parallel; only `manageCache`
+//!   after an optimizer call takes the write lock. Cross-template traffic
+//!   never contends.
+//! * **Counters** — engine stats, SCR stats and the global plan total are
+//!   atomics with snapshot views: observers never block servers.
+//!
+//! # Error policy
+//!
+//! Misuse (unknown/duplicate template names, invalid λ, bad snapshots)
+//! returns [`PqoError`]; panics are reserved for internal cache invariants.
+//!
+//! # Global budget
+//!
+//! Like the manager, the service can cap the total number of plans across
+//! templates. The running total is an `AtomicUsize` adjusted by the exact
+//! cache delta under each shard's write lock — checking the budget is O(1),
+//! and each eviction scans the registry once (O(templates)) to find the
+//! global LFU victim instead of re-counting every cache.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use pqo_optimizer::engine::{EngineStats, QueryEngine};
+use pqo_optimizer::error::PqoError;
+use pqo_optimizer::plan::PlanFingerprint;
+use pqo_optimizer::template::{QueryInstance, QueryTemplate};
+
+use crate::persist;
+use crate::scr::{Scr, ScrConfig, ScrStats};
+use crate::PlanChoice;
+
+/// One registered template: its engine (shared, lock-free) and SCR state
+/// (read path under the read lock, maintenance under the write lock).
+struct Shard {
+    engine: QueryEngine,
+    scr: RwLock<Scr>,
+}
+
+impl Shard {
+    fn scr_read(&self) -> RwLockReadGuard<'_, Scr> {
+        self.scr.read().expect("scr lock poisoned")
+    }
+
+    fn scr_write(&self) -> RwLockWriteGuard<'_, Scr> {
+        self.scr.write().expect("scr lock poisoned")
+    }
+}
+
+/// Thread-safe multi-template serving layer (`Send + Sync`): shared
+/// ownership, typed errors, per-template sharding.
+///
+/// ```
+/// use std::sync::Arc;
+/// use pqo_core::service::PqoService;
+/// use pqo_core::scr::ScrConfig;
+/// use pqo_optimizer::template::{RangeOp, TemplateBuilder};
+/// use pqo_optimizer::svector::instance_for_target;
+///
+/// # fn main() -> Result<(), pqo_core::PqoError> {
+/// let catalog = pqo_catalog::schemas::tpch_skew();
+/// let mut b = TemplateBuilder::new("dashboard");
+/// let o = b.relation(catalog.expect_table("orders"), "o");
+/// b.param(o, "o_totalprice", RangeOp::Le);
+/// let template = b.build();
+///
+/// let service = Arc::new(PqoService::new());
+/// service.register(template.clone(), ScrConfig::new(2.0)?)?;
+///
+/// let q = instance_for_target(&template, &[0.2]);
+/// let first = service.get_plan("dashboard", &q)?;
+/// let second = service.get_plan("dashboard", &q)?;
+/// assert!(first.optimized && !second.optimized);
+/// # Ok(())
+/// # }
+/// ```
+pub struct PqoService {
+    shards: RwLock<BTreeMap<String, Arc<Shard>>>,
+    global_plan_budget: Option<usize>,
+    /// Running total of plans cached across all shards; every structural
+    /// cache change adjusts it by the exact delta under the owning shard's
+    /// write lock.
+    total_plans: AtomicUsize,
+    global_evictions: AtomicU64,
+}
+
+impl PqoService {
+    /// Service without a global budget.
+    pub fn new() -> Self {
+        PqoService {
+            shards: RwLock::new(BTreeMap::new()),
+            global_plan_budget: None,
+            total_plans: AtomicUsize::new(0),
+            global_evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Service with a global cap on the total number of cached plans.
+    ///
+    /// # Errors
+    /// [`PqoError::InvalidBudget`] if `budget` is zero.
+    pub fn with_global_budget(budget: usize) -> Result<Self, PqoError> {
+        if budget == 0 {
+            return Err(PqoError::InvalidBudget { budget });
+        }
+        let mut s = PqoService::new();
+        s.global_plan_budget = Some(budget);
+        Ok(s)
+    }
+
+    /// Register a template under its name with the given configuration.
+    ///
+    /// # Errors
+    /// [`PqoError::DuplicateTemplate`] if the name is taken;
+    /// [`PqoError::InvalidLambda`] / [`PqoError::InvalidBudget`] if the
+    /// configuration is invalid.
+    pub fn register(
+        &self,
+        template: Arc<QueryTemplate>,
+        config: ScrConfig,
+    ) -> Result<(), PqoError> {
+        let scr = Scr::with_config(config)?;
+        self.install(template, scr)
+    }
+
+    /// Register a template whose SCR state is restored from a snapshot
+    /// produced by [`persist::save`] (e.g. a warm restart).
+    ///
+    /// # Errors
+    /// [`PqoError::Persist`] when the snapshot is unreadable or corrupt, in
+    /// addition to the [`PqoService::register`] errors.
+    pub fn register_restored(
+        &self,
+        template: Arc<QueryTemplate>,
+        config: ScrConfig,
+        snapshot: &mut impl Read,
+    ) -> Result<(), PqoError> {
+        let scr = persist::restore(config, snapshot)?;
+        self.install(template, scr)
+    }
+
+    fn install(&self, template: Arc<QueryTemplate>, scr: Scr) -> Result<(), PqoError> {
+        let name = template.name.clone();
+        let plans = scr.cache().num_plans();
+        let mut shards = self.shards.write().expect("registry lock poisoned");
+        if shards.contains_key(&name) {
+            return Err(PqoError::DuplicateTemplate { name });
+        }
+        shards.insert(
+            name,
+            Arc::new(Shard {
+                engine: QueryEngine::new(template),
+                scr: RwLock::new(scr),
+            }),
+        );
+        drop(shards);
+        self.total_plans.fetch_add(plans, Ordering::Relaxed);
+        self.enforce_global_budget();
+        Ok(())
+    }
+
+    /// Snapshot one template's SCR state into `w` (see [`persist::save`]).
+    ///
+    /// # Errors
+    /// [`PqoError::UnknownTemplate`] / [`PqoError::Persist`].
+    pub fn save(&self, template: &str, w: &mut impl Write) -> Result<(), PqoError> {
+        let shard = self.shard(template)?;
+        let scr = shard.scr_read();
+        persist::save(&scr, w).map_err(|e| PqoError::Persist {
+            message: e.to_string(),
+        })
+    }
+
+    /// Registered template names, sorted.
+    pub fn templates(&self) -> Vec<String> {
+        self.shards
+            .read()
+            .expect("registry lock poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    fn shard(&self, template: &str) -> Result<Arc<Shard>, PqoError> {
+        self.shards
+            .read()
+            .expect("registry lock poisoned")
+            .get(template)
+            .cloned()
+            .ok_or_else(|| PqoError::UnknownTemplate {
+                name: template.to_string(),
+            })
+    }
+
+    /// Serve one instance of the named template — callable from any number
+    /// of threads concurrently.
+    ///
+    /// The fast path (selectivity/cost check hit) runs under the shard's
+    /// read lock; a miss optimizes *outside* all locks, then commits
+    /// `manageCache` under the write lock. Two threads missing on the same
+    /// point may both optimize — the second commit simply extends the
+    /// existing plan's inference region (benign, never violates λ).
+    ///
+    /// # Errors
+    /// [`PqoError::UnknownTemplate`] when `template` is not registered.
+    pub fn get_plan(
+        &self,
+        template: &str,
+        instance: &QueryInstance,
+    ) -> Result<PlanChoice, PqoError> {
+        let shard = self.shard(template)?;
+        let sv = shard.engine.compute_svector(instance);
+
+        if let Some(choice) = shard.scr_read().try_cached_plan(&sv, &shard.engine) {
+            return Ok(choice);
+        }
+
+        // Miss: the optimizer call happens with no lock held.
+        let opt = shard.engine.optimize(&sv);
+        let plan = Arc::clone(&opt.plan);
+        {
+            let mut scr = shard.scr_write();
+            let before = scr.cache().num_plans();
+            scr.manage_cache_entry(&sv, opt, &shard.engine);
+            let after = scr.cache().num_plans();
+            // Exact-delta accounting under the shard write lock.
+            if after >= before {
+                self.total_plans
+                    .fetch_add(after - before, Ordering::Relaxed);
+            } else {
+                self.total_plans
+                    .fetch_sub(before - after, Ordering::Relaxed);
+            }
+        }
+        self.enforce_global_budget();
+        Ok(PlanChoice {
+            plan,
+            optimized: true,
+        })
+    }
+
+    /// Total plans cached across all templates (O(1): the running total).
+    pub fn total_plans(&self) -> usize {
+        self.total_plans.load(Ordering::Relaxed)
+    }
+
+    /// Total optimizer calls across all templates.
+    pub fn total_optimizer_calls(&self) -> u64 {
+        let shards = self.shards.read().expect("registry lock poisoned");
+        shards
+            .values()
+            .map(|s| s.engine.stats().optimize_calls)
+            .sum()
+    }
+
+    /// Plans evicted by the *global* budget (per-template budgets count in
+    /// each SCR's own stats).
+    pub fn global_evictions(&self) -> u64 {
+        self.global_evictions.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of one template's technique counters (lock-free reads of
+    /// the atomic cells, briefly holding the shard read lock).
+    ///
+    /// # Errors
+    /// [`PqoError::UnknownTemplate`].
+    pub fn scr_stats(&self, template: &str) -> Result<ScrStats, PqoError> {
+        Ok(self.shard(template)?.scr_read().stats())
+    }
+
+    /// Snapshot of one template's engine counters.
+    ///
+    /// # Errors
+    /// [`PqoError::UnknownTemplate`].
+    pub fn engine_stats(&self, template: &str) -> Result<EngineStats, PqoError> {
+        Ok(self.shard(template)?.engine.stats())
+    }
+
+    /// Run a closure against one template's SCR state under the read lock
+    /// (e.g. invariant checks in tests, cache introspection in tools).
+    ///
+    /// # Errors
+    /// [`PqoError::UnknownTemplate`].
+    pub fn with_scr<R>(&self, template: &str, f: impl FnOnce(&Scr) -> R) -> Result<R, PqoError> {
+        Ok(f(&self.shard(template)?.scr_read()))
+    }
+
+    /// Global LFU enforcement: O(1) budget check against the running total;
+    /// each eviction makes one pass over the shards to pick the
+    /// minimum-aggregate-usage plan (Section 6.3.1 lifted one level).
+    fn enforce_global_budget(&self) {
+        let Some(budget) = self.global_plan_budget else {
+            return;
+        };
+        while self.total_plans.load(Ordering::Relaxed) > budget {
+            let victim: Option<(u64, String, Arc<Shard>, PlanFingerprint)> = {
+                let shards = self.shards.read().expect("registry lock poisoned");
+                let mut best: Option<(u64, String, Arc<Shard>, PlanFingerprint)> = None;
+                for (name, shard) in shards.iter() {
+                    let scr = shard.scr_read();
+                    if let Some(fp) = scr.cache().min_usage_plan() {
+                        let usage = scr.cache().plan_usage(fp);
+                        let better = match &best {
+                            None => true,
+                            Some((u, n, _, _)) => (usage, name) < (*u, n),
+                        };
+                        if better {
+                            best = Some((usage, name.clone(), Arc::clone(shard), fp));
+                        }
+                    }
+                }
+                best
+            };
+            let Some((_, _, shard, fp)) = victim else {
+                break;
+            };
+            let mut scr = shard.scr_write();
+            let before = scr.cache().num_plans();
+            if scr.cache().contains_plan(fp) {
+                scr.evict_plan(fp);
+            }
+            let after = scr.cache().num_plans();
+            drop(scr);
+            if before > after {
+                self.total_plans
+                    .fetch_sub(before - after, Ordering::Relaxed);
+                self.global_evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            // If another thread raced us to this victim, loop and re-check
+            // the (already-decremented) total.
+        }
+    }
+}
+
+impl Default for PqoService {
+    fn default() -> Self {
+        PqoService::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{inst_at, single_rel_template};
+
+    fn service_two_templates() -> (PqoService, Arc<QueryTemplate>, Arc<QueryTemplate>) {
+        let t_orders = single_rel_template("q_orders", "orders", "o_totalprice", "o_orderdate");
+        let t_line = single_rel_template("q_lineitem", "lineitem", "l_shipdate", "l_extendedprice");
+        let s = PqoService::new();
+        s.register(Arc::clone(&t_orders), ScrConfig::new(2.0).unwrap())
+            .unwrap();
+        s.register(Arc::clone(&t_line), ScrConfig::new(1.5).unwrap())
+            .unwrap();
+        (s, t_orders, t_line)
+    }
+
+    #[test]
+    fn service_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PqoService>();
+    }
+
+    #[test]
+    fn serves_templates_with_typed_errors() {
+        let (s, t_orders, _) = service_two_templates();
+        assert_eq!(
+            s.templates(),
+            vec!["q_lineitem".to_string(), "q_orders".to_string()]
+        );
+
+        let q = inst_at(&t_orders, &[0.1, 0.5]);
+        assert!(s.get_plan("q_orders", &q).unwrap().optimized);
+        assert!(!s.get_plan("q_orders", &q).unwrap().optimized);
+
+        let err = s.get_plan("nope", &q).unwrap_err();
+        assert!(matches!(err, PqoError::UnknownTemplate { ref name } if name == "nope"));
+        let err = s
+            .register(
+                single_rel_template("q_orders", "orders", "o_totalprice", "o_orderdate"),
+                ScrConfig::new(2.0).unwrap(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, PqoError::DuplicateTemplate { ref name } if name == "q_orders"));
+        assert!(matches!(
+            PqoService::with_global_budget(0),
+            Err(PqoError::InvalidBudget { budget: 0 })
+        ));
+    }
+
+    #[test]
+    fn running_total_matches_recount() {
+        let (s, t_orders, t_line) = service_two_templates();
+        for i in 1..=9 {
+            let p = [0.1 * i as f64, 1.0 - 0.1 * i as f64];
+            let _ = s.get_plan("q_orders", &inst_at(&t_orders, &p)).unwrap();
+            let _ = s.get_plan("q_lineitem", &inst_at(&t_line, &p)).unwrap();
+            let recount: usize = s
+                .templates()
+                .iter()
+                .map(|n| s.with_scr(n, |scr| scr.cache().num_plans()).unwrap())
+                .sum();
+            assert_eq!(s.total_plans(), recount);
+        }
+    }
+
+    #[test]
+    fn global_budget_holds_across_shards() {
+        let t_orders = single_rel_template("q_orders", "orders", "o_totalprice", "o_orderdate");
+        let t_line = single_rel_template("q_lineitem", "lineitem", "l_shipdate", "l_extendedprice");
+        let s = PqoService::with_global_budget(3).unwrap();
+        let mut cfg = ScrConfig::new(1.02).unwrap();
+        cfg.lambda_r = 0.0; // store aggressively to stress the budget
+        s.register(Arc::clone(&t_orders), cfg.clone()).unwrap();
+        s.register(Arc::clone(&t_line), cfg).unwrap();
+        let probes: [[f64; 2]; 6] = [
+            [0.001, 0.9],
+            [0.9, 0.001],
+            [0.9, 0.9],
+            [0.002, 0.95],
+            [0.95, 0.002],
+            [0.85, 0.95],
+        ];
+        for p in probes {
+            let _ = s.get_plan("q_orders", &inst_at(&t_orders, &p)).unwrap();
+            let _ = s.get_plan("q_lineitem", &inst_at(&t_line, &p)).unwrap();
+            assert!(
+                s.total_plans() <= 3,
+                "global budget violated: {}",
+                s.total_plans()
+            );
+        }
+        assert!(s.global_evictions() > 0, "tight budget must evict");
+        for name in s.templates() {
+            s.with_scr(&name, |scr| assert!(scr.cache().check_invariants().is_ok()))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn save_restore_roundtrip_through_service() {
+        let (s, t_orders, _) = service_two_templates();
+        for i in 1..=8 {
+            let _ = s
+                .get_plan("q_orders", &inst_at(&t_orders, &[0.1 * i as f64, 0.5]))
+                .unwrap();
+        }
+        let mut buf = Vec::new();
+        s.save("q_orders", &mut buf).unwrap();
+        assert!(matches!(
+            s.save("nope", &mut Vec::new()),
+            Err(PqoError::UnknownTemplate { .. })
+        ));
+
+        let s2 = PqoService::new();
+        s2.register_restored(
+            Arc::clone(&t_orders),
+            ScrConfig::new(2.0).unwrap(),
+            &mut buf.as_slice(),
+        )
+        .unwrap();
+        assert_eq!(
+            s2.with_scr("q_orders", |scr| scr.cache().num_plans())
+                .unwrap(),
+            s.with_scr("q_orders", |scr| scr.cache().num_plans())
+                .unwrap(),
+        );
+        assert_eq!(
+            s2.total_plans(),
+            s2.with_scr("q_orders", |s| s.cache().num_plans()).unwrap()
+        );
+        // A warm-region instance serves without re-optimizing.
+        let q = inst_at(&t_orders, &[0.4, 0.5]);
+        assert!(!s2.get_plan("q_orders", &q).unwrap().optimized);
+
+        let err = s2
+            .register_restored(
+                single_rel_template("fresh", "orders", "o_totalprice", "o_orderdate"),
+                ScrConfig::new(2.0).unwrap(),
+                &mut &b"garbage-not-a-snapshot"[..],
+            )
+            .unwrap_err();
+        assert!(matches!(err, PqoError::Persist { .. }), "{err}");
+    }
+
+    #[test]
+    fn concurrent_get_plan_on_shared_service() {
+        let (s, t_orders, t_line) = service_two_templates();
+        let s = Arc::new(s);
+        std::thread::scope(|scope| {
+            for k in 0..8 {
+                let s = Arc::clone(&s);
+                let (t_o, t_l) = (Arc::clone(&t_orders), Arc::clone(&t_line));
+                scope.spawn(move || {
+                    for i in 0..20 {
+                        let p = [0.05 + 0.045 * ((i + k) % 20) as f64, 0.5];
+                        if k % 2 == 0 {
+                            s.get_plan("q_orders", &inst_at(&t_o, &p)).unwrap();
+                        } else {
+                            s.get_plan("q_lineitem", &inst_at(&t_l, &p)).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        for name in s.templates() {
+            s.with_scr(&name, |scr| assert!(scr.cache().check_invariants().is_ok()))
+                .unwrap();
+        }
+        let stats = s.scr_stats("q_orders").unwrap();
+        assert!(stats.selectivity_hits + stats.cost_hits + stats.optimizer_calls > 0);
+    }
+}

@@ -51,7 +51,12 @@ pub struct LogSelIndex {
 impl LogSelIndex {
     /// Empty index over `dims`-dimensional selectivity vectors.
     pub fn new(dims: usize) -> Self {
-        LogSelIndex { dims, root: None, tree_size: 0, pending: Vec::new() }
+        LogSelIndex {
+            dims,
+            root: None,
+            tree_size: 0,
+            pending: Vec::new(),
+        }
     }
 
     /// Number of indexed points.
@@ -66,13 +71,19 @@ impl LogSelIndex {
 
     /// Map a selectivity vector to log space.
     pub fn to_log(selectivities: &[f64]) -> Vec<f64> {
-        selectivities.iter().map(|&s| s.max(f64::MIN_POSITIVE).ln()).collect()
+        selectivities
+            .iter()
+            .map(|&s| s.max(f64::MIN_POSITIVE).ln())
+            .collect()
     }
 
     /// Insert an instance-list index at the given selectivities.
     pub fn insert(&mut self, selectivities: &[f64], item: usize) {
         assert_eq!(selectivities.len(), self.dims, "dimension mismatch");
-        self.pending.push(Point { coords: Self::to_log(selectivities), item });
+        self.pending.push(Point {
+            coords: Self::to_log(selectivities),
+            item,
+        });
         if self.pending.len() > self.tree_size.max(16) {
             self.rebuild();
         }
@@ -201,7 +212,11 @@ fn nn_walk(
         (n.right.as_deref(), n.left.as_deref())
     };
     nn_walk(near, q, k, heap, push);
-    let worst = if heap.len() < k { f64::INFINITY } else { heap[heap.len() - 1].0 };
+    let worst = if heap.len() < k {
+        f64::INFINITY
+    } else {
+        heap[heap.len() - 1].0
+    };
     if diff.abs() <= worst {
         nn_walk(far, q, k, heap, push);
     }
@@ -210,7 +225,8 @@ fn nn_walk(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use pqo_rand::rngs::StdRng;
+    use pqo_rand::{Rng, SeedableRng};
 
     fn brute_nearest(points: &[Vec<f64>], q: &[f64], k: usize) -> Vec<(f64, usize)> {
         let ql = LogSelIndex::to_log(q);
@@ -238,7 +254,13 @@ mod tests {
     fn within_radius_matches_gl_bound() {
         // within(q, ln λ) must return exactly the entries with G·L ≤ λ.
         let mut idx = LogSelIndex::new(2);
-        let points = [[0.1, 0.1], [0.12, 0.1], [0.4, 0.1], [0.1, 0.45], [0.105, 0.098]];
+        let points = [
+            [0.1, 0.1],
+            [0.12, 0.1],
+            [0.4, 0.1],
+            [0.1, 0.45],
+            [0.105, 0.098],
+        ];
         for (i, p) in points.iter().enumerate() {
             idx.insert(p, i);
         }
@@ -271,8 +293,9 @@ mod tests {
     #[test]
     fn nearest_returns_k_ascending() {
         let mut idx = LogSelIndex::new(3);
-        let pts: Vec<Vec<f64>> =
-            (0..50).map(|i| vec![0.01 * (i + 1) as f64, 0.3, 0.02 * (i + 1) as f64]).collect();
+        let pts: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![0.01 * (i + 1) as f64, 0.3, 0.02 * (i + 1) as f64])
+            .collect();
         for (i, p) in pts.iter().enumerate() {
             idx.insert(p, i);
         }
@@ -306,32 +329,41 @@ mod tests {
         assert!(idx.nearest(&[0.1, 0.1], 0).is_empty());
     }
 
-    proptest! {
-        #[test]
-        fn nearest_matches_brute_force(
-            pts in proptest::collection::vec(proptest::collection::vec(0.001f64..1.0, 3), 1..120),
-            q in proptest::collection::vec(0.001f64..1.0, 3),
-            k in 1usize..8,
-        ) {
+    fn random_points(rng: &mut StdRng, dims: usize, max_n: usize) -> Vec<Vec<f64>> {
+        let n = rng.gen_range(1..max_n);
+        (0..n)
+            .map(|_| (0..dims).map(|_| rng.gen_range(0.001..1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn nearest_matches_brute_force_randomized() {
+        let mut rng = StdRng::seed_from_u64(0x5eed_5917);
+        for _ in 0..256 {
+            let pts = random_points(&mut rng, 3, 120);
+            let q: Vec<f64> = (0..3).map(|_| rng.gen_range(0.001..1.0)).collect();
+            let k = rng.gen_range(1..8usize);
             let mut idx = LogSelIndex::new(3);
             for (i, p) in pts.iter().enumerate() {
                 idx.insert(p, i);
             }
             let got = idx.nearest(&q, k);
             let want = brute_nearest(&pts, &q, k);
-            prop_assert_eq!(got.len(), want.len());
+            assert_eq!(got.len(), want.len());
             for (g, w) in got.iter().zip(&want) {
                 // Items may differ on exact ties; distances must agree.
-                prop_assert!((g.0 - w.0).abs() < 1e-9);
+                assert!((g.0 - w.0).abs() < 1e-9, "tree {} vs brute {}", g.0, w.0);
             }
         }
+    }
 
-        #[test]
-        fn within_matches_brute_force(
-            pts in proptest::collection::vec(proptest::collection::vec(0.001f64..1.0, 2), 1..120),
-            q in proptest::collection::vec(0.001f64..1.0, 2),
-            radius in 0.0f64..3.0,
-        ) {
+    #[test]
+    fn within_matches_brute_force_randomized() {
+        let mut rng = StdRng::seed_from_u64(0x5eed_3417);
+        for _ in 0..256 {
+            let pts = random_points(&mut rng, 2, 120);
+            let q: Vec<f64> = (0..2).map(|_| rng.gen_range(0.001..1.0)).collect();
+            let radius = rng.gen_range(0.0..3.0);
             let mut idx = LogSelIndex::new(2);
             for (i, p) in pts.iter().enumerate() {
                 idx.insert(p, i);
@@ -348,7 +380,7 @@ mod tests {
                 .filter(|(_, p)| l1(&LogSelIndex::to_log(p), &ql) <= radius)
                 .map(|(i, _)| i)
                 .collect();
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want);
         }
     }
 }

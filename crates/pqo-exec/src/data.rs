@@ -24,8 +24,8 @@ use std::sync::Arc;
 
 use pqo_catalog::table::TableDef;
 use pqo_catalog::Catalog;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pqo_rand::rngs::StdRng;
+use pqo_rand::SeedableRng;
 
 /// Default downscale factor.
 pub const DEFAULT_DIVISOR: u64 = 1000;
@@ -54,14 +54,20 @@ pub struct ScaledTable {
 }
 
 impl ScaledTable {
-    fn build(def: &Arc<TableDef>, divisor: u64, seed: u64, pk_grid: &BTreeMap<String, (f64, usize)>) -> Self {
+    fn build(
+        def: &Arc<TableDef>,
+        divisor: u64,
+        seed: u64,
+        pk_grid: &BTreeMap<String, (f64, usize)>,
+    ) -> Self {
         let rows = ((def.row_count / divisor.max(1)) as usize)
             .clamp(MIN_ROWS, MAX_ROWS)
             .min((def.row_count as usize).max(1));
         let stride = def.row_count as f64 / rows as f64;
         let mut columns = Vec::with_capacity(def.columns.len());
         for (ci, col) in def.columns.iter().enumerate() {
-            let mut rng = StdRng::seed_from_u64(seed ^ (ci as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (ci as u64).wrapping_mul(0x9E3779B97F4A7C15));
             let data: Vec<f64> = if col.name == format!("{}_pk", def.name) {
                 (0..rows).map(|r| r as f64 * stride).collect()
             } else if let Some(target) = col.name.strip_suffix("_fk") {
@@ -76,7 +82,9 @@ impl ScaledTable {
                     })
                     .collect()
             } else {
-                (0..rows).map(|_| col.distribution.sample(&mut rng)).collect()
+                (0..rows)
+                    .map(|_| col.distribution.sample(&mut rng))
+                    .collect()
             };
             columns.push(data);
         }
@@ -86,14 +94,24 @@ impl ScaledTable {
             .enumerate()
             .map(|(ci, col)| {
                 col.indexed.then(|| {
-                    let mut ix: Vec<(f64, u32)> =
-                        columns[ci].iter().enumerate().map(|(r, &v)| (v, r as u32)).collect();
+                    let mut ix: Vec<(f64, u32)> = columns[ci]
+                        .iter()
+                        .enumerate()
+                        .map(|(r, &v)| (v, r as u32))
+                        .collect();
                     ix.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
                     ix
                 })
             })
             .collect();
-        ScaledTable { name: def.name.clone(), full_rows: def.row_count, rows, stride, columns, indexes }
+        ScaledTable {
+            name: def.name.clone(),
+            full_rows: def.row_count,
+            rows,
+            stride,
+            columns,
+            indexes,
+        }
     }
 
     /// Value of column `c` at row `r`.
@@ -156,7 +174,10 @@ impl Database {
             .tables()
             .map(|t| {
                 let tseed = seed ^ fnv(&t.name);
-                (t.name.clone(), ScaledTable::build(t, divisor, tseed, &pk_grid))
+                (
+                    t.name.clone(),
+                    ScaledTable::build(t, divisor, tseed, &pk_grid),
+                )
             })
             .collect();
         Database { tables, divisor }
@@ -164,7 +185,9 @@ impl Database {
 
     /// Look up a materialized table.
     pub fn table(&self, name: &str) -> &ScaledTable {
-        self.tables.get(name).unwrap_or_else(|| panic!("table `{name}` not materialized"))
+        self.tables
+            .get(name)
+            .unwrap_or_else(|| panic!("table `{name}` not materialized"))
     }
 
     /// The downscale factor the database was built with.
@@ -201,7 +224,7 @@ mod tests {
         let db = db();
         assert_eq!(db.table("lineitem").rows, 6000);
         assert_eq!(db.table("orders").rows, 1500);
-        assert_eq!(db.table("region").rows, 5.max(MIN_ROWS).min(5)); // tiny table keeps its 5 rows
+        assert_eq!(db.table("region").rows, 5); // tiny table keeps its 5 rows (never upscaled past row_count)
         assert!(db.total_rows() > 8000);
     }
 
@@ -238,7 +261,10 @@ mod tests {
         let li = db.table("lineitem");
         // l_shipdate is indexed; find its column position.
         let cat = schemas::tpch_skew();
-        let c = cat.expect_table("lineitem").column_index("l_shipdate").unwrap();
+        let c = cat
+            .expect_table("lineitem")
+            .column_index("l_shipdate")
+            .unwrap();
         let v = 1200.0;
         let via_index = li.index_range_le(c, v).len();
         let via_scan = li.columns[c].iter().filter(|&&x| x <= v).count();
@@ -256,7 +282,10 @@ mod tests {
         assert!(li.indexes[orders_fk_col].is_some(), "orders_fk is indexed");
         let probe = li.columns[orders_fk_col][17];
         let via_index = li.index_lookup_eq(orders_fk_col, probe).len();
-        let via_scan = li.columns[orders_fk_col].iter().filter(|&&x| x == probe).count();
+        let via_scan = li.columns[orders_fk_col]
+            .iter()
+            .filter(|&&x| x == probe)
+            .count();
         assert_eq!(via_index, via_scan);
         assert!(via_index >= 1);
     }
@@ -265,9 +294,15 @@ mod tests {
     fn deterministic_per_seed() {
         let a = Database::build(&schemas::tpch_skew(), 1000, 7);
         let b = Database::build(&schemas::tpch_skew(), 1000, 7);
-        assert_eq!(a.table("lineitem").columns[3], b.table("lineitem").columns[3]);
+        assert_eq!(
+            a.table("lineitem").columns[3],
+            b.table("lineitem").columns[3]
+        );
         let c = Database::build(&schemas::tpch_skew(), 1000, 8);
-        assert_ne!(a.table("lineitem").columns[3], c.table("lineitem").columns[3]);
+        assert_ne!(
+            a.table("lineitem").columns[3],
+            c.table("lineitem").columns[3]
+        );
     }
 
     #[test]
@@ -280,8 +315,7 @@ mod tests {
         let li = db.table("lineitem");
         for target in [0.1, 0.4, 0.8] {
             let v = hist.quantile(target);
-            let actual =
-                li.columns[c].iter().filter(|&&x| x <= v).count() as f64 / li.rows as f64;
+            let actual = li.columns[c].iter().filter(|&&x| x <= v).count() as f64 / li.rows as f64;
             assert!(
                 (actual - target).abs() < 0.05,
                 "target {target} actual {actual} for value {v}"

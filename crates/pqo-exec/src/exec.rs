@@ -38,7 +38,10 @@ struct Tuples {
 
 impl Tuples {
     fn new(rels: Vec<usize>) -> Self {
-        Tuples { rels, data: Vec::new() }
+        Tuples {
+            rels,
+            data: Vec::new(),
+        }
     }
 
     fn len(&self) -> usize {
@@ -50,7 +53,10 @@ impl Tuples {
     }
 
     fn slot(&self, rel: usize) -> usize {
-        self.rels.iter().position(|&r| r == rel).expect("relation not in tuple")
+        self.rels
+            .iter()
+            .position(|&r| r == rel)
+            .expect("relation not in tuple")
     }
 
     fn row(&self, tup: usize, slot: usize) -> u32 {
@@ -117,13 +123,19 @@ impl Ctx<'_> {
 
     /// The column of `rel` used by join edge `e`.
     fn edge_col(&self, e: usize, rel: usize) -> usize {
-        self.template.join_edges[e].column_on(rel).expect("edge touches relation")
+        self.template.join_edges[e]
+            .column_on(rel)
+            .expect("edge touches relation")
     }
 
     /// Key value of edge `e` on whichever side lives inside `t`'s tuple.
     fn edge_key(&self, t: &Tuples, tup: usize, e: usize) -> u64 {
         let edge = &self.template.join_edges[e];
-        let (rel, col) = if t.rels.contains(&edge.left.0) { edge.left } else { edge.right };
+        let (rel, col) = if t.rels.contains(&edge.left.0) {
+            edge.left
+        } else {
+            edge.right
+        };
         let row = t.row(tup, t.slot(rel));
         self.tables[rel].value(col, row).to_bits()
     }
@@ -147,11 +159,18 @@ pub fn execute(
     let ctx = Ctx {
         template,
         instance,
-        tables: template.relations.iter().map(|r| db.table(&r.table.name)).collect(),
+        tables: template
+            .relations
+            .iter()
+            .map(|r| db.table(&r.table.name))
+            .collect(),
     };
     let start = Instant::now();
     let out = eval(&ctx, plan.root());
-    ExecResult { rows: out.rows(), wall: start.elapsed() }
+    ExecResult {
+        rows: out.rows(),
+        wall: start.elapsed(),
+    }
 }
 
 fn eval(ctx: &Ctx<'_>, node: &PlanNode) -> Stream {
@@ -165,7 +184,10 @@ fn eval(ctx: &Ctx<'_>, node: &PlanNode) -> Stream {
             }
             Stream::Tuples(t)
         }
-        PlanOp::IndexSeek { relation, seek_pred } => {
+        PlanOp::IndexSeek {
+            relation,
+            seek_pred,
+        } => {
             let p = &ctx.template.param_preds[*seek_pred];
             let v = ctx.instance.values[*seek_pred];
             let table = ctx.tables[*relation];
@@ -191,8 +213,12 @@ fn eval(ctx: &Ctx<'_>, node: &PlanNode) -> Stream {
             Stream::Tuples(t)
         }
         PlanOp::HashJoin { build_left, edges } => {
-            let Stream::Tuples(l) = eval(ctx, &node.children[0]) else { panic!("join over groups") };
-            let Stream::Tuples(r) = eval(ctx, &node.children[1]) else { panic!("join over groups") };
+            let Stream::Tuples(l) = eval(ctx, &node.children[0]) else {
+                panic!("join over groups")
+            };
+            let Stream::Tuples(r) = eval(ctx, &node.children[1]) else {
+                panic!("join over groups")
+            };
             let (build, probe) = if *build_left { (&l, &r) } else { (&r, &l) };
             let mut map: HashMap<Vec<u64>, Vec<usize>> = HashMap::new();
             for tup in 0..build.len() {
@@ -201,11 +227,17 @@ fn eval(ctx: &Ctx<'_>, node: &PlanNode) -> Stream {
             }
             let mut out = Tuples::new([l.rels.clone(), r.rels.clone()].concat());
             for ptup in 0..probe.len() {
-                let key: Vec<u64> = edges.iter().map(|&e| ctx.edge_key(probe, ptup, e)).collect();
+                let key: Vec<u64> = edges
+                    .iter()
+                    .map(|&e| ctx.edge_key(probe, ptup, e))
+                    .collect();
                 if let Some(matches) = map.get(&key) {
                     for &btup in matches {
-                        let (ltup, rtup) =
-                            if *build_left { (btup, ptup) } else { (ptup, btup) };
+                        let (ltup, rtup) = if *build_left {
+                            (btup, ptup)
+                        } else {
+                            (ptup, btup)
+                        };
                         out.data.extend_from_slice(l.tuple(ltup));
                         out.data.extend_from_slice(r.tuple(rtup));
                     }
@@ -214,13 +246,21 @@ fn eval(ctx: &Ctx<'_>, node: &PlanNode) -> Stream {
             Stream::Tuples(out)
         }
         PlanOp::MergeJoin { merge_edge, edges } => {
-            let Stream::Tuples(l) = eval(ctx, &node.children[0]) else { panic!("join over groups") };
-            let Stream::Tuples(r) = eval(ctx, &node.children[1]) else { panic!("join over groups") };
+            let Stream::Tuples(l) = eval(ctx, &node.children[0]) else {
+                panic!("join over groups")
+            };
+            let Stream::Tuples(r) = eval(ctx, &node.children[1]) else {
+                panic!("join over groups")
+            };
             // Children deliver rows sorted by the merge key (sorted scans,
             // Sort enforcers or lower merge joins on the same key); we sort
             // key references defensively cheaply via extracted key arrays.
-            let lk: Vec<u64> = (0..l.len()).map(|t| ctx.edge_key(&l, t, *merge_edge)).collect();
-            let rk: Vec<u64> = (0..r.len()).map(|t| ctx.edge_key(&r, t, *merge_edge)).collect();
+            let lk: Vec<u64> = (0..l.len())
+                .map(|t| ctx.edge_key(&l, t, *merge_edge))
+                .collect();
+            let rk: Vec<u64> = (0..r.len())
+                .map(|t| ctx.edge_key(&r, t, *merge_edge))
+                .collect();
             debug_assert!(is_sorted_by_f64(&lk), "merge-join left input not sorted");
             debug_assert!(is_sorted_by_f64(&rk), "merge-join right input not sorted");
             let residual: Vec<usize> = edges.iter().copied().filter(|e| e != merge_edge).collect();
@@ -253,8 +293,14 @@ fn eval(ctx: &Ctx<'_>, node: &PlanNode) -> Stream {
             }
             Stream::Tuples(out)
         }
-        PlanOp::IndexNlj { inner, seek_edge, edges } => {
-            let Stream::Tuples(outer) = eval(ctx, &node.children[0]) else { panic!("join over groups") };
+        PlanOp::IndexNlj {
+            inner,
+            seek_edge,
+            edges,
+        } => {
+            let Stream::Tuples(outer) = eval(ctx, &node.children[0]) else {
+                panic!("join over groups")
+            };
             let inner_col = ctx.edge_col(*seek_edge, *inner);
             let residual: Vec<usize> = edges.iter().copied().filter(|e| e != seek_edge).collect();
             let mut out = Tuples::new([outer.rels.clone(), vec![*inner]].concat());
@@ -278,44 +324,46 @@ fn eval(ctx: &Ctx<'_>, node: &PlanNode) -> Stream {
             Stream::Tuples(out)
         }
         PlanOp::HashAggregate => {
-            let Stream::Tuples(input) = eval(ctx, &node.children[0]) else { panic!("nested aggregate") };
+            let Stream::Tuples(input) = eval(ctx, &node.children[0]) else {
+                panic!("nested aggregate")
+            };
             let mut groups: Vec<u64> = (0..input.len()).map(|t| group_of(ctx, &input, t)).collect();
             groups.sort_unstable();
             groups.dedup();
             Stream::Groups(groups)
         }
         PlanOp::StreamAggregate => {
-            let Stream::Tuples(input) = eval(ctx, &node.children[0]) else { panic!("nested aggregate") };
+            let Stream::Tuples(input) = eval(ctx, &node.children[0]) else {
+                panic!("nested aggregate")
+            };
             // Sort-based grouping: sort group keys, then a linear pass.
             let mut keys: Vec<u64> = (0..input.len()).map(|t| group_of(ctx, &input, t)).collect();
             keys.sort_unstable();
             keys.dedup();
             Stream::Groups(keys)
         }
-        PlanOp::Sort { key } => {
-            match eval(ctx, &node.children[0]) {
-                Stream::Groups(mut g) => {
-                    g.sort_unstable();
-                    Stream::Groups(g)
-                }
-                Stream::Tuples(t) => {
-                    let (rel, col) = key.unwrap_or((t.rels[0], 0));
-                    let slot = t.slot(rel);
-                    let mut order: Vec<usize> = (0..t.len()).collect();
-                    order.sort_by(|&a, &b| {
-                        let va = ctx.tables[rel].value(col, t.row(a, slot));
-                        let vb = ctx.tables[rel].value(col, t.row(b, slot));
-                        va.partial_cmp(&vb).unwrap().then(a.cmp(&b))
-                    });
-                    let mut out = Tuples::new(t.rels.clone());
-                    out.data.reserve(t.data.len());
-                    for tup in order {
-                        out.data.extend_from_slice(t.tuple(tup));
-                    }
-                    Stream::Tuples(out)
-                }
+        PlanOp::Sort { key } => match eval(ctx, &node.children[0]) {
+            Stream::Groups(mut g) => {
+                g.sort_unstable();
+                Stream::Groups(g)
             }
-        }
+            Stream::Tuples(t) => {
+                let (rel, col) = key.unwrap_or((t.rels[0], 0));
+                let slot = t.slot(rel);
+                let mut order: Vec<usize> = (0..t.len()).collect();
+                order.sort_by(|&a, &b| {
+                    let va = ctx.tables[rel].value(col, t.row(a, slot));
+                    let vb = ctx.tables[rel].value(col, t.row(b, slot));
+                    va.partial_cmp(&vb).unwrap().then(a.cmp(&b))
+                });
+                let mut out = Tuples::new(t.rels.clone());
+                out.data.reserve(t.data.len());
+                for tup in order {
+                    out.data.extend_from_slice(t.tuple(tup));
+                }
+                Stream::Tuples(out)
+            }
+        },
     }
 }
 
@@ -324,14 +372,20 @@ fn eval(ctx: &Ctx<'_>, node: &PlanNode) -> Stream {
 /// (independent of join order), or different plans would disagree on the
 /// aggregate's output — plans may only change time, never answers.
 fn group_of(ctx: &Ctx<'_>, t: &Tuples, tup: usize) -> u64 {
-    let groups = ctx.template.aggregate.as_ref().map(|a| a.groups).unwrap_or(1.0) as u64;
+    let groups = ctx
+        .template
+        .aggregate
+        .as_ref()
+        .map(|a| a.groups)
+        .unwrap_or(1.0) as u64;
     let rel = 0;
     let row = t.row(tup, t.slot(rel));
     splitmix(row as u64 ^ 0xA66) % groups.max(1)
 }
 
 fn is_sorted_by_f64(keys: &[u64]) -> bool {
-    keys.windows(2).all(|w| f64::from_bits(w[0]) <= f64::from_bits(w[1]))
+    keys.windows(2)
+        .all(|w| f64::from_bits(w[0]) <= f64::from_bits(w[1]))
 }
 
 #[cfg(test)]
@@ -377,8 +431,14 @@ mod tests {
         let (t, db) = fixture();
         let inst = instance_for_target(&t, &[0.3, 1.0]);
         let scan = Plan::new(PlanNode::leaf(PlanOp::SeqScan { relation: 0 }));
-        let seek = Plan::new(PlanNode::leaf(PlanOp::IndexSeek { relation: 0, seek_pred: 0 }));
-        assert_eq!(execute(&db, &t, &scan, &inst).rows, execute(&db, &t, &seek, &inst).rows);
+        let seek = Plan::new(PlanNode::leaf(PlanOp::IndexSeek {
+            relation: 0,
+            seek_pred: 0,
+        }));
+        assert_eq!(
+            execute(&db, &t, &scan, &inst).rows,
+            execute(&db, &t, &seek, &inst).rows
+        );
     }
 
     #[test]
@@ -386,19 +446,34 @@ mod tests {
         let (t, db) = fixture();
         let inst = instance_for_target(&t, &[0.4, 0.4]);
         let scan = |r: usize| PlanNode::leaf(PlanOp::SeqScan { relation: r });
-        let sorted = |r: usize, c: usize| PlanNode::leaf(PlanOp::SortedIndexScan { relation: r, column: c });
+        let sorted = |r: usize, c: usize| {
+            PlanNode::leaf(PlanOp::SortedIndexScan {
+                relation: r,
+                column: c,
+            })
+        };
         let hash = Plan::new(PlanNode::internal(
-            PlanOp::HashJoin { build_left: true, edges: vec![0] },
+            PlanOp::HashJoin {
+                build_left: true,
+                edges: vec![0],
+            },
             vec![scan(0), scan(1)],
         ));
         let nlj = Plan::new(PlanNode::internal(
-            PlanOp::IndexNlj { inner: 1, seek_edge: 0, edges: vec![0] },
+            PlanOp::IndexNlj {
+                inner: 1,
+                seek_edge: 0,
+                edges: vec![0],
+            },
             vec![scan(0)],
         ));
         // Merge join over sorted index scans on the edge columns:
         // orders_pk is column 0 of orders; orders_fk is column 1 of lineitem.
         let merge = Plan::new(PlanNode::internal(
-            PlanOp::MergeJoin { merge_edge: 0, edges: vec![0] },
+            PlanOp::MergeJoin {
+                merge_edge: 0,
+                edges: vec![0],
+            },
             vec![sorted(0, 0), sorted(1, 1)],
         ));
         let a = execute(&db, &t, &hash, &inst).rows;
@@ -414,7 +489,10 @@ mod tests {
         let (t, db) = fixture();
         let inst = instance_for_target(&t, &[0.4, 0.4]);
         let merge_with_sorts = Plan::new(PlanNode::internal(
-            PlanOp::MergeJoin { merge_edge: 0, edges: vec![0] },
+            PlanOp::MergeJoin {
+                merge_edge: 0,
+                edges: vec![0],
+            },
             vec![
                 PlanNode::internal(
                     PlanOp::Sort { key: Some((0, 0)) },
@@ -427,7 +505,10 @@ mod tests {
             ],
         ));
         let hash = Plan::new(PlanNode::internal(
-            PlanOp::HashJoin { build_left: true, edges: vec![0] },
+            PlanOp::HashJoin {
+                build_left: true,
+                edges: vec![0],
+            },
             vec![
                 PlanNode::leaf(PlanOp::SeqScan { relation: 0 }),
                 PlanNode::leaf(PlanOp::SeqScan { relation: 1 }),
@@ -444,12 +525,16 @@ mod tests {
         // The headline property: whatever plan the optimizer picks, the
         // answer cardinality at a given instance is identical.
         let (t, db) = fixture();
-        let plans: Vec<Plan> =
-            [[0.01, 0.01], [0.9, 0.9], [0.01, 0.9], [0.9, 0.01]].iter().map(|p| plan_for(&t, p)).collect();
+        let plans: Vec<Plan> = [[0.01, 0.01], [0.9, 0.9], [0.01, 0.9], [0.9, 0.01]]
+            .iter()
+            .map(|p| plan_for(&t, p))
+            .collect();
         for target in [[0.05, 0.2], [0.5, 0.5]] {
             let inst = instance_for_target(&t, &target);
-            let counts: Vec<usize> =
-                plans.iter().map(|p| execute(&db, &t, p, &inst).rows).collect();
+            let counts: Vec<usize> = plans
+                .iter()
+                .map(|p| execute(&db, &t, p, &inst).rows)
+                .collect();
             assert!(
                 counts.windows(2).all(|w| w[0] == w[1]),
                 "plans disagree at {target:?}: {counts:?}"
@@ -486,7 +571,8 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use pqo_rand::rngs::StdRng;
+        use pqo_rand::{Rng, SeedableRng};
         use std::sync::OnceLock;
 
         fn shared() -> &'static (Arc<QueryTemplate>, Database) {
@@ -494,57 +580,88 @@ mod tests {
             S.get_or_init(fixture)
         }
 
-        proptest! {
-            #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
-
-            #[test]
-            fn join_algorithms_agree_everywhere(s1 in 0.01f64..1.0, s2 in 0.01f64..1.0) {
-                let (t, db) = shared();
+        #[test]
+        fn join_algorithms_agree_everywhere_randomized() {
+            let (t, db) = shared();
+            let mut rng = StdRng::seed_from_u64(0xe4ec_0001);
+            for _ in 0..32 {
+                let s1 = rng.gen_range(0.01..1.0);
+                let s2 = rng.gen_range(0.01..1.0);
                 let inst = instance_for_target(t, &[s1, s2]);
                 let scan = |r: usize| PlanNode::leaf(PlanOp::SeqScan { relation: r });
                 let hash = Plan::new(PlanNode::internal(
-                    PlanOp::HashJoin { build_left: true, edges: vec![0] },
+                    PlanOp::HashJoin {
+                        build_left: true,
+                        edges: vec![0],
+                    },
                     vec![scan(0), scan(1)],
                 ));
                 let nlj = Plan::new(PlanNode::internal(
-                    PlanOp::IndexNlj { inner: 1, seek_edge: 0, edges: vec![0] },
+                    PlanOp::IndexNlj {
+                        inner: 1,
+                        seek_edge: 0,
+                        edges: vec![0],
+                    },
                     vec![scan(0)],
                 ));
                 let merge = Plan::new(PlanNode::internal(
-                    PlanOp::MergeJoin { merge_edge: 0, edges: vec![0] },
+                    PlanOp::MergeJoin {
+                        merge_edge: 0,
+                        edges: vec![0],
+                    },
                     vec![
-                        PlanNode::leaf(PlanOp::SortedIndexScan { relation: 0, column: 0 }),
-                        PlanNode::leaf(PlanOp::SortedIndexScan { relation: 1, column: 1 }),
+                        PlanNode::leaf(PlanOp::SortedIndexScan {
+                            relation: 0,
+                            column: 0,
+                        }),
+                        PlanNode::leaf(PlanOp::SortedIndexScan {
+                            relation: 1,
+                            column: 1,
+                        }),
                     ],
                 ));
                 let a = execute(db, t, &hash, &inst).rows;
                 let b = execute(db, t, &nlj, &inst).rows;
                 let c = execute(db, t, &merge, &inst).rows;
-                prop_assert_eq!(a, b);
-                prop_assert_eq!(a, c);
+                assert_eq!(a, b);
+                assert_eq!(a, c);
             }
+        }
 
-            #[test]
-            fn scan_fraction_tracks_target(target in 0.05f64..0.95) {
-                let (t, db) = shared();
+        #[test]
+        fn scan_fraction_tracks_target_randomized() {
+            let (t, db) = shared();
+            let mut rng = StdRng::seed_from_u64(0xe4ec_0002);
+            for _ in 0..32 {
+                let target = rng.gen_range(0.05..0.95);
                 let inst = instance_for_target(t, &[target, 1.0]);
                 let scan = Plan::new(PlanNode::leaf(PlanOp::SeqScan { relation: 0 }));
-                let frac = execute(db, t, &scan, &inst).rows as f64
-                    / db.table("orders").rows as f64;
-                prop_assert!((frac - target).abs() < 0.1, "target {target} frac {frac}");
+                let frac =
+                    execute(db, t, &scan, &inst).rows as f64 / db.table("orders").rows as f64;
+                assert!((frac - target).abs() < 0.1, "target {target} frac {frac}");
             }
+        }
 
-            #[test]
-            fn index_access_paths_match_scan(target in 0.02f64..0.98) {
-                let (t, db) = shared();
+        #[test]
+        fn index_access_paths_match_scan_randomized() {
+            let (t, db) = shared();
+            let mut rng = StdRng::seed_from_u64(0xe4ec_0003);
+            for _ in 0..32 {
+                let target = rng.gen_range(0.02..0.98);
                 let inst = instance_for_target(t, &[target, 1.0]);
                 let scan = Plan::new(PlanNode::leaf(PlanOp::SeqScan { relation: 0 }));
-                let seek = Plan::new(PlanNode::leaf(PlanOp::IndexSeek { relation: 0, seek_pred: 0 }));
+                let seek = Plan::new(PlanNode::leaf(PlanOp::IndexSeek {
+                    relation: 0,
+                    seek_pred: 0,
+                }));
                 // orders_pk (col 0) is indexed: ordered full scan.
-                let sorted = Plan::new(PlanNode::leaf(PlanOp::SortedIndexScan { relation: 0, column: 0 }));
+                let sorted = Plan::new(PlanNode::leaf(PlanOp::SortedIndexScan {
+                    relation: 0,
+                    column: 0,
+                }));
                 let a = execute(db, t, &scan, &inst).rows;
-                prop_assert_eq!(execute(db, t, &seek, &inst).rows, a);
-                prop_assert_eq!(execute(db, t, &sorted, &inst).rows, a);
+                assert_eq!(execute(db, t, &seek, &inst).rows, a);
+                assert_eq!(execute(db, t, &sorted, &inst).rows, a);
             }
         }
     }

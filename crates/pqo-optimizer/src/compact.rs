@@ -61,7 +61,9 @@ impl CompactPlan {
     pub fn encode(plan: &Plan) -> Self {
         let mut bytes = Vec::with_capacity(plan.size() * 4);
         encode_node(plan.root(), &mut bytes);
-        CompactPlan { bytes: bytes.into_boxed_slice() }
+        CompactPlan {
+            bytes: bytes.into_boxed_slice(),
+        }
     }
 
     /// Size of the encoding in bytes.
@@ -75,7 +77,8 @@ impl CompactPlan {
     /// Panics on a corrupt encoding (see [`CompactPlan::checked_decode`]
     /// for the fallible variant used by persistence).
     pub fn decode(&self) -> Plan {
-        self.checked_decode().unwrap_or_else(|e| panic!("corrupt compact plan: {e}"))
+        self.checked_decode()
+            .unwrap_or_else(|e| panic!("corrupt compact plan: {e}"))
     }
 
     /// Raw encoded bytes (persistence writes these verbatim).
@@ -95,7 +98,9 @@ impl CompactPlan {
         let mut stack: Vec<PlanNode> = Vec::new();
         let mut i = 0usize;
         fn byte(b: &[u8], i: &mut usize) -> Result<u8, String> {
-            let v = *b.get(*i).ok_or_else(|| format!("truncated at offset {i}", i = *i))?;
+            let v = *b
+                .get(*i)
+                .ok_or_else(|| format!("truncated at offset {i}", i = *i))?;
             *i += 1;
             Ok(v)
         }
@@ -120,26 +125,38 @@ impl CompactPlan {
                 tag::INDEX_SEEK => {
                     let rel = byte(b, &mut i)? as usize;
                     let pred = byte(b, &mut i)? as usize;
-                    stack.push(PlanNode::leaf(PlanOp::IndexSeek { relation: rel, seek_pred: pred }));
+                    stack.push(PlanNode::leaf(PlanOp::IndexSeek {
+                        relation: rel,
+                        seek_pred: pred,
+                    }));
                 }
                 tag::SORTED_INDEX_SCAN => {
                     let rel = byte(b, &mut i)? as usize;
                     let col = byte(b, &mut i)? as usize;
-                    stack.push(PlanNode::leaf(PlanOp::SortedIndexScan { relation: rel, column: col }));
+                    stack.push(PlanNode::leaf(PlanOp::SortedIndexScan {
+                        relation: rel,
+                        column: col,
+                    }));
                 }
                 tag::HASH_JOIN => {
                     let build_left = byte(b, &mut i)? != 0;
                     let edges = edges(b, &mut i)?;
                     let r = pop(&mut stack, "hash-join rhs")?;
                     let l = pop(&mut stack, "hash-join lhs")?;
-                    stack.push(PlanNode::internal(PlanOp::HashJoin { build_left, edges }, vec![l, r]));
+                    stack.push(PlanNode::internal(
+                        PlanOp::HashJoin { build_left, edges },
+                        vec![l, r],
+                    ));
                 }
                 tag::MERGE_JOIN => {
                     let merge_edge = byte(b, &mut i)? as usize;
                     let edges = edges(b, &mut i)?;
                     let r = pop(&mut stack, "merge-join rhs")?;
                     let l = pop(&mut stack, "merge-join lhs")?;
-                    stack.push(PlanNode::internal(PlanOp::MergeJoin { merge_edge, edges }, vec![l, r]));
+                    stack.push(PlanNode::internal(
+                        PlanOp::MergeJoin { merge_edge, edges },
+                        vec![l, r],
+                    ));
                 }
                 tag::INDEX_NLJ => {
                     let inner = byte(b, &mut i)? as usize;
@@ -147,13 +164,21 @@ impl CompactPlan {
                     let edges = edges(b, &mut i)?;
                     let outer = pop(&mut stack, "index-nlj outer")?;
                     stack.push(PlanNode::internal(
-                        PlanOp::IndexNlj { inner, seek_edge, edges },
+                        PlanOp::IndexNlj {
+                            inner,
+                            seek_edge,
+                            edges,
+                        },
                         vec![outer],
                     ));
                 }
                 tag::HASH_AGG | tag::STREAM_AGG => {
                     let child = pop(&mut stack, "aggregate input")?;
-                    let op = if t == tag::HASH_AGG { PlanOp::HashAggregate } else { PlanOp::StreamAggregate };
+                    let op = if t == tag::HASH_AGG {
+                        PlanOp::HashAggregate
+                    } else {
+                        PlanOp::StreamAggregate
+                    };
                     stack.push(PlanNode::internal(op, vec![child]));
                 }
                 tag::SORT => {
@@ -192,7 +217,10 @@ fn encode_node(n: &PlanNode, out: &mut Vec<u8>) {
             out.push(tag::SEQ_SCAN);
             out.push(*relation as u8);
         }
-        PlanOp::IndexSeek { relation, seek_pred } => {
+        PlanOp::IndexSeek {
+            relation,
+            seek_pred,
+        } => {
             out.push(tag::INDEX_SEEK);
             out.push(*relation as u8);
             out.push(*seek_pred as u8);
@@ -212,7 +240,11 @@ fn encode_node(n: &PlanNode, out: &mut Vec<u8>) {
             out.push(u8::try_from(*merge_edge).expect("edge index fits u8"));
             push_edges(edges, out);
         }
-        PlanOp::IndexNlj { inner, seek_edge, edges } => {
+        PlanOp::IndexNlj {
+            inner,
+            seek_edge,
+            edges,
+        } => {
             out.push(tag::INDEX_NLJ);
             out.push(*inner as u8);
             out.push(u8::try_from(*seek_edge).expect("edge index fits u8"));
@@ -267,7 +299,11 @@ pub fn recost_compact(
                 let tb = &template.relations[rel].table;
                 stack.push((
                     base.base_rows[rel],
-                    model.seq_scan(tb.page_count as f64, tb.row_count as f64, base.pred_count[rel]),
+                    model.seq_scan(
+                        tb.page_count as f64,
+                        tb.row_count as f64,
+                        base.pred_count[rel],
+                    ),
                 ));
             }
             tag::INDEX_SEEK => {
@@ -277,7 +313,11 @@ pub fn recost_compact(
                 let fetch = (tb.row_count as f64 * sv.get(pred)).max(1e-9);
                 stack.push((
                     base.base_rows[rel],
-                    model.index_seek(tb.row_count as f64, fetch, base.pred_count[rel].saturating_sub(1)),
+                    model.index_seek(
+                        tb.row_count as f64,
+                        fetch,
+                        base.pred_count[rel].saturating_sub(1),
+                    ),
                 ));
             }
             tag::SORTED_INDEX_SCAN => {
@@ -286,7 +326,11 @@ pub fn recost_compact(
                 let tb = &template.relations[rel].table;
                 stack.push((
                     base.base_rows[rel],
-                    model.sorted_index_scan(tb.page_count as f64, tb.row_count as f64, base.pred_count[rel]),
+                    model.sorted_index_scan(
+                        tb.page_count as f64,
+                        tb.row_count as f64,
+                        base.pred_count[rel],
+                    ),
                 ));
             }
             tag::HASH_JOIN => {
@@ -317,11 +361,19 @@ pub fn recost_compact(
                 let lookup = n_inner * template.join_edges[seek_edge].selectivity;
                 let residual = base.pred_count[inner] + n_edges.saturating_sub(1);
                 let out = or * base.base_rows[inner] * sel;
-                stack.push((out, oc + model.index_nlj(or, n_inner, lookup, residual, out)));
+                stack.push((
+                    out,
+                    oc + model.index_nlj(or, n_inner, lookup, residual, out),
+                ));
             }
             tag::HASH_AGG | tag::STREAM_AGG => {
                 let (ir, ic) = stack.pop().expect("agg input");
-                let g = template.aggregate.as_ref().map(|a| a.groups).unwrap_or(1.0).min(ir);
+                let g = template
+                    .aggregate
+                    .as_ref()
+                    .map(|a| a.groups)
+                    .unwrap_or(1.0)
+                    .min(ir);
                 let cost = if t == tag::HASH_AGG {
                     model.hash_aggregate(ir, g)
                 } else {
@@ -400,14 +452,19 @@ mod tests {
             let compact = CompactPlan::encode(&plan);
             assert_eq!(compact.decode().fingerprint(), plan.fingerprint());
             let m = CostModel::default();
-            assert_eq!(recost(&t, &m, &plan, &sv), recost_compact(&t, &m, &compact, &sv));
+            assert_eq!(
+                recost(&t, &m, &plan, &sv),
+                recost_compact(&t, &m, &compact, &sv)
+            );
         }
     }
 
     #[test]
     #[should_panic(expected = "corrupt compact plan")]
     fn corrupt_bytes_panic() {
-        let cp = CompactPlan { bytes: vec![99u8].into_boxed_slice() };
+        let cp = CompactPlan {
+            bytes: vec![99u8].into_boxed_slice(),
+        };
         let _ = cp.decode();
     }
 }

@@ -67,7 +67,12 @@ impl PlanDiagram {
                 costs.push(r.cost);
             }
         }
-        PlanDiagram { resolution, grid, cells, costs }
+        PlanDiagram {
+            resolution,
+            grid,
+            cells,
+            costs,
+        }
     }
 
     /// Number of distinct plans in the diagram — the paper's plan density.
@@ -85,8 +90,10 @@ impl PlanDiagram {
             *counts.entry(fp).or_insert(0) += 1;
         }
         let total = self.cells.len() as f64;
-        let mut out: Vec<(PlanFingerprint, f64)> =
-            counts.into_iter().map(|(fp, c)| (fp, c as f64 / total)).collect();
+        let mut out: Vec<(PlanFingerprint, f64)> = counts
+            .into_iter()
+            .map(|(fp, c)| (fp, c as f64 / total))
+            .collect();
         out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         out
     }
@@ -98,7 +105,8 @@ impl PlanDiagram {
     pub fn density_by_cost_decile(&self) -> Vec<usize> {
         let mut sorted = self.costs.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let bound = |q: f64| sorted[((q * (sorted.len() - 1) as f64) as usize).min(sorted.len() - 1)];
+        let bound =
+            |q: f64| sorted[((q * (sorted.len() - 1) as f64) as usize).min(sorted.len() - 1)];
         (0..10)
             .map(|dec| {
                 let (lo, hi) = (bound(dec as f64 / 10.0), bound((dec + 1) as f64 / 10.0));
@@ -156,7 +164,10 @@ mod tests {
         assert_eq!(d.cells.len(), 144);
         assert_eq!(d.costs.len(), 144);
         assert_eq!(d.grid.len(), 12);
-        assert!(d.grid.windows(2).all(|w| w[0] < w[1]), "grid must be increasing");
+        assert!(
+            d.grid.windows(2).all(|w| w[0] < w[1]),
+            "grid must be increasing"
+        );
     }
 
     #[test]
@@ -166,7 +177,10 @@ mod tests {
         let cov = d.coverage();
         let total: f64 = cov.iter().map(|&(_, f)| f).sum();
         assert!((total - 1.0).abs() < 1e-9);
-        assert!(cov[0].1 >= cov[cov.len() - 1].1, "coverage must be sorted descending");
+        assert!(
+            cov[0].1 >= cov[cov.len() - 1].1,
+            "coverage must be sorted descending"
+        );
     }
 
     #[test]
@@ -182,7 +196,10 @@ mod tests {
         let max_band = dens.iter().copied().max().unwrap();
         assert!(max_band <= d.distinct_plans());
         let total: usize = dens.iter().sum();
-        assert!(total >= d.distinct_plans(), "each plan must appear in some decile");
+        assert!(
+            total >= d.distinct_plans(),
+            "each plan must appear in some decile"
+        );
     }
 
     #[test]

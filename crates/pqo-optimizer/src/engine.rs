@@ -12,9 +12,15 @@
 //! plans by structural fingerprint so that repeated optimizations returning
 //! the same plan share one allocation — mirroring a real plan cache's
 //! handle semantics.
+//!
+//! Every entry point takes `&self`: the counters are atomics and the intern
+//! table sits behind a `Mutex`, so a shared engine can serve concurrent
+//! `get_plan` callers (the serving-layer requirement) and observers can read
+//! [`QueryEngine::stats`] without blocking servers.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::cost::CostModel;
@@ -25,6 +31,9 @@ use crate::svector::{self, SVector};
 use crate::template::{QueryInstance, QueryTemplate};
 
 /// Call counters and accumulated latencies for the three engine APIs.
+///
+/// This is a point-in-time *snapshot*, returned by value from
+/// [`QueryEngine::stats`]; the live counters inside the engine are atomics.
 #[derive(Debug, Clone, Default)]
 pub struct EngineStats {
     /// Number of full optimizer calls.
@@ -53,6 +62,37 @@ impl EngineStats {
     }
 }
 
+/// Lock-free accumulator pair: call count + total elapsed nanoseconds.
+///
+/// Counters use `Relaxed` ordering throughout: each counter is independent
+/// and observers only need eventually-consistent totals, never cross-counter
+/// ordering.
+#[derive(Debug, Default)]
+struct ApiCounter {
+    calls: AtomicU64,
+    nanos: AtomicU64,
+}
+
+impl ApiCounter {
+    fn record(&self, elapsed: Duration) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn reset(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+        self.nanos.store(0, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> (u64, Duration) {
+        (
+            self.calls.load(Ordering::Relaxed),
+            Duration::from_nanos(self.nanos.load(Ordering::Relaxed)),
+        )
+    }
+}
+
 /// An optimized plan together with its estimated optimal cost.
 #[derive(Debug, Clone)]
 pub struct OptimizedPlan {
@@ -64,12 +104,17 @@ pub struct OptimizedPlan {
 
 /// The engine a PQO technique talks to: one parameterized query template,
 /// a cost model, and the three API entry points with accounting.
+///
+/// `QueryEngine` is `Sync`: all entry points take `&self`, so one engine can
+/// be shared across serving threads without an outer lock.
 #[derive(Debug)]
 pub struct QueryEngine {
     template: Arc<QueryTemplate>,
     cost_model: CostModel,
-    stats: EngineStats,
-    interned: HashMap<PlanFingerprint, Arc<Plan>>,
+    optimize_stat: ApiCounter,
+    recost_stat: ApiCounter,
+    svector_stat: ApiCounter,
+    interned: Mutex<HashMap<PlanFingerprint, Arc<Plan>>>,
 }
 
 impl QueryEngine {
@@ -80,7 +125,14 @@ impl QueryEngine {
 
     /// Create an engine with a custom cost model.
     pub fn with_cost_model(template: Arc<QueryTemplate>, cost_model: CostModel) -> Self {
-        QueryEngine { template, cost_model, stats: EngineStats::default(), interned: HashMap::new() }
+        QueryEngine {
+            template,
+            cost_model,
+            optimize_stat: ApiCounter::default(),
+            recost_stat: ApiCounter::default(),
+            svector_stat: ApiCounter::default(),
+            interned: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The template this engine serves.
@@ -93,41 +145,53 @@ impl QueryEngine {
         &self.cost_model
     }
 
-    /// Accumulated API statistics.
-    pub fn stats(&self) -> &EngineStats {
-        &self.stats
+    /// Point-in-time snapshot of the accumulated API statistics.
+    ///
+    /// Lock-free; never blocks a thread that is inside `optimize`/`recost`.
+    pub fn stats(&self) -> EngineStats {
+        let (optimize_calls, optimize_time) = self.optimize_stat.snapshot();
+        let (recost_calls, recost_time) = self.recost_stat.snapshot();
+        let (svector_calls, svector_time) = self.svector_stat.snapshot();
+        EngineStats {
+            optimize_calls,
+            recost_calls,
+            svector_calls,
+            optimize_time,
+            recost_time,
+            svector_time,
+        }
     }
 
     /// Reset counters (e.g. between workload sequences).
-    pub fn reset_stats(&mut self) {
-        self.stats = EngineStats::default();
+    pub fn reset_stats(&self) {
+        self.optimize_stat.reset();
+        self.recost_stat.reset();
+        self.svector_stat.reset();
     }
 
     /// API 1 (Section 4.2): compute the selectivity vector of an instance.
-    pub fn compute_svector(&mut self, instance: &QueryInstance) -> SVector {
+    pub fn compute_svector(&self, instance: &QueryInstance) -> SVector {
         let start = Instant::now();
         let sv = svector::compute_svector(&self.template, instance);
-        self.stats.svector_time += start.elapsed();
-        self.stats.svector_calls += 1;
+        self.svector_stat.record(start.elapsed());
         sv
     }
 
     /// The traditional optimizer call: optimal plan + cost for `sv`.
-    pub fn optimize(&mut self, sv: &SVector) -> OptimizedPlan {
+    pub fn optimize(&self, sv: &SVector) -> OptimizedPlan {
         let start = Instant::now();
-        let OptimizeResult { plan, cost, .. } = optimizer::optimize(&self.template, &self.cost_model, sv);
-        self.stats.optimize_time += start.elapsed();
-        self.stats.optimize_calls += 1;
+        let OptimizeResult { plan, cost, .. } =
+            optimizer::optimize(&self.template, &self.cost_model, sv);
+        self.optimize_stat.record(start.elapsed());
         let plan = self.intern(plan);
         OptimizedPlan { plan, cost }
     }
 
     /// API 2 (Section 4.2): re-cost a frozen plan at new selectivities.
-    pub fn recost(&mut self, plan: &Plan, sv: &SVector) -> f64 {
+    pub fn recost(&self, plan: &Plan, sv: &SVector) -> f64 {
         let start = Instant::now();
         let cost = recost::recost(&self.template, &self.cost_model, plan, sv);
-        self.stats.recost_time += start.elapsed();
-        self.stats.recost_calls += 1;
+        self.recost_stat.record(start.elapsed());
         cost
     }
 
@@ -139,15 +203,17 @@ impl QueryEngine {
     }
 
     /// Optimize without touching the counters (ground-truth oracle).
-    pub fn optimize_untracked(&mut self, sv: &SVector) -> OptimizedPlan {
-        let OptimizeResult { plan, cost, .. } = optimizer::optimize(&self.template, &self.cost_model, sv);
+    pub fn optimize_untracked(&self, sv: &SVector) -> OptimizedPlan {
+        let OptimizeResult { plan, cost, .. } =
+            optimizer::optimize(&self.template, &self.cost_model, sv);
         let plan = self.intern(plan);
         OptimizedPlan { plan, cost }
     }
 
-    fn intern(&mut self, plan: Plan) -> Arc<Plan> {
+    fn intern(&self, plan: Plan) -> Arc<Plan> {
+        let mut interned = self.interned.lock().expect("plan intern table poisoned");
         Arc::clone(
-            self.interned
+            interned
                 .entry(plan.fingerprint())
                 .or_insert_with(|| Arc::new(plan)),
         )
@@ -163,7 +229,7 @@ mod tests {
     #[test]
     fn counters_track_calls() {
         let t = test_fixtures::two_dim();
-        let mut e = QueryEngine::new(t.clone());
+        let e = QueryEngine::new(t.clone());
         let inst = instance_for_target(&t, &[0.1, 0.2]);
         let sv = e.compute_svector(&inst);
         let opt = e.optimize(&sv);
@@ -177,7 +243,7 @@ mod tests {
     #[test]
     fn untracked_calls_do_not_count() {
         let t = test_fixtures::two_dim();
-        let mut e = QueryEngine::new(t.clone());
+        let e = QueryEngine::new(t.clone());
         let inst = instance_for_target(&t, &[0.1, 0.2]);
         let sv = svector::compute_svector(&t, &inst);
         let opt = e.optimize_untracked(&sv);
@@ -189,18 +255,27 @@ mod tests {
     #[test]
     fn plans_are_interned() {
         let t = test_fixtures::two_dim();
-        let mut e = QueryEngine::new(t.clone());
-        let a = e.optimize(&svector::compute_svector(&t, &instance_for_target(&t, &[0.10, 0.20])));
-        let b = e.optimize(&svector::compute_svector(&t, &instance_for_target(&t, &[0.11, 0.21])));
+        let e = QueryEngine::new(t.clone());
+        let a = e.optimize(&svector::compute_svector(
+            &t,
+            &instance_for_target(&t, &[0.10, 0.20]),
+        ));
+        let b = e.optimize(&svector::compute_svector(
+            &t,
+            &instance_for_target(&t, &[0.11, 0.21]),
+        ));
         if a.plan.fingerprint() == b.plan.fingerprint() {
-            assert!(Arc::ptr_eq(&a.plan, &b.plan), "same fingerprint must share the Arc");
+            assert!(
+                Arc::ptr_eq(&a.plan, &b.plan),
+                "same fingerprint must share the Arc"
+            );
         }
     }
 
     #[test]
     fn recost_matches_optimize_cost_at_same_point() {
         let t = test_fixtures::three_dim();
-        let mut e = QueryEngine::new(t.clone());
+        let e = QueryEngine::new(t.clone());
         let sv = svector::compute_svector(&t, &instance_for_target(&t, &[0.2, 0.1, 0.05]));
         let opt = e.optimize(&sv);
         let rc = e.recost(&opt.plan, &sv);
@@ -210,11 +285,34 @@ mod tests {
     #[test]
     fn reset_stats_clears_counters() {
         let t = test_fixtures::two_dim();
-        let mut e = QueryEngine::new(t.clone());
+        let e = QueryEngine::new(t.clone());
         let sv = svector::compute_svector(&t, &instance_for_target(&t, &[0.3, 0.3]));
         let _ = e.optimize(&sv);
         e.reset_stats();
         assert_eq!(e.stats().optimize_calls, 0);
         assert_eq!(e.stats().optimize_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn engine_is_sync_and_shareable() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QueryEngine>();
+
+        let t = test_fixtures::two_dim();
+        let e = QueryEngine::new(t.clone());
+        std::thread::scope(|s| {
+            for k in 0..4 {
+                let e = &e;
+                let t = &t;
+                s.spawn(move || {
+                    let target = [0.1 + 0.05 * k as f64, 0.2];
+                    let sv = svector::compute_svector(t, &instance_for_target(t, &target));
+                    let opt = e.optimize(&sv);
+                    let _ = e.recost(&opt.plan, &sv);
+                });
+            }
+        });
+        assert_eq!(e.stats().optimize_calls, 4);
+        assert_eq!(e.stats().recost_calls, 4);
     }
 }

@@ -1,0 +1,104 @@
+//! The workspace-wide typed error for public serving APIs.
+//!
+//! Policy (see DESIGN.md "Serving layer"): *misuse of a public API returns a
+//! typed error; panics are reserved for internal cache/memo invariants.*
+//! [`PqoError`] lives in this crate — the lowest layer that both the
+//! optimizer substrate and `pqo-core`'s serving stack can name — so one
+//! error type flows unchanged from `TemplateBuilder::try_build` all the way
+//! up through `PqoService::get_plan`.
+
+/// Error returned by public entry points across `pqo-optimizer` and
+/// `pqo-core` instead of panicking on misuse.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PqoError {
+    /// `get_plan`/lookup named a template that was never registered.
+    UnknownTemplate {
+        /// The unregistered name.
+        name: String,
+    },
+    /// `register` named a template that is already registered.
+    DuplicateTemplate {
+        /// The already-registered name.
+        name: String,
+    },
+    /// A sub-optimality bound outside `[1, ∞)` (or non-finite).
+    InvalidLambda {
+        /// The rejected value.
+        lambda: f64,
+        /// Which knob was invalid (`"λ"`, `"λr"`, `"dynamic λ"`).
+        what: &'static str,
+    },
+    /// A plan budget of zero (a cache must be allowed to hold one plan).
+    InvalidBudget {
+        /// The rejected budget.
+        budget: usize,
+    },
+    /// A structurally invalid query template (disconnected join graph,
+    /// unknown column, too many relations, ...).
+    InvalidTemplate {
+        /// Template name.
+        name: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Loading or saving persisted cache state failed.
+    Persist {
+        /// Human-readable cause (I/O failure, bad header, corrupt section).
+        message: String,
+    },
+}
+
+impl std::fmt::Display for PqoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PqoError::UnknownTemplate { name } => {
+                write!(f, "template `{name}` is not registered")
+            }
+            PqoError::DuplicateTemplate { name } => {
+                write!(f, "template `{name}` is already registered")
+            }
+            PqoError::InvalidLambda { lambda, what } => {
+                write!(
+                    f,
+                    "invalid {what} = {lambda}: bounds must be finite and ≥ 1 (λr ≥ 0)"
+                )
+            }
+            PqoError::InvalidBudget { budget } => {
+                write!(f, "invalid plan budget {budget}: must be ≥ 1")
+            }
+            PqoError::InvalidTemplate { name, reason } => {
+                write!(f, "invalid template `{name}`: {reason}")
+            }
+            PqoError::Persist { message } => write!(f, "persistence error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for PqoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offender() {
+        let e = PqoError::UnknownTemplate { name: "q42".into() };
+        assert!(e.to_string().contains("q42"));
+        let e = PqoError::InvalidLambda {
+            lambda: 0.5,
+            what: "λ",
+        };
+        assert!(e.to_string().contains("0.5"));
+        let e = PqoError::DuplicateTemplate {
+            name: "dash".into(),
+        };
+        assert!(e.to_string().contains("already"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(PqoError::InvalidBudget { budget: 0 });
+        assert!(e.to_string().contains("budget"));
+    }
+}

@@ -28,11 +28,14 @@
 //!   [18]), used to analyze plan density.
 //! * [`engine`] — [`engine::QueryEngine`], the façade every PQO technique
 //!   talks to, with call counters and latency accounting.
+//! * [`error`] — [`error::PqoError`], the typed error returned by public
+//!   entry points across the workspace instead of panicking on misuse.
 
 pub mod compact;
 pub mod cost;
 pub mod diagram;
 pub mod engine;
+pub mod error;
 pub mod optimizer;
 pub mod plan;
 pub mod recost;
@@ -40,6 +43,7 @@ pub mod svector;
 pub mod template;
 
 pub use engine::{EngineStats, QueryEngine};
+pub use error::PqoError;
 pub use plan::{Plan, PlanFingerprint, PlanNode, PlanOp};
 pub use svector::SVector;
 pub use template::{QueryInstance, QueryTemplate};

@@ -49,14 +49,39 @@ type Prop = usize;
 /// The winning physical expression of one memo group.
 #[derive(Debug, Clone)]
 enum Choice {
-    SeqScan { relation: usize },
-    IndexSeek { relation: usize, seek_pred: usize },
-    SortedIndexScan { relation: usize, column: usize },
+    SeqScan {
+        relation: usize,
+    },
+    IndexSeek {
+        relation: usize,
+        seek_pred: usize,
+    },
+    SortedIndexScan {
+        relation: usize,
+        column: usize,
+    },
     /// Explicit sort enforcer over the subset's unordered winner.
     Enforce,
-    HashJoin { left: u32, right: u32, build_left: bool, edges: Vec<usize> },
-    MergeJoin { left: u32, right: u32, left_prop: Prop, right_prop: Prop, merge_edge: usize, edges: Vec<usize> },
-    IndexNlj { outer: u32, inner: usize, seek_edge: usize, edges: Vec<usize> },
+    HashJoin {
+        left: u32,
+        right: u32,
+        build_left: bool,
+        edges: Vec<usize>,
+    },
+    MergeJoin {
+        left: u32,
+        right: u32,
+        left_prop: Prop,
+        right_prop: Prop,
+        merge_edge: usize,
+        edges: Vec<usize>,
+    },
+    IndexNlj {
+        outer: u32,
+        inner: usize,
+        seek_edge: usize,
+        edges: Vec<usize>,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -126,7 +151,13 @@ pub fn optimize(template: &QueryTemplate, model: &CostModel, sv: &SVector) -> Op
     };
 
     // Helper: offer an alternative for (mask, prop).
-    fn consider(groups: &mut [Vec<Option<Group>>], mask: u32, prop: Prop, cost: f64, choice: Choice) {
+    fn consider(
+        groups: &mut [Vec<Option<Group>>],
+        mask: u32,
+        prop: Prop,
+        cost: f64,
+        choice: Choice,
+    ) {
         let slot = &mut groups[mask as usize][prop];
         if slot.as_ref().is_none_or(|g| cost < g.cost) {
             *slot = Some(Group { cost, choice });
@@ -157,7 +188,10 @@ pub fn optimize(template: &QueryTemplate, model: &CostModel, sv: &SVector) -> Op
                     mask,
                     0,
                     model.index_seek(trows, fetch, base.pred_count[rel].saturating_sub(1)),
-                    Choice::IndexSeek { relation: rel, seek_pred: p },
+                    Choice::IndexSeek {
+                        relation: rel,
+                        seek_pred: p,
+                    },
                 );
             }
         }
@@ -166,11 +200,36 @@ pub fn optimize(template: &QueryTemplate, model: &CostModel, sv: &SVector) -> Op
             if kr == rel && t.columns[kc].indexed {
                 let cost = model.sorted_index_scan(pages, trows, base.pred_count[rel]);
                 alternatives += 1;
-                consider(&mut search.groups, mask, k + 1, cost, Choice::SortedIndexScan { relation: rel, column: kc });
-                consider(&mut search.groups, mask, 0, cost, Choice::SortedIndexScan { relation: rel, column: kc });
+                consider(
+                    &mut search.groups,
+                    mask,
+                    k + 1,
+                    cost,
+                    Choice::SortedIndexScan {
+                        relation: rel,
+                        column: kc,
+                    },
+                );
+                consider(
+                    &mut search.groups,
+                    mask,
+                    0,
+                    cost,
+                    Choice::SortedIndexScan {
+                        relation: rel,
+                        column: kc,
+                    },
+                );
             }
         }
-        close_with_enforcers(&mut search.groups, mask, nprops, rows[mask as usize], model, &mut alternatives);
+        close_with_enforcers(
+            &mut search.groups,
+            mask,
+            nprops,
+            rows[mask as usize],
+            model,
+            &mut alternatives,
+        );
     }
 
     // Composite groups in increasing mask order (submasks are smaller).
@@ -186,8 +245,8 @@ pub fn optimize(template: &QueryTemplate, model: &CostModel, sv: &SVector) -> Op
         while s1 > 0 {
             let s2 = mask ^ s1;
             if s1 & low != 0 {
-                let have_children =
-                    search.groups[s1 as usize][0].is_some() && search.groups[s2 as usize][0].is_some();
+                let have_children = search.groups[s1 as usize][0].is_some()
+                    && search.groups[s2 as usize][0].is_some();
                 if have_children {
                     let edges: Vec<usize> = template
                         .join_edges
@@ -208,14 +267,24 @@ pub fn optimize(template: &QueryTemplate, model: &CostModel, sv: &SVector) -> Op
                             mask,
                             0,
                             c1 + c2 + model.hash_join(r1, r2, out),
-                            Choice::HashJoin { left: s1, right: s2, build_left: true, edges: edges.clone() },
+                            Choice::HashJoin {
+                                left: s1,
+                                right: s2,
+                                build_left: true,
+                                edges: edges.clone(),
+                            },
                         );
                         consider(
                             &mut search.groups,
                             mask,
                             0,
                             c1 + c2 + model.hash_join(r2, r1, out),
-                            Choice::HashJoin { left: s1, right: s2, build_left: false, edges: edges.clone() },
+                            Choice::HashJoin {
+                                left: s1,
+                                right: s2,
+                                build_left: false,
+                                edges: edges.clone(),
+                            },
                         );
 
                         // Merge join per crossing edge, consuming sorted
@@ -271,7 +340,8 @@ pub fn optimize(template: &QueryTemplate, model: &CostModel, sv: &SVector) -> Op
                                 if !t.columns[col].indexed {
                                     continue;
                                 }
-                                let lookup = t.row_count as f64 * template.join_edges[e].selectivity;
+                                let lookup =
+                                    t.row_count as f64 * template.join_edges[e].selectivity;
                                 let residual = base.pred_count[inner] + edges.len() - 1;
                                 alternatives += 1;
                                 consider(
@@ -279,8 +349,19 @@ pub fn optimize(template: &QueryTemplate, model: &CostModel, sv: &SVector) -> Op
                                     mask,
                                     0,
                                     outer_cost
-                                        + model.index_nlj(outer_rows, t.row_count as f64, lookup, residual, out),
-                                    Choice::IndexNlj { outer: outer_mask, inner, seek_edge: e, edges: edges.clone() },
+                                        + model.index_nlj(
+                                            outer_rows,
+                                            t.row_count as f64,
+                                            lookup,
+                                            residual,
+                                            out,
+                                        ),
+                                    Choice::IndexNlj {
+                                        outer: outer_mask,
+                                        inner,
+                                        seek_edge: e,
+                                        edges: edges.clone(),
+                                    },
                                 );
                             }
                         }
@@ -289,7 +370,14 @@ pub fn optimize(template: &QueryTemplate, model: &CostModel, sv: &SVector) -> Op
             }
             s1 = (s1 - 1) & mask;
         }
-        close_with_enforcers(&mut search.groups, mask, nprops, out, model, &mut alternatives);
+        close_with_enforcers(
+            &mut search.groups,
+            mask,
+            nprops,
+            out,
+            model,
+            &mut alternatives,
+        );
     }
 
     let join_group = search.groups[full as usize][0]
@@ -337,7 +425,12 @@ pub fn optimize(template: &QueryTemplate, model: &CostModel, sv: &SVector) -> Op
         "DP cost {dp_cost} disagrees with recost {cost} for `{}`",
         template.name
     );
-    OptimizeResult { plan, cost, groups_explored, alternatives_costed: alternatives }
+    OptimizeResult {
+        plan,
+        cost,
+        groups_explored,
+        alternatives_costed: alternatives,
+    }
 }
 
 /// Close a mask's property winners under the Sort enforcer: any required
@@ -357,7 +450,10 @@ fn close_with_enforcers(
     for slot in groups[mask as usize][1..nprops].iter_mut() {
         *alternatives += 1;
         if slot.as_ref().is_none_or(|g| enforced < g.cost) {
-            *slot = Some(Group { cost: enforced, choice: Choice::Enforce });
+            *slot = Some(Group {
+                cost: enforced,
+                choice: Choice::Enforce,
+            });
         }
     }
 }
@@ -367,41 +463,75 @@ fn extract(search: &Search, mask: u32, prop: Prop) -> PlanNode {
         .as_ref()
         .expect("group must exist during extraction");
     match &g.choice {
-        Choice::SeqScan { relation } => PlanNode::leaf(PlanOp::SeqScan { relation: *relation }),
-        Choice::IndexSeek { relation, seek_pred } => {
-            PlanNode::leaf(PlanOp::IndexSeek { relation: *relation, seek_pred: *seek_pred })
-        }
-        Choice::SortedIndexScan { relation, column } => {
-            PlanNode::leaf(PlanOp::SortedIndexScan { relation: *relation, column: *column })
-        }
+        Choice::SeqScan { relation } => PlanNode::leaf(PlanOp::SeqScan {
+            relation: *relation,
+        }),
+        Choice::IndexSeek {
+            relation,
+            seek_pred,
+        } => PlanNode::leaf(PlanOp::IndexSeek {
+            relation: *relation,
+            seek_pred: *seek_pred,
+        }),
+        Choice::SortedIndexScan { relation, column } => PlanNode::leaf(PlanOp::SortedIndexScan {
+            relation: *relation,
+            column: *column,
+        }),
         Choice::Enforce => {
             let input = extract(search, mask, 0);
             let (r, c) = search.keys[prop - 1];
             PlanNode::internal(PlanOp::Sort { key: Some((r, c)) }, vec![input])
         }
-        Choice::HashJoin { left, right, build_left, edges } => {
+        Choice::HashJoin {
+            left,
+            right,
+            build_left,
+            edges,
+        } => {
             // Canonical form: the build side is always the left child, so
             // structurally identical joins fingerprint identically.
             let l = extract(search, *left, 0);
             let r = extract(search, *right, 0);
             let (build, probe) = if *build_left { (l, r) } else { (r, l) };
             PlanNode::internal(
-                PlanOp::HashJoin { build_left: true, edges: edges.clone() },
+                PlanOp::HashJoin {
+                    build_left: true,
+                    edges: edges.clone(),
+                },
                 vec![build, probe],
             )
         }
-        Choice::MergeJoin { left, right, left_prop, right_prop, merge_edge, edges } => {
+        Choice::MergeJoin {
+            left,
+            right,
+            left_prop,
+            right_prop,
+            merge_edge,
+            edges,
+        } => {
             let l = extract(search, *left, *left_prop);
             let r = extract(search, *right, *right_prop);
             PlanNode::internal(
-                PlanOp::MergeJoin { merge_edge: *merge_edge, edges: edges.clone() },
+                PlanOp::MergeJoin {
+                    merge_edge: *merge_edge,
+                    edges: edges.clone(),
+                },
                 vec![l, r],
             )
         }
-        Choice::IndexNlj { outer, inner, seek_edge, edges } => {
+        Choice::IndexNlj {
+            outer,
+            inner,
+            seek_edge,
+            edges,
+        } => {
             let o = extract(search, *outer, 0);
             PlanNode::internal(
-                PlanOp::IndexNlj { inner: *inner, seek_edge: *seek_edge, edges: edges.clone() },
+                PlanOp::IndexNlj {
+                    inner: *inner,
+                    seek_edge: *seek_edge,
+                    edges: edges.clone(),
+                },
                 vec![o],
             )
         }
@@ -426,8 +556,14 @@ mod tests {
         let m = CostModel::default();
         let low = optimize(&t, &m, &SVector(vec![0.001]));
         let high = optimize(&t, &m, &SVector(vec![0.8]));
-        assert!(matches!(low.plan.root().op, PlanOp::IndexSeek { .. }), "low sel should seek");
-        assert!(matches!(high.plan.root().op, PlanOp::SeqScan { .. }), "high sel should scan");
+        assert!(
+            matches!(low.plan.root().op, PlanOp::IndexSeek { .. }),
+            "low sel should seek"
+        );
+        assert!(
+            matches!(high.plan.root().op, PlanOp::SeqScan { .. }),
+            "high sel should scan"
+        );
         assert_ne!(low.plan.fingerprint(), high.plan.fingerprint());
     }
 
@@ -439,7 +575,12 @@ mod tests {
             let sv = sv_for(&t, &target);
             let r = optimize(&t, &m, &sv);
             let rc = recost(&t, &m, &r.plan, &sv);
-            assert!((r.cost - rc).abs() < 1e-9 * r.cost.max(1.0), "{} vs {}", r.cost, rc);
+            assert!(
+                (r.cost - rc).abs() < 1e-9 * r.cost.max(1.0),
+                "{} vs {}",
+                r.cost,
+                rc
+            );
         }
     }
 
@@ -449,10 +590,16 @@ mod tests {
         // not exceed the recost of plans found optimal elsewhere.
         let t = test_fixtures::two_dim();
         let m = CostModel::default();
-        let points: Vec<SVector> = [[0.001, 0.001], [0.9, 0.9], [0.001, 0.9], [0.9, 0.001], [0.1, 0.1]]
-            .iter()
-            .map(|p| sv_for(&t, p))
-            .collect();
+        let points: Vec<SVector> = [
+            [0.001, 0.001],
+            [0.9, 0.9],
+            [0.001, 0.9],
+            [0.9, 0.001],
+            [0.1, 0.1],
+        ]
+        .iter()
+        .map(|p| sv_for(&t, p))
+        .collect();
         let results: Vec<_> = points.iter().map(|sv| optimize(&t, &m, sv)).collect();
         for (i, sv) in points.iter().enumerate() {
             for r in &results {

@@ -47,11 +47,18 @@ pub enum PlanOp {
     /// sorted on the key of `merge_edge` (via sorted scans or explicit Sort
     /// enforcers planted by the optimizer). Remaining `edges` are applied
     /// as residual equality filters.
-    MergeJoin { merge_edge: usize, edges: Vec<usize> },
+    MergeJoin {
+        merge_edge: usize,
+        edges: Vec<usize>,
+    },
     /// Index nested-loops join: the single child is the outer; the inner is
     /// base relation `inner`, reached through the index on its side of
     /// `seek_edge`. Remaining crossing `edges` are applied as residuals.
-    IndexNlj { inner: usize, seek_edge: usize, edges: Vec<usize> },
+    IndexNlj {
+        inner: usize,
+        seek_edge: usize,
+        edges: Vec<usize>,
+    },
     /// Hash aggregation (groups come from the template's aggregate spec).
     HashAggregate,
     /// Sort-based aggregation (includes its sort).
@@ -92,7 +99,10 @@ pub struct PlanNode {
 impl PlanNode {
     /// Leaf constructor.
     pub fn leaf(op: PlanOp) -> Self {
-        PlanNode { op, children: Vec::new() }
+        PlanNode {
+            op,
+            children: Vec::new(),
+        }
     }
 
     /// Internal-node constructor.
@@ -114,7 +124,11 @@ impl PlanNode {
             PlanOp::IndexNlj { inner, .. } => 1u32 << inner,
             _ => 0,
         };
-        own | self.children.iter().map(PlanNode::relation_set).fold(0, |a, b| a | b)
+        own | self
+            .children
+            .iter()
+            .map(PlanNode::relation_set)
+            .fold(0, |a, b| a | b)
     }
 }
 
@@ -130,7 +144,10 @@ impl Plan {
     pub fn new(root: PlanNode) -> Self {
         let mut h = Fnv64::new();
         root.hash(&mut h);
-        Plan { fingerprint: PlanFingerprint(h.finish()), root }
+        Plan {
+            fingerprint: PlanFingerprint(h.finish()),
+            root,
+        }
     }
 
     /// Root node of the tree.
@@ -151,7 +168,10 @@ impl Plan {
     /// Render the plan as an indented operator tree, resolving relation
     /// aliases through `template`.
     pub fn display<'a>(&'a self, template: &'a QueryTemplate) -> PlanDisplay<'a> {
-        PlanDisplay { plan: self, template }
+        PlanDisplay {
+            plan: self,
+            template,
+        }
     }
 }
 
@@ -180,7 +200,10 @@ impl fmt::Display for PlanDisplay<'_> {
             let alias = |r: usize| template.relations[r].alias.clone();
             match &node.op {
                 PlanOp::SeqScan { relation } => writeln!(f, "{pad}SeqScan({})", alias(*relation))?,
-                PlanOp::IndexSeek { relation, seek_pred } => {
+                PlanOp::IndexSeek {
+                    relation,
+                    seek_pred,
+                } => {
                     let p = &template.param_preds[*seek_pred];
                     let col = &template.relations[p.relation].table.columns[p.column].name;
                     writeln!(f, "{pad}IndexSeek({} on {})", alias(*relation), col)?;
@@ -189,15 +212,23 @@ impl fmt::Display for PlanDisplay<'_> {
                     let col = &template.relations[*relation].table.columns[*column].name;
                     writeln!(f, "{pad}SortedIndexScan({} by {})", alias(*relation), col)?;
                 }
-                PlanOp::HashJoin { build_left, .. } => {
-                    writeln!(f, "{pad}HashJoin(build={})", if *build_left { "left" } else { "right" })?
-                }
+                PlanOp::HashJoin { build_left, .. } => writeln!(
+                    f,
+                    "{pad}HashJoin(build={})",
+                    if *build_left { "left" } else { "right" }
+                )?,
                 PlanOp::MergeJoin { merge_edge, .. } => {
                     let e = &template.join_edges[*merge_edge];
                     let col = &template.relations[e.left.0].table.columns[e.left.1].name;
-                    writeln!(f, "{pad}MergeJoin(on {}.{})", template.relations[e.left.0].alias, col)?;
+                    writeln!(
+                        f,
+                        "{pad}MergeJoin(on {}.{})",
+                        template.relations[e.left.0].alias, col
+                    )?;
                 }
-                PlanOp::IndexNlj { inner, .. } => writeln!(f, "{pad}IndexNLJ(inner={})", alias(*inner))?,
+                PlanOp::IndexNlj { inner, .. } => {
+                    writeln!(f, "{pad}IndexNLJ(inner={})", alias(*inner))?
+                }
                 PlanOp::HashAggregate => writeln!(f, "{pad}HashAgg")?,
                 PlanOp::StreamAggregate => writeln!(f, "{pad}StreamAgg")?,
                 PlanOp::Sort { key: None } => writeln!(f, "{pad}Sort(order by)")?,
@@ -249,11 +280,17 @@ mod tests {
     #[test]
     fn identical_structures_share_fingerprints() {
         let a = Plan::new(PlanNode::internal(
-            PlanOp::HashJoin { build_left: true, edges: vec![0] },
+            PlanOp::HashJoin {
+                build_left: true,
+                edges: vec![0],
+            },
             vec![scan(0), scan(1)],
         ));
         let b = Plan::new(PlanNode::internal(
-            PlanOp::HashJoin { build_left: true, edges: vec![0] },
+            PlanOp::HashJoin {
+                build_left: true,
+                edges: vec![0],
+            },
             vec![scan(0), scan(1)],
         ));
         assert_eq!(a.fingerprint(), b.fingerprint());
@@ -263,15 +300,24 @@ mod tests {
     #[test]
     fn different_structures_differ() {
         let a = Plan::new(PlanNode::internal(
-            PlanOp::HashJoin { build_left: true, edges: vec![0] },
+            PlanOp::HashJoin {
+                build_left: true,
+                edges: vec![0],
+            },
             vec![scan(0), scan(1)],
         ));
         let b = Plan::new(PlanNode::internal(
-            PlanOp::HashJoin { build_left: false, edges: vec![0] },
+            PlanOp::HashJoin {
+                build_left: false,
+                edges: vec![0],
+            },
             vec![scan(0), scan(1)],
         ));
         let c = Plan::new(PlanNode::internal(
-            PlanOp::HashJoin { build_left: true, edges: vec![0] },
+            PlanOp::HashJoin {
+                build_left: true,
+                edges: vec![0],
+            },
             vec![scan(1), scan(0)],
         ));
         assert_ne!(a.fingerprint(), b.fingerprint());
@@ -281,16 +327,26 @@ mod tests {
     #[test]
     fn scan_choice_changes_fingerprint() {
         let a = Plan::new(scan(0));
-        let b = Plan::new(PlanNode::leaf(PlanOp::IndexSeek { relation: 0, seek_pred: 0 }));
+        let b = Plan::new(PlanNode::leaf(PlanOp::IndexSeek {
+            relation: 0,
+            seek_pred: 0,
+        }));
         assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]
     fn size_and_relation_set() {
         let p = PlanNode::internal(
-            PlanOp::IndexNlj { inner: 2, seek_edge: 1, edges: vec![1] },
+            PlanOp::IndexNlj {
+                inner: 2,
+                seek_edge: 1,
+                edges: vec![1],
+            },
             vec![PlanNode::internal(
-                PlanOp::HashJoin { build_left: true, edges: vec![0] },
+                PlanOp::HashJoin {
+                    build_left: true,
+                    edges: vec![0],
+                },
                 vec![scan(0), scan(1)],
             )],
         );
@@ -304,11 +360,17 @@ mod tests {
         // this fixed tree must never change across runs or refactors that
         // do not intend to change plan identity.
         let p = Plan::new(PlanNode::internal(
-            PlanOp::MergeJoin { merge_edge: 0, edges: vec![0, 1] },
+            PlanOp::MergeJoin {
+                merge_edge: 0,
+                edges: vec![0, 1],
+            },
             vec![scan(0), scan(3)],
         ));
         let again = Plan::new(PlanNode::internal(
-            PlanOp::MergeJoin { merge_edge: 0, edges: vec![0, 1] },
+            PlanOp::MergeJoin {
+                merge_edge: 0,
+                edges: vec![0, 1],
+            },
             vec![scan(0), scan(3)],
         ));
         assert_eq!(p.fingerprint(), again.fingerprint());
@@ -321,7 +383,10 @@ mod tests {
         let p = Plan::new(PlanNode::internal(
             PlanOp::HashAggregate,
             vec![PlanNode::internal(
-                PlanOp::HashJoin { build_left: true, edges: vec![0] },
+                PlanOp::HashJoin {
+                    build_left: true,
+                    edges: vec![0],
+                },
                 vec![scan(0), scan(1)],
             )],
         ));

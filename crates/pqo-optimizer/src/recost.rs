@@ -51,7 +51,11 @@ impl BaseDerivation {
         let base_rows = (0..n)
             .map(|r| (template.relations[r].table.row_count as f64 * base_sel[r]).max(MIN_ROWS))
             .collect();
-        BaseDerivation { base_sel, base_rows, pred_count }
+        BaseDerivation {
+            base_sel,
+            base_rows,
+            pred_count,
+        }
     }
 }
 
@@ -67,10 +71,17 @@ pub fn derive_node(
     match &node.op {
         PlanOp::SeqScan { relation } => {
             let t = &template.relations[*relation].table;
-            let cost = model.seq_scan(t.page_count as f64, t.row_count as f64, base.pred_count[*relation]);
+            let cost = model.seq_scan(
+                t.page_count as f64,
+                t.row_count as f64,
+                base.pred_count[*relation],
+            );
             (base.base_rows[*relation], cost)
         }
-        PlanOp::IndexSeek { relation, seek_pred } => {
+        PlanOp::IndexSeek {
+            relation,
+            seek_pred,
+        } => {
             let t = &template.relations[*relation].table;
             let fetch = (t.row_count as f64 * sv.get(*seek_pred)).max(MIN_ROWS);
             let residual = base.pred_count[*relation].saturating_sub(1);
@@ -79,8 +90,11 @@ pub fn derive_node(
         }
         PlanOp::SortedIndexScan { relation, .. } => {
             let t = &template.relations[*relation].table;
-            let cost =
-                model.sorted_index_scan(t.page_count as f64, t.row_count as f64, base.pred_count[*relation]);
+            let cost = model.sorted_index_scan(
+                t.page_count as f64,
+                t.row_count as f64,
+                base.pred_count[*relation],
+            );
             (base.base_rows[*relation], cost)
         }
         PlanOp::HashJoin { build_left, edges } => {
@@ -96,7 +110,11 @@ pub fn derive_node(
             let out = join_out_rows(template, lr, rr, edges);
             (out, lc + rc + model.merge_join(lr, rr, out))
         }
-        PlanOp::IndexNlj { inner, seek_edge, edges } => {
+        PlanOp::IndexNlj {
+            inner,
+            seek_edge,
+            edges,
+        } => {
             let (or, oc) = derive_node(template, model, base, sv, &node.children[0]);
             let t = &template.relations[*inner].table;
             let n_inner = t.row_count as f64;
@@ -105,7 +123,10 @@ pub fn derive_node(
             // crossing edges other than the seek edge.
             let residual = base.pred_count[*inner] + edges.len().saturating_sub(1);
             let out = join_out_rows(template, or, base.base_rows[*inner], edges);
-            (out, oc + model.index_nlj(or, n_inner, lookup, residual, out))
+            (
+                out,
+                oc + model.index_nlj(or, n_inner, lookup, residual, out),
+            )
         }
         PlanOp::HashAggregate => {
             let (ir, ic) = derive_node(template, model, base, sv, &node.children[0]);
@@ -128,7 +149,10 @@ pub fn derive_node(
 // pure products so that the optimizer's subset cardinalities factorize
 // identically over every join split (only base relations are floored).
 fn join_out_rows(template: &QueryTemplate, left: f64, right: f64, edges: &[usize]) -> f64 {
-    let sel: f64 = edges.iter().map(|&e| template.join_edges[e].selectivity).product();
+    let sel: f64 = edges
+        .iter()
+        .map(|&e| template.join_edges[e].selectivity)
+        .product();
     left * right * sel
 }
 
@@ -182,7 +206,10 @@ mod tests {
     fn index_seek_cost_grows_linearly_with_seek_selectivity() {
         let t = test_fixtures::one_rel();
         let model = CostModel::default();
-        let plan = Plan::new(PlanNode::leaf(PlanOp::IndexSeek { relation: 0, seek_pred: 0 }));
+        let plan = Plan::new(PlanNode::leaf(PlanOp::IndexSeek {
+            relation: 0,
+            seek_pred: 0,
+        }));
         let c1 = recost(&t, &model, &plan, &SVector(vec![0.01]));
         let c2 = recost(&t, &model, &plan, &SVector(vec![0.02]));
         let c4 = recost(&t, &model, &plan, &SVector(vec![0.04]));
@@ -196,7 +223,10 @@ mod tests {
         let t = test_fixtures::two_dim();
         let model = CostModel::default();
         let join = PlanNode::internal(
-            PlanOp::HashJoin { build_left: true, edges: vec![0] },
+            PlanOp::HashJoin {
+                build_left: true,
+                edges: vec![0],
+            },
             vec![
                 PlanNode::leaf(PlanOp::SeqScan { relation: 0 }),
                 PlanNode::leaf(PlanOp::SeqScan { relation: 1 }),
@@ -219,14 +249,21 @@ mod tests {
         let sv = sv_for(&t, &[0.05, 0.2]);
         let base = BaseDerivation::new(&t, &sv);
         let hj = PlanNode::internal(
-            PlanOp::HashJoin { build_left: true, edges: vec![0] },
+            PlanOp::HashJoin {
+                build_left: true,
+                edges: vec![0],
+            },
             vec![
                 PlanNode::leaf(PlanOp::SeqScan { relation: 0 }),
                 PlanNode::leaf(PlanOp::SeqScan { relation: 1 }),
             ],
         );
         let nlj = PlanNode::internal(
-            PlanOp::IndexNlj { inner: 1, seek_edge: 0, edges: vec![0] },
+            PlanOp::IndexNlj {
+                inner: 1,
+                seek_edge: 0,
+                edges: vec![0],
+            },
             vec![PlanNode::leaf(PlanOp::SeqScan { relation: 0 })],
         );
         let (hj_rows, _) = derive_node(&t, &model, &base, &sv, &hj);
@@ -241,7 +278,10 @@ mod tests {
         let tiny = SVector(vec![1e-6, 1e-6]);
         let base = BaseDerivation::new(&t, &tiny);
         let join = PlanNode::internal(
-            PlanOp::HashJoin { build_left: true, edges: vec![0] },
+            PlanOp::HashJoin {
+                build_left: true,
+                edges: vec![0],
+            },
             vec![
                 PlanNode::leaf(PlanOp::SeqScan { relation: 0 }),
                 PlanNode::leaf(PlanOp::SeqScan { relation: 1 }),

@@ -165,19 +165,31 @@ impl QueryTemplate {
         }
         for (i, p) in self.param_preds.iter().enumerate() {
             if p.relation >= n {
-                return Err(format!("param predicate {i} references relation {}", p.relation));
+                return Err(format!(
+                    "param predicate {i} references relation {}",
+                    p.relation
+                ));
             }
             let t = &self.relations[p.relation].table;
             if p.column >= t.columns.len() {
-                return Err(format!("param predicate {i} references column {} of {}", p.column, t.name));
+                return Err(format!(
+                    "param predicate {i} references column {} of {}",
+                    p.column, t.name
+                ));
             }
         }
         for (i, p) in self.fixed_preds.iter().enumerate() {
             if p.relation >= n {
-                return Err(format!("fixed predicate {i} references relation {}", p.relation));
+                return Err(format!(
+                    "fixed predicate {i} references relation {}",
+                    p.relation
+                ));
             }
             if !(p.selectivity > 0.0 && p.selectivity <= 1.0) {
-                return Err(format!("fixed predicate {i} has selectivity {}", p.selectivity));
+                return Err(format!(
+                    "fixed predicate {i} has selectivity {}",
+                    p.selectivity
+                ));
             }
         }
         for (i, e) in self.join_edges.iter().enumerate() {
@@ -186,7 +198,9 @@ impl QueryTemplate {
                     return Err(format!("join edge {i} references relation {r}"));
                 }
                 if c >= self.relations[r].table.columns.len() {
-                    return Err(format!("join edge {i} references column {c} of relation {r}"));
+                    return Err(format!(
+                        "join edge {i} references column {c} of relation {r}"
+                    ));
                 }
             }
             if e.left.0 == e.right.0 {
@@ -282,7 +296,10 @@ impl TemplateBuilder {
 
     /// Add a relation; returns its index.
     pub fn relation(&mut self, table: &Arc<TableDef>, alias: &str) -> usize {
-        self.relations.push(RelationRef { table: Arc::clone(table), alias: alias.to_string() });
+        self.relations.push(RelationRef {
+            table: Arc::clone(table),
+            alias: alias.to_string(),
+        });
         self.relations.len() - 1
     }
 
@@ -296,11 +313,17 @@ impl TemplateBuilder {
         let rc = self.relations[right.0]
             .table
             .column_index(right.1)
-            .unwrap_or_else(|| panic!("no column {} on {}", right.1, self.relations[right.0].alias));
+            .unwrap_or_else(|| {
+                panic!("no column {} on {}", right.1, self.relations[right.0].alias)
+            });
         let ndv_l = self.relations[left.0].table.columns[lc].stats.ndv.max(1);
         let ndv_r = self.relations[right.0].table.columns[rc].stats.ndv.max(1);
         let selectivity = 1.0 / ndv_l.max(ndv_r) as f64;
-        self.join_edges.push(JoinEdge { left: (left.0, lc), right: (right.0, rc), selectivity });
+        self.join_edges.push(JoinEdge {
+            left: (left.0, lc),
+            right: (right.0, rc),
+            selectivity,
+        });
         self
     }
 
@@ -310,13 +333,20 @@ impl TemplateBuilder {
             .table
             .column_index(column)
             .unwrap_or_else(|| panic!("no column {} on {}", column, self.relations[rel].alias));
-        self.param_preds.push(ParamPredicate { relation: rel, column: c, op });
+        self.param_preds.push(ParamPredicate {
+            relation: rel,
+            column: c,
+            op,
+        });
         self
     }
 
     /// Add a fixed-selectivity filter.
     pub fn filter(&mut self, rel: usize, selectivity: f64) -> &mut Self {
-        self.fixed_preds.push(FixedPredicate { relation: rel, selectivity });
+        self.fixed_preds.push(FixedPredicate {
+            relation: rel,
+            selectivity,
+        });
         self
     }
 
@@ -343,7 +373,8 @@ impl TemplateBuilder {
             aggregate: self.aggregate,
             order_by: self.order_by,
         };
-        t.validate().unwrap_or_else(|e| panic!("invalid template `{}`: {e}", t.name));
+        t.validate()
+            .unwrap_or_else(|e| panic!("invalid template `{}`: {e}", t.name));
         Arc::new(t)
     }
 }
@@ -483,7 +514,10 @@ mod tests {
     fn bad_fixed_selectivity_rejected() {
         let t = one_rel();
         let mut bad = (*t).clone();
-        bad.fixed_preds.push(FixedPredicate { relation: 0, selectivity: 0.0 });
+        bad.fixed_preds.push(FixedPredicate {
+            relation: 0,
+            selectivity: 0.0,
+        });
         assert!(bad.validate().is_err());
         bad.fixed_preds[0].selectivity = 1.5;
         assert!(bad.validate().is_err());
@@ -493,7 +527,11 @@ mod tests {
     fn self_loop_rejected() {
         let t = two_dim();
         let mut bad = (*t).clone();
-        bad.join_edges.push(JoinEdge { left: (0, 0), right: (0, 0), selectivity: 0.5 });
+        bad.join_edges.push(JoinEdge {
+            left: (0, 0),
+            right: (0, 0),
+            selectivity: 0.5,
+        });
         assert!(bad.validate().unwrap_err().contains("self-loop"));
     }
 }

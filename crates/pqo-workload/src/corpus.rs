@@ -100,7 +100,11 @@ const SHAPES: &[ShapeDef] = &[
         catalog: Cat::TpchSkew,
         tables: &[("customer", "c"), ("orders", "o")],
         joins: &[((0, "customer_pk"), (1, "customer_fk"))],
-        params: &[(0, "c_acctbal", Le), (1, "o_totalprice", Le), (1, "o_orderdate", Ge)],
+        params: &[
+            (0, "c_acctbal", Le),
+            (1, "o_totalprice", Le),
+            (1, "o_orderdate", Ge),
+        ],
         agg: None,
         order_by: true,
     },
@@ -108,7 +112,10 @@ const SHAPES: &[ShapeDef] = &[
         id: "D",
         catalog: Cat::TpchSkew,
         tables: &[("customer", "c"), ("orders", "o"), ("lineitem", "l")],
-        joins: &[((0, "customer_pk"), (1, "customer_fk")), ((1, "orders_pk"), (2, "orders_fk"))],
+        joins: &[
+            ((0, "customer_pk"), (1, "customer_fk")),
+            ((1, "orders_pk"), (2, "orders_fk")),
+        ],
         params: &[
             (0, "c_acctbal", Le),
             (1, "o_orderdate", Le),
@@ -122,7 +129,10 @@ const SHAPES: &[ShapeDef] = &[
         id: "E",
         catalog: Cat::TpchSkew,
         tables: &[("part", "p"), ("partsupp", "ps"), ("supplier", "s")],
-        joins: &[((0, "part_pk"), (1, "part_fk")), ((1, "supplier_fk"), (2, "supplier_pk"))],
+        joins: &[
+            ((0, "part_pk"), (1, "part_fk")),
+            ((1, "supplier_fk"), (2, "supplier_pk")),
+        ],
         params: &[
             (0, "p_size", Le),
             (1, "ps_supplycost", Le),
@@ -163,7 +173,11 @@ const SHAPES: &[ShapeDef] = &[
     ShapeDef {
         id: "H",
         catalog: Cat::Tpcds,
-        tables: &[("catalog_sales", "cs"), ("customer", "c"), ("customer_address", "ca")],
+        tables: &[
+            ("catalog_sales", "cs"),
+            ("customer", "c"),
+            ("customer_address", "ca"),
+        ],
         joins: &[
             ((0, "customer_fk"), (1, "customer_pk")),
             ((1, "customer_address_fk"), (2, "customer_address_pk")),
@@ -228,7 +242,11 @@ const SHAPES: &[ShapeDef] = &[
     ShapeDef {
         id: "L",
         catalog: Cat::Rd1,
-        tables: &[("transactions", "t"), ("accounts", "a"), ("merchants", "mr")],
+        tables: &[
+            ("transactions", "t"),
+            ("accounts", "a"),
+            ("merchants", "mr"),
+        ],
         joins: &[
             ((0, "accounts_fk"), (1, "accounts_pk")),
             ((0, "merchants_fk"), (2, "merchants_pk")),
@@ -471,40 +489,105 @@ const SHAPES: &[ShapeDef] = &[
 /// over the same join shape.
 const ROSTER: &[(&str, usize, bool)] = &[
     // d = 1 (12)
-    ("A", 1, false), ("B", 1, false), ("C", 1, false), ("F", 1, false),
-    ("G", 1, false), ("H", 1, false), ("J", 1, false), ("K", 1, false),
-    ("L", 1, false), ("M", 1, false), ("N", 1, false), ("O", 1, false),
+    ("A", 1, false),
+    ("B", 1, false),
+    ("C", 1, false),
+    ("F", 1, false),
+    ("G", 1, false),
+    ("H", 1, false),
+    ("J", 1, false),
+    ("K", 1, false),
+    ("L", 1, false),
+    ("M", 1, false),
+    ("N", 1, false),
+    ("O", 1, false),
     // d = 2 (20)
-    ("A", 2, false), ("B", 2, false), ("C", 2, false), ("D", 2, false),
-    ("V", 2, false), ("F", 2, false), ("G", 2, false), ("H", 2, false),
-    ("I", 2, false), ("J", 2, false), ("K", 2, false), ("L", 2, false),
-    ("M", 2, false), ("N", 2, false), ("O", 2, false), ("P", 2, false),
-    ("Q", 2, false), ("R", 2, false), ("S", 2, false), ("T", 2, false),
+    ("A", 2, false),
+    ("B", 2, false),
+    ("C", 2, false),
+    ("D", 2, false),
+    ("V", 2, false),
+    ("F", 2, false),
+    ("G", 2, false),
+    ("H", 2, false),
+    ("I", 2, false),
+    ("J", 2, false),
+    ("K", 2, false),
+    ("L", 2, false),
+    ("M", 2, false),
+    ("N", 2, false),
+    ("O", 2, false),
+    ("P", 2, false),
+    ("Q", 2, false),
+    ("R", 2, false),
+    ("S", 2, false),
+    ("T", 2, false),
     // d = 3 (28)
-    ("A", 3, false), ("B", 3, false), ("C", 3, false), ("D", 3, false),
-    ("U", 3, false), ("G", 3, false), ("W", 3, false), ("I", 3, false),
-    ("J", 3, false), ("K", 3, false), ("L", 3, false), ("M", 3, false),
-    ("N", 3, false), ("O", 3, false), ("P", 3, false), ("Q", 3, false),
-    ("R", 3, false), ("S", 3, false), ("T", 3, false),
-    ("A", 3, true), ("B", 3, true), ("D", 3, true), ("G", 3, true),
-    ("I", 3, true), ("L", 3, true), ("N", 3, true), ("P", 3, true),
+    ("A", 3, false),
+    ("B", 3, false),
+    ("C", 3, false),
+    ("D", 3, false),
+    ("U", 3, false),
+    ("G", 3, false),
+    ("W", 3, false),
+    ("I", 3, false),
+    ("J", 3, false),
+    ("K", 3, false),
+    ("L", 3, false),
+    ("M", 3, false),
+    ("N", 3, false),
+    ("O", 3, false),
+    ("P", 3, false),
+    ("Q", 3, false),
+    ("R", 3, false),
+    ("S", 3, false),
+    ("T", 3, false),
+    ("A", 3, true),
+    ("B", 3, true),
+    ("D", 3, true),
+    ("G", 3, true),
+    ("I", 3, true),
+    ("L", 3, true),
+    ("N", 3, true),
+    ("P", 3, true),
     ("Q", 3, true),
     // d = 4 (10)
-    ("A", 4, false), ("B", 4, false), ("U", 4, false), ("V", 4, false),
-    ("G", 4, false), ("W", 4, false), ("K", 4, false), ("L", 4, false),
-    ("M", 4, false), ("N", 4, false),
+    ("A", 4, false),
+    ("B", 4, false),
+    ("U", 4, false),
+    ("V", 4, false),
+    ("G", 4, false),
+    ("W", 4, false),
+    ("K", 4, false),
+    ("L", 4, false),
+    ("M", 4, false),
+    ("N", 4, false),
     // d = 5 (5)
-    ("P", 5, false), ("Q", 5, false), ("R", 5, false), ("S", 5, false), ("T", 5, false),
+    ("P", 5, false),
+    ("Q", 5, false),
+    ("R", 5, false),
+    ("S", 5, false),
+    ("T", 5, false),
     // d = 6 (5)
-    ("P", 6, false), ("Q", 6, false), ("R", 6, false), ("S", 6, false), ("T", 6, false),
+    ("P", 6, false),
+    ("Q", 6, false),
+    ("R", 6, false),
+    ("S", 6, false),
+    ("T", 6, false),
     // d = 7 (3)
-    ("P", 7, false), ("Q", 7, false), ("T", 7, false),
+    ("P", 7, false),
+    ("Q", 7, false),
+    ("T", 7, false),
     // d = 8 (3)
-    ("P", 8, false), ("R", 8, false), ("S", 8, false),
+    ("P", 8, false),
+    ("R", 8, false),
+    ("S", 8, false),
     // d = 9 (2)
-    ("Q", 9, false), ("T", 9, false),
+    ("Q", 9, false),
+    ("T", 9, false),
     // d = 10 (2)
-    ("P", 10, false), ("T", 10, false),
+    ("P", 10, false),
+    ("T", 10, false),
 ];
 
 /// One corpus entry: a template plus generation metadata.
@@ -541,9 +624,20 @@ impl TemplateSpec {
 }
 
 fn build_template(shape: &ShapeDef, cat: &Catalog, d: usize, variant: bool) -> Arc<QueryTemplate> {
-    assert!(d >= 1 && d <= shape.params.len(), "shape {} supports d ≤ {}", shape.id, shape.params.len());
+    assert!(
+        d >= 1 && d <= shape.params.len(),
+        "shape {} supports d ≤ {}",
+        shape.id,
+        shape.params.len()
+    );
     let variant_tag = if variant { "v" } else { "" };
-    let name = format!("{}_{}_d{}{}", shape.catalog.name(), shape.id, d, variant_tag);
+    let name = format!(
+        "{}_{}_d{}{}",
+        shape.catalog.name(),
+        shape.id,
+        d,
+        variant_tag
+    );
     let mut b = TemplateBuilder::new(&name);
     for (table, alias) in shape.tables {
         let t = cat.expect_table(table);
@@ -574,7 +668,10 @@ fn build_template(shape: &ShapeDef, cat: &Catalog, d: usize, variant: bool) -> A
 }
 
 fn shape(id: &str) -> &'static ShapeDef {
-    SHAPES.iter().find(|s| s.id == id).unwrap_or_else(|| panic!("unknown shape {id}"))
+    SHAPES
+        .iter()
+        .find(|s| s.id == id)
+        .unwrap_or_else(|| panic!("unknown shape {id}"))
 }
 
 /// The full 90-template corpus. Catalogs and statistics are built once and
@@ -652,7 +749,11 @@ mod tests {
     fn high_dimensional_templates_only_on_rd2() {
         for s in corpus() {
             if s.dimensions >= 5 {
-                assert_eq!(s.catalog, "rd2", "{} has d={} on {}", s.id, s.dimensions, s.catalog);
+                assert_eq!(
+                    s.catalog, "rd2",
+                    "{} has d={} on {}",
+                    s.id, s.dimensions, s.catalog
+                );
             }
         }
     }
@@ -683,7 +784,10 @@ mod tests {
     #[test]
     fn every_dimension_query_works() {
         for d in 1..=10 {
-            assert!(!corpus_with_dimensions(d).is_empty(), "no templates with d={d}");
+            assert!(
+                !corpus_with_dimensions(d).is_empty(),
+                "no templates with d={d}"
+            );
         }
         assert!(corpus_with_dimensions(11).is_empty());
     }

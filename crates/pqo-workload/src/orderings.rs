@@ -6,9 +6,9 @@
 //! the per-instance optimal cost/plan, i.e. a
 //! [`pqo_core::runner::GroundTruth`].
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use pqo_rand::rngs::StdRng;
+use pqo_rand::seq::SliceRandom;
+use pqo_rand::SeedableRng;
 
 use pqo_core::runner::GroundTruth;
 
@@ -66,7 +66,10 @@ impl Ordering {
                 // Group indices by optimal plan, then deal one per group.
                 let mut groups: std::collections::BTreeMap<_, Vec<usize>> = Default::default();
                 for &i in &idx {
-                    groups.entry(gt.opt_plans[i].fingerprint()).or_default().push(i);
+                    groups
+                        .entry(gt.opt_plans[i].fingerprint())
+                        .or_default()
+                        .push(i);
                 }
                 let mut queues: Vec<Vec<usize>> = groups.into_values().collect();
                 for q in &mut queues {
@@ -121,8 +124,8 @@ mod tests {
         b.param(l, "l_shipdate", RangeOp::Le);
         let t = b.build();
         let instances = crate::regions::generate(&t, 60, 5);
-        let mut engine = QueryEngine::new(Arc::clone(&t));
-        GroundTruth::compute(&mut engine, &instances)
+        let engine = QueryEngine::new(Arc::clone(&t));
+        GroundTruth::compute(&engine, &instances)
     }
 
     #[test]
@@ -132,7 +135,12 @@ mod tests {
             let mut p = o.permutation(&gt, 1);
             assert_eq!(p.len(), gt.len());
             p.sort();
-            assert_eq!(p, (0..gt.len()).collect::<Vec<_>>(), "{} not a permutation", o.name());
+            assert_eq!(
+                p,
+                (0..gt.len()).collect::<Vec<_>>(),
+                "{} not a permutation",
+                o.name()
+            );
         }
     }
 

@@ -9,9 +9,9 @@
 //! * `Region1` — every parameterized predicate non-selective (large);
 //! * `Region_di` — only dimension `i` non-selective.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use pqo_rand::rngs::StdRng;
+use pqo_rand::seq::SliceRandom;
+use pqo_rand::{Rng, SeedableRng};
 
 use pqo_optimizer::svector::instance_for_target;
 use pqo_optimizer::template::{QueryInstance, QueryTemplate};

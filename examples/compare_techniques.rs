@@ -18,16 +18,25 @@ use pqo::core::OnlinePqo;
 use pqo::workload::corpus::corpus;
 
 fn main() {
-    let m: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1000);
+    let m: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1000);
 
     // A 3-dimensional TPC-DS-like template (store_sales ⋈ date_dim ⋈ item).
-    let spec = corpus().iter().find(|s| s.id == "tpcds_G_d3").expect("corpus template");
+    let spec = corpus()
+        .iter()
+        .find(|s| s.id == "tpcds_G_d3")
+        .expect("corpus template");
     println!("template: {} (d = {}), m = {m}\n", spec.id, spec.dimensions);
 
     let instances = spec.generate(m, 7);
-    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
-    let gt = GroundTruth::compute(&mut engine, &instances);
-    println!("distinct optimal plans across the workload: {}\n", gt.distinct_plans());
+    let engine = QueryEngine::new(Arc::clone(&spec.template));
+    let gt = GroundTruth::compute(&engine, &instances);
+    println!(
+        "distinct optimal plans across the workload: {}\n",
+        gt.distinct_plans()
+    );
 
     let mut techniques: Vec<Box<dyn OnlinePqo>> = vec![
         Box::new(OptimizeAlways::new()),
@@ -36,8 +45,8 @@ fn main() {
         Box::new(Ellipse::new(0.9)),
         Box::new(Density::new(0.1, 0.5)),
         Box::new(Ranges::new(0.01)),
-        Box::new(Scr::new(2.0)),
-        Box::new(Scr::new(1.1)),
+        Box::new(Scr::new(2.0).expect("valid λ")),
+        Box::new(Scr::new(1.1).expect("valid λ")),
     ];
 
     println!(
@@ -45,7 +54,7 @@ fn main() {
         "technique", "numOpt", "opt%", "plans", "MSO", "TC", "getPlan"
     );
     for tech in &mut techniques {
-        let r = run_sequence(tech.as_mut(), &mut engine, &instances, &gt);
+        let r = run_sequence(tech.as_mut(), &engine, &instances, &gt);
         println!(
             "{:<12} {:>8} {:>7.1}% {:>8} {:>9.2} {:>9.4} {:>9.1?}",
             r.technique,

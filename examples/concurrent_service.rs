@@ -1,0 +1,83 @@
+//! Serving plans from many threads: the [`PqoService`] deployment surface.
+//!
+//! ```sh
+//! cargo run --release --example concurrent_service
+//! ```
+//!
+//! An application server hosts several parameterized dashboard queries and
+//! answers `get_plan` requests from a thread pool. `PqoService` keeps one
+//! SCR cache per registered template behind per-template locks, so requests
+//! for different templates never contend and requests for the same template
+//! share its cache. A global plan budget bounds total memory across all
+//! templates (Section 6.3.1, applied fleet-wide); misuse surfaces as typed
+//! [`PqoError`]s instead of panics.
+
+use std::sync::Arc;
+
+use pqo::core::scr::ScrConfig;
+use pqo::workload::corpus::corpus;
+use pqo::{PqoError, PqoService};
+
+fn main() -> Result<(), PqoError> {
+    let ids = ["tpch_skew_A_d2", "tpch_skew_B_d2", "tpcds_G_d3", "rd1_L_d3"];
+    let service = Arc::new(PqoService::with_global_budget(20)?);
+    for id in ids {
+        let spec = corpus()
+            .iter()
+            .find(|s| s.id == id)
+            .expect("corpus template");
+        service.register(Arc::clone(&spec.template), ScrConfig::new(2.0)?)?;
+    }
+    println!("registered templates: {:?}", service.templates());
+
+    // Typed errors, not panics: double registration and unknown lookups.
+    let spec0 = corpus().iter().find(|s| s.id == ids[0]).unwrap();
+    let dup = service.register(Arc::clone(&spec0.template), ScrConfig::new(2.0)?);
+    println!("re-registering {:?}: {}", ids[0], dup.unwrap_err());
+    let unknown = service.get_plan("no_such_template", &spec0.generate(1, 9)[0]);
+    println!("unknown template lookup: {}\n", unknown.unwrap_err());
+
+    // Eight worker threads, each streaming instances of "its" template —
+    // two threads per template, so traffic mixes same-shard and cross-shard.
+    let threads = 8;
+    let per_thread = 400;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let service = Arc::clone(&service);
+            scope.spawn(move || {
+                let spec = corpus()
+                    .iter()
+                    .find(|s| s.id == ids[t % ids.len()])
+                    .unwrap();
+                for inst in &spec.generate(per_thread, t as u64) {
+                    service
+                        .get_plan(&spec.template.name, inst)
+                        .expect("registered template");
+                }
+            });
+        }
+    });
+
+    println!(
+        "served               : {} get_plan calls",
+        threads * per_thread
+    );
+    println!("optimizer calls      : {}", service.total_optimizer_calls());
+    println!(
+        "plans cached (total) : {} (global budget 20)",
+        service.total_plans()
+    );
+    println!("global evictions     : {}", service.global_evictions());
+    for name in service.templates() {
+        let stats = service.scr_stats(&name)?;
+        println!(
+            "  {name:<18} sel-hits {:>5}  cost-hits {:>4}  optimizer {:>4}",
+            stats.selectivity_hits, stats.cost_hits, stats.optimizer_calls
+        );
+    }
+    assert!(
+        service.total_plans() <= 20,
+        "global budget must hold after the storm"
+    );
+    Ok(())
+}

@@ -49,18 +49,24 @@ fn main() {
         [0.028, 0.030],
         [0.060, 0.015],
     ];
-    let instances: Vec<_> = targets.iter().map(|t| instance_for_target(&template, t)).collect();
+    let instances: Vec<_> = targets
+        .iter()
+        .map(|t| instance_for_target(&template, t))
+        .collect();
 
-    let mut engine = QueryEngine::new(Arc::clone(&template));
-    let gt = GroundTruth::compute(&mut engine, &instances);
+    let engine = QueryEngine::new(Arc::clone(&template));
+    let gt = GroundTruth::compute(&engine, &instances);
 
-    println!("workload: 13 instances, {} distinct optimal plans\n", gt.distinct_plans());
+    println!(
+        "workload: 13 instances, {} distinct optimal plans\n",
+        gt.distinct_plans()
+    );
     for (i, plan) in gt.opt_plans.iter().enumerate().take(3) {
         println!("q{} optimal {}", i + 1, plan.display(&template));
     }
 
     let mut techniques: Vec<Box<dyn OnlinePqo>> = vec![
-        Box::new(Scr::new(2.0)),
+        Box::new(Scr::new(2.0).expect("valid λ")),
         Box::new(Pcm::new(2.0)),
         Box::new(Ellipse::new(0.9)),
         Box::new(Density::new(0.1, 0.5)),
@@ -68,14 +74,17 @@ fn main() {
         Box::new(OptimizeOnce::new()),
     ];
 
-    println!("{:<12} {:>7} {:>7} {:>7}   decisions (O = optimize, . = reuse)", "technique", "numOpt", "plans", "MSO");
+    println!(
+        "{:<12} {:>7} {:>7} {:>7}   decisions (O = optimize, . = reuse)",
+        "technique", "numOpt", "plans", "MSO"
+    );
     for tech in &mut techniques {
         engine.reset_stats();
         let mut marks = String::new();
         let mut worst: f64 = 1.0;
         for (i, inst) in instances.iter().enumerate() {
             let sv = engine.compute_svector(inst);
-            let choice = tech.get_plan(inst, &sv, &mut engine);
+            let choice = tech.get_plan(inst, &sv, &engine);
             marks.push(if choice.optimized { 'O' } else { '.' });
             let so = if choice.plan.fingerprint() == gt.opt_plans[i].fingerprint() {
                 1.0

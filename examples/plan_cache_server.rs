@@ -20,24 +20,33 @@ use pqo::core::scr::{Scr, ScrConfig};
 use pqo::workload::corpus::corpus;
 
 fn main() {
-    let spec = corpus().iter().find(|s| s.id == "rd1_L_d3").expect("corpus template");
+    let spec = corpus()
+        .iter()
+        .find(|s| s.id == "rd1_L_d3")
+        .expect("corpus template");
     let m = 2000;
-    println!("tenant dashboard query: {} (d = {}), {} requests\n", spec.id, spec.dimensions, m);
+    println!(
+        "tenant dashboard query: {} (d = {}), {} requests\n",
+        spec.id, spec.dimensions, m
+    );
 
     let instances = spec.generate(m, 1234);
-    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
-    let gt = GroundTruth::compute(&mut engine, &instances);
-    println!("distinct optimal plans the workload would need: {}\n", gt.distinct_plans());
+    let engine = QueryEngine::new(Arc::clone(&spec.template));
+    let gt = GroundTruth::compute(&engine, &instances);
+    println!(
+        "distinct optimal plans the workload would need: {}\n",
+        gt.distinct_plans()
+    );
 
     println!(
         "{:<10} {:>9} {:>9} {:>10} {:>9} {:>10}",
         "budget k", "plans", "numOpt", "opt%", "MSO", "TC"
     );
     for k in [None, Some(10), Some(5), Some(3), Some(2), Some(1)] {
-        let mut cfg = ScrConfig::new(2.0);
+        let mut cfg = ScrConfig::new(2.0).expect("valid λ");
         cfg.plan_budget = k;
-        let mut scr = Scr::with_config(cfg);
-        let r = run_sequence(&mut scr, &mut engine, &instances, &gt);
+        let mut scr = Scr::with_config(cfg).expect("valid config");
+        let r = run_sequence(&mut scr, &engine, &instances, &gt);
         let label = k.map_or("unbounded".to_string(), |k| k.to_string());
         println!(
             "{:<10} {:>9} {:>9} {:>9.1}% {:>9.2} {:>10.4}",
@@ -48,7 +57,10 @@ fn main() {
             r.mso(),
             r.total_cost_ratio()
         );
-        assert!(r.mso() <= 2.0 * 1.01, "budget must never break λ-optimality");
+        assert!(
+            r.mso() <= 2.0 * 1.01,
+            "budget must never break λ-optimality"
+        );
     }
 
     println!("\nShrinking the budget trades optimizer calls for memory;");

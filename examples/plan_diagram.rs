@@ -14,7 +14,9 @@ use pqo::optimizer::diagram::PlanDiagram;
 use pqo::workload::corpus::corpus;
 
 fn main() {
-    let id = std::env::args().nth(1).unwrap_or_else(|| "tpch_skew_B_d2".into());
+    let id = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "tpch_skew_B_d2".into());
     let spec = corpus()
         .iter()
         .find(|s| s.id == id)

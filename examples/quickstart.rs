@@ -35,19 +35,29 @@ fn main() {
     let instances = regions::generate(&template, 500, 42);
 
     // 4. The engine (optimizer + sVector + Recost APIs) and the oracle.
-    let mut engine = QueryEngine::new(Arc::clone(&template));
-    let gt = GroundTruth::compute(&mut engine, &instances);
+    let engine = QueryEngine::new(Arc::clone(&template));
+    let gt = GroundTruth::compute(&engine, &instances);
 
     // 5. SCR with a 1.5x sub-optimality budget.
-    let mut scr = Scr::new(1.5);
-    let result = run_sequence(&mut scr, &mut engine, &instances, &gt);
+    let mut scr = Scr::new(1.5).expect("valid λ");
+    let result = run_sequence(&mut scr, &engine, &instances, &gt);
 
     println!("instances processed : {}", result.num_instances);
-    println!("distinct optimal plans in workload: {}", result.distinct_optimal_plans);
+    println!(
+        "distinct optimal plans in workload: {}",
+        result.distinct_optimal_plans
+    );
     println!();
-    println!("optimizer calls     : {} ({:.1}% of instances)", result.num_opt, result.num_opt_pct());
+    println!(
+        "optimizer calls     : {} ({:.1}% of instances)",
+        result.num_opt,
+        result.num_opt_pct()
+    );
     println!("plans cached        : {}", result.num_plans);
-    println!("max sub-optimality  : {:.3} (guaranteed ≤ 1.5 under BCG)", result.mso());
+    println!(
+        "max sub-optimality  : {:.3} (guaranteed ≤ 1.5 under BCG)",
+        result.mso()
+    );
     println!("total cost ratio    : {:.4}", result.total_cost_ratio());
     println!();
     println!(
@@ -60,5 +70,8 @@ fn main() {
         scr.stats().cost_hits
     );
 
-    assert!(result.mso() <= 1.5 * 1.01, "λ-optimality violated beyond tolerance");
+    assert!(
+        result.mso() <= 1.5 * 1.01,
+        "λ-optimality violated beyond tolerance"
+    );
 }

@@ -31,7 +31,7 @@ fn main() {
     b.param(l, "l_extendedprice", RangeOp::Le);
     b.aggregate(200.0);
     let template = b.build();
-    let mut engine = QueryEngine::new(Arc::clone(&template));
+    let engine = QueryEngine::new(Arc::clone(&template));
 
     // --- 1. Latency: optimize vs recost -----------------------------------
     let qe = instance_for_target(&template, &[0.05, 0.05]);
@@ -52,12 +52,17 @@ fn main() {
     let recost_ns = t1.elapsed().as_nanos() / N as u128;
     println!("optimizer call : {:>8} ns", optimize_ns);
     println!("recost call    : {:>8} ns", recost_ns);
-    println!("speedup        : {:>8.1}x  (paper: up to two orders of magnitude)\n", optimize_ns as f64 / recost_ns as f64);
+    println!(
+        "speedup        : {:>8.1}x  (paper: up to two orders of magnitude)\n",
+        optimize_ns as f64 / recost_ns as f64
+    );
 
     // --- 2. The λ-optimal region around qe ---------------------------------
     let lambda = 2.0;
     println!("λ-optimal region around qe = (0.05, 0.05) with λ = {lambda}:");
-    println!("S = selectivity check passes (G·L ≤ λ), C = cost check passes (R·L ≤ λ), . = optimize\n");
+    println!(
+        "S = selectivity check passes (G·L ≤ λ), C = cost check passes (R·L ≤ λ), . = optimize\n"
+    );
     let grid = 24usize;
     println!("  (log-spaced selectivities 0.005 .. 0.5 on both axes)");
     for row in (0..grid).rev() {

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: everything runs offline against the vendored workspace.
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (all targets)"
+cargo build --release --offline --workspace --all-targets
+
+echo "==> cargo test"
+cargo test -q --offline --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "ci: all green"

@@ -11,9 +11,14 @@
 //!   the `sVector` and `Recost` engine APIs the paper requires (§4.2).
 //! * [`core`] — the paper's contribution: the SCR technique (selectivity,
 //!   cost, and redundancy checks), every baseline (Optimize-Always/Once,
-//!   PCM, Ellipse, Density, Ranges), metrics and the sequence runner.
+//!   PCM, Ellipse, Density, Ranges), metrics, the sequence runner, and the
+//!   concurrent [`PqoService`] serving layer.
+//! * [`exec`] — the execution-time simulation behind the paper's Table 3.
 //! * [`workload`] — the 90-template corpus, region-bucketized instance
 //!   generation and the five orderings of §7.1.
+//!
+//! Misuse (bad λ, duplicate/unknown templates, corrupt snapshots) surfaces
+//! as the typed [`PqoError`] instead of panicking.
 //!
 //! ## Quickstart
 //!
@@ -21,23 +26,60 @@
 //! use pqo::core::{scr::Scr, OnlinePqo, engine::QueryEngine};
 //! use pqo::workload::corpus;
 //!
+//! # fn main() -> Result<(), pqo::PqoError> {
 //! // Pick a template from the corpus and generate a short workload.
 //! let spec = &corpus::corpus()[0];
 //! let workload = spec.generate(64, 7);
-//! let mut engine = QueryEngine::new(spec.template.clone());
+//! let engine = QueryEngine::new(spec.template.clone());
 //!
 //! // Run SCR with a 2x sub-optimality budget.
-//! let mut scr = Scr::new(2.0);
+//! let mut scr = Scr::new(2.0)?;
 //! for inst in &workload {
 //!     let sv = engine.compute_svector(inst);
 //!     // choice.plan is guaranteed λ-optimal for this instance (under BCG).
-//!     let choice = scr.get_plan(inst, &sv, &mut engine);
+//!     let choice = scr.get_plan(inst, &sv, &engine);
 //!     assert!(choice.plan.size() >= 1);
 //! }
 //! assert!(engine.stats().optimize_calls < 64);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Serving many templates from many threads
+//!
+//! [`PqoService`] is the `Send + Sync` deployment surface: one shared
+//! handle, one SCR cache per registered template, concurrent `get_plan`.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pqo::{PqoService, core::scr::ScrConfig};
+//! use pqo::workload::corpus;
+//!
+//! # fn main() -> Result<(), pqo::PqoError> {
+//! let service = Arc::new(PqoService::new());
+//! let spec = &corpus::corpus()[0];
+//! service.register(spec.template.clone(), ScrConfig::new(2.0)?)?;
+//!
+//! let workload = spec.generate(32, 7);
+//! std::thread::scope(|scope| {
+//!     for chunk in workload.chunks(8) {
+//!         let service = Arc::clone(&service);
+//!         scope.spawn(move || {
+//!             for inst in chunk {
+//!                 service.get_plan(&spec.template.name, inst).expect("registered");
+//!             }
+//!         });
+//!     }
+//! });
+//! assert!(service.total_plans() >= 1);
+//! # Ok(())
+//! # }
 //! ```
 
 pub use pqo_catalog as catalog;
 pub use pqo_core as core;
+pub use pqo_exec as exec;
 pub use pqo_optimizer as optimizer;
 pub use pqo_workload as workload;
+
+pub use pqo_core::{PqoError, PqoService};

@@ -10,17 +10,12 @@ use pqo::core::runner::{run_sequence, GroundTruth};
 use pqo::core::OnlinePqo;
 use pqo::workload::corpus::corpus;
 
-fn run(
-    tech: &mut dyn OnlinePqo,
-    idx: usize,
-    m: usize,
-    seed: u64,
-) -> pqo::core::metrics::RunResult {
+fn run(tech: &mut dyn OnlinePqo, idx: usize, m: usize, seed: u64) -> pqo::core::metrics::RunResult {
     let spec = &corpus()[idx];
     let instances = spec.generate(m, seed);
-    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
-    let gt = GroundTruth::compute(&mut engine, &instances);
-    run_sequence(tech, &mut engine, &instances, &gt)
+    let engine = QueryEngine::new(Arc::clone(&spec.template));
+    let gt = GroundTruth::compute(&engine, &instances);
+    run_sequence(tech, &engine, &instances, &gt)
 }
 
 #[test]
@@ -42,7 +37,10 @@ fn optimize_once_has_minimal_overhead_and_unbounded_quality_risk() {
         assert_eq!(r.num_plans, 1);
         worst = worst.max(r.mso());
     }
-    assert!(worst > 10.0, "OptOnce should be badly sub-optimal somewhere (worst {worst})");
+    assert!(
+        worst > 10.0,
+        "OptOnce should be badly sub-optimal somewhere (worst {worst})"
+    );
 }
 
 #[test]
@@ -84,8 +82,15 @@ fn heuristics_store_every_distinct_plan_they_meet() {
     ] {
         let r = run(tech, idx, 250, 5);
         assert!(r.num_plans >= 1);
-        assert!(r.num_plans <= r.num_opt as usize, "cannot store more plans than optimizations");
-        assert_eq!(tech.plans_cached(), tech.max_plans_cached(), "heuristics never drop plans");
+        assert!(
+            r.num_plans <= r.num_opt as usize,
+            "cannot store more plans than optimizations"
+        );
+        assert_eq!(
+            tech.plans_cached(),
+            tech.max_plans_cached(),
+            "heuristics never drop plans"
+        );
     }
 }
 
@@ -102,9 +107,18 @@ fn heuristics_can_violate_any_bound() {
         density_worst = density_worst.max(run(&mut Density::new(0.1, 0.5), idx, 250, 6).mso());
         ranges_worst = ranges_worst.max(run(&mut Ranges::new(0.01), idx, 250, 6).mso());
     }
-    assert!(ellipse_worst > 2.0, "Ellipse stayed bounded ({ellipse_worst}) — suspicious");
-    assert!(density_worst > 2.0, "Density stayed bounded ({density_worst}) — suspicious");
-    assert!(ranges_worst > 2.0, "Ranges stayed bounded ({ranges_worst}) — suspicious");
+    assert!(
+        ellipse_worst > 2.0,
+        "Ellipse stayed bounded ({ellipse_worst}) — suspicious"
+    );
+    assert!(
+        density_worst > 2.0,
+        "Density stayed bounded ({density_worst}) — suspicious"
+    );
+    assert!(
+        ranges_worst > 2.0,
+        "Ranges stayed bounded ({ranges_worst}) — suspicious"
+    );
 }
 
 #[test]
@@ -113,7 +127,12 @@ fn redundancy_augmentation_trades_quality_for_plans() {
     // heuristic shrinks its plan cache without improving its MSO.
     let idx = 33;
     let plain = run(&mut Ellipse::new(0.9), idx, 300, 7);
-    let lean = run(&mut Ellipse::with_redundancy(0.9, 2.0f64.sqrt()), idx, 300, 7);
+    let lean = run(
+        &mut Ellipse::with_redundancy(0.9, 2.0f64.sqrt()),
+        idx,
+        300,
+        7,
+    );
     assert!(
         lean.num_plans <= plain.num_plans,
         "redundancy check should not store more plans ({} vs {})",
@@ -129,8 +148,8 @@ fn pcm_improves_dramatically_on_random_orderings() {
     use pqo::workload::orderings::Ordering;
     let spec = &corpus()[14];
     let instances = spec.generate(300, 8);
-    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
-    let gt = GroundTruth::compute(&mut engine, &instances);
+    let engine = QueryEngine::new(Arc::clone(&spec.template));
+    let gt = GroundTruth::compute(&engine, &instances);
 
     let mut by_ordering = Vec::new();
     for ordering in [Ordering::Random, Ordering::DecreasingCost] {
@@ -138,7 +157,7 @@ fn pcm_improves_dramatically_on_random_orderings() {
         let seq = Ordering::apply(&order, &instances);
         let seq_gt = gt.permute(&order);
         let mut pcm = Pcm::new(2.0);
-        let r = run_sequence(&mut pcm, &mut engine, &seq, &seq_gt);
+        let r = run_sequence(&mut pcm, &engine, &seq, &seq_gt);
         by_ordering.push(r.num_opt);
     }
     assert!(

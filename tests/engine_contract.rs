@@ -15,7 +15,7 @@ use pqo::workload::corpus::corpus;
 fn recost_agrees_with_optimizer_on_every_template() {
     for spec in corpus() {
         let instances = spec.generate(20, 11);
-        let mut engine = QueryEngine::new(Arc::clone(&spec.template));
+        let engine = QueryEngine::new(Arc::clone(&spec.template));
         for inst in &instances {
             let sv = engine.compute_svector(inst);
             let opt = engine.optimize(&sv);
@@ -37,7 +37,7 @@ fn recost_agrees_with_optimizer_on_every_template() {
 fn optimizer_winner_is_never_beaten_by_sibling_plans() {
     for spec in corpus().iter().step_by(9) {
         let instances = spec.generate(12, 13);
-        let mut engine = QueryEngine::new(Arc::clone(&spec.template));
+        let engine = QueryEngine::new(Arc::clone(&spec.template));
         let results: Vec<_> = instances
             .iter()
             .map(|inst| {
@@ -66,7 +66,7 @@ fn optimizer_winner_is_never_beaten_by_sibling_plans() {
 fn optimal_cost_is_monotone_per_dimension() {
     for spec in corpus().iter().step_by(11) {
         let d = spec.dimensions;
-        let mut engine = QueryEngine::new(Arc::clone(&spec.template));
+        let engine = QueryEngine::new(Arc::clone(&spec.template));
         for dim in 0..d {
             let mut prev = 0.0f64;
             for step in 1..=8 {
@@ -109,14 +109,17 @@ fn generated_instances_land_near_their_target_regions() {
 fn plan_identity_is_stable_across_repeated_optimizations() {
     for spec in corpus().iter().step_by(13) {
         let instances = spec.generate(8, 17);
-        let mut engine = QueryEngine::new(Arc::clone(&spec.template));
+        let engine = QueryEngine::new(Arc::clone(&spec.template));
         for inst in &instances {
             let sv = engine.compute_svector(inst);
             let a = engine.optimize(&sv);
             let b = engine.optimize(&sv);
             assert_eq!(a.plan.fingerprint(), b.plan.fingerprint());
             assert_eq!(a.cost, b.cost);
-            assert!(Arc::ptr_eq(&a.plan, &b.plan), "interner must dedupe identical plans");
+            assert!(
+                Arc::ptr_eq(&a.plan, &b.plan),
+                "interner must dedupe identical plans"
+            );
         }
     }
 }
@@ -127,10 +130,16 @@ fn plan_identity_is_stable_across_repeated_optimizations() {
 /// suite measures the real gap (typically 10-100x).
 #[test]
 fn recost_is_cheaper_than_optimize() {
-    let spec = corpus().iter().find(|s| s.template.num_relations() >= 3).unwrap();
+    let spec = corpus()
+        .iter()
+        .find(|s| s.template.num_relations() >= 3)
+        .unwrap();
     let instances = spec.generate(50, 23);
-    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
-    let svs: Vec<_> = instances.iter().map(|i| engine.compute_svector(i)).collect();
+    let engine = QueryEngine::new(Arc::clone(&spec.template));
+    let svs: Vec<_> = instances
+        .iter()
+        .map(|i| engine.compute_svector(i))
+        .collect();
     let plan = engine.optimize(&svs[0]).plan;
     engine.reset_stats();
     for sv in &svs {

@@ -26,12 +26,16 @@ fn database_for(catalog: &str) -> Database {
 
 /// Collect distinct optimal plans across the selectivity space of a
 /// template.
-fn plan_portfolio(engine: &mut QueryEngine, d: usize) -> Vec<Arc<Plan>> {
+fn plan_portfolio(engine: &QueryEngine, d: usize) -> Vec<Arc<Plan>> {
     let template = Arc::clone(engine.template());
     let mut seen = BTreeSet::new();
     let mut plans = Vec::new();
     let corners: Vec<Vec<f64>> = (0..16)
-        .map(|k| (0..d).map(|i| if k >> (i % 4) & 1 == 1 { 0.85 } else { 0.004 }).collect())
+        .map(|k| {
+            (0..d)
+                .map(|i| if k >> (i % 4) & 1 == 1 { 0.85 } else { 0.004 })
+                .collect()
+        })
         .collect();
     for target in corners {
         let sv = compute_svector(&template, &instance_for_target(&template, &target));
@@ -48,11 +52,18 @@ fn all_optimal_plans_agree_on_executed_answers() {
     // One representative template per catalog, chosen to have joins.
     let picks = ["tpch_skew_B_d2", "tpcds_G_d3", "rd1_L_d3", "rd2_T_d3"];
     for id in picks {
-        let spec = corpus().iter().find(|s| s.id == id).expect("corpus template");
+        let spec = corpus()
+            .iter()
+            .find(|s| s.id == id)
+            .expect("corpus template");
         let db = database_for(spec.catalog);
-        let mut engine = QueryEngine::new(Arc::clone(&spec.template));
-        let plans = plan_portfolio(&mut engine, spec.dimensions);
-        assert!(plans.len() >= 2, "{id}: need at least two distinct plans, got {}", plans.len());
+        let engine = QueryEngine::new(Arc::clone(&spec.template));
+        let plans = plan_portfolio(&engine, spec.dimensions);
+        assert!(
+            plans.len() >= 2,
+            "{id}: need at least two distinct plans, got {}",
+            plans.len()
+        );
         for target_sel in [0.05, 0.5] {
             let target = vec![target_sel; spec.dimensions];
             let inst = instance_for_target(&spec.template, &target);
@@ -75,12 +86,12 @@ fn scr_chosen_plans_execute_identically_to_optimal_plans() {
     use pqo::core::OnlinePqo;
     let spec = corpus().iter().find(|s| s.id == "tpch_skew_B_d2").unwrap();
     let db = database_for(spec.catalog);
-    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
-    let mut scr = Scr::new(2.0);
+    let engine = QueryEngine::new(Arc::clone(&spec.template));
+    let mut scr = Scr::new(2.0).expect("valid λ");
     let instances = spec.generate(80, 5);
     for inst in &instances {
         let sv = engine.compute_svector(inst);
-        let choice = scr.get_plan(inst, &sv, &mut engine);
+        let choice = scr.get_plan(inst, &sv, &engine);
         let opt = engine.optimize_untracked(&sv);
         let chosen = pqo_exec::execute(&db, &spec.template, &choice.plan, inst).rows;
         let optimal = pqo_exec::execute(&db, &spec.template, &opt.plan, inst).rows;
@@ -103,7 +114,8 @@ fn executed_selectivity_tracks_estimates_on_base_scans() {
         let scan = Plan::new(pqo::optimizer::plan::PlanNode::leaf(
             pqo::optimizer::plan::PlanOp::SeqScan { relation: 0 },
         ));
-        let executed = pqo_exec::execute(&db, template, &scan, &inst).rows as f64 / table.rows as f64;
+        let executed =
+            pqo_exec::execute(&db, template, &scan, &inst).rows as f64 / table.rows as f64;
         assert!(
             (executed - sv.get(0)).abs() < 0.06,
             "estimated {} vs executed {executed} at target {target}",

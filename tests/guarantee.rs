@@ -20,10 +20,10 @@ const SLACK: f64 = 1.001;
 fn check_lambda_guarantee(template_idx: usize, lambda: f64, m: usize) {
     let spec = &corpus()[template_idx];
     let instances = spec.generate(m, 0xA11CE);
-    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
-    let gt = GroundTruth::compute(&mut engine, &instances);
-    let mut scr = Scr::new(lambda);
-    let r = run_sequence(&mut scr, &mut engine, &instances, &gt);
+    let engine = QueryEngine::new(Arc::clone(&spec.template));
+    let gt = GroundTruth::compute(&engine, &instances);
+    let mut scr = Scr::new(lambda).expect("valid λ");
+    let r = run_sequence(&mut scr, &engine, &instances, &gt);
     let violations = r.violation_rate(lambda);
     assert!(
         violations <= 0.01,
@@ -34,7 +34,13 @@ fn check_lambda_guarantee(template_idx: usize, lambda: f64, m: usize) {
     );
     // And when no violation occurred the bound must hold exactly.
     if violations == 0.0 {
-        assert!(r.mso() <= lambda * SLACK, "{}: MSO {} > λ {}", spec.id, r.mso(), lambda);
+        assert!(
+            r.mso() <= lambda * SLACK,
+            "{}: MSO {} > λ {}",
+            spec.id,
+            r.mso(),
+            lambda
+        );
     }
 }
 
@@ -72,14 +78,14 @@ fn scr_guarantee_holds_on_high_dimensional_templates() {
 fn scr_guarantee_survives_every_ordering() {
     let spec = &corpus()[15];
     let instances = spec.generate(250, 7);
-    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
-    let gt = GroundTruth::compute(&mut engine, &instances);
+    let engine = QueryEngine::new(Arc::clone(&spec.template));
+    let gt = GroundTruth::compute(&engine, &instances);
     for ordering in Ordering::ALL {
         let order = ordering.permutation(&gt, 3);
         let seq = Ordering::apply(&order, &instances);
         let seq_gt = gt.permute(&order);
-        let mut scr = Scr::new(2.0);
-        let r = run_sequence(&mut scr, &mut engine, &seq, &seq_gt);
+        let mut scr = Scr::new(2.0).expect("valid λ");
+        let r = run_sequence(&mut scr, &engine, &seq, &seq_gt);
         assert!(
             r.mso() <= 2.0 * SLACK || r.violation_rate(2.0) <= 0.01,
             "ordering {} broke the bound: MSO {}",
@@ -93,13 +99,13 @@ fn scr_guarantee_survives_every_ordering() {
 fn scr_guarantee_survives_plan_budgets() {
     let spec = &corpus()[13];
     let instances = spec.generate(300, 9);
-    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
-    let gt = GroundTruth::compute(&mut engine, &instances);
+    let engine = QueryEngine::new(Arc::clone(&spec.template));
+    let gt = GroundTruth::compute(&engine, &instances);
     for k in [1, 2, 3, 5] {
-        let mut cfg = ScrConfig::new(2.0);
+        let mut cfg = ScrConfig::new(2.0).expect("valid λ");
         cfg.plan_budget = Some(k);
-        let mut scr = Scr::with_config(cfg);
-        let r = run_sequence(&mut scr, &mut engine, &instances, &gt);
+        let mut scr = Scr::with_config(cfg).expect("valid config");
+        let r = run_sequence(&mut scr, &engine, &instances, &gt);
         assert!(r.num_plans <= k, "budget k={k} violated: {}", r.num_plans);
         assert!(
             r.mso() <= 2.0 * SLACK || r.violation_rate(2.0) <= 0.01,
@@ -115,31 +121,40 @@ fn scr_dominates_optimize_once_on_quality_and_pcm_on_overhead() {
     use pqo::core::baselines::{OptimizeOnce, Pcm};
     let spec = &corpus()[30];
     let instances = spec.generate(400, 21);
-    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
-    let gt = GroundTruth::compute(&mut engine, &instances);
+    let engine = QueryEngine::new(Arc::clone(&spec.template));
+    let gt = GroundTruth::compute(&engine, &instances);
 
-    let mut scr = Scr::new(2.0);
-    let scr_r = run_sequence(&mut scr, &mut engine, &instances, &gt);
+    let mut scr = Scr::new(2.0).expect("valid λ");
+    let scr_r = run_sequence(&mut scr, &engine, &instances, &gt);
     let mut once = OptimizeOnce::new();
-    let once_r = run_sequence(&mut once, &mut engine, &instances, &gt);
+    let once_r = run_sequence(&mut once, &engine, &instances, &gt);
     let mut pcm = Pcm::new(2.0);
-    let pcm_r = run_sequence(&mut pcm, &mut engine, &instances, &gt);
+    let pcm_r = run_sequence(&mut pcm, &engine, &instances, &gt);
 
-    assert!(scr_r.mso() <= once_r.mso(), "SCR must not be worse than OptOnce on MSO");
-    assert!(scr_r.num_opt <= pcm_r.num_opt, "SCR must not optimize more than PCM");
-    assert!(scr_r.num_plans <= pcm_r.num_plans, "SCR must not store more than PCM");
+    assert!(
+        scr_r.mso() <= once_r.mso(),
+        "SCR must not be worse than OptOnce on MSO"
+    );
+    assert!(
+        scr_r.num_opt <= pcm_r.num_opt,
+        "SCR must not optimize more than PCM"
+    );
+    assert!(
+        scr_r.num_plans <= pcm_r.num_plans,
+        "SCR must not store more than PCM"
+    );
 }
 
 #[test]
 fn tightening_lambda_tightens_quality_and_costs_more_calls() {
     let spec = &corpus()[25];
     let instances = spec.generate(400, 5);
-    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
-    let gt = GroundTruth::compute(&mut engine, &instances);
+    let engine = QueryEngine::new(Arc::clone(&spec.template));
+    let gt = GroundTruth::compute(&engine, &instances);
     let mut results = Vec::new();
     for lambda in [1.1, 1.5, 2.0] {
-        let mut scr = Scr::new(lambda);
-        let r = run_sequence(&mut scr, &mut engine, &instances, &gt);
+        let mut scr = Scr::new(lambda).expect("valid λ");
+        let r = run_sequence(&mut scr, &engine, &instances, &gt);
         results.push((lambda, r));
     }
     for w in results.windows(2) {

@@ -1,11 +1,12 @@
-//! Property-based fuzzing of the full SCR loop: random workloads × random
+//! Seeded fuzzing of the full SCR loop: random workloads × random
 //! configurations must never break the structural invariants, and the
 //! λ-optimality guarantee must hold up to the documented rare-violation
 //! allowance.
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
+use pqo_rand::rngs::StdRng;
+use pqo_rand::{Rng, SeedableRng};
 
 use pqo::core::engine::QueryEngine;
 use pqo::core::scr::{CandidateOrder, Scr, ScrConfig};
@@ -13,61 +14,61 @@ use pqo::core::OnlinePqo;
 use pqo::optimizer::svector::{compute_svector, instance_for_target};
 use pqo::workload::corpus::corpus;
 
-fn scr_config_strategy() -> impl Strategy<Value = ScrConfig> {
-    (
-        1.05f64..2.5,              // lambda
-        prop_oneof![Just(0.0f64), 1.0f64..1.6], // lambda_r (0 disables)
-        prop_oneof![Just(None), (1usize..6).prop_map(Some)], // budget
-        1usize..12,                // max_recost_candidates
-        any::<bool>(),             // violation handling
-        prop_oneof![Just(usize::MAX), Just(0usize), Just(16usize)], // index threshold
-        prop_oneof![
-            Just(CandidateOrder::GlAscending),
-            Just(CandidateOrder::UsageDescending),
-            Just(CandidateOrder::AreaDescending)
-        ],
-    )
-        .prop_map(|(lambda, lambda_r, budget, cands, viol, idx, order)| {
-            let mut cfg = ScrConfig::new(lambda);
-            cfg.lambda_r = if lambda_r > 0.0 { lambda_r.min(lambda) } else { 0.0 };
-            cfg.plan_budget = budget;
-            cfg.max_recost_candidates = cands;
-            cfg.violation_handling = viol;
-            cfg.spatial_index_threshold = idx;
-            cfg.candidate_order = order;
-            cfg
-        })
+fn random_config(rng: &mut StdRng) -> ScrConfig {
+    let lambda = rng.gen_range(1.05..2.5);
+    let mut cfg = ScrConfig::new(lambda).expect("generated λ > 1");
+    cfg.lambda_r = if rng.gen_bool(0.5) {
+        rng.gen_range(1.0..1.6f64).min(lambda)
+    } else {
+        0.0
+    };
+    cfg.plan_budget = if rng.gen_bool(0.5) {
+        Some(rng.gen_range(1..6usize))
+    } else {
+        None
+    };
+    cfg.max_recost_candidates = rng.gen_range(1..12usize);
+    cfg.violation_handling = rng.gen_bool(0.5);
+    cfg.spatial_index_threshold = *[usize::MAX, 0, 16].get(rng.gen_range(0..3usize)).unwrap();
+    cfg.candidate_order = [
+        CandidateOrder::GlAscending,
+        CandidateOrder::UsageDescending,
+        CandidateOrder::AreaDescending,
+    ][rng.gen_range(0..3usize)];
+    cfg
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+fn random_targets(rng: &mut StdRng, min: usize, max: usize, lo: f64) -> Vec<Vec<f64>> {
+    let n = rng.gen_range(min..max);
+    (0..n)
+        .map(|_| (0..2).map(|_| rng.gen_range(lo..1.0)).collect())
+        .collect()
+}
 
-    #[test]
-    fn random_workloads_and_configs_uphold_invariants(
-        cfg in scr_config_strategy(),
-        targets in proptest::collection::vec(
-            proptest::collection::vec(0.003f64..1.0, 2),
-            10..60
-        ),
-        template_pick in 0usize..3,
-    ) {
+#[test]
+fn random_workloads_and_configs_uphold_invariants() {
+    let mut rng = StdRng::seed_from_u64(0xfc22_0001);
+    for _case in 0..24 {
+        let cfg = random_config(&mut rng);
+        let targets = random_targets(&mut rng, 10, 60, 0.003);
         // Three small 2-d templates from different catalogs.
         let ids = ["tpch_skew_B_d2", "tpcds_G_d2", "rd1_M_d2"];
-        let spec = corpus().iter().find(|s| s.id == ids[template_pick]).expect("template");
+        let pick = ids[rng.gen_range(0..3usize)];
+        let spec = corpus().iter().find(|s| s.id == pick).expect("template");
         let lambda = cfg.lambda;
         let budget = cfg.plan_budget;
-        let mut engine = QueryEngine::new(Arc::clone(&spec.template));
-        let mut scr = Scr::with_config(cfg);
+        let engine = QueryEngine::new(Arc::clone(&spec.template));
+        let mut scr = Scr::with_config(cfg).expect("generated config is valid");
 
         let mut violations = 0usize;
         for target in &targets {
             let inst = instance_for_target(&spec.template, target);
             let sv = compute_svector(&spec.template, &inst);
-            let choice = scr.get_plan(&inst, &sv, &mut engine);
+            let choice = scr.get_plan(&inst, &sv, &engine);
             // Invariants after every step.
-            prop_assert!(scr.cache().check_invariants().is_ok());
+            assert!(scr.cache().check_invariants().is_ok());
             if let Some(k) = budget {
-                prop_assert!(scr.plans_cached() <= k, "budget {k} violated");
+                assert!(scr.plans_cached() <= k, "budget {k} violated");
             }
             // Guarantee (allowing the documented rare BCG violations).
             let opt = engine.optimize_untracked(&sv);
@@ -76,41 +77,44 @@ proptest! {
                 violations += 1;
             }
         }
-        prop_assert!(
+        assert!(
             violations as f64 <= 0.05 * targets.len() as f64,
             "{violations}/{} instances exceeded λ={lambda}",
             targets.len()
         );
         // Bookkeeping consistency.
         let stats = scr.stats();
-        prop_assert_eq!(
+        assert_eq!(
             stats.selectivity_hits + stats.cost_hits + stats.optimizer_calls,
             targets.len() as u64
         );
-        prop_assert!(scr.max_plans_cached() as u64 <= stats.optimizer_calls.max(1));
+        assert!(scr.max_plans_cached() as u64 <= stats.optimizer_calls.max(1));
     }
+}
 
-    #[test]
-    fn persistence_roundtrip_holds_for_random_states(
-        targets in proptest::collection::vec(
-            proptest::collection::vec(0.005f64..1.0, 2),
-            5..40
-        ),
-        lambda in 1.1f64..2.0,
-    ) {
+#[test]
+fn persistence_roundtrip_holds_for_random_states() {
+    let mut rng = StdRng::seed_from_u64(0xfc22_0002);
+    for _case in 0..24 {
+        let targets = random_targets(&mut rng, 5, 40, 0.005);
+        let lambda = rng.gen_range(1.1..2.0);
         let spec = corpus().iter().find(|s| s.id == "tpch_skew_B_d2").unwrap();
-        let mut engine = QueryEngine::new(Arc::clone(&spec.template));
-        let mut scr = Scr::new(lambda);
+        let engine = QueryEngine::new(Arc::clone(&spec.template));
+        let mut scr = Scr::new(lambda).expect("λ > 1");
         for target in &targets {
             let inst = instance_for_target(&spec.template, target);
             let sv = compute_svector(&spec.template, &inst);
-            let _ = scr.get_plan(&inst, &sv, &mut engine);
+            let _ = scr.get_plan(&inst, &sv, &engine);
         }
         let mut buf = Vec::new();
         pqo::core::persist::save(&scr, &mut buf).unwrap();
-        let restored = pqo::core::persist::restore(ScrConfig::new(lambda), &mut buf.as_slice()).unwrap();
-        prop_assert_eq!(restored.cache().num_plans(), scr.cache().num_plans());
-        prop_assert_eq!(restored.cache().num_instances(), scr.cache().num_instances());
-        prop_assert!(restored.cache().check_invariants().is_ok());
+        let cfg = ScrConfig::new(lambda).expect("λ > 1");
+        let restored = pqo::core::persist::restore(cfg, &mut buf.as_slice()).unwrap();
+        assert_eq!(restored.cache().num_plans(), scr.cache().num_plans());
+        assert_eq!(
+            restored.cache().num_instances(),
+            scr.cache().num_instances()
+        );
+        assert!(restored.cache().check_invariants().is_ok());
     }
 }

@@ -30,12 +30,12 @@ struct Pair {
 }
 
 fn sample_pairs(template_idx: usize, n: usize, seed: u64) -> Vec<Pair> {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use pqo_rand::rngs::StdRng;
+    use pqo_rand::{Rng, SeedableRng};
     let spec = &corpus()[template_idx];
     let d = spec.dimensions;
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
+    let engine = QueryEngine::new(Arc::clone(&spec.template));
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         let te: Vec<f64> = (0..d).map(|_| rng.gen_range(0.002..1.0f64)).collect();
@@ -118,7 +118,11 @@ fn bcg_premises_hold_for_the_vast_majority_of_pairs() {
         }
     }
     let rate = held as f64 / total as f64;
-    assert!(rate > 0.95, "BCG premises held for only {:.1}% of pairs", rate * 100.0);
+    assert!(
+        rate > 0.95,
+        "BCG premises held for only {:.1}% of pairs",
+        rate * 100.0
+    );
 }
 
 #[test]

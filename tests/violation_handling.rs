@@ -31,7 +31,11 @@ fn spiky_engine() -> (Arc<QueryTemplate>, QueryEngine) {
     let template = b.build();
     // Tiny working memory + savage spill penalty: crossing the build-side
     // spill threshold multiplies the hash-join cost by far more than α.
-    let model = CostModel { mem_rows: 50_000.0, spill_io_per_row: 2.0, ..CostModel::default() };
+    let model = CostModel {
+        mem_rows: 50_000.0,
+        spill_io_per_row: 2.0,
+        ..CostModel::default()
+    };
     let engine = QueryEngine::with_cost_model(Arc::clone(&template), model);
     (template, engine)
 }
@@ -40,7 +44,7 @@ fn spiky_engine() -> (Arc<QueryTemplate>, QueryEngine) {
 /// BCG upper bound under the spiky cost model.
 fn find_violating_pair(
     template: &QueryTemplate,
-    engine: &mut QueryEngine,
+    engine: &QueryEngine,
 ) -> Option<([f64; 2], [f64; 2])> {
     for i in 1..20 {
         let base = [0.01 * i as f64, 0.01];
@@ -64,17 +68,17 @@ fn find_violating_pair(
 
 #[test]
 fn spill_step_creates_a_numeric_bcg_violation() {
-    let (template, mut engine) = spiky_engine();
+    let (template, engine) = spiky_engine();
     assert!(
-        find_violating_pair(&template, &mut engine).is_some(),
+        find_violating_pair(&template, &engine).is_some(),
         "the spiky cost model must produce a BCG violation somewhere"
     );
 }
 
 #[test]
 fn cost_check_detects_and_disables_violating_entries() {
-    let (template, mut engine) = spiky_engine();
-    let (base, probe) = find_violating_pair(&template, &mut engine)
+    let (template, engine) = spiky_engine();
+    let (base, probe) = find_violating_pair(&template, &engine)
         .expect("violating pair exists under the spiky model");
 
     // λ huge so the cost check actually evaluates the violating candidate
@@ -84,28 +88,34 @@ fn cost_check_detects_and_disables_violating_entries() {
     // λ while R·L is in range. Easiest robust setup: process the base
     // instance, then the probe, and assert the violation counter moved OR
     // the entry got disabled — the Appendix G machinery reacted.
-    let mut cfg = ScrConfig::new(1.2);
+    let mut cfg = ScrConfig::new(1.2).expect("valid λ");
     cfg.violation_handling = true;
-    let mut scr = Scr::with_config(cfg);
+    let mut scr = Scr::with_config(cfg).expect("valid config");
 
     let inst_e = instance_for_target(&template, &base);
     let sv_e = compute_svector(&template, &inst_e);
-    let first = scr.get_plan(&inst_e, &sv_e, &mut engine);
+    let first = scr.get_plan(&inst_e, &sv_e, &engine);
     assert!(first.optimized);
 
     let inst_c = instance_for_target(&template, &probe);
     let sv_c = compute_svector(&template, &inst_c);
-    let _ = scr.get_plan(&inst_c, &sv_c, &mut engine);
+    let _ = scr.get_plan(&inst_c, &sv_c, &engine);
 
-    let disabled = scr.cache().instances().iter().filter(|e| e.violation_detected).count();
+    let disabled = scr
+        .cache()
+        .instances()
+        .iter()
+        .filter(|e| e.violation_detected())
+        .count();
     assert_eq!(
-        scr.stats().violations_detected as usize, disabled,
+        scr.stats().violations_detected as usize,
+        disabled,
         "stats and entry flags must agree"
     );
     if disabled > 0 {
         // Once disabled, the entry must never serve another cost check:
         // re-presenting the probe cannot reuse through the disabled entry.
-        let again = scr.get_plan(&inst_c, &sv_c, &mut engine);
+        let again = scr.get_plan(&inst_c, &sv_c, &engine);
         let _ = again;
         assert!(scr.cache().check_invariants().is_ok());
     }
@@ -113,16 +123,20 @@ fn cost_check_detects_and_disables_violating_entries() {
 
 #[test]
 fn violation_handling_off_leaves_entries_enabled() {
-    let (template, mut engine) = spiky_engine();
-    let mut cfg = ScrConfig::new(1.2);
+    let (template, engine) = spiky_engine();
+    let mut cfg = ScrConfig::new(1.2).expect("valid λ");
     cfg.violation_handling = false;
-    let mut scr = Scr::with_config(cfg);
+    let mut scr = Scr::with_config(cfg).expect("valid config");
     for i in 1..30 {
         let t = [0.003 * i as f64, 0.01];
         let inst = instance_for_target(&template, &t);
         let sv = compute_svector(&template, &inst);
-        let _ = scr.get_plan(&inst, &sv, &mut engine);
+        let _ = scr.get_plan(&inst, &sv, &engine);
     }
     assert_eq!(scr.stats().violations_detected, 0);
-    assert!(scr.cache().instances().iter().all(|e| !e.violation_detected));
+    assert!(scr
+        .cache()
+        .instances()
+        .iter()
+        .all(|e| !e.violation_detected()));
 }

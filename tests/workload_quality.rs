@@ -21,8 +21,8 @@ fn most_templates_have_multiple_optimal_plans() {
     let mut total = 0usize;
     for spec in corpus().iter().step_by(4) {
         let instances = spec.generate(120, 3);
-        let mut engine = QueryEngine::new(Arc::clone(&spec.template));
-        let gt = GroundTruth::compute(&mut engine, &instances);
+        let engine = QueryEngine::new(Arc::clone(&spec.template));
+        let gt = GroundTruth::compute(&engine, &instances);
         total += 1;
         if gt.distinct_plans() >= 2 {
             multi += 1;
@@ -35,7 +35,10 @@ fn most_templates_have_multiple_optimal_plans() {
         multi as f64 >= 0.85 * total as f64,
         "only {multi}/{total} sampled templates have plan switches"
     );
-    assert!(rich >= total / 4, "only {rich}/{total} templates are plan-rich");
+    assert!(
+        rich >= total / 4,
+        "only {rich}/{total} templates are plan-rich"
+    );
 }
 
 #[test]
@@ -51,7 +54,10 @@ fn selectivities_span_orders_of_magnitude() {
                 .map(|i| compute_svector(&spec.template, i).get(dim))
                 .collect();
             sels.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            let (lo, hi) = (sels[sels.len() / 20], sels[sels.len() - 1 - sels.len() / 20]);
+            let (lo, hi) = (
+                sels[sels.len() / 20],
+                sels[sels.len() - 1 - sels.len() / 20],
+            );
             assert!(
                 hi / lo > 5.0,
                 "{}: dim {dim} spans only {lo:.4}..{hi:.4}",
@@ -68,8 +74,8 @@ fn reuse_potential_exists() {
     // someone.
     for spec in corpus().iter().step_by(12) {
         let instances = spec.generate(150, 4);
-        let mut engine = QueryEngine::new(Arc::clone(&spec.template));
-        let gt = GroundTruth::compute(&mut engine, &instances);
+        let engine = QueryEngine::new(Arc::clone(&spec.template));
+        let gt = GroundTruth::compute(&engine, &instances);
         assert!(
             gt.distinct_plans() * 4 <= instances.len(),
             "{}: {} plans for {} instances leaves no reuse",
@@ -89,8 +95,8 @@ fn adversarial_orderings_actually_hurt_pcm() {
     use pqo::core::runner::run_sequence;
     let spec = corpus().iter().find(|s| s.id == "tpcds_G_d3").unwrap();
     let instances = spec.generate(400, 6);
-    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
-    let gt = GroundTruth::compute(&mut engine, &instances);
+    let engine = QueryEngine::new(Arc::clone(&spec.template));
+    let gt = GroundTruth::compute(&engine, &instances);
 
     let mut counts = std::collections::BTreeMap::new();
     for ordering in Ordering::ALL {
@@ -98,7 +104,7 @@ fn adversarial_orderings_actually_hurt_pcm() {
         let seq = Ordering::apply(&order, &instances);
         let seq_gt = gt.permute(&order);
         let mut pcm = Pcm::new(2.0);
-        let r = run_sequence(&mut pcm, &mut engine, &seq, &seq_gt);
+        let r = run_sequence(&mut pcm, &engine, &seq, &seq_gt);
         counts.insert(ordering.name(), r.num_opt);
     }
     let random = counts["random"];
@@ -115,8 +121,8 @@ fn ground_truth_is_order_invariant() {
     // *set*: identical across all orderings.
     let spec = &corpus()[8];
     let instances = spec.generate(100, 11);
-    let mut engine = QueryEngine::new(Arc::clone(&spec.template));
-    let gt = GroundTruth::compute(&mut engine, &instances);
+    let engine = QueryEngine::new(Arc::clone(&spec.template));
+    let gt = GroundTruth::compute(&engine, &instances);
     let base_cost: f64 = gt.opt_costs.iter().sum();
     for ordering in Ordering::ALL {
         let order = ordering.permutation(&gt, 7);
