@@ -1,10 +1,13 @@
 //! Multi-threaded serving throughput of [`PqoService`]: N threads share one
 //! service and call `get_plan` concurrently over warmed per-template caches.
-//! Scaling beyond one thread is the point of the shard-per-template locking
-//! design — the read path takes only a registry read lock plus a shard read
-//! lock, so same-template and cross-template traffic both parallelize.
+//! Scaling beyond one thread is the point of the snapshot-published read
+//! path — a reader loads the current `CacheSnapshot` generation and decides
+//! with no lock held, so same-template and cross-template traffic both
+//! parallelize, and (the `writer_held` variant) cache hits keep flowing
+//! even while a thread sits inside the shard's writer lock.
 
 use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use pqo_bench::microbench::Runner;
@@ -20,6 +23,7 @@ fn main() {
 
     let service = Arc::new(PqoService::new());
     let mut streams: Vec<(String, Vec<QueryInstance>)> = Vec::new();
+    let mut read_mostly: Vec<(String, Vec<QueryInstance>)> = Vec::new();
     for id in ids {
         let spec = corpus()
             .iter()
@@ -40,8 +44,22 @@ fn main() {
         // The measured stream revisits the warmed region: the steady-state
         // serving mix (mostly cache hits, occasional re-optimize).
         streams.push((spec.template.name.clone(), spec.generate(per_thread, 7)));
+        // 99%-hit stream: exact revisits of warmed instances (guaranteed
+        // selectivity-check hits) with one unseen instance per hundred.
+        let fresh = spec.generate(per_thread, 31);
+        let stream: Vec<QueryInstance> = (0..per_thread)
+            .map(|i| {
+                if i % 100 == 99 {
+                    fresh[i].clone()
+                } else {
+                    warm[i % warm.len()].clone()
+                }
+            })
+            .collect();
+        read_mostly.push((spec.template.name.clone(), stream));
     }
     let streams = Arc::new(streams);
+    let read_mostly = Arc::new(read_mostly);
 
     for threads in [1usize, 2, 4, 8] {
         let total = (threads * per_thread) as u64;
@@ -71,5 +89,101 @@ fn main() {
                 });
             },
         );
+    }
+
+    // Read-mostly steady state: ~99% of the stream revisits warmed
+    // instances exactly, so almost every call is a snapshot-load plus a
+    // selectivity check — the path the snapshot split is built for.
+    for threads in [1usize, 2, 4, 8] {
+        let total = (threads * per_thread) as u64;
+        runner.bench_throughput(
+            &format!("service_throughput/get_plan_readmostly/{threads}_threads"),
+            total,
+            || {
+                std::thread::scope(|scope| {
+                    for t in 0..threads {
+                        let service = Arc::clone(&service);
+                        let read_mostly = Arc::clone(&read_mostly);
+                        scope.spawn(move || {
+                            let (name, insts) = &read_mostly[t % read_mostly.len()];
+                            let mut hits = 0u32;
+                            for inst in insts {
+                                let choice =
+                                    service.get_plan(name, inst).expect("serving get_plan");
+                                if !choice.optimized {
+                                    hits += 1;
+                                }
+                            }
+                            black_box(hits)
+                        });
+                    }
+                });
+            },
+        );
+    }
+
+    // Cache hits while a writer holds the writer lock: a holder thread
+    // parks inside `with_scr` (owning the first template's writer mutex)
+    // for the whole measurement; 8 reader threads stream guaranteed hits
+    // against that same template. Under the previous RwLock design this
+    // collapsed to zero concurrency; with snapshot publication the numbers
+    // should match the free-running hit path.
+    {
+        let (hit_name, _) = &read_mostly[0];
+        // Guaranteed-hit stream: exact revisits only (a miss here would
+        // block on the held writer lock and wedge the measurement).
+        let warm_only: Vec<QueryInstance> = {
+            let spec = corpus()
+                .iter()
+                .find(|s| s.id == ids[0])
+                .expect("corpus template");
+            let warm = spec.generate(200, 7);
+            (0..per_thread)
+                .map(|i| warm[i % warm.len()].clone())
+                .collect()
+        };
+        for inst in &warm_only {
+            let choice = service.get_plan(hit_name, inst).expect("prepass get_plan");
+            assert!(!choice.optimized, "writer_held stream must be all hits");
+        }
+        let release = Arc::new(AtomicBool::new(false));
+        let holder = {
+            let service = Arc::clone(&service);
+            let release = Arc::clone(&release);
+            let name = hit_name.clone();
+            std::thread::spawn(move || {
+                service
+                    .with_scr(&name, |_scr| {
+                        while !release.load(Ordering::Relaxed) {
+                            std::thread::sleep(std::time::Duration::from_millis(1));
+                        }
+                    })
+                    .expect("registered template");
+            })
+        };
+        let threads = 8usize;
+        runner.bench_throughput(
+            &format!("service_throughput/get_plan_hit_writer_held/{threads}_threads"),
+            (threads * per_thread) as u64,
+            || {
+                std::thread::scope(|scope| {
+                    for _ in 0..threads {
+                        let service = Arc::clone(&service);
+                        let insts = &warm_only;
+                        scope.spawn(move || {
+                            let mut hits = 0u32;
+                            for inst in insts {
+                                let choice =
+                                    service.get_plan(hit_name, inst).expect("serving get_plan");
+                                hits += u32::from(!choice.optimized);
+                            }
+                            black_box(hits)
+                        });
+                    }
+                });
+            },
+        );
+        release.store(true, Ordering::Relaxed);
+        holder.join().expect("holder thread");
     }
 }

@@ -5,9 +5,11 @@
 //! pqo explain  --template ID --sel S1,S2,...
 //! pqo recost   --template ID --plan-at S1,... --at S1,...
 //! pqo run      --template ID [--tech scr|pcm|ellipse|density|ranges|once]
-//!              [--lambda X] [--m N] [--seed N]
+//!              [--lambda X] [--m N] [--seed N] [--spatial-threshold N]
 //!              [--save-cache FILE] [--load-cache FILE]   (scr only)
-//! pqo cache    --template ID [--lambda X] [--m N]
+//! pqo cache    --template ID [--lambda X] [--m N] [--spatial-threshold N]
+//! pqo serve    --template ID [--lambda X] [--m N] [--seed N] [--batch N]
+//!              [--spatial-threshold N]
 //! ```
 
 use std::process::exit;
@@ -45,6 +47,7 @@ fn main() {
         "recost" => recost_cmd(&args),
         "run" => run_cmd(&args),
         "cache" => cache_cmd(&args),
+        "serve" => serve_cmd(&args),
         other => {
             eprintln!("error: unknown command `{other}`");
             usage();
@@ -62,8 +65,9 @@ fn usage() {
         "usage:\n  pqo templates [--catalog NAME]\n  pqo explain --template ID --sel S1,S2,...\n  \
          pqo recost --template ID --plan-at S1,... --at S1,...\n  \
          pqo run --template ID [--tech scr|pcm|ellipse|density|ranges|once] [--lambda X] [--m N] [--seed N]\n  \
-                 [--save-cache FILE] [--load-cache FILE]\n  \
-         pqo cache --template ID [--lambda X] [--m N]"
+                 [--spatial-threshold N] [--save-cache FILE] [--load-cache FILE]\n  \
+         pqo cache --template ID [--lambda X] [--m N] [--spatial-threshold N]\n  \
+         pqo serve --template ID [--lambda X] [--m N] [--seed N] [--batch N] [--spatial-threshold N]"
     );
 }
 
@@ -93,6 +97,20 @@ fn sels(args: &Args, key: &str, d: usize) -> Result<Vec<f64>, String> {
         return Err(format!("--{key}: selectivities must lie in (0, 1]"));
     }
     Ok(v)
+}
+
+/// SCR configuration from CLI flags: λ plus the optional
+/// `--spatial-threshold N` crossover knob (`0` = always use the spatial
+/// index, large values = linear scan only).
+fn scr_config(args: &Args, lambda: f64) -> Result<pqo_core::scr::ScrConfig, String> {
+    let mut cfg = pqo_core::scr::ScrConfig::new(lambda).map_err(|e| e.to_string())?;
+    if let Some(raw) = args.opt("spatial-threshold") {
+        let threshold: usize = raw
+            .parse()
+            .map_err(|e| format!("--spatial-threshold: {e}"))?;
+        cfg = cfg.with_spatial_index_threshold(threshold);
+    }
+    Ok(cfg)
 }
 
 fn templates(args: &Args) -> Result<(), String> {
@@ -225,10 +243,10 @@ fn run_cmd(args: &Args) -> Result<(), String> {
     };
 
     if tech_name == "scr" {
+        let cfg = scr_config(args, lambda)?;
         let mut scr = match &load_cache {
             Some(path) => {
                 let mut f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
-                let cfg = pqo_core::scr::ScrConfig::new(lambda).map_err(|e| e.to_string())?;
                 let scr =
                     pqo_core::persist::restore(cfg, &mut f).map_err(|e| format!("{path}: {e}"))?;
                 println!(
@@ -238,7 +256,7 @@ fn run_cmd(args: &Args) -> Result<(), String> {
                 );
                 scr
             }
-            None => Scr::new(lambda).map_err(|e| e.to_string())?,
+            None => Scr::with_config(cfg).map_err(|e| e.to_string())?,
         };
         let r = run_sequence(&mut scr, &engine, &instances, &gt);
         print_result(&r);
@@ -283,7 +301,7 @@ fn cache_cmd(args: &Args) -> Result<(), String> {
         .unwrap_or(500);
     let instances = spec.generate(m, 42);
     let engine = QueryEngine::new(Arc::clone(&spec.template));
-    let mut scr = Scr::new(lambda).map_err(|e| e.to_string())?;
+    let mut scr = Scr::with_config(scr_config(args, lambda)?).map_err(|e| e.to_string())?;
     for inst in &instances {
         let sv = engine.compute_svector(inst);
         let _ = scr.get_plan(inst, &sv, &engine);
@@ -322,6 +340,91 @@ fn cache_cmd(args: &Args) -> Result<(), String> {
             entries
         );
     }
+    Ok(())
+}
+
+/// Drive the snapshot-published serving layer over a generated workload:
+/// instances flow through [`pqo_core::PqoService::get_plan_batch`] in
+/// `--batch N` chunks (default 1 = per-instance `get_plan`), then the
+/// published snapshot's counters are reported. This is the CLI surface for
+/// the concurrent deployment path — same decisions as `pqo run --tech scr`,
+/// different machinery.
+fn serve_cmd(args: &Args) -> Result<(), String> {
+    let spec = spec(args)?;
+    let lambda: f64 = args
+        .opt("lambda")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--lambda: {e}"))?
+        .unwrap_or(2.0);
+    let m: usize = args
+        .opt("m")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--m: {e}"))?
+        .unwrap_or(1000);
+    let seed: u64 = args
+        .opt("seed")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--seed: {e}"))?
+        .unwrap_or(42);
+    let batch: usize = args
+        .opt("batch")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--batch: {e}"))?
+        .unwrap_or(1);
+    if batch == 0 {
+        return Err("--batch must be >= 1".into());
+    }
+
+    let service = pqo_core::PqoService::new();
+    service
+        .register(Arc::clone(&spec.template), scr_config(args, lambda)?)
+        .map_err(|e| e.to_string())?;
+
+    let instances = spec.generate(m, seed);
+    let start = std::time::Instant::now();
+    let mut optimized = 0usize;
+    if batch == 1 {
+        for inst in &instances {
+            let choice = service
+                .get_plan(&spec.id, inst)
+                .map_err(|e| e.to_string())?;
+            optimized += usize::from(choice.optimized);
+        }
+    } else {
+        for chunk in instances.chunks(batch) {
+            let choices = service
+                .get_plan_batch(&spec.id, chunk)
+                .map_err(|e| e.to_string())?;
+            optimized += choices.iter().filter(|c| c.optimized).count();
+        }
+    }
+    let elapsed = start.elapsed();
+
+    let stats = service.scr_stats(&spec.id).map_err(|e| e.to_string())?;
+    let snapshot = service.snapshot(&spec.id).map_err(|e| e.to_string())?;
+    println!(
+        "template            : {} (d = {})",
+        spec.id, spec.dimensions
+    );
+    println!("instances           : {m} (batch size {batch})");
+    println!(
+        "optimizer calls     : {optimized} ({:.1}%)",
+        100.0 * optimized as f64 / m.max(1) as f64
+    );
+    println!("plans cached        : {}", snapshot.cache().num_plans());
+    println!("instance entries    : {}", snapshot.cache().num_instances());
+    println!("selectivity hits    : {}", stats.selectivity_hits);
+    println!("cost-check hits     : {}", stats.cost_hits);
+    println!("recost calls        : {}", stats.getplan_recost_calls);
+    println!("serve time          : {elapsed:?}");
+    println!(
+        "per instance        : {:?}",
+        elapsed.checked_div(m.max(1) as u32).unwrap_or_default()
+    );
     Ok(())
 }
 

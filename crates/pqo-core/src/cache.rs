@@ -138,10 +138,17 @@ pub struct MemoryBreakdown {
 /// The plan cache: plan list + instance list, with a spatial index over the
 /// instances' log-selectivity vectors (Section 6.2) kept in sync with every
 /// mutation.
-#[derive(Debug, Default)]
+///
+/// Instance entries are `Arc`-shared: a `Clone` of the cache (how
+/// [`crate::snapshot::CacheSnapshot`]s are published) copies the plan map
+/// and the entry *pointers*, so the interior-mutable counters (`U`, the
+/// violation flag) keep a single identity across every published snapshot —
+/// a reader bumping usage through an old snapshot is still visible to the
+/// writer's LFU policy. Only the spatial index is deep-cloned.
+#[derive(Debug, Default, Clone)]
 pub struct PlanCache {
     plans: HashMap<PlanFingerprint, Arc<Plan>>,
-    instances: Vec<InstanceEntry>,
+    instances: Vec<Arc<InstanceEntry>>,
     max_plans: usize,
     index: Option<LogSelIndex>,
 }
@@ -185,7 +192,7 @@ impl PlanCache {
     /// The instance list. Entries expose their own interior-mutable
     /// counters ([`InstanceEntry::record_use`], `mark_violation`), so no
     /// `&mut` accessor is needed.
-    pub fn instances(&self) -> &[InstanceEntry] {
+    pub fn instances(&self) -> &[Arc<InstanceEntry>] {
         &self.instances
     }
 
@@ -203,6 +210,16 @@ impl PlanCache {
     /// Panics (debug) if the entry points to a plan not in the plan list —
     /// the structural invariant of Figure 5.
     pub fn push_instance(&mut self, entry: InstanceEntry) {
+        self.push_instance_arc(Arc::new(entry));
+    }
+
+    /// Append an already-shared instance entry (the Appendix F sweep and the
+    /// snapshot writer re-insert entries without resetting their counters).
+    ///
+    /// # Panics
+    /// Panics (debug) if the entry points to a plan not in the plan list —
+    /// the structural invariant of Figure 5.
+    pub fn push_instance_arc(&mut self, entry: Arc<InstanceEntry>) {
         debug_assert!(
             self.plans.contains_key(&entry.plan),
             "instance entry points to missing plan"
@@ -262,11 +279,11 @@ impl PlanCache {
 
     /// Remove and return all instance entries pointing at `fp`, keeping the
     /// plan itself. Used by the existing-plan redundancy sweep (Appendix F).
-    pub fn take_instances_of(&mut self, fp: PlanFingerprint) -> Vec<InstanceEntry> {
+    pub fn take_instances_of(&mut self, fp: PlanFingerprint) -> Vec<Arc<InstanceEntry>> {
         self.remove_instances_of(fp)
     }
 
-    fn remove_instances_of(&mut self, fp: PlanFingerprint) -> Vec<InstanceEntry> {
+    fn remove_instances_of(&mut self, fp: PlanFingerprint) -> Vec<Arc<InstanceEntry>> {
         // Compute the compaction map before mutating, then keep the spatial
         // index aligned with the compacted instance list.
         let mut remap = vec![usize::MAX; self.instances.len()];

@@ -9,12 +9,15 @@
 //! that owns its own engine handle.
 //!
 //! Built entirely on `std` primitives: jobs travel over a
-//! [`std::sync::mpsc`] channel, the shared SCR state sits behind an
-//! [`RwLock`] (the `getPlan` read path holds only the read lock, like
-//! [`crate::service::PqoService`]), and [`AsyncScr::flush`] waits on a
-//! [`Condvar`] over a pending-job counter rather than a channel roundtrip —
-//! so a flush returns only after every job *enqueued before it* has been
-//! fully applied, even when several threads flush at once.
+//! [`std::sync::mpsc`] channel, the SCR state is snapshot-published — the
+//! `getPlan` read path loads the current [`CacheSnapshot`] generation from
+//! a [`SnapshotCell`] and decides with **no lock held** (like
+//! [`crate::service::PqoService`]), while the worker owns the
+//! [`CacheWriter`] and publishes a fresh generation after each committed
+//! `manageCache` — and [`AsyncScr::flush`] waits on a [`Condvar`] over a
+//! pending-job counter rather than a channel roundtrip — so a flush
+//! returns only after every job *enqueued before it* has been fully
+//! applied, even when several threads flush at once.
 //!
 //! Consequences, faithful to the paper's design:
 //!
@@ -28,7 +31,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use pqo_optimizer::engine::{OptimizedPlan, QueryEngine};
@@ -37,6 +40,7 @@ use pqo_optimizer::svector::SVector;
 use pqo_optimizer::template::{QueryInstance, QueryTemplate};
 
 use crate::scr::{Scr, ScrConfig};
+use crate::snapshot::{CacheSnapshot, CacheWriter, SnapshotCell};
 use crate::PlanChoice;
 
 enum Job {
@@ -55,7 +59,8 @@ struct Progress {
 
 /// SCR with `manageCache` running on a background thread.
 pub struct AsyncScr {
-    shared: Arc<RwLock<Scr>>,
+    published: Arc<SnapshotCell>,
+    writer: Arc<Mutex<CacheWriter>>,
     progress: Arc<Progress>,
     tx: Sender<Job>,
     worker: Option<JoinHandle<()>>,
@@ -69,14 +74,17 @@ impl AsyncScr {
     /// [`PqoError::InvalidLambda`] / [`PqoError::InvalidBudget`] when the
     /// configuration is invalid.
     pub fn new(config: ScrConfig, template: Arc<QueryTemplate>) -> Result<Self, PqoError> {
-        let shared = Arc::new(RwLock::new(Scr::with_config(config)?));
+        let (writer, first) = CacheWriter::new(Scr::with_config(config)?);
+        let published = Arc::new(SnapshotCell::new(first));
+        let writer = Arc::new(Mutex::new(writer));
         let progress = Arc::new(Progress {
             enqueued: AtomicU64::new(0),
             applied: Mutex::new(0),
             advanced: Condvar::new(),
         });
         let (tx, rx) = channel::<Job>();
-        let worker_shared = Arc::clone(&shared);
+        let worker_published = Arc::clone(&published);
+        let worker_writer = Arc::clone(&writer);
         let worker_progress = Arc::clone(&progress);
         let worker = std::thread::Builder::new()
             .name("scr-manage-cache".into())
@@ -85,10 +93,10 @@ impl AsyncScr {
                 while let Ok(job) = rx.recv() {
                     match job {
                         Job::Manage(sv, opt) => {
-                            worker_shared
-                                .write()
-                                .expect("scr lock poisoned")
-                                .manage_cache_entry(&sv, opt, &engine);
+                            worker_writer
+                                .lock()
+                                .expect("writer lock poisoned")
+                                .manage_cache_entry(&sv, opt, &engine, &worker_published);
                             let mut applied = worker_progress
                                 .applied
                                 .lock()
@@ -102,7 +110,8 @@ impl AsyncScr {
             })
             .expect("spawn manageCache worker");
         Ok(AsyncScr {
-            shared,
+            published,
+            writer,
             progress,
             tx,
             worker: Some(worker),
@@ -127,36 +136,34 @@ impl AsyncScr {
         }
     }
 
-    /// Plans currently cached (flush first for a quiescent view).
+    /// Plans currently cached in the published generation (flush first for
+    /// a quiescent view).
     pub fn plans_cached(&self) -> usize {
-        self.shared
-            .read()
-            .expect("scr lock poisoned")
-            .cache()
-            .num_plans()
+        self.published.load().cache().num_plans()
     }
 
-    /// Run a closure against the underlying SCR state (e.g. to inspect
-    /// stats or cache invariants in tests).
+    /// The current published generation (lock-free view for callers that
+    /// make several decisions against one consistent cache state).
+    pub fn snapshot(&self) -> Arc<CacheSnapshot> {
+        self.published.load()
+    }
+
+    /// Run a closure against the canonical SCR state under the writer lock
+    /// (e.g. to inspect stats or cache invariants in tests).
     pub fn with_inner<R>(&self, f: impl FnOnce(&Scr) -> R) -> R {
-        f(&self.shared.read().expect("scr lock poisoned"))
+        f(self.writer.lock().expect("writer lock poisoned").scr())
     }
 
-    /// The critical-path `getPlan`: checks under the shared *read* lock; on
-    /// a miss the optimizer runs on the caller's thread and cache
-    /// maintenance is queued to the worker.
+    /// The critical-path `getPlan`: checks against the loaded snapshot
+    /// generation with no lock held; on a miss the optimizer runs on the
+    /// caller's thread and cache maintenance is queued to the worker.
     pub fn get_plan(
         &self,
         _instance: &QueryInstance,
         sv: &SVector,
         engine: &QueryEngine,
     ) -> PlanChoice {
-        if let Some(choice) = self
-            .shared
-            .read()
-            .expect("scr lock poisoned")
-            .try_cached_plan(sv, engine)
-        {
+        if let Some(choice) = self.published.load().try_cached_plan(sv, engine) {
             return choice;
         }
         let opt = engine.optimize(sv);

@@ -28,12 +28,14 @@ pub mod persist;
 pub mod runner;
 pub mod scr;
 pub mod service;
+pub mod snapshot;
 pub mod spatial;
 
 pub use pqo_optimizer::engine;
 pub use pqo_optimizer::error::PqoError;
 pub use scr::Scr;
 pub use service::PqoService;
+pub use snapshot::{CacheSnapshot, CacheWriter, SnapshotCell};
 
 use std::sync::Arc;
 

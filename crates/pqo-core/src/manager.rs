@@ -203,6 +203,14 @@ impl PqoManager {
             let after = e.scr.plans_cached();
             self.total_plans -= before - after;
             self.global_evictions += 1;
+            // Eviction-point reconciliation: the O(1) running total must
+            // equal a full recount (cheap insurance in debug builds; the
+            // service layer asserts the same invariant under concurrency).
+            debug_assert_eq!(
+                self.total_plans,
+                self.entries.values().map(|e| e.scr.plans_cached()).sum(),
+                "manager plan total drifted from recount at eviction point"
+            );
         }
     }
 }

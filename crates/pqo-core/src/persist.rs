@@ -20,8 +20,9 @@ use pqo_optimizer::error::PqoError;
 use pqo_optimizer::plan::PlanFingerprint;
 use pqo_optimizer::svector::SVector;
 
-use crate::cache::InstanceEntry;
+use crate::cache::{InstanceEntry, PlanCache};
 use crate::scr::{Scr, ScrConfig};
+use crate::snapshot::CacheSnapshot;
 
 const MAGIC: &[u8; 8] = b"PQOCACH1";
 
@@ -103,8 +104,28 @@ fn r_f64(r: &mut impl Read) -> io::Result<f64> {
 /// an explicit [`ScrConfig`], since λ policy is an operator decision, not
 /// cache state.
 pub fn save(scr: &Scr, w: &mut impl Write) -> io::Result<()> {
+    let (log_cost_sum, opt_count) = scr.lambda_accumulators();
+    save_parts(scr.cache(), log_cost_sum, opt_count, w)
+}
+
+/// Snapshot a published [`CacheSnapshot`] generation into `w`.
+///
+/// Byte-identical to [`save`] on the same cache state: a serving layer can
+/// persist straight from its current published generation without taking
+/// the writer lock (the snapshot is immutable, so the blob is internally
+/// consistent even while writers keep publishing).
+pub fn save_snapshot(snapshot: &CacheSnapshot, w: &mut impl Write) -> io::Result<()> {
+    let (log_cost_sum, opt_count) = snapshot.lambda_accumulators();
+    save_parts(snapshot.cache(), log_cost_sum, opt_count, w)
+}
+
+fn save_parts(
+    cache: &PlanCache,
+    log_cost_sum: f64,
+    opt_count: u64,
+    w: &mut impl Write,
+) -> io::Result<()> {
     w.write_all(MAGIC)?;
-    let cache = scr.cache();
 
     // Plan list, ordered by fingerprint for determinism.
     let mut plans: Vec<_> = cache.plans().collect();
@@ -138,7 +159,6 @@ pub fn save(scr: &Scr, w: &mut impl Write) -> io::Result<()> {
     }
 
     // Dynamic-λ accumulators.
-    let (log_cost_sum, opt_count) = scr.lambda_accumulators();
     w_f64(w, log_cost_sum)?;
     w_u64(w, opt_count)?;
     Ok(())
@@ -301,6 +321,21 @@ mod tests {
         let opt = engine.optimize_untracked(&sv);
         let so = engine.recost_untracked(&choice.plan, &sv) / opt.cost;
         assert!(so <= 1.5 * 1.001, "restored cache served SO = {so}");
+    }
+
+    #[test]
+    fn snapshot_save_matches_scr_save() {
+        let t = fixture();
+        let (scr, _) = warmed(&t, 25);
+        let mut from_scr = Vec::new();
+        save(&scr, &mut from_scr).unwrap();
+        let snap = CacheSnapshot::capture(&scr);
+        let mut from_snap = Vec::new();
+        save_snapshot(&snap, &mut from_snap).unwrap();
+        assert_eq!(
+            from_scr, from_snap,
+            "snapshot blob must be byte-identical to the Scr blob"
+        );
     }
 
     #[test]

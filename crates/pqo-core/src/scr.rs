@@ -122,6 +122,18 @@ impl ScrConfig {
         })
     }
 
+    /// Override the instance-list size at which `getPlan` switches from
+    /// the linear scan to the spatial index (Section 6.2). `usize::MAX`
+    /// disables the index; `0` always uses it. Deployment layers
+    /// ([`crate::service::PqoService::register`], the CLI's
+    /// `--spatial-threshold`) expose this knob so the crossover can be
+    /// tuned per workload instead of relying on the default of 64.
+    #[must_use]
+    pub fn with_spatial_index_threshold(mut self, threshold: usize) -> Self {
+        self.spatial_index_threshold = threshold;
+        self
+    }
+
     /// Validate every knob (used by the `Scr` constructors, which accept
     /// hand-edited configurations).
     pub fn validate(&self) -> Result<(), PqoError> {
@@ -192,9 +204,11 @@ pub struct ScrStats {
 
 /// The live (atomic) form of [`ScrStats`]. Counters bumped on the read path
 /// use `Relaxed` ordering — they are independent tallies, not
-/// synchronization.
+/// synchronization. Shared (`Arc`) between the writer-side [`Scr`] and
+/// every published [`crate::snapshot::CacheSnapshot`], so hits counted
+/// through any snapshot generation land in one tally.
 #[derive(Debug, Default)]
-struct ScrStatCells {
+pub(crate) struct ScrStatCells {
     selectivity_hits: AtomicU64,
     cost_hits: AtomicU64,
     optimizer_calls: AtomicU64,
@@ -211,7 +225,7 @@ impl ScrStatCells {
         cell.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn snapshot(&self) -> ScrStats {
+    pub(crate) fn snapshot(&self) -> ScrStats {
         ScrStats {
             selectivity_hits: self.selectivity_hits.load(Ordering::Relaxed),
             cost_hits: self.cost_hits.load(Ordering::Relaxed),
@@ -232,7 +246,7 @@ impl ScrStatCells {
 pub struct Scr {
     config: ScrConfig,
     cache: PlanCache,
-    stats: ScrStatCells,
+    stats: Arc<ScrStatCells>,
     /// Running Σ log(C) and count over optimized instances — the cost scale
     /// for the dynamic-λ mapping. Written only on the `&mut` maintenance
     /// path, read on the shared read path (safe under the service's RwLock).
@@ -240,90 +254,23 @@ pub struct Scr {
     opt_count: u64,
 }
 
-impl Scr {
-    /// SCR with the paper's defaults for the given λ.
-    ///
-    /// # Errors
-    /// [`PqoError::InvalidLambda`] unless λ is finite and ≥ 1.
-    pub fn new(lambda: f64) -> Result<Self, PqoError> {
-        Scr::with_config(ScrConfig::new(lambda)?)
-    }
+/// Borrowed view of everything the cache-*read* path touches: the knobs,
+/// the plan cache, the stat cells and the dynamic-λ accumulators.
+///
+/// Both [`Scr::try_cached_plan`] (sequential / lock-guarded callers) and
+/// [`crate::snapshot::CacheSnapshot::try_cached_plan`] (the published
+/// lock-free read path) build one of these and run the *same* code, so the
+/// snapshot reader's reuse/optimize decisions are byte-identical to the
+/// sequential technique's by construction.
+pub(crate) struct ReadView<'a> {
+    pub(crate) config: &'a ScrConfig,
+    pub(crate) cache: &'a PlanCache,
+    pub(crate) stats: &'a ScrStatCells,
+    pub(crate) log_cost_sum: f64,
+    pub(crate) opt_count: u64,
+}
 
-    /// SCR with an explicit configuration.
-    ///
-    /// # Errors
-    /// [`PqoError::InvalidLambda`] / [`PqoError::InvalidBudget`] when the
-    /// configuration fails [`ScrConfig::validate`].
-    pub fn with_config(config: ScrConfig) -> Result<Self, PqoError> {
-        config.validate()?;
-        Ok(Scr {
-            config,
-            cache: PlanCache::new(),
-            stats: ScrStatCells::default(),
-            log_cost_sum: 0.0,
-            opt_count: 0,
-        })
-    }
-
-    /// Current configuration.
-    pub fn config(&self) -> &ScrConfig {
-        &self.config
-    }
-
-    /// The plan cache (read-only).
-    pub fn cache(&self) -> &PlanCache {
-        &self.cache
-    }
-
-    /// Point-in-time snapshot of the technique counters (lock-free).
-    pub fn stats(&self) -> ScrStats {
-        self.stats.snapshot()
-    }
-
-    /// Evict one plan (and its instance entries) from the cache — used by
-    /// the global budget of [`crate::manager::PqoManager`] and
-    /// [`crate::service::PqoService`]. Safe for the guarantee: inference
-    /// entries leave with the plan (Section 6.3.1).
-    pub fn evict_plan(&mut self, fp: PlanFingerprint) {
-        self.cache.drop_plan(fp);
-        ScrStatCells::bump(&self.stats.budget_evictions);
-    }
-
-    /// The dynamic-λ accumulators `(Σ log C, optimized count)` — persisted
-    /// alongside the cache so a restored SCR keeps its cost scale.
-    pub fn lambda_accumulators(&self) -> (f64, u64) {
-        (self.log_cost_sum, self.opt_count)
-    }
-
-    /// Reassemble an SCR from persisted parts (see [`crate::persist`]).
-    ///
-    /// # Errors
-    /// Propagates configuration validation errors.
-    ///
-    /// # Panics
-    /// Panics (debug) if an entry references a plan not in `plans` — an
-    /// internal cache invariant; the snapshot loader validates references
-    /// before calling.
-    pub fn from_parts(
-        config: ScrConfig,
-        plans: Vec<Arc<pqo_optimizer::plan::Plan>>,
-        entries: Vec<InstanceEntry>,
-        log_cost_sum: f64,
-        opt_count: u64,
-    ) -> Result<Self, PqoError> {
-        let mut scr = Scr::with_config(config)?;
-        for p in plans {
-            scr.cache.insert_plan(p);
-        }
-        for e in entries {
-            scr.cache.push_instance(e);
-        }
-        scr.log_cost_sum = log_cost_sum;
-        scr.opt_count = opt_count;
-        debug_assert!(scr.cache.check_invariants().is_ok());
-        Ok(scr)
-    }
-
+impl ReadView<'_> {
     /// Effective λ for an entry with optimal cost `c` (Appendix D): static
     /// λ, or `λmin + (λmax − λmin)·exp(−c / Cref)` where `Cref` is the
     /// geometric mean of optimal costs seen so far.
@@ -343,28 +290,9 @@ impl Scr {
         }
     }
 
-    /// `getPlan` (Algorithm 1): selectivity check, then cost check, then an
-    /// optimizer call followed by `manageCache`.
-    fn get_plan_inner(&mut self, sv: &SVector, engine: &QueryEngine) -> PlanChoice {
-        if let Some(choice) = self.try_cached_plan(sv, engine) {
-            return choice;
-        }
-
-        // --- Optimizer call + manageCache -----------------------------------
-        let opt = engine.optimize(sv);
-        let plan = Arc::clone(&opt.plan);
-        self.manage_cache_entry(sv, opt, engine);
-        PlanChoice {
-            plan,
-            optimized: true,
-        }
-    }
-
     /// The cache-only part of `getPlan`: selectivity check then cost check,
-    /// never an optimizer call, never a structural cache mutation — `&self`,
-    /// so concurrent servers share it under a read lock
-    /// ([`crate::concurrent::AsyncScr`], [`crate::service::PqoService`]).
-    pub fn try_cached_plan(&self, sv: &SVector, engine: &QueryEngine) -> Option<PlanChoice> {
+    /// never an optimizer call, never a structural cache mutation.
+    pub(crate) fn try_cached_plan(&self, sv: &SVector, engine: &QueryEngine) -> Option<PlanChoice> {
         let use_index = self.config.spatial_index_threshold != usize::MAX
             && self.cache.num_instances() >= self.config.spatial_index_threshold;
         let candidates = if use_index {
@@ -379,17 +307,6 @@ impl Scr {
             }
         };
         self.cost_check(sv, candidates, engine)
-    }
-
-    /// Record a fresh optimization in the cache (`manageCache`), including
-    /// the optimizer-call bookkeeping — the only path that mutates cache
-    /// structure. Runs on a worker thread ([`crate::concurrent::AsyncScr`])
-    /// or under the service's write lock (Section 4.1).
-    pub fn manage_cache_entry(&mut self, sv: &SVector, opt: OptimizedPlan, engine: &QueryEngine) {
-        ScrStatCells::bump(&self.stats.optimizer_calls);
-        self.log_cost_sum += opt.cost.max(f64::MIN_POSITIVE).ln();
-        self.opt_count += 1;
-        self.manage_cache(sv, opt, engine);
     }
 
     /// Serve an instance through cache entry `idx` without an optimizer
@@ -526,6 +443,150 @@ impl Scr {
         flush_recost_tally(recosts_this_call);
         None
     }
+}
+
+impl Scr {
+    /// SCR with the paper's defaults for the given λ.
+    ///
+    /// # Errors
+    /// [`PqoError::InvalidLambda`] unless λ is finite and ≥ 1.
+    pub fn new(lambda: f64) -> Result<Self, PqoError> {
+        Scr::with_config(ScrConfig::new(lambda)?)
+    }
+
+    /// SCR with an explicit configuration.
+    ///
+    /// # Errors
+    /// [`PqoError::InvalidLambda`] / [`PqoError::InvalidBudget`] when the
+    /// configuration fails [`ScrConfig::validate`].
+    pub fn with_config(config: ScrConfig) -> Result<Self, PqoError> {
+        config.validate()?;
+        Ok(Scr {
+            config,
+            cache: PlanCache::new(),
+            stats: Arc::new(ScrStatCells::default()),
+            log_cost_sum: 0.0,
+            opt_count: 0,
+        })
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &ScrConfig {
+        &self.config
+    }
+
+    /// The plan cache (read-only).
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Point-in-time snapshot of the technique counters (lock-free).
+    pub fn stats(&self) -> ScrStats {
+        self.stats.snapshot()
+    }
+
+    /// Evict one plan (and its instance entries) from the cache — used by
+    /// the global budget of [`crate::manager::PqoManager`] and
+    /// [`crate::service::PqoService`]. Safe for the guarantee: inference
+    /// entries leave with the plan (Section 6.3.1).
+    pub fn evict_plan(&mut self, fp: PlanFingerprint) {
+        self.cache.drop_plan(fp);
+        ScrStatCells::bump(&self.stats.budget_evictions);
+    }
+
+    /// The dynamic-λ accumulators `(Σ log C, optimized count)` — persisted
+    /// alongside the cache so a restored SCR keeps its cost scale.
+    pub fn lambda_accumulators(&self) -> (f64, u64) {
+        (self.log_cost_sum, self.opt_count)
+    }
+
+    /// Reassemble an SCR from persisted parts (see [`crate::persist`]).
+    ///
+    /// # Errors
+    /// Propagates configuration validation errors.
+    ///
+    /// # Panics
+    /// Panics (debug) if an entry references a plan not in `plans` — an
+    /// internal cache invariant; the snapshot loader validates references
+    /// before calling.
+    pub fn from_parts(
+        config: ScrConfig,
+        plans: Vec<Arc<pqo_optimizer::plan::Plan>>,
+        entries: Vec<InstanceEntry>,
+        log_cost_sum: f64,
+        opt_count: u64,
+    ) -> Result<Self, PqoError> {
+        let mut scr = Scr::with_config(config)?;
+        for p in plans {
+            scr.cache.insert_plan(p);
+        }
+        for e in entries {
+            scr.cache.push_instance(e);
+        }
+        scr.log_cost_sum = log_cost_sum;
+        scr.opt_count = opt_count;
+        debug_assert!(scr.cache.check_invariants().is_ok());
+        Ok(scr)
+    }
+
+    /// The borrowed read-path view over this technique's state — the same
+    /// code object the published snapshots execute.
+    pub(crate) fn read_view(&self) -> ReadView<'_> {
+        ReadView {
+            config: &self.config,
+            cache: &self.cache,
+            stats: &self.stats,
+            log_cost_sum: self.log_cost_sum,
+            opt_count: self.opt_count,
+        }
+    }
+
+    /// The shared stat cells (for snapshot publication).
+    pub(crate) fn stat_cells(&self) -> &Arc<ScrStatCells> {
+        &self.stats
+    }
+
+    /// Effective λ for an entry with optimal cost `c` (Appendix D).
+    fn effective_lambda(&self, c: f64) -> f64 {
+        self.read_view().effective_lambda(c)
+    }
+
+    /// `getPlan` (Algorithm 1): selectivity check, then cost check, then an
+    /// optimizer call followed by `manageCache`.
+    fn get_plan_inner(&mut self, sv: &SVector, engine: &QueryEngine) -> PlanChoice {
+        if let Some(choice) = self.try_cached_plan(sv, engine) {
+            return choice;
+        }
+
+        // --- Optimizer call + manageCache -----------------------------------
+        let opt = engine.optimize(sv);
+        let plan = Arc::clone(&opt.plan);
+        self.manage_cache_entry(sv, opt, engine);
+        PlanChoice {
+            plan,
+            optimized: true,
+        }
+    }
+
+    /// The cache-only part of `getPlan`: selectivity check then cost check,
+    /// never an optimizer call, never a structural cache mutation — `&self`,
+    /// so concurrent servers share it ([`crate::concurrent::AsyncScr`],
+    /// [`crate::service::PqoService`] run the identical code through a
+    /// published [`crate::snapshot::CacheSnapshot`]).
+    pub fn try_cached_plan(&self, sv: &SVector, engine: &QueryEngine) -> Option<PlanChoice> {
+        self.read_view().try_cached_plan(sv, engine)
+    }
+
+    /// Record a fresh optimization in the cache (`manageCache`), including
+    /// the optimizer-call bookkeeping — the only path that mutates cache
+    /// structure. Runs on a worker thread ([`crate::concurrent::AsyncScr`])
+    /// or under the service's write lock (Section 4.1).
+    pub fn manage_cache_entry(&mut self, sv: &SVector, opt: OptimizedPlan, engine: &QueryEngine) {
+        ScrStatCells::bump(&self.stats.optimizer_calls);
+        self.log_cost_sum += opt.cost.max(f64::MIN_POSITIVE).ln();
+        self.opt_count += 1;
+        self.manage_cache(sv, opt, engine);
+    }
 
     /// `manageCache` (Algorithm 2).
     fn manage_cache(&mut self, sv: &SVector, opt: OptimizedPlan, engine: &QueryEngine) {
@@ -631,7 +692,7 @@ impl Scr {
             } else {
                 self.cache.insert_plan(plan);
                 for e in taken {
-                    self.cache.push_instance(e);
+                    self.cache.push_instance_arc(e);
                 }
             }
         }

@@ -6,19 +6,24 @@
 //! while cache maintenance serializes per template, and N threads serve
 //! concurrently.
 //!
-//! # Locking granularity
+//! # Snapshot-published read path
 //!
 //! * **Registry** — `RwLock<BTreeMap<name, Arc<Shard>>>`, read-mostly:
 //!   `get_plan` takes a read lock just long enough to clone the shard's
 //!   `Arc`; only `register` writes.
 //! * **Shard** — one per template: a shared [`QueryEngine`] (interior-
-//!   mutable, no lock needed) plus `RwLock<Scr>`. The SCR read path
-//!   ([`crate::scr::Scr::try_cached_plan`]) runs under the *read* lock, so
-//!   hits on the same template proceed in parallel; only `manageCache`
-//!   after an optimizer call takes the write lock. Cross-template traffic
-//!   never contends.
+//!   mutable, no lock needed), a [`SnapshotCell`] holding the published
+//!   [`CacheSnapshot`] generation, and a `Mutex<CacheWriter>`. The SCR
+//!   read path ([`CacheSnapshot::try_cached_plan`]) runs against a loaded
+//!   generation with **no lock held** — cache hits on the same template
+//!   never wait for `manageCache`, not even while a writer holds the
+//!   writer mutex. Only confirmed misses (after the optimizer call, which
+//!   also runs lock-free) enter the writer, which commits the mutation and
+//!   publishes the next generation with one `Arc` swap.
 //! * **Counters** — engine stats, SCR stats and the global plan total are
-//!   atomics with snapshot views: observers never block servers.
+//!   atomics with snapshot views: observers never block servers. Instance
+//!   usage counters are `Arc`-shared across generations, so LFU signal
+//!   from readers on older snapshots still reaches the writer.
 //!
 //! # Error policy
 //!
@@ -29,38 +34,41 @@
 //!
 //! Like the manager, the service can cap the total number of plans across
 //! templates. The running total is an `AtomicUsize` adjusted by the exact
-//! cache delta under each shard's write lock — checking the budget is O(1),
-//! and each eviction scans the registry once (O(templates)) to find the
-//! global LFU victim instead of re-counting every cache.
+//! cache delta under each shard's writer lock — checking the budget is
+//! O(1), and each eviction scans the registry once (O(templates), over
+//! published snapshots) to find the global LFU victim instead of
+//! re-counting every cache. In debug builds every eviction point
+//! reconciles the running total against a full recount taken with all
+//! writer locks held (every structural change *and* its accounting happen
+//! under a writer lock, so the total is stable at that point).
 
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
-use pqo_optimizer::engine::{EngineStats, QueryEngine};
+use pqo_optimizer::engine::{EngineStats, OptimizedPlan, QueryEngine};
 use pqo_optimizer::error::PqoError;
 use pqo_optimizer::plan::PlanFingerprint;
 use pqo_optimizer::template::{QueryInstance, QueryTemplate};
 
 use crate::persist;
 use crate::scr::{Scr, ScrConfig, ScrStats};
+use crate::snapshot::{CacheSnapshot, CacheWriter, SnapshotCell};
 use crate::PlanChoice;
 
-/// One registered template: its engine (shared, lock-free) and SCR state
-/// (read path under the read lock, maintenance under the write lock).
+/// One registered template: its engine (shared, lock-free), the published
+/// snapshot generation (read path, lock-free in practice) and the writer
+/// (cache maintenance, serialized by the mutex).
 struct Shard {
     engine: QueryEngine,
-    scr: RwLock<Scr>,
+    published: SnapshotCell,
+    writer: Mutex<CacheWriter>,
 }
 
 impl Shard {
-    fn scr_read(&self) -> RwLockReadGuard<'_, Scr> {
-        self.scr.read().expect("scr lock poisoned")
-    }
-
-    fn scr_write(&self) -> RwLockWriteGuard<'_, Scr> {
-        self.scr.write().expect("scr lock poisoned")
+    fn writer(&self) -> MutexGuard<'_, CacheWriter> {
+        self.writer.lock().expect("writer lock poisoned")
     }
 }
 
@@ -159,6 +167,7 @@ impl PqoService {
     fn install(&self, template: Arc<QueryTemplate>, scr: Scr) -> Result<(), PqoError> {
         let name = template.name.clone();
         let plans = scr.cache().num_plans();
+        let (writer, first) = CacheWriter::new(scr);
         let mut shards = self.shards.write().expect("registry lock poisoned");
         if shards.contains_key(&name) {
             return Err(PqoError::DuplicateTemplate { name });
@@ -167,23 +176,28 @@ impl PqoService {
             name,
             Arc::new(Shard {
                 engine: QueryEngine::new(template),
-                scr: RwLock::new(scr),
+                published: SnapshotCell::new(first),
+                writer: Mutex::new(writer),
             }),
         );
-        drop(shards);
+        // Account while still holding the registry write lock so the debug
+        // reconciler (which scans under the registry read lock) never
+        // observes a shard whose restored plans are not yet in the total.
         self.total_plans.fetch_add(plans, Ordering::Relaxed);
+        drop(shards);
         self.enforce_global_budget();
         Ok(())
     }
 
-    /// Snapshot one template's SCR state into `w` (see [`persist::save`]).
+    /// Persist one template's current published generation into `w` (see
+    /// [`persist::save_snapshot`]): the blob is internally consistent
+    /// without taking the writer lock, because the generation is immutable.
     ///
     /// # Errors
     /// [`PqoError::UnknownTemplate`] / [`PqoError::Persist`].
     pub fn save(&self, template: &str, w: &mut impl Write) -> Result<(), PqoError> {
-        let shard = self.shard(template)?;
-        let scr = shard.scr_read();
-        persist::save(&scr, w).map_err(|e| PqoError::Persist {
+        let snapshot = self.shard(template)?.published.load();
+        persist::save_snapshot(&snapshot, w).map_err(|e| PqoError::Persist {
             message: e.to_string(),
         })
     }
@@ -212,11 +226,14 @@ impl PqoService {
     /// Serve one instance of the named template — callable from any number
     /// of threads concurrently.
     ///
-    /// The fast path (selectivity/cost check hit) runs under the shard's
-    /// read lock; a miss optimizes *outside* all locks, then commits
-    /// `manageCache` under the write lock. Two threads missing on the same
-    /// point may both optimize — the second commit simply extends the
-    /// existing plan's inference region (benign, never violates λ).
+    /// The fast path (selectivity/cost check hit) runs against the loaded
+    /// [`CacheSnapshot`] generation with no lock held — it proceeds even
+    /// while another thread's `manageCache` holds the writer lock. A miss
+    /// optimizes *outside* all locks, then commits `manageCache` under the
+    /// writer lock and publishes the next generation. Two threads missing
+    /// on the same point may both optimize — the second commit simply
+    /// extends the existing plan's inference region (benign, never
+    /// violates λ).
     ///
     /// # Errors
     /// [`PqoError::UnknownTemplate`] when `template` is not registered.
@@ -228,32 +245,93 @@ impl PqoService {
         let shard = self.shard(template)?;
         let sv = shard.engine.compute_svector(instance);
 
-        if let Some(choice) = shard.scr_read().try_cached_plan(&sv, &shard.engine) {
+        if let Some(choice) = shard.published.load().try_cached_plan(&sv, &shard.engine) {
             return Ok(choice);
         }
 
         // Miss: the optimizer call happens with no lock held.
         let opt = shard.engine.optimize(&sv);
         let plan = Arc::clone(&opt.plan);
-        {
-            let mut scr = shard.scr_write();
-            let before = scr.cache().num_plans();
-            scr.manage_cache_entry(&sv, opt, &shard.engine);
-            let after = scr.cache().num_plans();
-            // Exact-delta accounting under the shard write lock.
-            if after >= before {
-                self.total_plans
-                    .fetch_add(after - before, Ordering::Relaxed);
-            } else {
-                self.total_plans
-                    .fetch_sub(before - after, Ordering::Relaxed);
-            }
-        }
-        self.enforce_global_budget();
+        self.commit(&shard, &sv, opt);
         Ok(PlanChoice {
             plan,
             optimized: true,
         })
+    }
+
+    /// Serve a batch of instances of the named template, amortizing the
+    /// snapshot load and the selectivity-vector pass across the batch.
+    ///
+    /// One generation is loaded up front and serves every cache hit; each
+    /// confirmed miss optimizes, commits and re-loads the just-published
+    /// generation, so instance `i+1` sees the plan instance `i` added —
+    /// the per-instance decisions are exactly those the sequential
+    /// [`Scr`] technique would make over the same sequence (asserted
+    /// against the oracle in `tests/snapshot_stress.rs`).
+    ///
+    /// # Errors
+    /// [`PqoError::UnknownTemplate`] when `template` is not registered.
+    pub fn get_plan_batch(
+        &self,
+        template: &str,
+        instances: &[QueryInstance],
+    ) -> Result<Vec<PlanChoice>, PqoError> {
+        let shard = self.shard(template)?;
+        // One selectivity pass over the whole batch.
+        let svs: Vec<_> = instances
+            .iter()
+            .map(|q| shard.engine.compute_svector(q))
+            .collect();
+        let mut snapshot = shard.published.load();
+        let mut out = Vec::with_capacity(instances.len());
+        for sv in &svs {
+            if let Some(choice) = snapshot.try_cached_plan(sv, &shard.engine) {
+                out.push(choice);
+                continue;
+            }
+            let opt = shard.engine.optimize(sv);
+            let plan = Arc::clone(&opt.plan);
+            self.commit(&shard, sv, opt);
+            snapshot = shard.published.load();
+            out.push(PlanChoice {
+                plan,
+                optimized: true,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Commit a fresh optimization: `manageCache` + publication under the
+    /// shard's writer lock, exact-delta accounting under the same lock,
+    /// then global-budget enforcement.
+    fn commit(&self, shard: &Shard, sv: &pqo_optimizer::svector::SVector, opt: OptimizedPlan) {
+        {
+            let mut writer = shard.writer();
+            let (before, after) =
+                writer.manage_cache_entry(sv, opt, &shard.engine, &shard.published);
+            self.apply_delta(before, after);
+        }
+        self.enforce_global_budget();
+    }
+
+    fn apply_delta(&self, before: usize, after: usize) {
+        if after >= before {
+            self.total_plans
+                .fetch_add(after - before, Ordering::Relaxed);
+        } else {
+            self.total_plans
+                .fetch_sub(before - after, Ordering::Relaxed);
+        }
+    }
+
+    /// The named template's current published generation — an immutable
+    /// view callers can hold across many decisions (e.g. the baselines
+    /// runner, tools) without pinning any lock.
+    ///
+    /// # Errors
+    /// [`PqoError::UnknownTemplate`].
+    pub fn snapshot(&self, template: &str) -> Result<Arc<CacheSnapshot>, PqoError> {
+        Ok(self.shard(template)?.published.load())
     }
 
     /// Total plans cached across all templates (O(1): the running total).
@@ -277,12 +355,13 @@ impl PqoService {
     }
 
     /// Snapshot of one template's technique counters (lock-free reads of
-    /// the atomic cells, briefly holding the shard read lock).
+    /// the atomic cells, shared between the writer and every published
+    /// generation).
     ///
     /// # Errors
     /// [`PqoError::UnknownTemplate`].
     pub fn scr_stats(&self, template: &str) -> Result<ScrStats, PqoError> {
-        Ok(self.shard(template)?.scr_read().stats())
+        Ok(self.shard(template)?.published.load().stats())
     }
 
     /// Snapshot of one template's engine counters.
@@ -293,17 +372,20 @@ impl PqoService {
         Ok(self.shard(template)?.engine.stats())
     }
 
-    /// Run a closure against one template's SCR state under the read lock
-    /// (e.g. invariant checks in tests, cache introspection in tools).
+    /// Run a closure against one template's canonical SCR state under the
+    /// *writer* lock (e.g. invariant checks in tests, cache introspection
+    /// in tools). Cache-hit readers keep serving from the published
+    /// generation while `f` runs — only writers wait.
     ///
     /// # Errors
     /// [`PqoError::UnknownTemplate`].
     pub fn with_scr<R>(&self, template: &str, f: impl FnOnce(&Scr) -> R) -> Result<R, PqoError> {
-        Ok(f(&self.shard(template)?.scr_read()))
+        Ok(f(self.shard(template)?.writer().scr()))
     }
 
     /// Global LFU enforcement: O(1) budget check against the running total;
-    /// each eviction makes one pass over the shards to pick the
+    /// each eviction makes one pass over the shards' *published
+    /// generations* (no lock beyond the registry read lock) to pick the
     /// minimum-aggregate-usage plan (Section 6.3.1 lifted one level).
     fn enforce_global_budget(&self) {
         let Some(budget) = self.global_plan_budget else {
@@ -314,9 +396,9 @@ impl PqoService {
                 let shards = self.shards.read().expect("registry lock poisoned");
                 let mut best: Option<(u64, String, Arc<Shard>, PlanFingerprint)> = None;
                 for (name, shard) in shards.iter() {
-                    let scr = shard.scr_read();
-                    if let Some(fp) = scr.cache().min_usage_plan() {
-                        let usage = scr.cache().plan_usage(fp);
+                    let snapshot = shard.published.load();
+                    if let Some(fp) = snapshot.cache().min_usage_plan() {
+                        let usage = snapshot.cache().plan_usage(fp);
                         let better = match &best {
                             None => true,
                             Some((u, n, _, _)) => (usage, name) < (*u, n),
@@ -331,21 +413,43 @@ impl PqoService {
             let Some((_, _, shard, fp)) = victim else {
                 break;
             };
-            let mut scr = shard.scr_write();
-            let before = scr.cache().num_plans();
-            if scr.cache().contains_plan(fp) {
-                scr.evict_plan(fp);
+            {
+                let mut writer = shard.writer();
+                // The victim came from a published snapshot and may already
+                // be gone from the canonical state; `evict_plan` re-checks
+                // under the writer lock and reports the exact delta.
+                let (before, after) = writer.evict_plan(fp, &shard.published);
+                self.apply_delta(before, after);
+                if before > after {
+                    self.global_evictions.fetch_add(1, Ordering::Relaxed);
+                }
             }
-            let after = scr.cache().num_plans();
-            drop(scr);
-            if before > after {
-                self.total_plans
-                    .fetch_sub(before - after, Ordering::Relaxed);
-                self.global_evictions.fetch_add(1, Ordering::Relaxed);
-            }
+            self.debug_reconcile_total();
             // If another thread raced us to this victim, loop and re-check
             // the (already-decremented) total.
         }
+    }
+
+    /// Debug-build reconciliation of the O(1) running total against a full
+    /// recount (ISSUE satellite): takes every shard's writer lock in
+    /// registry order — every structural cache change *and* its
+    /// accounting happen under the owning writer lock, so with all locks
+    /// held the total is momentarily exact. Registry-order acquisition is
+    /// deadlock-free because no other code path holds two writer locks.
+    #[inline]
+    fn debug_reconcile_total(&self) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        let shards = self.shards.read().expect("registry lock poisoned");
+        let guards: Vec<MutexGuard<'_, CacheWriter>> =
+            shards.values().map(|s| s.writer()).collect();
+        let recount: usize = guards.iter().map(|w| w.scr().cache().num_plans()).sum();
+        debug_assert_eq!(
+            recount,
+            self.total_plans.load(Ordering::Relaxed),
+            "global plan total drifted from recount at eviction point"
+        );
     }
 }
 

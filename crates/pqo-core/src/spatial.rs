@@ -40,7 +40,12 @@ struct Node {
 /// the buffer exceeds the tree size, giving amortized O(log n) structure
 /// without incremental rebalancing. Queries merge the tree walk with a
 /// linear scan of the buffer.
-#[derive(Debug, Default)]
+///
+/// `Clone` is deliberate: the snapshot-published read path
+/// ([`crate::snapshot::CacheSnapshot`]) carries a private copy of the index
+/// so queries never race a writer's rebuild. The clone is O(n) and runs on
+/// the (optimizer-call) write path, never on a reader.
+#[derive(Debug, Default, Clone)]
 pub struct LogSelIndex {
     dims: usize,
     root: Option<Box<Node>>,

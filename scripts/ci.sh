@@ -10,6 +10,13 @@ cargo build --release --offline --workspace --all-targets
 echo "==> cargo test"
 cargo test -q --offline --workspace
 
+echo "==> microbench smoke (quick mode, includes service/batch throughput)"
+# Running the harness=false bench binaries through `cargo test` omits the
+# --bench flag, so each microbench executes once in quick smoke mode —
+# catching bench bit-rot (and serving-layer wedges like a reader blocking
+# behind the writer lock) without paying for full measurement.
+cargo test -q --offline -p pqo-bench --benches
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
