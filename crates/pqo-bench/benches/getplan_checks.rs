@@ -87,6 +87,39 @@ fn main() {
         });
     }
 
+    // Scratch reuse ablation: the cached `getPlan` path with a fresh
+    // GetPlanScratch per call (allocates the memo table and re-derives the
+    // recost base every call) vs a caller-owned scratch threaded across
+    // calls (zero-alloc hit path, delta base updates). Indexed selectivity
+    // check so the cost check's Recost work dominates; unseen instances so
+    // a realistic share of calls reach it.
+    {
+        let (scr, engine, _) = warmed_with(1.2, warm_m, Some(0));
+        let spec = corpus().iter().find(|s| s.id == "tpcds_G_d3").unwrap();
+        let fresh = spec.generate(256, 9999);
+        let fresh_svs: Vec<SVector> = fresh
+            .iter()
+            .map(|i| compute_svector(&spec.template, i))
+            .collect();
+        let mut k = 0usize;
+        runner.bench("getplan/try_cached_fresh_scratch", || {
+            k = (k + 1) % fresh_svs.len();
+            black_box(
+                scr.try_cached_plan(black_box(&fresh_svs[k]), &engine)
+                    .is_some(),
+            )
+        });
+        let mut scratch = pqo_core::scr::GetPlanScratch::new();
+        let mut k = 0usize;
+        runner.bench("getplan/try_cached_reused_scratch", || {
+            k = (k + 1) % fresh_svs.len();
+            black_box(
+                scr.try_cached_plan_with(black_box(&fresh_svs[k]), &engine, &mut scratch)
+                    .is_some(),
+            )
+        });
+    }
+
     // Section 6.2 ablation: the spatial index vs the linear scan over a
     // large instance list, measured on unseen instances.
     for (label, threshold) in [

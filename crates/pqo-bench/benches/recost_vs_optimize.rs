@@ -2,14 +2,27 @@
 //! Recost API is much cheaper than a full optimizer call — "up to two
 //! orders of magnitude" in their SQL Server implementation. This bench
 //! measures all three engine APIs (optimize, recost, sVector) on templates
-//! of increasing size.
+//! of increasing size, plus the arena/prepared Recost variants:
+//!
+//! * `recost_tree` — the legacy recursive tree walk (reference).
+//! * `recost` — the arena stack machine (one linear pass, fresh base
+//!   derivation per call).
+//! * `recost_prepared` — prepared constants + caller scratch, alternating
+//!   sVectors that differ in *every* dimension (full base re-derivation
+//!   each call).
+//! * `recost_delta` — same, but the alternating sVectors differ in one
+//!   dimension: only that relation's base row count is re-derived.
+//! * `recost_hot` — same sVector every call (zero dirty dimensions): the
+//!   cost-check candidate-loop case, where one base derivation is shared
+//!   across every candidate plan.
 
 use std::hint::black_box;
 use std::sync::Arc;
 
 use pqo_bench::microbench::Runner;
 use pqo_core::engine::QueryEngine;
-use pqo_optimizer::svector::compute_svector;
+use pqo_optimizer::recost::RecostScratch;
+use pqo_optimizer::svector::{compute_svector, SVector};
 use pqo_workload::corpus::corpus;
 
 fn main() {
@@ -41,10 +54,50 @@ fn main() {
             black_box(compute_svector(&spec.template, black_box(&inst)))
         });
 
+        // Legacy recursive tree walk over the rebuilt PlanNode tree — the
+        // pre-arena representation's Recost cost.
+        let model = engine.cost_model().clone();
+        let root = plan.to_tree();
+        runner.bench(&format!("engine_api/recost_tree/{id}"), || {
+            black_box(pqo_optimizer::recost::recost_tree(
+                &spec.template,
+                &model,
+                black_box(&root),
+                black_box(&sv),
+            ))
+        });
+
+        // Prepared variants: selectivity-independent constants are folded
+        // once; each call is a base-derivation update plus one linear pass.
+        let prepared = engine.prepare_recost(&plan);
+        let sv_all = SVector(sv.0.iter().map(|s| (s * 0.5).max(1e-6)).collect());
+        let mut sv_one = sv.clone();
+        sv_one.0[0] = (sv_one.0[0] * 0.5).max(1e-6);
+
+        let mut scratch = RecostScratch::new();
+        let mut flip = false;
+        runner.bench(&format!("engine_api/recost_prepared/{id}"), || {
+            flip = !flip;
+            let q = if flip { &sv_all } else { &sv };
+            black_box(engine.recost_prepared_untracked(&prepared, black_box(q), &mut scratch))
+        });
+
+        let mut scratch = RecostScratch::new();
+        let mut flip = false;
+        runner.bench(&format!("engine_api/recost_delta/{id}"), || {
+            flip = !flip;
+            let q = if flip { &sv_one } else { &sv };
+            black_box(engine.recost_prepared_untracked(&prepared, black_box(q), &mut scratch))
+        });
+
+        let mut scratch = RecostScratch::new();
+        runner.bench(&format!("engine_api/recost_hot/{id}"), || {
+            black_box(engine.recost_prepared_untracked(&prepared, black_box(&sv), &mut scratch))
+        });
+
         // Appendix B trade-off: the compact byte-encoded plan re-costs via
         // a stack machine — less memory per cached plan, more time per call.
         let compact = pqo_optimizer::compact::CompactPlan::encode(&plan);
-        let model = engine.cost_model().clone();
         runner.bench(&format!("engine_api/recost_compact/{id}"), || {
             black_box(pqo_optimizer::compact::recost_compact(
                 &spec.template,

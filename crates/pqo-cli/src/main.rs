@@ -6,10 +6,12 @@
 //! pqo recost   --template ID --plan-at S1,... --at S1,...
 //! pqo run      --template ID [--tech scr|pcm|ellipse|density|ranges|once]
 //!              [--lambda X] [--m N] [--seed N] [--spatial-threshold N]
+//!              [--recost-fetch-factor N]
 //!              [--save-cache FILE] [--load-cache FILE]   (scr only)
 //! pqo cache    --template ID [--lambda X] [--m N] [--spatial-threshold N]
+//!              [--recost-fetch-factor N]
 //! pqo serve    --template ID [--lambda X] [--m N] [--seed N] [--batch N]
-//!              [--spatial-threshold N]
+//!              [--spatial-threshold N] [--recost-fetch-factor N]
 //! ```
 
 use std::process::exit;
@@ -65,9 +67,10 @@ fn usage() {
         "usage:\n  pqo templates [--catalog NAME]\n  pqo explain --template ID --sel S1,S2,...\n  \
          pqo recost --template ID --plan-at S1,... --at S1,...\n  \
          pqo run --template ID [--tech scr|pcm|ellipse|density|ranges|once] [--lambda X] [--m N] [--seed N]\n  \
-                 [--spatial-threshold N] [--save-cache FILE] [--load-cache FILE]\n  \
-         pqo cache --template ID [--lambda X] [--m N] [--spatial-threshold N]\n  \
-         pqo serve --template ID [--lambda X] [--m N] [--seed N] [--batch N] [--spatial-threshold N]"
+                 [--spatial-threshold N] [--recost-fetch-factor N] [--save-cache FILE] [--load-cache FILE]\n  \
+         pqo cache --template ID [--lambda X] [--m N] [--spatial-threshold N] [--recost-fetch-factor N]\n  \
+         pqo serve --template ID [--lambda X] [--m N] [--seed N] [--batch N] [--spatial-threshold N]\n  \
+                 [--recost-fetch-factor N]"
     );
 }
 
@@ -101,7 +104,9 @@ fn sels(args: &Args, key: &str, d: usize) -> Result<Vec<f64>, String> {
 
 /// SCR configuration from CLI flags: λ plus the optional
 /// `--spatial-threshold N` crossover knob (`0` = always use the spatial
-/// index, large values = linear scan only).
+/// index, large values = linear scan only) and the optional
+/// `--recost-fetch-factor N` over-fetch multiplier for the indexed cost
+/// check's candidate query.
 fn scr_config(args: &Args, lambda: f64) -> Result<pqo_core::scr::ScrConfig, String> {
     let mut cfg = pqo_core::scr::ScrConfig::new(lambda).map_err(|e| e.to_string())?;
     if let Some(raw) = args.opt("spatial-threshold") {
@@ -109,6 +114,12 @@ fn scr_config(args: &Args, lambda: f64) -> Result<pqo_core::scr::ScrConfig, Stri
             .parse()
             .map_err(|e| format!("--spatial-threshold: {e}"))?;
         cfg = cfg.with_spatial_index_threshold(threshold);
+    }
+    if let Some(raw) = args.opt("recost-fetch-factor") {
+        let factor: usize = raw
+            .parse()
+            .map_err(|e| format!("--recost-fetch-factor: {e}"))?;
+        cfg = cfg.with_recost_fetch_factor(factor);
     }
     Ok(cfg)
 }
@@ -420,6 +431,14 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
     println!("selectivity hits    : {}", stats.selectivity_hits);
     println!("cost-check hits     : {}", stats.cost_hits);
     println!("recost calls        : {}", stats.getplan_recost_calls);
+    println!(
+        "recost time         : {:?}",
+        std::time::Duration::from_nanos(stats.recost_nanos)
+    );
+    println!(
+        "optimize time       : {:?}",
+        std::time::Duration::from_nanos(stats.optimize_nanos)
+    );
     println!("serve time          : {elapsed:?}");
     println!(
         "per instance        : {:?}",

@@ -15,9 +15,11 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use pqo_optimizer::engine::QueryEngine;
 use pqo_optimizer::plan::{Plan, PlanFingerprint};
+use pqo_optimizer::recost::PreparedRecost;
 use pqo_optimizer::svector::SVector;
 
 use crate::spatial::LogSelIndex;
@@ -123,6 +125,53 @@ impl Clone for InstanceEntry {
     }
 }
 
+/// A plan as stored in the plan list: the arena [`Plan`] plus its
+/// [`PreparedRecost`] compilation, initialized once and shared (via the
+/// owning `Arc`) by every snapshot generation that holds the plan.
+///
+/// The prepared form is behind a [`OnceLock`] rather than built in the
+/// constructor because one construction path has no engine at hand:
+/// [`crate::persist::restore`] rebuilds caches from bytes alone. Serving
+/// paths populate it on first use; [`crate::scr::Scr`] populates it eagerly
+/// at insert time.
+#[derive(Debug)]
+pub struct CachedPlan {
+    plan: Arc<Plan>,
+    prepared: OnceLock<PreparedRecost>,
+}
+
+impl CachedPlan {
+    /// Wrap a plan, leaving the prepared form to be built on first use.
+    pub fn new(plan: Arc<Plan>) -> Self {
+        CachedPlan {
+            plan,
+            prepared: OnceLock::new(),
+        }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &Arc<Plan> {
+        &self.plan
+    }
+
+    /// Structural fingerprint.
+    pub fn fingerprint(&self) -> PlanFingerprint {
+        self.plan.fingerprint()
+    }
+
+    /// The prepared-recost compilation, building it through `engine` on
+    /// first access (thread-safe; later callers share the same value).
+    pub fn prepared(&self, engine: &QueryEngine) -> &PreparedRecost {
+        self.prepared
+            .get_or_init(|| engine.prepare_recost(&self.plan))
+    }
+
+    /// Bytes held by the prepared form, if it has been built yet.
+    pub fn prepared_bytes(&self) -> Option<usize> {
+        self.prepared.get().map(|p| p.estimated_bytes())
+    }
+}
+
 /// Estimated plan-cache memory footprint (Section 6.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryBreakdown {
@@ -147,7 +196,7 @@ pub struct MemoryBreakdown {
 /// writer's LFU policy. Only the spatial index is deep-cloned.
 #[derive(Debug, Default, Clone)]
 pub struct PlanCache {
-    plans: HashMap<PlanFingerprint, Arc<Plan>>,
+    plans: HashMap<PlanFingerprint, Arc<CachedPlan>>,
     instances: Vec<Arc<InstanceEntry>>,
     max_plans: usize,
     index: Option<LogSelIndex>,
@@ -181,11 +230,21 @@ impl PlanCache {
 
     /// Fetch a cached plan by fingerprint.
     pub fn plan(&self, fp: PlanFingerprint) -> Option<&Arc<Plan>> {
+        self.plans.get(&fp).map(|c| c.plan())
+    }
+
+    /// Fetch a plan together with its prepared-recost slot.
+    pub fn cached(&self, fp: PlanFingerprint) -> Option<&Arc<CachedPlan>> {
         self.plans.get(&fp)
     }
 
     /// Iterate over cached plans.
     pub fn plans(&self) -> impl Iterator<Item = &Arc<Plan>> {
+        self.plans.values().map(|c| c.plan())
+    }
+
+    /// Iterate over cached plans with their prepared-recost slots.
+    pub fn cached_plans(&self) -> impl Iterator<Item = &Arc<CachedPlan>> {
         self.plans.values()
     }
 
@@ -199,7 +258,9 @@ impl PlanCache {
     /// Insert a plan (idempotent) and return its fingerprint.
     pub fn insert_plan(&mut self, plan: Arc<Plan>) -> PlanFingerprint {
         let fp = plan.fingerprint();
-        self.plans.entry(fp).or_insert(plan);
+        self.plans
+            .entry(fp)
+            .or_insert_with(|| Arc::new(CachedPlan::new(plan)));
         self.max_plans = self.max_plans.max(self.plans.len());
         fp
     }
@@ -307,7 +368,7 @@ impl PlanCache {
     /// Remove a plan from the plan list only (Appendix F temporarily removes
     /// a plan while probing redundancy).
     pub fn remove_plan_only(&mut self, fp: PlanFingerprint) -> Option<Arc<Plan>> {
-        self.plans.remove(&fp)
+        self.plans.remove(&fp).map(|c| c.plan().clone())
     }
 
     /// Estimated memory footprint (Section 6.1's overheads discussion: the
@@ -324,12 +385,15 @@ impl PlanCache {
         let plan_list_bytes = self
             .plans
             .values()
-            .map(|p| pqo_optimizer::compact::estimated_tree_bytes(p))
+            .map(|c| {
+                pqo_optimizer::compact::estimated_plan_bytes(c.plan())
+                    + c.prepared_bytes().unwrap_or(0)
+            })
             .sum();
         let plan_list_compact_bytes = self
             .plans
             .values()
-            .map(|p| pqo_optimizer::compact::CompactPlan::encode(p).bytes_len())
+            .map(|c| pqo_optimizer::compact::CompactPlan::encode(c.plan()).bytes_len())
             .sum();
         MemoryBreakdown {
             instance_list_bytes,

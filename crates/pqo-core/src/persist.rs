@@ -378,6 +378,47 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_preserves_arena_form_and_prepared_recost() {
+        // The compact encoding round-trips the *arena* plan representation:
+        // decoded plans must match node-for-node (op and subtree extent),
+        // and the prepared-recost path over a restored cache must produce
+        // bit-identical costs to the original technique's plans.
+        let t = fixture();
+        let (scr, engine) = warmed(&t, 40);
+        let mut buf = Vec::new();
+        save(&scr, &mut buf).unwrap();
+        let restored = restore(ScrConfig::new(1.5).unwrap(), &mut buf.as_slice()).unwrap();
+
+        let mut originals: Vec<_> = scr.cache().plans().collect();
+        originals.sort_by_key(|p| p.fingerprint());
+        let mut restored_plans: Vec<_> = restored.cache().plans().collect();
+        restored_plans.sort_by_key(|p| p.fingerprint());
+        assert!(!originals.is_empty());
+        assert_eq!(originals.len(), restored_plans.len());
+
+        let mut scratch_a = pqo_optimizer::recost::RecostScratch::new();
+        let mut scratch_b = pqo_optimizer::recost::RecostScratch::new();
+        let probes = [[0.05, 0.3], [0.47, 0.3], [0.9, 0.3], [0.2, 0.8]];
+        for (a, b) in originals.iter().zip(&restored_plans) {
+            assert_eq!(a.fingerprint(), b.fingerprint());
+            assert_eq!(a.nodes(), b.nodes(), "arena layout changed in transit");
+            let pa = engine.prepare_recost(a);
+            let pb = engine.prepare_recost(b);
+            for target in &probes {
+                let inst = instance_for_target(&t, target);
+                let sv = compute_svector(&t, &inst);
+                let ca = engine.recost_prepared_untracked(&pa, &sv, &mut scratch_a);
+                let cb = engine.recost_prepared_untracked(&pb, &sv, &mut scratch_b);
+                assert_eq!(
+                    ca.to_bits(),
+                    cb.to_bits(),
+                    "prepared recost diverged after round-trip at {target:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn empty_cache_roundtrips() {
         let scr = Scr::new(2.0).unwrap();
         let mut buf = Vec::new();

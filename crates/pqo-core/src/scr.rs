@@ -32,10 +32,12 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use pqo_optimizer::engine::{OptimizedPlan, QueryEngine};
 use pqo_optimizer::error::PqoError;
 use pqo_optimizer::plan::PlanFingerprint;
+use pqo_optimizer::recost::RecostScratch;
 use pqo_optimizer::svector::SVector;
 use pqo_optimizer::template::QueryInstance;
 
@@ -97,6 +99,12 @@ pub struct ScrConfig {
     /// Cost-check candidate ordering for the linear path (the indexed path
     /// is inherently G·L-ascending).
     pub candidate_order: CandidateOrder,
+    /// Over-fetch multiplier for the indexed cost check: the nearest-
+    /// neighbour query fetches `max_recost_candidates × recost_fetch_factor`
+    /// entries (never fewer than 16) so violation-disabled entries do not
+    /// starve the candidate list. Larger values trade index work for
+    /// resilience under heavy Appendix G disabling.
+    pub recost_fetch_factor: usize,
 }
 
 impl ScrConfig {
@@ -119,6 +127,7 @@ impl ScrConfig {
             existing_plan_redundancy: false,
             spatial_index_threshold: 64,
             candidate_order: CandidateOrder::GlAscending,
+            recost_fetch_factor: 4,
         })
     }
 
@@ -131,6 +140,16 @@ impl ScrConfig {
     #[must_use]
     pub fn with_spatial_index_threshold(mut self, threshold: usize) -> Self {
         self.spatial_index_threshold = threshold;
+        self
+    }
+
+    /// Override the indexed cost check's candidate over-fetch multiplier
+    /// (see [`ScrConfig::recost_fetch_factor`]; the CLI exposes this as
+    /// `--recost-fetch-factor`). The floor of 16 fetched candidates always
+    /// applies, so `0` degenerates to that floor rather than an empty list.
+    #[must_use]
+    pub fn with_recost_fetch_factor(mut self, factor: usize) -> Self {
+        self.recost_fetch_factor = factor;
         self
     }
 
@@ -200,6 +219,13 @@ pub struct ScrStats {
     pub max_recosts_per_getplan: u64,
     /// Entries disabled after a detected BCG/PCM violation (Appendix G).
     pub violations_detected: u64,
+    /// Cumulative nanoseconds spent in Recost work (cost check, redundancy
+    /// check and Appendix F sweep) — one side of the paper's
+    /// Recost-vs-optimize overhead split (Section 7.3).
+    pub recost_nanos: u64,
+    /// Cumulative nanoseconds spent inside optimizer calls issued by
+    /// `getPlan` — the other side of the overhead split.
+    pub optimize_nanos: u64,
 }
 
 /// The live (atomic) form of [`ScrStats`]. Counters bumped on the read path
@@ -218,11 +244,17 @@ pub(crate) struct ScrStatCells {
     getplan_recost_calls: AtomicU64,
     max_recosts_per_getplan: AtomicU64,
     violations_detected: AtomicU64,
+    recost_nanos: AtomicU64,
+    optimize_nanos: AtomicU64,
 }
 
 impl ScrStatCells {
     fn bump(cell: &AtomicU64) {
         cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn add(cell: &AtomicU64, n: u64) {
+        cell.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn snapshot(&self) -> ScrStats {
@@ -236,7 +268,41 @@ impl ScrStatCells {
             getplan_recost_calls: self.getplan_recost_calls.load(Ordering::Relaxed),
             max_recosts_per_getplan: self.max_recosts_per_getplan.load(Ordering::Relaxed),
             violations_detected: self.violations_detected.load(Ordering::Relaxed),
+            recost_nanos: self.recost_nanos.load(Ordering::Relaxed),
+            optimize_nanos: self.optimize_nanos.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// Reusable scratch for one `getPlan` caller: the cost check's
+/// fingerprint→Recost memo table plus the arena-recost scratch
+/// ([`RecostScratch`]) whose base derivation is delta-updated across
+/// candidates and across successive calls. A caller that threads one of
+/// these through repeated [`Scr::try_cached_plan_with`] /
+/// [`crate::snapshot::CacheSnapshot::try_cached_plan_with`] invocations
+/// allocates nothing on the cache-hit path; callers without one fall back
+/// to a fresh scratch per call.
+///
+/// A scratch is specific to one template and cost model (it caches
+/// per-relation base cardinalities); call [`GetPlanScratch::invalidate`]
+/// before reusing it against a different engine.
+#[derive(Debug, Default)]
+pub struct GetPlanScratch {
+    recosted: HashMap<PlanFingerprint, f64>,
+    recost: RecostScratch,
+}
+
+impl GetPlanScratch {
+    /// An empty scratch (equivalent to `Default::default()`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop all memoized state so the scratch can serve a different
+    /// template or cost model.
+    pub fn invalidate(&mut self) {
+        self.recosted.clear();
+        self.recost.invalidate();
     }
 }
 
@@ -252,6 +318,11 @@ pub struct Scr {
     /// path, read on the shared read path (safe under the service's RwLock).
     log_cost_sum: f64,
     opt_count: u64,
+    /// Owned scratch for the sequential (`&mut self`) `getPlan` path, taken
+    /// with `mem::take` around each call so the borrow never conflicts with
+    /// the cache view. Concurrent callers bring their own
+    /// [`GetPlanScratch`].
+    scratch: GetPlanScratch,
 }
 
 /// Borrowed view of everything the cache-*read* path touches: the knobs,
@@ -291,8 +362,15 @@ impl ReadView<'_> {
     }
 
     /// The cache-only part of `getPlan`: selectivity check then cost check,
-    /// never an optimizer call, never a structural cache mutation.
-    pub(crate) fn try_cached_plan(&self, sv: &SVector, engine: &QueryEngine) -> Option<PlanChoice> {
+    /// never an optimizer call, never a structural cache mutation. `scratch`
+    /// carries the cost check's memo table and recost scratch across calls;
+    /// the hit path allocates nothing when the caller reuses one.
+    pub(crate) fn try_cached_plan(
+        &self,
+        sv: &SVector,
+        engine: &QueryEngine,
+        scratch: &mut GetPlanScratch,
+    ) -> Option<PlanChoice> {
         let use_index = self.config.spatial_index_threshold != usize::MAX
             && self.cache.num_instances() >= self.config.spatial_index_threshold;
         let candidates = if use_index {
@@ -306,7 +384,7 @@ impl ReadView<'_> {
                 Err(c) => c,
             }
         };
-        self.cost_check(sv, candidates, engine)
+        self.cost_check(sv, candidates, engine, scratch)
     }
 
     /// Serve an instance through cache entry `idx` without an optimizer
@@ -371,7 +449,11 @@ impl ReadView<'_> {
             }
         }
         // Over-fetch so violation-disabled entries do not starve the list.
-        let fetch = self.config.max_recost_candidates.saturating_mul(4).max(16);
+        let fetch = self
+            .config
+            .max_recost_candidates
+            .saturating_mul(self.config.recost_fetch_factor)
+            .max(16);
         let mut candidates: Vec<(f64, f64, usize)> = self
             .cache
             .nearest_instances(sv, fetch)
@@ -388,14 +470,23 @@ impl ReadView<'_> {
 
     /// Cost check over ordered candidates: replace the `G` bound by the
     /// exact Recost ratio `R`, re-costing each distinct plan at most once.
+    /// Each Recost runs over the plan's [`CachedPlan`](crate::cache::CachedPlan)
+    /// prepared form — a linear arena pass whose base derivation lives in
+    /// `scratch` and is shared across candidates (and delta-updated across
+    /// calls), so the loop performs no allocation and no tree walk.
     fn cost_check(
         &self,
         sv: &SVector,
         candidates: Vec<(f64, f64, usize)>,
         engine: &QueryEngine,
+        scratch: &mut GetPlanScratch,
     ) -> Option<PlanChoice> {
-        let mut recosted: HashMap<PlanFingerprint, f64> = HashMap::new();
+        if candidates.is_empty() {
+            return None;
+        }
+        scratch.recosted.clear();
         let mut recosts_this_call = 0u64;
+        let t0 = Instant::now();
         let flush_recost_tally = |n: u64| {
             self.stats
                 .getplan_recost_calls
@@ -403,6 +494,7 @@ impl ReadView<'_> {
             self.stats
                 .max_recosts_per_getplan
                 .fetch_max(n, Ordering::Relaxed);
+            ScrStatCells::add(&self.stats.recost_nanos, t0.elapsed().as_nanos() as u64);
         };
         for (g, l, idx) in candidates {
             let e = &self.cache.instances()[idx];
@@ -412,13 +504,14 @@ impl ReadView<'_> {
                 e.sub_opt,
                 self.effective_lambda(e.opt_cost),
             );
-            let new_cost = match recosted.get(&fp) {
+            let new_cost = match scratch.recosted.get(&fp) {
                 Some(&c) => c,
                 None => {
-                    let plan = Arc::clone(self.cache.plan(fp).expect("live plan"));
-                    let c = engine.recost(&plan, sv);
+                    let cached = self.cache.cached(fp).expect("live plan");
+                    let c =
+                        engine.recost_prepared(cached.prepared(engine), sv, &mut scratch.recost);
                     recosts_this_call += 1;
-                    recosted.insert(fp, c);
+                    scratch.recosted.insert(fp, c);
                     c
                 }
             };
@@ -467,6 +560,7 @@ impl Scr {
             stats: Arc::new(ScrStatCells::default()),
             log_cost_sum: 0.0,
             opt_count: 0,
+            scratch: GetPlanScratch::default(),
         })
     }
 
@@ -483,6 +577,13 @@ impl Scr {
     /// Point-in-time snapshot of the technique counters (lock-free).
     pub fn stats(&self) -> ScrStats {
         self.stats.snapshot()
+    }
+
+    /// Attribute optimizer wall time measured by an outer serving layer
+    /// (e.g. [`crate::service::PqoService`], whose optimizer calls run
+    /// outside this technique) to the overhead split.
+    pub(crate) fn record_optimize_nanos(&self, nanos: u64) {
+        ScrStatCells::add(&self.stats.optimize_nanos, nanos);
     }
 
     /// Evict one plan (and its instance entries) from the cache — used by
@@ -552,14 +653,21 @@ impl Scr {
     }
 
     /// `getPlan` (Algorithm 1): selectivity check, then cost check, then an
-    /// optimizer call followed by `manageCache`.
+    /// optimizer call followed by `manageCache`. Reuses the technique's
+    /// owned [`GetPlanScratch`] so back-to-back calls allocate nothing on
+    /// the cache-hit path.
     fn get_plan_inner(&mut self, sv: &SVector, engine: &QueryEngine) -> PlanChoice {
-        if let Some(choice) = self.try_cached_plan(sv, engine) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let hit = self.read_view().try_cached_plan(sv, engine, &mut scratch);
+        self.scratch = scratch;
+        if let Some(choice) = hit {
             return choice;
         }
 
         // --- Optimizer call + manageCache -----------------------------------
+        let t0 = Instant::now();
         let opt = engine.optimize(sv);
+        ScrStatCells::add(&self.stats.optimize_nanos, t0.elapsed().as_nanos() as u64);
         let plan = Arc::clone(&opt.plan);
         self.manage_cache_entry(sv, opt, engine);
         PlanChoice {
@@ -572,9 +680,25 @@ impl Scr {
     /// never an optimizer call, never a structural cache mutation — `&self`,
     /// so concurrent servers share it ([`crate::concurrent::AsyncScr`],
     /// [`crate::service::PqoService`] run the identical code through a
-    /// published [`crate::snapshot::CacheSnapshot`]).
+    /// published [`crate::snapshot::CacheSnapshot`]). Allocates a fresh
+    /// scratch per call; hot callers should prefer
+    /// [`Scr::try_cached_plan_with`].
     pub fn try_cached_plan(&self, sv: &SVector, engine: &QueryEngine) -> Option<PlanChoice> {
-        self.read_view().try_cached_plan(sv, engine)
+        self.read_view()
+            .try_cached_plan(sv, engine, &mut GetPlanScratch::default())
+    }
+
+    /// [`Scr::try_cached_plan`] with a caller-owned [`GetPlanScratch`]: the
+    /// cost check's memo table and recost base derivation survive across
+    /// calls, so repeated probes neither allocate nor re-derive unchanged
+    /// selectivity dimensions.
+    pub fn try_cached_plan_with(
+        &self,
+        sv: &SVector,
+        engine: &QueryEngine,
+        scratch: &mut GetPlanScratch,
+    ) -> Option<PlanChoice> {
+        self.read_view().try_cached_plan(sv, engine, scratch)
     }
 
     /// Record a fresh optimization in the cache (`manageCache`), including
@@ -585,11 +709,19 @@ impl Scr {
         ScrStatCells::bump(&self.stats.optimizer_calls);
         self.log_cost_sum += opt.cost.max(f64::MIN_POSITIVE).ln();
         self.opt_count += 1;
-        self.manage_cache(sv, opt, engine);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.manage_cache(sv, opt, engine, &mut scratch);
+        self.scratch = scratch;
     }
 
     /// `manageCache` (Algorithm 2).
-    fn manage_cache(&mut self, sv: &SVector, opt: OptimizedPlan, engine: &QueryEngine) {
+    fn manage_cache(
+        &mut self,
+        sv: &SVector,
+        opt: OptimizedPlan,
+        engine: &QueryEngine,
+        scratch: &mut GetPlanScratch,
+    ) {
         let fp = opt.plan.fingerprint();
         if self.cache.contains_plan(fp) {
             // Plan already cached: extend its inference region with qc.
@@ -599,13 +731,20 @@ impl Scr {
         }
 
         // Redundancy check: is some cached plan λr-close to optimal at qc?
+        // One prepared linear pass per plan; the base derivation in
+        // `scratch` is shared by every plan (same sVector).
         if self.config.lambda_r > 0.0 && self.cache.num_plans() > 0 {
+            let t0 = Instant::now();
             let (min_fp, min_cost) = self
                 .cache
-                .plans()
-                .map(|p| (p.fingerprint(), engine.recost(p, sv)))
+                .cached_plans()
+                .map(|c| {
+                    let cost = engine.recost_prepared(c.prepared(engine), sv, &mut scratch.recost);
+                    (c.fingerprint(), cost)
+                })
                 .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
                 .expect("non-empty plan list");
+            ScrStatCells::add(&self.stats.recost_nanos, t0.elapsed().as_nanos() as u64);
             let s_min = (min_cost / opt.cost).max(1.0);
             if s_min <= self.config.lambda_r {
                 ScrStatCells::bump(&self.stats.redundant_plans_discarded);
@@ -634,11 +773,17 @@ impl Scr {
         }
 
         self.cache.insert_plan(opt.plan);
+        // Build the prepared form at insert time — every later Recost of
+        // this plan (cost check, redundancy check, sweep) is then a linear
+        // arena pass with no per-call setup.
+        if let Some(c) = self.cache.cached(fp) {
+            let _ = c.prepared(engine);
+        }
         self.cache
             .push_instance(InstanceEntry::new(sv.clone(), fp, opt.cost, 1.0, 1));
 
         if self.config.existing_plan_redundancy {
-            self.sweep_existing_plans(engine);
+            self.sweep_existing_plans(engine, scratch);
         }
         debug_assert!(self.cache.check_invariants().is_ok());
     }
@@ -648,7 +793,8 @@ impl Scr {
     /// `getPlan` for each of its instances against the rest of the cache,
     /// and keep the removal only if every instance finds an alternative
     /// λ-optimal plan.
-    fn sweep_existing_plans(&mut self, engine: &QueryEngine) {
+    fn sweep_existing_plans(&mut self, engine: &QueryEngine, scratch: &mut GetPlanScratch) {
+        let t0 = Instant::now();
         let mut plans: Vec<PlanFingerprint> = self.cache.plans().map(|p| p.fingerprint()).collect();
         plans.sort_by_key(|&fp| {
             (
@@ -669,7 +815,7 @@ impl Scr {
             let mut replacements: Vec<InstanceEntry> = Vec::with_capacity(taken.len());
             let mut ok = true;
             for e in &taken {
-                match self.simulated_get_plan(&e.svector, e.opt_cost, engine) {
+                match self.simulated_get_plan(&e.svector, e.opt_cost, engine, scratch) {
                     Some((alt_fp, s_new)) => replacements.push(InstanceEntry::restored(
                         e.svector.clone(),
                         alt_fp,
@@ -696,6 +842,8 @@ impl Scr {
                 }
             }
         }
+        // The sweep is Recost-dominated; attribute its wall time there.
+        ScrStatCells::add(&self.stats.recost_nanos, t0.elapsed().as_nanos() as u64);
     }
 
     /// The simulated `getPlan` of Appendix F: find an alternative λ-optimal
@@ -707,14 +855,18 @@ impl Scr {
         sv: &SVector,
         opt_cost: f64,
         engine: &QueryEngine,
+        scratch: &mut GetPlanScratch,
     ) -> Option<(PlanFingerprint, f64)> {
+        let recost = |fp: PlanFingerprint, scratch: &mut GetPlanScratch| -> f64 {
+            let cached = self.cache.cached(fp).expect("live plan");
+            engine.recost_prepared(cached.prepared(engine), sv, &mut scratch.recost)
+        };
         let mut candidates: Vec<(f64, usize)> = Vec::new();
         for (idx, e) in self.cache.instances().iter().enumerate() {
             let (g, l) = sv.g_and_l(&e.svector);
             let lambda_e = self.effective_lambda(e.opt_cost);
             if g * l <= lambda_e / e.sub_opt {
-                let plan = Arc::clone(self.cache.plan(e.plan).expect("live plan"));
-                let s_new = (engine.recost(&plan, sv) / opt_cost).max(1.0);
+                let s_new = (recost(e.plan, scratch) / opt_cost).max(1.0);
                 return Some((e.plan, s_new));
             }
             if !e.violation_detected() {
@@ -726,8 +878,7 @@ impl Scr {
         for (_, idx) in candidates {
             let e = &self.cache.instances()[idx];
             let (_, l) = sv.g_and_l(&e.svector);
-            let plan = Arc::clone(self.cache.plan(e.plan).expect("live plan"));
-            let new_cost = engine.recost(&plan, sv);
+            let new_cost = recost(e.plan, scratch);
             let r = new_cost / e.opt_cost;
             if r * l <= self.effective_lambda(e.opt_cost) / e.sub_opt {
                 return Some((e.plan, (new_cost / opt_cost).max(1.0)));

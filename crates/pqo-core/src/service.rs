@@ -46,29 +46,45 @@ use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::time::Instant;
 
 use pqo_optimizer::engine::{EngineStats, OptimizedPlan, QueryEngine};
 use pqo_optimizer::error::PqoError;
 use pqo_optimizer::plan::PlanFingerprint;
+use pqo_optimizer::svector::SVector;
 use pqo_optimizer::template::{QueryInstance, QueryTemplate};
 
 use crate::persist;
-use crate::scr::{Scr, ScrConfig, ScrStats};
+use crate::scr::{GetPlanScratch, Scr, ScrConfig, ScrStats};
 use crate::snapshot::{CacheSnapshot, CacheWriter, SnapshotCell};
 use crate::PlanChoice;
 
 /// One registered template: its engine (shared, lock-free), the published
-/// snapshot generation (read path, lock-free in practice) and the writer
-/// (cache maintenance, serialized by the mutex).
+/// snapshot generation (read path, lock-free in practice), the writer
+/// (cache maintenance, serialized by the mutex) and a shared
+/// [`GetPlanScratch`] so cost checks reuse one memo table and recost base
+/// derivation across calls instead of allocating per call.
 struct Shard {
     engine: QueryEngine,
     published: SnapshotCell,
     writer: Mutex<CacheWriter>,
+    scratch: Mutex<GetPlanScratch>,
 }
 
 impl Shard {
     fn writer(&self) -> MutexGuard<'_, CacheWriter> {
         self.writer.lock().expect("writer lock poisoned")
+    }
+
+    /// The cached `getPlan` path against `snapshot`, borrowing the shard
+    /// scratch when it is free. Contended callers fall back to a fresh
+    /// scratch rather than wait — the scratch is an optimization, never a
+    /// serialization point.
+    fn try_cached_plan(&self, snapshot: &CacheSnapshot, sv: &SVector) -> Option<PlanChoice> {
+        match self.scratch.try_lock() {
+            Ok(mut scratch) => snapshot.try_cached_plan_with(sv, &self.engine, &mut scratch),
+            Err(_) => snapshot.try_cached_plan(sv, &self.engine),
+        }
     }
 }
 
@@ -178,6 +194,7 @@ impl PqoService {
                 engine: QueryEngine::new(template),
                 published: SnapshotCell::new(first),
                 writer: Mutex::new(writer),
+                scratch: Mutex::new(GetPlanScratch::new()),
             }),
         );
         // Account while still holding the registry write lock so the debug
@@ -245,14 +262,16 @@ impl PqoService {
         let shard = self.shard(template)?;
         let sv = shard.engine.compute_svector(instance);
 
-        if let Some(choice) = shard.published.load().try_cached_plan(&sv, &shard.engine) {
+        if let Some(choice) = shard.try_cached_plan(&shard.published.load(), &sv) {
             return Ok(choice);
         }
 
         // Miss: the optimizer call happens with no lock held.
+        let t0 = Instant::now();
         let opt = shard.engine.optimize(&sv);
+        let opt_nanos = t0.elapsed().as_nanos() as u64;
         let plan = Arc::clone(&opt.plan);
-        self.commit(&shard, &sv, opt);
+        self.commit(&shard, &sv, opt, opt_nanos);
         Ok(PlanChoice {
             plan,
             optimized: true,
@@ -285,13 +304,15 @@ impl PqoService {
         let mut snapshot = shard.published.load();
         let mut out = Vec::with_capacity(instances.len());
         for sv in &svs {
-            if let Some(choice) = snapshot.try_cached_plan(sv, &shard.engine) {
+            if let Some(choice) = shard.try_cached_plan(&snapshot, sv) {
                 out.push(choice);
                 continue;
             }
+            let t0 = Instant::now();
             let opt = shard.engine.optimize(sv);
+            let opt_nanos = t0.elapsed().as_nanos() as u64;
             let plan = Arc::clone(&opt.plan);
-            self.commit(&shard, sv, opt);
+            self.commit(&shard, sv, opt, opt_nanos);
             snapshot = shard.published.load();
             out.push(PlanChoice {
                 plan,
@@ -303,10 +324,13 @@ impl PqoService {
 
     /// Commit a fresh optimization: `manageCache` + publication under the
     /// shard's writer lock, exact-delta accounting under the same lock,
-    /// then global-budget enforcement.
-    fn commit(&self, shard: &Shard, sv: &pqo_optimizer::svector::SVector, opt: OptimizedPlan) {
+    /// then global-budget enforcement. `opt_nanos` is the wall time the
+    /// caller spent inside the (lock-free) optimizer call, attributed to
+    /// the technique's overhead split.
+    fn commit(&self, shard: &Shard, sv: &SVector, opt: OptimizedPlan, opt_nanos: u64) {
         {
             let mut writer = shard.writer();
+            writer.scr().record_optimize_nanos(opt_nanos);
             let (before, after) =
                 writer.manage_cache_entry(sv, opt, &shard.engine, &shard.published);
             self.apply_delta(before, after);

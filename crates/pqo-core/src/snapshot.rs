@@ -60,7 +60,7 @@ use pqo_optimizer::plan::PlanFingerprint;
 use pqo_optimizer::svector::SVector;
 
 use crate::cache::PlanCache;
-use crate::scr::{ReadView, Scr, ScrConfig, ScrStatCells, ScrStats};
+use crate::scr::{GetPlanScratch, ReadView, Scr, ScrConfig, ScrStatCells, ScrStats};
 use crate::PlanChoice;
 
 /// An immutable, `Arc`-published view of one SCR cache generation: plan
@@ -101,9 +101,25 @@ impl CacheSnapshot {
     /// The cache-only part of `getPlan` against this generation:
     /// selectivity check, then cost check — no lock, no cache mutation, no
     /// optimizer call. Runs the identical code path as
-    /// [`Scr::try_cached_plan`].
+    /// [`Scr::try_cached_plan`]. Allocates a fresh scratch per call; hot
+    /// callers should prefer [`CacheSnapshot::try_cached_plan_with`].
     pub fn try_cached_plan(&self, sv: &SVector, engine: &QueryEngine) -> Option<PlanChoice> {
-        self.view().try_cached_plan(sv, engine)
+        self.view()
+            .try_cached_plan(sv, engine, &mut GetPlanScratch::default())
+    }
+
+    /// [`CacheSnapshot::try_cached_plan`] with a caller-owned
+    /// [`GetPlanScratch`]: the cost check's memo table and recost base
+    /// derivation survive across calls (and across snapshot generations —
+    /// the scratch depends only on the template and cost model, not the
+    /// cache contents), so the hit path allocates nothing.
+    pub fn try_cached_plan_with(
+        &self,
+        sv: &SVector,
+        engine: &QueryEngine,
+        scratch: &mut GetPlanScratch,
+    ) -> Option<PlanChoice> {
+        self.view().try_cached_plan(sv, engine, scratch)
     }
 
     /// The configuration this generation was published under.

@@ -165,8 +165,11 @@ pub fn execute(
             .map(|r| db.table(&r.table.name))
             .collect(),
     };
+    // The executor walks the boxed tree form; rebuilding it from the arena
+    // is negligible next to actually running the operators.
+    let root = plan.to_tree();
     let start = Instant::now();
-    let out = eval(&ctx, plan.root());
+    let out = eval(&ctx, &root);
     ExecResult {
         rows: out.rows(),
         wall: start.elapsed(),

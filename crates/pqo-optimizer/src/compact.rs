@@ -39,28 +39,31 @@ pub struct CompactPlan {
     bytes: Box<[u8]>,
 }
 
-/// Rough heap footprint of a plan's tree representation (what the plan
+/// Rough heap footprint of a plan's arena representation (what the plan
 /// cache pays per plan, Section 6.1's "few hundred KBs per plan" in SQL
 /// Server terms; far smaller here, but the ratio is what matters).
-pub fn estimated_tree_bytes(plan: &Plan) -> usize {
-    fn node_bytes(n: &PlanNode) -> usize {
-        let own = std::mem::size_of::<PlanNode>()
-            + match &n.op {
-                PlanOp::HashJoin { edges, .. }
-                | PlanOp::MergeJoin { edges, .. }
-                | PlanOp::IndexNlj { edges, .. } => edges.capacity() * std::mem::size_of::<usize>(),
-                _ => 0,
-            };
-        own + n.children.iter().map(node_bytes).sum::<usize>()
-    }
-    std::mem::size_of::<Plan>() + node_bytes(plan.root())
+pub fn estimated_plan_bytes(plan: &Plan) -> usize {
+    let nodes = plan.nodes();
+    let edge_bytes: usize = nodes
+        .iter()
+        .map(|n| match &n.op {
+            PlanOp::HashJoin { edges, .. }
+            | PlanOp::MergeJoin { edges, .. }
+            | PlanOp::IndexNlj { edges, .. } => edges.capacity() * std::mem::size_of::<usize>(),
+            _ => 0,
+        })
+        .sum();
+    std::mem::size_of::<Plan>() + std::mem::size_of_val(nodes) + edge_bytes
 }
 
 impl CompactPlan {
-    /// Serialize a plan.
+    /// Serialize a plan: the arena is already postorder, so encoding is one
+    /// linear pass emitting each operator's bytes.
     pub fn encode(plan: &Plan) -> Self {
         let mut bytes = Vec::with_capacity(plan.size() * 4);
-        encode_node(plan.root(), &mut bytes);
+        for node in plan.nodes() {
+            encode_op(&node.op, &mut bytes);
+        }
         CompactPlan {
             bytes: bytes.into_boxed_slice(),
         }
@@ -202,17 +205,14 @@ impl CompactPlan {
     }
 }
 
-fn encode_node(n: &PlanNode, out: &mut Vec<u8>) {
-    for c in &n.children {
-        encode_node(c, out);
-    }
+fn encode_op(op: &PlanOp, out: &mut Vec<u8>) {
     let push_edges = |edges: &[usize], out: &mut Vec<u8>| {
         out.push(u8::try_from(edges.len()).expect("≤255 edges"));
         for &e in edges {
             out.push(u8::try_from(e).expect("edge index fits u8"));
         }
     };
-    match &n.op {
+    match op {
         PlanOp::SeqScan { relation } => {
             out.push(tag::SEQ_SCAN);
             out.push(*relation as u8);
@@ -431,16 +431,16 @@ mod tests {
     }
 
     #[test]
-    fn compact_is_much_smaller_than_tree() {
+    fn compact_is_much_smaller_than_arena() {
         let t = test_fixtures::three_dim();
         let (plan, _) = plan_at(&t, &[0.2, 0.2, 0.2]);
         let compact = CompactPlan::encode(&plan);
-        let tree = estimated_tree_bytes(&plan);
+        let arena = estimated_plan_bytes(&plan);
         assert!(
-            compact.bytes_len() * 4 < tree,
-            "compact {} bytes should be ≲ 1/4 of tree {} bytes",
+            compact.bytes_len() * 4 < arena,
+            "compact {} bytes should be ≲ 1/4 of arena {} bytes",
             compact.bytes_len(),
-            tree
+            arena
         );
     }
 

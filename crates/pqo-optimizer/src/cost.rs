@@ -68,7 +68,10 @@ impl Default for CostModel {
     }
 }
 
-fn log2c(n: f64) -> f64 {
+/// Clamped base-2 log used by the B-tree and sort terms. `pub(crate)` so the
+/// prepared-recost path can fold `log2c(table_rows) * cpu_btree_level` into a
+/// per-node constant with bit-identical arithmetic.
+pub(crate) fn log2c(n: f64) -> f64 {
     n.max(2.0).log2()
 }
 

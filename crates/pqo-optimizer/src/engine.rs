@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 use crate::cost::CostModel;
 use crate::optimizer::{self, OptimizeResult};
 use crate::plan::{Plan, PlanFingerprint};
-use crate::recost;
+use crate::recost::{self, BaseConsts, PreparedRecost, RecostScratch};
 use crate::svector::{self, SVector};
 use crate::template::{QueryInstance, QueryTemplate};
 
@@ -111,6 +111,7 @@ pub struct OptimizedPlan {
 pub struct QueryEngine {
     template: Arc<QueryTemplate>,
     cost_model: CostModel,
+    base_consts: BaseConsts,
     optimize_stat: ApiCounter,
     recost_stat: ApiCounter,
     svector_stat: ApiCounter,
@@ -126,6 +127,7 @@ impl QueryEngine {
     /// Create an engine with a custom cost model.
     pub fn with_cost_model(template: Arc<QueryTemplate>, cost_model: CostModel) -> Self {
         QueryEngine {
+            base_consts: BaseConsts::new(&template),
             template,
             cost_model,
             optimize_stat: ApiCounter::default(),
@@ -200,6 +202,46 @@ impl QueryEngine {
     /// overhead accounting of the technique under test.
     pub fn recost_untracked(&self, plan: &Plan, sv: &SVector) -> f64 {
         recost::recost(&self.template, &self.cost_model, plan, sv)
+    }
+
+    /// The template's selectivity-independent base constants (shared by
+    /// every prepared recost of this engine).
+    pub fn base_consts(&self) -> &BaseConsts {
+        &self.base_consts
+    }
+
+    /// Compile `plan` for repeated re-costing: hoists every
+    /// selectivity-independent quantity out of the per-call path. Done once
+    /// when a plan enters a cache.
+    pub fn prepare_recost(&self, plan: &Plan) -> PreparedRecost {
+        PreparedRecost::new(&self.template, &self.cost_model, plan)
+    }
+
+    /// API 2, prepared form: re-cost a compiled plan at new selectivities
+    /// using a caller-owned scratch. Allocation-free after the first call on
+    /// a given scratch; bit-identical to [`QueryEngine::recost`]. Counted
+    /// under the same Recost statistics.
+    pub fn recost_prepared(
+        &self,
+        prepared: &PreparedRecost,
+        sv: &SVector,
+        scratch: &mut RecostScratch,
+    ) -> f64 {
+        let start = Instant::now();
+        let cost =
+            recost::recost_prepared(&self.base_consts, &self.cost_model, prepared, sv, scratch);
+        self.recost_stat.record(start.elapsed());
+        cost
+    }
+
+    /// Prepared re-cost without touching the counters (benchmarks).
+    pub fn recost_prepared_untracked(
+        &self,
+        prepared: &PreparedRecost,
+        sv: &SVector,
+        scratch: &mut RecostScratch,
+    ) -> f64 {
+        recost::recost_prepared(&self.base_consts, &self.cost_model, prepared, sv, scratch)
     }
 
     /// Optimize without touching the counters (ground-truth oracle).
@@ -280,6 +322,23 @@ mod tests {
         let opt = e.optimize(&sv);
         let rc = e.recost(&opt.plan, &sv);
         assert!((opt.cost - rc).abs() < 1e-9 * opt.cost.max(1.0));
+    }
+
+    #[test]
+    fn prepared_recost_agrees_with_recost_and_counts() {
+        let t = test_fixtures::three_dim();
+        let e = QueryEngine::new(t.clone());
+        let sv = svector::compute_svector(&t, &instance_for_target(&t, &[0.2, 0.1, 0.05]));
+        let opt = e.optimize(&sv);
+        let prepared = e.prepare_recost(&opt.plan);
+        let mut scratch = RecostScratch::new();
+        let sv2 = svector::compute_svector(&t, &instance_for_target(&t, &[0.6, 0.1, 0.05]));
+        for point in [&sv, &sv2, &sv] {
+            let fast = e.recost_prepared(&prepared, point, &mut scratch);
+            let slow = e.recost_untracked(&opt.plan, point);
+            assert_eq!(fast.to_bits(), slow.to_bits());
+        }
+        assert_eq!(e.stats().recost_calls, 3);
     }
 
     #[test]

@@ -557,11 +557,11 @@ mod tests {
         let low = optimize(&t, &m, &SVector(vec![0.001]));
         let high = optimize(&t, &m, &SVector(vec![0.8]));
         assert!(
-            matches!(low.plan.root().op, PlanOp::IndexSeek { .. }),
+            matches!(low.plan.root_op(), PlanOp::IndexSeek { .. }),
             "low sel should seek"
         );
         assert!(
-            matches!(high.plan.root().op, PlanOp::SeqScan { .. }),
+            matches!(high.plan.root_op(), PlanOp::SeqScan { .. }),
             "high sel should scan"
         );
         assert_ne!(low.plan.fingerprint(), high.plan.fingerprint());
@@ -643,7 +643,7 @@ mod tests {
             fn has_merge(n: &PlanNode) -> bool {
                 matches!(n.op, PlanOp::MergeJoin { .. }) || n.children.iter().any(has_merge)
             }
-            saw_merge |= has_merge(r.plan.root());
+            saw_merge |= has_merge(&r.plan.to_tree());
         }
         assert!(saw_merge, "expected a merge join in the unselective region");
     }
@@ -675,7 +675,7 @@ mod tests {
                     }
                     n.children.iter().for_each(check);
                 }
-                check(r.plan.root());
+                check(&r.plan.to_tree());
             }
         }
     }
@@ -710,8 +710,8 @@ mod tests {
             }
             n.children.iter().for_each(no_empty_edges);
         }
-        no_empty_edges(r.plan.root());
-        assert_eq!(r.plan.root().relation_set(), t.full_relation_set());
+        no_empty_edges(&r.plan.to_tree());
+        assert_eq!(r.plan.relation_set(), t.full_relation_set());
     }
 
     #[test]
@@ -720,7 +720,7 @@ mod tests {
         let m = CostModel::default();
         let r = optimize(&t, &m, &sv_for(&t, &[0.1, 0.1]));
         assert!(matches!(
-            r.plan.root().op,
+            r.plan.root_op(),
             PlanOp::HashAggregate | PlanOp::StreamAggregate
         ));
     }

@@ -1,4 +1,4 @@
-//! Physical plan trees and structural plan identity.
+//! Physical plans and structural plan identity.
 //!
 //! A [`Plan`] is what the plan cache stores. Two optimizer calls at different
 //! query instances frequently return *structurally identical* plans; PQO
@@ -7,10 +7,15 @@
 //! plan carries a [`PlanFingerprint`] — a structural hash over operators,
 //! relation indices and join order, ignoring per-instance cardinalities.
 //!
-//! Each node also carries the logical annotations the Recost API needs
-//! (which relations it covers, which join edges it applies), mirroring the
-//! paper's `shrunkenMemo`: just enough of the memo to re-derive cardinality
-//! and cost bottom-up, with the search space pruned away.
+//! Plans are *built* as [`PlanNode`] trees (the optimizer's extract step and
+//! tests construct those naturally) but *stored* in flat arena form: a
+//! postorder `Vec<ArenaNode>` whose children are index ranges. Recost — the
+//! hot path — is then one linear pass over a contiguous slice instead of a
+//! pointer chase through heap-boxed children. Each operator carries the
+//! logical annotations the Recost API needs (which relations it covers,
+//! which join edges it applies), mirroring the paper's `shrunkenMemo`: just
+//! enough of the memo to re-derive cardinality and cost bottom-up, with the
+//! search space pruned away.
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -70,6 +75,19 @@ pub enum PlanOp {
 }
 
 impl PlanOp {
+    /// Number of children this operator takes (0 for scans, 1 for
+    /// IndexNLJ/Sort/aggregates, 2 for hash/merge joins).
+    pub fn arity(&self) -> usize {
+        match self {
+            PlanOp::SeqScan { .. } | PlanOp::IndexSeek { .. } | PlanOp::SortedIndexScan { .. } => 0,
+            PlanOp::HashJoin { .. } | PlanOp::MergeJoin { .. } => 2,
+            PlanOp::IndexNlj { .. }
+            | PlanOp::HashAggregate
+            | PlanOp::StreamAggregate
+            | PlanOp::Sort { .. } => 1,
+        }
+    }
+
     /// Short operator name for display.
     pub fn name(&self) -> &'static str {
         match self {
@@ -132,27 +150,81 @@ impl PlanNode {
     }
 }
 
-/// An immutable physical plan with a structural fingerprint.
+/// One operator in a [`Plan`]'s flat arena.
+///
+/// Nodes are stored in postorder: every node's children precede it, and the
+/// subtree rooted at node `i` occupies exactly the contiguous index range
+/// `[subtree_start, i]`. The root is the last node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArenaNode {
+    /// The operator.
+    pub op: PlanOp,
+    /// Index of the first node of this node's subtree. Equal to the node's
+    /// own index for leaves.
+    pub subtree_start: u32,
+}
+
+/// Indices of the direct children of arena node `i`, in left-to-right order.
+/// At most 2 entries; empty for leaves.
+pub fn arena_children(nodes: &[ArenaNode], i: usize) -> Vec<usize> {
+    let start = nodes[i].subtree_start as usize;
+    let mut kids = Vec::with_capacity(nodes[i].op.arity());
+    let mut end = i; // exclusive end of the remaining children region
+    while end > start {
+        let child = end - 1; // root of the rightmost remaining child subtree
+        kids.push(child);
+        end = nodes[child].subtree_start as usize;
+    }
+    kids.reverse();
+    kids
+}
+
+/// An immutable physical plan with a structural fingerprint, stored as a
+/// flat postorder arena.
 #[derive(Debug, Clone)]
 pub struct Plan {
-    root: PlanNode,
+    nodes: Vec<ArenaNode>,
     fingerprint: PlanFingerprint,
 }
 
 impl Plan {
-    /// Wrap a plan tree, computing its fingerprint.
+    /// Flatten a plan tree into arena form, computing its fingerprint.
+    ///
+    /// The fingerprint hashes the *tree* (exactly as previous versions did),
+    /// so plan identity — and the on-disk persist format — is unchanged by
+    /// the arena representation.
     pub fn new(root: PlanNode) -> Self {
         let mut h = Fnv64::new();
         root.hash(&mut h);
-        Plan {
-            fingerprint: PlanFingerprint(h.finish()),
-            root,
-        }
+        let fingerprint = PlanFingerprint(h.finish());
+        let mut nodes = Vec::with_capacity(root.size());
+        flatten(root, &mut nodes);
+        Plan { nodes, fingerprint }
     }
 
-    /// Root node of the tree.
-    pub fn root(&self) -> &PlanNode {
-        &self.root
+    /// The postorder operator arena. The root is the last node.
+    pub fn nodes(&self) -> &[ArenaNode] {
+        &self.nodes
+    }
+
+    /// The root operator (last node of the postorder arena).
+    pub fn root_op(&self) -> &PlanOp {
+        &self.nodes.last().expect("plan is non-empty").op
+    }
+
+    /// Reconstruct the boxed tree form (for the executor and for callers
+    /// that want recursive traversal; the arena stays the stored form).
+    pub fn to_tree(&self) -> PlanNode {
+        let mut stack: Vec<PlanNode> = Vec::new();
+        for n in &self.nodes {
+            let children = stack.split_off(stack.len() - n.op.arity());
+            stack.push(PlanNode {
+                op: n.op.clone(),
+                children,
+            });
+        }
+        debug_assert_eq!(stack.len(), 1, "arena must encode exactly one tree");
+        stack.pop().expect("plan is non-empty")
     }
 
     /// Structural fingerprint.
@@ -162,7 +234,20 @@ impl Plan {
 
     /// Number of operators.
     pub fn size(&self) -> usize {
-        self.root.size()
+        self.nodes.len()
+    }
+
+    /// Bitmask of relations covered by the plan.
+    pub fn relation_set(&self) -> u32 {
+        self.nodes.iter().fold(0, |acc, n| {
+            acc | match n.op {
+                PlanOp::SeqScan { relation }
+                | PlanOp::IndexSeek { relation, .. }
+                | PlanOp::SortedIndexScan { relation, .. } => 1u32 << relation,
+                PlanOp::IndexNlj { inner, .. } => 1u32 << inner,
+                _ => 0,
+            }
+        })
     }
 
     /// Render the plan as an indented operator tree, resolving relation
@@ -173,6 +258,18 @@ impl Plan {
             template,
         }
     }
+}
+
+/// Postorder flatten by move: children first, then the node itself.
+fn flatten(node: PlanNode, out: &mut Vec<ArenaNode>) {
+    let start = out.len() as u32;
+    for c in node.children {
+        flatten(c, out);
+    }
+    out.push(ArenaNode {
+        op: node.op,
+        subtree_start: start,
+    });
 }
 
 impl PartialEq for Plan {
@@ -191,14 +288,15 @@ pub struct PlanDisplay<'a> {
 impl fmt::Display for PlanDisplay<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fn walk(
-            node: &PlanNode,
+            nodes: &[ArenaNode],
+            i: usize,
             template: &QueryTemplate,
             depth: usize,
             f: &mut fmt::Formatter<'_>,
         ) -> fmt::Result {
             let pad = "  ".repeat(depth);
             let alias = |r: usize| template.relations[r].alias.clone();
-            match &node.op {
+            match &nodes[i].op {
                 PlanOp::SeqScan { relation } => writeln!(f, "{pad}SeqScan({})", alias(*relation))?,
                 PlanOp::IndexSeek {
                     relation,
@@ -237,13 +335,14 @@ impl fmt::Display for PlanDisplay<'_> {
                     writeln!(f, "{pad}Sort({}.{})", alias(*r), col)?;
                 }
             }
-            for c in &node.children {
-                walk(c, template, depth + 1, f)?;
+            for c in arena_children(nodes, i) {
+                walk(nodes, c, template, depth + 1, f)?;
             }
             Ok(())
         }
         writeln!(f, "plan {}:", self.plan.fingerprint())?;
-        walk(&self.plan.root, self.template, 1, f)
+        let nodes = self.plan.nodes();
+        walk(nodes, nodes.len() - 1, self.template, 1, f)
     }
 }
 
@@ -374,6 +473,69 @@ mod tests {
             vec![scan(0), scan(3)],
         ));
         assert_eq!(p.fingerprint(), again.fingerprint());
+    }
+
+    #[test]
+    fn arena_is_postorder_with_contiguous_subtrees() {
+        let tree = PlanNode::internal(
+            PlanOp::IndexNlj {
+                inner: 2,
+                seek_edge: 1,
+                edges: vec![1],
+            },
+            vec![PlanNode::internal(
+                PlanOp::HashJoin {
+                    build_left: true,
+                    edges: vec![0],
+                },
+                vec![scan(0), scan(1)],
+            )],
+        );
+        let p = Plan::new(tree);
+        let nodes = p.nodes();
+        // Postorder: scan(0), scan(1), HashJoin, IndexNlj.
+        assert_eq!(nodes.len(), 4);
+        assert!(matches!(nodes[0].op, PlanOp::SeqScan { relation: 0 }));
+        assert!(matches!(nodes[1].op, PlanOp::SeqScan { relation: 1 }));
+        assert!(matches!(nodes[2].op, PlanOp::HashJoin { .. }));
+        assert!(matches!(nodes[3].op, PlanOp::IndexNlj { .. }));
+        // Subtree ranges: leaves start at themselves; internal nodes cover
+        // their children.
+        assert_eq!(nodes[0].subtree_start, 0);
+        assert_eq!(nodes[1].subtree_start, 1);
+        assert_eq!(nodes[2].subtree_start, 0);
+        assert_eq!(nodes[3].subtree_start, 0);
+        // Child recovery walks the ranges backwards and reverses.
+        assert_eq!(arena_children(nodes, 3), vec![2]);
+        assert_eq!(arena_children(nodes, 2), vec![0, 1]);
+        assert_eq!(arena_children(nodes, 0), Vec::<usize>::new());
+        assert_eq!(p.relation_set(), 0b111);
+        assert_eq!(p.size(), 4);
+    }
+
+    #[test]
+    fn to_tree_round_trips() {
+        let tree = PlanNode::internal(
+            PlanOp::HashAggregate,
+            vec![PlanNode::internal(
+                PlanOp::MergeJoin {
+                    merge_edge: 0,
+                    edges: vec![0, 1],
+                },
+                vec![
+                    PlanNode::internal(PlanOp::Sort { key: Some((0, 1)) }, vec![scan(0)]),
+                    PlanNode::leaf(PlanOp::SortedIndexScan {
+                        relation: 1,
+                        column: 1,
+                    }),
+                ],
+            )],
+        );
+        let p = Plan::new(tree.clone());
+        let back = p.to_tree();
+        assert_eq!(back, tree);
+        // Re-flattening the reconstructed tree preserves identity.
+        assert_eq!(Plan::new(back).fingerprint(), p.fingerprint());
     }
 
     #[test]
