@@ -1,0 +1,145 @@
+//! Loopback wire throughput: the `pqo-server` TCP front end vs the
+//! in-process [`PqoService`] it wraps, on the same 99%-hit read-mostly
+//! workload as `batch_throughput`. Clients are pre-connected (one per
+//! thread, handshake outside the timed region), so the measured gap over
+//! the in-process numbers is pure wire overhead: framing, two syscalls
+//! per exchange and the request/response round trip. `GET_PLAN_BATCH`
+//! amortizes all three across 32 instances per frame.
+
+use std::hint::black_box;
+use std::sync::{Arc, Mutex};
+
+use pqo_bench::microbench::Runner;
+use pqo_core::scr::ScrConfig;
+use pqo_core::service::PqoService;
+use pqo_optimizer::template::QueryInstance;
+use pqo_server::{PqoClient, PqoServer, ServerConfig};
+use pqo_workload::corpus::corpus;
+
+const BATCH: usize = 32;
+
+fn main() {
+    let runner = Runner::from_args();
+    let ids = ["tpch_skew_A_d2", "tpch_skew_B_d2", "tpcds_G_d3"];
+    let per_thread = if runner.quick() { 64usize } else { 512usize };
+
+    let service = Arc::new(PqoService::new());
+    let mut streams: Vec<(String, Vec<QueryInstance>)> = Vec::new();
+    for id in ids {
+        let spec = corpus()
+            .iter()
+            .find(|s| s.id == id)
+            .expect("corpus template");
+        service
+            .register(
+                Arc::clone(&spec.template),
+                ScrConfig::new(2.0).expect("valid bench λ"),
+            )
+            .expect("fresh template registers");
+        let warm = spec.generate(200, 7);
+        for inst in &warm {
+            service
+                .get_plan(&spec.template.name, inst)
+                .expect("warmup get_plan");
+        }
+        let fresh = spec.generate(per_thread, 31);
+        let stream: Vec<QueryInstance> = (0..per_thread)
+            .map(|i| {
+                if i % 100 == 99 {
+                    fresh[i].clone()
+                } else {
+                    warm[i % warm.len()].clone()
+                }
+            })
+            .collect();
+        streams.push((spec.template.name.clone(), stream));
+    }
+    let streams = Arc::new(streams);
+
+    let server = PqoServer::bind(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Pre-batched value vectors so encoding input prep stays out of the
+    // timed region for the batch variant.
+    let batched: Vec<(String, Vec<Vec<Vec<f64>>>)> = streams
+        .iter()
+        .map(|(name, insts)| {
+            let chunks = insts
+                .chunks(BATCH)
+                .map(|c| c.iter().map(|q| q.values.clone()).collect())
+                .collect();
+            (name.clone(), chunks)
+        })
+        .collect();
+    let batched = Arc::new(batched);
+
+    for threads in [1usize, 8] {
+        // One pre-connected client per thread; the Mutex is uncontended
+        // (each thread locks only its own client) and exists to share the
+        // pool across `bench_throughput`'s repeated closure calls.
+        let clients: Vec<Mutex<PqoClient>> = (0..threads)
+            .map(|_| Mutex::new(PqoClient::connect(addr).expect("bench client connects")))
+            .collect();
+        let clients = Arc::new(clients);
+        let total = (threads * per_thread) as u64;
+
+        runner.bench_throughput(
+            &format!("net_throughput/get_plan/{threads}_threads"),
+            total,
+            || {
+                std::thread::scope(|scope| {
+                    for t in 0..threads {
+                        let clients = Arc::clone(&clients);
+                        let streams = Arc::clone(&streams);
+                        scope.spawn(move || {
+                            let mut client = clients[t].lock().expect("client pool");
+                            let (name, insts) = &streams[t % streams.len()];
+                            let mut hits = 0u32;
+                            for inst in insts {
+                                let choice =
+                                    client.get_plan(name, &inst.values).expect("wire get_plan");
+                                hits += u32::from(!choice.optimized);
+                            }
+                            black_box(hits)
+                        });
+                    }
+                });
+            },
+        );
+        runner.bench_throughput(
+            &format!("net_throughput/get_plan_batch{BATCH}/{threads}_threads"),
+            total,
+            || {
+                std::thread::scope(|scope| {
+                    for t in 0..threads {
+                        let clients = Arc::clone(&clients);
+                        let batched = Arc::clone(&batched);
+                        scope.spawn(move || {
+                            let mut client = clients[t].lock().expect("client pool");
+                            let (name, chunks) = &batched[t % batched.len()];
+                            let mut hits = 0u32;
+                            for chunk in chunks {
+                                let choices = client
+                                    .get_plan_batch(name, chunk)
+                                    .expect("wire get_plan_batch");
+                                hits += choices.iter().filter(|c| !c.optimized).count() as u32;
+                            }
+                            black_box(hits)
+                        });
+                    }
+                });
+            },
+        );
+    }
+
+    server.shutdown();
+    server.join();
+}

@@ -12,6 +12,10 @@
 //!              [--recost-fetch-factor N]
 //! pqo serve    --template ID [--lambda X] [--m N] [--seed N] [--batch N]
 //!              [--spatial-threshold N] [--recost-fetch-factor N]
+//! pqo serve    --listen ADDR --template ID[,ID...] [--lambda X]
+//!              [--snapshot-dir DIR] [--max-conns N]
+//! pqo client   --connect ADDR [--op plan|run|stats|shutdown] [--template ID]
+//!              [--sel S1,...] [--m N] [--seed N] [--batch N] [--check BOOL]
 //! ```
 
 use std::process::exit;
@@ -26,6 +30,7 @@ use pqo_optimizer::svector::{compute_svector, instance_for_target, SVector};
 use pqo_workload::corpus::{corpus, TemplateSpec};
 
 mod args;
+mod net;
 use args::Args;
 
 fn main() {
@@ -50,6 +55,7 @@ fn main() {
         "run" => run_cmd(&args),
         "cache" => cache_cmd(&args),
         "serve" => serve_cmd(&args),
+        "client" => net::client_cmd(&args),
         other => {
             eprintln!("error: unknown command `{other}`");
             usage();
@@ -70,11 +76,14 @@ fn usage() {
                  [--spatial-threshold N] [--recost-fetch-factor N] [--save-cache FILE] [--load-cache FILE]\n  \
          pqo cache --template ID [--lambda X] [--m N] [--spatial-threshold N] [--recost-fetch-factor N]\n  \
          pqo serve --template ID [--lambda X] [--m N] [--seed N] [--batch N] [--spatial-threshold N]\n  \
-                 [--recost-fetch-factor N]"
+                 [--recost-fetch-factor N]\n  \
+         pqo serve --listen ADDR --template ID[,ID...] [--lambda X] [--snapshot-dir DIR] [--max-conns N]\n  \
+         pqo client --connect ADDR [--op plan|run|stats|shutdown] [--template ID] [--sel S1,...]\n  \
+                 [--m N] [--seed N] [--batch N] [--check BOOL]"
     );
 }
 
-fn spec(args: &Args) -> Result<&'static TemplateSpec, String> {
+pub(crate) fn spec(args: &Args) -> Result<&'static TemplateSpec, String> {
     let id = args.get("template")?;
     corpus()
         .iter()
@@ -82,7 +91,7 @@ fn spec(args: &Args) -> Result<&'static TemplateSpec, String> {
         .ok_or_else(|| format!("unknown template `{id}` (try `pqo templates`)"))
 }
 
-fn sels(args: &Args, key: &str, d: usize) -> Result<Vec<f64>, String> {
+pub(crate) fn sels(args: &Args, key: &str, d: usize) -> Result<Vec<f64>, String> {
     let raw = args.get(key)?;
     let v: Result<Vec<f64>, _> = raw
         .split(',')
@@ -107,7 +116,7 @@ fn sels(args: &Args, key: &str, d: usize) -> Result<Vec<f64>, String> {
 /// index, large values = linear scan only) and the optional
 /// `--recost-fetch-factor N` over-fetch multiplier for the indexed cost
 /// check's candidate query.
-fn scr_config(args: &Args, lambda: f64) -> Result<pqo_core::scr::ScrConfig, String> {
+pub(crate) fn scr_config(args: &Args, lambda: f64) -> Result<pqo_core::scr::ScrConfig, String> {
     let mut cfg = pqo_core::scr::ScrConfig::new(lambda).map_err(|e| e.to_string())?;
     if let Some(raw) = args.opt("spatial-threshold") {
         let threshold: usize = raw
@@ -359,8 +368,12 @@ fn cache_cmd(args: &Args) -> Result<(), String> {
 /// `--batch N` chunks (default 1 = per-instance `get_plan`), then the
 /// published snapshot's counters are reported. This is the CLI surface for
 /// the concurrent deployment path — same decisions as `pqo run --tech scr`,
-/// different machinery.
+/// different machinery. With `--listen ADDR` the workload loop is replaced
+/// by the TCP server from `pqo-server` (see [`net::serve_listen`]).
 fn serve_cmd(args: &Args) -> Result<(), String> {
+    if let Some(listen) = args.opt("listen") {
+        return net::serve_listen(args, &listen);
+    }
     let spec = spec(args)?;
     let lambda: f64 = args
         .opt("lambda")

@@ -1,0 +1,262 @@
+//! Network mode: `pqo serve --listen ADDR` runs the TCP server from
+//! `pqo-server` over a [`pqo_core::PqoService`]; `pqo client` drives it
+//! from another process.
+//!
+//! The serve side registers one SCR cache per `--template` id (comma
+//! separated), warm-restarts each from `--snapshot-dir` when a prior
+//! snapshot exists, and prints a per-template counter summary after a
+//! graceful shutdown (triggered by a client's `SHUTDOWN` frame). The
+//! client side offers four ops — `plan`, `run`, `stats`, `shutdown` —
+//! inferred from the flags or forced with `--op`; `run --check true`
+//! replays the same generated workload through an in-process oracle and
+//! fails on the first decision divergence.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use pqo_core::PqoService;
+use pqo_optimizer::svector::instance_for_target;
+use pqo_server::{PqoClient, PqoServer, ServerConfig};
+use pqo_workload::corpus::{corpus, TemplateSpec};
+
+use crate::args::Args;
+use crate::{scr_config, sels, spec};
+
+fn parse_opt<T: std::str::FromStr>(args: &Args, key: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    args.opt(key)
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--{key}: {e}"))
+        .map(|v| v.unwrap_or(default))
+}
+
+fn spec_by_id(id: &str) -> Result<&'static TemplateSpec, String> {
+    corpus()
+        .iter()
+        .find(|s| s.id == id)
+        .ok_or_else(|| format!("unknown template `{id}` (try `pqo templates`)"))
+}
+
+/// `pqo serve --listen ADDR --template ID[,ID...]`: serve registered
+/// templates over TCP until a client requests shutdown.
+pub fn serve_listen(args: &Args, listen: &str) -> Result<(), String> {
+    let ids = args.get("template")?;
+    let lambda: f64 = parse_opt(args, "lambda", 2.0)?;
+    let snapshot_dir = args.opt("snapshot-dir").map(PathBuf::from);
+
+    let mut config = ServerConfig {
+        snapshot_dir: snapshot_dir.clone(),
+        ..ServerConfig::default()
+    };
+    config.max_connections = parse_opt(args, "max-conns", config.max_connections)?;
+
+    let service = Arc::new(PqoService::new());
+    let mut names = Vec::new();
+    for id in ids.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let spec = spec_by_id(id)?;
+        let cfg = scr_config(args, lambda)?;
+        let warm = snapshot_dir
+            .as_ref()
+            .map(|d| d.join(format!("{id}.pqo-cache")))
+            .filter(|p| p.exists());
+        match warm {
+            Some(path) => {
+                let mut f =
+                    std::fs::File::open(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+                service
+                    .register_restored(Arc::clone(&spec.template), cfg, &mut f)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                let plans = service
+                    .snapshot(id)
+                    .map_err(|e| e.to_string())?
+                    .cache()
+                    .num_plans();
+                println!("restored {id} from {} ({plans} plans)", path.display());
+            }
+            None => {
+                service
+                    .register(Arc::clone(&spec.template), cfg)
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        names.push(id.to_string());
+    }
+    if names.is_empty() {
+        return Err("--template: no template ids given".into());
+    }
+
+    let server = PqoServer::bind(Arc::clone(&service), listen, config)
+        .map_err(|e| format!("bind {listen}: {e}"))?;
+    // Smoke scripts parse this exact line to learn the ephemeral port.
+    println!("listening on {}", server.local_addr());
+    println!(
+        "serving {} template(s) at λ = {lambda}; stop with `pqo client --connect {} --op shutdown`",
+        names.len(),
+        server.local_addr()
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+
+    let stats = server.join();
+    println!();
+    println!("server exit summary");
+    println!("connections accepted: {}", stats.connections_accepted);
+    println!("rejected (busy)     : {}", stats.connections_rejected_busy);
+    println!("frames served       : {}", stats.frames_served);
+    println!("plans served        : {}", stats.plans_served);
+    println!("batch frames        : {}", stats.batch_frames);
+    println!("malformed frames    : {}", stats.malformed_frames);
+    println!("error frames        : {}", stats.error_frames);
+    println!("snapshots flushed   : {}", stats.snapshots_flushed);
+    for id in &names {
+        let s = service.scr_stats(id).map_err(|e| e.to_string())?;
+        let plans = service
+            .snapshot(id)
+            .map_err(|e| e.to_string())?
+            .cache()
+            .num_plans();
+        println!();
+        println!("[{id}]");
+        println!("plans cached        : {plans}");
+        println!("selectivity hits    : {}", s.selectivity_hits);
+        println!("cost-check hits     : {}", s.cost_hits);
+        println!("optimizer calls     : {}", s.optimizer_calls);
+        println!("batches served      : {}", s.batches_served);
+        println!("batch instances     : {}", s.batch_instances);
+        println!("max batch size      : {}", s.max_batch_size);
+        println!("snapshot re-loads   : {}", s.snapshot_reloads);
+    }
+    Ok(())
+}
+
+/// `pqo client --connect ADDR [...]`: one op per invocation.
+pub fn client_cmd(args: &Args) -> Result<(), String> {
+    let addr = args.get("connect")?;
+    let op = match args.opt("op") {
+        Some(op) => op,
+        None if args.opt("sel").is_some() => "plan".into(),
+        None if args.opt("m").is_some() => "run".into(),
+        None if args.opt("template").is_some() => "stats".into(),
+        None => return Err("cannot infer op; pass --op plan|run|stats|shutdown".into()),
+    };
+    let mut client =
+        PqoClient::connect(&addr as &str).map_err(|e| format!("connect {addr}: {e}"))?;
+    match op.as_str() {
+        "plan" => {
+            let spec = spec(args)?;
+            let target = sels(args, "sel", spec.dimensions)?;
+            let inst = instance_for_target(&spec.template, &target);
+            let choice = client
+                .get_plan(&spec.id, &inst.values)
+                .map_err(|e| e.to_string())?;
+            println!("template  : {}", spec.id);
+            println!("plan      : {}", choice.fingerprint);
+            println!("optimized : {}", choice.optimized);
+            Ok(())
+        }
+        "run" => client_run(args, &mut client),
+        "stats" => {
+            let id = args.get("template")?;
+            let s = client.stats(&id).map_err(|e| e.to_string())?;
+            println!("[{id}]");
+            println!("plans cached        : {}", s.num_plans);
+            println!("instance entries    : {}", s.num_instances);
+            println!("total plans (svc)   : {}", s.total_plans);
+            println!("selectivity hits    : {}", s.selectivity_hits);
+            println!("cost-check hits     : {}", s.cost_hits);
+            println!("optimizer calls     : {}", s.optimizer_calls);
+            println!("recost calls        : {}", s.getplan_recost_calls);
+            println!("batches served      : {}", s.batches_served);
+            println!("batch instances     : {}", s.batch_instances);
+            println!("max batch size      : {}", s.max_batch_size);
+            println!("snapshot re-loads   : {}", s.snapshot_reloads);
+            Ok(())
+        }
+        "shutdown" => {
+            client.shutdown_server().map_err(|e| e.to_string())?;
+            println!("server acknowledged shutdown");
+            Ok(())
+        }
+        other => Err(format!("unknown op `{other}` (plan|run|stats|shutdown)")),
+    }
+}
+
+/// Drive a generated workload over the wire; with `--check true`, replay
+/// it through a fresh in-process service and require identical decisions.
+///
+/// The oracle assumes the server holds a *cold* cache with the same SCR
+/// configuration (λ, thresholds) this invocation was given.
+fn client_run(args: &Args, client: &mut PqoClient) -> Result<(), String> {
+    let spec = spec(args)?;
+    let m: usize = parse_opt(args, "m", 1000)?;
+    let seed: u64 = parse_opt(args, "seed", 42)?;
+    let batch: usize = parse_opt(args, "batch", 1)?;
+    let check: bool = parse_opt(args, "check", false)?;
+    if batch == 0 {
+        return Err("--batch must be >= 1".into());
+    }
+
+    let instances = spec.generate(m, seed);
+    let start = std::time::Instant::now();
+    let mut decisions: Vec<(u64, bool)> = Vec::with_capacity(m);
+    if batch == 1 {
+        for inst in &instances {
+            let c = client
+                .get_plan(&spec.id, &inst.values)
+                .map_err(|e| e.to_string())?;
+            decisions.push((c.fingerprint.0, c.optimized));
+        }
+    } else {
+        for chunk in instances.chunks(batch) {
+            let values: Vec<Vec<f64>> = chunk.iter().map(|q| q.values.clone()).collect();
+            let cs = client
+                .get_plan_batch(&spec.id, &values)
+                .map_err(|e| e.to_string())?;
+            decisions.extend(cs.iter().map(|c| (c.fingerprint.0, c.optimized)));
+        }
+    }
+    let elapsed = start.elapsed();
+    let optimized = decisions.iter().filter(|(_, o)| *o).count();
+
+    println!(
+        "template            : {} (d = {})",
+        spec.id, spec.dimensions
+    );
+    println!("instances           : {m} (batch size {batch}, over TCP)");
+    println!(
+        "optimizer calls     : {optimized} ({:.1}%)",
+        100.0 * optimized as f64 / m.max(1) as f64
+    );
+    println!("wall time           : {elapsed:?}");
+    println!(
+        "per instance        : {:?}",
+        elapsed.checked_div(m.max(1) as u32).unwrap_or_default()
+    );
+
+    if check {
+        let lambda: f64 = parse_opt(args, "lambda", 2.0)?;
+        let oracle = PqoService::new();
+        oracle
+            .register(Arc::clone(&spec.template), scr_config(args, lambda)?)
+            .map_err(|e| e.to_string())?;
+        for (i, (inst, &(fp, optimized))) in instances.iter().zip(&decisions).enumerate() {
+            let expect = oracle.get_plan(&spec.id, inst).map_err(|e| e.to_string())?;
+            if fp != expect.plan.fingerprint().0 || optimized != expect.optimized {
+                return Err(format!(
+                    "oracle divergence at instance {i}: wire served plan {fp:#018x} \
+                     (optimized: {optimized}), oracle chose {:#018x} (optimized: {})",
+                    expect.plan.fingerprint().0,
+                    expect.optimized
+                ));
+            }
+        }
+        println!(
+            "oracle check        : OK ({} decisions identical to in-process SCR)",
+            decisions.len()
+        );
+    }
+    Ok(())
+}

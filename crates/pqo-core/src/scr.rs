@@ -226,6 +226,16 @@ pub struct ScrStats {
     /// Cumulative nanoseconds spent inside optimizer calls issued by
     /// `getPlan` — the other side of the overhead split.
     pub optimize_nanos: u64,
+    /// Published-generation re-loads taken by batched serving after a
+    /// miss→publish (one per miss inside a batch), so operators can see how
+    /// often a batch had to chase a fresh snapshot.
+    pub snapshot_reloads: u64,
+    /// Batched `get_plan_batch` frames served for this template.
+    pub batches_served: u64,
+    /// Total instances that arrived through the batched path.
+    pub batch_instances: u64,
+    /// Largest single batch served.
+    pub max_batch_size: u64,
 }
 
 /// The live (atomic) form of [`ScrStats`]. Counters bumped on the read path
@@ -246,6 +256,10 @@ pub(crate) struct ScrStatCells {
     violations_detected: AtomicU64,
     recost_nanos: AtomicU64,
     optimize_nanos: AtomicU64,
+    snapshot_reloads: AtomicU64,
+    batches_served: AtomicU64,
+    batch_instances: AtomicU64,
+    max_batch_size: AtomicU64,
 }
 
 impl ScrStatCells {
@@ -255,6 +269,18 @@ impl ScrStatCells {
 
     fn add(cell: &AtomicU64, n: u64) {
         cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// One batched `get_plan_batch` frame of `len` instances.
+    pub(crate) fn record_batch(&self, len: u64) {
+        Self::bump(&self.batches_served);
+        Self::add(&self.batch_instances, len);
+        self.max_batch_size.fetch_max(len, Ordering::Relaxed);
+    }
+
+    /// One published-generation re-load after a batch miss→publish.
+    pub(crate) fn record_snapshot_reload(&self) {
+        Self::bump(&self.snapshot_reloads);
     }
 
     pub(crate) fn snapshot(&self) -> ScrStats {
@@ -270,6 +296,10 @@ impl ScrStatCells {
             violations_detected: self.violations_detected.load(Ordering::Relaxed),
             recost_nanos: self.recost_nanos.load(Ordering::Relaxed),
             optimize_nanos: self.optimize_nanos.load(Ordering::Relaxed),
+            snapshot_reloads: self.snapshot_reloads.load(Ordering::Relaxed),
+            batches_served: self.batches_served.load(Ordering::Relaxed),
+            batch_instances: self.batch_instances.load(Ordering::Relaxed),
+            max_batch_size: self.max_batch_size.load(Ordering::Relaxed),
         }
     }
 }

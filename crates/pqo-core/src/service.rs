@@ -219,6 +219,16 @@ impl PqoService {
         })
     }
 
+    /// The registered template object behind `name` — front ends (e.g. the
+    /// TCP server) use it to validate incoming instances (arity, finite
+    /// parameter values) *before* entering the serving path.
+    ///
+    /// # Errors
+    /// [`PqoError::UnknownTemplate`].
+    pub fn template(&self, name: &str) -> Result<Arc<QueryTemplate>, PqoError> {
+        Ok(Arc::clone(self.shard(name)?.engine.template()))
+    }
+
     /// Registered template names, sorted.
     pub fn templates(&self) -> Vec<String> {
         self.shards
@@ -302,6 +312,7 @@ impl PqoService {
             .map(|q| shard.engine.compute_svector(q))
             .collect();
         let mut snapshot = shard.published.load();
+        snapshot.record_batch(instances.len() as u64);
         let mut out = Vec::with_capacity(instances.len());
         for sv in &svs {
             if let Some(choice) = shard.try_cached_plan(&snapshot, sv) {
@@ -314,6 +325,7 @@ impl PqoService {
             let plan = Arc::clone(&opt.plan);
             self.commit(&shard, sv, opt, opt_nanos);
             snapshot = shard.published.load();
+            snapshot.record_snapshot_reload();
             out.push(PlanChoice {
                 plan,
                 optimized: true,

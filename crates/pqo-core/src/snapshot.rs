@@ -137,6 +137,18 @@ impl CacheSnapshot {
         self.stats.snapshot()
     }
 
+    /// Tally one batched serving frame of `len` instances against the
+    /// shared counter cells (visible through every generation).
+    pub(crate) fn record_batch(&self, len: u64) {
+        self.stats.record_batch(len);
+    }
+
+    /// Tally one published-generation re-load taken after a batch
+    /// miss→publish.
+    pub(crate) fn record_snapshot_reload(&self) {
+        self.stats.record_snapshot_reload();
+    }
+
     /// The dynamic-λ accumulators `(Σ log C, optimized count)` frozen into
     /// this generation (used by [`crate::persist`]).
     pub fn lambda_accumulators(&self) -> (f64, u64) {

@@ -101,4 +101,51 @@ mod tests {
         let e: Box<dyn std::error::Error> = Box::new(PqoError::InvalidBudget { budget: 0 });
         assert!(e.to_string().contains("budget"));
     }
+
+    /// Every variant (the wire layer maps each to a stable error code, so
+    /// none may regress silently): `Display` names the offending input,
+    /// and the message style is consistent — lowercase start, no trailing
+    /// period, single line.
+    #[test]
+    fn every_variant_displays_consistently() {
+        let variants: Vec<(PqoError, &str)> = vec![
+            (PqoError::UnknownTemplate { name: "q7".into() }, "q7"),
+            (PqoError::DuplicateTemplate { name: "q7".into() }, "q7"),
+            (
+                PqoError::InvalidLambda {
+                    lambda: 0.25,
+                    what: "λr",
+                },
+                "0.25",
+            ),
+            (PqoError::InvalidBudget { budget: 0 }, "0"),
+            (
+                PqoError::InvalidTemplate {
+                    name: "bad".into(),
+                    reason: "disconnected join graph".into(),
+                },
+                "disconnected join graph",
+            ),
+            (
+                PqoError::Persist {
+                    message: "bad magic".into(),
+                },
+                "bad magic",
+            ),
+        ];
+        for (e, offender) in variants {
+            let msg = e.to_string();
+            assert!(msg.contains(offender), "{e:?}: `{msg}` omits `{offender}`");
+            assert!(
+                msg.chars().next().is_some_and(char::is_lowercase),
+                "{e:?}: `{msg}` should start lowercase"
+            );
+            assert!(!msg.ends_with('.'), "{e:?}: `{msg}` has a trailing period");
+            assert!(!msg.contains('\n'), "{e:?}: `{msg}` spans lines");
+            // The blanket Error impl has no source; the Display text is the
+            // whole story, so it must not be empty after the prefix.
+            let boxed: Box<dyn std::error::Error> = Box::new(e);
+            assert!(boxed.source().is_none());
+        }
+    }
 }

@@ -1,0 +1,236 @@
+//! A small blocking client for the wire protocol: one TCP connection, one
+//! in-flight request at a time (the protocol is strictly request/response).
+//!
+//! Used by `pqo-cli client`, the `net_throughput` bench and the loopback
+//! stress tests; it is also the reference implementation for writing a
+//! client in another language.
+
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use pqo_optimizer::plan::PlanFingerprint;
+
+use crate::wire::{
+    self, decode_response, encode_request, Request, Response, WireChoice, WireStats,
+};
+
+/// Client-side failure: transport, protocol violation, or a typed error
+/// frame from the server.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, timeout).
+    Io(std::io::Error),
+    /// The server broke the protocol (wrong response type, undecodable
+    /// frame, version mismatch).
+    Protocol(String),
+    /// The server answered with an error frame; `code` is one of
+    /// [`wire::code`]'s stable values.
+    Server {
+        /// Stable wire error code.
+        code: u16,
+        /// Human-readable cause from the server.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected, handshaken client.
+pub struct PqoClient {
+    stream: TcpStream,
+    templates: Vec<String>,
+    body: Vec<u8>,
+    frame: Vec<u8>,
+}
+
+impl PqoClient {
+    /// Connect with default timeouts (10 s) and perform the `HELLO`
+    /// handshake.
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] on transport failure; [`ClientError::Server`]
+    /// if the server rejects us (e.g. [`wire::code::BUSY`] at the
+    /// connection limit); [`ClientError::Protocol`] on a version mismatch.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<PqoClient, ClientError> {
+        Self::connect_with_timeout(addr, Duration::from_secs(10))
+    }
+
+    /// [`PqoClient::connect`] with explicit read/write timeouts.
+    ///
+    /// # Errors
+    /// As [`PqoClient::connect`].
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<PqoClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let mut client = PqoClient {
+            stream,
+            templates: Vec::new(),
+            body: Vec::new(),
+            frame: Vec::new(),
+        };
+        match client.call(&Request::Hello {
+            version: wire::PROTOCOL_VERSION,
+        })? {
+            Response::HelloOk { version, templates } => {
+                if version != wire::PROTOCOL_VERSION {
+                    return Err(ClientError::Protocol(format!(
+                        "server answered HELLO with version {version}"
+                    )));
+                }
+                client.templates = templates;
+                Ok(client)
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected HELLO_OK, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Template names the server reported during the handshake.
+    pub fn server_templates(&self) -> &[String] {
+        &self.templates
+    }
+
+    /// One request/response exchange.
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        encode_request(req, &mut self.body);
+        wire::write_frame(&mut self.stream, &self.body)?;
+        self.stream.flush()?;
+        if !wire::read_frame(
+            &mut self.stream,
+            wire::DEFAULT_MAX_FRAME_BYTES,
+            &mut self.frame,
+        )? {
+            return Err(ClientError::Protocol(
+                "server closed the connection mid-exchange".into(),
+            ));
+        }
+        let resp =
+            decode_response(&self.frame).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        if let Response::Error { code, message } = resp {
+            return Err(ClientError::Server { code, message });
+        }
+        Ok(resp)
+    }
+
+    /// Serve one instance of `template` with raw parameter `values`.
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] with [`wire::code::UNKNOWN_TEMPLATE`] /
+    /// [`wire::code::MALFORMED`] on bad input, plus transport errors.
+    pub fn get_plan(
+        &mut self,
+        template: &str,
+        values: &[f64],
+    ) -> Result<RemoteChoice, ClientError> {
+        match self.call(&Request::GetPlan {
+            template: template.into(),
+            values: values.to_vec(),
+        })? {
+            Response::Plan(c) => Ok(RemoteChoice::from(c)),
+            other => Err(ClientError::Protocol(format!(
+                "expected PLAN, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Serve a batch of instances through one server-side snapshot load.
+    /// Decisions come back in request order.
+    ///
+    /// # Errors
+    /// As [`PqoClient::get_plan`].
+    pub fn get_plan_batch(
+        &mut self,
+        template: &str,
+        instances: &[Vec<f64>],
+    ) -> Result<Vec<RemoteChoice>, ClientError> {
+        match self.call(&Request::GetPlanBatch {
+            template: template.into(),
+            instances: instances.to_vec(),
+        })? {
+            Response::PlanBatch(cs) => Ok(cs.into_iter().map(RemoteChoice::from).collect()),
+            other => Err(ClientError::Protocol(format!(
+                "expected PLAN_BATCH, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Counter snapshot for `template`.
+    ///
+    /// # Errors
+    /// As [`PqoClient::get_plan`].
+    pub fn stats(&mut self, template: &str) -> Result<WireStats, ClientError> {
+        match self.call(&Request::Stats {
+            template: template.into(),
+        })? {
+            Response::Stats(s) => Ok(s),
+            other => Err(ClientError::Protocol(format!(
+                "expected STATS_OK, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Request graceful server shutdown (drain + snapshot flush) and
+    /// consume this connection.
+    ///
+    /// # Errors
+    /// Transport errors; protocol violation if the ack is missing.
+    pub fn shutdown_server(mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownOk => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected SHUTDOWN_OK, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// A plan decision received over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteChoice {
+    /// Fingerprint of the served plan (join it with a local plan cache or
+    /// log it; the full plan stays server-side).
+    pub fingerprint: PlanFingerprint,
+    /// Whether this instance forced a full optimizer call on the server.
+    pub optimized: bool,
+}
+
+impl From<WireChoice> for RemoteChoice {
+    fn from(c: WireChoice) -> Self {
+        RemoteChoice {
+            fingerprint: PlanFingerprint(c.fingerprint),
+            optimized: c.optimized,
+        }
+    }
+}

@@ -1,0 +1,670 @@
+//! The threaded TCP server: accept loop, per-connection workers, limits and
+//! graceful shutdown over a shared [`PqoService`].
+//!
+//! # Threading model
+//!
+//! One accept thread owns the listener; each accepted connection gets a
+//! worker thread that loops `read frame → decode → dispatch → write frame`
+//! against the shared `Arc<PqoService>`. The service's snapshot-published
+//! read path means N workers serving cache hits on one template never
+//! contend — the server adds no locks of its own around serving.
+//!
+//! # Robustness
+//!
+//! * **Max connections** — an accepted connection beyond the limit receives
+//!   one [`code::BUSY`] error frame and is closed; the serving threads are
+//!   never oversubscribed.
+//! * **Max frame size** — a length prefix above the limit yields a
+//!   [`code::MALFORMED`] error frame and closes the connection (framing
+//!   cannot be resynchronized after an oversized announcement). A frame
+//!   that *parses* as garbage yields `MALFORMED` and the connection
+//!   survives.
+//! * **Timeouts** — reads poll at a short interval so workers notice
+//!   shutdown promptly; a connection idle beyond `read_timeout` is dropped.
+//!   Writes are bounded by `write_timeout`.
+//!
+//! # Graceful shutdown
+//!
+//! [`PqoServer::shutdown`] (or a client `SHUTDOWN` frame) sets the flag and
+//! wakes the accept loop. The listener stops accepting, every worker exits
+//! at its next frame boundary (in-flight requests complete and their
+//! responses are written), the accept thread joins all workers, and — if a
+//! snapshot directory is configured — every template's published generation
+//! is flushed via [`pqo_core::persist::save_snapshot`] so a restart resumes
+//! warm.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pqo_core::service::PqoService;
+use pqo_core::PqoError;
+use pqo_optimizer::template::QueryInstance;
+
+use crate::wire::{
+    self, code, decode_request, encode_response, error_code, Request, Response, WireChoice,
+    WireStats,
+};
+
+/// Server tuning knobs. The defaults suit a loopback or LAN deployment.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Largest accepted frame body; larger announcements get `MALFORMED`
+    /// and the connection is closed.
+    pub max_frame_bytes: u32,
+    /// Concurrent connection limit; excess connections get one `BUSY`
+    /// frame.
+    pub max_connections: usize,
+    /// Drop a connection idle (no bytes) for this long.
+    pub read_timeout: Duration,
+    /// Bound on blocking writes to a slow client.
+    pub write_timeout: Duration,
+    /// Poll interval for the shutdown flag while a worker waits for bytes.
+    pub poll_interval: Duration,
+    /// Grace period for a frame already in flight when shutdown begins.
+    pub shutdown_grace: Duration,
+    /// Flush every template's published snapshot here on graceful shutdown
+    /// (`<dir>/<template>.pqo-cache`).
+    pub snapshot_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_frame_bytes: wire::DEFAULT_MAX_FRAME_BYTES,
+            max_connections: 64,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            poll_interval: Duration::from_millis(50),
+            shutdown_grace: Duration::from_millis(500),
+            snapshot_dir: None,
+        }
+    }
+}
+
+/// Point-in-time server counters (see [`PqoServer::stats`]); also the
+/// summary returned by [`PqoServer::join`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Connections accepted into a worker.
+    pub connections_accepted: u64,
+    /// Connections turned away with a `BUSY` frame.
+    pub connections_rejected_busy: u64,
+    /// Frames decoded and dispatched.
+    pub frames_served: u64,
+    /// Frames answered with `MALFORMED`.
+    pub malformed_frames: u64,
+    /// Plan decisions served (single + batched instances).
+    pub plans_served: u64,
+    /// `GET_PLAN_BATCH` frames served.
+    pub batch_frames: u64,
+    /// Error frames of any code sent.
+    pub error_frames: u64,
+    /// Snapshots flushed on shutdown.
+    pub snapshots_flushed: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    connections_accepted: AtomicU64,
+    connections_rejected_busy: AtomicU64,
+    frames_served: AtomicU64,
+    malformed_frames: AtomicU64,
+    plans_served: AtomicU64,
+    batch_frames: AtomicU64,
+    error_frames: AtomicU64,
+    snapshots_flushed: AtomicU64,
+}
+
+impl StatCells {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_rejected_busy: self.connections_rejected_busy.load(Ordering::Relaxed),
+            frames_served: self.frames_served.load(Ordering::Relaxed),
+            malformed_frames: self.malformed_frames.load(Ordering::Relaxed),
+            plans_served: self.plans_served.load(Ordering::Relaxed),
+            batch_frames: self.batch_frames.load(Ordering::Relaxed),
+            error_frames: self.error_frames.load(Ordering::Relaxed),
+            snapshots_flushed: self.snapshots_flushed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Shared {
+    service: Arc<PqoService>,
+    config: ServerConfig,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    stats: StatCells,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Set the shutdown flag and wake the accept loop with a no-op
+    /// connection (the listener blocks in `accept`, std has no selectable
+    /// wakeup, and a self-connect is the portable std-only nudge).
+    fn trigger_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        }
+    }
+}
+
+/// A cloneable remote-control for a running [`PqoServer`] (shutdown from
+/// another thread, counter snapshots).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Begin graceful shutdown: stop accepting, drain workers, flush
+    /// snapshots. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.trigger_shutdown();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down()
+    }
+
+    /// Point-in-time server counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats.snapshot()
+    }
+}
+
+/// A running TCP front end over a shared [`PqoService`].
+pub struct PqoServer {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl PqoServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// the accept loop.
+    ///
+    /// # Errors
+    /// Propagates socket errors from bind/local_addr.
+    pub fn bind(
+        service: Arc<PqoService>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<PqoServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            service,
+            config,
+            addr: local,
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            stats: StatCells::default(),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("pqo-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn accept thread");
+        Ok(PqoServer {
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A cloneable handle for shutdown/stats from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Begin graceful shutdown (non-blocking; pair with [`PqoServer::join`]).
+    pub fn shutdown(&self) {
+        self.shared.trigger_shutdown();
+    }
+
+    /// Point-in-time server counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Block until the server has fully shut down (accept loop exited,
+    /// workers drained, snapshots flushed) and return the final counters.
+    pub fn join(mut self) -> ServerStats {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.shared.stats.snapshot()
+    }
+}
+
+impl Drop for PqoServer {
+    fn drop(&mut self) {
+        // A dropped server must not leak its accept thread; trigger and
+        // detach (join() is the orderly path).
+        if self.accept.is_some() {
+            self.shared.trigger_shutdown();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutting_down() {
+                    // Wake-up connection or a straggler during drain: tell
+                    // it we are closing (best effort) and stop accepting.
+                    send_standalone_error(
+                        &stream,
+                        code::SHUTTING_DOWN,
+                        "server is shutting down",
+                        &shared,
+                    );
+                    break;
+                }
+                if shared.active.load(Ordering::Relaxed) >= shared.config.max_connections {
+                    shared
+                        .stats
+                        .connections_rejected_busy
+                        .fetch_add(1, Ordering::Relaxed);
+                    send_standalone_error(
+                        &stream,
+                        code::BUSY,
+                        "connection limit reached, retry later",
+                        &shared,
+                    );
+                    continue;
+                }
+                shared.active.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .stats
+                    .connections_accepted
+                    .fetch_add(1, Ordering::Relaxed);
+                let worker_shared = Arc::clone(&shared);
+                let h = std::thread::Builder::new()
+                    .name("pqo-conn".into())
+                    .spawn(move || {
+                        serve_connection(stream, &worker_shared);
+                        worker_shared.active.fetch_sub(1, Ordering::Relaxed);
+                    })
+                    .expect("spawn connection thread");
+                workers.push(h);
+                workers.retain(|w| !w.is_finished());
+            }
+            Err(_) if shared.shutting_down() => break,
+            Err(_) => continue, // transient accept error
+        }
+    }
+    // Drain: every worker finishes its in-flight frame and exits at the
+    // next frame boundary (they observe the shutdown flag on a poll tick).
+    for w in workers {
+        let _ = w.join();
+    }
+    flush_snapshots(&shared);
+}
+
+/// One error frame on a connection that never gets a worker (busy/drain).
+fn send_standalone_error(stream: &TcpStream, code: u16, message: &str, shared: &Shared) {
+    let mut stream = stream;
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let mut body = Vec::new();
+    encode_response(
+        &Response::Error {
+            code,
+            message: message.into(),
+        },
+        &mut body,
+    );
+    shared.stats.error_frames.fetch_add(1, Ordering::Relaxed);
+    let _ = wire::write_frame(&mut stream, &body);
+    let _ = stream.flush();
+}
+
+/// Flush every template's published generation on graceful shutdown.
+fn flush_snapshots(shared: &Shared) {
+    let Some(dir) = &shared.config.snapshot_dir else {
+        return;
+    };
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    for name in shared.service.templates() {
+        let path = dir.join(format!("{}.pqo-cache", sanitize(&name)));
+        let Ok(mut file) = std::fs::File::create(&path) else {
+            continue;
+        };
+        if shared.service.save(&name, &mut file).is_ok() {
+            shared
+                .stats
+                .snapshots_flushed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Template names come from the corpus (`[a-zA-Z0-9_]`), but never trust a
+/// name as a path component.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Outcome of one polled frame read.
+enum ReadOutcome {
+    /// A complete frame body is in the buffer.
+    Frame,
+    /// Peer closed (cleanly or mid-frame) or hard I/O error — drop.
+    Closed,
+    /// Idle beyond `read_timeout` — drop.
+    IdleTimeout,
+    /// Shutdown observed at a frame boundary (or grace expired) — drain.
+    Shutdown,
+    /// Announced frame length exceeds the limit — `MALFORMED`, then drop.
+    TooLarge(u32),
+}
+
+/// Read one length-prefixed frame, polling the shutdown flag between short
+/// read timeouts so drain is prompt even under idle keep-alive clients.
+fn read_frame_polled(stream: &mut TcpStream, buf: &mut Vec<u8>, shared: &Shared) -> ReadOutcome {
+    use std::io::Read;
+
+    let cfg = &shared.config;
+    let started = Instant::now();
+    let mut header = [0u8; 4];
+    let mut got = 0usize;
+    let mut last_byte = Instant::now();
+
+    macro_rules! poll_tick {
+        ($mid_frame:expr) => {{
+            if shared.shutting_down() {
+                let boundary = !$mid_frame;
+                if boundary || started.elapsed() >= cfg.shutdown_grace {
+                    return ReadOutcome::Shutdown;
+                }
+            }
+            if last_byte.elapsed() >= cfg.read_timeout {
+                return ReadOutcome::IdleTimeout;
+            }
+        }};
+    }
+
+    while got < 4 {
+        match stream.read(&mut header[got..]) {
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(n) => {
+                got += n;
+                last_byte = Instant::now();
+            }
+            Err(e) if is_timeout(&e) => poll_tick!(got > 0),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Closed,
+        }
+    }
+    let len = u32::from_le_bytes(header);
+    if len > cfg.max_frame_bytes {
+        return ReadOutcome::TooLarge(len);
+    }
+    buf.clear();
+    buf.resize(len as usize, 0);
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(n) => {
+                filled += n;
+                last_byte = Instant::now();
+            }
+            Err(e) if is_timeout(&e) => poll_tick!(true),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Closed,
+        }
+    }
+    ReadOutcome::Frame
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+
+    let mut frame = Vec::new();
+    let mut out = Vec::new();
+    loop {
+        match read_frame_polled(&mut stream, &mut frame, shared) {
+            ReadOutcome::Frame => {}
+            ReadOutcome::TooLarge(len) => {
+                // Framing is lost after an oversized announcement: report
+                // and close.
+                shared
+                    .stats
+                    .malformed_frames
+                    .fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Error {
+                    code: code::MALFORMED,
+                    message: format!(
+                        "frame of {len} bytes exceeds limit {}",
+                        shared.config.max_frame_bytes
+                    ),
+                };
+                let _ = respond(&mut stream, &resp, &mut out, shared);
+                return;
+            }
+            ReadOutcome::Closed | ReadOutcome::IdleTimeout | ReadOutcome::Shutdown => return,
+        }
+
+        shared.stats.frames_served.fetch_add(1, Ordering::Relaxed);
+        let resp = match decode_request(&frame) {
+            Err(e) => {
+                // Malformed body inside a well-framed message: report and
+                // keep the connection — the stream is still in sync.
+                shared
+                    .stats
+                    .malformed_frames
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::Error {
+                    code: code::MALFORMED,
+                    message: e.0,
+                }
+            }
+            Ok(req) => {
+                let is_shutdown = matches!(req, Request::Shutdown);
+                let resp = dispatch(req, shared);
+                if respond(&mut stream, &resp, &mut out, shared).is_err() {
+                    return;
+                }
+                if is_shutdown && matches!(resp, Response::ShutdownOk) {
+                    shared.trigger_shutdown();
+                    return;
+                }
+                continue;
+            }
+        };
+        if respond(&mut stream, &resp, &mut out, shared).is_err() {
+            return;
+        }
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    resp: &Response,
+    out: &mut Vec<u8>,
+    shared: &Shared,
+) -> std::io::Result<()> {
+    if matches!(resp, Response::Error { .. }) {
+        shared.stats.error_frames.fetch_add(1, Ordering::Relaxed);
+    }
+    encode_response(resp, out);
+    wire::write_frame(stream, out)?;
+    stream.flush()
+}
+
+fn dispatch(req: Request, shared: &Shared) -> Response {
+    match req {
+        Request::Hello { version } => {
+            if version != wire::PROTOCOL_VERSION {
+                Response::Error {
+                    code: code::UNSUPPORTED_VERSION,
+                    message: format!(
+                        "client speaks protocol {version}, server speaks {}",
+                        wire::PROTOCOL_VERSION
+                    ),
+                }
+            } else {
+                Response::HelloOk {
+                    version: wire::PROTOCOL_VERSION,
+                    templates: shared.service.templates(),
+                }
+            }
+        }
+        Request::GetPlan { template, values } => match serve_one(shared, &template, values) {
+            Ok(choice) => {
+                shared.stats.plans_served.fetch_add(1, Ordering::Relaxed);
+                Response::Plan(choice)
+            }
+            Err(resp) => resp,
+        },
+        Request::GetPlanBatch {
+            template,
+            instances,
+        } => match serve_batch(shared, &template, instances) {
+            Ok(choices) => {
+                shared.stats.batch_frames.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .stats
+                    .plans_served
+                    .fetch_add(choices.len() as u64, Ordering::Relaxed);
+                Response::PlanBatch(choices)
+            }
+            Err(resp) => resp,
+        },
+        Request::Stats { template } => match gather_stats(shared, &template) {
+            Ok(stats) => Response::Stats(stats),
+            Err(e) => pqo_error_frame(&e),
+        },
+        Request::Shutdown => Response::ShutdownOk,
+    }
+}
+
+fn pqo_error_frame(e: &PqoError) -> Response {
+    Response::Error {
+        code: error_code(e),
+        message: e.to_string(),
+    }
+}
+
+/// Validate raw wire values against the registered template *before* the
+/// serving path (whose `compute_svector` asserts arity) can be reached.
+fn validated_instance(
+    shared: &Shared,
+    template: &str,
+    values: Vec<f64>,
+) -> Result<QueryInstance, Response> {
+    let t = shared
+        .service
+        .template(template)
+        .map_err(|e| pqo_error_frame(&e))?;
+    if values.len() != t.dimensions() {
+        return Err(Response::Error {
+            code: code::MALFORMED,
+            message: format!(
+                "template `{template}` takes {} parameters, got {}",
+                t.dimensions(),
+                values.len()
+            ),
+        });
+    }
+    if let Some(bad) = values.iter().find(|v| !v.is_finite()) {
+        return Err(Response::Error {
+            code: code::MALFORMED,
+            message: format!("non-finite parameter value {bad}"),
+        });
+    }
+    Ok(QueryInstance::new(values))
+}
+
+fn serve_one(shared: &Shared, template: &str, values: Vec<f64>) -> Result<WireChoice, Response> {
+    let inst = validated_instance(shared, template, values)?;
+    let choice = shared
+        .service
+        .get_plan(template, &inst)
+        .map_err(|e| pqo_error_frame(&e))?;
+    Ok(WireChoice {
+        fingerprint: choice.plan.fingerprint().0,
+        optimized: choice.optimized,
+    })
+}
+
+fn serve_batch(
+    shared: &Shared,
+    template: &str,
+    instances: Vec<Vec<f64>>,
+) -> Result<Vec<WireChoice>, Response> {
+    let insts = instances
+        .into_iter()
+        .map(|values| validated_instance(shared, template, values))
+        .collect::<Result<Vec<_>, _>>()?;
+    let choices = shared
+        .service
+        .get_plan_batch(template, &insts)
+        .map_err(|e| pqo_error_frame(&e))?;
+    Ok(choices
+        .iter()
+        .map(|c| WireChoice {
+            fingerprint: c.plan.fingerprint().0,
+            optimized: c.optimized,
+        })
+        .collect())
+}
+
+fn gather_stats(shared: &Shared, template: &str) -> Result<WireStats, PqoError> {
+    let snapshot = shared.service.snapshot(template)?;
+    let s = snapshot.stats();
+    Ok(WireStats {
+        num_plans: snapshot.cache().num_plans() as u64,
+        num_instances: snapshot.cache().num_instances() as u64,
+        total_plans: shared.service.total_plans() as u64,
+        selectivity_hits: s.selectivity_hits,
+        cost_hits: s.cost_hits,
+        optimizer_calls: s.optimizer_calls,
+        getplan_recost_calls: s.getplan_recost_calls,
+        recost_nanos: s.recost_nanos,
+        optimize_nanos: s.optimize_nanos,
+        snapshot_reloads: s.snapshot_reloads,
+        batches_served: s.batches_served,
+        batch_instances: s.batch_instances,
+        max_batch_size: s.max_batch_size,
+    })
+}

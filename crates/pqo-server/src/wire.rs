@@ -1,0 +1,802 @@
+//! The binary wire protocol: framing, opcodes, error codes and the pure
+//! encode/decode layer (no I/O beyond length-prefixed frame helpers).
+//!
+//! # Framing
+//!
+//! Every message — in either direction — is one *frame*:
+//!
+//! ```text
+//! ┌────────────┬──────────┬───────────────────────────────┐
+//! │ len: u32 LE│ op: u8   │ payload (len − 1 bytes)       │
+//! └────────────┴──────────┴───────────────────────────────┘
+//! ```
+//!
+//! `len` counts the body (opcode + payload), little-endian like every other
+//! integer on the wire. Strings are `u16` length + UTF-8 bytes; selectivity
+//! parameter vectors are `u16` count + IEEE-754 `f64` LE values. The
+//! protocol is versioned through the `HELLO` handshake: a client opens with
+//! `HELLO{version}` and the server answers `HELLO_OK` only for versions it
+//! speaks, so framing changes bump [`PROTOCOL_VERSION`] instead of silently
+//! corrupting streams.
+//!
+//! # Robustness contract
+//!
+//! [`decode_request`] / [`decode_response`] never panic, whatever bytes they
+//! are fed: every read is bounds-checked, counts are validated against the
+//! remaining payload before any allocation, and trailing garbage is an
+//! error. A decode failure maps to an [`code::MALFORMED`] error frame and
+//! the connection survives (asserted by the seeded fuzz tests below).
+
+use std::io::{self, Read, Write};
+
+use pqo_optimizer::error::PqoError;
+
+/// Wire protocol version, carried in the `HELLO` handshake.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Default upper bound on one frame's body, enforced by server and client.
+pub const DEFAULT_MAX_FRAME_BYTES: u32 = 1 << 20;
+
+/// Frame opcodes. Requests use the low range, responses set the high bit.
+pub mod opcode {
+    /// Client → server: version handshake.
+    pub const HELLO: u8 = 0x01;
+    /// Client → server: one instance of one template.
+    pub const GET_PLAN: u8 = 0x02;
+    /// Client → server: a batch of instances of one template.
+    pub const GET_PLAN_BATCH: u8 = 0x03;
+    /// Client → server: counters for one template.
+    pub const STATS: u8 = 0x04;
+    /// Client → server: graceful server shutdown (drain + flush).
+    pub const SHUTDOWN: u8 = 0x05;
+
+    /// Server → client: handshake accepted.
+    pub const HELLO_OK: u8 = 0x81;
+    /// Server → client: one plan decision.
+    pub const PLAN: u8 = 0x82;
+    /// Server → client: per-instance plan decisions for a batch.
+    pub const PLAN_BATCH: u8 = 0x83;
+    /// Server → client: counter snapshot.
+    pub const STATS_OK: u8 = 0x84;
+    /// Server → client: shutdown acknowledged.
+    pub const SHUTDOWN_OK: u8 = 0x85;
+    /// Server → client: typed error frame.
+    pub const ERROR: u8 = 0xEE;
+}
+
+/// Stable wire error codes. These are a compatibility surface: once
+/// published, a code never changes meaning (pinned by
+/// `error_codes_are_pinned` below).
+pub mod code {
+    /// The frame could not be decoded (bad opcode, truncated payload,
+    /// trailing bytes, invalid instance arity/values, oversized frame).
+    pub const MALFORMED: u16 = 1;
+    /// The server is at its connection limit; retry later.
+    pub const BUSY: u16 = 2;
+    /// The client's `HELLO` named a protocol version the server does not
+    /// speak.
+    pub const UNSUPPORTED_VERSION: u16 = 3;
+    /// The server is draining for shutdown and no longer accepts work.
+    pub const SHUTTING_DOWN: u16 = 4;
+
+    /// [`PqoError::UnknownTemplate`].
+    pub const UNKNOWN_TEMPLATE: u16 = 16;
+    /// [`PqoError::DuplicateTemplate`].
+    pub const DUPLICATE_TEMPLATE: u16 = 17;
+    /// [`PqoError::InvalidLambda`].
+    pub const INVALID_LAMBDA: u16 = 18;
+    /// [`PqoError::InvalidBudget`].
+    pub const INVALID_BUDGET: u16 = 19;
+    /// [`PqoError::InvalidTemplate`].
+    pub const INVALID_TEMPLATE: u16 = 20;
+    /// [`PqoError::Persist`].
+    pub const PERSIST: u16 = 21;
+    /// A [`PqoError`] variant this protocol version does not know
+    /// (`PqoError` is `#[non_exhaustive]`).
+    pub const INTERNAL: u16 = 31;
+}
+
+/// The stable error code for a [`PqoError`] variant. Every variant maps to
+/// its own code so clients can match on semantics without parsing messages;
+/// variants added after this protocol version fall back to
+/// [`code::INTERNAL`].
+pub fn error_code(e: &PqoError) -> u16 {
+    match e {
+        PqoError::UnknownTemplate { .. } => code::UNKNOWN_TEMPLATE,
+        PqoError::DuplicateTemplate { .. } => code::DUPLICATE_TEMPLATE,
+        PqoError::InvalidLambda { .. } => code::INVALID_LAMBDA,
+        PqoError::InvalidBudget { .. } => code::INVALID_BUDGET,
+        PqoError::InvalidTemplate { .. } => code::INVALID_TEMPLATE,
+        PqoError::Persist { .. } => code::PERSIST,
+        _ => code::INTERNAL,
+    }
+}
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Version handshake; must be the first frame on a connection.
+    Hello {
+        /// The protocol version the client speaks.
+        version: u16,
+    },
+    /// Serve one instance.
+    GetPlan {
+        /// Registered template name.
+        template: String,
+        /// Raw parameter values (`template.dimensions()` of them).
+        values: Vec<f64>,
+    },
+    /// Serve a batch of instances through one snapshot load.
+    GetPlanBatch {
+        /// Registered template name.
+        template: String,
+        /// Per-instance parameter values.
+        instances: Vec<Vec<f64>>,
+    },
+    /// Fetch the template's counter snapshot.
+    Stats {
+        /// Registered template name.
+        template: String,
+    },
+    /// Drain connections, flush snapshots and stop the server.
+    Shutdown,
+}
+
+/// One plan decision as it crosses the wire: the plan's stable fingerprint
+/// plus whether this instance forced an optimizer call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireChoice {
+    /// [`pqo_optimizer::plan::PlanFingerprint`] bits of the served plan.
+    pub fingerprint: u64,
+    /// Whether a full optimizer call was made for this instance.
+    pub optimized: bool,
+}
+
+/// Counter snapshot returned by the `STATS` opcode: the template's
+/// [`pqo_core::scr::ScrStats`] (including the batched-serving counters)
+/// plus cache sizes and the service-wide plan total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireStats {
+    /// Plans cached for this template.
+    pub num_plans: u64,
+    /// Instance entries cached for this template.
+    pub num_instances: u64,
+    /// Plans cached across *all* templates of the service.
+    pub total_plans: u64,
+    /// Instances served by the selectivity check.
+    pub selectivity_hits: u64,
+    /// Instances served by the cost check.
+    pub cost_hits: u64,
+    /// Instances that required an optimizer call.
+    pub optimizer_calls: u64,
+    /// Total Recost calls issued from `getPlan`.
+    pub getplan_recost_calls: u64,
+    /// Cumulative nanoseconds spent in Recost work.
+    pub recost_nanos: u64,
+    /// Cumulative nanoseconds spent inside optimizer calls.
+    pub optimize_nanos: u64,
+    /// Published-generation re-loads taken by batched serving.
+    pub snapshot_reloads: u64,
+    /// Batched frames served.
+    pub batches_served: u64,
+    /// Instances that arrived through the batched path.
+    pub batch_instances: u64,
+    /// Largest single batch served.
+    pub max_batch_size: u64,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Handshake accepted.
+    HelloOk {
+        /// The protocol version the server will speak on this connection.
+        version: u16,
+        /// Registered template names, sorted.
+        templates: Vec<String>,
+    },
+    /// Decision for one `GET_PLAN`.
+    Plan(WireChoice),
+    /// Per-instance decisions for one `GET_PLAN_BATCH`, in request order.
+    PlanBatch(Vec<WireChoice>),
+    /// Counter snapshot for one `STATS`.
+    Stats(WireStats),
+    /// Shutdown acknowledged; the server drains and exits.
+    ShutdownOk,
+    /// Typed error: a stable [`code`] plus a human-readable message.
+    Error {
+        /// Stable wire error code.
+        code: u16,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// A decode failure (the frame was malformed). Never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed frame: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn malformed(what: impl Into<String>) -> WireError {
+    WireError(what.into())
+}
+
+// ---------------------------------------------------------------- encoding
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize, "wire string too long");
+    put_u16(out, s.len() as u16);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_values(out: &mut Vec<u8>, values: &[f64]) {
+    debug_assert!(
+        values.len() <= u16::MAX as usize,
+        "instance arity too large"
+    );
+    put_u16(out, values.len() as u16);
+    for &v in values {
+        put_f64(out, v);
+    }
+}
+
+/// Encode a request body (opcode + payload; no length prefix).
+pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
+    out.clear();
+    match req {
+        Request::Hello { version } => {
+            out.push(opcode::HELLO);
+            put_u16(out, *version);
+        }
+        Request::GetPlan { template, values } => {
+            out.push(opcode::GET_PLAN);
+            put_str(out, template);
+            put_values(out, values);
+        }
+        Request::GetPlanBatch {
+            template,
+            instances,
+        } => {
+            out.push(opcode::GET_PLAN_BATCH);
+            put_str(out, template);
+            put_u32(out, instances.len() as u32);
+            for inst in instances {
+                put_values(out, inst);
+            }
+        }
+        Request::Stats { template } => {
+            out.push(opcode::STATS);
+            put_str(out, template);
+        }
+        Request::Shutdown => out.push(opcode::SHUTDOWN),
+    }
+}
+
+/// Encode a response body (opcode + payload; no length prefix).
+pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
+    out.clear();
+    match resp {
+        Response::HelloOk { version, templates } => {
+            out.push(opcode::HELLO_OK);
+            put_u16(out, *version);
+            put_u16(out, templates.len() as u16);
+            for t in templates {
+                put_str(out, t);
+            }
+        }
+        Response::Plan(choice) => {
+            out.push(opcode::PLAN);
+            put_choice(out, choice);
+        }
+        Response::PlanBatch(choices) => {
+            out.push(opcode::PLAN_BATCH);
+            put_u32(out, choices.len() as u32);
+            for c in choices {
+                put_choice(out, c);
+            }
+        }
+        Response::Stats(s) => {
+            out.push(opcode::STATS_OK);
+            for v in stats_fields(s) {
+                put_u64(out, v);
+            }
+        }
+        Response::ShutdownOk => out.push(opcode::SHUTDOWN_OK),
+        Response::Error { code, message } => {
+            out.push(opcode::ERROR);
+            put_u16(out, *code);
+            put_str(out, message);
+        }
+    }
+}
+
+fn put_choice(out: &mut Vec<u8>, c: &WireChoice) {
+    put_u64(out, c.fingerprint);
+    out.push(u8::from(c.optimized));
+}
+
+/// The `STATS_OK` payload field order — one place, shared by the encoder
+/// and decoder so they cannot drift.
+fn stats_fields(s: &WireStats) -> [u64; 13] {
+    [
+        s.num_plans,
+        s.num_instances,
+        s.total_plans,
+        s.selectivity_hits,
+        s.cost_hits,
+        s.optimizer_calls,
+        s.getplan_recost_calls,
+        s.recost_nanos,
+        s.optimize_nanos,
+        s.snapshot_reloads,
+        s.batches_served,
+        s.batch_instances,
+        s.max_batch_size,
+    ]
+}
+
+fn stats_from_fields(f: [u64; 13]) -> WireStats {
+    WireStats {
+        num_plans: f[0],
+        num_instances: f[1],
+        total_plans: f[2],
+        selectivity_hits: f[3],
+        cost_hits: f[4],
+        optimizer_calls: f[5],
+        getplan_recost_calls: f[6],
+        recost_nanos: f[7],
+        optimize_nanos: f[8],
+        snapshot_reloads: f[9],
+        batches_served: f[10],
+        batch_instances: f[11],
+        max_batch_size: f[12],
+    }
+}
+
+// ---------------------------------------------------------------- decoding
+
+/// Bounds-checked reader over one frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(malformed(format!(
+                "need {n} bytes at offset {}, frame has {} left",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|e| malformed(format!("string is not UTF-8: {e}")))
+    }
+
+    fn values(&mut self) -> Result<Vec<f64>, WireError> {
+        let n = self.u16()? as usize;
+        // Validate the count against the payload actually present before
+        // allocating, so a hostile count cannot balloon memory.
+        if self.remaining() < n * 8 {
+            return Err(malformed(format!(
+                "value count {n} exceeds remaining payload"
+            )));
+        }
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    fn finish<T>(self, v: T) -> Result<T, WireError> {
+        if self.remaining() != 0 {
+            return Err(malformed(format!(
+                "{} trailing bytes after message",
+                self.remaining()
+            )));
+        }
+        Ok(v)
+    }
+}
+
+/// Decode a request body. Never panics; any malformed input is an error.
+pub fn decode_request(body: &[u8]) -> Result<Request, WireError> {
+    let mut c = Cursor::new(body);
+    let op = c.u8().map_err(|_| malformed("empty frame"))?;
+    match op {
+        opcode::HELLO => {
+            let version = c.u16()?;
+            c.finish(Request::Hello { version })
+        }
+        opcode::GET_PLAN => {
+            let template = c.str()?;
+            let values = c.values()?;
+            c.finish(Request::GetPlan { template, values })
+        }
+        opcode::GET_PLAN_BATCH => {
+            let template = c.str()?;
+            let count = c.u32()? as usize;
+            // Each instance occupies at least its 2-byte arity prefix.
+            if count > c.remaining() / 2 {
+                return Err(malformed(format!(
+                    "batch count {count} exceeds remaining payload"
+                )));
+            }
+            let mut instances = Vec::with_capacity(count);
+            for _ in 0..count {
+                instances.push(c.values()?);
+            }
+            c.finish(Request::GetPlanBatch {
+                template,
+                instances,
+            })
+        }
+        opcode::STATS => {
+            let template = c.str()?;
+            c.finish(Request::Stats { template })
+        }
+        opcode::SHUTDOWN => c.finish(Request::Shutdown),
+        other => Err(malformed(format!("unknown request opcode {other:#04x}"))),
+    }
+}
+
+/// Decode a response body. Never panics; any malformed input is an error.
+pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
+    let mut c = Cursor::new(body);
+    let op = c.u8().map_err(|_| malformed("empty frame"))?;
+    match op {
+        opcode::HELLO_OK => {
+            let version = c.u16()?;
+            let n = c.u16()? as usize;
+            if n > c.remaining() / 2 {
+                return Err(malformed(format!(
+                    "template count {n} exceeds remaining payload"
+                )));
+            }
+            let mut templates = Vec::with_capacity(n);
+            for _ in 0..n {
+                templates.push(c.str()?);
+            }
+            c.finish(Response::HelloOk { version, templates })
+        }
+        opcode::PLAN => {
+            let choice = take_choice(&mut c)?;
+            c.finish(Response::Plan(choice))
+        }
+        opcode::PLAN_BATCH => {
+            let n = c.u32()? as usize;
+            if c.remaining() < n * 9 {
+                return Err(malformed(format!(
+                    "choice count {n} exceeds remaining payload"
+                )));
+            }
+            let mut choices = Vec::with_capacity(n);
+            for _ in 0..n {
+                choices.push(take_choice(&mut c)?);
+            }
+            c.finish(Response::PlanBatch(choices))
+        }
+        opcode::STATS_OK => {
+            let mut f = [0u64; 13];
+            for slot in &mut f {
+                *slot = c.u64()?;
+            }
+            c.finish(Response::Stats(stats_from_fields(f)))
+        }
+        opcode::SHUTDOWN_OK => c.finish(Response::ShutdownOk),
+        opcode::ERROR => {
+            let code = c.u16()?;
+            let message = c.str()?;
+            c.finish(Response::Error { code, message })
+        }
+        other => Err(malformed(format!("unknown response opcode {other:#04x}"))),
+    }
+}
+
+fn take_choice(c: &mut Cursor<'_>) -> Result<WireChoice, WireError> {
+    let fingerprint = c.u64()?;
+    let optimized = match c.u8()? {
+        0 => false,
+        1 => true,
+        other => return Err(malformed(format!("optimized flag is {other}, not 0/1"))),
+    };
+    Ok(WireChoice {
+        fingerprint,
+        optimized,
+    })
+}
+
+// ------------------------------------------------------------- frame I/O
+
+/// Write one frame (length prefix + body) to `w`.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)
+}
+
+/// Blocking read of one frame body into `buf` (client side; the server uses
+/// its own polled reader for shutdown responsiveness). Returns `Ok(false)`
+/// on a clean EOF at a frame boundary; frames above `max_bytes` are
+/// [`io::ErrorKind::InvalidData`].
+pub fn read_frame(r: &mut impl Read, max_bytes: u32, buf: &mut Vec<u8>) -> io::Result<bool> {
+    let mut header = [0u8; 4];
+    match r.read(&mut header) {
+        Ok(0) => return Ok(false),
+        Ok(n) => r.read_exact(&mut header[n..])?,
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(header);
+    if len > max_bytes {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds limit {max_bytes}"),
+        ));
+    }
+    buf.resize(len as usize, 0);
+    r.read_exact(buf)?;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqo_rand::{Rng, SeedableRng};
+
+    fn roundtrip_request(req: &Request) {
+        let mut body = Vec::new();
+        encode_request(req, &mut body);
+        let back = decode_request(&body).expect("own encoding decodes");
+        assert_eq!(&back, req);
+    }
+
+    fn roundtrip_response(resp: &Response) {
+        let mut body = Vec::new();
+        encode_response(resp, &mut body);
+        let back = decode_response(&body).expect("own encoding decodes");
+        assert_eq!(&back, resp);
+    }
+
+    fn rand_string(rng: &mut pqo_rand::DefaultRng) -> String {
+        let len = rng.gen_range(0usize..24);
+        (0..len)
+            .map(|_| char::from(b'a' + (rng.gen_range(0u32..26) as u8)))
+            .collect()
+    }
+
+    fn rand_values(rng: &mut pqo_rand::DefaultRng) -> Vec<f64> {
+        let d = rng.gen_range(0usize..9);
+        (0..d).map(|_| rng.gen_range(-1e6f64..1e6)).collect()
+    }
+
+    /// Seeded property test: every message type round-trips through its
+    /// encoding, across many random payload shapes.
+    #[test]
+    fn all_message_types_roundtrip() {
+        let mut rng = pqo_rand::DefaultRng::seed_from_u64(0xF8A3E);
+        for _ in 0..500 {
+            roundtrip_request(&Request::Hello {
+                version: rng.gen_range(0u32..u16::MAX as u32 + 1) as u16,
+            });
+            roundtrip_request(&Request::GetPlan {
+                template: rand_string(&mut rng),
+                values: rand_values(&mut rng),
+            });
+            let batch = (0..rng.gen_range(0usize..6))
+                .map(|_| rand_values(&mut rng))
+                .collect();
+            roundtrip_request(&Request::GetPlanBatch {
+                template: rand_string(&mut rng),
+                instances: batch,
+            });
+            roundtrip_request(&Request::Stats {
+                template: rand_string(&mut rng),
+            });
+            roundtrip_request(&Request::Shutdown);
+
+            let choice = WireChoice {
+                fingerprint: rng.next_u64(),
+                optimized: rng.gen_bool(0.5),
+            };
+            roundtrip_response(&Response::HelloOk {
+                version: PROTOCOL_VERSION,
+                templates: (0..rng.gen_range(0usize..5))
+                    .map(|_| rand_string(&mut rng))
+                    .collect(),
+            });
+            roundtrip_response(&Response::Plan(choice));
+            roundtrip_response(&Response::PlanBatch(
+                (0..rng.gen_range(0usize..20))
+                    .map(|_| WireChoice {
+                        fingerprint: rng.next_u64(),
+                        optimized: rng.gen_bool(0.5),
+                    })
+                    .collect(),
+            ));
+            roundtrip_response(&Response::Stats(WireStats {
+                num_plans: rng.next_u64(),
+                batch_instances: rng.next_u64(),
+                max_batch_size: rng.next_u64(),
+                ..WireStats::default()
+            }));
+            roundtrip_response(&Response::ShutdownOk);
+            roundtrip_response(&Response::Error {
+                code: rng.gen_range(0u32..u16::MAX as u32 + 1) as u16,
+                message: rand_string(&mut rng),
+            });
+        }
+    }
+
+    /// Arbitrary byte garbage never panics either decoder — it yields a
+    /// `WireError` (→ `MALFORMED` on the wire) or, rarely, happens to be a
+    /// valid message. Also attacks every truncation of valid encodings.
+    #[test]
+    fn garbage_never_panics_the_decoders() {
+        let mut rng = pqo_rand::DefaultRng::seed_from_u64(0xBADF00D);
+        for _ in 0..4000 {
+            let len = rng.gen_range(0usize..200);
+            let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect();
+            let _ = decode_request(&bytes);
+            let _ = decode_response(&bytes);
+        }
+        // Truncations of a real message must error cleanly, never panic.
+        let mut body = Vec::new();
+        encode_request(
+            &Request::GetPlanBatch {
+                template: "tpch_skew_A_d2".into(),
+                instances: vec![vec![0.25, 0.5], vec![0.75, 1.0]],
+            },
+            &mut body,
+        );
+        for cut in 0..body.len() {
+            assert!(decode_request(&body[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage is malformed, not silently ignored.
+        body.push(0);
+        assert!(decode_request(&body).is_err());
+    }
+
+    /// Hostile counts (batch / value counts far beyond the payload) are
+    /// rejected before allocation.
+    #[test]
+    fn hostile_counts_are_rejected() {
+        let mut body = Vec::new();
+        encode_request(
+            &Request::GetPlan {
+                template: "t".into(),
+                values: vec![0.5],
+            },
+            &mut body,
+        );
+        // Patch the value count (after opcode + 2-byte strlen + 1 byte "t")
+        // to a huge number with no payload behind it.
+        let count_at = 1 + 2 + 1;
+        body[count_at..count_at + 2].copy_from_slice(&u16::MAX.to_le_bytes());
+        let err = decode_request(&body).unwrap_err();
+        assert!(err.0.contains("exceeds"), "{err}");
+    }
+
+    /// The error-code ↔ variant mapping is a compatibility surface; this
+    /// test pins every published code so a refactor cannot silently
+    /// renumber the wire.
+    #[test]
+    fn error_codes_are_pinned() {
+        assert_eq!(code::MALFORMED, 1);
+        assert_eq!(code::BUSY, 2);
+        assert_eq!(code::UNSUPPORTED_VERSION, 3);
+        assert_eq!(code::SHUTTING_DOWN, 4);
+        let cases = [
+            (
+                PqoError::UnknownTemplate { name: "x".into() },
+                16,
+                "UNKNOWN_TEMPLATE",
+            ),
+            (
+                PqoError::DuplicateTemplate { name: "x".into() },
+                17,
+                "DUPLICATE_TEMPLATE",
+            ),
+            (
+                PqoError::InvalidLambda {
+                    lambda: 0.5,
+                    what: "λ",
+                },
+                18,
+                "INVALID_LAMBDA",
+            ),
+            (PqoError::InvalidBudget { budget: 0 }, 19, "INVALID_BUDGET"),
+            (
+                PqoError::InvalidTemplate {
+                    name: "x".into(),
+                    reason: "r".into(),
+                },
+                20,
+                "INVALID_TEMPLATE",
+            ),
+            (
+                PqoError::Persist {
+                    message: "m".into(),
+                },
+                21,
+                "PERSIST",
+            ),
+        ];
+        for (err, want, label) in cases {
+            assert_eq!(error_code(&err), want, "{label} renumbered");
+        }
+    }
+
+    #[test]
+    fn frame_io_roundtrips_and_bounds_length() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = wire.as_slice();
+        let mut buf = Vec::new();
+        assert!(read_frame(&mut r, 64, &mut buf).unwrap());
+        assert_eq!(buf, b"hello");
+        assert!(read_frame(&mut r, 64, &mut buf).unwrap());
+        assert_eq!(buf, b"");
+        assert!(!read_frame(&mut r, 64, &mut buf).unwrap(), "clean EOF");
+
+        let mut oversized = Vec::new();
+        write_frame(&mut oversized, &[0u8; 32]).unwrap();
+        let err = read_frame(&mut oversized.as_slice(), 16, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

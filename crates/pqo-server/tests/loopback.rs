@@ -1,0 +1,368 @@
+//! Loopback stress: the network layer must be a *transparent* front end.
+//!
+//! Eight concurrent TCP clients (each owning one template, mixing single
+//! and batched frames) must receive exactly the per-instance decision
+//! stream the sequential in-process [`PqoService`] oracle produces — while
+//! fuzzer connections inject garbage frames that must each earn a
+//! `MALFORMED` error without killing the server or their own connection.
+//! Graceful shutdown must drain the storm and flush a restorable snapshot
+//! per template.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pqo_core::scr::ScrConfig;
+use pqo_core::{persist, PqoService};
+use pqo_rand::{Rng, SeedableRng};
+use pqo_server::wire::{self, code, decode_response, encode_request, Request, Response};
+use pqo_server::{ClientError, PqoClient, PqoServer, ServerConfig};
+use pqo_workload::corpus::{corpus, TemplateSpec};
+
+const IDS: [&str; 8] = [
+    "tpch_skew_A_d2",
+    "tpch_skew_B_d2",
+    "tpch_skew_C_d2",
+    "tpch_skew_D_d2",
+    "tpch_skew_F_d2",
+    "tpcds_V_d2",
+    "tpcds_G_d2",
+    "tpcds_G_d3",
+];
+const PER_CLIENT: usize = 120;
+const LAMBDA: f64 = 2.0;
+
+fn spec_for(id: &str) -> &'static TemplateSpec {
+    corpus()
+        .iter()
+        .find(|s| s.id == id)
+        .expect("corpus template")
+}
+
+fn fresh_service(ids: &[&str]) -> Arc<PqoService> {
+    let service = Arc::new(PqoService::new());
+    for id in ids {
+        service
+            .register(
+                Arc::clone(&spec_for(id).template),
+                ScrConfig::new(LAMBDA).expect("valid λ"),
+            )
+            .expect("fresh template registers");
+    }
+    service
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pqo_loopback_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Drive one template's instance stream through the wire, mixing single
+/// `GET_PLAN` frames and `GET_PLAN_BATCH` chunks, and return the decision
+/// stream in instance order.
+fn drive_over_wire(
+    addr: std::net::SocketAddr,
+    id: &str,
+    instances: &[pqo_optimizer::template::QueryInstance],
+) -> Vec<(u64, bool)> {
+    let mut client = PqoClient::connect(addr).expect("client connects");
+    assert!(client.server_templates().iter().any(|t| t == id));
+    let mut got = Vec::with_capacity(instances.len());
+    for (i, chunk) in instances.chunks(6).enumerate() {
+        if i % 2 == 0 {
+            // Batched frame: one snapshot load server-side.
+            let values: Vec<Vec<f64>> = chunk.iter().map(|q| q.values.clone()).collect();
+            let choices = client.get_plan_batch(id, &values).expect("batch served");
+            assert_eq!(choices.len(), chunk.len());
+            got.extend(choices.iter().map(|c| (c.fingerprint.0, c.optimized)));
+        } else {
+            for q in chunk {
+                let c = client.get_plan(id, &q.values).expect("instance served");
+                got.push((c.fingerprint.0, c.optimized));
+            }
+        }
+    }
+    got
+}
+
+/// A fuzzer connection: seeded garbage frames must each earn `MALFORMED`
+/// while the connection — and the server — survive; a valid request
+/// afterwards must still be served.
+fn fuzz_connection(addr: std::net::SocketAddr, seed: u64, probe_id: &str, probe: &[f64]) {
+    let mut rng = pqo_rand::rngs::StdRng::seed_from_u64(seed);
+    let mut stream = TcpStream::connect(addr).expect("fuzzer connects");
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut frame = Vec::new();
+    for _ in 0..40 {
+        let len = rng.gen_range(1usize..64);
+        let garbage: Vec<u8> = (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect();
+        // Force an opcode no request uses so the frame can never be valid.
+        let mut body = vec![0x7Fu8];
+        body.extend_from_slice(&garbage);
+        wire::write_frame(&mut stream, &body).expect("garbage frame written");
+        stream.flush().unwrap();
+        assert!(
+            wire::read_frame(&mut stream, wire::DEFAULT_MAX_FRAME_BYTES, &mut frame)
+                .expect("server answers garbage"),
+            "server closed on recoverable garbage"
+        );
+        match decode_response(&frame).expect("server frame decodes") {
+            Response::Error { code: c, .. } => assert_eq!(c, code::MALFORMED),
+            other => panic!("garbage earned {other:?}"),
+        }
+    }
+    // The connection survived the garbage: a well-formed request on the
+    // same socket must be served.
+    let mut body = Vec::new();
+    encode_request(
+        &Request::GetPlan {
+            template: probe_id.into(),
+            values: probe.to_vec(),
+        },
+        &mut body,
+    );
+    wire::write_frame(&mut stream, &body).unwrap();
+    stream.flush().unwrap();
+    assert!(wire::read_frame(&mut stream, wire::DEFAULT_MAX_FRAME_BYTES, &mut frame).unwrap());
+    match decode_response(&frame).expect("server frame decodes") {
+        Response::Plan(_) => {}
+        other => panic!("valid probe after garbage earned {other:?}"),
+    }
+}
+
+#[test]
+fn wire_decisions_match_in_process_oracle_under_storm() {
+    let dir = scratch_dir("storm");
+    let service = fresh_service(&IDS);
+    let config = ServerConfig {
+        snapshot_dir: Some(dir.clone()),
+        max_connections: 32,
+        ..ServerConfig::default()
+    };
+    let server =
+        PqoServer::bind(Arc::clone(&service), "127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Per-template seeded instance streams, generated up front so the wire
+    // clients and the oracle see byte-identical sequences.
+    let workloads: Vec<Vec<pqo_optimizer::template::QueryInstance>> = IDS
+        .iter()
+        .enumerate()
+        .map(|(k, id)| spec_for(id).generate(PER_CLIENT, 7000 + k as u64))
+        .collect();
+
+    let wire_streams: Vec<Vec<(u64, bool)>> = std::thread::scope(|scope| {
+        // Two fuzzer connections storm garbage alongside the real clients.
+        for (f, seed) in [(0u64, 0xFEED), (1, 0xC0FFEE)] {
+            scope.spawn(move || {
+                fuzz_connection(addr, seed + f, "tpch_skew_A_d2", &[50_000.0, 900.0]);
+            });
+        }
+        let handles: Vec<_> = IDS
+            .iter()
+            .zip(&workloads)
+            .map(|(id, insts)| scope.spawn(move || drive_over_wire(addr, id, insts)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Oracle: a fresh in-process service, each template driven
+    // sequentially over the same instances, must produce the identical
+    // per-instance decision stream.
+    let oracle = fresh_service(&IDS);
+    for ((id, insts), wire_stream) in IDS.iter().zip(&workloads).zip(&wire_streams) {
+        assert_eq!(wire_stream.len(), insts.len());
+        for (i, (inst, &(fp, optimized))) in insts.iter().zip(wire_stream).enumerate() {
+            let expect = oracle.get_plan(id, inst).expect("oracle serves");
+            assert_eq!(
+                optimized, expect.optimized,
+                "{id} instance {i}: reuse/optimize decision diverged over the wire"
+            );
+            assert_eq!(
+                fp,
+                expect.plan.fingerprint().0,
+                "{id} instance {i}: different plan served over the wire"
+            );
+        }
+    }
+
+    // The batched-serving counters surfaced through STATS must reflect the
+    // storm's batch frames.
+    let mut observer = PqoClient::connect(addr).expect("observer connects");
+    for id in IDS {
+        let stats = observer.stats(id).expect("stats served");
+        assert!(stats.batches_served > 0, "{id}: no batches counted");
+        assert!(stats.max_batch_size <= 6, "{id}: impossible batch size");
+        assert!(
+            stats.batch_instances >= stats.batches_served,
+            "{id}: batch instance count below frame count"
+        );
+        assert_eq!(
+            stats.num_plans,
+            service
+                .with_scr(id, |s| s.cache().num_plans() as u64)
+                .unwrap()
+        );
+    }
+    drop(observer);
+
+    // Graceful shutdown over the wire: drain, flush, exit.
+    PqoClient::connect(addr)
+        .expect("shutdown client connects")
+        .shutdown_server()
+        .expect("shutdown acknowledged");
+    let summary = server.join();
+    assert_eq!(
+        summary.malformed_frames, 80,
+        "two fuzzers × 40 garbage frames must each count once"
+    );
+    assert!(
+        summary.plans_served >= (IDS.len() * PER_CLIENT) as u64,
+        "undercounted plans: {}",
+        summary.plans_served
+    );
+    assert_eq!(summary.snapshots_flushed, IDS.len() as u64);
+
+    // The flushed snapshots restore into the exact cache state the server
+    // held at shutdown.
+    for id in IDS {
+        let path = dir.join(format!("{id}.pqo-cache"));
+        let mut file = std::fs::File::open(&path)
+            .unwrap_or_else(|e| panic!("flushed snapshot {path:?} missing: {e}"));
+        let restored = persist::restore(ScrConfig::new(LAMBDA).unwrap(), &mut file)
+            .expect("snapshot restores");
+        assert_eq!(
+            restored.cache().num_plans(),
+            service.with_scr(id, |s| s.cache().num_plans()).unwrap(),
+            "{id}: restored plan count diverged"
+        );
+        assert!(restored.cache().check_invariants().is_ok());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn limits_and_error_frames() {
+    let id = "tpch_skew_A_d2";
+    let service = fresh_service(&[id]);
+    let config = ServerConfig {
+        max_connections: 1,
+        max_frame_bytes: 4096,
+        ..ServerConfig::default()
+    };
+    let server = PqoServer::bind(service, "127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Version negotiation: a client speaking a future protocol is refused
+    // with a stable code, not garbage.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut body = Vec::new();
+        encode_request(&Request::Hello { version: 99 }, &mut body);
+        wire::write_frame(&mut stream, &body).unwrap();
+        stream.flush().unwrap();
+        let mut frame = Vec::new();
+        assert!(wire::read_frame(&mut stream, 4096, &mut frame).unwrap());
+        match decode_response(&frame).unwrap() {
+            Response::Error { code: c, .. } => assert_eq!(c, code::UNSUPPORTED_VERSION),
+            other => panic!("got {other:?}"),
+        }
+    }
+    // Give the server a poll tick to notice the closed socket and free the
+    // connection slot.
+    std::thread::sleep(Duration::from_millis(200));
+
+    let mut client = PqoClient::connect(addr).expect("first client fits");
+
+    // Second concurrent connection exceeds the limit → one BUSY frame.
+    match PqoClient::connect(addr) {
+        Err(ClientError::Server { code: c, .. }) => assert_eq!(c, code::BUSY),
+        Err(other) => panic!("over-limit connect yielded {other:?}"),
+        Ok(_) => panic!("over-limit connect was accepted"),
+    }
+
+    // Typed serving errors map to their pinned codes.
+    match client.get_plan("nope", &[0.5, 0.5]) {
+        Err(ClientError::Server { code: c, message }) => {
+            assert_eq!(c, code::UNKNOWN_TEMPLATE);
+            assert!(message.contains("nope"));
+        }
+        other => panic!("unknown template yielded {other:?}"),
+    }
+    match client.get_plan(id, &[0.5]) {
+        Err(ClientError::Server { code: c, message }) => {
+            assert_eq!(c, code::MALFORMED);
+            assert!(message.contains("parameters"), "{message}");
+        }
+        other => panic!("arity mismatch yielded {other:?}"),
+    }
+    match client.get_plan(id, &[f64::NAN, 0.5]) {
+        Err(ClientError::Server { code: c, .. }) => assert_eq!(c, code::MALFORMED),
+        other => panic!("NaN parameter yielded {other:?}"),
+    }
+    // The connection survived every error frame.
+    let choice = client.get_plan(id, &[50_000.0, 900.0]).expect("served");
+    assert!(choice.optimized, "cold cache must optimize");
+
+    // An oversized frame announcement gets MALFORMED and the connection is
+    // closed (framing cannot resync) — on a fresh connection so the main
+    // client stays usable.
+    drop(client);
+    std::thread::sleep(Duration::from_millis(200));
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(&(1u32 << 30).to_le_bytes()).unwrap();
+        stream.flush().unwrap();
+        let mut frame = Vec::new();
+        assert!(wire::read_frame(&mut stream, 4096, &mut frame).unwrap());
+        match decode_response(&frame).unwrap() {
+            Response::Error { code: c, message } => {
+                assert_eq!(c, code::MALFORMED);
+                assert!(message.contains("exceeds"), "{message}");
+            }
+            other => panic!("got {other:?}"),
+        }
+        // Server closes after the error frame.
+        assert!(!wire::read_frame(&mut stream, 4096, &mut frame).unwrap_or(false));
+    }
+
+    server.shutdown();
+    let summary = server.join();
+    assert!(summary.connections_rejected_busy >= 1);
+    assert!(summary.error_frames >= 5);
+}
+
+#[test]
+fn idle_connections_are_dropped() {
+    let id = "tpch_skew_A_d2";
+    let service = fresh_service(&[id]);
+    let config = ServerConfig {
+        read_timeout: Duration::from_millis(300),
+        poll_interval: Duration::from_millis(50),
+        ..ServerConfig::default()
+    };
+    let server = PqoServer::bind(service, "127.0.0.1:0", config).expect("bind loopback");
+    let mut client = PqoClient::connect(server.local_addr()).expect("connects");
+    client.get_plan(id, &[50_000.0, 900.0]).expect("served");
+    // Stay silent past the idle limit: the server reclaims the connection.
+    std::thread::sleep(Duration::from_millis(1200));
+    assert!(
+        client.get_plan(id, &[50_000.0, 900.0]).is_err(),
+        "idle connection must be dropped"
+    );
+    server.shutdown();
+    server.join();
+}

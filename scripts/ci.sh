@@ -17,6 +17,34 @@ echo "==> microbench smoke (quick mode, includes service/batch throughput)"
 # behind the writer lock) without paying for full measurement.
 cargo test -q --offline -p pqo-bench --benches
 
+echo "==> network serving smoke (loopback server + client oracle diff)"
+# End-to-end over a real socket: start the TCP server on an ephemeral
+# port, replay a seeded workload through `pqo client --check true` (which
+# diffs every wire decision against an in-process SCR oracle), then
+# exercise graceful shutdown and verify the cache snapshot was flushed.
+net_tmp="$(mktemp -d)"
+trap 'rm -rf "$net_tmp"' EXIT
+./target/release/pqo serve --listen 127.0.0.1:0 \
+    --template tpch_skew_A_d2 --snapshot-dir "$net_tmp" \
+    > "$net_tmp/server.log" 2>&1 &
+net_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening on //p' "$net_tmp/server.log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "server never reported its address"; cat "$net_tmp/server.log"; exit 1; }
+./target/release/pqo client --connect "$addr" \
+    --template tpch_skew_A_d2 --m 300 --batch 8 --check true \
+    | grep "oracle check        : OK"
+./target/release/pqo client --connect "$addr" --op shutdown
+wait "$net_pid"
+[ -s "$net_tmp/tpch_skew_A_d2.pqo-cache" ] \
+    || { echo "graceful shutdown did not flush the cache snapshot"; exit 1; }
+grep -q "snapshots flushed   : 1" "$net_tmp/server.log" \
+    || { echo "server exit summary missing snapshot flush"; cat "$net_tmp/server.log"; exit 1; }
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

@@ -80,6 +80,7 @@ pub use pqo_catalog as catalog;
 pub use pqo_core as core;
 pub use pqo_exec as exec;
 pub use pqo_optimizer as optimizer;
+pub use pqo_server as server;
 pub use pqo_workload as workload;
 
 pub use pqo_core::{PqoError, PqoService};
