@@ -5,9 +5,18 @@
 //! the in-process numbers is pure wire overhead: framing, two syscalls
 //! per exchange and the request/response round trip. `GET_PLAN_BATCH`
 //! amortizes all three across 32 instances per frame.
+//!
+//! The high-connection variant parks a large population of *idle*
+//! connections (1k by default in full mode, `PQO_NET_IDLE_CONNS` to
+//! override, e.g. for a 10k run) alongside one active client and reports
+//! the marginal RSS cost per idle connection plus the active client's
+//! p50/p99 request latency — the axis where an event-driven core beats a
+//! thread per connection.
 
 use std::hint::black_box;
+use std::net::TcpStream;
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use pqo_bench::microbench::Runner;
 use pqo_core::scr::ScrConfig;
@@ -140,6 +149,115 @@ fn main() {
         );
     }
 
+    server.shutdown();
+    server.join();
+
+    high_connection_mix(&runner, &service, &streams);
+}
+
+/// Current resident set size in bytes (Linux; 0 where /proc is absent).
+fn vm_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmRSS:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<u64>().ok())
+        })
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
+/// Park a population of idle connections next to one active client and
+/// measure (a) the marginal RSS per idle connection and (b) the active
+/// client's request-latency distribution while the idle population is
+/// held open. Results go to stdout as `net_throughput/highconn/...` lines
+/// (plus one Runner throughput row) for `results/net_server.md`.
+fn high_connection_mix(
+    runner: &Runner,
+    service: &Arc<PqoService>,
+    streams: &Arc<Vec<(String, Vec<QueryInstance>)>>,
+) {
+    let idle_target: usize = std::env::var("PQO_NET_IDLE_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if runner.quick() { 64 } else { 1000 });
+    let samples = if runner.quick() { 500usize } else { 5000 };
+
+    let server = PqoServer::bind(
+        Arc::clone(service),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: idle_target + 16,
+            read_timeout: Duration::from_secs(600),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind high-connection loopback");
+    let addr = server.local_addr();
+
+    // Idle population: raw TCP connects that never speak. Each one costs
+    // the server whatever its concurrency substrate charges for a parked
+    // connection (a thread stack, or a poll-set slot + buffers).
+    let rss_before = vm_rss_bytes();
+    let mut idle: Vec<TcpStream> = Vec::with_capacity(idle_target);
+    for _ in 0..idle_target {
+        match TcpStream::connect(addr) {
+            Ok(s) => idle.push(s),
+            Err(_) => break, // fd limit — report what we actually held
+        }
+    }
+    // Let the server finish absorbing the accept burst before sampling.
+    std::thread::sleep(Duration::from_millis(300));
+    let rss_after = vm_rss_bytes();
+    let held = idle.len();
+    let per_conn = rss_after.saturating_sub(rss_before) / held.max(1) as u64;
+
+    // Active client: per-request latency while the idle population parks.
+    let mut client = PqoClient::connect(addr).expect("active client connects");
+    let (name, insts) = &streams[0];
+    let mut lat_ns: Vec<u64> = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let inst = &insts[i % insts.len()];
+        let t0 = Instant::now();
+        let choice = client.get_plan(name, &inst.values).expect("idle-mix serve");
+        lat_ns.push(t0.elapsed().as_nanos() as u64);
+        black_box(choice);
+    }
+    lat_ns.sort_unstable();
+    let pct = |p: f64| lat_ns[((lat_ns.len() - 1) as f64 * p) as usize];
+
+    println!("net_throughput/highconn/idle_conns           {held:>14}");
+    println!(
+        "net_throughput/highconn/rss_per_idle_conn    {:>12} B  ({} -> {} B total)",
+        per_conn, rss_before, rss_after
+    );
+    println!(
+        "net_throughput/highconn/active_p50           {:>12.1} µs",
+        pct(0.50) as f64 / 1e3
+    );
+    println!(
+        "net_throughput/highconn/active_p99           {:>12.1} µs",
+        pct(0.99) as f64 / 1e3
+    );
+
+    // Throughput of the active client with the idle population still held.
+    runner.bench_throughput(
+        &format!("net_throughput/get_plan_idlemix{held}/1_threads"),
+        insts.len() as u64,
+        || {
+            let mut hits = 0u32;
+            for inst in insts.iter() {
+                let choice = client.get_plan(name, &inst.values).expect("idle-mix serve");
+                hits += u32::from(!choice.optimized);
+            }
+            black_box(hits)
+        },
+    );
+
+    drop(idle);
+    drop(client);
     server.shutdown();
     server.join();
 }

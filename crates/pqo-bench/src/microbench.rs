@@ -66,8 +66,19 @@ impl Runner {
         if self.quick {
             let start = Instant::now();
             std::hint::black_box(f());
-            let ns = start.elapsed().as_secs_f64() * 1e9;
-            println!("{label:<44} {:>12}/iter  (smoke)", fmt_ns(ns));
+            let secs = start.elapsed().as_secs_f64();
+            let ns = secs * 1e9;
+            match elements {
+                Some(n) => {
+                    let eps = n as f64 / secs.max(1e-9);
+                    println!(
+                        "{label:<44} {:>12}/iter  {:>14.0} elem/s  (smoke)",
+                        fmt_ns(ns),
+                        eps
+                    );
+                }
+                None => println!("{label:<44} {:>12}/iter  (smoke)", fmt_ns(ns)),
+            }
             return ns;
         }
         // Warmup while estimating the cost of one call.

@@ -13,9 +13,10 @@
 //! pqo serve    --template ID [--lambda X] [--m N] [--seed N] [--batch N]
 //!              [--spatial-threshold N] [--recost-fetch-factor N]
 //! pqo serve    --listen ADDR --template ID[,ID...] [--lambda X]
-//!              [--snapshot-dir DIR] [--max-conns N]
-//! pqo client   --connect ADDR [--op plan|run|stats|shutdown] [--template ID]
-//!              [--sel S1,...] [--m N] [--seed N] [--batch N] [--check BOOL]
+//!              [--snapshot-dir DIR] [--max-conns N] [--workers N]
+//! pqo client   --connect ADDR [--op plan|run|stats|shutdown|idle]
+//!              [--template ID] [--sel S1,...] [--m N] [--seed N] [--batch N]
+//!              [--check BOOL] [--conns N] [--hold-ms T]
 //! ```
 
 use std::process::exit;
@@ -77,8 +78,8 @@ fn usage() {
          pqo cache --template ID [--lambda X] [--m N] [--spatial-threshold N] [--recost-fetch-factor N]\n  \
          pqo serve --template ID [--lambda X] [--m N] [--seed N] [--batch N] [--spatial-threshold N]\n  \
                  [--recost-fetch-factor N]\n  \
-         pqo serve --listen ADDR --template ID[,ID...] [--lambda X] [--snapshot-dir DIR] [--max-conns N]\n  \
-         pqo client --connect ADDR [--op plan|run|stats|shutdown] [--template ID] [--sel S1,...]\n  \
+         pqo serve --listen ADDR --template ID[,ID...] [--lambda X] [--snapshot-dir DIR] [--max-conns N] [--workers N]\n  \
+         pqo client --connect ADDR [--op plan|run|stats|shutdown|idle] [--template ID] [--sel S1,...] [--conns N] [--hold-ms T]\n  \
                  [--m N] [--seed N] [--batch N] [--check BOOL]"
     );
 }

@@ -52,6 +52,10 @@ pub fn serve_listen(args: &Args, listen: &str) -> Result<(), String> {
         ..ServerConfig::default()
     };
     config.max_connections = parse_opt(args, "max-conns", config.max_connections)?;
+    config.workers = parse_opt(args, "workers", config.workers)?;
+    if config.workers == 0 {
+        return Err("--workers must be >= 1".into());
+    }
 
     let service = Arc::new(PqoService::new());
     let mut names = Vec::new();
@@ -88,12 +92,13 @@ pub fn serve_listen(args: &Args, listen: &str) -> Result<(), String> {
         return Err("--template: no template ids given".into());
     }
 
+    let workers = config.workers;
     let server = PqoServer::bind(Arc::clone(&service), listen, config)
         .map_err(|e| format!("bind {listen}: {e}"))?;
     // Smoke scripts parse this exact line to learn the ephemeral port.
     println!("listening on {}", server.local_addr());
     println!(
-        "serving {} template(s) at λ = {lambda}; stop with `pqo client --connect {} --op shutdown`",
+        "serving {} template(s) at λ = {lambda} ({workers} workers); stop with `pqo client --connect {} --op shutdown`",
         names.len(),
         server.local_addr()
     );
@@ -111,6 +116,10 @@ pub fn serve_listen(args: &Args, listen: &str) -> Result<(), String> {
     println!("malformed frames    : {}", stats.malformed_frames);
     println!("error frames        : {}", stats.error_frames);
     println!("snapshots flushed   : {}", stats.snapshots_flushed);
+    println!("poll wakeups        : {}", stats.poll_wakeups);
+    println!("timeouts            : {}", stats.timeouts);
+    println!("peak connections    : {}", stats.peak_connections);
+    println!("peak queue depth    : {}", stats.peak_queue_depth);
     for id in &names {
         let s = service.scr_stats(id).map_err(|e| e.to_string())?;
         let plans = service
@@ -140,8 +149,13 @@ pub fn client_cmd(args: &Args) -> Result<(), String> {
         None if args.opt("sel").is_some() => "plan".into(),
         None if args.opt("m").is_some() => "run".into(),
         None if args.opt("template").is_some() => "stats".into(),
-        None => return Err("cannot infer op; pass --op plan|run|stats|shutdown".into()),
+        None => return Err("cannot infer op; pass --op plan|run|stats|shutdown|idle".into()),
     };
+    // The idle op never speaks the protocol (raw sockets, no handshake),
+    // so handle it before a PqoClient is built.
+    if op == "idle" {
+        return client_idle(args, &addr);
+    }
     let mut client =
         PqoClient::connect(&addr as &str).map_err(|e| format!("connect {addr}: {e}"))?;
     match op.as_str() {
@@ -173,6 +187,12 @@ pub fn client_cmd(args: &Args) -> Result<(), String> {
             println!("batch instances     : {}", s.batch_instances);
             println!("max batch size      : {}", s.max_batch_size);
             println!("snapshot re-loads   : {}", s.snapshot_reloads);
+            println!("open connections    : {}", s.open_connections);
+            println!("peak connections    : {}", s.peak_connections);
+            println!("conn buffer bytes   : {}", s.conn_buffer_bytes);
+            println!("queue depth         : {}", s.queue_depth);
+            println!("peak queue depth    : {}", s.peak_queue_depth);
+            println!("workers             : {}", s.workers);
             Ok(())
         }
         "shutdown" => {
@@ -180,8 +200,35 @@ pub fn client_cmd(args: &Args) -> Result<(), String> {
             println!("server acknowledged shutdown");
             Ok(())
         }
-        other => Err(format!("unknown op `{other}` (plan|run|stats|shutdown)")),
+        other => Err(format!(
+            "unknown op `{other}` (plan|run|stats|shutdown|idle)"
+        )),
     }
+}
+
+/// `pqo client --connect ADDR --op idle --conns N --hold-ms T`: open N raw
+/// TCP connections that never speak, hold them for T milliseconds, then
+/// release. Exercises the server's idle-connection capacity (each held
+/// socket costs the event loop one poll-set slot).
+fn client_idle(args: &Args, addr: &str) -> Result<(), String> {
+    let conns: usize = parse_opt(args, "conns", 256)?;
+    let hold_ms: u64 = parse_opt(args, "hold-ms", 5_000)?;
+    let mut held = Vec::with_capacity(conns);
+    for i in 0..conns {
+        match std::net::TcpStream::connect(addr) {
+            Ok(s) => held.push(s),
+            Err(e) => return Err(format!("idle connect {i}/{conns}: {e}")),
+        }
+    }
+    // Smoke scripts wait for this exact line before starting active work.
+    println!("holding {} idle connections for {hold_ms} ms", held.len());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    std::thread::sleep(std::time::Duration::from_millis(hold_ms));
+    let n = held.len();
+    drop(held);
+    println!("released {n} idle connections");
+    Ok(())
 }
 
 /// Drive a generated workload over the wire; with `--check true`, replay

@@ -1,0 +1,672 @@
+//! The event-driven server core: one thread owns the nonblocking listener
+//! and every accepted socket in a readiness set ([`crate::poller`]), drives
+//! the per-connection state machines of [`crate::conn`], and hands decoded
+//! frames to a fixed worker pool that calls the dispatch layer of
+//! [`crate::server`].
+//!
+//! ```text
+//!            ┌───────────────────────────── event-loop thread ─────┐
+//!  sockets ─▶│ poller.wait ─▶ read ─▶ FrameAssembler ─▶ decode ──┐ │
+//!            │     ▲                                             ▼ │
+//!            │ completions ◀─ WriteBuf ◀─ encode ◀──┐   PendingQueue│
+//!            └──────▲───────────────────────────────┼──────────▼───┘
+//!                   │ waker                 ┌───────┴──────────────┐
+//!                   └───────────────────────│ worker pool: dispatch│
+//!                                           └──────────────────────┘
+//! ```
+//!
+//! Ordering: each connection has at most one frame in flight in the pool,
+//! so responses always return in request order even for a pipelining
+//! client. Backpressure: a connection whose write buffer or pending queue
+//! is over its bound loses read interest until the excess drains, so a
+//! fast sender cannot balloon server memory. Deadlines: the loop sweeps
+//! connections every `poll_interval`; no read progress for `read_timeout`
+//! (idle or slow-loris) earns a `TIMEOUT` error frame and a close, and a
+//! peer that stops draining responses for `write_timeout` is dropped.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+#[cfg(unix)]
+use std::os::unix::io::AsRawFd;
+
+use crate::conn::{Decoded, FrameAssembler, PendingQueue, WriteBuf};
+use crate::poller::{Event, Interest, Poller, WakeReader};
+use crate::server::{dispatch, flush_snapshots, Shared, StatCells};
+use crate::wire::{code, decode_request, encode_response, Request, Response, WireError};
+
+/// Token for the listening socket.
+const TOKEN_LISTENER: usize = usize::MAX;
+/// Token for the self-pipe wakeup fd.
+const TOKEN_WAKER: usize = usize::MAX - 1;
+
+/// One decoded frame on its way to the worker pool.
+struct Work {
+    slot: usize,
+    conn_id: u64,
+    frame: Decoded,
+}
+
+/// One encoded response on its way back from the worker pool.
+struct Done {
+    slot: usize,
+    conn_id: u64,
+    body: Vec<u8>,
+    /// The response was `SHUTDOWN_OK`: flush it, then drain the server.
+    shutdown_after: bool,
+}
+
+/// The decoded-frame queue the worker pool drains. Closing it releases
+/// every blocked worker.
+struct WorkQueue {
+    inner: Mutex<(VecDeque<Work>, bool)>,
+    ready: Condvar,
+}
+
+impl WorkQueue {
+    fn new() -> WorkQueue {
+        WorkQueue {
+            inner: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, work: Work, stats: &StatCells) {
+        let mut guard = self.inner.lock().expect("work queue lock");
+        guard.0.push_back(work);
+        let depth = guard.0.len() as u64;
+        stats.queue_depth.store(depth, Ordering::Relaxed);
+        stats.peak_queue_depth.fetch_max(depth, Ordering::Relaxed);
+        drop(guard);
+        self.ready.notify_one();
+    }
+
+    /// Block for the next item; `None` once closed and empty.
+    fn pop(&self, stats: &StatCells) -> Option<Work> {
+        let mut guard = self.inner.lock().expect("work queue lock");
+        loop {
+            if let Some(work) = guard.0.pop_front() {
+                stats
+                    .queue_depth
+                    .store(guard.0.len() as u64, Ordering::Relaxed);
+                return Some(work);
+            }
+            if guard.1 {
+                return None;
+            }
+            guard = self.ready.wait(guard).expect("work queue wait");
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("work queue lock").1 = true;
+        self.ready.notify_all();
+    }
+}
+
+/// State shared between the event loop and its worker pool.
+struct LoopShared {
+    queue: WorkQueue,
+    completions: Mutex<Vec<Done>>,
+}
+
+/// One connection owned by the event loop.
+struct Conn {
+    stream: TcpStream,
+    /// Monotone connection id guarding against completions addressed to a
+    /// previous tenant of this slot.
+    id: u64,
+    assembler: FrameAssembler,
+    wbuf: WriteBuf,
+    pending: PendingQueue,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+    /// Flush outstanding responses, then close.
+    close_after_flush: bool,
+    /// Stop reading (poisoned framing, timeout sent, or draining).
+    read_closed: bool,
+    /// Rejected at admission (`BUSY`/`SHUTTING_DOWN`): input is read and
+    /// discarded (so the close never RSTs away the error frame), nothing
+    /// is dispatched, and the slot does not count against the connection
+    /// limit. Closes on the peer's EOF or its read deadline.
+    doomed: bool,
+    /// Last moment any byte was read from the peer.
+    last_read: Instant,
+    /// Last moment the write buffer made progress (or became non-empty).
+    last_write: Instant,
+    /// Buffer bytes currently charged to the server-wide gauge.
+    acct_bytes: u64,
+}
+
+impl Conn {
+    fn buffer_bytes(&self) -> u64 {
+        (self.assembler.buffer_bytes() + self.wbuf.buffer_bytes()) as u64
+    }
+}
+
+/// Worker body: drain decoded frames, dispatch against the service, push
+/// encoded responses back and wake the loop.
+fn worker_loop(shared: &Shared, lshared: &LoopShared) {
+    let mut body = Vec::new();
+    while let Some(work) = lshared.queue.pop(&shared.stats) {
+        let (resp, shutdown_after) = match work.frame {
+            Err(WireError(msg)) => (
+                Response::Error {
+                    code: code::MALFORMED,
+                    message: msg,
+                },
+                false,
+            ),
+            Ok(req) => {
+                let is_shutdown = matches!(req, Request::Shutdown);
+                let resp = dispatch(req, shared);
+                let ack = is_shutdown && matches!(resp, Response::ShutdownOk);
+                (resp, ack)
+            }
+        };
+        if matches!(resp, Response::Error { .. }) {
+            shared.stats.error_frames.fetch_add(1, Ordering::Relaxed);
+        }
+        encode_response(&resp, &mut body);
+        lshared
+            .completions
+            .lock()
+            .expect("completions lock")
+            .push(Done {
+                slot: work.slot,
+                conn_id: work.conn_id,
+                body: body.clone(),
+                shutdown_after,
+            });
+        shared.waker.wake();
+    }
+}
+
+/// The event loop entry point: owns the listener and every connection
+/// until shutdown completes (drain + snapshot flush).
+pub(crate) fn run(listener: TcpListener, wake_rx: WakeReader, shared: Arc<Shared>) {
+    let Ok(mut poller) = Poller::new() else {
+        return; // unsupported platform: bind() already failed loudly
+    };
+    #[cfg(unix)]
+    {
+        if poller
+            .register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)
+            .is_err()
+            || poller
+                .register(wake_rx.fd(), TOKEN_WAKER, Interest::READ)
+                .is_err()
+        {
+            return;
+        }
+    }
+
+    let lshared = Arc::new(LoopShared {
+        queue: WorkQueue::new(),
+        completions: Mutex::new(Vec::new()),
+    });
+    let workers: Vec<_> = (0..shared.config.workers.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            let lshared = Arc::clone(&lshared);
+            std::thread::Builder::new()
+                .name(format!("pqo-worker-{i}"))
+                .spawn(move || worker_loop(&shared, &lshared))
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    let mut el = EventLoop {
+        listener,
+        wake_rx,
+        shared: Arc::clone(&shared),
+        lshared: Arc::clone(&lshared),
+        poller,
+        conns: Vec::new(),
+        free: Vec::new(),
+        next_id: 0,
+        scratch: vec![0u8; 64 * 1024],
+        draining: false,
+        drain_deadline: None,
+    };
+    el.run_loop();
+    drop(el); // close every remaining socket before flushing
+
+    lshared.queue.close();
+    for w in workers {
+        let _ = w.join();
+    }
+    flush_snapshots(&shared);
+}
+
+struct EventLoop {
+    listener: TcpListener,
+    wake_rx: WakeReader,
+    shared: Arc<Shared>,
+    lshared: Arc<LoopShared>,
+    poller: Poller,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    next_id: u64,
+    scratch: Vec<u8>,
+    draining: bool,
+    drain_deadline: Option<Instant>,
+}
+
+impl EventLoop {
+    fn run_loop(&mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        let mut last_sweep = Instant::now();
+        loop {
+            if self
+                .poller
+                .wait(&mut events, Some(self.shared.config.poll_interval))
+                .is_err()
+            {
+                return; // hard poller failure: tear down
+            }
+            self.shared
+                .stats
+                .poll_wakeups
+                .fetch_add(1, Ordering::Relaxed);
+            let now = Instant::now();
+
+            for &ev in &events {
+                match ev.token {
+                    TOKEN_WAKER => self.wake_rx.drain(),
+                    TOKEN_LISTENER => self.accept_ready(),
+                    slot => self.on_conn_event(slot, ev, now),
+                }
+            }
+
+            self.apply_completions(now);
+
+            if self.shared.shutting_down() && !self.draining {
+                self.begin_drain(now);
+            }
+
+            if now.duration_since(last_sweep) >= self.shared.config.poll_interval {
+                self.sweep_deadlines(now);
+                last_sweep = now;
+            }
+
+            if self.draining {
+                if self.conns.iter().all(Option::is_none) {
+                    return;
+                }
+                if self.drain_deadline.is_some_and(|d| now >= d) {
+                    // Grace expired: drop stragglers (unflushed responses
+                    // and all) rather than hang shutdown on a dead peer.
+                    for slot in 0..self.conns.len() {
+                        self.close_slot(slot);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Accept everything the listener has ready; reject with one error
+    /// frame when over the connection limit or draining.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.shared.shutting_down() {
+                        self.admit(
+                            stream,
+                            Some((code::SHUTTING_DOWN, "server is shutting down")),
+                        );
+                        continue;
+                    }
+                    let open = self.shared.stats.open_connections.load(Ordering::Relaxed) as usize;
+                    if open >= self.shared.config.max_connections {
+                        self.shared
+                            .stats
+                            .connections_rejected_busy
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.admit(
+                            stream,
+                            Some((code::BUSY, "connection limit reached, retry later")),
+                        );
+                        continue;
+                    }
+                    self.admit(stream, None);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return, // transient; the next readiness retries
+            }
+        }
+    }
+
+    /// Register an accepted connection in the readiness set. With
+    /// `rejection` set, the connection is doomed: it carries exactly one
+    /// error frame, discards all input, and closes on the peer's EOF —
+    /// never before, so the error frame cannot be lost to a reset from
+    /// unread input.
+    fn admit(&mut self, stream: TcpStream, rejection: Option<(u16, &str)>) {
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        #[cfg(unix)]
+        if self
+            .poller
+            .register(stream.as_raw_fd(), slot, Interest::READ)
+            .is_err()
+        {
+            self.free.push(slot);
+            return;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let now = Instant::now();
+        let mut conn = Conn {
+            stream,
+            id,
+            assembler: FrameAssembler::new(self.shared.config.max_frame_bytes),
+            wbuf: WriteBuf::new(),
+            pending: PendingQueue::default(),
+            interest: Interest::READ,
+            close_after_flush: false,
+            read_closed: false,
+            doomed: rejection.is_some(),
+            last_read: now,
+            last_write: now,
+            acct_bytes: 0,
+        };
+        let stats = &self.shared.stats;
+        if let Some((code, message)) = rejection {
+            let mut body = Vec::new();
+            encode_response(
+                &Response::Error {
+                    code,
+                    message: message.into(),
+                },
+                &mut body,
+            );
+            stats.error_frames.fetch_add(1, Ordering::Relaxed);
+            conn.wbuf.push_frame(&body);
+        } else {
+            stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
+            let open = stats.open_connections.fetch_add(1, Ordering::Relaxed) + 1;
+            stats.peak_connections.fetch_max(open, Ordering::Relaxed);
+        }
+        self.conns[slot] = Some(conn);
+        self.settle(slot, now);
+    }
+
+    fn on_conn_event(&mut self, slot: usize, ev: Event, now: Instant) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return; // closed earlier in this batch
+        };
+        if ev.readable && !conn.read_closed {
+            if !read_into(conn, &mut self.scratch, &self.shared) {
+                self.close_slot(slot);
+                return;
+            }
+        } else if ev.hangup && !ev.readable {
+            // Error-only readiness (RST with nothing to read): drop.
+            self.close_slot(slot);
+            return;
+        }
+        self.settle(slot, now);
+    }
+
+    /// Apply every response the worker pool has finished: queue it on the
+    /// owning connection (if it still exists and is the same tenant),
+    /// flush, and dispatch that connection's next pending frame.
+    fn apply_completions(&mut self, now: Instant) {
+        let done = std::mem::take(&mut *self.lshared.completions.lock().expect("completions lock"));
+        for d in done {
+            if d.shutdown_after {
+                self.shared.shutdown.store(true, Ordering::SeqCst);
+            }
+            let Some(conn) = self.conns.get_mut(d.slot).and_then(Option::as_mut) else {
+                continue; // connection died while its request was in flight
+            };
+            if conn.id != d.conn_id {
+                continue; // slot reused by a newer connection
+            }
+            conn.pending.set_in_flight(false);
+            if conn.wbuf.is_empty() {
+                conn.last_write = now;
+            }
+            conn.wbuf.push_frame(&d.body);
+            if d.shutdown_after {
+                conn.close_after_flush = true;
+                conn.read_closed = true;
+            }
+            self.settle(d.slot, now);
+        }
+    }
+
+    /// Flush what can be written, dispatch what can be dispatched, close
+    /// if fully drained and marked, and reconcile poller interest.
+    fn settle(&mut self, slot: usize, now: Instant) {
+        let cfg = &self.shared.config;
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+
+        if !pump_write(conn, now) {
+            self.close_slot(slot);
+            return;
+        }
+        if let Some(frame) = conn.pending.next() {
+            conn.pending.set_in_flight(true);
+            self.lshared.queue.push(
+                Work {
+                    slot,
+                    conn_id: conn.id,
+                    frame,
+                },
+                &self.shared.stats,
+            );
+        }
+        if conn.close_after_flush && conn.wbuf.is_empty() && conn.pending.is_idle() {
+            self.close_slot(slot);
+            return;
+        }
+
+        let backpressured =
+            conn.wbuf.len() >= cfg.max_conn_buffer || conn.pending.len() >= cfg.max_pending_frames;
+        let want = Interest {
+            readable: !conn.read_closed && !backpressured,
+            writable: !conn.wbuf.is_empty(),
+        };
+        #[cfg(unix)]
+        if want != conn.interest {
+            let _ = self.poller.modify(conn.stream.as_raw_fd(), slot, want);
+            conn.interest = want;
+        }
+
+        // Reconcile this connection's share of the buffer-bytes gauge.
+        let bytes = conn.buffer_bytes();
+        let stats = &self.shared.stats;
+        if bytes > conn.acct_bytes {
+            stats
+                .conn_buffer_bytes
+                .fetch_add(bytes - conn.acct_bytes, Ordering::Relaxed);
+        } else {
+            stats
+                .conn_buffer_bytes
+                .fetch_sub(conn.acct_bytes - bytes, Ordering::Relaxed);
+        }
+        conn.acct_bytes = bytes;
+    }
+
+    /// Enforce read/write deadlines across all connections. Runs every
+    /// `poll_interval`, so deadlines resolve within one interval of
+    /// expiring.
+    fn sweep_deadlines(&mut self, now: Instant) {
+        let read_timeout = self.shared.config.read_timeout;
+        let write_timeout = self.shared.config.write_timeout;
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                continue;
+            };
+            if !conn.wbuf.is_empty() && now.duration_since(conn.last_write) >= write_timeout {
+                // Peer stopped draining responses: nothing can be sent, so
+                // no error frame — just drop.
+                self.shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                self.close_slot(slot);
+                continue;
+            }
+            let idle = conn.wbuf.is_empty() && conn.pending.is_idle() && !conn.read_closed;
+            if idle && conn.doomed && now.duration_since(conn.last_read) >= read_timeout {
+                // A rejected peer that read its error frame but never
+                // closed: reclaim the slot without further ceremony.
+                self.shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                self.close_slot(slot);
+                continue;
+            }
+            if idle && now.duration_since(conn.last_read) >= read_timeout {
+                // Idle or stalled mid-frame (slow loris): one TIMEOUT error
+                // frame, then close once it flushes. Other connections are
+                // untouched — this is a per-connection deadline, not a
+                // stall of the loop.
+                let stats = &self.shared.stats;
+                stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                stats.error_frames.fetch_add(1, Ordering::Relaxed);
+                let mut body = Vec::new();
+                encode_response(
+                    &Response::Error {
+                        code: code::TIMEOUT,
+                        message: format!(
+                            "no progress within {:?}{}",
+                            read_timeout,
+                            if conn.assembler.mid_frame() {
+                                " (mid-frame)"
+                            } else {
+                                " (idle)"
+                            }
+                        ),
+                    },
+                    &mut body,
+                );
+                conn.last_write = now;
+                conn.wbuf.push_frame(&body);
+                conn.read_closed = true;
+                conn.close_after_flush = true;
+                self.settle(slot, now);
+            }
+        }
+    }
+
+    /// Stop reading everywhere; every connection flushes its pending work
+    /// and closes at its frame boundary. The listener stays registered so
+    /// stragglers get a `SHUTTING_DOWN` frame instead of a hang.
+    fn begin_drain(&mut self, now: Instant) {
+        self.draining = true;
+        self.drain_deadline =
+            Some(now + self.shared.config.shutdown_grace + self.shared.config.write_timeout);
+        for slot in 0..self.conns.len() {
+            if let Some(conn) = self.conns[slot].as_mut() {
+                conn.read_closed = true;
+                conn.close_after_flush = true;
+                self.settle(slot, now);
+            }
+        }
+    }
+
+    fn close_slot(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::take) else {
+            return;
+        };
+        #[cfg(unix)]
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        let stats = &self.shared.stats;
+        if !conn.doomed {
+            stats.open_connections.fetch_sub(1, Ordering::Relaxed);
+        }
+        stats
+            .conn_buffer_bytes
+            .fetch_sub(conn.acct_bytes, Ordering::Relaxed);
+        self.free.push(slot);
+        // conn drops here: socket closed. A response still in flight for
+        // this conn is discarded by the id check in apply_completions.
+    }
+}
+
+/// Read until `WouldBlock` (or backpressure), feeding the assembler and
+/// queueing decoded frames. Returns `false` when the connection must close
+/// (EOF or hard error).
+fn read_into(conn: &mut Conn, scratch: &mut [u8], shared: &Shared) -> bool {
+    let cfg = &shared.config;
+    loop {
+        if conn.wbuf.len() >= cfg.max_conn_buffer || conn.pending.len() >= cfg.max_pending_frames {
+            return true; // backpressure: settle() drops read interest
+        }
+        match conn.stream.read(scratch) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.last_read = Instant::now();
+                if conn.doomed {
+                    continue; // rejected connection: discard input until EOF
+                }
+                let mut frames = Vec::new();
+                let fed = conn.assembler.feed(&scratch[..n], &mut frames);
+                for body in frames {
+                    shared.stats.frames_served.fetch_add(1, Ordering::Relaxed);
+                    match decode_request(&body) {
+                        Ok(req) => conn.pending.push(Ok(req)),
+                        Err(e) => {
+                            shared
+                                .stats
+                                .malformed_frames
+                                .fetch_add(1, Ordering::Relaxed);
+                            conn.pending.push(Err(e));
+                        }
+                    }
+                }
+                if let Err(too_large) = fed {
+                    // Framing is lost after an oversized announcement:
+                    // answer MALFORMED (after anything already queued),
+                    // stop reading, close once flushed.
+                    shared
+                        .stats
+                        .malformed_frames
+                        .fetch_add(1, Ordering::Relaxed);
+                    conn.pending.push(Err(WireError(format!(
+                        "frame of {} bytes exceeds limit {}",
+                        too_large.announced, cfg.max_frame_bytes
+                    ))));
+                    conn.read_closed = true;
+                    conn.close_after_flush = true;
+                    return true;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Write as much buffered output as the socket accepts. Returns `false`
+/// when the connection must close (peer gone).
+fn pump_write(conn: &mut Conn, now: Instant) -> bool {
+    while !conn.wbuf.is_empty() {
+        match conn.stream.write(conn.wbuf.pending()) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.wbuf.advance(n);
+                conn.last_write = now;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    true
+}

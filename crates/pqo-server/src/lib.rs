@@ -9,9 +9,15 @@
 //! read path (no server-side locks are added around `get_plan`).
 //!
 //! * [`wire`] — framing, opcodes, stable error codes, pure encode/decode.
-//! * [`server`] — [`server::PqoServer`]: accept loop, per-connection
-//!   workers, connection/frame limits with `BUSY`/`MALFORMED` error
-//!   frames, read/write timeouts, graceful drain + snapshot flush.
+//! * [`server`] — [`server::PqoServer`]: public API, dispatch layer,
+//!   connection/frame limits with `BUSY`/`MALFORMED` error frames,
+//!   deadlines with `TIMEOUT` frames, graceful drain + snapshot flush.
+//! * [`poller`] — the readiness-set abstraction (`epoll(7)` on Linux,
+//!   portable `poll(2)` elsewhere) plus the self-pipe waker.
+//! * [`conn`] — pure per-connection state machines (frame reassembly from
+//!   fragmented reads, buffered writeback under short writes).
+//! * `event_loop` — the single-threaded readiness loop and its fixed
+//!   worker pool draining the decoded-frame queue.
 //! * [`client`] — [`client::PqoClient`]: blocking request/response client.
 //!
 //! ```no_run
@@ -35,6 +41,9 @@
 //! ```
 
 pub mod client;
+pub mod conn;
+mod event_loop;
+pub mod poller;
 pub mod server;
 pub mod wire;
 

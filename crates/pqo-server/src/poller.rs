@@ -1,0 +1,633 @@
+//! Readiness polling behind a small internal abstraction: `epoll(7)` on
+//! Linux, portable `poll(2)` elsewhere (or when `PQO_FORCE_POLL=1` asks
+//! for it), plus the self-pipe waker the event loop uses to interrupt a
+//! blocked wait from worker threads.
+//!
+//! The crate stays std-only: the handful of libc entry points used here
+//! are declared directly (std already links the platform libc), no
+//! external crate is added. Everything is `#[cfg(unix)]`; a non-unix
+//! build gets a stub whose constructor returns
+//! [`std::io::ErrorKind::Unsupported`].
+
+use std::io;
+use std::time::Duration;
+
+#[cfg(unix)]
+use std::os::unix::io::RawFd;
+#[cfg(not(unix))]
+type RawFd = i32;
+
+/// What readiness a registration wants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd has bytes (or EOF/hangup) to read.
+    pub readable: bool,
+    /// Wake when the fd can accept more bytes.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Write-only interest.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: usize,
+    /// Bytes (or EOF) are readable.
+    pub readable: bool,
+    /// The fd can accept writes.
+    pub writable: bool,
+    /// Peer hangup / error; the owner should read to completion and close.
+    pub hangup: bool,
+}
+
+#[cfg(unix)]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::raw::{c_int, c_ulong};
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: c_int,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const POLLNVAL: i16 = 0x020;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+        fn pipe(fds: *mut c_int) -> c_int;
+        fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        fn close(fd: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+    }
+
+    const F_GETFL: c_int = 3;
+    const F_SETFL: c_int = 4;
+    #[cfg(target_os = "linux")]
+    const O_NONBLOCK: c_int = 0x800;
+    #[cfg(not(target_os = "linux"))]
+    const O_NONBLOCK: c_int = 0x4;
+
+    fn cvt(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn timeout_ms(timeout: Option<Duration>) -> c_int {
+        match timeout {
+            // Round up so a 1ns request does not spin at timeout 0.
+            Some(d) => d.as_millis().clamp(1, c_int::MAX as u128) as c_int,
+            None => -1,
+        }
+    }
+
+    /// Portable `poll(2)` backend: the registration list is mirrored in a
+    /// `Vec` and rebuilt into a `pollfd` array per wait (O(n) per wakeup,
+    /// fine into the tens of thousands of fds this server targets).
+    pub struct PollSet {
+        regs: Vec<(RawFd, usize, Interest)>,
+        scratch: Vec<PollFd>,
+    }
+
+    impl PollSet {
+        pub fn new() -> PollSet {
+            PollSet {
+                regs: Vec::new(),
+                scratch: Vec::new(),
+            }
+        }
+
+        fn position(&self, fd: RawFd) -> io::Result<usize> {
+            self.regs
+                .iter()
+                .position(|(f, _, _)| *f == fd)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+        }
+
+        pub fn register(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            if self.position(fd).is_ok() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            self.regs.push((fd, token, interest));
+            Ok(())
+        }
+
+        pub fn modify(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            let i = self.position(fd)?;
+            self.regs[i] = (fd, token, interest);
+            Ok(())
+        }
+
+        pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            let i = self.position(fd)?;
+            self.regs.swap_remove(i);
+            Ok(())
+        }
+
+        pub fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            events.clear();
+            self.scratch.clear();
+            for &(fd, _, interest) in &self.regs {
+                let mut ev = 0i16;
+                if interest.readable {
+                    ev |= POLLIN;
+                }
+                if interest.writable {
+                    ev |= POLLOUT;
+                }
+                self.scratch.push(PollFd {
+                    fd,
+                    events: ev,
+                    revents: 0,
+                });
+            }
+            let n = unsafe {
+                poll(
+                    self.scratch.as_mut_ptr(),
+                    self.scratch.len() as c_ulong,
+                    timeout_ms(timeout),
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for (i, pfd) in self.scratch.iter().enumerate() {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                let (_, token, _) = self.regs[i];
+                events.push(Event {
+                    token,
+                    readable: pfd.revents & (POLLIN | POLLHUP) != 0,
+                    writable: pfd.revents & POLLOUT != 0,
+                    hangup: pfd.revents & (POLLHUP | POLLERR | POLLNVAL) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    pub use linux::Epoll;
+
+    #[cfg(target_os = "linux")]
+    mod linux {
+        use super::*;
+
+        // On x86-64 the kernel ABI packs epoll_event; other architectures
+        // use natural alignment (mirrors libc's definition).
+        #[repr(C)]
+        #[cfg_attr(target_arch = "x86_64", repr(packed))]
+        struct EpollEvent {
+            events: u32,
+            data: u64,
+        }
+
+        const EPOLL_CLOEXEC: c_int = 0x80000;
+        const EPOLL_CTL_ADD: c_int = 1;
+        const EPOLL_CTL_DEL: c_int = 2;
+        const EPOLL_CTL_MOD: c_int = 3;
+        const EPOLLIN: u32 = 0x001;
+        const EPOLLOUT: u32 = 0x004;
+        const EPOLLERR: u32 = 0x008;
+        const EPOLLHUP: u32 = 0x010;
+        const EPOLLRDHUP: u32 = 0x2000;
+
+        extern "C" {
+            fn epoll_create1(flags: c_int) -> c_int;
+            fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+            fn epoll_wait(
+                epfd: c_int,
+                events: *mut EpollEvent,
+                maxevents: c_int,
+                timeout: c_int,
+            ) -> c_int;
+        }
+
+        /// Linux `epoll(7)` backend: O(ready) wakeups independent of the
+        /// registered-set size.
+        pub struct Epoll {
+            epfd: RawFd,
+            scratch: Vec<EpollEvent>,
+        }
+
+        impl Epoll {
+            pub fn new() -> io::Result<Epoll> {
+                let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+                Ok(Epoll {
+                    epfd,
+                    scratch: Vec::new(),
+                })
+            }
+
+            fn ctl(
+                &self,
+                op: c_int,
+                fd: RawFd,
+                token: usize,
+                interest: Interest,
+            ) -> io::Result<()> {
+                let mut ev = EpollEvent {
+                    events: {
+                        let mut bits = EPOLLRDHUP;
+                        if interest.readable {
+                            bits |= EPOLLIN;
+                        }
+                        if interest.writable {
+                            bits |= EPOLLOUT;
+                        }
+                        bits
+                    },
+                    data: token as u64,
+                };
+                cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
+            }
+
+            pub fn register(
+                &mut self,
+                fd: RawFd,
+                token: usize,
+                interest: Interest,
+            ) -> io::Result<()> {
+                self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+            }
+
+            pub fn modify(
+                &mut self,
+                fd: RawFd,
+                token: usize,
+                interest: Interest,
+            ) -> io::Result<()> {
+                self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+            }
+
+            pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+                let mut ev = EpollEvent { events: 0, data: 0 };
+                cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) }).map(|_| ())
+            }
+
+            pub fn wait(
+                &mut self,
+                events: &mut Vec<Event>,
+                timeout: Option<Duration>,
+            ) -> io::Result<()> {
+                events.clear();
+                self.scratch.clear();
+                self.scratch.reserve(1024);
+                let n = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        self.scratch.as_mut_ptr(),
+                        1024,
+                        timeout_ms(timeout),
+                    )
+                };
+                if n < 0 {
+                    let err = io::Error::last_os_error();
+                    if err.kind() == io::ErrorKind::Interrupted {
+                        return Ok(());
+                    }
+                    return Err(err);
+                }
+                // SAFETY: the kernel initialized the first `n` entries.
+                unsafe { self.scratch.set_len(n as usize) };
+                for e in &self.scratch {
+                    let bits = e.events;
+                    events.push(Event {
+                        token: e.data as usize,
+                        readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                        writable: bits & EPOLLOUT != 0,
+                        hangup: bits & (EPOLLHUP | EPOLLERR) != 0,
+                    });
+                }
+                Ok(())
+            }
+        }
+
+        impl Drop for Epoll {
+            fn drop(&mut self) {
+                unsafe { close(self.epfd) };
+            }
+        }
+    }
+
+    fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+        let flags = cvt(unsafe { fcntl(fd, F_GETFL, 0) })?;
+        cvt(unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) }).map(|_| ())
+    }
+
+    /// The write end of the self-pipe; lives in the server's shared state
+    /// so worker threads (and `ServerHandle::shutdown`) can interrupt a
+    /// blocked [`super::Poller::wait`].
+    pub struct Waker {
+        fd: RawFd,
+    }
+
+    // SAFETY-adjacent note: a RawFd is just an integer; writes to a pipe
+    // are atomic per POSIX for <= PIPE_BUF bytes.
+    unsafe impl Send for Waker {}
+    unsafe impl Sync for Waker {}
+
+    impl Waker {
+        /// Make the next (or current) `Poller::wait` return promptly. A
+        /// full pipe means a wakeup is already pending — success either way.
+        pub fn wake(&self) {
+            let byte = 1u8;
+            unsafe { write(self.fd, &byte, 1) };
+        }
+    }
+
+    impl Drop for Waker {
+        fn drop(&mut self) {
+            unsafe { close(self.fd) };
+        }
+    }
+
+    /// The read end of the self-pipe, registered in the poller.
+    pub struct WakeReader {
+        fd: RawFd,
+    }
+
+    impl WakeReader {
+        /// The fd to register for read interest.
+        pub fn fd(&self) -> RawFd {
+            self.fd
+        }
+
+        /// Consume all pending wakeup bytes.
+        pub fn drain(&self) {
+            let mut buf = [0u8; 64];
+            loop {
+                let n = unsafe { read(self.fd, buf.as_mut_ptr(), buf.len()) };
+                if n <= 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    impl Drop for WakeReader {
+        fn drop(&mut self) {
+            unsafe { close(self.fd) };
+        }
+    }
+
+    /// A nonblocking self-pipe pair.
+    pub fn wake_pair() -> io::Result<(Waker, WakeReader)> {
+        let mut fds = [0 as c_int; 2];
+        cvt(unsafe { pipe(fds.as_mut_ptr()) })?;
+        let (r, w) = (fds[0], fds[1]);
+        for fd in [r, w] {
+            if let Err(e) = set_nonblocking(fd) {
+                unsafe {
+                    close(r);
+                    close(w);
+                }
+                return Err(e);
+            }
+        }
+        Ok((Waker { fd: w }, WakeReader { fd: r }))
+    }
+
+    /// Raise the process's soft `RLIMIT_NOFILE` to its hard limit so a
+    /// high-connection deployment is not capped at the shell default.
+    /// Returns the resulting soft limit (best effort; `None` off Linux or
+    /// on failure).
+    pub fn raise_nofile_limit() -> Option<u64> {
+        #[cfg(target_os = "linux")]
+        {
+            #[repr(C)]
+            struct RLimit {
+                cur: u64,
+                max: u64,
+            }
+            extern "C" {
+                fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+                fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+            }
+            const RLIMIT_NOFILE: c_int = 7;
+            let mut lim = RLimit { cur: 0, max: 0 };
+            if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+                return None;
+            }
+            if lim.cur < lim.max {
+                let want = RLimit {
+                    cur: lim.max,
+                    max: lim.max,
+                };
+                if unsafe { setrlimit(RLIMIT_NOFILE, &want) } == 0 {
+                    return Some(lim.max);
+                }
+            }
+            Some(lim.cur)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            None
+        }
+    }
+}
+
+#[cfg(unix)]
+pub use sys::{raise_nofile_limit, wake_pair, WakeReader, Waker};
+
+#[cfg(not(unix))]
+mod sys_stub {
+    use std::io;
+
+    /// Stub waker for platforms without the unix backend.
+    pub struct Waker;
+
+    impl Waker {
+        /// No-op on unsupported platforms.
+        pub fn wake(&self) {}
+    }
+
+    /// Stub wake reader for platforms without the unix backend.
+    pub struct WakeReader;
+
+    impl WakeReader {
+        /// Always an invalid fd.
+        pub fn fd(&self) -> super::RawFd {
+            -1
+        }
+
+        /// No-op on unsupported platforms.
+        pub fn drain(&self) {}
+    }
+
+    /// Always [`io::ErrorKind::Unsupported`] off unix.
+    pub fn wake_pair() -> io::Result<(Waker, WakeReader)> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "event-driven server core requires a unix poll(2)/epoll(7) backend",
+        ))
+    }
+
+    /// No rlimit handling off Linux.
+    pub fn raise_nofile_limit() -> Option<u64> {
+        None
+    }
+}
+
+#[cfg(not(unix))]
+pub use sys_stub::{raise_nofile_limit, wake_pair, WakeReader, Waker};
+
+/// The readiness set: register fds with a token + interest, wait for
+/// events. Backend chosen at construction.
+pub enum Poller {
+    /// Linux `epoll(7)`.
+    #[cfg(target_os = "linux")]
+    Epoll(sys::Epoll),
+    /// Portable POSIX `poll(2)`.
+    #[cfg(unix)]
+    Poll(sys::PollSet),
+    /// Unsupported platform placeholder (constructor never yields this
+    /// without erroring first).
+    #[cfg(not(unix))]
+    Unsupported,
+}
+
+impl Poller {
+    /// Pick the best available backend: epoll on Linux (unless
+    /// `PQO_FORCE_POLL=1` requests the portable backend, which CI uses to
+    /// cover both), `poll(2)` on other unix.
+    pub fn new() -> io::Result<Poller> {
+        #[cfg(target_os = "linux")]
+        {
+            if std::env::var_os("PQO_FORCE_POLL").is_none_or(|v| v != "1") {
+                return Ok(Poller::Epoll(sys::Epoll::new()?));
+            }
+        }
+        #[cfg(unix)]
+        {
+            Ok(Poller::Poll(sys::PollSet::new()))
+        }
+        #[cfg(not(unix))]
+        {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "event-driven server core requires a unix poll(2)/epoll(7) backend",
+            ))
+        }
+    }
+
+    /// The backend's name, for logs and the serve banner.
+    pub fn backend(&self) -> &'static str {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(_) => "epoll",
+            #[cfg(unix)]
+            Poller::Poll(_) => "poll",
+            #[cfg(not(unix))]
+            Poller::Unsupported => "unsupported",
+        }
+    }
+
+    /// Add `fd` to the readiness set.
+    ///
+    /// # Errors
+    /// Propagates the backend's registration failure.
+    pub fn register(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(p) => p.register(fd, token, interest),
+            #[cfg(unix)]
+            Poller::Poll(p) => p.register(fd, token, interest),
+            #[cfg(not(unix))]
+            Poller::Unsupported => unsupported(),
+        }
+    }
+
+    /// Change an existing registration's interest.
+    ///
+    /// # Errors
+    /// Propagates the backend's failure (e.g. the fd is not registered).
+    pub fn modify(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(p) => p.modify(fd, token, interest),
+            #[cfg(unix)]
+            Poller::Poll(p) => p.modify(fd, token, interest),
+            #[cfg(not(unix))]
+            Poller::Unsupported => unsupported(),
+        }
+    }
+
+    /// Remove `fd` from the readiness set.
+    ///
+    /// # Errors
+    /// Propagates the backend's failure (e.g. the fd is not registered).
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(p) => p.deregister(fd),
+            #[cfg(unix)]
+            Poller::Poll(p) => p.deregister(fd),
+            #[cfg(not(unix))]
+            Poller::Unsupported => unsupported(),
+        }
+    }
+
+    /// Block until at least one fd is ready or `timeout` elapses, filling
+    /// `events`. `EINTR` returns cleanly with zero events.
+    ///
+    /// # Errors
+    /// Hard backend failures only.
+    pub fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(p) => p.wait(events, timeout),
+            #[cfg(unix)]
+            Poller::Poll(p) => p.wait(events, timeout),
+            #[cfg(not(unix))]
+            Poller::Unsupported => {
+                let _ = (events, timeout);
+                unsupported()
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn unsupported() -> io::Result<()> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "event-driven server core requires a unix poll(2)/epoll(7) backend",
+    ))
+}

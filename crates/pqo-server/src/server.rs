@@ -1,54 +1,64 @@
-//! The threaded TCP server: accept loop, per-connection workers, limits and
-//! graceful shutdown over a shared [`PqoService`].
+//! The TCP server: configuration, counters, public handles and the pure
+//! request-dispatch layer over a shared [`PqoService`]. The concurrency
+//! substrate lives in the crate-private `event_loop` module.
 //!
-//! # Threading model
+//! # Concurrency model
 //!
-//! One accept thread owns the listener; each accepted connection gets a
-//! worker thread that loops `read frame → decode → dispatch → write frame`
-//! against the shared `Arc<PqoService>`. The service's snapshot-published
-//! read path means N workers serving cache hits on one template never
-//! contend — the server adds no locks of its own around serving.
+//! One event-loop thread owns the nonblocking listener and every accepted
+//! socket, registered in a readiness set ([`crate::poller`]: `epoll` on
+//! Linux, `poll(2)` elsewhere). Per-connection state machines
+//! ([`crate::conn`]) reassemble frames from whatever fragments the socket
+//! yields and buffer writebacks; decoded frames are handed to a fixed
+//! worker pool that calls the service exactly as the former
+//! thread-per-connection workers did. An idle connection therefore costs a
+//! poll-set slot and a few hundred buffer bytes instead of a parked OS
+//! thread — the axis that lets one server hold 10k+ mostly-idle clients.
+//! The service's snapshot-published read path means N workers serving
+//! cache hits never contend — the server adds no locks of its own around
+//! serving.
 //!
 //! # Robustness
 //!
-//! * **Max connections** — an accepted connection beyond the limit receives
-//!   one [`code::BUSY`] error frame and is closed; the serving threads are
-//!   never oversubscribed.
+//! * **Max connections** — an accepted connection beyond the limit
+//!   receives one [`code::BUSY`] error frame and is closed.
 //! * **Max frame size** — a length prefix above the limit yields a
 //!   [`code::MALFORMED`] error frame and closes the connection (framing
 //!   cannot be resynchronized after an oversized announcement). A frame
 //!   that *parses* as garbage yields `MALFORMED` and the connection
 //!   survives.
-//! * **Timeouts** — reads poll at a short interval so workers notice
-//!   shutdown promptly; a connection idle beyond `read_timeout` is dropped.
-//!   Writes are bounded by `write_timeout`.
+//! * **Timeouts as deadlines** — a connection that makes no read progress
+//!   for `read_timeout` (idle, or stalled mid-frame as a slow loris) is
+//!   sent one [`code::TIMEOUT`] error frame and closed, without blocking
+//!   any other connection. A peer that stops draining its responses for
+//!   `write_timeout` is closed outright.
+//! * **Backpressure** — reads pause while a connection's write buffer or
+//!   decoded-frame queue is over its bound, so a fast sender cannot
+//!   balloon server memory.
 //!
 //! # Graceful shutdown
 //!
-//! [`PqoServer::shutdown`] (or a client `SHUTDOWN` frame) sets the flag and
-//! wakes the accept loop. The listener stops accepting, every worker exits
-//! at its next frame boundary (in-flight requests complete and their
-//! responses are written), the accept thread joins all workers, and — if a
-//! snapshot directory is configured — every template's published generation
-//! is flushed via [`pqo_core::persist::save_snapshot`] so a restart resumes
-//! warm.
+//! [`PqoServer::shutdown`] (or a client `SHUTDOWN` frame) sets the flag
+//! and wakes the loop. The listener stops admitting work (stragglers get
+//! one [`code::SHUTTING_DOWN`] frame), every decoded frame already queued
+//! is served and its response flushed, connections close at their frame
+//! boundary, the worker pool drains, and — if a snapshot directory is
+//! configured — every template's published generation is flushed via
+//! [`pqo_core::persist::save_snapshot`] so a restart resumes warm.
 
-use std::io::Write;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use pqo_core::service::PqoService;
 use pqo_core::PqoError;
 use pqo_optimizer::template::QueryInstance;
 
-use crate::wire::{
-    self, code, decode_request, encode_response, error_code, Request, Response, WireChoice,
-    WireStats,
-};
+use crate::event_loop;
+use crate::poller::{self, Waker};
+use crate::wire::{self, code, error_code, Request, Response, WireChoice, WireStats};
 
 /// Server tuning knobs. The defaults suit a loopback or LAN deployment.
 #[derive(Debug, Clone)]
@@ -59,17 +69,25 @@ pub struct ServerConfig {
     /// Concurrent connection limit; excess connections get one `BUSY`
     /// frame.
     pub max_connections: usize,
-    /// Drop a connection idle (no bytes) for this long.
+    /// Deadline on read progress: a connection that delivers no bytes for
+    /// this long (idle or mid-frame) gets a `TIMEOUT` frame and is closed.
     pub read_timeout: Duration,
-    /// Bound on blocking writes to a slow client.
+    /// Deadline on write progress to a peer that stops draining responses.
     pub write_timeout: Duration,
-    /// Poll interval for the shutdown flag while a worker waits for bytes.
+    /// Upper bound on the event loop's sleep, which paces deadline sweeps.
     pub poll_interval: Duration,
-    /// Grace period for a frame already in flight when shutdown begins.
+    /// Grace period for work already decoded when shutdown begins.
     pub shutdown_grace: Duration,
     /// Flush every template's published snapshot here on graceful shutdown
     /// (`<dir>/<template>.pqo-cache`).
     pub snapshot_dir: Option<PathBuf>,
+    /// Fixed worker pool size draining the decoded-frame queue.
+    pub workers: usize,
+    /// Per-connection cap on buffered response bytes; reads pause above it.
+    pub max_conn_buffer: usize,
+    /// Per-connection cap on decoded frames awaiting dispatch; reads pause
+    /// above it.
+    pub max_pending_frames: usize,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +100,9 @@ impl Default for ServerConfig {
             poll_interval: Duration::from_millis(50),
             shutdown_grace: Duration::from_millis(500),
             snapshot_dir: None,
+            workers: 4,
+            max_conn_buffer: 256 * 1024,
+            max_pending_frames: 32,
         }
     }
 }
@@ -90,7 +111,7 @@ impl Default for ServerConfig {
 /// summary returned by [`PqoServer::join`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServerStats {
-    /// Connections accepted into a worker.
+    /// Connections accepted into the readiness set.
     pub connections_accepted: u64,
     /// Connections turned away with a `BUSY` frame.
     pub connections_rejected_busy: u64,
@@ -106,18 +127,39 @@ pub struct ServerStats {
     pub error_frames: u64,
     /// Snapshots flushed on shutdown.
     pub snapshots_flushed: u64,
+    /// Readiness-wait returns taken by the event loop.
+    pub poll_wakeups: u64,
+    /// Connections closed for missing a read or write deadline.
+    pub timeouts: u64,
+    /// High-water mark of concurrently open connections.
+    pub peak_connections: u64,
+    /// Connections currently open (gauge).
+    pub open_connections: u64,
+    /// Decoded frames currently queued for the worker pool (gauge).
+    pub queue_depth: u64,
+    /// High-water mark of the worker-queue depth.
+    pub peak_queue_depth: u64,
+    /// Bytes currently held in per-connection buffers (gauge).
+    pub conn_buffer_bytes: u64,
 }
 
 #[derive(Default)]
-struct StatCells {
-    connections_accepted: AtomicU64,
-    connections_rejected_busy: AtomicU64,
-    frames_served: AtomicU64,
-    malformed_frames: AtomicU64,
-    plans_served: AtomicU64,
-    batch_frames: AtomicU64,
-    error_frames: AtomicU64,
-    snapshots_flushed: AtomicU64,
+pub(crate) struct StatCells {
+    pub connections_accepted: AtomicU64,
+    pub connections_rejected_busy: AtomicU64,
+    pub frames_served: AtomicU64,
+    pub malformed_frames: AtomicU64,
+    pub plans_served: AtomicU64,
+    pub batch_frames: AtomicU64,
+    pub error_frames: AtomicU64,
+    pub snapshots_flushed: AtomicU64,
+    pub poll_wakeups: AtomicU64,
+    pub timeouts: AtomicU64,
+    pub peak_connections: AtomicU64,
+    pub open_connections: AtomicU64,
+    pub queue_depth: AtomicU64,
+    pub peak_queue_depth: AtomicU64,
+    pub conn_buffer_bytes: AtomicU64,
 }
 
 impl StatCells {
@@ -131,30 +173,37 @@ impl StatCells {
             batch_frames: self.batch_frames.load(Ordering::Relaxed),
             error_frames: self.error_frames.load(Ordering::Relaxed),
             snapshots_flushed: self.snapshots_flushed.load(Ordering::Relaxed),
+            poll_wakeups: self.poll_wakeups.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            peak_connections: self.peak_connections.load(Ordering::Relaxed),
+            open_connections: self.open_connections.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
+            conn_buffer_bytes: self.conn_buffer_bytes.load(Ordering::Relaxed),
         }
     }
 }
 
-struct Shared {
-    service: Arc<PqoService>,
-    config: ServerConfig,
-    addr: SocketAddr,
-    shutdown: AtomicBool,
-    active: AtomicUsize,
-    stats: StatCells,
+pub(crate) struct Shared {
+    pub service: Arc<PqoService>,
+    pub config: ServerConfig,
+    pub addr: SocketAddr,
+    pub shutdown: AtomicBool,
+    pub stats: StatCells,
+    /// Wakes the event loop out of its readiness wait (shutdown requests
+    /// from other threads, completions from the worker pool).
+    pub waker: Waker,
 }
 
 impl Shared {
-    fn shutting_down(&self) -> bool {
+    pub(crate) fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Relaxed)
     }
 
-    /// Set the shutdown flag and wake the accept loop with a no-op
-    /// connection (the listener blocks in `accept`, std has no selectable
-    /// wakeup, and a self-connect is the portable std-only nudge).
+    /// Set the shutdown flag and nudge the event loop out of its wait.
     fn trigger_shutdown(&self) {
         if !self.shutdown.swap(true, Ordering::SeqCst) {
-            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+            self.waker.wake();
         }
     }
 }
@@ -167,7 +216,7 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
-    /// Begin graceful shutdown: stop accepting, drain workers, flush
+    /// Begin graceful shutdown: stop accepting, drain queued work, flush
     /// snapshots. Idempotent.
     pub fn shutdown(&self) {
         self.shared.trigger_shutdown();
@@ -187,38 +236,44 @@ impl ServerHandle {
 /// A running TCP front end over a shared [`PqoService`].
 pub struct PqoServer {
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    event_loop: Option<JoinHandle<()>>,
 }
 
 impl PqoServer {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
-    /// the accept loop.
+    /// the event loop plus its worker pool.
     ///
     /// # Errors
-    /// Propagates socket errors from bind/local_addr.
+    /// Propagates socket errors from bind/local_addr and wakeup-pipe
+    /// creation.
     pub fn bind(
         service: Arc<PqoService>,
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> std::io::Result<PqoServer> {
+        // Best effort: lift the soft fd limit toward the hard limit so a
+        // high max_connections is actually reachable.
+        let _ = poller::raise_nofile_limit();
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
+        let (waker, wake_rx) = poller::wake_pair()?;
         let shared = Arc::new(Shared {
             service,
             config,
             addr: local,
             shutdown: AtomicBool::new(false),
-            active: AtomicUsize::new(0),
             stats: StatCells::default(),
+            waker,
         });
-        let accept_shared = Arc::clone(&shared);
-        let accept = std::thread::Builder::new()
-            .name("pqo-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared))
-            .expect("spawn accept thread");
+        let loop_shared = Arc::clone(&shared);
+        let event_loop = std::thread::Builder::new()
+            .name("pqo-event-loop".into())
+            .spawn(move || event_loop::run(listener, wake_rx, loop_shared))
+            .expect("spawn event-loop thread");
         Ok(PqoServer {
             shared,
-            accept: Some(accept),
+            event_loop: Some(event_loop),
         })
     }
 
@@ -244,10 +299,10 @@ impl PqoServer {
         self.shared.stats.snapshot()
     }
 
-    /// Block until the server has fully shut down (accept loop exited,
+    /// Block until the server has fully shut down (event loop exited,
     /// workers drained, snapshots flushed) and return the final counters.
     pub fn join(mut self) -> ServerStats {
-        if let Some(h) = self.accept.take() {
+        if let Some(h) = self.event_loop.take() {
             let _ = h.join();
         }
         self.shared.stats.snapshot()
@@ -256,90 +311,16 @@ impl PqoServer {
 
 impl Drop for PqoServer {
     fn drop(&mut self) {
-        // A dropped server must not leak its accept thread; trigger and
+        // A dropped server must not leak its event loop; trigger and
         // detach (join() is the orderly path).
-        if self.accept.is_some() {
+        if self.event_loop.is_some() {
             self.shared.trigger_shutdown();
         }
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    let mut workers: Vec<JoinHandle<()>> = Vec::new();
-    loop {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                if shared.shutting_down() {
-                    // Wake-up connection or a straggler during drain: tell
-                    // it we are closing (best effort) and stop accepting.
-                    send_standalone_error(
-                        &stream,
-                        code::SHUTTING_DOWN,
-                        "server is shutting down",
-                        &shared,
-                    );
-                    break;
-                }
-                if shared.active.load(Ordering::Relaxed) >= shared.config.max_connections {
-                    shared
-                        .stats
-                        .connections_rejected_busy
-                        .fetch_add(1, Ordering::Relaxed);
-                    send_standalone_error(
-                        &stream,
-                        code::BUSY,
-                        "connection limit reached, retry later",
-                        &shared,
-                    );
-                    continue;
-                }
-                shared.active.fetch_add(1, Ordering::Relaxed);
-                shared
-                    .stats
-                    .connections_accepted
-                    .fetch_add(1, Ordering::Relaxed);
-                let worker_shared = Arc::clone(&shared);
-                let h = std::thread::Builder::new()
-                    .name("pqo-conn".into())
-                    .spawn(move || {
-                        serve_connection(stream, &worker_shared);
-                        worker_shared.active.fetch_sub(1, Ordering::Relaxed);
-                    })
-                    .expect("spawn connection thread");
-                workers.push(h);
-                workers.retain(|w| !w.is_finished());
-            }
-            Err(_) if shared.shutting_down() => break,
-            Err(_) => continue, // transient accept error
-        }
-    }
-    // Drain: every worker finishes its in-flight frame and exits at the
-    // next frame boundary (they observe the shutdown flag on a poll tick).
-    for w in workers {
-        let _ = w.join();
-    }
-    flush_snapshots(&shared);
-}
-
-/// One error frame on a connection that never gets a worker (busy/drain).
-fn send_standalone_error(stream: &TcpStream, code: u16, message: &str, shared: &Shared) {
-    let mut stream = stream;
-    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-    let mut body = Vec::new();
-    encode_response(
-        &Response::Error {
-            code,
-            message: message.into(),
-        },
-        &mut body,
-    );
-    shared.stats.error_frames.fetch_add(1, Ordering::Relaxed);
-    let _ = wire::write_frame(&mut stream, &body);
-    let _ = stream.flush();
-}
-
 /// Flush every template's published generation on graceful shutdown.
-fn flush_snapshots(shared: &Shared) {
+pub(crate) fn flush_snapshots(shared: &Shared) {
     let Some(dir) = &shared.config.snapshot_dir else {
         return;
     };
@@ -374,164 +355,7 @@ fn sanitize(name: &str) -> String {
         .collect()
 }
 
-/// Outcome of one polled frame read.
-enum ReadOutcome {
-    /// A complete frame body is in the buffer.
-    Frame,
-    /// Peer closed (cleanly or mid-frame) or hard I/O error — drop.
-    Closed,
-    /// Idle beyond `read_timeout` — drop.
-    IdleTimeout,
-    /// Shutdown observed at a frame boundary (or grace expired) — drain.
-    Shutdown,
-    /// Announced frame length exceeds the limit — `MALFORMED`, then drop.
-    TooLarge(u32),
-}
-
-/// Read one length-prefixed frame, polling the shutdown flag between short
-/// read timeouts so drain is prompt even under idle keep-alive clients.
-fn read_frame_polled(stream: &mut TcpStream, buf: &mut Vec<u8>, shared: &Shared) -> ReadOutcome {
-    use std::io::Read;
-
-    let cfg = &shared.config;
-    let started = Instant::now();
-    let mut header = [0u8; 4];
-    let mut got = 0usize;
-    let mut last_byte = Instant::now();
-
-    macro_rules! poll_tick {
-        ($mid_frame:expr) => {{
-            if shared.shutting_down() {
-                let boundary = !$mid_frame;
-                if boundary || started.elapsed() >= cfg.shutdown_grace {
-                    return ReadOutcome::Shutdown;
-                }
-            }
-            if last_byte.elapsed() >= cfg.read_timeout {
-                return ReadOutcome::IdleTimeout;
-            }
-        }};
-    }
-
-    while got < 4 {
-        match stream.read(&mut header[got..]) {
-            Ok(0) => return ReadOutcome::Closed,
-            Ok(n) => {
-                got += n;
-                last_byte = Instant::now();
-            }
-            Err(e) if is_timeout(&e) => poll_tick!(got > 0),
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => return ReadOutcome::Closed,
-        }
-    }
-    let len = u32::from_le_bytes(header);
-    if len > cfg.max_frame_bytes {
-        return ReadOutcome::TooLarge(len);
-    }
-    buf.clear();
-    buf.resize(len as usize, 0);
-    let mut filled = 0usize;
-    while filled < buf.len() {
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => return ReadOutcome::Closed,
-            Ok(n) => {
-                filled += n;
-                last_byte = Instant::now();
-            }
-            Err(e) if is_timeout(&e) => poll_tick!(true),
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => return ReadOutcome::Closed,
-        }
-    }
-    ReadOutcome::Frame
-}
-
-fn is_timeout(e: &std::io::Error) -> bool {
-    matches!(
-        e.kind(),
-        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-    )
-}
-
-fn serve_connection(mut stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
-    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-
-    let mut frame = Vec::new();
-    let mut out = Vec::new();
-    loop {
-        match read_frame_polled(&mut stream, &mut frame, shared) {
-            ReadOutcome::Frame => {}
-            ReadOutcome::TooLarge(len) => {
-                // Framing is lost after an oversized announcement: report
-                // and close.
-                shared
-                    .stats
-                    .malformed_frames
-                    .fetch_add(1, Ordering::Relaxed);
-                let resp = Response::Error {
-                    code: code::MALFORMED,
-                    message: format!(
-                        "frame of {len} bytes exceeds limit {}",
-                        shared.config.max_frame_bytes
-                    ),
-                };
-                let _ = respond(&mut stream, &resp, &mut out, shared);
-                return;
-            }
-            ReadOutcome::Closed | ReadOutcome::IdleTimeout | ReadOutcome::Shutdown => return,
-        }
-
-        shared.stats.frames_served.fetch_add(1, Ordering::Relaxed);
-        let resp = match decode_request(&frame) {
-            Err(e) => {
-                // Malformed body inside a well-framed message: report and
-                // keep the connection — the stream is still in sync.
-                shared
-                    .stats
-                    .malformed_frames
-                    .fetch_add(1, Ordering::Relaxed);
-                Response::Error {
-                    code: code::MALFORMED,
-                    message: e.0,
-                }
-            }
-            Ok(req) => {
-                let is_shutdown = matches!(req, Request::Shutdown);
-                let resp = dispatch(req, shared);
-                if respond(&mut stream, &resp, &mut out, shared).is_err() {
-                    return;
-                }
-                if is_shutdown && matches!(resp, Response::ShutdownOk) {
-                    shared.trigger_shutdown();
-                    return;
-                }
-                continue;
-            }
-        };
-        if respond(&mut stream, &resp, &mut out, shared).is_err() {
-            return;
-        }
-    }
-}
-
-fn respond(
-    stream: &mut TcpStream,
-    resp: &Response,
-    out: &mut Vec<u8>,
-    shared: &Shared,
-) -> std::io::Result<()> {
-    if matches!(resp, Response::Error { .. }) {
-        shared.stats.error_frames.fetch_add(1, Ordering::Relaxed);
-    }
-    encode_response(resp, out);
-    wire::write_frame(stream, out)?;
-    stream.flush()
-}
-
-fn dispatch(req: Request, shared: &Shared) -> Response {
+pub(crate) fn dispatch(req: Request, shared: &Shared) -> Response {
     match req {
         Request::Hello { version } => {
             if version != wire::PROTOCOL_VERSION {
@@ -587,6 +411,11 @@ fn pqo_error_frame(e: &PqoError) -> Response {
 
 /// Validate raw wire values against the registered template *before* the
 /// serving path (whose `compute_svector` asserts arity) can be reached.
+///
+/// The `Err` arm carries a full [`Response`] (whose largest variant is the
+/// 19-field STATS_OK payload) so it can be encoded directly; the frames are
+/// built once per request, so the size is irrelevant.
+#[allow(clippy::result_large_err)]
 fn validated_instance(
     shared: &Shared,
     template: &str,
@@ -615,6 +444,7 @@ fn validated_instance(
     Ok(QueryInstance::new(values))
 }
 
+#[allow(clippy::result_large_err)]
 fn serve_one(shared: &Shared, template: &str, values: Vec<f64>) -> Result<WireChoice, Response> {
     let inst = validated_instance(shared, template, values)?;
     let choice = shared
@@ -627,6 +457,7 @@ fn serve_one(shared: &Shared, template: &str, values: Vec<f64>) -> Result<WireCh
     })
 }
 
+#[allow(clippy::result_large_err)]
 fn serve_batch(
     shared: &Shared,
     template: &str,
@@ -652,6 +483,7 @@ fn serve_batch(
 fn gather_stats(shared: &Shared, template: &str) -> Result<WireStats, PqoError> {
     let snapshot = shared.service.snapshot(template)?;
     let s = snapshot.stats();
+    let srv = &shared.stats;
     Ok(WireStats {
         num_plans: snapshot.cache().num_plans() as u64,
         num_instances: snapshot.cache().num_instances() as u64,
@@ -666,5 +498,11 @@ fn gather_stats(shared: &Shared, template: &str) -> Result<WireStats, PqoError> 
         batches_served: s.batches_served,
         batch_instances: s.batch_instances,
         max_batch_size: s.max_batch_size,
+        open_connections: srv.open_connections.load(Ordering::Relaxed),
+        peak_connections: srv.peak_connections.load(Ordering::Relaxed),
+        conn_buffer_bytes: srv.conn_buffer_bytes.load(Ordering::Relaxed),
+        queue_depth: srv.queue_depth.load(Ordering::Relaxed),
+        peak_queue_depth: srv.peak_queue_depth.load(Ordering::Relaxed),
+        workers: shared.config.workers as u64,
     })
 }

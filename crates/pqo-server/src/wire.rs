@@ -32,7 +32,10 @@ use std::io::{self, Read, Write};
 use pqo_optimizer::error::PqoError;
 
 /// Wire protocol version, carried in the `HELLO` handshake.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// v2: `STATS_OK` grew six server-wide fields (connection / queue-depth /
+/// buffer gauges) and the [`code::TIMEOUT`] error code was published.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Default upper bound on one frame's body, enforced by server and client.
 pub const DEFAULT_MAX_FRAME_BYTES: u32 = 1 << 20;
@@ -78,6 +81,9 @@ pub mod code {
     pub const UNSUPPORTED_VERSION: u16 = 3;
     /// The server is draining for shutdown and no longer accepts work.
     pub const SHUTTING_DOWN: u16 = 4;
+    /// The connection sat past its read deadline (idle, or mid-frame as a
+    /// slow-loris) and is being closed.
+    pub const TIMEOUT: u16 = 5;
 
     /// [`PqoError::UnknownTemplate`].
     pub const UNKNOWN_TEMPLATE: u16 = 16;
@@ -184,6 +190,18 @@ pub struct WireStats {
     pub batch_instances: u64,
     /// Largest single batch served.
     pub max_batch_size: u64,
+    /// Connections currently open on the server (gauge).
+    pub open_connections: u64,
+    /// High-water mark of concurrently open connections.
+    pub peak_connections: u64,
+    /// Bytes currently held in per-connection read/write buffers (gauge).
+    pub conn_buffer_bytes: u64,
+    /// Decoded frames currently queued for the worker pool (gauge).
+    pub queue_depth: u64,
+    /// High-water mark of the worker queue depth.
+    pub peak_queue_depth: u64,
+    /// Size of the server's worker pool.
+    pub workers: u64,
 }
 
 /// A server → client message.
@@ -338,7 +356,7 @@ fn put_choice(out: &mut Vec<u8>, c: &WireChoice) {
 
 /// The `STATS_OK` payload field order — one place, shared by the encoder
 /// and decoder so they cannot drift.
-fn stats_fields(s: &WireStats) -> [u64; 13] {
+fn stats_fields(s: &WireStats) -> [u64; 19] {
     [
         s.num_plans,
         s.num_instances,
@@ -353,10 +371,16 @@ fn stats_fields(s: &WireStats) -> [u64; 13] {
         s.batches_served,
         s.batch_instances,
         s.max_batch_size,
+        s.open_connections,
+        s.peak_connections,
+        s.conn_buffer_bytes,
+        s.queue_depth,
+        s.peak_queue_depth,
+        s.workers,
     ]
 }
 
-fn stats_from_fields(f: [u64; 13]) -> WireStats {
+fn stats_from_fields(f: [u64; 19]) -> WireStats {
     WireStats {
         num_plans: f[0],
         num_instances: f[1],
@@ -371,6 +395,12 @@ fn stats_from_fields(f: [u64; 13]) -> WireStats {
         batches_served: f[10],
         batch_instances: f[11],
         max_batch_size: f[12],
+        open_connections: f[13],
+        peak_connections: f[14],
+        conn_buffer_bytes: f[15],
+        queue_depth: f[16],
+        peak_queue_depth: f[17],
+        workers: f[18],
     }
 }
 
@@ -533,7 +563,7 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
             c.finish(Response::PlanBatch(choices))
         }
         opcode::STATS_OK => {
-            let mut f = [0u64; 13];
+            let mut f = [0u64; 19];
             for slot in &mut f {
                 *slot = c.u64()?;
             }
@@ -740,6 +770,7 @@ mod tests {
         assert_eq!(code::BUSY, 2);
         assert_eq!(code::UNSUPPORTED_VERSION, 3);
         assert_eq!(code::SHUTTING_DOWN, 4);
+        assert_eq!(code::TIMEOUT, 5);
         let cases = [
             (
                 PqoError::UnknownTemplate { name: "x".into() },

@@ -366,3 +366,63 @@ fn idle_connections_are_dropped() {
     server.shutdown();
     server.join();
 }
+
+/// Slow-loris coverage: a client that announces a frame and then stalls
+/// mid-body must be deadlined out with the `TIMEOUT` error code — while
+/// other connections keep being served the whole time (a per-connection
+/// deadline, not a loop stall).
+#[test]
+fn slow_loris_is_deadlined_without_stalling_others() {
+    let id = "tpch_skew_A_d2";
+    let service = fresh_service(&[id]);
+    let config = ServerConfig {
+        read_timeout: Duration::from_millis(400),
+        poll_interval: Duration::from_millis(50),
+        ..ServerConfig::default()
+    };
+    let server = PqoServer::bind(service, "127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr();
+
+    // The loris: a valid 20-byte announcement plus one body byte, then
+    // silence — the connection is forever mid-frame.
+    let mut loris = TcpStream::connect(addr).unwrap();
+    loris
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    loris.write_all(&20u32.to_le_bytes()).unwrap();
+    loris.write_all(&[wire::opcode::GET_PLAN]).unwrap();
+    loris.flush().unwrap();
+
+    // While the loris stalls, a healthy connection is served throughout.
+    let mut client = PqoClient::connect(addr).expect("healthy client connects");
+    for _ in 0..20 {
+        client
+            .get_plan(id, &[50_000.0, 900.0])
+            .expect("served while the loris stalls");
+    }
+
+    // The loris is evicted with one TIMEOUT frame, then EOF.
+    let mut frame = Vec::new();
+    assert!(wire::read_frame(&mut loris, 4096, &mut frame).unwrap());
+    match decode_response(&frame).unwrap() {
+        Response::Error { code: c, message } => {
+            assert_eq!(c, code::TIMEOUT, "loris must get the TIMEOUT code");
+            assert!(message.contains("mid-frame"), "{message}");
+        }
+        other => panic!("loris got {other:?}"),
+    }
+    assert!(
+        !wire::read_frame(&mut loris, 4096, &mut frame).unwrap_or(false),
+        "connection must close after the TIMEOUT frame"
+    );
+
+    // The server is still healthy for new connections afterwards.
+    let mut after = PqoClient::connect(addr).expect("post-loris client connects");
+    after
+        .get_plan(id, &[50_000.0, 900.0])
+        .expect("still served");
+
+    server.shutdown();
+    let summary = server.join();
+    assert!(summary.timeouts >= 1, "timeout must be counted");
+}

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Microbench regression gate.
+#
+# Runs the headline throughput benches in quick (smoke) mode — each closure
+# executes once, so a full gate pass stays under a minute — takes the best
+# elements/second over $PQO_BENCH_RUNS runs per metric, writes the results
+# to BENCH_<date>.json, and fails if any headline metric lands below
+# 75% of the committed baseline (scripts/bench_baseline.json).
+#
+# Usage:
+#   scripts/bench_gate.sh                       gate against the baseline
+#   PQO_BENCH_RUNS=5 scripts/bench_gate.sh      more runs, less noise
+#   PQO_BENCH_WRITE_BASELINE=1 scripts/bench_gate.sh
+#                                               refresh scripts/bench_baseline.json
+#                                               from this machine's numbers
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+runs="${PQO_BENCH_RUNS:-3}"
+baseline="${PQO_BENCH_BASELINE:-scripts/bench_baseline.json}"
+out="BENCH_$(date +%Y%m%d).json"
+
+benches=(service_throughput batch_throughput net_throughput)
+# "<bench label>:<metric key>" — the headline metrics the gate tracks.
+headline=(
+    "service_throughput/get_plan_readmostly/8_threads:read_mostly_eps"
+    "batch_throughput/get_plan_batch32/8_threads:batch_eps"
+    "net_throughput/get_plan/8_threads:net_eps"
+    "net_throughput/get_plan_batch32/8_threads:net_batch_eps"
+)
+
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+
+echo "bench gate: ${runs} quick run(s) of: ${benches[*]}"
+cargo build --release --offline -p pqo-bench --benches >/dev/null
+
+for ((i = 1; i <= runs; i++)); do
+    for b in "${benches[@]}"; do
+        # `cargo test --bench` executes the harness=false binary with no
+        # --bench flag, which selects the single-shot quick mode.
+        cargo test --release -q --offline -p pqo-bench --bench "$b" >>"$log"
+    done
+done
+
+json_metrics=""
+fail=0
+for entry in "${headline[@]}"; do
+    label="${entry%%:*}"
+    key="${entry##*:}"
+    best="$(awk -v lbl="$label" '
+        $1 == lbl { for (i = 2; i <= NF; i++) if ($i == "elem/s" && $(i-1) > best) best = $(i-1) }
+        END { printf "%.0f", best }' "$log")"
+    if [ -z "$best" ] || [ "$best" = "0" ]; then
+        echo "bench gate: FAIL — no elem/s output for ${label}" >&2
+        exit 1
+    fi
+    json_metrics="${json_metrics}    \"${key}\": ${best},\n"
+
+    base=""
+    if [ -f "$baseline" ]; then
+        base="$(sed -n 's/.*"'"$key"'":[[:space:]]*\([0-9][0-9.]*\).*/\1/p' "$baseline" | head -n1)"
+    fi
+    if [ -n "${PQO_BENCH_WRITE_BASELINE:-}" ] || [ -z "$base" ]; then
+        printf '%-52s %12s elem/s  (no baseline)\n' "$label" "$best"
+        continue
+    fi
+    verdict="$(awk -v cur="$best" -v base="$base" \
+        'BEGIN { print (cur + 0 < 0.75 * base) ? "REGRESSED" : "ok" }')"
+    printf '%-52s %12s elem/s  vs baseline %12s  %s\n' "$label" "$best" "$base" "$verdict"
+    if [ "$verdict" = "REGRESSED" ]; then
+        fail=1
+    fi
+done
+
+{
+    echo "{"
+    echo "  \"date\": \"$(date +%Y-%m-%d)\","
+    echo "  \"mode\": \"quick\","
+    echo "  \"runs\": ${runs},"
+    echo "  \"metrics\": {"
+    printf '%b' "$json_metrics" | sed '$s/,$//'
+    echo "  }"
+    echo "}"
+} >"$out"
+echo "bench gate: wrote ${out}"
+
+if [ -n "${PQO_BENCH_WRITE_BASELINE:-}" ]; then
+    {
+        echo "{"
+        printf '%b' "$json_metrics" | sed '$s/,$//' | sed 's/^    /  /'
+        echo "}"
+    } >"$baseline"
+    echo "bench gate: refreshed baseline ${baseline}"
+    exit 0
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "bench gate: FAIL — headline metric regressed more than 25% vs ${baseline}" >&2
+    exit 1
+fi
+echo "bench gate: ok (all headline metrics within 25% of baseline)"

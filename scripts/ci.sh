@@ -1,8 +1,27 @@
 #!/usr/bin/env bash
 # Local CI gate: everything runs offline against the vendored workspace.
 # Usage: scripts/ci.sh
+#   PQO_BENCH_GATE=1 scripts/ci.sh   additionally runs the bench regression
+#                                    gate (scripts/bench_gate.sh)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Every background server/client pid is recorded here so the EXIT trap can
+# reap it. Without this, a client panic between launch and `--op shutdown`
+# would orphan the server and wedge the next CI run on the same port.
+net_tmp=""
+hc_tmp=""
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do
+        if [ -n "$pid" ]; then
+            kill "$pid" 2>/dev/null || true
+        fi
+    done
+    if [ -n "$net_tmp" ]; then rm -rf "$net_tmp"; fi
+    if [ -n "$hc_tmp" ]; then rm -rf "$hc_tmp"; fi
+}
+trap cleanup EXIT
 
 echo "==> cargo build --release (all targets)"
 cargo build --release --offline --workspace --all-targets
@@ -23,11 +42,11 @@ echo "==> network serving smoke (loopback server + client oracle diff)"
 # diffs every wire decision against an in-process SCR oracle), then
 # exercise graceful shutdown and verify the cache snapshot was flushed.
 net_tmp="$(mktemp -d)"
-trap 'rm -rf "$net_tmp"' EXIT
 ./target/release/pqo serve --listen 127.0.0.1:0 \
     --template tpch_skew_A_d2 --snapshot-dir "$net_tmp" \
     > "$net_tmp/server.log" 2>&1 &
 net_pid=$!
+pids+=("$net_pid")
 addr=""
 for _ in $(seq 1 100); do
     addr="$(sed -n 's/^listening on //p' "$net_tmp/server.log")"
@@ -44,6 +63,60 @@ wait "$net_pid"
     || { echo "graceful shutdown did not flush the cache snapshot"; exit 1; }
 grep -q "snapshots flushed   : 1" "$net_tmp/server.log" \
     || { echo "server exit summary missing snapshot flush"; cat "$net_tmp/server.log"; exit 1; }
+
+echo "==> high-connection smoke (256 idle + 8 active checked clients)"
+# The event-loop core must keep serving while hundreds of idle sockets sit
+# in the readiness set: hold 256 raw idle connections, then run 8 oracle-
+# checked clients (one per template) through the same server, and verify
+# graceful shutdown still flushes every snapshot.
+hc_tmp="$(mktemp -d)"
+hc_ids="tpch_skew_A_d2,tpch_skew_B_d2,tpch_skew_C_d2,tpch_skew_D_d2,tpch_skew_F_d2,tpcds_V_d2,tpcds_G_d2,tpcds_G_d3"
+./target/release/pqo serve --listen 127.0.0.1:0 \
+    --template "$hc_ids" --snapshot-dir "$hc_tmp" \
+    --max-conns 300 --workers 2 \
+    > "$hc_tmp/server.log" 2>&1 &
+hc_pid=$!
+pids+=("$hc_pid")
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening on //p' "$hc_tmp/server.log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "hc server never reported its address"; cat "$hc_tmp/server.log"; exit 1; }
+./target/release/pqo client --connect "$addr" --op idle \
+    --conns 256 --hold-ms 120000 > "$hc_tmp/idle.log" 2>&1 &
+idle_pid=$!
+pids+=("$idle_pid")
+for _ in $(seq 1 100); do
+    grep -q "holding 256 idle connections" "$hc_tmp/idle.log" && break
+    sleep 0.1
+done
+grep -q "holding 256 idle connections" "$hc_tmp/idle.log" \
+    || { echo "idle holder never connected"; cat "$hc_tmp/idle.log"; exit 1; }
+for id in ${hc_ids//,/ }; do
+    ./target/release/pqo client --connect "$addr" \
+        --template "$id" --m 120 --batch 4 --check true \
+        | grep "oracle check        : OK" \
+        || { echo "oracle check failed for $id under idle load"; exit 1; }
+done
+./target/release/pqo client --connect "$addr" --op shutdown
+wait "$hc_pid"
+kill "$idle_pid" 2>/dev/null || true
+for id in ${hc_ids//,/ }; do
+    [ -s "$hc_tmp/$id.pqo-cache" ] \
+        || { echo "snapshot missing for $id after graceful drain"; exit 1; }
+done
+grep -q "snapshots flushed   : 8" "$hc_tmp/server.log" \
+    || { echo "hc exit summary missing snapshot flushes"; cat "$hc_tmp/server.log"; exit 1; }
+hc_peak="$(sed -n 's/^peak connections    : //p' "$hc_tmp/server.log")"
+[ -n "$hc_peak" ] && [ "$hc_peak" -ge 257 ] \
+    || { echo "peak connections ${hc_peak:-?} < 257: idle sockets not held"; cat "$hc_tmp/server.log"; exit 1; }
+
+if [ -n "${PQO_BENCH_GATE:-}" ]; then
+    echo "==> bench regression gate"
+    scripts/bench_gate.sh
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
