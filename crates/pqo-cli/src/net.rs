@@ -137,6 +137,10 @@ pub fn serve_listen(args: &Args, listen: &str) -> Result<(), String> {
         println!("batch instances     : {}", s.batch_instances);
         println!("max batch size      : {}", s.max_batch_size);
         println!("snapshot re-loads   : {}", s.snapshot_reloads);
+        println!("snapshot publishes  : {}", s.publishes);
+        println!("publish nanos       : {}", s.publish_nanos);
+        println!("index shard rebuilds: {}", s.index_shard_rebuilds);
+        println!("index points rebuilt: {}", s.index_points_rebuilt);
     }
     Ok(())
 }
@@ -187,6 +191,10 @@ pub fn client_cmd(args: &Args) -> Result<(), String> {
             println!("batch instances     : {}", s.batch_instances);
             println!("max batch size      : {}", s.max_batch_size);
             println!("snapshot re-loads   : {}", s.snapshot_reloads);
+            println!("snapshot publishes  : {}", s.publishes);
+            println!("publish nanos       : {}", s.publish_nanos);
+            println!("index shard rebuilds: {}", s.index_shard_rebuilds);
+            println!("index points rebuilt: {}", s.index_points_rebuilt);
             println!("open connections    : {}", s.open_connections);
             println!("peak connections    : {}", s.peak_connections);
             println!("conn buffer bytes   : {}", s.conn_buffer_bytes);

@@ -22,7 +22,7 @@ use pqo_optimizer::plan::{Plan, PlanFingerprint};
 use pqo_optimizer::recost::PreparedRecost;
 use pqo_optimizer::svector::SVector;
 
-use crate::spatial::LogSelIndex;
+use crate::spatial::ShardedLogSelIndex;
 
 /// One entry of the instance list — the paper's 5-tuple.
 ///
@@ -193,13 +193,16 @@ pub struct MemoryBreakdown {
 /// and the entry *pointers*, so the interior-mutable counters (`U`, the
 /// violation flag) keep a single identity across every published snapshot —
 /// a reader bumping usage through an old snapshot is still visible to the
-/// writer's LFU policy. Only the spatial index is deep-cloned.
+/// writer's LFU policy. The spatial index is sharded behind `Arc`s
+/// ([`ShardedLogSelIndex`]): cloning copies shard *pointers*, and the
+/// writer's next mutation deep-copies only the shard it touches — so
+/// consecutive snapshot generations share every untouched shard.
 #[derive(Debug, Default, Clone)]
 pub struct PlanCache {
     plans: HashMap<PlanFingerprint, Arc<CachedPlan>>,
     instances: Vec<Arc<InstanceEntry>>,
     max_plans: usize,
-    index: Option<LogSelIndex>,
+    index: Option<ShardedLogSelIndex>,
 }
 
 impl PlanCache {
@@ -287,9 +290,16 @@ impl PlanCache {
         );
         let idx = self.instances.len();
         self.index
-            .get_or_insert_with(|| LogSelIndex::new(entry.svector.len()))
+            .get_or_insert_with(|| ShardedLogSelIndex::new(entry.svector.len()))
             .insert(&entry.svector.0, idx);
         self.instances.push(entry);
+    }
+
+    /// The spatial index, if any instance has been inserted. Exposes the
+    /// writer's cumulative rebuild counters and (for tests) the per-shard
+    /// storage identity tokens.
+    pub fn spatial_index(&self) -> Option<&ShardedLogSelIndex> {
+        self.index.as_ref()
     }
 
     /// Instance entries within L1 log-selectivity distance `radius` of

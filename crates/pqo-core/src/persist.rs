@@ -305,6 +305,29 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_restores_equivalent_spatial_index() {
+        // The on-disk format carries no index; restore rebuilds the sharded
+        // index by re-insertion. Its query streams (values and tie order)
+        // must be bitwise-identical to the original writer's.
+        let t = fixture();
+        let (scr, _) = warmed(&t, 60);
+        let mut buf = Vec::new();
+        save(&scr, &mut buf).unwrap();
+        let restored = restore(ScrConfig::new(1.5).unwrap(), &mut buf.as_slice()).unwrap();
+        let a = scr.cache().spatial_index().expect("warmed index");
+        let b = restored.cache().spatial_index().expect("restored index");
+        assert_eq!(a.len(), b.len());
+        let bits = |v: Vec<(f64, usize)>| -> Vec<(u64, usize)> {
+            v.into_iter().map(|(d, i)| (d.to_bits(), i)).collect()
+        };
+        for i in 0..12 {
+            let q = [0.03 + 0.08 * i as f64, 0.3];
+            assert_eq!(bits(a.nearest(&q, 5)), bits(b.nearest(&q, 5)));
+            assert_eq!(bits(a.within(&q, 1.2)), bits(b.within(&q, 1.2)));
+        }
+    }
+
+    #[test]
     fn restored_cache_serves_without_reoptimizing() {
         let t = fixture();
         let (scr, _) = warmed(&t, 40);

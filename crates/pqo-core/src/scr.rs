@@ -236,6 +236,16 @@ pub struct ScrStats {
     pub batch_instances: u64,
     /// Largest single batch served.
     pub max_batch_size: u64,
+    /// Spatial-index shard rebuilds performed by the writer (cumulative).
+    pub index_shard_rebuilds: u64,
+    /// Total points re-inserted across those shard rebuilds — the writer's
+    /// incremental index-maintenance cost, O(n/shards) per rebuild.
+    pub index_points_rebuilt: u64,
+    /// Snapshot generations published by the writer.
+    pub publishes: u64,
+    /// Cumulative nanoseconds spent capturing + installing published
+    /// generations (the cost the sharded index keeps at O(n/shards)).
+    pub publish_nanos: u64,
 }
 
 /// The live (atomic) form of [`ScrStats`]. Counters bumped on the read path
@@ -260,6 +270,10 @@ pub(crate) struct ScrStatCells {
     batches_served: AtomicU64,
     batch_instances: AtomicU64,
     max_batch_size: AtomicU64,
+    index_shard_rebuilds: AtomicU64,
+    index_points_rebuilt: AtomicU64,
+    publishes: AtomicU64,
+    publish_nanos: AtomicU64,
 }
 
 impl ScrStatCells {
@@ -283,6 +297,22 @@ impl ScrStatCells {
         Self::bump(&self.snapshot_reloads);
     }
 
+    /// Writer-side sync of the spatial index's cumulative rebuild counters
+    /// (the index owns plain `u64`s; the writer mirrors them here after
+    /// every structural mutation).
+    pub(crate) fn sync_index_stats(&self, shard_rebuilds: u64, points_rebuilt: u64) {
+        self.index_shard_rebuilds
+            .store(shard_rebuilds, Ordering::Relaxed);
+        self.index_points_rebuilt
+            .store(points_rebuilt, Ordering::Relaxed);
+    }
+
+    /// One snapshot publication that took `nanos` to capture + install.
+    pub(crate) fn record_publish(&self, nanos: u64) {
+        Self::bump(&self.publishes);
+        Self::add(&self.publish_nanos, nanos);
+    }
+
     pub(crate) fn snapshot(&self) -> ScrStats {
         ScrStats {
             selectivity_hits: self.selectivity_hits.load(Ordering::Relaxed),
@@ -300,6 +330,10 @@ impl ScrStatCells {
             batches_served: self.batches_served.load(Ordering::Relaxed),
             batch_instances: self.batch_instances.load(Ordering::Relaxed),
             max_batch_size: self.max_batch_size.load(Ordering::Relaxed),
+            index_shard_rebuilds: self.index_shard_rebuilds.load(Ordering::Relaxed),
+            index_points_rebuilt: self.index_points_rebuilt.load(Ordering::Relaxed),
+            publishes: self.publishes.load(Ordering::Relaxed),
+            publish_nanos: self.publish_nanos.load(Ordering::Relaxed),
         }
     }
 }
@@ -623,6 +657,16 @@ impl Scr {
     pub fn evict_plan(&mut self, fp: PlanFingerprint) {
         self.cache.drop_plan(fp);
         ScrStatCells::bump(&self.stats.budget_evictions);
+        self.sync_index_stats();
+    }
+
+    /// Mirror the spatial index's cumulative rebuild counters into the
+    /// shared stat cells (called after every structural cache mutation).
+    fn sync_index_stats(&self) {
+        if let Some(ix) = self.cache.spatial_index() {
+            let (rebuilds, points) = ix.rebuild_stats();
+            self.stats.sync_index_stats(rebuilds, points);
+        }
     }
 
     /// The dynamic-λ accumulators `(Σ log C, optimized count)` — persisted
@@ -656,6 +700,7 @@ impl Scr {
         }
         scr.log_cost_sum = log_cost_sum;
         scr.opt_count = opt_count;
+        scr.sync_index_stats();
         debug_assert!(scr.cache.check_invariants().is_ok());
         Ok(scr)
     }
@@ -742,6 +787,7 @@ impl Scr {
         let mut scratch = std::mem::take(&mut self.scratch);
         self.manage_cache(sv, opt, engine, &mut scratch);
         self.scratch = scratch;
+        self.sync_index_stats();
     }
 
     /// `manageCache` (Algorithm 2).

@@ -17,9 +17,13 @@
 //! * [`CacheWriter`] — the writer side: it owns the canonical [`Scr`] and
 //!   applies `manageCache` / evictions against it, then publishes the next
 //!   snapshot. Publishing clones the cache *shallowly* (`Arc`-shared plans
-//!   and instance entries; only the k-d index is deep-copied) — O(n)
-//!   pointer work on the already-expensive optimizer-call path, never on a
-//!   reader.
+//!   and instance entries; the spatial index is a
+//!   [`crate::spatial::ShardedLogSelIndex`], so cloning it copies shard
+//!   pointers and only the shard the writer touches next is deep-copied
+//!   via `Arc::make_mut` — untouched shards stay `Arc::ptr_eq` across
+//!   consecutive generations and publish cost is O(n/shards) amortized).
+//!   Each publication is timed into the `publishes`/`publish_nanos`
+//!   counters of [`crate::scr::ScrStats`].
 //! * [`SnapshotCell`] — the `ArcCell`-style publication point: a
 //!   `Mutex<Arc<CacheSnapshot>>` whose `load()` clones the `Arc` under a
 //!   lock held for a few instructions. It is lock-free in practice: the
@@ -219,8 +223,18 @@ impl CacheWriter {
         let before = self.scr.cache().num_plans();
         self.scr.manage_cache_entry(sv, opt, engine);
         let after = self.scr.cache().num_plans();
-        cell.store(Arc::new(CacheSnapshot::capture(&self.scr)));
+        self.publish(cell);
         (before, after)
+    }
+
+    /// Capture + install the next generation, timing it into the shared
+    /// `publishes`/`publish_nanos` counters.
+    fn publish(&self, cell: &SnapshotCell) {
+        let t0 = std::time::Instant::now();
+        cell.store(Arc::new(CacheSnapshot::capture(&self.scr)));
+        self.scr
+            .stat_cells()
+            .record_publish(t0.elapsed().as_nanos() as u64);
     }
 
     /// Evict one plan (global-budget victim), then publish the resulting
@@ -231,7 +245,7 @@ impl CacheWriter {
             self.scr.evict_plan(fp);
         }
         let after = self.scr.cache().num_plans();
-        cell.store(Arc::new(CacheSnapshot::capture(&self.scr)));
+        self.publish(cell);
         (before, after)
     }
 }
@@ -345,6 +359,73 @@ mod tests {
                 "generation {gen} became inconsistent after eviction"
             );
         }
+    }
+
+    #[test]
+    fn consecutive_generations_share_untouched_index_shards() {
+        let t = fixture_template("snap_share");
+        let engine = QueryEngine::new(std::sync::Arc::clone(&t));
+        let mut cfg = ScrConfig::new(1.02).unwrap();
+        cfg.lambda_r = 0.0;
+        let (mut writer, first) = CacheWriter::new(Scr::with_config(cfg).unwrap());
+        let cell = SnapshotCell::new(first);
+        // Seed enough instances that several shards hold points.
+        for i in 0..60 {
+            let target = [
+                0.02 + 0.015 * (i % 31) as f64,
+                0.03 + 0.013 * ((i * 7) % 29) as f64,
+            ];
+            let inst = instance_for_target(&t, &target);
+            let sv = compute_svector(&t, &inst);
+            if cell.load().try_cached_plan(&sv, &engine).is_none() {
+                let opt = engine.optimize(&sv);
+                writer.manage_cache_entry(&sv, opt, &engine, &cell);
+            }
+        }
+        let publishes_before = cell.load().stats().publishes;
+
+        // A publication with no index mutation (evicting a plan that is no
+        // longer cached) must share *every* shard with the previous
+        // generation.
+        let fp = cell
+            .load()
+            .cache()
+            .plans()
+            .map(|p| p.fingerprint())
+            .min()
+            .expect("seeded cache has plans");
+        writer.evict_plan(fp, &cell);
+        let gen_a = cell.load();
+        writer.evict_plan(fp, &cell); // already gone: publish only
+        let gen_b = cell.load();
+        let tokens_a = gen_a.cache().spatial_index().unwrap().shard_tokens();
+        let tokens_b = gen_b.cache().spatial_index().unwrap().shard_tokens();
+        assert_eq!(
+            tokens_a, tokens_b,
+            "a mutation-free publication must share all shards"
+        );
+
+        // One fresh insert must replace exactly the shard that absorbed it.
+        let inst = instance_for_target(&t, &[0.91, 0.87]);
+        let sv = compute_svector(&t, &inst);
+        let opt = engine.optimize(&sv);
+        writer.manage_cache_entry(&sv, opt, &engine, &cell);
+        let gen_c = cell.load();
+        let tokens_c = gen_c.cache().spatial_index().unwrap().shard_tokens();
+        let changed = tokens_b
+            .iter()
+            .zip(&tokens_c)
+            .filter(|(b, c)| b != c)
+            .count();
+        assert_eq!(
+            changed, 1,
+            "one insert must deep-copy exactly one shard (got {changed})"
+        );
+
+        // Publication cost counters advanced with each publish.
+        let stats = gen_c.stats();
+        assert_eq!(stats.publishes, publishes_before + 3);
+        assert!(stats.publishes > 0 && stats.publish_nanos > 0);
     }
 
     #[test]

@@ -15,9 +15,55 @@
 //! so **G·L is the exponential of the L1 distance in log-selectivity
 //! space**. "Smallest G·L first" is exactly a nearest-neighbour walk under
 //! the L1 metric, and "selectivity check can pass" is an L1 ball of radius
-//! `ln(λ/S)`. This module provides a k-d tree over log-selectivity points
-//! with incremental insertion (amortized by rebuilding when the pending
-//! buffer outgrows the tree) and best-first nearest-neighbour traversal.
+//! `ln(λ/S)`.
+//!
+//! Two layers live here:
+//!
+//! * [`KdArena`]/[`LogSelIndex`] — a k-d tree flattened into a postorder
+//!   arena (same style as the plan arena in `pqo-optimizer::plan`): one
+//!   `Vec` of fixed-size nodes, coordinates in a flat stride-`dims` buffer,
+//!   iterative build and traversal with explicit stacks, so a degenerate
+//!   point distribution can never blow the thread stack. Insertions are
+//!   buffered and the tree is rebuilt (perfectly balanced, via
+//!   `select_nth_unstable_by` median partitioning) when the buffer outgrows
+//!   the tree — amortized O(log n) structure without incremental
+//!   rebalancing.
+//! * [`ShardedLogSelIndex`] — partitions points over log-selectivity
+//!   subregions (bands of the coordinate sum `Σi ln si`), each shard behind
+//!   an `Arc`. `Clone` is O(shards) pointer bumps; a writer's insert uses
+//!   `Arc::make_mut`, so only the shard that absorbed a point since the
+//!   last publication is deep-copied — published `CacheSnapshot`
+//!   generations share every untouched shard (`Arc::ptr_eq` across
+//!   generations), dropping publish cost from O(n) to O(n/shards)
+//!   amortized.
+//!
+//! **Canonical-output invariant.** `within` returns every point inside the
+//! ball sorted by `(distance, item)`; `nearest` returns exactly the k
+//! smallest under the same lexicographic order (its far-side prune uses
+//! `<=` against the current worst, so boundary ties are always visited).
+//! Both outputs are pure functions of the point *multiset* — independent of
+//! tree shape, shard partitioning, or visit order — which is what lets the
+//! sharded index stay byte-identical to the unsharded oracle and keeps the
+//! SCR decision stream unchanged.
+//!
+//! Comparisons use `f64::total_cmp` throughout: a pathological selectivity
+//! (NaN/∞ from a hostile client or a histogram bug) degrades gracefully
+//! instead of panicking the writer, matching the wire decoder's
+//! never-panic discipline. (`to_log` additionally clamps into
+//! `[MIN_POSITIVE, MAX]`, so stored coordinates are always finite and L1
+//! distances can never be NaN.)
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Default shard count for [`ShardedLogSelIndex`].
+const SHARD_COUNT: usize = 8;
+
+/// Width (in log-selectivity units) of one router band: points are
+/// assigned to shards by `floor(Σi ln si / BAND_WIDTH) mod shards`, so
+/// nearby instances (small G·L) tend to land in the same shard.
+const BAND_WIDTH: f64 = 2.0;
 
 /// A point in log-selectivity space with its instance-list index.
 #[derive(Debug, Clone)]
@@ -26,31 +72,390 @@ struct Point {
     item: usize,
 }
 
-#[derive(Debug, Clone)]
-struct Node {
-    point: Point,
-    axis: usize,
-    left: Option<Box<Node>>,
-    right: Option<Box<Node>>,
+/// Insert buffer in flat stride-`dims` storage: cloning it (on the
+/// publication path, via shard copy-on-write) is three memcpys, never a
+/// per-point allocation.
+#[derive(Debug, Default, Clone)]
+struct FlatPending {
+    dims: usize,
+    coords: Vec<f64>,
+    items: Vec<usize>,
 }
 
-/// k-d tree over log-selectivity vectors, mapping to instance-list indices.
-///
-/// Insertions are buffered; the tree is rebuilt (perfectly balanced) when
-/// the buffer exceeds the tree size, giving amortized O(log n) structure
-/// without incremental rebalancing. Queries merge the tree walk with a
-/// linear scan of the buffer.
-///
-/// `Clone` is deliberate: the snapshot-published read path
-/// ([`crate::snapshot::CacheSnapshot`]) carries a private copy of the index
-/// so queries never race a writer's rebuild. The clone is O(n) and runs on
-/// the (optimizer-call) write path, never on a reader.
+impl FlatPending {
+    fn new(dims: usize) -> Self {
+        FlatPending {
+            dims,
+            coords: Vec::new(),
+            items: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn push(&mut self, coords: &[f64], item: usize) {
+        self.coords.extend_from_slice(coords);
+        self.items.push(item);
+    }
+
+    fn coords_of(&self, i: usize) -> &[f64] {
+        &self.coords[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// Move every buffered point out (for rebuilds), clearing the buffer.
+    fn drain_into(&mut self, out: &mut Vec<Point>) {
+        if self.dims == 0 {
+            for &item in &self.items {
+                out.push(Point {
+                    coords: Vec::new(),
+                    item,
+                });
+            }
+        } else {
+            for (chunk, &item) in self.coords.chunks(self.dims).zip(&self.items) {
+                out.push(Point {
+                    coords: chunk.to_vec(),
+                    item,
+                });
+            }
+        }
+        self.coords.clear();
+        self.items.clear();
+    }
+}
+
+fn l1(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Map a selectivity vector to (finite) log space.
+// Not `clamp`: `NaN.clamp(..)` is NaN, while `max` drops NaN
+// (NaN.max(x) == x) and `min` drops +∞, so every stored coordinate is
+// finite and distances are never NaN.
+#[allow(clippy::manual_clamp)]
+fn to_log_coords(selectivities: &[f64]) -> Vec<f64> {
+    selectivities
+        .iter()
+        .map(|&s| s.max(f64::MIN_POSITIVE).min(f64::MAX).ln())
+        .collect()
+}
+
+/// Total order on points along `axis`: coordinate first (`total_cmp`),
+/// instance index as tie-break. Items are unique within an index, so this
+/// order has no ties — `select_nth_unstable_by` under it picks the exact
+/// element a full sort would place at the median, making arena builds
+/// structurally deterministic.
+fn cmp_on_axis(a: &Point, b: &Point, axis: usize) -> Ordering {
+    let ca = a.coords.get(axis).copied().unwrap_or(0.0);
+    let cb = b.coords.get(axis).copied().unwrap_or(0.0);
+    ca.total_cmp(&cb).then(a.item.cmp(&b.item))
+}
+
+/// One k-d node in postorder position: children (when present) precede the
+/// parent, the right subtree ends at `i - 1` and the left subtree ends at
+/// `i - 1 - right_len`. The root is the last node.
+#[derive(Debug, Clone, Copy)]
+struct KdNode {
+    axis: u32,
+    left_len: u32,
+    right_len: u32,
+}
+
+/// Flat postorder k-d tree arena. Coordinates live in one stride-`dims`
+/// buffer parallel to `nodes`/`items`.
+#[derive(Debug, Default, Clone)]
+struct KdArena {
+    dims: usize,
+    nodes: Vec<KdNode>,
+    coords: Vec<f64>,
+    items: Vec<usize>,
+}
+
+enum BuildTask {
+    /// Partition `points[lo..hi]` at `depth` and schedule its subtrees.
+    Build { lo: usize, hi: usize, depth: usize },
+    /// Append the (already partitioned) median at `at` to the arena.
+    Emit {
+        at: usize,
+        axis: u32,
+        left_len: u32,
+        right_len: u32,
+    },
+}
+
+impl KdArena {
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Build a balanced arena from `points` without recursion: an explicit
+    /// task stack interleaves `Build` (median partition via
+    /// `select_nth_unstable_by`) and `Emit` (postorder append) steps.
+    fn build(dims: usize, mut points: Vec<Point>) -> KdArena {
+        let n = points.len();
+        let mut arena = KdArena {
+            dims,
+            nodes: Vec::with_capacity(n),
+            coords: Vec::with_capacity(n * dims),
+            items: Vec::with_capacity(n),
+        };
+        if n == 0 {
+            return arena;
+        }
+        let mut stack = vec![BuildTask::Build {
+            lo: 0,
+            hi: n,
+            depth: 0,
+        }];
+        while let Some(task) = stack.pop() {
+            match task {
+                BuildTask::Build { lo, hi, depth } => {
+                    if lo >= hi {
+                        continue;
+                    }
+                    let axis = if dims == 0 { 0 } else { depth % dims };
+                    let mid = (hi - lo) / 2;
+                    points[lo..hi].select_nth_unstable_by(mid, |a, b| cmp_on_axis(a, b, axis));
+                    let at = lo + mid;
+                    // LIFO order: left expands fully, then right, then the
+                    // parent's Emit — exactly postorder. The median at `at`
+                    // is outside both child ranges, so it survives their
+                    // partitions untouched until Emit reads it.
+                    stack.push(BuildTask::Emit {
+                        at,
+                        axis: axis as u32,
+                        left_len: mid as u32,
+                        right_len: (hi - at - 1) as u32,
+                    });
+                    stack.push(BuildTask::Build {
+                        lo: at + 1,
+                        hi,
+                        depth: depth + 1,
+                    });
+                    stack.push(BuildTask::Build {
+                        lo,
+                        hi: at,
+                        depth: depth + 1,
+                    });
+                }
+                BuildTask::Emit {
+                    at,
+                    axis,
+                    left_len,
+                    right_len,
+                } => {
+                    arena.coords.append(&mut points[at].coords);
+                    arena.items.push(points[at].item);
+                    arena.nodes.push(KdNode {
+                        axis,
+                        left_len,
+                        right_len,
+                    });
+                }
+            }
+        }
+        arena
+    }
+
+    fn root(&self) -> Option<usize> {
+        self.nodes.len().checked_sub(1)
+    }
+
+    fn left_of(&self, i: usize) -> Option<usize> {
+        let n = self.nodes[i];
+        (n.left_len > 0).then(|| i - 1 - n.right_len as usize)
+    }
+
+    fn right_of(&self, i: usize) -> Option<usize> {
+        (self.nodes[i].right_len > 0).then(|| i - 1)
+    }
+
+    fn coords_of(&self, i: usize) -> &[f64] {
+        &self.coords[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// Move every stored point back out (for rebuilds), clearing the arena.
+    fn drain_points(&mut self, out: &mut Vec<Point>) {
+        if self.dims == 0 {
+            for &item in &self.items {
+                out.push(Point {
+                    coords: Vec::new(),
+                    item,
+                });
+            }
+        } else {
+            for (chunk, &item) in self.coords.chunks(self.dims).zip(&self.items) {
+                out.push(Point {
+                    coords: chunk.to_vec(),
+                    item,
+                });
+            }
+        }
+        self.nodes.clear();
+        self.coords.clear();
+        self.items.clear();
+    }
+
+    /// Append every `(distance, item)` within `radius` of `q` (unsorted).
+    /// `stack` is caller-provided scratch (left empty on return) so one
+    /// query over many shards allocates one stack, not one per shard.
+    fn within_into(
+        &self,
+        q: &[f64],
+        radius: f64,
+        out: &mut Vec<(f64, usize)>,
+        stack: &mut Vec<usize>,
+    ) {
+        let Some(root) = self.root() else { return };
+        stack.push(root);
+        while let Some(i) = stack.pop() {
+            let c = self.coords_of(i);
+            let d = l1(c, q);
+            if d <= radius {
+                out.push((d, self.items[i]));
+            }
+            let axis = self.nodes[i].axis as usize;
+            let diff = q.get(axis).copied().unwrap_or(0.0) - c.get(axis).copied().unwrap_or(0.0);
+            let (near, far) = if diff <= 0.0 {
+                (self.left_of(i), self.right_of(i))
+            } else {
+                (self.right_of(i), self.left_of(i))
+            };
+            // The splitting plane's L1 contribution alone bounds the far side.
+            if diff.abs() <= radius {
+                if let Some(f) = far {
+                    stack.push(f);
+                }
+            }
+            if let Some(near) = near {
+                stack.push(near);
+            }
+        }
+    }
+
+    /// Feed candidates into `best`, near side first, pruning far subtrees
+    /// whose splitting-plane bound already exceeds the current worst.
+    /// `stack` is caller-provided scratch (left empty on return).
+    fn nearest_into(&self, q: &[f64], best: &mut BoundedNearest, stack: &mut Vec<(f64, usize)>) {
+        let Some(root) = self.root() else { return };
+        // (plane-distance lower bound, node); a deferred far subtree is
+        // re-checked against the (possibly improved) worst when popped.
+        stack.push((0.0, root));
+        while let Some((bound, i)) = stack.pop() {
+            if bound > best.worst() {
+                continue;
+            }
+            let c = self.coords_of(i);
+            best.push(l1(c, q), self.items[i]);
+            let axis = self.nodes[i].axis as usize;
+            let diff = q.get(axis).copied().unwrap_or(0.0) - c.get(axis).copied().unwrap_or(0.0);
+            let (near, far) = if diff <= 0.0 {
+                (self.left_of(i), self.right_of(i))
+            } else {
+                (self.right_of(i), self.left_of(i))
+            };
+            if let Some(f) = far {
+                // `<=`: boundary ties must be visited so item-order
+                // tie-breaks stay canonical.
+                if diff.abs() <= best.worst() {
+                    stack.push((diff.abs(), f));
+                }
+            }
+            if let Some(near) = near {
+                stack.push((0.0, near));
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct NearEntry {
+    dist: f64,
+    item: usize,
+}
+
+impl PartialEq for NearEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for NearEntry {}
+impl PartialOrd for NearEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for NearEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist
+            .total_cmp(&other.dist)
+            .then(self.item.cmp(&other.item))
+    }
+}
+
+/// Bounded best-k collector: a real max-heap over `(distance, item)` (the
+/// heap top is the current worst), so each candidate costs O(log k) instead
+/// of the O(k log k) full re-sort the old sorted-`Vec` emulation paid per
+/// visited node.
+#[derive(Debug)]
+struct BoundedNearest {
+    k: usize,
+    heap: BinaryHeap<NearEntry>,
+}
+
+impl BoundedNearest {
+    fn new(k: usize) -> Self {
+        BoundedNearest {
+            k,
+            heap: BinaryHeap::with_capacity(k.saturating_add(1).min(1 << 20)),
+        }
+    }
+
+    /// Distance of the current k-th best (`∞` while underfull).
+    fn worst(&self) -> f64 {
+        if self.heap.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.heap.peek().map_or(f64::INFINITY, |e| e.dist)
+        }
+    }
+
+    fn push(&mut self, dist: f64, item: usize) {
+        if self.k == 0 {
+            return;
+        }
+        let entry = NearEntry { dist, item };
+        if self.heap.len() < self.k {
+            self.heap.push(entry);
+        } else if let Some(top) = self.heap.peek() {
+            if entry < *top {
+                self.heap.pop();
+                self.heap.push(entry);
+            }
+        }
+    }
+
+    /// The collected candidates, ascending by `(distance, item)`.
+    fn into_sorted(self) -> Vec<(f64, usize)> {
+        self.heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|e| (e.dist, e.item))
+            .collect()
+    }
+}
+
+/// Arena-backed k-d index over log-selectivity vectors, mapping to
+/// instance-list indices. Unsharded: this is the reference oracle the
+/// sharded index must match byte-for-byte, and remains useful where a
+/// single self-contained index is wanted (benchmarks, tests).
 #[derive(Debug, Default, Clone)]
 pub struct LogSelIndex {
     dims: usize,
-    root: Option<Box<Node>>,
-    tree_size: usize,
-    pending: Vec<Point>,
+    arena: KdArena,
+    pending: FlatPending,
 }
 
 impl LogSelIndex {
@@ -58,15 +463,14 @@ impl LogSelIndex {
     pub fn new(dims: usize) -> Self {
         LogSelIndex {
             dims,
-            root: None,
-            tree_size: 0,
-            pending: Vec::new(),
+            arena: KdArena::default(),
+            pending: FlatPending::new(dims),
         }
     }
 
     /// Number of indexed points.
     pub fn len(&self) -> usize {
-        self.tree_size + self.pending.len()
+        self.arena.len() + self.pending.len()
     }
 
     /// Whether the index is empty.
@@ -76,20 +480,15 @@ impl LogSelIndex {
 
     /// Map a selectivity vector to log space.
     pub fn to_log(selectivities: &[f64]) -> Vec<f64> {
-        selectivities
-            .iter()
-            .map(|&s| s.max(f64::MIN_POSITIVE).ln())
-            .collect()
+        to_log_coords(selectivities)
     }
 
     /// Insert an instance-list index at the given selectivities.
     pub fn insert(&mut self, selectivities: &[f64], item: usize) {
         assert_eq!(selectivities.len(), self.dims, "dimension mismatch");
-        self.pending.push(Point {
-            coords: Self::to_log(selectivities),
-            item,
-        });
-        if self.pending.len() > self.tree_size.max(16) {
+        let coords = to_log_coords(selectivities);
+        self.pending.push(&coords, item);
+        if self.pending.len() > self.arena.len().max(16) {
             self.rebuild();
         }
     }
@@ -98,37 +497,36 @@ impl LogSelIndex {
     /// survivors with `remap` (the instance list compacts on plan drops).
     pub fn retain_remap(&mut self, keep: impl Fn(usize) -> bool, remap: impl Fn(usize) -> usize) {
         let mut points = Vec::with_capacity(self.len());
-        collect(self.root.take(), &mut points);
-        points.append(&mut self.pending);
+        self.arena.drain_points(&mut points);
+        self.pending.drain_into(&mut points);
         points.retain(|p| keep(p.item));
         for p in &mut points {
             p.item = remap(p.item);
         }
-        self.tree_size = points.len();
-        self.root = build(points, 0, self.dims);
+        self.arena = KdArena::build(self.dims, points);
     }
 
     fn rebuild(&mut self) {
         let mut points = Vec::with_capacity(self.len());
-        collect(self.root.take(), &mut points);
-        points.append(&mut self.pending);
-        self.tree_size = points.len();
-        self.root = build(points, 0, self.dims);
+        self.arena.drain_points(&mut points);
+        self.pending.drain_into(&mut points);
+        self.arena = KdArena::build(self.dims, points);
     }
 
     /// All items within L1 distance `radius` of `query` (log-space), as
-    /// `(distance, item)` sorted by ascending distance.
+    /// `(distance, item)` sorted ascending by `(distance, item)`.
     pub fn within(&self, query: &[f64], radius: f64) -> Vec<(f64, usize)> {
-        let q = Self::to_log(query);
+        let q = to_log_coords(query);
         let mut out = Vec::new();
-        range_walk(self.root.as_deref(), &q, radius, &mut out);
-        for p in &self.pending {
-            let d = l1(&p.coords, &q);
+        let mut stack = Vec::new();
+        self.arena.within_into(&q, radius, &mut out, &mut stack);
+        for i in 0..self.pending.len() {
+            let d = l1(self.pending.coords_of(i), &q);
             if d <= radius {
-                out.push((d, p.item));
+                out.push((d, self.pending.items[i]));
             }
         }
-        out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        out.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         out
     }
 
@@ -137,93 +535,320 @@ impl LogSelIndex {
         if k == 0 || self.is_empty() {
             return Vec::new();
         }
-        let q = Self::to_log(query);
-        // Bounded max-heap of the best k.
-        let mut heap: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
-        let mut push = |d: f64, item: usize, heap: &mut Vec<(f64, usize)>| {
-            heap.push((d, item));
-            heap.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
-            heap.truncate(k);
-        };
-        nn_walk(self.root.as_deref(), &q, k, &mut heap, &mut push);
-        for p in &self.pending {
-            push(l1(&p.coords, &q), p.item, &mut heap);
+        let q = to_log_coords(query);
+        let mut best = BoundedNearest::new(k);
+        let mut stack = Vec::new();
+        self.arena.nearest_into(&q, &mut best, &mut stack);
+        for i in 0..self.pending.len() {
+            best.push(l1(self.pending.coords_of(i), &q), self.pending.items[i]);
         }
-        heap
+        best.into_sorted()
     }
 }
 
-fn l1(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+/// One shard: an arena + pending buffer over a log-selectivity subregion,
+/// plus the bounding box of every held point (for query-time pruning).
+#[derive(Debug, Clone, Default)]
+struct IndexShard {
+    arena: KdArena,
+    pending: FlatPending,
+    /// Per-dimension bounds over arena + pending; `lo > hi` while empty.
+    lo: Vec<f64>,
+    hi: Vec<f64>,
 }
 
-fn collect(node: Option<Box<Node>>, out: &mut Vec<Point>) {
-    if let Some(n) = node {
-        out.push(n.point);
-        collect(n.left, out);
-        collect(n.right, out);
+impl IndexShard {
+    fn new(dims: usize) -> Self {
+        IndexShard {
+            arena: KdArena {
+                dims,
+                ..KdArena::default()
+            },
+            pending: FlatPending::new(dims),
+            lo: vec![f64::INFINITY; dims],
+            hi: vec![f64::NEG_INFINITY; dims],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.arena.len() + self.pending.len()
+    }
+
+    /// Buffer a point; rebuild when the buffer outgrows the tree. Returns
+    /// the number of points rebuilt (0 when only buffered).
+    fn absorb(&mut self, coords: &[f64], item: usize) -> usize {
+        for (axis, &c) in coords.iter().enumerate() {
+            self.lo[axis] = self.lo[axis].min(c);
+            self.hi[axis] = self.hi[axis].max(c);
+        }
+        self.pending.push(coords, item);
+        if self.pending.len() > self.arena.len().max(16) {
+            self.rebuild()
+        } else {
+            0
+        }
+    }
+
+    fn rebuild(&mut self) -> usize {
+        let dims = self.arena.dims;
+        let mut points = Vec::with_capacity(self.len());
+        self.arena.drain_points(&mut points);
+        self.pending.drain_into(&mut points);
+        let n = points.len();
+        self.arena = KdArena::build(dims, points);
+        n
+    }
+
+    /// True iff `keep`/`remap` would leave every held item untouched —
+    /// checked read-only so clean shards keep their `Arc` identity.
+    fn untouched_by(&self, keep: &impl Fn(usize) -> bool, remap: &impl Fn(usize) -> usize) -> bool {
+        self.arena
+            .items
+            .iter()
+            .chain(self.pending.items.iter())
+            .all(|&it| keep(it) && remap(it) == it)
+    }
+
+    /// Apply `keep`/`remap` and rebuild; returns points rebuilt.
+    fn retain_remap(
+        &mut self,
+        keep: &impl Fn(usize) -> bool,
+        remap: &impl Fn(usize) -> usize,
+    ) -> usize {
+        let dims = self.arena.dims;
+        let mut points = Vec::with_capacity(self.len());
+        self.arena.drain_points(&mut points);
+        self.pending.drain_into(&mut points);
+        points.retain(|p| keep(p.item));
+        for p in &mut points {
+            p.item = remap(p.item);
+        }
+        let n = points.len();
+        self.recompute_bounds(&points);
+        self.arena = KdArena::build(dims, points);
+        n
+    }
+
+    fn recompute_bounds(&mut self, points: &[Point]) {
+        self.lo.fill(f64::INFINITY);
+        self.hi.fill(f64::NEG_INFINITY);
+        for p in points {
+            for (axis, &c) in p.coords.iter().enumerate() {
+                self.lo[axis] = self.lo[axis].min(c);
+                self.hi[axis] = self.hi[axis].max(c);
+            }
+        }
+    }
+
+    /// L1 lower bound from `q` to the shard's bounding box (`∞` if empty).
+    fn box_bound(&self, q: &[f64]) -> f64 {
+        if self.len() == 0 {
+            return f64::INFINITY;
+        }
+        let mut bound = 0.0;
+        for (axis, &qa) in q.iter().enumerate() {
+            if qa < self.lo[axis] {
+                bound += self.lo[axis] - qa;
+            } else if qa > self.hi[axis] {
+                bound += qa - self.hi[axis];
+            }
+        }
+        bound
+    }
+
+    fn within_into(
+        &self,
+        q: &[f64],
+        radius: f64,
+        out: &mut Vec<(f64, usize)>,
+        stack: &mut Vec<usize>,
+    ) {
+        self.arena.within_into(q, radius, out, stack);
+        for i in 0..self.pending.len() {
+            let d = l1(self.pending.coords_of(i), q);
+            if d <= radius {
+                out.push((d, self.pending.items[i]));
+            }
+        }
+    }
+
+    fn nearest_into(&self, q: &[f64], best: &mut BoundedNearest, stack: &mut Vec<(f64, usize)>) {
+        self.arena.nearest_into(q, best, stack);
+        for i in 0..self.pending.len() {
+            best.push(l1(self.pending.coords_of(i), q), self.pending.items[i]);
+        }
     }
 }
 
-fn build(mut points: Vec<Point>, depth: usize, dims: usize) -> Option<Box<Node>> {
-    if points.is_empty() {
-        return None;
-    }
-    let axis = if dims == 0 { 0 } else { depth % dims };
-    points.sort_by(|a, b| a.coords[axis].partial_cmp(&b.coords[axis]).unwrap());
-    let mid = points.len() / 2;
-    let right: Vec<Point> = points.split_off(mid + 1);
-    let point = points.pop().expect("mid element");
-    Some(Box::new(Node {
-        point,
-        axis,
-        left: build(points, depth + 1, dims),
-        right: build(right, depth + 1, dims),
-    }))
+/// Sharded log-selectivity index: points are partitioned over subregions
+/// (bands of `Σi ln si`), each shard behind an `Arc`.
+///
+/// `Clone` — the snapshot-publication path — is O(shards) pointer bumps.
+/// Mutation goes through `Arc::make_mut`, deep-copying only a shard still
+/// shared with a published generation, so consecutive `CacheSnapshot`
+/// generations share every untouched shard (`Arc::ptr_eq`) and the
+/// writer's publish cost is O(n/shards) amortized instead of O(n).
+///
+/// Query results (including tie order) are byte-identical to the unsharded
+/// [`LogSelIndex`] — see the module docs for why the outputs are canonical
+/// in the point multiset.
+#[derive(Debug, Clone)]
+pub struct ShardedLogSelIndex {
+    dims: usize,
+    shards: Vec<Arc<IndexShard>>,
+    len: usize,
+    shard_rebuilds: u64,
+    points_rebuilt: u64,
 }
 
-fn range_walk(node: Option<&Node>, q: &[f64], radius: f64, out: &mut Vec<(f64, usize)>) {
-    let Some(n) = node else { return };
-    let d = l1(&n.point.coords, q);
-    if d <= radius {
-        out.push((d, n.point.item));
+impl ShardedLogSelIndex {
+    /// Empty index over `dims`-dimensional selectivity vectors with the
+    /// default shard count.
+    pub fn new(dims: usize) -> Self {
+        Self::with_shards(dims, SHARD_COUNT)
     }
-    let diff = q[n.axis] - n.point.coords[n.axis];
-    let (near, far) = if diff <= 0.0 {
-        (n.left.as_deref(), n.right.as_deref())
-    } else {
-        (n.right.as_deref(), n.left.as_deref())
-    };
-    range_walk(near, q, radius, out);
-    // The splitting plane's L1 contribution alone bounds the far side.
-    if diff.abs() <= radius {
-        range_walk(far, q, radius, out);
-    }
-}
 
-fn nn_walk(
-    node: Option<&Node>,
-    q: &[f64],
-    k: usize,
-    heap: &mut Vec<(f64, usize)>,
-    push: &mut impl FnMut(f64, usize, &mut Vec<(f64, usize)>),
-) {
-    let Some(n) = node else { return };
-    push(l1(&n.point.coords, q), n.point.item, heap);
-    let diff = q[n.axis] - n.point.coords[n.axis];
-    let (near, far) = if diff <= 0.0 {
-        (n.left.as_deref(), n.right.as_deref())
-    } else {
-        (n.right.as_deref(), n.left.as_deref())
-    };
-    nn_walk(near, q, k, heap, push);
-    let worst = if heap.len() < k {
-        f64::INFINITY
-    } else {
-        heap[heap.len() - 1].0
-    };
-    if diff.abs() <= worst {
-        nn_walk(far, q, k, heap, push);
+    /// Empty index with an explicit shard count (min 1).
+    pub fn with_shards(dims: usize, shards: usize) -> Self {
+        let n = shards.max(1);
+        ShardedLogSelIndex {
+            dims,
+            shards: (0..n).map(|_| Arc::new(IndexShard::new(dims))).collect(),
+            len: 0,
+            shard_rebuilds: 0,
+            points_rebuilt: 0,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of shards (fixed at construction).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Cumulative `(shard rebuilds, points rebuilt)` over this index's
+    /// lifetime — the writer's incremental-maintenance cost, surfaced
+    /// through `ScrStats`.
+    pub fn rebuild_stats(&self) -> (u64, u64) {
+        (self.shard_rebuilds, self.points_rebuilt)
+    }
+
+    /// Per-shard storage identity tokens: two clones that share a shard's
+    /// storage report equal tokens at that position. Test hook for the
+    /// generation-sharing invariant.
+    #[doc(hidden)]
+    pub fn shard_tokens(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| Arc::as_ptr(s) as usize)
+            .collect()
+    }
+
+    /// Map a selectivity vector to log space.
+    pub fn to_log(selectivities: &[f64]) -> Vec<f64> {
+        to_log_coords(selectivities)
+    }
+
+    /// Deterministic shard router: band of the coordinate sum, folded over
+    /// the shard count. A pure function of the coordinates, so an item's
+    /// shard never depends on insertion order or index history.
+    fn shard_of(&self, coords: &[f64]) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
+        let total: f64 = coords.iter().sum();
+        // Coordinates are finite (clamped in `to_log`), so the band fits
+        // comfortably in i64; a hostile NaN would saturate-cast to 0.
+        let band = (total / BAND_WIDTH).floor() as i64;
+        band.rem_euclid(self.shards.len() as i64) as usize
+    }
+
+    /// Insert an instance-list index at the given selectivities. Only the
+    /// owning shard is copied (if still shared with a snapshot) and
+    /// possibly rebuilt.
+    pub fn insert(&mut self, selectivities: &[f64], item: usize) {
+        assert_eq!(selectivities.len(), self.dims, "dimension mismatch");
+        let coords = to_log_coords(selectivities);
+        let s = self.shard_of(&coords);
+        let shard = Arc::make_mut(&mut self.shards[s]);
+        let rebuilt = shard.absorb(&coords, item);
+        self.len += 1;
+        if rebuilt > 0 {
+            self.shard_rebuilds += 1;
+            self.points_rebuilt += rebuilt as u64;
+        }
+    }
+
+    /// Remove every point whose item index fails `keep`, remapping the
+    /// survivors with `remap`. Shards whose items are all kept and
+    /// identity-mapped are left untouched (and keep their `Arc` identity);
+    /// only dirty shards are copied and rebuilt.
+    pub fn retain_remap(&mut self, keep: impl Fn(usize) -> bool, remap: impl Fn(usize) -> usize) {
+        self.len = 0;
+        for slot in &mut self.shards {
+            if slot.untouched_by(&keep, &remap) {
+                self.len += slot.len();
+                continue;
+            }
+            let shard = Arc::make_mut(slot);
+            let n = shard.retain_remap(&keep, &remap);
+            self.shard_rebuilds += 1;
+            self.points_rebuilt += n as u64;
+            self.len += shard.len();
+        }
+    }
+
+    /// All items within L1 distance `radius` of `query` (log-space), as
+    /// `(distance, item)` sorted ascending by `(distance, item)`.
+    /// Byte-identical to [`LogSelIndex::within`] on the same points.
+    pub fn within(&self, query: &[f64], radius: f64) -> Vec<(f64, usize)> {
+        let q = to_log_coords(query);
+        let mut out = Vec::new();
+        let mut stack = Vec::new();
+        for shard in &self.shards {
+            if shard.box_bound(&q) <= radius {
+                shard.within_into(&q, radius, &mut out, &mut stack);
+            }
+        }
+        out.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        out
+    }
+
+    /// The `k` nearest items to `query` under L1 distance, ascending.
+    /// Byte-identical to [`LogSelIndex::nearest`] on the same points.
+    pub fn nearest(&self, query: &[f64], k: usize) -> Vec<(f64, usize)> {
+        if k == 0 || self.len == 0 {
+            return Vec::new();
+        }
+        let q = to_log_coords(query);
+        // Visit shards in ascending box-distance order; once the next
+        // shard's lower bound exceeds the current worst, no remaining
+        // shard can contribute (strict `>`: boundary ties still visited).
+        let mut order: Vec<(f64, usize)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.box_bound(&q), i))
+            .collect();
+        order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut best = BoundedNearest::new(k);
+        let mut stack = Vec::new();
+        for &(bound, i) in &order {
+            if bound > best.worst() {
+                break;
+            }
+            self.shards[i].nearest_into(&q, &mut best, &mut stack);
+        }
+        best.into_sorted()
     }
 }
 
@@ -240,7 +865,7 @@ mod tests {
             .enumerate()
             .map(|(i, p)| (l1(&LogSelIndex::to_log(p), &ql), i))
             .collect();
-        d.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        d.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         d.truncate(k);
         d
     }
@@ -253,6 +878,12 @@ mod tests {
             idx.insert(&[0.01 + i as f64 * 0.009, 0.5], i);
         }
         assert_eq!(idx.len(), 100);
+        let mut sharded = ShardedLogSelIndex::new(2);
+        assert!(sharded.is_empty());
+        for i in 0..100 {
+            sharded.insert(&[0.01 + i as f64 * 0.009, 0.5], i);
+        }
+        assert_eq!(sharded.len(), 100);
     }
 
     #[test]
@@ -313,16 +944,21 @@ mod tests {
     #[test]
     fn retain_remap_compacts_items() {
         let mut idx = LogSelIndex::new(1);
+        let mut sharded = ShardedLogSelIndex::new(1);
         for i in 0..10 {
             idx.insert(&[0.05 * (i + 1) as f64], i);
+            sharded.insert(&[0.05 * (i + 1) as f64], i);
         }
         // Drop even items; odd item j becomes (j-1)/2.
         idx.retain_remap(|i| i % 2 == 1, |i| (i - 1) / 2);
+        sharded.retain_remap(|i| i % 2 == 1, |i| (i - 1) / 2);
         assert_eq!(idx.len(), 5);
+        assert_eq!(sharded.len(), 5);
         let all = idx.nearest(&[0.5], 10);
         let mut items: Vec<usize> = all.iter().map(|&(_, i)| i).collect();
         items.sort();
         assert_eq!(items, vec![0, 1, 2, 3, 4]);
+        assert_eq!(sharded.nearest(&[0.5], 10), all);
     }
 
     #[test]
@@ -332,6 +968,36 @@ mod tests {
         let mut idx = LogSelIndex::new(2);
         idx.insert(&[0.1, 0.1], 0);
         assert!(idx.nearest(&[0.1, 0.1], 0).is_empty());
+        let sharded = ShardedLogSelIndex::new(2);
+        assert!(sharded.nearest(&[0.1, 0.1], 3).is_empty());
+        assert!(sharded.within(&[0.1, 0.1], 10.0).is_empty());
+    }
+
+    #[test]
+    fn pathological_selectivities_never_panic() {
+        // NaN/∞/0 selectivities degrade (clamped coords) but must not
+        // panic any query or rebuild path.
+        let mut idx = LogSelIndex::new(2);
+        let mut sharded = ShardedLogSelIndex::new(2);
+        let weird = [
+            [f64::NAN, 0.5],
+            [f64::INFINITY, 1e-300],
+            [0.0, f64::NAN],
+            [-1.0, f64::INFINITY],
+        ];
+        for round in 0..10 {
+            for (i, p) in weird.iter().enumerate() {
+                idx.insert(p, round * weird.len() + i);
+                sharded.insert(p, round * weird.len() + i);
+            }
+        }
+        let q = [f64::NAN, f64::INFINITY];
+        assert_eq!(idx.nearest(&q, 7), sharded.nearest(&q, 7));
+        assert_eq!(idx.within(&q, 5.0), sharded.within(&q, 5.0));
+        idx.retain_remap(|i| i < 20, |i| i);
+        sharded.retain_remap(|i| i < 20, |i| i);
+        assert_eq!(idx.len(), 20);
+        assert_eq!(sharded.len(), 20);
     }
 
     fn random_points(rng: &mut StdRng, dims: usize, max_n: usize) -> Vec<Vec<f64>> {
@@ -354,11 +1020,7 @@ mod tests {
             }
             let got = idx.nearest(&q, k);
             let want = brute_nearest(&pts, &q, k);
-            assert_eq!(got.len(), want.len());
-            for (g, w) in got.iter().zip(&want) {
-                // Items may differ on exact ties; distances must agree.
-                assert!((g.0 - w.0).abs() < 1e-9, "tree {} vs brute {}", g.0, w.0);
-            }
+            assert_eq!(got, want);
         }
     }
 
@@ -387,5 +1049,127 @@ mod tests {
                 .collect();
             assert_eq!(got, want);
         }
+    }
+
+    /// Reference recursive builder with the same `(coord, item)` total
+    /// order but a full sort per level — `select_nth_unstable_by` must
+    /// produce a structurally identical arena (same postorder node,
+    /// coordinate, and item sequences).
+    fn reference_build(dims: usize, points: Vec<Point>) -> KdArena {
+        fn rec(mut points: Vec<Point>, depth: usize, dims: usize, arena: &mut KdArena) {
+            if points.is_empty() {
+                return;
+            }
+            let axis = if dims == 0 { 0 } else { depth % dims };
+            points.sort_by(|a, b| cmp_on_axis(a, b, axis));
+            let mid = points.len() / 2;
+            let right: Vec<Point> = points.split_off(mid + 1);
+            let mut median = points.pop().expect("mid element");
+            let left_len = points.len() as u32;
+            let right_len = right.len() as u32;
+            rec(points, depth + 1, dims, arena);
+            rec(right, depth + 1, dims, arena);
+            arena.coords.append(&mut median.coords);
+            arena.items.push(median.item);
+            arena.nodes.push(KdNode {
+                axis: axis as u32,
+                left_len,
+                right_len,
+            });
+        }
+        let mut arena = KdArena {
+            dims,
+            ..KdArena::default()
+        };
+        rec(points, 0, dims, &mut arena);
+        arena
+    }
+
+    #[test]
+    fn select_nth_build_structurally_identical_to_sorted_build() {
+        let mut rng = StdRng::seed_from_u64(0x5eed_a12e);
+        for _ in 0..64 {
+            let dims = rng.gen_range(1..4usize);
+            let pts = random_points(&mut rng, dims, 200);
+            // Duplicate some coordinates to exercise the item tie-break.
+            let points: Vec<Point> = pts
+                .iter()
+                .chain(pts.iter().take(pts.len() / 2))
+                .enumerate()
+                .map(|(i, p)| Point {
+                    coords: to_log_coords(p),
+                    item: i,
+                })
+                .collect();
+            let fast = KdArena::build(dims, points.clone());
+            let slow = reference_build(dims, points);
+            assert_eq!(fast.items, slow.items);
+            assert_eq!(
+                fast.coords.iter().map(|c| c.to_bits()).collect::<Vec<_>>(),
+                slow.coords.iter().map(|c| c.to_bits()).collect::<Vec<_>>()
+            );
+            let fast_nodes: Vec<(u32, u32, u32)> = fast
+                .nodes
+                .iter()
+                .map(|n| (n.axis, n.left_len, n.right_len))
+                .collect();
+            let slow_nodes: Vec<(u32, u32, u32)> = slow
+                .nodes
+                .iter()
+                .map(|n| (n.axis, n.left_len, n.right_len))
+                .collect();
+            assert_eq!(fast_nodes, slow_nodes);
+        }
+    }
+
+    #[test]
+    fn sharded_streams_bitwise_match_unsharded_oracle() {
+        let mut rng = StdRng::seed_from_u64(0x5eed_54a2);
+        for round in 0..64 {
+            let dims = rng.gen_range(1..5usize);
+            let shards = rng.gen_range(1..6usize);
+            let pts = random_points(&mut rng, dims, 250);
+            let mut oracle = LogSelIndex::new(dims);
+            let mut sharded = ShardedLogSelIndex::with_shards(dims, shards);
+            for (i, p) in pts.iter().enumerate() {
+                oracle.insert(p, i);
+                sharded.insert(p, i);
+            }
+            for _ in 0..8 {
+                let q: Vec<f64> = (0..dims).map(|_| rng.gen_range(0.001..1.0)).collect();
+                let k = rng.gen_range(1..10usize);
+                let radius = rng.gen_range(0.0..4.0);
+                let (a, b) = (oracle.nearest(&q, k), sharded.nearest(&q, k));
+                assert_eq!(bits(&a), bits(&b), "nearest diverged round {round}");
+                let (a, b) = (oracle.within(&q, radius), sharded.within(&q, radius));
+                assert_eq!(bits(&a), bits(&b), "within diverged round {round}");
+            }
+        }
+    }
+
+    fn bits(v: &[(f64, usize)]) -> Vec<(u64, usize)> {
+        v.iter().map(|&(d, i)| (d.to_bits(), i)).collect()
+    }
+
+    #[test]
+    fn clone_shares_shards_until_touched() {
+        let mut writer = ShardedLogSelIndex::new(3);
+        let mut rng = StdRng::seed_from_u64(0x5eed_c0f7);
+        for i in 0..500 {
+            let p: Vec<f64> = (0..3).map(|_| rng.gen_range(0.001..1.0)).collect();
+            writer.insert(&p, i);
+        }
+        let published = writer.clone();
+        assert_eq!(published.shard_tokens(), writer.shard_tokens());
+        // One more insert must replace exactly the owning shard.
+        let p: Vec<f64> = (0..3).map(|_| rng.gen_range(0.001..1.0)).collect();
+        writer.insert(&p, 500);
+        let before = published.shard_tokens();
+        let after = writer.shard_tokens();
+        let changed = before.iter().zip(&after).filter(|(a, b)| a != b).count();
+        assert_eq!(changed, 1, "exactly one shard may be copied per insert");
+        // The published generation still answers from its own storage.
+        assert_eq!(published.len(), 500);
+        assert_eq!(writer.len(), 501);
     }
 }

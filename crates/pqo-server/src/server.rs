@@ -413,7 +413,7 @@ fn pqo_error_frame(e: &PqoError) -> Response {
 /// serving path (whose `compute_svector` asserts arity) can be reached.
 ///
 /// The `Err` arm carries a full [`Response`] (whose largest variant is the
-/// 19-field STATS_OK payload) so it can be encoded directly; the frames are
+/// 23-field STATS_OK payload) so it can be encoded directly; the frames are
 /// built once per request, so the size is irrelevant.
 #[allow(clippy::result_large_err)]
 fn validated_instance(
@@ -504,5 +504,9 @@ fn gather_stats(shared: &Shared, template: &str) -> Result<WireStats, PqoError> 
         queue_depth: srv.queue_depth.load(Ordering::Relaxed),
         peak_queue_depth: srv.peak_queue_depth.load(Ordering::Relaxed),
         workers: shared.config.workers as u64,
+        index_shard_rebuilds: s.index_shard_rebuilds,
+        index_points_rebuilt: s.index_points_rebuilt,
+        publishes: s.publishes,
+        publish_nanos: s.publish_nanos,
     })
 }

@@ -35,7 +35,10 @@ use pqo_optimizer::error::PqoError;
 ///
 /// v2: `STATS_OK` grew six server-wide fields (connection / queue-depth /
 /// buffer gauges) and the [`code::TIMEOUT`] error code was published.
-pub const PROTOCOL_VERSION: u16 = 2;
+///
+/// v3: `STATS_OK` grew four publication-cost fields (spatial-index shard
+/// rebuilds, points rebuilt, snapshot publishes, publish nanos).
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Default upper bound on one frame's body, enforced by server and client.
 pub const DEFAULT_MAX_FRAME_BYTES: u32 = 1 << 20;
@@ -202,6 +205,14 @@ pub struct WireStats {
     pub peak_queue_depth: u64,
     /// Size of the server's worker pool.
     pub workers: u64,
+    /// Spatial-index shard rebuilds performed by this template's writer.
+    pub index_shard_rebuilds: u64,
+    /// Total points re-inserted across those shard rebuilds.
+    pub index_points_rebuilt: u64,
+    /// Snapshot generations published by this template's writer.
+    pub publishes: u64,
+    /// Cumulative nanoseconds spent capturing + installing generations.
+    pub publish_nanos: u64,
 }
 
 /// A server → client message.
@@ -356,7 +367,7 @@ fn put_choice(out: &mut Vec<u8>, c: &WireChoice) {
 
 /// The `STATS_OK` payload field order — one place, shared by the encoder
 /// and decoder so they cannot drift.
-fn stats_fields(s: &WireStats) -> [u64; 19] {
+fn stats_fields(s: &WireStats) -> [u64; 23] {
     [
         s.num_plans,
         s.num_instances,
@@ -377,10 +388,14 @@ fn stats_fields(s: &WireStats) -> [u64; 19] {
         s.queue_depth,
         s.peak_queue_depth,
         s.workers,
+        s.index_shard_rebuilds,
+        s.index_points_rebuilt,
+        s.publishes,
+        s.publish_nanos,
     ]
 }
 
-fn stats_from_fields(f: [u64; 19]) -> WireStats {
+fn stats_from_fields(f: [u64; 23]) -> WireStats {
     WireStats {
         num_plans: f[0],
         num_instances: f[1],
@@ -401,6 +416,10 @@ fn stats_from_fields(f: [u64; 19]) -> WireStats {
         queue_depth: f[16],
         peak_queue_depth: f[17],
         workers: f[18],
+        index_shard_rebuilds: f[19],
+        index_points_rebuilt: f[20],
+        publishes: f[21],
+        publish_nanos: f[22],
     }
 }
 
@@ -563,7 +582,7 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
             c.finish(Response::PlanBatch(choices))
         }
         opcode::STATS_OK => {
-            let mut f = [0u64; 19];
+            let mut f = [0u64; 23];
             for slot in &mut f {
                 *slot = c.u64()?;
             }

@@ -20,13 +20,16 @@ runs="${PQO_BENCH_RUNS:-3}"
 baseline="${PQO_BENCH_BASELINE:-scripts/bench_baseline.json}"
 out="BENCH_$(date +%Y%m%d).json"
 
-benches=(service_throughput batch_throughput net_throughput)
+benches=(service_throughput batch_throughput net_throughput spatial_publish)
 # "<bench label>:<metric key>" — the headline metrics the gate tracks.
+# publish_sharded_eps is snapshot publications per second on a 10k-point
+# sharded spatial index (elements=1 per publish cycle).
 headline=(
     "service_throughput/get_plan_readmostly/8_threads:read_mostly_eps"
     "batch_throughput/get_plan_batch32/8_threads:batch_eps"
     "net_throughput/get_plan/8_threads:net_eps"
     "net_throughput/get_plan_batch32/8_threads:net_batch_eps"
+    "spatial_publish/sharded/10k:publish_sharded_eps"
 )
 
 log="$(mktemp)"

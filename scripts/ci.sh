@@ -29,6 +29,12 @@ cargo build --release --offline --workspace --all-targets
 echo "==> cargo test"
 cargo test -q --offline --workspace
 
+echo "==> spatial index oracle equivalence (sharded vs brute-force)"
+# The sharded-index refactor's core invariant, run as its own stage so a
+# divergence is named in CI output: within/nearest result streams must be
+# bitwise identical to a linear-scan oracle on every index path.
+cargo test -q --offline --test spatial_oracle
+
 echo "==> microbench smoke (quick mode, includes service/batch throughput)"
 # Running the harness=false bench binaries through `cargo test` omits the
 # --bench flag, so each microbench executes once in quick smoke mode —

@@ -1,0 +1,168 @@
+//! Spatial-index oracle equivalence (the sharded-arena refactor's core
+//! invariant): the sharded, Arc-copy-on-write index and the unsharded
+//! arena index must both produce `within`/`nearest` result streams —
+//! values *and* tie order — bitwise identical to a brute-force linear
+//! scan, across random dimensions, radii, `k`, and eviction-compaction via
+//! `retain_remap`. SCR's candidate ordering (and therefore its decision
+//! stream) consumes only these streams, so bitwise identity here is what
+//! keeps decisions byte-identical on every index path.
+
+use pqo::core::spatial::{LogSelIndex, ShardedLogSelIndex};
+use pqo_rand::rngs::StdRng;
+use pqo_rand::{Rng, SeedableRng};
+
+/// The linear-scan oracle: distances computed exactly as the index does
+/// (same `to_log` clamp, same L1 fold), sorted by `(distance, item)`.
+struct BruteOracle {
+    points: Vec<(Vec<f64>, usize)>,
+}
+
+impl BruteOracle {
+    fn new() -> Self {
+        BruteOracle { points: Vec::new() }
+    }
+
+    fn insert(&mut self, selectivities: &[f64], item: usize) {
+        self.points.push((LogSelIndex::to_log(selectivities), item));
+    }
+
+    fn retain_remap(&mut self, keep: impl Fn(usize) -> bool, remap: impl Fn(usize) -> usize) {
+        self.points.retain(|(_, it)| keep(*it));
+        for (_, it) in &mut self.points {
+            *it = remap(*it);
+        }
+    }
+
+    fn ranked(&self, query: &[f64]) -> Vec<(f64, usize)> {
+        let q = LogSelIndex::to_log(query);
+        let mut d: Vec<(f64, usize)> = self.points.iter().map(|(c, it)| (l1(c, &q), *it)).collect();
+        d.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        d
+    }
+
+    fn within(&self, query: &[f64], radius: f64) -> Vec<(f64, usize)> {
+        self.ranked(query)
+            .into_iter()
+            .filter(|&(d, _)| d <= radius)
+            .collect()
+    }
+
+    fn nearest(&self, query: &[f64], k: usize) -> Vec<(f64, usize)> {
+        let mut r = self.ranked(query);
+        r.truncate(k);
+        r
+    }
+}
+
+fn l1(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Bit-exact view of a result stream: distances compared by bit pattern,
+/// not approximate equality.
+fn bits(v: &[(f64, usize)]) -> Vec<(u64, usize)> {
+    v.iter().map(|&(d, i)| (d.to_bits(), i)).collect()
+}
+
+#[test]
+fn sharded_and_unsharded_match_linear_oracle_bitwise() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_02ac ^ 0x7e57);
+    for round in 0..48 {
+        let dims = rng.gen_range(1..6usize);
+        let shards = rng.gen_range(1..9usize);
+        let mut oracle = BruteOracle::new();
+        let mut flat = LogSelIndex::new(dims);
+        let mut sharded = ShardedLogSelIndex::with_shards(dims, shards);
+
+        let mut next_item = 0usize;
+        let ops = rng.gen_range(40..220usize);
+        for _ in 0..ops {
+            // Mostly inserts, occasionally an eviction-compaction.
+            if next_item > 4 && rng.gen_range(0..16u32) == 0 {
+                // Drop a random contiguous run of items and compact, the
+                // way `PlanCache::remove_instances_of` does.
+                let cut_lo = rng.gen_range(0..next_item);
+                let cut_hi = rng.gen_range(cut_lo..next_item.min(cut_lo + 9));
+                let keep = move |it: usize| it < cut_lo || it > cut_hi;
+                let remap = move |it: usize| {
+                    if it > cut_hi {
+                        it - (cut_hi - cut_lo + 1)
+                    } else {
+                        it
+                    }
+                };
+                oracle.retain_remap(keep, remap);
+                flat.retain_remap(keep, remap);
+                sharded.retain_remap(keep, remap);
+                next_item -= cut_hi - cut_lo + 1;
+            } else {
+                // Clustered selectivities so shards and ties get exercised.
+                let sv: Vec<f64> = (0..dims)
+                    .map(|_| {
+                        let cluster = [0.01, 0.05, 0.2, 0.7][rng.gen_range(0..4usize)];
+                        cluster * (1.0 + rng.gen_range(0.0..0.5))
+                    })
+                    .collect();
+                oracle.insert(&sv, next_item);
+                flat.insert(&sv, next_item);
+                sharded.insert(&sv, next_item);
+                next_item += 1;
+            }
+        }
+        assert_eq!(flat.len(), oracle.points.len(), "round {round}");
+        assert_eq!(sharded.len(), oracle.points.len(), "round {round}");
+
+        for probe in 0..12 {
+            let q: Vec<f64> = (0..dims).map(|_| rng.gen_range(0.001..1.0)).collect();
+            let k = rng.gen_range(1..12usize);
+            let radius = rng.gen_range(0.0..5.0);
+
+            let want_k = oracle.nearest(&q, k);
+            assert_eq!(
+                bits(&flat.nearest(&q, k)),
+                bits(&want_k),
+                "unsharded nearest diverged (round {round}, probe {probe})"
+            );
+            assert_eq!(
+                bits(&sharded.nearest(&q, k)),
+                bits(&want_k),
+                "sharded nearest diverged (round {round}, probe {probe})"
+            );
+
+            let want_w = oracle.within(&q, radius);
+            assert_eq!(
+                bits(&flat.within(&q, radius)),
+                bits(&want_w),
+                "unsharded within diverged (round {round}, probe {probe})"
+            );
+            assert_eq!(
+                bits(&sharded.within(&q, radius)),
+                bits(&want_w),
+                "sharded within diverged (round {round}, probe {probe})"
+            );
+        }
+    }
+}
+
+#[test]
+fn duplicate_coordinates_keep_canonical_tie_order() {
+    // Many points at identical coordinates: output order must be the
+    // item-ascending canonical order on every path.
+    let dims = 3;
+    let sv = [0.25, 0.25, 0.25];
+    let mut oracle = BruteOracle::new();
+    let mut flat = LogSelIndex::new(dims);
+    let mut sharded = ShardedLogSelIndex::new(dims);
+    for item in 0..64 {
+        oracle.insert(&sv, item);
+        flat.insert(&sv, item);
+        sharded.insert(&sv, item);
+    }
+    let q = [0.3, 0.2, 0.25];
+    let want = oracle.nearest(&q, 10);
+    assert_eq!(bits(&flat.nearest(&q, 10)), bits(&want));
+    assert_eq!(bits(&sharded.nearest(&q, 10)), bits(&want));
+    let want = oracle.within(&q, 10.0);
+    assert_eq!(bits(&flat.within(&q, 10.0)), bits(&want));
+    assert_eq!(bits(&sharded.within(&q, 10.0)), bits(&want));
+}
