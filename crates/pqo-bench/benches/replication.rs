@@ -1,0 +1,135 @@
+//! Generation-log replication costs: what the primary pays to encode a
+//! publication into the replication stream, what a replica pays to apply
+//! it, and how much smaller the delta encoding is than re-shipping the
+//! full snapshot.
+//!
+//! Setup mirrors production: a primary [`PqoService`] is warmed, then a
+//! fresh instance stream drives it while every published generation is
+//! captured as a delta record against its predecessor (exactly what the
+//! server's subscription pump ships). The headline `replica_apply_eps`
+//! metric — generations applied per second through
+//! [`PqoService::apply_generation`], including decode, copy-on-write
+//! install, and snapshot publication — is gated by
+//! `scripts/bench_gate.sh`, since replica lag is bounded by ack-gating
+//! only if a replica can apply generations faster than the primary
+//! publishes them.
+
+use std::sync::Arc;
+
+use pqo_bench::microbench::Runner;
+use pqo_core::scr::ScrConfig;
+use pqo_core::service::PqoService;
+use pqo_workload::corpus::corpus;
+
+const ID: &str = "tpch_skew_A_d2";
+const LAMBDA: f64 = 2.0;
+
+fn service_with(id: &str) -> Arc<PqoService> {
+    let spec = corpus()
+        .iter()
+        .find(|s| s.id == id)
+        .expect("corpus template");
+    let service = Arc::new(PqoService::new());
+    service
+        .register(
+            Arc::clone(&spec.template),
+            ScrConfig::new(LAMBDA).expect("valid bench λ"),
+        )
+        .expect("fresh template registers");
+    service
+}
+
+fn main() {
+    let runner = Runner::from_args();
+    let spec = corpus()
+        .iter()
+        .find(|s| s.id == ID)
+        .expect("corpus template");
+    let primary = service_with(ID);
+    // Partial warmup only: the drive stream below must keep finding cold
+    // selectivity regions so it publishes a dense generation chain.
+    for inst in &spec.generate(10, 7) {
+        primary.get_plan(ID, inst).expect("warmup get_plan");
+    }
+
+    // Drive a fresh stream through the primary and capture every published
+    // generation as a delta record against its predecessor — the exact
+    // per-subscription byte stream the server pushes to an in-sync replica.
+    let base_gen = primary.generation(ID).expect("warm generation");
+    let (full_base, _) = primary
+        .generation_record(ID, None)
+        .expect("full base record");
+    let drive = spec.generate(if runner.quick() { 64 } else { 256 }, 11);
+    let mut deltas: Vec<Vec<u8>> = Vec::new();
+    let mut prev = base_gen;
+    for inst in &drive {
+        primary.get_plan(ID, inst).expect("drive get_plan");
+        let gen = primary.generation(ID).expect("generation");
+        if gen > prev {
+            // Captured immediately after the publish, so `prev` is still
+            // inside the primary's generation log and encodes as a delta.
+            let (record, at) = primary
+                .generation_record(ID, Some(prev))
+                .expect("delta record");
+            assert_eq!(at, gen, "record lagged the publication");
+            deltas.push(record);
+            prev = gen;
+        }
+    }
+    assert!(!deltas.is_empty(), "drive stream published no generations");
+    let (full_now, _) = primary
+        .generation_record(ID, None)
+        .expect("full record of final state");
+    let delta_avg = deltas.iter().map(Vec::len).sum::<usize>() / deltas.len();
+    println!(
+        "replication/bytes: {} generations, avg delta {} B, full snapshot {} B ({}x)",
+        deltas.len(),
+        delta_avg,
+        full_now.len(),
+        full_now.len() / delta_avg.max(1),
+    );
+
+    // Primary-side encode cost per publication, delta vs full.
+    runner.bench_throughput("replication/encode/delta", 1, || {
+        primary
+            .generation_record(ID, Some(prev - 1))
+            .expect("delta encode")
+            .0
+            .len()
+    });
+    runner.bench_throughput("replication/encode/full", 1, || {
+        primary
+            .generation_record(ID, None)
+            .expect("full encode")
+            .0
+            .len()
+    });
+
+    // Replica-side apply: reset onto the chain base with the full record
+    // (a FULL record installs unconditionally, so the delta chain replays
+    // from a clean base every iteration), then apply every delta in
+    // publication order. Elements = generations applied.
+    let replica = service_with(ID);
+    runner.bench_throughput(
+        "replication/replica_apply/delta_chain",
+        deltas.len() as u64,
+        || {
+            replica
+                .apply_generation(ID, &full_base)
+                .expect("base record applies");
+            let mut gen = base_gen;
+            for record in &deltas {
+                gen = replica.apply_generation(ID, record).expect("delta applies");
+            }
+            gen
+        },
+    );
+
+    // Catch-up path: one full-snapshot apply of the final (largest) state,
+    // what a cold or log-lapsed replica pays before joining the delta flow.
+    runner.bench_throughput("replication/replica_apply/full_snapshot", 1, || {
+        replica
+            .apply_generation(ID, &full_now)
+            .expect("full record applies")
+    });
+}

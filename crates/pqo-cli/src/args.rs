@@ -9,7 +9,9 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parse a flat `--key value` list.
+    /// Parse a flat `--key [value]` list. A key followed by another
+    /// `--key` (or by nothing) is a bare boolean flag and takes the value
+    /// `"true"`, so `--primary` and `--check true` both work.
     pub fn parse(argv: &[String]) -> Result<Args, String> {
         let mut values = BTreeMap::new();
         let mut i = 0;
@@ -17,13 +19,19 @@ impl Args {
             let key = argv[i]
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected `--key`, got `{}`", argv[i]))?;
-            let value = argv
-                .get(i + 1)
-                .ok_or_else(|| format!("--{key} needs a value"))?;
-            if values.insert(key.to_string(), value.clone()).is_some() {
+            let value = match argv.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    i += 2;
+                    v.clone()
+                }
+                _ => {
+                    i += 1;
+                    "true".to_string()
+                }
+            };
+            if values.insert(key.to_string(), value).is_some() {
                 return Err(format!("--{key} given twice"));
             }
-            i += 2;
         }
         Ok(Args { values })
     }
@@ -60,9 +68,19 @@ mod tests {
     }
 
     #[test]
-    fn rejects_bare_values_and_dangling_keys() {
+    fn rejects_bare_values_and_duplicate_keys() {
         assert!(Args::parse(&s(&["template", "x"])).is_err());
-        assert!(Args::parse(&s(&["--template"])).is_err());
         assert!(Args::parse(&s(&["--a", "1", "--a", "2"])).is_err());
+    }
+
+    #[test]
+    fn bare_flags_read_as_true() {
+        let a = Args::parse(&s(&["--primary", "--check", "--m", "10"])).unwrap();
+        assert_eq!(a.get("primary").unwrap(), "true");
+        assert_eq!(a.get("check").unwrap(), "true");
+        assert_eq!(a.get("m").unwrap(), "10");
+        // Trailing bare flag.
+        let a = Args::parse(&s(&["--m", "10", "--primary"])).unwrap();
+        assert_eq!(a.get("primary").unwrap(), "true");
     }
 }

@@ -14,9 +14,11 @@
 //!              [--spatial-threshold N] [--recost-fetch-factor N]
 //! pqo serve    --listen ADDR --template ID[,ID...] [--lambda X]
 //!              [--snapshot-dir DIR] [--max-conns N] [--workers N]
-//! pqo client   --connect ADDR [--op plan|run|stats|shutdown|idle]
+//!              [--primary | --replica-of ADDR]
+//! pqo client   --connect ADDR [--op plan|run|stats|follow-lag|shutdown|idle]
 //!              [--template ID] [--sel S1,...] [--m N] [--seed N] [--batch N]
 //!              [--check BOOL] [--conns N] [--hold-ms T]
+//!              [--count N] [--interval-ms T]
 //! ```
 
 use std::process::exit;
@@ -79,8 +81,9 @@ fn usage() {
          pqo serve --template ID [--lambda X] [--m N] [--seed N] [--batch N] [--spatial-threshold N]\n  \
                  [--recost-fetch-factor N]\n  \
          pqo serve --listen ADDR --template ID[,ID...] [--lambda X] [--snapshot-dir DIR] [--max-conns N] [--workers N]\n  \
-         pqo client --connect ADDR [--op plan|run|stats|shutdown|idle] [--template ID] [--sel S1,...] [--conns N] [--hold-ms T]\n  \
-                 [--m N] [--seed N] [--batch N] [--check BOOL]"
+                 [--primary | --replica-of ADDR]\n  \
+         pqo client --connect ADDR [--op plan|run|stats|follow-lag|shutdown|idle] [--template ID] [--sel S1,...]\n  \
+                 [--m N] [--seed N] [--batch N] [--check BOOL] [--conns N] [--hold-ms T] [--count N] [--interval-ms T]"
     );
 }
 

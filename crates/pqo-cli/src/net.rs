@@ -5,11 +5,16 @@
 //! The serve side registers one SCR cache per `--template` id (comma
 //! separated), warm-restarts each from `--snapshot-dir` when a prior
 //! snapshot exists, and prints a per-template counter summary after a
-//! graceful shutdown (triggered by a client's `SHUTDOWN` frame). The
-//! client side offers four ops — `plan`, `run`, `stats`, `shutdown` —
-//! inferred from the flags or forced with `--op`; `run --check true`
-//! replays the same generated workload through an in-process oracle and
-//! fails on the first decision divergence.
+//! graceful shutdown (triggered by a client's `SHUTDOWN` frame). With
+//! `--replica-of ADDR` the server runs as a read replica: it subscribes
+//! to the primary's generation stream, serves hits from the applied
+//! snapshots and forwards misses (`--primary` names the default role
+//! explicitly). The client side offers ops — `plan`, `run`, `stats`,
+//! `follow-lag`, `shutdown`, `idle` — inferred from the flags or forced
+//! with `--op`; `run --check true` replays the same generated workload
+//! through an in-process oracle and fails on the first decision
+//! divergence, reporting the diverging instance index and both decisions;
+//! `follow-lag` polls a replica's generation lag.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -56,6 +61,11 @@ pub fn serve_listen(args: &Args, listen: &str) -> Result<(), String> {
     if config.workers == 0 {
         return Err("--workers must be >= 1".into());
     }
+    let primary_flag: bool = parse_opt(args, "primary", false)?;
+    config.replica_of = args.opt("replica-of");
+    if primary_flag && config.replica_of.is_some() {
+        return Err("--primary and --replica-of are mutually exclusive".into());
+    }
 
     let service = Arc::new(PqoService::new());
     let mut names = Vec::new();
@@ -93,10 +103,15 @@ pub fn serve_listen(args: &Args, listen: &str) -> Result<(), String> {
     }
 
     let workers = config.workers;
+    let role = match &config.replica_of {
+        Some(primary) => format!("replica of {primary}"),
+        None => "primary".to_string(),
+    };
     let server = PqoServer::bind(Arc::clone(&service), listen, config)
         .map_err(|e| format!("bind {listen}: {e}"))?;
     // Smoke scripts parse this exact line to learn the ephemeral port.
     println!("listening on {}", server.local_addr());
+    println!("role: {role}");
     println!(
         "serving {} template(s) at λ = {lambda} ({workers} workers); stop with `pqo client --connect {} --op shutdown`",
         names.len(),
@@ -120,6 +135,10 @@ pub fn serve_listen(args: &Args, listen: &str) -> Result<(), String> {
     println!("timeouts            : {}", stats.timeouts);
     println!("peak connections    : {}", stats.peak_connections);
     println!("peak queue depth    : {}", stats.peak_queue_depth);
+    println!("generations pushed  : {}", stats.gens_pushed);
+    println!("generations applied : {}", stats.gens_applied);
+    println!("replication out     : {} B", stats.replication_bytes_out);
+    println!("replication in      : {} B", stats.replication_bytes_in);
     for id in &names {
         let s = service.scr_stats(id).map_err(|e| e.to_string())?;
         let plans = service
@@ -153,7 +172,9 @@ pub fn client_cmd(args: &Args) -> Result<(), String> {
         None if args.opt("sel").is_some() => "plan".into(),
         None if args.opt("m").is_some() => "run".into(),
         None if args.opt("template").is_some() => "stats".into(),
-        None => return Err("cannot infer op; pass --op plan|run|stats|shutdown|idle".into()),
+        None => {
+            return Err("cannot infer op; pass --op plan|run|stats|follow-lag|shutdown|idle".into())
+        }
     };
     // The idle op never speaks the protocol (raw sockets, no handshake),
     // so handle it before a PqoClient is built.
@@ -180,38 +201,55 @@ pub fn client_cmd(args: &Args) -> Result<(), String> {
             let id = args.get("template")?;
             let s = client.stats(&id).map_err(|e| e.to_string())?;
             println!("[{id}]");
-            println!("plans cached        : {}", s.num_plans);
-            println!("instance entries    : {}", s.num_instances);
-            println!("total plans (svc)   : {}", s.total_plans);
-            println!("selectivity hits    : {}", s.selectivity_hits);
-            println!("cost-check hits     : {}", s.cost_hits);
-            println!("optimizer calls     : {}", s.optimizer_calls);
-            println!("recost calls        : {}", s.getplan_recost_calls);
-            println!("batches served      : {}", s.batches_served);
-            println!("batch instances     : {}", s.batch_instances);
-            println!("max batch size      : {}", s.max_batch_size);
-            println!("snapshot re-loads   : {}", s.snapshot_reloads);
-            println!("snapshot publishes  : {}", s.publishes);
-            println!("publish nanos       : {}", s.publish_nanos);
-            println!("index shard rebuilds: {}", s.index_shard_rebuilds);
-            println!("index points rebuilt: {}", s.index_points_rebuilt);
-            println!("open connections    : {}", s.open_connections);
-            println!("peak connections    : {}", s.peak_connections);
-            println!("conn buffer bytes   : {}", s.conn_buffer_bytes);
-            println!("queue depth         : {}", s.queue_depth);
-            println!("peak queue depth    : {}", s.peak_queue_depth);
-            println!("workers             : {}", s.workers);
+            // Driven by the wire field table: a field added to the STATS
+            // payload shows up here with no printer change.
+            for (name, value) in s.named_fields() {
+                println!("{name:<22}: {value}");
+            }
             Ok(())
         }
+        "follow-lag" => client_follow_lag(args, &mut client),
         "shutdown" => {
             client.shutdown_server().map_err(|e| e.to_string())?;
             println!("server acknowledged shutdown");
             Ok(())
         }
         other => Err(format!(
-            "unknown op `{other}` (plan|run|stats|shutdown|idle)"
+            "unknown op `{other}` (plan|run|stats|follow-lag|shutdown|idle)"
         )),
     }
+}
+
+/// `pqo client --connect ADDR --op follow-lag --template ID [--count N]
+/// [--interval-ms T]`: poll a replica's generation lag. Each sample prints
+/// the published generation, the lag behind the primary, and the apply
+/// counters; the final sample's lag is also the exit criterion smoke
+/// scripts grep for.
+fn client_follow_lag(args: &Args, client: &mut PqoClient) -> Result<(), String> {
+    let id = args.get("template")?;
+    let count: usize = parse_opt(args, "count", 10)?;
+    let interval_ms: u64 = parse_opt(args, "interval-ms", 200)?;
+    if count == 0 {
+        return Err("--count must be >= 1".into());
+    }
+    for i in 0..count {
+        let s = client.stats(&id).map_err(|e| e.to_string())?;
+        println!(
+            "[{i}] {id}: generation {} lag {} (applied {}, pushed {}, in {} B, out {} B)",
+            s.generation,
+            s.replica_lag,
+            s.gens_applied,
+            s.gens_pushed,
+            s.replication_bytes_in,
+            s.replication_bytes_out,
+        );
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        if i + 1 < count {
+            std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        }
+    }
+    Ok(())
 }
 
 /// `pqo client --connect ADDR --op idle --conns N --hold-ms T`: open N raw

@@ -25,6 +25,7 @@ pub mod concurrent;
 pub mod manager;
 pub mod metrics;
 pub mod persist;
+pub mod replication;
 pub mod runner;
 pub mod scr;
 pub mod service;

@@ -24,15 +24,32 @@ use crate::cache::{InstanceEntry, PlanCache};
 use crate::scr::{Scr, ScrConfig};
 use crate::snapshot::CacheSnapshot;
 
-const MAGIC: &[u8; 8] = b"PQOCACH1";
+/// Version 1 header: no generation stamp (read-compatible, written by
+/// releases that predate the replication generation log).
+const MAGIC_V1: &[u8; 8] = b"PQOCACH1";
+/// Version 2 header: a `u64` generation stamp follows the magic, so warm
+/// restarts resume the publication lineage (and replicas can subscribe
+/// with catch-up from the generation they persisted).
+const MAGIC_V2: &[u8; 8] = b"PQOCACH2";
+/// Shared prefix of every format version; the trailing byte is the ASCII
+/// version digit.
+const MAGIC_PREFIX: &[u8; 7] = b"PQOCACH";
 
 /// Errors raised while restoring a snapshot.
 #[derive(Debug)]
 pub enum RestoreError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// Not a snapshot, or an unsupported version.
+    /// Not a snapshot at all (unrecognized magic).
     BadHeader,
+    /// A snapshot in a recognizably newer (or unknown) format version than
+    /// this reader supports — the on-disk/wire format is a cross-process
+    /// contract, so version skew gets its own typed error instead of being
+    /// folded into [`RestoreError::BadHeader`].
+    UnsupportedVersion {
+        /// The ASCII version byte found in the header.
+        version: u8,
+    },
     /// Structurally invalid snapshot (truncated, dangling references, or
     /// non-finite numbers).
     Corrupt(String),
@@ -65,6 +82,11 @@ impl std::fmt::Display for RestoreError {
         match self {
             RestoreError::Io(e) => write!(f, "i/o error: {e}"),
             RestoreError::BadHeader => write!(f, "not a pqo cache snapshot (bad magic/version)"),
+            RestoreError::UnsupportedVersion { version } => write!(
+                f,
+                "unsupported snapshot format version {:?} (this reader understands v1/v2)",
+                char::from(*version)
+            ),
             RestoreError::Corrupt(m) => write!(f, "corrupt snapshot: {m}"),
             RestoreError::Config(e) => write!(f, "invalid restore configuration: {e}"),
         }
@@ -105,27 +127,37 @@ fn r_f64(r: &mut impl Read) -> io::Result<f64> {
 /// cache state.
 pub fn save(scr: &Scr, w: &mut impl Write) -> io::Result<()> {
     let (log_cost_sum, opt_count) = scr.lambda_accumulators();
-    save_parts(scr.cache(), log_cost_sum, opt_count, w)
+    save_parts(scr.cache(), log_cost_sum, opt_count, 0, w)
 }
 
-/// Snapshot a published [`CacheSnapshot`] generation into `w`.
+/// Snapshot a published [`CacheSnapshot`] generation into `w`, carrying its
+/// generation stamp (v2 header) so a warm restart resumes the publication
+/// lineage.
 ///
-/// Byte-identical to [`save`] on the same cache state: a serving layer can
-/// persist straight from its current published generation without taking
-/// the writer lock (the snapshot is immutable, so the blob is internally
-/// consistent even while writers keep publishing).
+/// Byte-identical to [`save`] on the same cache state at generation 0: a
+/// serving layer can persist straight from its current published generation
+/// without taking the writer lock (the snapshot is immutable, so the blob
+/// is internally consistent even while writers keep publishing).
 pub fn save_snapshot(snapshot: &CacheSnapshot, w: &mut impl Write) -> io::Result<()> {
     let (log_cost_sum, opt_count) = snapshot.lambda_accumulators();
-    save_parts(snapshot.cache(), log_cost_sum, opt_count, w)
+    save_parts(
+        snapshot.cache(),
+        log_cost_sum,
+        opt_count,
+        snapshot.generation(),
+        w,
+    )
 }
 
-fn save_parts(
+pub(crate) fn save_parts(
     cache: &PlanCache,
     log_cost_sum: f64,
     opt_count: u64,
+    generation: u64,
     w: &mut impl Write,
 ) -> io::Result<()> {
-    w.write_all(MAGIC)?;
+    w.write_all(MAGIC_V2)?;
+    w_u64(w, generation)?;
 
     // Plan list, ordered by fingerprint for determinism.
     let mut plans: Vec<_> = cache.plans().collect();
@@ -165,13 +197,30 @@ fn save_parts(
 }
 
 /// Restore a snapshot produced by [`save`] into a fresh [`Scr`] with the
-/// given configuration.
+/// given configuration, discarding the generation stamp.
 pub fn restore(config: ScrConfig, r: &mut impl Read) -> Result<Scr, RestoreError> {
+    restore_with_generation(config, r).map(|(scr, _)| scr)
+}
+
+/// Restore a snapshot together with the generation it was published under
+/// (0 for v1 blobs, which predate generation stamps). Warm restarts feed
+/// the generation back into the serving layer so replica subscriptions can
+/// catch up from it instead of re-shipping the full cache.
+pub fn restore_with_generation(
+    config: ScrConfig,
+    r: &mut impl Read,
+) -> Result<(Scr, u64), RestoreError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
+    let generation = if &magic == MAGIC_V2 {
+        r_u64(r)?
+    } else if &magic == MAGIC_V1 {
+        0
+    } else if magic[..7] == MAGIC_PREFIX[..] && magic[7].is_ascii_digit() {
+        return Err(RestoreError::UnsupportedVersion { version: magic[7] });
+    } else {
         return Err(RestoreError::BadHeader);
-    }
+    };
 
     let plan_count = r_u32(r)? as usize;
     if plan_count > 1_000_000 {
@@ -249,7 +298,9 @@ pub fn restore(config: ScrConfig, r: &mut impl Read) -> Result<Scr, RestoreError
         return Err(RestoreError::Corrupt("non-finite λ accumulator".into()));
     }
 
-    Scr::from_parts(config, plans, entries, log_cost_sum, opt_count).map_err(RestoreError::Config)
+    let scr = Scr::from_parts(config, plans, entries, log_cost_sum, opt_count)
+        .map_err(RestoreError::Config)?;
+    Ok((scr, generation))
 }
 
 #[cfg(test)]
@@ -365,6 +416,53 @@ mod tests {
     fn bad_magic_is_rejected() {
         let err = restore(ScrConfig::new(1.5).unwrap(), &mut &b"NOTACACHE"[..]).unwrap_err();
         assert!(matches!(err, RestoreError::BadHeader), "{err}");
+    }
+
+    #[test]
+    fn unknown_version_gets_typed_error() {
+        let t = fixture();
+        let (scr, _) = warmed(&t, 5);
+        let mut buf = Vec::new();
+        save(&scr, &mut buf).unwrap();
+        for version in [b'3', b'7', b'9', b'0'] {
+            let mut evil = buf.clone();
+            evil[7] = version;
+            let err = restore(ScrConfig::new(1.5).unwrap(), &mut evil.as_slice()).unwrap_err();
+            assert!(
+                matches!(err, RestoreError::UnsupportedVersion { version: v } if v == version),
+                "version {}: {err}",
+                char::from(version)
+            );
+        }
+        // A non-digit trailing byte is not a version at all.
+        let mut evil = buf.clone();
+        evil[7] = b'X';
+        let err = restore(ScrConfig::new(1.5).unwrap(), &mut evil.as_slice()).unwrap_err();
+        assert!(matches!(err, RestoreError::BadHeader), "{err}");
+    }
+
+    #[test]
+    fn generation_stamp_roundtrips_and_v1_reads_as_zero() {
+        let t = fixture();
+        let (scr, _) = warmed(&t, 10);
+        let snap = CacheSnapshot::capture_at(&scr, 42);
+        let mut buf = Vec::new();
+        save_snapshot(&snap, &mut buf).unwrap();
+        let (restored, generation) =
+            restore_with_generation(ScrConfig::new(1.5).unwrap(), &mut buf.as_slice()).unwrap();
+        assert_eq!(generation, 42);
+        assert_eq!(restored.cache().num_plans(), scr.cache().num_plans());
+
+        // A v1 blob (magic digit '1', no generation field) restores with
+        // generation 0: splice the v2 header out.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC_V1);
+        v1.extend_from_slice(&buf[16..]);
+        let (from_v1, generation) =
+            restore_with_generation(ScrConfig::new(1.5).unwrap(), &mut v1.as_slice()).unwrap();
+        assert_eq!(generation, 0);
+        assert_eq!(from_v1.cache().num_plans(), scr.cache().num_plans());
+        assert_eq!(from_v1.cache().num_instances(), scr.cache().num_instances());
     }
 
     #[test]

@@ -1,0 +1,689 @@
+//! Generation-log snapshot replication: serialize the publication stream.
+//!
+//! [`crate::snapshot::CacheWriter`] turns every `manageCache` commit into a
+//! new [`CacheSnapshot`] generation with a monotonic stamp. This module
+//! makes that stream *replicable*: each publish can be encoded as a
+//! self-describing **generation record** that a read replica decodes and
+//! installs into its own [`crate::snapshot::SnapshotCell`], replaying the
+//! primary's exact cache state (the paper's guarantee is a property of the
+//! cache state, so a replica that replays it inherits λ-optimality for
+//! every hit it serves).
+//!
+//! Two record kinds:
+//!
+//! * **Full** — the [`crate::persist`] v2 blob (arena plans in Appendix B
+//!   compact encoding, instance 5-tuples, λ accumulators, generation
+//!   stamp). Used for bootstrap and whenever the subscriber's acknowledged
+//!   base has aged out of the writer's generation log.
+//! * **Delta** — encoded against a recently published base generation.
+//!   Because consecutive generations share `Arc`s (the cache clone is
+//!   shallow: plan list values and instance entries are `Arc`-shared, see
+//!   [`crate::cache::PlanCache`]), the encoder detects "untouched" by
+//!   pointer identity and ships *references*: an unchanged instance entry
+//!   is a 5-byte base-index tag, an unchanged plan an 8-byte fingerprint —
+//!   only genuinely new plans/entries ship bytes. A typical post-warmup
+//!   publish (one new instance entry on an existing plan) is tens of bytes
+//!   regardless of cache size, mirroring PR 7's O(n/shards) publish cost at
+//!   the fleet level.
+//!
+//! Decoding rebuilds an [`Scr`] via [`Scr::from_parts`] — the same
+//! re-insertion path as a persist restore, whose index/decision equivalence
+//! with the writer's incrementally-maintained state is pinned by the
+//! persist round-trip tests. Delta decoding resolves base references
+//! against the replica's *current published generation*, which must carry
+//! exactly the record's base stamp ([`ReplicationError::BaseMismatch`]
+//! otherwise) — so a replica can never silently apply a delta onto the
+//! wrong state.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use pqo_optimizer::compact::CompactPlan;
+use pqo_optimizer::error::PqoError;
+use pqo_optimizer::plan::{Plan, PlanFingerprint};
+use pqo_optimizer::svector::SVector;
+
+use crate::cache::InstanceEntry;
+use crate::persist::{self, RestoreError};
+use crate::scr::{Scr, ScrConfig};
+use crate::snapshot::CacheSnapshot;
+
+/// Record header magic ("PQO generation record, layout 1").
+const RECORD_MAGIC: &[u8; 4] = b"PQG1";
+const KIND_FULL: u8 = 0;
+const KIND_DELTA: u8 = 1;
+const ENTRY_BASE_REF: u8 = 0;
+const ENTRY_INLINE: u8 = 1;
+const PLAN_BASE_REF: u8 = 0;
+const PLAN_INLINE: u8 = 1;
+
+/// Errors raised while decoding or applying a generation record.
+#[derive(Debug)]
+pub enum ReplicationError {
+    /// Structurally invalid record (truncated, implausible counts, dangling
+    /// references, non-finite numbers).
+    Corrupt(String),
+    /// A delta record whose base generation does not match the replica's
+    /// current published generation — applying it would replay the delta
+    /// onto the wrong state, so the caller must resynchronize (typically by
+    /// re-subscribing from its actual generation).
+    BaseMismatch {
+        /// The base generation the record was encoded against.
+        record_base: u64,
+        /// The generation the replica actually has (`None` when the caller
+        /// supplied no base snapshot at all).
+        have: Option<u64>,
+    },
+    /// The embedded full snapshot failed to restore.
+    Restore(RestoreError),
+}
+
+impl std::fmt::Display for ReplicationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplicationError::Corrupt(m) => write!(f, "corrupt generation record: {m}"),
+            ReplicationError::BaseMismatch { record_base, have } => write!(
+                f,
+                "delta base generation {record_base} does not match replica generation {have:?}"
+            ),
+            ReplicationError::Restore(e) => write!(f, "embedded snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplicationError {}
+
+impl From<RestoreError> for ReplicationError {
+    fn from(e: RestoreError) -> Self {
+        ReplicationError::Restore(e)
+    }
+}
+
+impl From<ReplicationError> for PqoError {
+    fn from(e: ReplicationError) -> Self {
+        PqoError::Persist {
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Parsed record header: what a subscriber learns before applying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordInfo {
+    /// The generation this record produces when applied.
+    pub generation: u64,
+    /// The base generation a delta record requires (`None` for full
+    /// records).
+    pub base: Option<u64>,
+}
+
+/// Encode one published generation as a record.
+///
+/// When `base` is a retained earlier generation of the same lineage
+/// (`base.generation() < snapshot.generation()`), the record is a delta;
+/// otherwise a full snapshot. The encoder never fails — a base that turns
+/// out to share nothing simply yields a delta that inlines everything.
+pub fn encode_generation(snapshot: &CacheSnapshot, base: Option<&CacheSnapshot>) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(RECORD_MAGIC);
+    match base {
+        Some(base) if base.generation() < snapshot.generation() => {
+            out.push(KIND_DELTA);
+            out.extend_from_slice(&snapshot.generation().to_le_bytes());
+            out.extend_from_slice(&base.generation().to_le_bytes());
+            encode_delta_body(snapshot, base, &mut out);
+        }
+        _ => {
+            out.push(KIND_FULL);
+            out.extend_from_slice(&snapshot.generation().to_le_bytes());
+            persist::save_snapshot(snapshot, &mut out).expect("Vec writes are infallible");
+        }
+    }
+    out
+}
+
+fn encode_delta_body(snapshot: &CacheSnapshot, base: &CacheSnapshot, out: &mut Vec<u8>) {
+    // Plan membership: the complete fingerprint list of the new generation
+    // (so evictions and zero-entry plans replicate exactly). Plans the base
+    // already holds ship as references.
+    let base_fps: HashSet<PlanFingerprint> =
+        base.cache().plans().map(|p| p.fingerprint()).collect();
+    let mut plans: Vec<&Arc<Plan>> = snapshot.cache().plans().collect();
+    plans.sort_by_key(|p| p.fingerprint());
+    out.extend_from_slice(&(plans.len() as u32).to_le_bytes());
+    for p in &plans {
+        out.extend_from_slice(&p.fingerprint().0.to_le_bytes());
+        if base_fps.contains(&p.fingerprint()) {
+            out.push(PLAN_BASE_REF);
+        } else {
+            out.push(PLAN_INLINE);
+            let enc = CompactPlan::encode(p);
+            out.extend_from_slice(&(enc.bytes_len() as u32).to_le_bytes());
+            out.extend_from_slice(enc.as_bytes());
+        }
+    }
+
+    // Instance list in the new generation's order. Entries `Arc`-shared
+    // with the base (the shallow-clone publish path guarantees pointer
+    // identity for untouched entries) ship as base-index references.
+    let base_index: HashMap<*const InstanceEntry, u32> = base
+        .cache()
+        .instances()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (Arc::as_ptr(e), i as u32))
+        .collect();
+    let entries = snapshot.cache().instances();
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for e in entries {
+        match base_index.get(&Arc::as_ptr(e)) {
+            Some(&idx) => {
+                out.push(ENTRY_BASE_REF);
+                out.extend_from_slice(&idx.to_le_bytes());
+            }
+            None => {
+                out.push(ENTRY_INLINE);
+                out.extend_from_slice(&e.plan.0.to_le_bytes());
+                out.extend_from_slice(&(e.svector.len() as u32).to_le_bytes());
+                for &s in &e.svector.0 {
+                    out.extend_from_slice(&s.to_le_bytes());
+                }
+                out.extend_from_slice(&e.opt_cost.to_le_bytes());
+                out.extend_from_slice(&e.sub_opt.to_le_bytes());
+                out.extend_from_slice(&e.usage().to_le_bytes());
+                out.push(u8::from(e.violation_detected()));
+            }
+        }
+    }
+
+    // Dynamic-λ accumulators.
+    let (log_cost_sum, opt_count) = snapshot.lambda_accumulators();
+    out.extend_from_slice(&log_cost_sum.to_le_bytes());
+    out.extend_from_slice(&opt_count.to_le_bytes());
+}
+
+/// Bounds-checked little-endian reader over a record body.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ReplicationError> {
+        if self.buf.len() - self.pos < n {
+            return Err(ReplicationError::Corrupt("truncated record".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ReplicationError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ReplicationError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ReplicationError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, ReplicationError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn finish(&self) -> Result<(), ReplicationError> {
+        if self.pos != self.buf.len() {
+            return Err(ReplicationError::Corrupt(format!(
+                "{} trailing bytes",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Parse a record's header without applying it.
+pub fn record_info(bytes: &[u8]) -> Result<RecordInfo, ReplicationError> {
+    let mut c = Cur { buf: bytes, pos: 0 };
+    if c.take(4)? != RECORD_MAGIC {
+        return Err(ReplicationError::Corrupt("bad record magic".into()));
+    }
+    let kind = c.u8()?;
+    let generation = c.u64()?;
+    match kind {
+        KIND_FULL => Ok(RecordInfo {
+            generation,
+            base: None,
+        }),
+        KIND_DELTA => Ok(RecordInfo {
+            generation,
+            base: Some(c.u64()?),
+        }),
+        k => Err(ReplicationError::Corrupt(format!(
+            "unknown record kind {k}"
+        ))),
+    }
+}
+
+/// Decode a generation record into a fresh [`Scr`], resolving delta
+/// references against `base` (the replica's current published generation).
+/// Returns the rebuilt state and the generation it represents; the caller
+/// installs it via
+/// [`crate::snapshot::CacheWriter::install_generation`].
+///
+/// # Errors
+/// [`ReplicationError::BaseMismatch`] when a delta's base generation is not
+/// the one supplied; [`ReplicationError::Corrupt`] /
+/// [`ReplicationError::Restore`] on malformed bytes.
+pub fn apply_generation(
+    config: ScrConfig,
+    base: Option<&CacheSnapshot>,
+    bytes: &[u8],
+) -> Result<(Scr, u64), ReplicationError> {
+    let mut c = Cur { buf: bytes, pos: 0 };
+    if c.take(4)? != RECORD_MAGIC {
+        return Err(ReplicationError::Corrupt("bad record magic".into()));
+    }
+    let kind = c.u8()?;
+    let generation = c.u64()?;
+    match kind {
+        KIND_FULL => {
+            let mut body = &bytes[c.pos..];
+            let (scr, embedded_gen) = persist::restore_with_generation(config, &mut body)?;
+            if !body.is_empty() {
+                return Err(ReplicationError::Corrupt(format!(
+                    "{} trailing bytes after full snapshot",
+                    body.len()
+                )));
+            }
+            if embedded_gen != generation {
+                return Err(ReplicationError::Corrupt(format!(
+                    "header generation {generation} != embedded generation {embedded_gen}"
+                )));
+            }
+            Ok((scr, generation))
+        }
+        KIND_DELTA => {
+            let record_base = c.u64()?;
+            let base = match base {
+                Some(b) if b.generation() == record_base => b,
+                other => {
+                    return Err(ReplicationError::BaseMismatch {
+                        record_base,
+                        have: other.map(CacheSnapshot::generation),
+                    })
+                }
+            };
+            let (scr, _) = apply_delta_body(config, base, &mut c, generation)?;
+            c.finish()?;
+            Ok((scr, generation))
+        }
+        k => Err(ReplicationError::Corrupt(format!(
+            "unknown record kind {k}"
+        ))),
+    }
+}
+
+fn apply_delta_body(
+    config: ScrConfig,
+    base: &CacheSnapshot,
+    c: &mut Cur<'_>,
+    generation: u64,
+) -> Result<(Scr, u64), ReplicationError> {
+    let plan_count = c.u32()? as usize;
+    if plan_count > 1_000_000 {
+        return Err(ReplicationError::Corrupt(format!(
+            "implausible plan count {plan_count}"
+        )));
+    }
+    let mut plans: Vec<Arc<Plan>> = Vec::with_capacity(plan_count);
+    let mut fps: HashSet<PlanFingerprint> = HashSet::with_capacity(plan_count);
+    for i in 0..plan_count {
+        let fp = PlanFingerprint(c.u64()?);
+        let plan = match c.u8()? {
+            PLAN_BASE_REF => Arc::clone(base.cache().plan(fp).ok_or_else(|| {
+                ReplicationError::Corrupt(format!("plan {i} references {fp} missing from base"))
+            })?),
+            PLAN_INLINE => {
+                let len = c.u32()? as usize;
+                if len == 0 || len > 1 << 20 {
+                    return Err(ReplicationError::Corrupt(format!(
+                        "plan {i} has length {len}"
+                    )));
+                }
+                let bytes = c.take(len)?.to_vec();
+                let plan = CompactPlan::from_bytes(bytes.into_boxed_slice())
+                    .checked_decode()
+                    .map_err(|e| ReplicationError::Corrupt(format!("plan {i}: {e}")))?;
+                if plan.fingerprint() != fp {
+                    return Err(ReplicationError::Corrupt(format!(
+                        "plan {i} fingerprint mismatch"
+                    )));
+                }
+                Arc::new(plan)
+            }
+            t => {
+                return Err(ReplicationError::Corrupt(format!(
+                    "plan {i} has unknown tag {t}"
+                )))
+            }
+        };
+        fps.insert(fp);
+        plans.push(plan);
+    }
+
+    let entry_count = c.u32()? as usize;
+    if entry_count > 100_000_000 {
+        return Err(ReplicationError::Corrupt(format!(
+            "implausible entry count {entry_count}"
+        )));
+    }
+    let base_entries = base.cache().instances();
+    let mut entries: Vec<InstanceEntry> = Vec::with_capacity(entry_count);
+    for i in 0..entry_count {
+        match c.u8()? {
+            ENTRY_BASE_REF => {
+                let idx = c.u32()? as usize;
+                let e = base_entries.get(idx).ok_or_else(|| {
+                    ReplicationError::Corrupt(format!(
+                        "entry {i} references base index {idx} of {}",
+                        base_entries.len()
+                    ))
+                })?;
+                if !fps.contains(&e.plan) {
+                    return Err(ReplicationError::Corrupt(format!(
+                        "entry {i} references plan {} absent from this generation",
+                        e.plan
+                    )));
+                }
+                entries.push(InstanceEntry::restored(
+                    e.svector.clone(),
+                    e.plan,
+                    e.opt_cost,
+                    e.sub_opt,
+                    e.usage(),
+                    e.violation_detected(),
+                ));
+            }
+            ENTRY_INLINE => {
+                let fp = PlanFingerprint(c.u64()?);
+                if !fps.contains(&fp) {
+                    return Err(ReplicationError::Corrupt(format!(
+                        "entry {i} references plan {fp} absent from this generation"
+                    )));
+                }
+                let d = c.u32()? as usize;
+                if d == 0 || d > 64 {
+                    return Err(ReplicationError::Corrupt(format!(
+                        "entry {i} has dimensionality {d}"
+                    )));
+                }
+                let mut sels = Vec::with_capacity(d);
+                for _ in 0..d {
+                    let s = c.f64()?;
+                    if !(s > 0.0 && s <= 1.0) {
+                        return Err(ReplicationError::Corrupt(format!(
+                            "entry {i} has selectivity {s}"
+                        )));
+                    }
+                    sels.push(s);
+                }
+                let opt_cost = c.f64()?;
+                let sub_opt = c.f64()?;
+                let usage = c.u64()?;
+                let violation = c.u8()? != 0;
+                if !opt_cost.is_finite() || opt_cost <= 0.0 || !sub_opt.is_finite() || sub_opt < 1.0
+                {
+                    return Err(ReplicationError::Corrupt(format!(
+                        "entry {i} has C={opt_cost}, S={sub_opt}"
+                    )));
+                }
+                entries.push(InstanceEntry::restored(
+                    SVector(sels),
+                    fp,
+                    opt_cost,
+                    sub_opt,
+                    usage,
+                    violation,
+                ));
+            }
+            t => {
+                return Err(ReplicationError::Corrupt(format!(
+                    "entry {i} has unknown tag {t}"
+                )))
+            }
+        }
+    }
+
+    let log_cost_sum = c.f64()?;
+    let opt_count = c.u64()?;
+    if !log_cost_sum.is_finite() {
+        return Err(ReplicationError::Corrupt("non-finite λ accumulator".into()));
+    }
+
+    let scr = Scr::from_parts(config, plans, entries, log_cost_sum, opt_count)
+        .map_err(|e| ReplicationError::Corrupt(format!("invalid decoded state: {e}")))?;
+    Ok((scr, generation))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{CacheWriter, SnapshotCell};
+    use crate::testutil::fixture_template;
+    use pqo_optimizer::engine::QueryEngine;
+    use pqo_optimizer::svector::{compute_svector, instance_for_target};
+
+    /// Drive one seeded point through the writer (optimize on miss) and
+    /// return whether it published a new generation.
+    fn drive(
+        t: &Arc<pqo_optimizer::template::QueryTemplate>,
+        engine: &QueryEngine,
+        writer: &mut CacheWriter,
+        cell: &SnapshotCell,
+        target: &[f64],
+    ) -> bool {
+        let inst = instance_for_target(t, target);
+        let sv = compute_svector(t, &inst);
+        if cell.load().try_cached_plan(&sv, engine).is_some() {
+            return false;
+        }
+        let opt = engine.optimize(&sv);
+        writer.manage_cache_entry(&sv, opt, engine, cell);
+        true
+    }
+
+    fn targets(n: usize) -> Vec<[f64; 2]> {
+        (0..n)
+            .map(|i| {
+                [
+                    0.02 + 0.012 * (i % 73) as f64,
+                    0.03 + 0.011 * ((i * 7) % 67) as f64,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_record_roundtrips() {
+        let t = fixture_template("repl_full");
+        let engine = QueryEngine::new(Arc::clone(&t));
+        let (mut writer, first) = CacheWriter::new(Scr::new(1.5).unwrap());
+        let cell = SnapshotCell::new(first);
+        for tg in targets(40) {
+            drive(&t, &engine, &mut writer, &cell, &tg);
+        }
+        let latest = writer.latest_snapshot();
+        let record = encode_generation(&latest, None);
+        let info = record_info(&record).unwrap();
+        assert_eq!(info.generation, latest.generation());
+        assert_eq!(info.base, None);
+
+        let (scr, generation) =
+            apply_generation(ScrConfig::new(1.5).unwrap(), None, &record).unwrap();
+        assert_eq!(generation, latest.generation());
+        assert_eq!(scr.cache().num_plans(), latest.cache().num_plans());
+        assert_eq!(scr.cache().num_instances(), latest.cache().num_instances());
+        assert!(scr.cache().check_invariants().is_ok());
+    }
+
+    #[test]
+    fn delta_chain_replays_primary_state_and_decisions() {
+        let t = fixture_template("repl_chain");
+        let engine = QueryEngine::new(Arc::clone(&t));
+        let r_engine = QueryEngine::new(Arc::clone(&t));
+        let cfg = ScrConfig::new(1.5).unwrap();
+        let (mut writer, first) = CacheWriter::new(Scr::with_config(cfg.clone()).unwrap());
+        let cell = SnapshotCell::new(first);
+        let (mut r_writer, r_first) = CacheWriter::new(Scr::with_config(cfg.clone()).unwrap());
+        let r_cell = SnapshotCell::new(r_first);
+
+        // Bootstrap the replica with a full record of generation 0.
+        let boot = encode_generation(&writer.latest_snapshot(), None);
+        let (scr, generation) = apply_generation(cfg.clone(), None, &boot).unwrap();
+        r_writer.install_generation(scr, generation, &r_cell);
+
+        let mut delta_bytes = 0usize;
+        let mut deltas = 0usize;
+        for tg in targets(60) {
+            if !drive(&t, &engine, &mut writer, &cell, &tg) {
+                continue;
+            }
+            let applied = r_cell.load().generation();
+            let latest = writer.latest_snapshot();
+            let record = encode_generation(&latest, writer.logged_snapshot(applied).as_deref());
+            let info = record_info(&record).unwrap();
+            assert_eq!(
+                info.base,
+                Some(applied),
+                "base within the log window must yield a delta"
+            );
+            delta_bytes += record.len();
+            deltas += 1;
+            let prev = r_cell.load();
+            let (scr, generation) = apply_generation(cfg.clone(), Some(&prev), &record).unwrap();
+            r_writer.install_generation(scr, generation, &r_cell);
+
+            // Untouched plans keep their Arc identity across applied
+            // generations — the delta shipped references, not bytes.
+            let now = r_cell.load();
+            for p in prev.cache().plans() {
+                if let Some(q) = now.cache().plan(p.fingerprint()) {
+                    assert!(Arc::ptr_eq(p, q), "replica re-materialized a shared plan");
+                }
+            }
+        }
+        assert!(deltas > 3, "workload must publish several generations");
+
+        // Replica state equals the primary's canonical state.
+        let p = cell.load();
+        let r = r_cell.load();
+        assert_eq!(r.generation(), p.generation());
+        assert_eq!(r.cache().num_plans(), p.cache().num_plans());
+        assert_eq!(r.cache().num_instances(), p.cache().num_instances());
+        for (a, b) in p.cache().instances().iter().zip(r.cache().instances()) {
+            assert_eq!(a.plan, b.plan);
+            assert_eq!(a.opt_cost.to_bits(), b.opt_cost.to_bits());
+            assert_eq!(a.sub_opt.to_bits(), b.sub_opt.to_bits());
+            assert_eq!(a.svector.0, b.svector.0);
+        }
+
+        // And makes identical reuse decisions on a fresh probe grid.
+        for tg in targets(80) {
+            let inst = instance_for_target(&t, &tg);
+            let sv = compute_svector(&t, &inst);
+            let a = p.try_cached_plan(&sv, &engine);
+            let b = r.try_cached_plan(&sv, &r_engine);
+            match (a, b) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.plan.fingerprint(), y.plan.fingerprint(), "at {tg:?}");
+                    assert_eq!(x.optimized, y.optimized);
+                }
+                (a, b) => panic!(
+                    "decision diverged at {tg:?}: {:?} vs {:?}",
+                    a.is_some(),
+                    b.is_some()
+                ),
+            }
+        }
+
+        // Deltas must be far cheaper than re-shipping the cache.
+        let full = encode_generation(&cell.load(), None).len();
+        assert!(
+            delta_bytes / deltas < full,
+            "average delta ({} B) not smaller than a full record ({full} B)",
+            delta_bytes / deltas
+        );
+    }
+
+    #[test]
+    fn delta_base_mismatch_is_typed() {
+        let t = fixture_template("repl_mismatch");
+        let engine = QueryEngine::new(Arc::clone(&t));
+        let cfg = ScrConfig::new(1.5).unwrap();
+        let (mut writer, first) = CacheWriter::new(Scr::with_config(cfg.clone()).unwrap());
+        let cell = SnapshotCell::new(first);
+        for tg in targets(10) {
+            drive(&t, &engine, &mut writer, &cell, &tg);
+        }
+        let base = writer.logged_snapshot(writer.generation() - 1).unwrap();
+        let record = encode_generation(&writer.latest_snapshot(), Some(&base));
+
+        // No base at all.
+        let err = apply_generation(cfg.clone(), None, &record).unwrap_err();
+        assert!(
+            matches!(err, ReplicationError::BaseMismatch { have: None, .. }),
+            "{err}"
+        );
+        // Wrong base generation.
+        let wrong = writer.logged_snapshot(writer.generation() - 2).unwrap();
+        let err = apply_generation(cfg, Some(&wrong), &record).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ReplicationError::BaseMismatch {
+                    have: Some(g),
+                    ..
+                } if g == wrong.generation()
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn corrupt_records_never_panic() {
+        let t = fixture_template("repl_fuzz");
+        let engine = QueryEngine::new(Arc::clone(&t));
+        let cfg = ScrConfig::new(1.5).unwrap();
+        let (mut writer, first) = CacheWriter::new(Scr::with_config(cfg.clone()).unwrap());
+        let cell = SnapshotCell::new(first);
+        for tg in targets(15) {
+            drive(&t, &engine, &mut writer, &cell, &tg);
+        }
+        let base = writer.logged_snapshot(writer.generation() - 1).unwrap();
+        for record in [
+            encode_generation(&writer.latest_snapshot(), None),
+            encode_generation(&writer.latest_snapshot(), Some(&base)),
+        ] {
+            // Truncations.
+            for cut in 0..record.len().min(64) {
+                let _ = apply_generation(cfg.clone(), Some(&base), &record[..cut]);
+                let _ = record_info(&record[..cut]);
+            }
+            // Byte flips.
+            for i in (0..record.len()).step_by(7) {
+                let mut evil = record.clone();
+                evil[i] ^= 0xFF;
+                let _ = apply_generation(cfg.clone(), Some(&base), &evil);
+            }
+            // Trailing garbage.
+            let mut evil = record.clone();
+            evil.push(0);
+            assert!(apply_generation(cfg.clone(), Some(&base), &evil).is_err());
+        }
+    }
+}

@@ -722,6 +722,15 @@ impl Scr {
         &self.stats
     }
 
+    /// Adopt an existing set of shared stat cells (the replica apply path:
+    /// each applied generation is rebuilt via [`Scr::from_parts`], but the
+    /// shard's cumulative hit/publish tallies must survive the swap). The
+    /// adopted cells immediately re-sync the new index's rebuild counters.
+    pub(crate) fn adopt_stat_cells(&mut self, cells: Arc<ScrStatCells>) {
+        self.stats = cells;
+        self.sync_index_stats();
+    }
+
     /// Effective λ for an entry with optimal cost `c` (Appendix D).
     fn effective_lambda(&self, c: f64) -> f64 {
         self.read_view().effective_lambda(c)

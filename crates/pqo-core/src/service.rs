@@ -55,6 +55,7 @@ use pqo_optimizer::svector::SVector;
 use pqo_optimizer::template::{QueryInstance, QueryTemplate};
 
 use crate::persist;
+use crate::replication;
 use crate::scr::{GetPlanScratch, Scr, ScrConfig, ScrStats};
 use crate::snapshot::{CacheSnapshot, CacheWriter, SnapshotCell};
 use crate::PlanChoice;
@@ -161,11 +162,14 @@ impl PqoService {
         config: ScrConfig,
     ) -> Result<(), PqoError> {
         let scr = Scr::with_config(config)?;
-        self.install(template, scr)
+        self.install(template, scr, 0)
     }
 
     /// Register a template whose SCR state is restored from a snapshot
-    /// produced by [`persist::save`] (e.g. a warm restart).
+    /// produced by [`persist::save`] (e.g. a warm restart). The restored
+    /// shard continues the snapshot's generation lineage: its published
+    /// generation equals the stamp the snapshot was saved under, so a
+    /// restarted replica can resubscribe from where it left off.
     ///
     /// # Errors
     /// [`PqoError::Persist`] when the snapshot is unreadable or corrupt, in
@@ -176,14 +180,19 @@ impl PqoService {
         config: ScrConfig,
         snapshot: &mut impl Read,
     ) -> Result<(), PqoError> {
-        let scr = persist::restore(config, snapshot)?;
-        self.install(template, scr)
+        let (scr, generation) = persist::restore_with_generation(config, snapshot)?;
+        self.install(template, scr, generation)
     }
 
-    fn install(&self, template: Arc<QueryTemplate>, scr: Scr) -> Result<(), PqoError> {
+    fn install(
+        &self,
+        template: Arc<QueryTemplate>,
+        scr: Scr,
+        generation: u64,
+    ) -> Result<(), PqoError> {
         let name = template.name.clone();
         let plans = scr.cache().num_plans();
-        let (writer, first) = CacheWriter::new(scr);
+        let (writer, first) = CacheWriter::at_generation(scr, generation);
         let mut shards = self.shards.write().expect("registry lock poisoned");
         if shards.contains_key(&name) {
             return Err(PqoError::DuplicateTemplate { name });
@@ -269,11 +278,29 @@ impl PqoService {
         template: &str,
         instance: &QueryInstance,
     ) -> Result<PlanChoice, PqoError> {
+        Ok(self.get_plan_with_generation(template, instance)?.0)
+    }
+
+    /// [`PqoService::get_plan`] plus the generation the decision is valid
+    /// at: the published generation the hit was served from, or the
+    /// generation a miss's `manageCache` published. A replica that has
+    /// applied *at least* this generation holds every cache entry this
+    /// decision depends on — the wire protocol carries it so replicas can
+    /// sequence forwarded decisions against their own applied stream.
+    ///
+    /// # Errors
+    /// [`PqoError::UnknownTemplate`] when `template` is not registered.
+    pub fn get_plan_with_generation(
+        &self,
+        template: &str,
+        instance: &QueryInstance,
+    ) -> Result<(PlanChoice, u64), PqoError> {
         let shard = self.shard(template)?;
         let sv = shard.engine.compute_svector(instance);
 
-        if let Some(choice) = shard.try_cached_plan(&shard.published.load(), &sv) {
-            return Ok(choice);
+        let snapshot = shard.published.load();
+        if let Some(choice) = shard.try_cached_plan(&snapshot, &sv) {
+            return Ok((choice, snapshot.generation()));
         }
 
         // Miss: the optimizer call happens with no lock held.
@@ -281,11 +308,33 @@ impl PqoService {
         let opt = shard.engine.optimize(&sv);
         let opt_nanos = t0.elapsed().as_nanos() as u64;
         let plan = Arc::clone(&opt.plan);
-        self.commit(&shard, &sv, opt, opt_nanos);
-        Ok(PlanChoice {
-            plan,
-            optimized: true,
-        })
+        let generation = self.commit(&shard, &sv, opt, opt_nanos);
+        Ok((
+            PlanChoice {
+                plan,
+                optimized: true,
+            },
+            generation,
+        ))
+    }
+
+    /// The cache-only serving path (selectivity check + cost check against
+    /// the current published generation — never an optimizer call, never a
+    /// cache mutation), plus the generation consulted. This is the replica
+    /// fast path: a read replica answers hits locally and forwards misses
+    /// (`None`) to its primary.
+    ///
+    /// # Errors
+    /// [`PqoError::UnknownTemplate`] when `template` is not registered.
+    pub fn serve_cached(
+        &self,
+        template: &str,
+        instance: &QueryInstance,
+    ) -> Result<(Option<PlanChoice>, u64), PqoError> {
+        let shard = self.shard(template)?;
+        let sv = shard.engine.compute_svector(instance);
+        let snapshot = shard.published.load();
+        Ok((shard.try_cached_plan(&snapshot, &sv), snapshot.generation()))
     }
 
     /// Serve a batch of instances of the named template, amortizing the
@@ -305,6 +354,21 @@ impl PqoService {
         template: &str,
         instances: &[QueryInstance],
     ) -> Result<Vec<PlanChoice>, PqoError> {
+        Ok(self.get_plan_batch_with_generation(template, instances)?.0)
+    }
+
+    /// [`PqoService::get_plan_batch`] plus the generation the *last*
+    /// decision in the batch is valid at (see
+    /// [`PqoService::get_plan_with_generation`]): the generation of the
+    /// final snapshot consulted, which covers every decision in the frame.
+    ///
+    /// # Errors
+    /// [`PqoError::UnknownTemplate`] when `template` is not registered.
+    pub fn get_plan_batch_with_generation(
+        &self,
+        template: &str,
+        instances: &[QueryInstance],
+    ) -> Result<(Vec<PlanChoice>, u64), PqoError> {
         let shard = self.shard(template)?;
         // One selectivity pass over the whole batch.
         let svs: Vec<_> = instances
@@ -331,23 +395,26 @@ impl PqoService {
                 optimized: true,
             });
         }
-        Ok(out)
+        Ok((out, snapshot.generation()))
     }
 
     /// Commit a fresh optimization: `manageCache` + publication under the
     /// shard's writer lock, exact-delta accounting under the same lock,
     /// then global-budget enforcement. `opt_nanos` is the wall time the
     /// caller spent inside the (lock-free) optimizer call, attributed to
-    /// the technique's overhead split.
-    fn commit(&self, shard: &Shard, sv: &SVector, opt: OptimizedPlan, opt_nanos: u64) {
-        {
+    /// the technique's overhead split. Returns the generation the commit
+    /// published.
+    fn commit(&self, shard: &Shard, sv: &SVector, opt: OptimizedPlan, opt_nanos: u64) -> u64 {
+        let generation = {
             let mut writer = shard.writer();
             writer.scr().record_optimize_nanos(opt_nanos);
             let (before, after) =
                 writer.manage_cache_entry(sv, opt, &shard.engine, &shard.published);
             self.apply_delta(before, after);
-        }
+            writer.generation()
+        };
         self.enforce_global_budget();
+        generation
     }
 
     fn apply_delta(&self, before: usize, after: usize) {
@@ -368,6 +435,71 @@ impl PqoService {
     /// [`PqoError::UnknownTemplate`].
     pub fn snapshot(&self, template: &str) -> Result<Arc<CacheSnapshot>, PqoError> {
         Ok(self.shard(template)?.published.load())
+    }
+
+    /// The named template's current published generation stamp (O(1); the
+    /// replication heartbeat).
+    ///
+    /// # Errors
+    /// [`PqoError::UnknownTemplate`].
+    pub fn generation(&self, template: &str) -> Result<u64, PqoError> {
+        Ok(self.shard(template)?.published.load().generation())
+    }
+
+    /// Encode the named template's latest published generation as a
+    /// replication record (see [`replication::encode_generation`]): a delta
+    /// against `since` when that base is still in the writer's generation
+    /// log, a full snapshot otherwise. The `Arc`s are grabbed under the
+    /// writer lock; the (possibly large) encode runs after it is released.
+    /// Returns the record and the generation it produces.
+    ///
+    /// # Errors
+    /// [`PqoError::UnknownTemplate`].
+    pub fn generation_record(
+        &self,
+        template: &str,
+        since: Option<u64>,
+    ) -> Result<(Vec<u8>, u64), PqoError> {
+        let shard = self.shard(template)?;
+        let (latest, base) = {
+            let writer = shard.writer();
+            let base = since.and_then(|g| writer.logged_snapshot(g));
+            (writer.latest_snapshot(), base)
+        };
+        let generation = latest.generation();
+        Ok((
+            replication::encode_generation(&latest, base.as_deref()),
+            generation,
+        ))
+    }
+
+    /// Apply a pushed replication record to the named template (the replica
+    /// side of [`PqoService::generation_record`]): decode against the
+    /// current published generation as delta base, then install the decoded
+    /// state under the record's generation stamp. Plan-count accounting and
+    /// the global budget apply exactly as for locally committed mutations.
+    /// Returns the generation now published.
+    ///
+    /// # Errors
+    /// [`PqoError::UnknownTemplate`]; [`PqoError::Persist`] when the record
+    /// is corrupt or its delta base does not match the currently published
+    /// generation (the caller should resubscribe from its actual
+    /// generation).
+    pub fn apply_generation(&self, template: &str, record: &[u8]) -> Result<u64, PqoError> {
+        let shard = self.shard(template)?;
+        let generation = {
+            let mut writer = shard.writer();
+            let base = writer.latest_snapshot();
+            let config = base.config().clone();
+            let (scr, generation) = replication::apply_generation(config, Some(&base), record)?;
+            let before = writer.scr().cache().num_plans();
+            let after = scr.cache().num_plans();
+            writer.install_generation(scr, generation, &shard.published);
+            self.apply_delta(before, after);
+            generation
+        };
+        self.enforce_global_budget();
+        Ok(generation)
     }
 
     /// Total plans cached across all templates (O(1): the running total).
@@ -637,6 +769,42 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, PqoError::Persist { .. }), "{err}");
+    }
+
+    #[test]
+    fn replication_stream_mirrors_primary_shard() {
+        let (p, t_orders, _) = service_two_templates();
+        let r = PqoService::new();
+        r.register(Arc::clone(&t_orders), ScrConfig::new(2.0).unwrap())
+            .unwrap();
+        let mut applied = 0u64;
+        for i in 1..=9 {
+            let q = inst_at(&t_orders, &[0.1 * i as f64, 0.5]);
+            let (_, gen) = p.get_plan_with_generation("q_orders", &q).unwrap();
+            if gen > applied {
+                let (record, produced) = p.generation_record("q_orders", Some(applied)).unwrap();
+                applied = r.apply_generation("q_orders", &record).unwrap();
+                assert_eq!(applied, produced);
+            }
+            // The replica now serves the same point as a local cache hit.
+            let (hit, g) = r.serve_cached("q_orders", &q).unwrap();
+            assert_eq!(g, applied);
+            let hit = hit.expect("replayed generation must cover the instance");
+            assert!(!hit.optimized);
+        }
+        assert_eq!(
+            r.generation("q_orders").unwrap(),
+            p.generation("q_orders").unwrap()
+        );
+        assert_eq!(r.total_plans(), p.total_plans()); // only q_orders holds plans
+                                                      // A stale/corrupt record surfaces as a typed persist error.
+        let (record, _) = p.generation_record("q_orders", None).unwrap();
+        let mut evil = record;
+        evil[4] = 0xEE;
+        assert!(matches!(
+            r.apply_generation("q_orders", &evil),
+            Err(PqoError::Persist { .. })
+        ));
     }
 
     #[test]

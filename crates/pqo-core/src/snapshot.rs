@@ -57,6 +57,7 @@
 //! every generation. Technique counters ([`crate::scr::ScrStats`]) live in
 //! one shared cell set for the same reason.
 
+use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
 use pqo_optimizer::engine::{OptimizedPlan, QueryEngine};
@@ -67,10 +68,18 @@ use crate::cache::PlanCache;
 use crate::scr::{GetPlanScratch, ReadView, Scr, ScrConfig, ScrStatCells, ScrStats};
 use crate::PlanChoice;
 
+/// How many published generations the writer retains as delta bases for
+/// [`crate::replication`]: a subscriber whose acknowledged generation is
+/// within this window receives a per-shard delta; older (or unknown)
+/// subscribers fall back to a full snapshot record.
+pub const GENERATION_LOG_DEPTH: usize = 8;
+
 /// An immutable, `Arc`-published view of one SCR cache generation: plan
 /// list, instance list, spatial index, per-entry sub-optimality `S` values
 /// and the dynamic-λ accumulators — everything the cached `getPlan` path
-/// reads.
+/// reads. Each generation carries the monotonic [`CacheSnapshot::generation`]
+/// stamp its writer published it under, making the publication stream a
+/// replicable log rather than a private pointer swap.
 #[derive(Debug)]
 pub struct CacheSnapshot {
     config: ScrConfig,
@@ -78,18 +87,33 @@ pub struct CacheSnapshot {
     stats: Arc<ScrStatCells>,
     log_cost_sum: f64,
     opt_count: u64,
+    generation: u64,
 }
 
 impl CacheSnapshot {
-    /// Capture the current state of `scr` (shallow cache clone).
+    /// Capture the current state of `scr` (shallow cache clone) as
+    /// generation 0. Writers stamp real generations via
+    /// [`CacheSnapshot::capture_at`].
     pub fn capture(scr: &Scr) -> Self {
+        Self::capture_at(scr, 0)
+    }
+
+    /// Capture the current state of `scr` under an explicit generation
+    /// stamp.
+    pub fn capture_at(scr: &Scr, generation: u64) -> Self {
         CacheSnapshot {
             config: scr.config().clone(),
             cache: scr.cache().clone(),
             stats: Arc::clone(scr.stat_cells()),
             log_cost_sum: scr.lambda_accumulators().0,
             opt_count: scr.lambda_accumulators().1,
+            generation,
         }
+    }
+
+    /// The monotonic generation this snapshot was published under.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     fn view(&self) -> ReadView<'_> {
@@ -193,21 +217,66 @@ impl SnapshotCell {
 /// structural mutation against it, and publishes the next [`CacheSnapshot`]
 /// into the paired [`SnapshotCell`]. Callers serialize writers with a
 /// `Mutex<CacheWriter>`; readers never take that mutex.
+///
+/// Every publication stamps a monotonic generation id and is appended to a
+/// bounded **generation log** (the last [`GENERATION_LOG_DEPTH`] published
+/// `Arc`s), so [`crate::replication`] can encode a publish as a delta
+/// against any recently-acknowledged base generation — untouched plans and
+/// instance entries ship as references, not bytes.
 #[derive(Debug)]
 pub struct CacheWriter {
     scr: Scr,
+    /// Generation stamp of the most recent publication.
+    generation: u64,
+    /// Recently published generations, oldest first (delta bases).
+    log: VecDeque<Arc<CacheSnapshot>>,
 }
 
 impl CacheWriter {
-    /// Wrap an SCR state and publish its initial snapshot generation.
+    /// Wrap an SCR state and publish its initial snapshot as generation 0.
     pub fn new(scr: Scr) -> (Self, Arc<CacheSnapshot>) {
-        let snapshot = Arc::new(CacheSnapshot::capture(&scr));
-        (CacheWriter { scr }, snapshot)
+        Self::at_generation(scr, 0)
+    }
+
+    /// Wrap an SCR state whose initial snapshot continues an existing
+    /// generation lineage (e.g. a warm restart from a persisted generation,
+    /// so a replica can subscribe with catch-up from where it left off).
+    pub fn at_generation(scr: Scr, generation: u64) -> (Self, Arc<CacheSnapshot>) {
+        let snapshot = Arc::new(CacheSnapshot::capture_at(&scr, generation));
+        let mut log = VecDeque::with_capacity(GENERATION_LOG_DEPTH);
+        log.push_back(Arc::clone(&snapshot));
+        (
+            CacheWriter {
+                scr,
+                generation,
+                log,
+            },
+            snapshot,
+        )
     }
 
     /// The canonical state (read-only; for stats, persistence, tests).
     pub fn scr(&self) -> &Scr {
         &self.scr
+    }
+
+    /// The generation stamp of the most recent publication.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The most recently published generation (head of the log).
+    pub fn latest_snapshot(&self) -> Arc<CacheSnapshot> {
+        Arc::clone(self.log.back().expect("generation log never empty"))
+    }
+
+    /// A recently-published generation still retained as a delta base, if
+    /// `generation` is within the log window.
+    pub fn logged_snapshot(&self, generation: u64) -> Option<Arc<CacheSnapshot>> {
+        self.log
+            .iter()
+            .find(|s| s.generation() == generation)
+            .cloned()
     }
 
     /// `manageCache` for a fresh optimization, then publish the resulting
@@ -227,11 +296,41 @@ impl CacheWriter {
         (before, after)
     }
 
-    /// Capture + install the next generation, timing it into the shared
-    /// `publishes`/`publish_nanos` counters.
-    fn publish(&self, cell: &SnapshotCell) {
+    /// Capture + install the next generation (stamping the next monotonic
+    /// generation id and appending it to the generation log), timing it
+    /// into the shared `publishes`/`publish_nanos` counters.
+    fn publish(&mut self, cell: &SnapshotCell) {
         let t0 = std::time::Instant::now();
-        cell.store(Arc::new(CacheSnapshot::capture(&self.scr)));
+        self.generation += 1;
+        let snapshot = Arc::new(CacheSnapshot::capture_at(&self.scr, self.generation));
+        self.log.push_back(Arc::clone(&snapshot));
+        while self.log.len() > GENERATION_LOG_DEPTH {
+            self.log.pop_front();
+        }
+        cell.store(snapshot);
+        self.scr
+            .stat_cells()
+            .record_publish(t0.elapsed().as_nanos() as u64);
+    }
+
+    /// Replace the canonical state with an externally decoded generation
+    /// (the replica apply path of [`crate::replication`]): the incoming
+    /// `scr` adopts this writer's shared stat cells (so hit/publish tallies
+    /// survive across applied generations), and the snapshot is published
+    /// under the *record's* generation stamp rather than a locally minted
+    /// one — a replica's published generation always equals the primary
+    /// generation it replayed.
+    pub fn install_generation(&mut self, mut scr: Scr, generation: u64, cell: &SnapshotCell) {
+        let t0 = std::time::Instant::now();
+        scr.adopt_stat_cells(Arc::clone(self.scr.stat_cells()));
+        self.scr = scr;
+        self.generation = generation;
+        let snapshot = Arc::new(CacheSnapshot::capture_at(&self.scr, generation));
+        self.log.push_back(Arc::clone(&snapshot));
+        while self.log.len() > GENERATION_LOG_DEPTH {
+            self.log.pop_front();
+        }
+        cell.store(snapshot);
         self.scr
             .stat_cells()
             .record_publish(t0.elapsed().as_nanos() as u64);

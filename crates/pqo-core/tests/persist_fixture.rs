@@ -1,0 +1,142 @@
+//! On-disk format compatibility: a *committed* v2 snapshot fixture.
+//!
+//! The inline `persist` tests prove save/restore roundtrips within one
+//! build; this suite pins the format across builds. The fixture under
+//! `tests/fixtures/` was produced by the `regenerate_fixture` test below
+//! and is checked into the repository — today's reader must load those
+//! exact bytes, reproduce them bit-for-bit on re-save, and reject a
+//! bumped version digit with the typed
+//! [`RestoreError::UnsupportedVersion`] error rather than a decode crash.
+//!
+//! If the wire format ever changes intentionally, bump the magic to a new
+//! version, keep this fixture loading via a compat path, and commit an
+//! additional fixture for the new version — never overwrite this one
+//! silently.
+
+use std::sync::Arc;
+
+use pqo_core::persist::{restore_with_generation, save_snapshot, RestoreError};
+use pqo_core::scr::{Scr, ScrConfig};
+use pqo_core::{CacheSnapshot, OnlinePqo};
+use pqo_optimizer::engine::QueryEngine;
+use pqo_optimizer::svector::{compute_svector, instance_for_target};
+use pqo_optimizer::template::{QueryTemplate, RangeOp, TemplateBuilder};
+
+/// Bytes as committed; regenerated only by `regenerate_fixture`.
+const FIXTURE: &[u8] = include_bytes!("fixtures/scr_cache_v2.pqo-cache");
+
+/// λ the fixture was warmed under (part of the fixture's contract).
+const LAMBDA: f64 = 1.5;
+/// Generation stamp the fixture was captured at.
+const GENERATION: u64 = 7;
+
+/// The canonical orders ⋈ lineitem fixture template (mirrors the crate's
+/// internal test fixture, rebuilt here because integration tests cannot
+/// see `#[cfg(test)]` helpers).
+fn fixture_template() -> Arc<QueryTemplate> {
+    let cat = pqo_catalog::schemas::tpch_skew();
+    let mut b = TemplateBuilder::new("persist_fixture");
+    let o = b.relation(cat.expect_table("orders"), "o");
+    let l = b.relation(cat.expect_table("lineitem"), "l");
+    b.join((o, "orders_pk"), (l, "orders_fk"));
+    b.param(o, "o_totalprice", RangeOp::Le);
+    b.param(l, "l_extendedprice", RangeOp::Le);
+    b.build()
+}
+
+/// Deterministically warm an SCR with the fixed workload the fixture was
+/// built from: 24 instances swept across the first selectivity axis.
+fn warmed_scr() -> Scr {
+    let t = fixture_template();
+    let engine = QueryEngine::new(Arc::clone(&t));
+    let mut scr = Scr::new(LAMBDA).expect("valid λ");
+    for i in 0..24 {
+        let target = [0.03 + 0.85 * (i as f64 / 24.0), 0.35];
+        let inst = instance_for_target(&t, &target);
+        let sv = compute_svector(&t, &inst);
+        let _ = scr.get_plan(&inst, &sv, &engine);
+    }
+    scr
+}
+
+#[test]
+fn committed_fixture_restores_and_resaves_bit_identically() {
+    let (scr, generation) =
+        restore_with_generation(ScrConfig::new(LAMBDA).expect("valid λ"), &mut &FIXTURE[..])
+            .expect("committed v2 fixture must keep loading");
+    assert_eq!(generation, GENERATION, "generation stamp drifted");
+    assert!(scr.cache().num_plans() > 0, "fixture carries no plans");
+    assert!(
+        scr.cache().num_instances() > 0,
+        "fixture carries no entries"
+    );
+    scr.cache()
+        .check_invariants()
+        .expect("restored cache invariants");
+
+    // Round the restored state back through the writer: the bytes must be
+    // identical to what is committed, proving the format is stable in both
+    // directions (no silent field reordering, renumbering, or re-encoding).
+    let snap = CacheSnapshot::capture_at(&scr, generation);
+    let mut resaved = Vec::new();
+    save_snapshot(&snap, &mut resaved).expect("re-save");
+    assert_eq!(
+        resaved, FIXTURE,
+        "re-saving the restored fixture changed its bytes: the on-disk \
+         format drifted — add a new version instead"
+    );
+}
+
+#[test]
+fn restored_fixture_serves_its_warm_region() {
+    let mut scr =
+        restore_with_generation(ScrConfig::new(LAMBDA).expect("valid λ"), &mut &FIXTURE[..])
+            .expect("fixture loads")
+            .0;
+    let t = fixture_template();
+    let engine = QueryEngine::new(Arc::clone(&t));
+    let inst = instance_for_target(&t, &[0.45, 0.35]);
+    let sv = compute_svector(&t, &inst);
+    let choice = scr.get_plan(&inst, &sv, &engine);
+    assert!(
+        !choice.optimized,
+        "an instance inside the fixture's warm region re-optimized: the \
+         restored entries are not being consulted"
+    );
+}
+
+#[test]
+fn bumped_version_digit_is_rejected_with_typed_error() {
+    let mut bumped = FIXTURE.to_vec();
+    assert_eq!(&bumped[..8], b"PQOCACH2", "fixture header moved");
+    bumped[7] = b'3';
+    let err = restore_with_generation(
+        ScrConfig::new(LAMBDA).expect("valid λ"),
+        &mut bumped.as_slice(),
+    )
+    .expect_err("a future version must not decode");
+    assert!(
+        matches!(err, RestoreError::UnsupportedVersion { version: b'3' }),
+        "expected UnsupportedVersion, got: {err}"
+    );
+    // The error message names the version so operators can tell a
+    // too-new snapshot from corruption.
+    assert!(err.to_string().contains('3'), "undiagnosable error: {err}");
+}
+
+/// Regenerates `tests/fixtures/scr_cache_v2.pqo-cache`. Run explicitly via
+/// `cargo test -p pqo-core --test persist_fixture regenerate -- --ignored`
+/// *only* when intentionally re-baselining, then commit the new bytes.
+#[test]
+#[ignore = "writes the committed fixture; run only to re-baseline"]
+fn regenerate_fixture() {
+    let scr = warmed_scr();
+    let snap = CacheSnapshot::capture_at(&scr, GENERATION);
+    let mut bytes = Vec::new();
+    save_snapshot(&snap, &mut bytes).expect("serialize");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/scr_cache_v2.pqo-cache");
+    std::fs::create_dir_all(path.parent().unwrap()).expect("fixtures dir");
+    std::fs::write(&path, &bytes).expect("write fixture");
+    println!("wrote {} bytes to {}", bytes.len(), path.display());
+}

@@ -5,6 +5,7 @@
 //! stress tests; it is also the reference implementation for writing a
 //! client in another language.
 
+use std::collections::VecDeque;
 use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -67,6 +68,24 @@ pub struct PqoClient {
     templates: Vec<String>,
     body: Vec<u8>,
     frame: Vec<u8>,
+    /// Largest frame this client will read; raise to
+    /// [`wire::REPLICATION_MAX_FRAME_BYTES`] before subscribing.
+    max_frame: u32,
+    /// Pushed generations that arrived interleaved with a request/response
+    /// exchange; drained by [`PqoClient::poll_push`] before the socket.
+    pushes: VecDeque<PushedGeneration>,
+}
+
+/// One `SNAPSHOT_PUSH` received on a subscribed connection.
+#[derive(Debug, Clone)]
+pub struct PushedGeneration {
+    /// The template the record belongs to.
+    pub template: String,
+    /// Generation stamp of the pushed record.
+    pub generation: u64,
+    /// The replication record, as produced by
+    /// `pqo_core::replication::encode_generation`.
+    pub record: Vec<u8>,
 }
 
 impl PqoClient {
@@ -98,6 +117,8 @@ impl PqoClient {
             templates: Vec::new(),
             body: Vec::new(),
             frame: Vec::new(),
+            max_frame: wire::DEFAULT_MAX_FRAME_BYTES,
+            pushes: VecDeque::new(),
         };
         match client.call(&Request::Hello {
             version: wire::PROTOCOL_VERSION,
@@ -122,26 +143,37 @@ impl PqoClient {
         &self.templates
     }
 
-    /// One request/response exchange.
+    /// One request/response exchange. On a subscribed connection, pushed
+    /// generations may arrive between our request and its response; they
+    /// are buffered for [`PqoClient::poll_push`], never dropped.
     fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
         encode_request(req, &mut self.body);
         wire::write_frame(&mut self.stream, &self.body)?;
         self.stream.flush()?;
-        if !wire::read_frame(
-            &mut self.stream,
-            wire::DEFAULT_MAX_FRAME_BYTES,
-            &mut self.frame,
-        )? {
-            return Err(ClientError::Protocol(
-                "server closed the connection mid-exchange".into(),
-            ));
+        loop {
+            if !wire::read_frame(&mut self.stream, self.max_frame, &mut self.frame)? {
+                return Err(ClientError::Protocol(
+                    "server closed the connection mid-exchange".into(),
+                ));
+            }
+            let resp =
+                decode_response(&self.frame).map_err(|e| ClientError::Protocol(e.to_string()))?;
+            match resp {
+                Response::SnapshotPush {
+                    template,
+                    generation,
+                    record,
+                } => self.pushes.push_back(PushedGeneration {
+                    template,
+                    generation,
+                    record,
+                }),
+                Response::Error { code, message } => {
+                    return Err(ClientError::Server { code, message })
+                }
+                other => return Ok(other),
+            }
         }
-        let resp =
-            decode_response(&self.frame).map_err(|e| ClientError::Protocol(e.to_string()))?;
-        if let Response::Error { code, message } = resp {
-            return Err(ClientError::Server { code, message });
-        }
-        Ok(resp)
     }
 
     /// Serve one instance of `template` with raw parameter `values`.
@@ -201,6 +233,109 @@ impl PqoClient {
         }
     }
 
+    /// Raise (or lower) the largest frame this client will read. A
+    /// subscriber must raise it to [`wire::REPLICATION_MAX_FRAME_BYTES`]:
+    /// full-snapshot pushes dwarf request/response frames.
+    pub fn set_max_frame(&mut self, max: u32) {
+        self.max_frame = max;
+    }
+
+    /// Subscribe to `template`'s generation stream from generation `since`
+    /// onward; returns the generation currently published at the server.
+    /// Pushes then arrive asynchronously — consume them with
+    /// [`PqoClient::poll_push`] and acknowledge with
+    /// [`PqoClient::ack_generation`] (the server keeps at most one
+    /// unacknowledged push in flight per subscription).
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] with [`wire::code::UNKNOWN_TEMPLATE`] for an
+    /// unregistered template, plus transport errors.
+    pub fn subscribe(&mut self, template: &str, since: u64) -> Result<u64, ClientError> {
+        match self.call(&Request::Subscribe {
+            template: template.into(),
+            since,
+        })? {
+            Response::SubscribeOk { generation, .. } => Ok(generation),
+            other => Err(ClientError::Protocol(format!(
+                "expected SUBSCRIBE_OK, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Wait up to `idle` for the next pushed generation; `Ok(None)` when
+    /// the wait elapses with no push pending (the connection is fine).
+    ///
+    /// # Errors
+    /// Transport errors, a server error frame, or an unexpected response
+    /// type on the subscription stream.
+    pub fn poll_push(&mut self, idle: Duration) -> Result<Option<PushedGeneration>, ClientError> {
+        if let Some(p) = self.pushes.pop_front() {
+            return Ok(Some(p));
+        }
+        // Peek (no consumption) under the short deadline, so an idle
+        // timeout can never strand a half-read frame on the stream.
+        self.stream.set_read_timeout(Some(idle))?;
+        let mut probe = [0u8; 1];
+        match self.stream.peek(&mut probe) {
+            Ok(0) => {
+                return Err(ClientError::Protocol(
+                    "server closed the subscription stream".into(),
+                ))
+            }
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Ok(None)
+            }
+            Err(e) => return Err(e.into()),
+        }
+        self.stream
+            .set_read_timeout(Some(Duration::from_secs(10)))?;
+        if !wire::read_frame(&mut self.stream, self.max_frame, &mut self.frame)? {
+            return Err(ClientError::Protocol(
+                "server closed the subscription stream".into(),
+            ));
+        }
+        let resp =
+            decode_response(&self.frame).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        match resp {
+            Response::SnapshotPush {
+                template,
+                generation,
+                record,
+            } => Ok(Some(PushedGeneration {
+                template,
+                generation,
+                record,
+            })),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "expected SNAPSHOT_PUSH, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Acknowledge that `generation` of `template` has been applied,
+    /// releasing the server's next push. Fire-and-forget: `GEN_ACK` has no
+    /// response frame.
+    ///
+    /// # Errors
+    /// Transport errors on the write path.
+    pub fn ack_generation(&mut self, template: &str, generation: u64) -> Result<(), ClientError> {
+        encode_request(
+            &Request::GenAck {
+                template: template.into(),
+                generation,
+            },
+            &mut self.body,
+        );
+        wire::write_frame(&mut self.stream, &self.body)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
     /// Request graceful server shutdown (drain + snapshot flush) and
     /// consume this connection.
     ///
@@ -224,6 +359,9 @@ pub struct RemoteChoice {
     pub fingerprint: PlanFingerprint,
     /// Whether this instance forced a full optimizer call on the server.
     pub optimized: bool,
+    /// The snapshot generation the decision was served from (after any
+    /// cache mutation the instance caused was published).
+    pub generation: u64,
 }
 
 impl From<WireChoice> for RemoteChoice {
@@ -231,6 +369,7 @@ impl From<WireChoice> for RemoteChoice {
         RemoteChoice {
             fingerprint: PlanFingerprint(c.fingerprint),
             optimized: c.optimized,
+            generation: c.generation,
         }
     }
 }

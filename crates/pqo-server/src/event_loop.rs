@@ -37,7 +37,9 @@ use std::os::unix::io::AsRawFd;
 use crate::conn::{Decoded, FrameAssembler, PendingQueue, WriteBuf};
 use crate::poller::{Event, Interest, Poller, WakeReader};
 use crate::server::{dispatch, flush_snapshots, Shared, StatCells};
-use crate::wire::{code, decode_request, encode_response, Request, Response, WireError};
+use crate::wire::{
+    code, decode_request, encode_response, error_code, Request, Response, WireError,
+};
 
 /// Token for the listening socket.
 const TOKEN_LISTENER: usize = usize::MAX;
@@ -114,6 +116,20 @@ struct LoopShared {
     completions: Mutex<Vec<Done>>,
 }
 
+/// One live subscription on a connection: the generation stream of one
+/// template. `sent == acked` means the subscriber is caught up with every
+/// record we pushed; at most one unacknowledged push is in flight, which
+/// both bounds the replica's apply backlog (the ≤ 1 generation-lag
+/// guarantee) and keeps a slow subscriber from ballooning our write
+/// buffer.
+struct SubState {
+    template: String,
+    /// Highest generation pushed to (or reported owned by) the peer.
+    sent: u64,
+    /// Highest generation the peer acknowledged applying.
+    acked: u64,
+}
+
 /// One connection owned by the event loop.
 struct Conn {
     stream: TcpStream,
@@ -140,6 +156,8 @@ struct Conn {
     last_write: Instant,
     /// Buffer bytes currently charged to the server-wide gauge.
     acct_bytes: u64,
+    /// Generation-stream subscriptions held by this connection.
+    subs: Vec<SubState>,
 }
 
 impl Conn {
@@ -284,6 +302,7 @@ impl EventLoop {
             }
 
             self.apply_completions(now);
+            self.pump_subscriptions(now);
 
             if self.shared.shutting_down() && !self.draining {
                 self.begin_drain(now);
@@ -383,6 +402,7 @@ impl EventLoop {
             last_read: now,
             last_write: now,
             acct_bytes: 0,
+            subs: Vec::new(),
         };
         let stats = &self.shared.stats;
         if let Some((code, message)) = rejection {
@@ -450,6 +470,69 @@ impl EventLoop {
         }
     }
 
+    /// Push newly published generations to every caught-up subscriber.
+    /// Runs each loop iteration; the probe per subscription is one
+    /// published-snapshot load, so an idle fleet costs ~nothing. At most
+    /// one unacknowledged push per subscription is in flight, and a
+    /// connection over its buffer bound is skipped until it drains.
+    fn pump_subscriptions(&mut self, now: Instant) {
+        for slot in 0..self.conns.len() {
+            let mut pushed = false;
+            {
+                let Some(conn) = self.conns[slot].as_mut() else {
+                    continue;
+                };
+                if conn.subs.is_empty()
+                    || conn.close_after_flush
+                    || conn.wbuf.len() >= self.shared.config.max_conn_buffer
+                {
+                    continue;
+                }
+                for sub in &mut conn.subs {
+                    if sub.acked != sub.sent {
+                        continue;
+                    }
+                    let Ok(current) = self.shared.service.generation(&sub.template) else {
+                        continue;
+                    };
+                    if current <= sub.sent {
+                        continue;
+                    }
+                    let Ok((record, generation)) = self
+                        .shared
+                        .service
+                        .generation_record(&sub.template, Some(sub.sent))
+                    else {
+                        continue;
+                    };
+                    let stats = &self.shared.stats;
+                    stats.gens_pushed.fetch_add(1, Ordering::Relaxed);
+                    stats
+                        .replication_bytes_out
+                        .fetch_add(record.len() as u64, Ordering::Relaxed);
+                    let mut body = Vec::new();
+                    encode_response(
+                        &Response::SnapshotPush {
+                            template: sub.template.clone(),
+                            generation,
+                            record,
+                        },
+                        &mut body,
+                    );
+                    if conn.wbuf.is_empty() {
+                        conn.last_write = now;
+                    }
+                    conn.wbuf.push_frame(&body);
+                    sub.sent = generation;
+                    pushed = true;
+                }
+            }
+            if pushed {
+                self.settle(slot, now);
+            }
+        }
+    }
+
     /// Flush what can be written, dispatch what can be dispatched, close
     /// if fully drained and marked, and reconcile poller interest.
     fn settle(&mut self, slot: usize, now: Instant) {
@@ -462,16 +545,82 @@ impl EventLoop {
             self.close_slot(slot);
             return;
         }
-        if let Some(frame) = conn.pending.next() {
-            conn.pending.set_in_flight(true);
-            self.lshared.queue.push(
-                Work {
-                    slot,
-                    conn_id: conn.id,
-                    frame,
-                },
-                &self.shared.stats,
-            );
+        // Subscription control frames mutate per-connection state only the
+        // loop thread can see, so they are handled inline — in arrival
+        // order, because `pending.next()` yields nothing while a worker
+        // request from this connection is still in flight.
+        let mut inline = false;
+        while let Some(frame) = conn.pending.next() {
+            match frame {
+                Ok(Request::Subscribe { template, since }) => {
+                    inline = true;
+                    let resp = match self.shared.service.generation(&template) {
+                        Ok(current) => {
+                            // A subscriber claiming a generation ahead of
+                            // us (it outlived a primary restart) restarts
+                            // from 0 and gets a full snapshot to converge.
+                            let start = if since <= current { since } else { 0 };
+                            match conn.subs.iter_mut().find(|s| s.template == template) {
+                                Some(s) => {
+                                    s.sent = start;
+                                    s.acked = start;
+                                }
+                                None => conn.subs.push(SubState {
+                                    template: template.clone(),
+                                    sent: start,
+                                    acked: start,
+                                }),
+                            }
+                            Response::SubscribeOk {
+                                template,
+                                generation: current,
+                            }
+                        }
+                        Err(e) => Response::Error {
+                            code: error_code(&e),
+                            message: e.to_string(),
+                        },
+                    };
+                    if matches!(resp, Response::Error { .. }) {
+                        self.shared
+                            .stats
+                            .error_frames
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    let mut body = Vec::new();
+                    encode_response(&resp, &mut body);
+                    if conn.wbuf.is_empty() {
+                        conn.last_write = now;
+                    }
+                    conn.wbuf.push_frame(&body);
+                }
+                Ok(Request::GenAck {
+                    template,
+                    generation,
+                }) => {
+                    inline = true;
+                    if let Some(s) = conn.subs.iter_mut().find(|s| s.template == template) {
+                        s.acked = s.acked.max(generation);
+                        s.sent = s.sent.max(s.acked);
+                    }
+                }
+                other => {
+                    conn.pending.set_in_flight(true);
+                    self.lshared.queue.push(
+                        Work {
+                            slot,
+                            conn_id: conn.id,
+                            frame: other,
+                        },
+                        &self.shared.stats,
+                    );
+                    break;
+                }
+            }
+        }
+        if inline && !pump_write(conn, now) {
+            self.close_slot(slot);
+            return;
         }
         if conn.close_after_flush && conn.wbuf.is_empty() && conn.pending.is_idle() {
             self.close_slot(slot);
@@ -530,7 +679,7 @@ impl EventLoop {
                 self.close_slot(slot);
                 continue;
             }
-            if idle && now.duration_since(conn.last_read) >= read_timeout {
+            if idle && conn.subs.is_empty() && now.duration_since(conn.last_read) >= read_timeout {
                 // Idle or stalled mid-frame (slow loris): one TIMEOUT error
                 // frame, then close once it flushes. Other connections are
                 // untouched — this is a per-connection deadline, not a

@@ -18,7 +18,13 @@
 //!   fragmented reads, buffered writeback under short writes).
 //! * `event_loop` — the single-threaded readiness loop and its fixed
 //!   worker pool draining the decoded-frame queue.
-//! * [`client`] — [`client::PqoClient`]: blocking request/response client.
+//! * [`client`] — [`client::PqoClient`]: blocking request/response client,
+//!   which also speaks the v4 subscription stream
+//!   (`SUBSCRIBE` / `SNAPSHOT_PUSH` / `GEN_ACK`).
+//! * `replica` — the subscriber thread a replica server runs: applies
+//!   pushed generation records into the local published snapshots and
+//!   reconnects (resuming from the applied generation) when the primary
+//!   drops.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -44,9 +50,10 @@ pub mod client;
 pub mod conn;
 mod event_loop;
 pub mod poller;
+mod replica;
 pub mod server;
 pub mod wire;
 
-pub use client::{ClientError, PqoClient, RemoteChoice};
+pub use client::{ClientError, PqoClient, PushedGeneration, RemoteChoice};
 pub use server::{PqoServer, ServerConfig, ServerHandle, ServerStats};
 pub use wire::{WireChoice, WireStats, PROTOCOL_VERSION};

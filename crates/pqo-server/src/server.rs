@@ -45,10 +45,11 @@
 //! configured — every template's published generation is flushed via
 //! [`pqo_core::persist::save_snapshot`] so a restart resumes warm.
 
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -56,8 +57,10 @@ use pqo_core::service::PqoService;
 use pqo_core::PqoError;
 use pqo_optimizer::template::QueryInstance;
 
+use crate::client::PqoClient;
 use crate::event_loop;
 use crate::poller::{self, Waker};
+use crate::replica;
 use crate::wire::{self, code, error_code, Request, Response, WireChoice, WireStats};
 
 /// Server tuning knobs. The defaults suit a loopback or LAN deployment.
@@ -88,6 +91,10 @@ pub struct ServerConfig {
     /// Per-connection cap on decoded frames awaiting dispatch; reads pause
     /// above it.
     pub max_pending_frames: usize,
+    /// Run as a read replica of the primary at this address: subscribe to
+    /// its generation stream, apply pushed generations into the local
+    /// published snapshots, serve cache hits locally and forward misses.
+    pub replica_of: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -103,6 +110,7 @@ impl Default for ServerConfig {
             workers: 4,
             max_conn_buffer: 256 * 1024,
             max_pending_frames: 32,
+            replica_of: None,
         }
     }
 }
@@ -141,6 +149,14 @@ pub struct ServerStats {
     pub peak_queue_depth: u64,
     /// Bytes currently held in per-connection buffers (gauge).
     pub conn_buffer_bytes: u64,
+    /// Generation records pushed to subscribers (a primary's counter).
+    pub gens_pushed: u64,
+    /// Generation records applied from a primary (a replica's counter).
+    pub gens_applied: u64,
+    /// Replication record bytes pushed to subscribers.
+    pub replication_bytes_out: u64,
+    /// Replication record bytes applied from a primary.
+    pub replication_bytes_in: u64,
 }
 
 #[derive(Default)]
@@ -160,6 +176,10 @@ pub(crate) struct StatCells {
     pub queue_depth: AtomicU64,
     pub peak_queue_depth: AtomicU64,
     pub conn_buffer_bytes: AtomicU64,
+    pub gens_pushed: AtomicU64,
+    pub gens_applied: AtomicU64,
+    pub replication_bytes_out: AtomicU64,
+    pub replication_bytes_in: AtomicU64,
 }
 
 impl StatCells {
@@ -180,7 +200,85 @@ impl StatCells {
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
             conn_buffer_bytes: self.conn_buffer_bytes.load(Ordering::Relaxed),
+            gens_pushed: self.gens_pushed.load(Ordering::Relaxed),
+            gens_applied: self.gens_applied.load(Ordering::Relaxed),
+            replication_bytes_out: self.replication_bytes_out.load(Ordering::Relaxed),
+            replication_bytes_in: self.replication_bytes_in.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// Replica-side shared state: what the subscriber thread has applied, what
+/// it knows the primary holds, and the forwarding connection misses ride.
+pub(crate) struct ReplicaState {
+    /// Address of the primary this server replicates.
+    pub primary: String,
+    /// Per-template `(applied, primary)` generation pair, under one lock so
+    /// lag reads are coherent.
+    gens: Mutex<HashMap<String, (u64, u64)>>,
+    /// Signalled whenever an `applied` generation advances; serving workers
+    /// wait here for a forwarded decision's generation to land locally.
+    applied_cv: Condvar,
+    /// Lazily (re)connected client carrying forwarded cache misses to the
+    /// primary. Serialized: the decision stream is sequential anyway.
+    pub forward: Mutex<Option<PqoClient>>,
+}
+
+impl ReplicaState {
+    pub(crate) fn new(primary: String) -> ReplicaState {
+        ReplicaState {
+            primary,
+            gens: Mutex::new(HashMap::new()),
+            applied_cv: Condvar::new(),
+            forward: Mutex::new(None),
+        }
+    }
+
+    /// Record that `template` is locally published at `generation`.
+    pub(crate) fn note_applied(&self, template: &str, generation: u64) {
+        let mut g = self.gens.lock().expect("replica gens lock");
+        let e = g.entry(template.to_string()).or_insert((0, 0));
+        e.0 = e.0.max(generation);
+        e.1 = e.1.max(generation);
+        drop(g);
+        self.applied_cv.notify_all();
+    }
+
+    /// Record the newest generation the primary is known to hold.
+    pub(crate) fn note_primary(&self, template: &str, generation: u64) {
+        let mut g = self.gens.lock().expect("replica gens lock");
+        let e = g.entry(template.to_string()).or_insert((0, 0));
+        e.1 = e.1.max(generation);
+    }
+
+    /// Block until `template` has applied at least `generation`; `false` on
+    /// timeout (the primary or the subscriber stream is stuck).
+    pub(crate) fn wait_applied(&self, template: &str, generation: u64, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut g = self.gens.lock().expect("replica gens lock");
+        loop {
+            if g.get(template)
+                .is_some_and(|&(applied, _)| applied >= generation)
+            {
+                return true;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .applied_cv
+                .wait_timeout(g, deadline - now)
+                .expect("replica gens wait");
+            g = guard;
+        }
+    }
+
+    /// Generations the primary holds that this replica has not applied.
+    pub(crate) fn lag(&self, template: &str) -> u64 {
+        let g = self.gens.lock().expect("replica gens lock");
+        g.get(template)
+            .map_or(0, |&(applied, primary)| primary.saturating_sub(applied))
     }
 }
 
@@ -193,6 +291,8 @@ pub(crate) struct Shared {
     /// Wakes the event loop out of its readiness wait (shutdown requests
     /// from other threads, completions from the worker pool).
     pub waker: Waker,
+    /// `Some` when this server is a read replica.
+    pub replica: Option<ReplicaState>,
 }
 
 impl Shared {
@@ -237,6 +337,7 @@ impl ServerHandle {
 pub struct PqoServer {
     shared: Arc<Shared>,
     event_loop: Option<JoinHandle<()>>,
+    subscriber: Option<JoinHandle<()>>,
 }
 
 impl PqoServer {
@@ -258,6 +359,7 @@ impl PqoServer {
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let (waker, wake_rx) = poller::wake_pair()?;
+        let replica_state = config.replica_of.clone().map(ReplicaState::new);
         let shared = Arc::new(Shared {
             service,
             config,
@@ -265,15 +367,28 @@ impl PqoServer {
             shutdown: AtomicBool::new(false),
             stats: StatCells::default(),
             waker,
+            replica: replica_state,
         });
         let loop_shared = Arc::clone(&shared);
         let event_loop = std::thread::Builder::new()
             .name("pqo-event-loop".into())
             .spawn(move || event_loop::run(listener, wake_rx, loop_shared))
             .expect("spawn event-loop thread");
+        let subscriber = if shared.replica.is_some() {
+            let sub_shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("pqo-subscriber".into())
+                    .spawn(move || replica::run(&sub_shared))
+                    .expect("spawn subscriber thread"),
+            )
+        } else {
+            None
+        };
         Ok(PqoServer {
             shared,
             event_loop: Some(event_loop),
+            subscriber,
         })
     }
 
@@ -303,6 +418,9 @@ impl PqoServer {
     /// workers drained, snapshots flushed) and return the final counters.
     pub fn join(mut self) -> ServerStats {
         if let Some(h) = self.event_loop.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.subscriber.take() {
             let _ = h.join();
         }
         self.shared.stats.snapshot()
@@ -399,6 +517,13 @@ pub(crate) fn dispatch(req: Request, shared: &Shared) -> Response {
             Err(e) => pqo_error_frame(&e),
         },
         Request::Shutdown => Response::ShutdownOk,
+        // Subscription control frames are handled inline by the event loop
+        // (they mutate per-connection state the worker pool cannot see);
+        // reaching dispatch means a logic error, answered defensively.
+        Request::Subscribe { .. } | Request::GenAck { .. } => Response::Error {
+            code: code::MALFORMED,
+            message: "subscription frames are handled by the event loop".into(),
+        },
     }
 }
 
@@ -447,13 +572,17 @@ fn validated_instance(
 #[allow(clippy::result_large_err)]
 fn serve_one(shared: &Shared, template: &str, values: Vec<f64>) -> Result<WireChoice, Response> {
     let inst = validated_instance(shared, template, values)?;
-    let choice = shared
+    if let Some(rep) = &shared.replica {
+        return replica_serve(shared, rep, template, inst);
+    }
+    let (choice, generation) = shared
         .service
-        .get_plan(template, &inst)
+        .get_plan_with_generation(template, &inst)
         .map_err(|e| pqo_error_frame(&e))?;
     Ok(WireChoice {
         fingerprint: choice.plan.fingerprint().0,
         optimized: choice.optimized,
+        generation,
     })
 }
 
@@ -467,23 +596,116 @@ fn serve_batch(
         .into_iter()
         .map(|values| validated_instance(shared, template, values))
         .collect::<Result<Vec<_>, _>>()?;
-    let choices = shared
+    if let Some(rep) = &shared.replica {
+        // A replica serves a batch as the sequential stream it is: each
+        // instance sees every earlier instance's applied generation.
+        return insts
+            .into_iter()
+            .map(|inst| replica_serve(shared, rep, template, inst))
+            .collect();
+    }
+    let (choices, generation) = shared
         .service
-        .get_plan_batch(template, &insts)
+        .get_plan_batch_with_generation(template, &insts)
         .map_err(|e| pqo_error_frame(&e))?;
     Ok(choices
         .iter()
         .map(|c| WireChoice {
             fingerprint: c.plan.fingerprint().0,
             optimized: c.optimized,
+            generation,
         })
         .collect())
+}
+
+/// The replica serving path: a cache hit against the locally applied
+/// generation is served with no network hop; a miss is forwarded to the
+/// primary (whose optimizer is the single decision authority), and the
+/// reply is held until the generation the primary's decision produced has
+/// been applied here — so the *next* instance of this sequential stream
+/// observes it, keeping the replica's decision stream byte-identical to
+/// the primary's at a generation lag of at most one.
+#[allow(clippy::result_large_err)]
+fn replica_serve(
+    shared: &Shared,
+    rep: &ReplicaState,
+    template: &str,
+    inst: QueryInstance,
+) -> Result<WireChoice, Response> {
+    match shared.service.serve_cached(template, &inst) {
+        Ok((Some(choice), generation)) => {
+            return Ok(WireChoice {
+                fingerprint: choice.plan.fingerprint().0,
+                optimized: false,
+                generation,
+            })
+        }
+        Ok((None, _)) => {}
+        Err(e) => return Err(pqo_error_frame(&e)),
+    }
+    let remote = forward_to_primary(shared, rep, template, &inst.values)?;
+    rep.note_primary(template, remote.generation);
+    if !rep.wait_applied(template, remote.generation, shared.config.read_timeout) {
+        return Err(Response::Error {
+            code: code::PRIMARY_UNREACHABLE,
+            message: format!(
+                "generation {} from primary {} not applied within {:?}",
+                remote.generation, rep.primary, shared.config.read_timeout
+            ),
+        });
+    }
+    Ok(WireChoice {
+        fingerprint: remote.fingerprint.0,
+        optimized: remote.optimized,
+        generation: remote.generation,
+    })
+}
+
+/// Forward one cache miss to the primary over the replica's lazily
+/// (re)connected forwarding client. Any transport failure drops the
+/// connection so the next miss redials.
+#[allow(clippy::result_large_err)]
+fn forward_to_primary(
+    shared: &Shared,
+    rep: &ReplicaState,
+    template: &str,
+    values: &[f64],
+) -> Result<crate::client::RemoteChoice, Response> {
+    let mut guard = rep.forward.lock().expect("forward lock");
+    if guard.is_none() {
+        match PqoClient::connect_with_timeout(&rep.primary, shared.config.read_timeout) {
+            Ok(c) => *guard = Some(c),
+            Err(e) => {
+                return Err(Response::Error {
+                    code: code::PRIMARY_UNREACHABLE,
+                    message: format!("cannot reach primary {}: {e}", rep.primary),
+                })
+            }
+        }
+    }
+    let client = guard.as_mut().expect("connected above");
+    match client.get_plan(template, values) {
+        Ok(choice) => Ok(choice),
+        Err(crate::client::ClientError::Server { code, message }) => {
+            // The primary answered; relay its typed error verbatim.
+            Err(Response::Error { code, message })
+        }
+        Err(e) => {
+            *guard = None;
+            Err(Response::Error {
+                code: code::PRIMARY_UNREACHABLE,
+                message: format!("forwarding to primary {} failed: {e}", rep.primary),
+            })
+        }
+    }
 }
 
 fn gather_stats(shared: &Shared, template: &str) -> Result<WireStats, PqoError> {
     let snapshot = shared.service.snapshot(template)?;
     let s = snapshot.stats();
     let srv = &shared.stats;
+    let generation = snapshot.generation();
+    let replica_lag = shared.replica.as_ref().map_or(0, |r| r.lag(template));
     Ok(WireStats {
         num_plans: snapshot.cache().num_plans() as u64,
         num_instances: snapshot.cache().num_instances() as u64,
@@ -508,5 +730,11 @@ fn gather_stats(shared: &Shared, template: &str) -> Result<WireStats, PqoError> 
         index_points_rebuilt: s.index_points_rebuilt,
         publishes: s.publishes,
         publish_nanos: s.publish_nanos,
+        generation,
+        replica_lag,
+        gens_pushed: srv.gens_pushed.load(Ordering::Relaxed),
+        gens_applied: srv.gens_applied.load(Ordering::Relaxed),
+        replication_bytes_out: srv.replication_bytes_out.load(Ordering::Relaxed),
+        replication_bytes_in: srv.replication_bytes_in.load(Ordering::Relaxed),
     })
 }

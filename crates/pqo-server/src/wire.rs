@@ -38,10 +38,21 @@ use pqo_optimizer::error::PqoError;
 ///
 /// v3: `STATS_OK` grew four publication-cost fields (spatial-index shard
 /// rebuilds, points rebuilt, snapshot publishes, publish nanos).
-pub const PROTOCOL_VERSION: u16 = 3;
+///
+/// v4: replication. `PLAN`/`PLAN_BATCH` decisions carry the generation
+/// they are valid at; `SUBSCRIBE`/`SUBSCRIBE_OK`/`SNAPSHOT_PUSH`/`GEN_ACK`
+/// stream generation records to read replicas; `STATS_OK` grew six
+/// replication fields (generation, lag, push/apply counts, bytes); the
+/// [`code::PRIMARY_UNREACHABLE`] error code was published.
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Default upper bound on one frame's body, enforced by server and client.
 pub const DEFAULT_MAX_FRAME_BYTES: u32 = 1 << 20;
+
+/// Frame-size bound for replication subscriber connections: a full
+/// generation record embeds an entire snapshot, so subscribers read with a
+/// far larger cap than the request/response default.
+pub const REPLICATION_MAX_FRAME_BYTES: u32 = 64 << 20;
 
 /// Frame opcodes. Requests use the low range, responses set the high bit.
 pub mod opcode {
@@ -55,6 +66,12 @@ pub mod opcode {
     pub const STATS: u8 = 0x04;
     /// Client → server: graceful server shutdown (drain + flush).
     pub const SHUTDOWN: u8 = 0x05;
+    /// Client → server: subscribe this connection to one template's
+    /// generation stream, starting after a given generation.
+    pub const SUBSCRIBE: u8 = 0x06;
+    /// Client → server: acknowledge an applied pushed generation,
+    /// releasing the next push for that subscription.
+    pub const GEN_ACK: u8 = 0x07;
 
     /// Server → client: handshake accepted.
     pub const HELLO_OK: u8 = 0x81;
@@ -66,6 +83,11 @@ pub mod opcode {
     pub const STATS_OK: u8 = 0x84;
     /// Server → client: shutdown acknowledged.
     pub const SHUTDOWN_OK: u8 = 0x85;
+    /// Server → client: subscription accepted; reports the template's
+    /// current generation.
+    pub const SUBSCRIBE_OK: u8 = 0x86;
+    /// Server → client: one generation record pushed to a subscriber.
+    pub const SNAPSHOT_PUSH: u8 = 0x87;
     /// Server → client: typed error frame.
     pub const ERROR: u8 = 0xEE;
 }
@@ -100,6 +122,9 @@ pub mod code {
     pub const INVALID_TEMPLATE: u16 = 20;
     /// [`PqoError::Persist`].
     pub const PERSIST: u16 = 21;
+    /// A replica could not forward a cache miss to its primary (or timed
+    /// out waiting for the resulting generation to replicate).
+    pub const PRIMARY_UNREACHABLE: u16 = 22;
     /// A [`PqoError`] variant this protocol version does not know
     /// (`PqoError` is `#[non_exhaustive]`).
     pub const INTERNAL: u16 = 31;
@@ -150,69 +175,148 @@ pub enum Request {
     },
     /// Drain connections, flush snapshots and stop the server.
     Shutdown,
+    /// Subscribe this connection to one template's generation stream.
+    Subscribe {
+        /// Registered template name.
+        template: String,
+        /// The generation the subscriber already holds (0 for a cold
+        /// start); the server pushes everything after it, as a delta when
+        /// that base is still in its generation log.
+        since: u64,
+    },
+    /// Acknowledge that a pushed generation was applied; the server keeps
+    /// at most one unacknowledged push in flight per subscription.
+    GenAck {
+        /// Registered template name.
+        template: String,
+        /// The generation now applied on the subscriber.
+        generation: u64,
+    },
 }
 
-/// One plan decision as it crosses the wire: the plan's stable fingerprint
-/// plus whether this instance forced an optimizer call.
+/// One plan decision as it crosses the wire: the plan's stable fingerprint,
+/// whether this instance forced an optimizer call, and the generation the
+/// decision is valid at (a replica that has applied at least this
+/// generation holds every cache entry the decision depends on).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WireChoice {
     /// [`pqo_optimizer::plan::PlanFingerprint`] bits of the served plan.
     pub fingerprint: u64,
     /// Whether a full optimizer call was made for this instance.
     pub optimized: bool,
+    /// Generation stamp this decision is valid at.
+    pub generation: u64,
 }
 
-/// Counter snapshot returned by the `STATS` opcode: the template's
-/// [`pqo_core::scr::ScrStats`] (including the batched-serving counters)
-/// plus cache sizes and the service-wide plan total.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct WireStats {
+/// Defines [`WireStats`], [`STATS_FIELD_NAMES`] and the wire-order
+/// conversions from ONE field list, so the encoder, the decoder and every
+/// consumer (CLI printer, tests) iterate the same table and cannot drift.
+/// Before v4 the field count was pinned by hand in three crates; now
+/// appending a field here is the whole change (plus the protocol-version
+/// bump asserted by `stats_layout_is_pinned_to_protocol_version`).
+macro_rules! wire_stats {
+    ($($(#[$meta:meta])* $name:ident,)+) => {
+        /// Counter snapshot returned by the `STATS` opcode: the template's
+        /// [`pqo_core::scr::ScrStats`] (including the batched-serving
+        /// counters) plus cache sizes, the service-wide plan total and the
+        /// replication gauges. Field order on the wire is declaration
+        /// order; [`STATS_FIELD_NAMES`] is generated from the same list.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+        pub struct WireStats {
+            $($(#[$meta])* pub $name: u64,)+
+        }
+
+        /// The `STATS_OK` field names in wire order — the single source of
+        /// truth for the payload layout.
+        pub const STATS_FIELD_NAMES: &[&str] = &[$(stringify!($name)),+];
+
+        /// Number of `u64` fields in a `STATS_OK` payload.
+        pub const STATS_FIELD_COUNT: usize = STATS_FIELD_NAMES.len();
+
+        impl WireStats {
+            /// Field values in wire order, parallel to
+            /// [`STATS_FIELD_NAMES`].
+            pub fn to_fields(&self) -> [u64; STATS_FIELD_COUNT] {
+                [$(self.$name),+]
+            }
+
+            /// Rebuild from field values in wire order.
+            pub fn from_fields(fields: [u64; STATS_FIELD_COUNT]) -> WireStats {
+                let mut it = fields.into_iter();
+                WireStats {
+                    $($name: it.next().expect("field table length"),)+
+                }
+            }
+
+            /// `(name, value)` pairs in wire order — what the CLI stats
+            /// printer iterates.
+            pub fn named_fields(&self) -> impl Iterator<Item = (&'static str, u64)> {
+                STATS_FIELD_NAMES.iter().copied().zip(self.to_fields())
+            }
+        }
+    };
+}
+
+wire_stats! {
     /// Plans cached for this template.
-    pub num_plans: u64,
+    num_plans,
     /// Instance entries cached for this template.
-    pub num_instances: u64,
+    num_instances,
     /// Plans cached across *all* templates of the service.
-    pub total_plans: u64,
+    total_plans,
     /// Instances served by the selectivity check.
-    pub selectivity_hits: u64,
+    selectivity_hits,
     /// Instances served by the cost check.
-    pub cost_hits: u64,
+    cost_hits,
     /// Instances that required an optimizer call.
-    pub optimizer_calls: u64,
+    optimizer_calls,
     /// Total Recost calls issued from `getPlan`.
-    pub getplan_recost_calls: u64,
+    getplan_recost_calls,
     /// Cumulative nanoseconds spent in Recost work.
-    pub recost_nanos: u64,
+    recost_nanos,
     /// Cumulative nanoseconds spent inside optimizer calls.
-    pub optimize_nanos: u64,
+    optimize_nanos,
     /// Published-generation re-loads taken by batched serving.
-    pub snapshot_reloads: u64,
+    snapshot_reloads,
     /// Batched frames served.
-    pub batches_served: u64,
+    batches_served,
     /// Instances that arrived through the batched path.
-    pub batch_instances: u64,
+    batch_instances,
     /// Largest single batch served.
-    pub max_batch_size: u64,
+    max_batch_size,
     /// Connections currently open on the server (gauge).
-    pub open_connections: u64,
+    open_connections,
     /// High-water mark of concurrently open connections.
-    pub peak_connections: u64,
+    peak_connections,
     /// Bytes currently held in per-connection read/write buffers (gauge).
-    pub conn_buffer_bytes: u64,
+    conn_buffer_bytes,
     /// Decoded frames currently queued for the worker pool (gauge).
-    pub queue_depth: u64,
+    queue_depth,
     /// High-water mark of the worker queue depth.
-    pub peak_queue_depth: u64,
+    peak_queue_depth,
     /// Size of the server's worker pool.
-    pub workers: u64,
+    workers,
     /// Spatial-index shard rebuilds performed by this template's writer.
-    pub index_shard_rebuilds: u64,
+    index_shard_rebuilds,
     /// Total points re-inserted across those shard rebuilds.
-    pub index_points_rebuilt: u64,
+    index_points_rebuilt,
     /// Snapshot generations published by this template's writer.
-    pub publishes: u64,
+    publishes,
     /// Cumulative nanoseconds spent capturing + installing generations.
-    pub publish_nanos: u64,
+    publish_nanos,
+    /// This template's current published generation stamp.
+    generation,
+    /// Generations the primary has pushed but this server has not applied
+    /// (0 on a primary; on a replica, bounded by the one-in-flight push).
+    replica_lag,
+    /// Generation records pushed to subscribers (server-wide).
+    gens_pushed,
+    /// Generation records applied from a primary (server-wide).
+    gens_applied,
+    /// Replication record bytes pushed to subscribers (server-wide).
+    replication_bytes_out,
+    /// Replication record bytes applied from a primary (server-wide).
+    replication_bytes_in,
 }
 
 /// A server → client message.
@@ -233,6 +337,25 @@ pub enum Response {
     Stats(WireStats),
     /// Shutdown acknowledged; the server drains and exits.
     ShutdownOk,
+    /// Subscription accepted for one template.
+    SubscribeOk {
+        /// The subscribed template.
+        template: String,
+        /// The template's current generation on the server (the subscriber
+        /// is up to date once it has applied this).
+        generation: u64,
+    },
+    /// One generation record pushed to a subscriber.
+    SnapshotPush {
+        /// The template this record belongs to.
+        template: String,
+        /// The generation applying this record produces (also stamped
+        /// inside the record; duplicated here so acknowledgement
+        /// bookkeeping never needs to parse the record).
+        generation: u64,
+        /// A [`pqo_core::replication`] generation record.
+        record: Vec<u8>,
+    },
     /// Typed error: a stable [`code`] plus a human-readable message.
     Error {
         /// Stable wire error code.
@@ -319,6 +442,19 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
             put_str(out, template);
         }
         Request::Shutdown => out.push(opcode::SHUTDOWN),
+        Request::Subscribe { template, since } => {
+            out.push(opcode::SUBSCRIBE);
+            put_str(out, template);
+            put_u64(out, *since);
+        }
+        Request::GenAck {
+            template,
+            generation,
+        } => {
+            out.push(opcode::GEN_ACK);
+            put_str(out, template);
+            put_u64(out, *generation);
+        }
     }
 }
 
@@ -347,11 +483,29 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
         }
         Response::Stats(s) => {
             out.push(opcode::STATS_OK);
-            for v in stats_fields(s) {
+            for v in s.to_fields() {
                 put_u64(out, v);
             }
         }
         Response::ShutdownOk => out.push(opcode::SHUTDOWN_OK),
+        Response::SubscribeOk {
+            template,
+            generation,
+        } => {
+            out.push(opcode::SUBSCRIBE_OK);
+            put_str(out, template);
+            put_u64(out, *generation);
+        }
+        Response::SnapshotPush {
+            template,
+            generation,
+            record,
+        } => {
+            out.push(opcode::SNAPSHOT_PUSH);
+            put_str(out, template);
+            put_u64(out, *generation);
+            out.extend_from_slice(record);
+        }
         Response::Error { code, message } => {
             out.push(opcode::ERROR);
             put_u16(out, *code);
@@ -363,64 +517,7 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
 fn put_choice(out: &mut Vec<u8>, c: &WireChoice) {
     put_u64(out, c.fingerprint);
     out.push(u8::from(c.optimized));
-}
-
-/// The `STATS_OK` payload field order — one place, shared by the encoder
-/// and decoder so they cannot drift.
-fn stats_fields(s: &WireStats) -> [u64; 23] {
-    [
-        s.num_plans,
-        s.num_instances,
-        s.total_plans,
-        s.selectivity_hits,
-        s.cost_hits,
-        s.optimizer_calls,
-        s.getplan_recost_calls,
-        s.recost_nanos,
-        s.optimize_nanos,
-        s.snapshot_reloads,
-        s.batches_served,
-        s.batch_instances,
-        s.max_batch_size,
-        s.open_connections,
-        s.peak_connections,
-        s.conn_buffer_bytes,
-        s.queue_depth,
-        s.peak_queue_depth,
-        s.workers,
-        s.index_shard_rebuilds,
-        s.index_points_rebuilt,
-        s.publishes,
-        s.publish_nanos,
-    ]
-}
-
-fn stats_from_fields(f: [u64; 23]) -> WireStats {
-    WireStats {
-        num_plans: f[0],
-        num_instances: f[1],
-        total_plans: f[2],
-        selectivity_hits: f[3],
-        cost_hits: f[4],
-        optimizer_calls: f[5],
-        getplan_recost_calls: f[6],
-        recost_nanos: f[7],
-        optimize_nanos: f[8],
-        snapshot_reloads: f[9],
-        batches_served: f[10],
-        batch_instances: f[11],
-        max_batch_size: f[12],
-        open_connections: f[13],
-        peak_connections: f[14],
-        conn_buffer_bytes: f[15],
-        queue_depth: f[16],
-        peak_queue_depth: f[17],
-        workers: f[18],
-        index_shard_rebuilds: f[19],
-        index_points_rebuilt: f[20],
-        publishes: f[21],
-        publish_nanos: f[22],
-    }
+    put_u64(out, c.generation);
 }
 
 // ---------------------------------------------------------------- decoding
@@ -493,6 +590,14 @@ impl<'a> Cursor<'a> {
         (0..n).map(|_| self.f64()).collect()
     }
 
+    /// Everything left in the frame (length-delimited by the framing
+    /// itself, e.g. a pushed generation record).
+    fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+
     fn finish<T>(self, v: T) -> Result<T, WireError> {
         if self.remaining() != 0 {
             return Err(malformed(format!(
@@ -541,6 +646,19 @@ pub fn decode_request(body: &[u8]) -> Result<Request, WireError> {
             c.finish(Request::Stats { template })
         }
         opcode::SHUTDOWN => c.finish(Request::Shutdown),
+        opcode::SUBSCRIBE => {
+            let template = c.str()?;
+            let since = c.u64()?;
+            c.finish(Request::Subscribe { template, since })
+        }
+        opcode::GEN_ACK => {
+            let template = c.str()?;
+            let generation = c.u64()?;
+            c.finish(Request::GenAck {
+                template,
+                generation,
+            })
+        }
         other => Err(malformed(format!("unknown request opcode {other:#04x}"))),
     }
 }
@@ -570,7 +688,7 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
         }
         opcode::PLAN_BATCH => {
             let n = c.u32()? as usize;
-            if c.remaining() < n * 9 {
+            if c.remaining() < n * 17 {
                 return Err(malformed(format!(
                     "choice count {n} exceeds remaining payload"
                 )));
@@ -582,13 +700,31 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
             c.finish(Response::PlanBatch(choices))
         }
         opcode::STATS_OK => {
-            let mut f = [0u64; 23];
+            let mut f = [0u64; STATS_FIELD_COUNT];
             for slot in &mut f {
                 *slot = c.u64()?;
             }
-            c.finish(Response::Stats(stats_from_fields(f)))
+            c.finish(Response::Stats(WireStats::from_fields(f)))
         }
         opcode::SHUTDOWN_OK => c.finish(Response::ShutdownOk),
+        opcode::SUBSCRIBE_OK => {
+            let template = c.str()?;
+            let generation = c.u64()?;
+            c.finish(Response::SubscribeOk {
+                template,
+                generation,
+            })
+        }
+        opcode::SNAPSHOT_PUSH => {
+            let template = c.str()?;
+            let generation = c.u64()?;
+            let record = c.rest().to_vec();
+            c.finish(Response::SnapshotPush {
+                template,
+                generation,
+                record,
+            })
+        }
         opcode::ERROR => {
             let code = c.u16()?;
             let message = c.str()?;
@@ -605,9 +741,11 @@ fn take_choice(c: &mut Cursor<'_>) -> Result<WireChoice, WireError> {
         1 => true,
         other => return Err(malformed(format!("optimized flag is {other}, not 0/1"))),
     };
+    let generation = c.u64()?;
     Ok(WireChoice {
         fingerprint,
         optimized,
+        generation,
     })
 }
 
@@ -697,10 +835,19 @@ mod tests {
                 template: rand_string(&mut rng),
             });
             roundtrip_request(&Request::Shutdown);
+            roundtrip_request(&Request::Subscribe {
+                template: rand_string(&mut rng),
+                since: rng.next_u64(),
+            });
+            roundtrip_request(&Request::GenAck {
+                template: rand_string(&mut rng),
+                generation: rng.next_u64(),
+            });
 
             let choice = WireChoice {
                 fingerprint: rng.next_u64(),
                 optimized: rng.gen_bool(0.5),
+                generation: rng.next_u64(),
             };
             roundtrip_response(&Response::HelloOk {
                 version: PROTOCOL_VERSION,
@@ -714,6 +861,7 @@ mod tests {
                     .map(|_| WireChoice {
                         fingerprint: rng.next_u64(),
                         optimized: rng.gen_bool(0.5),
+                        generation: rng.next_u64(),
                     })
                     .collect(),
             ));
@@ -724,10 +872,59 @@ mod tests {
                 ..WireStats::default()
             }));
             roundtrip_response(&Response::ShutdownOk);
+            roundtrip_response(&Response::SubscribeOk {
+                template: rand_string(&mut rng),
+                generation: rng.next_u64(),
+            });
+            roundtrip_response(&Response::SnapshotPush {
+                template: rand_string(&mut rng),
+                generation: rng.next_u64(),
+                record: (0..rng.gen_range(0usize..64))
+                    .map(|_| rng.gen_range(0u32..256) as u8)
+                    .collect(),
+            });
             roundtrip_response(&Response::Error {
                 code: rng.gen_range(0u32..u16::MAX as u32 + 1) as u16,
                 message: rand_string(&mut rng),
             });
+        }
+    }
+
+    /// Satellite: the STATS field layout has exactly one definition. The
+    /// table drives both converters, its names are unique, and its length
+    /// is pinned to the protocol version — growing the table without
+    /// bumping [`PROTOCOL_VERSION`] (or vice versa) fails here.
+    #[test]
+    fn stats_layout_is_pinned_to_protocol_version() {
+        assert_eq!(
+            (PROTOCOL_VERSION, STATS_FIELD_COUNT),
+            (4, 29),
+            "STATS_OK layout changed: bump PROTOCOL_VERSION and re-pin this pair"
+        );
+        let unique: std::collections::HashSet<_> = STATS_FIELD_NAMES.iter().collect();
+        assert_eq!(unique.len(), STATS_FIELD_COUNT, "duplicate field name");
+
+        // The encoded payload is exactly the table, in table order.
+        let mut s = WireStats::default();
+        for (i, _) in STATS_FIELD_NAMES.iter().enumerate() {
+            s = WireStats::from_fields({
+                let mut f = s.to_fields();
+                f[i] = 1000 + i as u64;
+                f
+            });
+        }
+        let mut body = Vec::new();
+        encode_response(&Response::Stats(s), &mut body);
+        assert_eq!(body.len(), 1 + 8 * STATS_FIELD_COUNT);
+        for (i, (name, value)) in s.named_fields().enumerate() {
+            let at = 1 + 8 * i;
+            let wire = u64::from_le_bytes(body[at..at + 8].try_into().unwrap());
+            assert_eq!(wire, value, "field `{name}` not at table position {i}");
+            assert_eq!(value, 1000 + i as u64);
+        }
+        match decode_response(&body).unwrap() {
+            Response::Stats(back) => assert_eq!(back, s),
+            other => panic!("expected STATS_OK, got {other:?}"),
         }
     }
 
@@ -826,6 +1023,7 @@ mod tests {
                 "PERSIST",
             ),
         ];
+        assert_eq!(code::PRIMARY_UNREACHABLE, 22);
         for (err, want, label) in cases {
             assert_eq!(error_code(&err), want, "{label} renumbered");
         }

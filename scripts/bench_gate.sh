@@ -20,16 +20,20 @@ runs="${PQO_BENCH_RUNS:-3}"
 baseline="${PQO_BENCH_BASELINE:-scripts/bench_baseline.json}"
 out="BENCH_$(date +%Y%m%d).json"
 
-benches=(service_throughput batch_throughput net_throughput spatial_publish)
+benches=(service_throughput batch_throughput net_throughput spatial_publish replication)
 # "<bench label>:<metric key>" — the headline metrics the gate tracks.
 # publish_sharded_eps is snapshot publications per second on a 10k-point
 # sharded spatial index (elements=1 per publish cycle).
+# replica_apply_eps is generations applied per second through
+# PqoService::apply_generation (decode + install + publish): the replica
+# must apply faster than the primary publishes for lag to stay bounded.
 headline=(
     "service_throughput/get_plan_readmostly/8_threads:read_mostly_eps"
     "batch_throughput/get_plan_batch32/8_threads:batch_eps"
     "net_throughput/get_plan/8_threads:net_eps"
     "net_throughput/get_plan_batch32/8_threads:net_batch_eps"
     "spatial_publish/sharded/10k:publish_sharded_eps"
+    "replication/replica_apply/delta_chain:replica_apply_eps"
 )
 
 log="$(mktemp)"

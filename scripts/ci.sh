@@ -11,6 +11,7 @@ cd "$(dirname "$0")/.."
 # would orphan the server and wedge the next CI run on the same port.
 net_tmp=""
 hc_tmp=""
+repl_tmp=""
 pids=()
 cleanup() {
     for pid in "${pids[@]:-}"; do
@@ -20,6 +21,7 @@ cleanup() {
     done
     if [ -n "$net_tmp" ]; then rm -rf "$net_tmp"; fi
     if [ -n "$hc_tmp" ]; then rm -rf "$hc_tmp"; fi
+    if [ -n "$repl_tmp" ]; then rm -rf "$repl_tmp"; fi
 }
 trap cleanup EXIT
 
@@ -118,6 +120,66 @@ grep -q "snapshots flushed   : 8" "$hc_tmp/server.log" \
 hc_peak="$(sed -n 's/^peak connections    : //p' "$hc_tmp/server.log")"
 [ -n "$hc_peak" ] && [ "$hc_peak" -ge 257 ] \
     || { echo "peak connections ${hc_peak:-?} < 257: idle sockets not held"; cat "$hc_tmp/server.log"; exit 1; }
+
+echo "==> replication smoke (primary + replica, primary killed mid-run)"
+# Two real processes over loopback: a primary and a replica subscribed to
+# its generation log. The oracle-checked workload flows through the
+# *replica* (hits served from its applied generation, misses forwarded),
+# then the primary is killed hard and the replica must keep serving its
+# last applied generation — same plan, no re-optimization, no crash.
+repl_tmp="$(mktemp -d)"
+repl_id="tpch_skew_B_d2"
+./target/release/pqo serve --listen 127.0.0.1:0 --template "$repl_id" \
+    --primary > "$repl_tmp/primary.log" 2>&1 &
+repl_ppid=$!
+pids+=("$repl_ppid")
+paddr=""
+for _ in $(seq 1 100); do
+    paddr="$(sed -n 's/^listening on //p' "$repl_tmp/primary.log")"
+    [ -n "$paddr" ] && break
+    sleep 0.1
+done
+[ -n "$paddr" ] || { echo "primary never reported its address"; cat "$repl_tmp/primary.log"; exit 1; }
+./target/release/pqo serve --listen 127.0.0.1:0 --template "$repl_id" \
+    --replica-of "$paddr" > "$repl_tmp/replica.log" 2>&1 &
+repl_rpid=$!
+pids+=("$repl_rpid")
+raddr=""
+for _ in $(seq 1 100); do
+    raddr="$(sed -n 's/^listening on //p' "$repl_tmp/replica.log")"
+    [ -n "$raddr" ] && break
+    sleep 0.1
+done
+[ -n "$raddr" ] || { echo "replica never reported its address"; cat "$repl_tmp/replica.log"; exit 1; }
+grep -q "role: replica of" "$repl_tmp/replica.log" \
+    || { echo "replica did not announce its role"; cat "$repl_tmp/replica.log"; exit 1; }
+# The wire decision stream through the replica must equal the in-process
+# oracle — the location-transparency guarantee, end to end over TCP.
+./target/release/pqo client --connect "$raddr" \
+    --template "$repl_id" --m 200 --batch 4 --check true \
+    | grep "oracle check        : OK" \
+    || { echo "oracle check through the replica failed"; exit 1; }
+# Warm one specific instance through the replica (forwarded to the primary
+# and applied locally before the reply), remembering the plan it got...
+./target/release/pqo client --connect "$raddr" \
+    --template "$repl_id" --op plan --sel 0.42,0.61 > "$repl_tmp/before.txt"
+./target/release/pqo client --connect "$raddr" \
+    --op follow-lag --template "$repl_id" --count 1 | grep -q " lag 0 " \
+    || { echo "replica still lagging after checked workload"; exit 1; }
+# ...then kill the primary hard: the replica must keep serving the same
+# plan from its last applied generation, without re-optimizing.
+kill -9 "$repl_ppid" 2>/dev/null || true
+wait "$repl_ppid" 2>/dev/null || true
+./target/release/pqo client --connect "$raddr" \
+    --template "$repl_id" --op plan --sel 0.42,0.61 > "$repl_tmp/after.txt"
+diff <(grep '^plan' "$repl_tmp/before.txt") <(grep '^plan' "$repl_tmp/after.txt") \
+    || { echo "replica changed its plan after primary death"; cat "$repl_tmp/after.txt"; exit 1; }
+grep -q "optimized : false" "$repl_tmp/after.txt" \
+    || { echo "replica re-optimized a warm instance after primary death"; cat "$repl_tmp/after.txt"; exit 1; }
+./target/release/pqo client --connect "$raddr" --op shutdown
+wait "$repl_rpid"
+grep -Eq "generations applied : [1-9]" "$repl_tmp/replica.log" \
+    || { echo "replica exit summary shows no applied generations"; cat "$repl_tmp/replica.log"; exit 1; }
 
 if [ -n "${PQO_BENCH_GATE:-}" ]; then
     echo "==> bench regression gate"
