@@ -1,0 +1,55 @@
+//! Hot-path serving throughput per policy: instances served per second
+//! from a *warm* cache, for each serving policy over the shared SCR
+//! substrate. The SCR number is the regression gate for the policy-layer
+//! refactor — SCR decisions now go through the enum-dispatched
+//! [`pqo_core::PlanPolicy`] seam, and this bench pins that seam's cost on
+//! the pure-reuse path (every measured `get_plan` is a cache hit).
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use pqo_bench::microbench::Runner;
+use pqo_bench::techniques::TechSpec;
+use pqo_core::engine::QueryEngine;
+use pqo_optimizer::svector::SVector;
+use pqo_optimizer::template::QueryInstance;
+use pqo_workload::corpus::corpus;
+
+fn main() {
+    let runner = Runner::from_args();
+    let spec = corpus().iter().find(|s| s.id == "tpch_skew_B_d2").unwrap();
+    let m = if runner.quick() { 100usize } else { 500usize };
+    let instances: Vec<QueryInstance> = spec.generate(m, 99);
+    let template = Arc::clone(&spec.template);
+    let svs: Vec<SVector> = instances
+        .iter()
+        .map(|i| pqo_optimizer::svector::compute_svector(&template, i))
+        .collect();
+
+    for tech in [
+        TechSpec::Scr {
+            lambda: 2.0,
+            budget: None,
+        },
+        TechSpec::Lec { lambda: 2.0 },
+        TechSpec::Penalty { lambda: 2.0 },
+    ] {
+        let engine = QueryEngine::new(Arc::clone(&template));
+        let mut t = tech.build();
+        // Warm outside the measured region: the first pass takes every
+        // optimizer call the policy will ever need for this sequence.
+        for (inst, sv) in instances.iter().zip(&svs) {
+            let _ = t.get_plan(inst, sv, &engine);
+        }
+        let label = format!("policy_throughput/{}", tech.label());
+        runner.bench_throughput(&label, m as u64, || {
+            let mut reused = 0u32;
+            for (inst, sv) in instances.iter().zip(&svs) {
+                if !t.get_plan(inst, sv, &engine).optimized {
+                    reused += 1;
+                }
+            }
+            black_box(reused)
+        });
+    }
+}

@@ -13,12 +13,13 @@
 //! pqo serve    --template ID [--lambda X] [--m N] [--seed N] [--batch N]
 //!              [--spatial-threshold N] [--recost-fetch-factor N]
 //! pqo serve    --listen ADDR --template ID[,ID...] [--lambda X]
-//!              [--snapshot-dir DIR] [--max-conns N] [--workers N]
+//!              [--policy scr|lec|penalty] [--snapshot-dir DIR]
+//!              [--max-conns N] [--workers N]
 //!              [--primary | --replica-of ADDR]
 //! pqo client   --connect ADDR [--op plan|run|stats|follow-lag|shutdown|idle]
 //!              [--template ID] [--sel S1,...] [--m N] [--seed N] [--batch N]
-//!              [--check BOOL] [--conns N] [--hold-ms T]
-//!              [--count N] [--interval-ms T]
+//!              [--check BOOL] [--policy scr|lec|penalty] [--conns N]
+//!              [--hold-ms T] [--count N] [--interval-ms T]
 //! ```
 
 use std::process::exit;
@@ -80,10 +81,11 @@ fn usage() {
          pqo cache --template ID [--lambda X] [--m N] [--spatial-threshold N] [--recost-fetch-factor N]\n  \
          pqo serve --template ID [--lambda X] [--m N] [--seed N] [--batch N] [--spatial-threshold N]\n  \
                  [--recost-fetch-factor N]\n  \
-         pqo serve --listen ADDR --template ID[,ID...] [--lambda X] [--snapshot-dir DIR] [--max-conns N] [--workers N]\n  \
-                 [--primary | --replica-of ADDR]\n  \
+         pqo serve --listen ADDR --template ID[,ID...] [--lambda X] [--policy scr|lec|penalty] [--snapshot-dir DIR]\n  \
+                 [--max-conns N] [--workers N] [--primary | --replica-of ADDR]\n  \
          pqo client --connect ADDR [--op plan|run|stats|follow-lag|shutdown|idle] [--template ID] [--sel S1,...]\n  \
-                 [--m N] [--seed N] [--batch N] [--check BOOL] [--conns N] [--hold-ms T] [--count N] [--interval-ms T]"
+                 [--m N] [--seed N] [--batch N] [--check BOOL] [--policy scr|lec|penalty] [--conns N] [--hold-ms T]\n  \
+                 [--count N] [--interval-ms T]"
     );
 }
 
@@ -116,12 +118,18 @@ pub(crate) fn sels(args: &Args, key: &str, d: usize) -> Result<Vec<f64>, String>
 }
 
 /// SCR configuration from CLI flags: λ plus the optional
+/// `--policy scr|lec|penalty` serving-policy selector, the optional
 /// `--spatial-threshold N` crossover knob (`0` = always use the spatial
 /// index, large values = linear scan only) and the optional
 /// `--recost-fetch-factor N` over-fetch multiplier for the indexed cost
 /// check's candidate query.
 pub(crate) fn scr_config(args: &Args, lambda: f64) -> Result<pqo_core::scr::ScrConfig, String> {
     let mut cfg = pqo_core::scr::ScrConfig::new(lambda).map_err(|e| e.to_string())?;
+    if let Some(raw) = args.opt("policy") {
+        let policy = pqo_core::PolicyId::parse(&raw)
+            .ok_or_else(|| format!("--policy: unknown policy `{raw}` (scr|lec|penalty)"))?;
+        cfg = cfg.with_policy(policy);
+    }
     if let Some(raw) = args.opt("spatial-threshold") {
         let threshold: usize = raw
             .parse()

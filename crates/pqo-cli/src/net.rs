@@ -2,10 +2,12 @@
 //! `pqo-server` over a [`pqo_core::PqoService`]; `pqo client` drives it
 //! from another process.
 //!
-//! The serve side registers one SCR cache per `--template` id (comma
-//! separated), warm-restarts each from `--snapshot-dir` when a prior
-//! snapshot exists, and prints a per-template counter summary after a
-//! graceful shutdown (triggered by a client's `SHUTDOWN` frame). With
+//! The serve side registers one plan cache per `--template` id (comma
+//! separated) under the serving policy selected by `--policy` (SCR by
+//! default), warm-restarts each from `--snapshot-dir` when a prior
+//! snapshot exists (refusing snapshots written under a different policy),
+//! and prints a per-template counter summary after a graceful shutdown
+//! (triggered by a client's `SHUTDOWN` frame). With
 //! `--replica-of ADDR` the server runs as a read replica: it subscribes
 //! to the primary's generation stream, serves hits from the applied
 //! snapshots and forwards misses (`--primary` names the default role
@@ -103,6 +105,7 @@ pub fn serve_listen(args: &Args, listen: &str) -> Result<(), String> {
     }
 
     let workers = config.workers;
+    let policy = scr_config(args, lambda)?.policy;
     let role = match &config.replica_of {
         Some(primary) => format!("replica of {primary}"),
         None => "primary".to_string(),
@@ -111,7 +114,9 @@ pub fn serve_listen(args: &Args, listen: &str) -> Result<(), String> {
         .map_err(|e| format!("bind {listen}: {e}"))?;
     // Smoke scripts parse this exact line to learn the ephemeral port.
     println!("listening on {}", server.local_addr());
-    println!("role: {role}");
+    // Smoke scripts also grep the `role:` prefix — keep the policy suffix
+    // after the role text.
+    println!("role: {role} (policy: {policy})");
     println!(
         "serving {} template(s) at λ = {lambda} ({workers} workers); stop with `pqo client --connect {} --op shutdown`",
         names.len(),
@@ -123,6 +128,7 @@ pub fn serve_listen(args: &Args, listen: &str) -> Result<(), String> {
     let stats = server.join();
     println!();
     println!("server exit summary");
+    println!("policy              : {policy}");
     println!("connections accepted: {}", stats.connections_accepted);
     println!("rejected (busy)     : {}", stats.connections_rejected_busy);
     println!("frames served       : {}", stats.frames_served);
@@ -152,6 +158,8 @@ pub fn serve_listen(args: &Args, listen: &str) -> Result<(), String> {
         println!("selectivity hits    : {}", s.selectivity_hits);
         println!("cost-check hits     : {}", s.cost_hits);
         println!("optimizer calls     : {}", s.optimizer_calls);
+        println!("policy hits         : {}", s.policy_hits);
+        println!("policy rejects      : {}", s.policy_rejects);
         println!("batches served      : {}", s.batches_served);
         println!("batch instances     : {}", s.batch_instances);
         println!("max batch size      : {}", s.max_batch_size);

@@ -1,0 +1,212 @@
+//! Satellite: persist v1 blobs must restore through the *full* service
+//! warm-restart path — `pqo serve --snapshot-dir` over a v1 file — not
+//! just through the unit-level fixture tests. The v1 format predates both
+//! the generation stamp (v2) and the policy tag (v3), so a successful
+//! warm restart proves the whole compat chain: v1 header → generation 0 →
+//! implied SCR policy → registered service → snapshot re-flushed as the
+//! current version on graceful shutdown.
+//!
+//! A second leg pins the policy gate at the same level: serving the v1
+//! blob under `--policy lec` must refuse startup with the typed mismatch
+//! diagnostic rather than silently adopting SCR-era cache contents.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const TEMPLATE: &str = "tpch_skew_A_d2";
+const MAGIC_V1: &[u8; 8] = b"PQOCACH1";
+const MAGIC_V3: &[u8; 8] = b"PQOCACH3";
+/// v3 header: 8 magic + 8 generation + 1 policy tag.
+const V3_HEADER_LEN: usize = 17;
+
+fn pqo() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pqo"))
+}
+
+fn unique_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pqo-warm-restart-v1-{label}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Build a v1 cache blob the way an old release would have written it:
+/// warm a cache through `pqo run --save-cache` (current format), then
+/// splice the v1 magic onto the body. The body layout is unchanged across
+/// versions — v2 added the generation stamp and v3 the policy tag, both
+/// strictly inside the header — so this reproduces genuine v1 bytes.
+fn write_v1_blob(dir: &Path) -> PathBuf {
+    let current = dir.join("current.pqo-cache");
+    let out = pqo()
+        .args([
+            "run",
+            "--template",
+            TEMPLATE,
+            "--m",
+            "40",
+            "--seed",
+            "7",
+            "--save-cache",
+        ])
+        .arg(&current)
+        .output()
+        .expect("run pqo run");
+    assert!(
+        out.status.success(),
+        "warming run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let bytes = std::fs::read(&current).expect("read saved cache");
+    assert_eq!(&bytes[..8], MAGIC_V3, "save no longer writes v3");
+    let mut v1 = MAGIC_V1.to_vec();
+    v1.extend_from_slice(&bytes[V3_HEADER_LEN..]);
+    let path = dir.join(format!("{TEMPLATE}.pqo-cache"));
+    std::fs::write(&path, &v1).expect("write v1 blob");
+    path
+}
+
+/// Spawn `pqo serve` over `dir` and wait for the startup banner, returning
+/// the child, its ephemeral address, every banner line seen, and the live
+/// stdout reader (which must stay open until exit — closing it would kill
+/// the server's exit summary with a broken pipe).
+fn spawn_serve(
+    dir: &Path,
+    extra: &[&str],
+) -> (
+    Child,
+    String,
+    Vec<String>,
+    BufReader<std::process::ChildStdout>,
+) {
+    let mut child = pqo()
+        .args(["serve", "--listen", "127.0.0.1:0", "--template", TEMPLATE])
+        .arg("--snapshot-dir")
+        .arg(dir)
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn pqo serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut lines = Vec::new();
+    let mut addr = String::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("read server banner") == 0 {
+            break;
+        }
+        let line = line.trim_end().to_string();
+        if let Some(a) = line.strip_prefix("listening on ") {
+            addr = a.to_string();
+        }
+        let done = line.starts_with("serving ");
+        lines.push(line);
+        if done {
+            break;
+        }
+    }
+    assert!(!addr.is_empty(), "no listen line in banner: {lines:?}");
+    (child, addr, lines, reader)
+}
+
+fn wait_exit(child: &mut Child) -> std::process::ExitStatus {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Some(status) = child.try_wait().expect("poll child") {
+            return status;
+        }
+        assert!(Instant::now() < deadline, "server did not exit in time");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn v1_blob_warm_restarts_through_pqo_serve_and_reflushes_as_v3() {
+    let dir = unique_dir("restore");
+    write_v1_blob(&dir);
+
+    let (mut child, addr, banner, mut server_out) = spawn_serve(&dir, &[]);
+    assert!(
+        banner.iter().any(|l| l.starts_with("restored ")),
+        "server did not report restoring the v1 blob: {banner:?}"
+    );
+
+    // The restored cache must actually serve: a STATS round trip through a
+    // real client shows plans and the SCR policy id.
+    let out = pqo()
+        .args(["client", "--connect", &addr, "--template", TEMPLATE])
+        .output()
+        .expect("run pqo client stats");
+    assert!(
+        out.status.success(),
+        "stats against warm server failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stats = String::from_utf8_lossy(&out.stdout).to_string();
+    let field = |name: &str| -> u64 {
+        stats
+            .lines()
+            .find_map(|l| l.strip_prefix(name))
+            .unwrap_or_else(|| panic!("no `{name}` in stats:\n{stats}"))
+            .trim_start()
+            .trim_start_matches(':')
+            .trim()
+            .parse()
+            .expect("numeric stat")
+    };
+    assert!(field("num_plans") > 0, "restored cache serves no plans");
+    assert_eq!(field("policy_id"), 0, "v1 blob must restore as SCR");
+
+    let out = pqo()
+        .args(["client", "--connect", &addr, "--op", "shutdown"])
+        .output()
+        .expect("run pqo client shutdown");
+    assert!(out.status.success(), "shutdown failed");
+    // Drain the exit summary so the server never sees a broken pipe.
+    let mut summary = String::new();
+    std::io::Read::read_to_string(&mut server_out, &mut summary).expect("drain exit summary");
+    assert!(wait_exit(&mut child).success(), "server exited non-zero");
+    assert!(
+        summary.contains("policy              : scr"),
+        "exit summary does not name the policy:\n{summary}"
+    );
+
+    // Graceful shutdown re-flushes the snapshot in the current format: the
+    // v1 file on disk has been upgraded to v3 with an SCR policy tag.
+    let bytes = std::fs::read(dir.join(format!("{TEMPLATE}.pqo-cache"))).expect("flushed blob");
+    assert_eq!(&bytes[..8], MAGIC_V3, "flush did not upgrade v1 to v3");
+    assert_eq!(bytes[16], 0, "flushed policy tag is not SCR");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn v1_blob_is_refused_by_a_non_scr_service() {
+    let dir = unique_dir("mismatch");
+    write_v1_blob(&dir);
+
+    let out = pqo()
+        .args(["serve", "--listen", "127.0.0.1:0", "--template", TEMPLATE])
+        .arg("--snapshot-dir")
+        .arg(&dir)
+        .args(["--policy", "lec"])
+        .output()
+        .expect("run pqo serve --policy lec");
+    assert!(
+        !out.status.success(),
+        "an LEC service must refuse an SCR-era snapshot"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("policy mismatch") && stderr.contains("lec") && stderr.contains("scr"),
+        "undiagnosable refusal: {stderr}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -25,6 +25,7 @@ pub mod concurrent;
 pub mod manager;
 pub mod metrics;
 pub mod persist;
+pub mod policy;
 pub mod replication;
 pub mod runner;
 pub mod scr;
@@ -32,6 +33,7 @@ pub mod service;
 pub mod snapshot;
 pub mod spatial;
 
+pub use policy::PolicyId;
 pub use pqo_optimizer::engine;
 pub use pqo_optimizer::error::PqoError;
 pub use scr::Scr;

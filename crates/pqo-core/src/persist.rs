@@ -21,6 +21,7 @@ use pqo_optimizer::plan::PlanFingerprint;
 use pqo_optimizer::svector::SVector;
 
 use crate::cache::{InstanceEntry, PlanCache};
+use crate::policy::PolicyId;
 use crate::scr::{Scr, ScrConfig};
 use crate::snapshot::CacheSnapshot;
 
@@ -31,6 +32,12 @@ const MAGIC_V1: &[u8; 8] = b"PQOCACH1";
 /// restarts resume the publication lineage (and replicas can subscribe
 /// with catch-up from the generation they persisted).
 const MAGIC_V2: &[u8; 8] = b"PQOCACH2";
+/// Version 3 header: a one-byte [`PolicyId`] tag follows the generation
+/// stamp. Cache contents are policy-shaped (which plans get admitted, which
+/// entries survive the redundancy check), so a warm restart under a
+/// different policy must refuse the blob instead of silently serving from a
+/// cache another policy built.
+const MAGIC_V3: &[u8; 8] = b"PQOCACH3";
 /// Shared prefix of every format version; the trailing byte is the ASCII
 /// version digit.
 const MAGIC_PREFIX: &[u8; 7] = b"PQOCACH";
@@ -53,6 +60,15 @@ pub enum RestoreError {
     /// Structurally invalid snapshot (truncated, dangling references, or
     /// non-finite numbers).
     Corrupt(String),
+    /// The snapshot was produced under a different plan-selection policy
+    /// than the restoring configuration runs (v3 headers carry the policy
+    /// tag; v1/v2 blobs predate the policy layer and read as SCR).
+    PolicyMismatch {
+        /// The policy the caller's [`ScrConfig`] is configured with.
+        expected: PolicyId,
+        /// The policy tag found in the snapshot header.
+        found: PolicyId,
+    },
     /// The caller-supplied [`ScrConfig`] is itself invalid.
     Config(PqoError),
 }
@@ -70,6 +86,10 @@ impl From<RestoreError> for PqoError {
     fn from(e: RestoreError) -> Self {
         match e {
             RestoreError::Config(inner) => inner,
+            RestoreError::PolicyMismatch { expected, found } => PqoError::PolicyMismatch {
+                expected: expected.name().to_string(),
+                found: found.name().to_string(),
+            },
             other => PqoError::Persist {
                 message: other.to_string(),
             },
@@ -84,8 +104,12 @@ impl std::fmt::Display for RestoreError {
             RestoreError::BadHeader => write!(f, "not a pqo cache snapshot (bad magic/version)"),
             RestoreError::UnsupportedVersion { version } => write!(
                 f,
-                "unsupported snapshot format version {:?} (this reader understands v1/v2)",
+                "unsupported snapshot format version {:?} (this reader understands v1/v2/v3)",
                 char::from(*version)
+            ),
+            RestoreError::PolicyMismatch { expected, found } => write!(
+                f,
+                "snapshot was produced under policy `{found}` but this configuration runs `{expected}`"
             ),
             RestoreError::Corrupt(m) => write!(f, "corrupt snapshot: {m}"),
             RestoreError::Config(e) => write!(f, "invalid restore configuration: {e}"),
@@ -124,10 +148,19 @@ fn r_f64(r: &mut impl Read) -> io::Result<f64> {
 ///
 /// The configuration itself is *not* persisted — the caller restores with
 /// an explicit [`ScrConfig`], since λ policy is an operator decision, not
-/// cache state.
+/// cache state. The plan-selection [`PolicyId`] *is* stamped into the
+/// header, because cache contents are policy-shaped: restore refuses a
+/// blob written under a different policy.
 pub fn save(scr: &Scr, w: &mut impl Write) -> io::Result<()> {
     let (log_cost_sum, opt_count) = scr.lambda_accumulators();
-    save_parts(scr.cache(), log_cost_sum, opt_count, 0, w)
+    save_parts(
+        scr.cache(),
+        log_cost_sum,
+        opt_count,
+        0,
+        scr.config().policy,
+        w,
+    )
 }
 
 /// Snapshot a published [`CacheSnapshot`] generation into `w`, carrying its
@@ -145,6 +178,7 @@ pub fn save_snapshot(snapshot: &CacheSnapshot, w: &mut impl Write) -> io::Result
         log_cost_sum,
         opt_count,
         snapshot.generation(),
+        snapshot.config().policy,
         w,
     )
 }
@@ -154,10 +188,12 @@ pub(crate) fn save_parts(
     log_cost_sum: f64,
     opt_count: u64,
     generation: u64,
+    policy: PolicyId,
     w: &mut impl Write,
 ) -> io::Result<()> {
-    w.write_all(MAGIC_V2)?;
+    w.write_all(MAGIC_V3)?;
     w_u64(w, generation)?;
+    w.write_all(&[policy.as_tag()])?;
 
     // Plan list, ordered by fingerprint for determinism.
     let mut plans: Vec<_> = cache.plans().collect();
@@ -212,15 +248,30 @@ pub fn restore_with_generation(
 ) -> Result<(Scr, u64), RestoreError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
-    let generation = if &magic == MAGIC_V2 {
-        r_u64(r)?
+    let (generation, policy) = if &magic == MAGIC_V3 {
+        let generation = r_u64(r)?;
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        let policy = PolicyId::from_tag(tag[0])
+            .ok_or_else(|| RestoreError::Corrupt(format!("unknown policy tag {}", tag[0])))?;
+        (generation, policy)
+    } else if &magic == MAGIC_V2 {
+        // v1/v2 blobs predate the policy layer; every cache back then was
+        // SCR-built, so they read as SCR.
+        (r_u64(r)?, PolicyId::Scr)
     } else if &magic == MAGIC_V1 {
-        0
+        (0, PolicyId::Scr)
     } else if magic[..7] == MAGIC_PREFIX[..] && magic[7].is_ascii_digit() {
         return Err(RestoreError::UnsupportedVersion { version: magic[7] });
     } else {
         return Err(RestoreError::BadHeader);
     };
+    if policy != config.policy {
+        return Err(RestoreError::PolicyMismatch {
+            expected: config.policy,
+            found: policy,
+        });
+    }
 
     let plan_count = r_u32(r)? as usize;
     if plan_count > 1_000_000 {
@@ -424,7 +475,7 @@ mod tests {
         let (scr, _) = warmed(&t, 5);
         let mut buf = Vec::new();
         save(&scr, &mut buf).unwrap();
-        for version in [b'3', b'7', b'9', b'0'] {
+        for version in [b'4', b'7', b'9', b'0'] {
             let mut evil = buf.clone();
             evil[7] = version;
             let err = restore(ScrConfig::new(1.5).unwrap(), &mut evil.as_slice()).unwrap_err();
@@ -453,16 +504,96 @@ mod tests {
         assert_eq!(generation, 42);
         assert_eq!(restored.cache().num_plans(), scr.cache().num_plans());
 
-        // A v1 blob (magic digit '1', no generation field) restores with
-        // generation 0: splice the v2 header out.
+        // A v1 blob (magic digit '1', no generation/policy fields) restores
+        // with generation 0: splice the v3 header out.
         let mut v1 = Vec::new();
         v1.extend_from_slice(MAGIC_V1);
-        v1.extend_from_slice(&buf[16..]);
+        v1.extend_from_slice(&buf[17..]);
         let (from_v1, generation) =
             restore_with_generation(ScrConfig::new(1.5).unwrap(), &mut v1.as_slice()).unwrap();
         assert_eq!(generation, 0);
         assert_eq!(from_v1.cache().num_plans(), scr.cache().num_plans());
         assert_eq!(from_v1.cache().num_instances(), scr.cache().num_instances());
+    }
+
+    #[test]
+    fn cross_policy_restore_is_refused_with_typed_error() {
+        let t = fixture();
+        let (scr, _) = warmed(&t, 10);
+        let mut buf = Vec::new();
+        save(&scr, &mut buf).unwrap();
+        // An SCR-built blob must not restore into an LEC-configured cache.
+        let lec = ScrConfig::new(1.5).unwrap().with_policy(PolicyId::Lec);
+        let err = restore(lec, &mut buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RestoreError::PolicyMismatch {
+                    expected: PolicyId::Lec,
+                    found: PolicyId::Scr,
+                }
+            ),
+            "{err}"
+        );
+        // The workspace-wide error keeps the mismatch typed (not folded
+        // into Persist), naming both policies.
+        let wide: PqoError = err.into();
+        assert!(
+            matches!(
+                &wide,
+                PqoError::PolicyMismatch { expected, found }
+                    if expected == "lec" && found == "scr"
+            ),
+            "{wide}"
+        );
+
+        // A v1 blob reads as SCR, so the same LEC configuration refuses it
+        // too — while the matching SCR configuration accepts it.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC_V1);
+        v1.extend_from_slice(&buf[17..]);
+        let lec = ScrConfig::new(1.5).unwrap().with_policy(PolicyId::Lec);
+        let err = restore(lec, &mut v1.as_slice()).unwrap_err();
+        assert!(matches!(err, RestoreError::PolicyMismatch { .. }), "{err}");
+        assert!(restore(ScrConfig::new(1.5).unwrap(), &mut v1.as_slice()).is_ok());
+    }
+
+    #[test]
+    fn policy_tag_roundtrips_for_every_policy() {
+        for policy in [PolicyId::Scr, PolicyId::Lec, PolicyId::Penalty] {
+            let mut scr =
+                Scr::with_config(ScrConfig::new(2.0).unwrap().with_policy(policy)).unwrap();
+            let t = fixture();
+            let engine = QueryEngine::new(Arc::clone(&t));
+            for i in 0..6 {
+                let inst = instance_for_target(&t, &[0.1 + 0.1 * i as f64, 0.3]);
+                let sv = compute_svector(&t, &inst);
+                let _ = scr.get_plan(&inst, &sv, &engine);
+            }
+            let mut buf = Vec::new();
+            save(&scr, &mut buf).unwrap();
+            assert_eq!(buf[16], policy.as_tag(), "header policy tag");
+            let restored = restore(
+                ScrConfig::new(2.0).unwrap().with_policy(policy),
+                &mut buf.as_slice(),
+            )
+            .unwrap();
+            assert_eq!(restored.config().policy, policy);
+            assert_eq!(restored.cache().num_plans(), scr.cache().num_plans());
+        }
+    }
+
+    #[test]
+    fn unknown_policy_tag_is_corrupt() {
+        let t = fixture();
+        let (scr, _) = warmed(&t, 5);
+        let mut buf = Vec::new();
+        save(&scr, &mut buf).unwrap();
+        let mut evil = buf.clone();
+        evil[16] = 0xEE;
+        let err = restore(ScrConfig::new(1.5).unwrap(), &mut evil.as_slice()).unwrap_err();
+        assert!(matches!(err, RestoreError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("policy tag"), "{err}");
     }
 
     #[test]

@@ -9,9 +9,15 @@
 //! cache state, so a replica that replays it inherits λ-optimality for
 //! every hit it serves).
 //!
+//! Every record header carries the primary's [`PolicyId`] tag: cache
+//! contents are policy-shaped, so a replica configured with a different
+//! plan-selection policy must refuse the stream with a typed error
+//! ([`ReplicationError::PolicyMismatch`]) instead of silently serving
+//! another policy's cache.
+//!
 //! Two record kinds:
 //!
-//! * **Full** — the [`crate::persist`] v2 blob (arena plans in Appendix B
+//! * **Full** — the [`crate::persist`] v3 blob (arena plans in Appendix B
 //!   compact encoding, instance 5-tuples, λ accumulators, generation
 //!   stamp). Used for bootstrap and whenever the subscriber's acknowledged
 //!   base has aged out of the writer's generation log.
@@ -45,11 +51,13 @@ use pqo_optimizer::svector::SVector;
 
 use crate::cache::InstanceEntry;
 use crate::persist::{self, RestoreError};
+use crate::policy::PolicyId;
 use crate::scr::{Scr, ScrConfig};
 use crate::snapshot::CacheSnapshot;
 
-/// Record header magic ("PQO generation record, layout 1").
-const RECORD_MAGIC: &[u8; 4] = b"PQG1";
+/// Record header magic ("PQO generation record, layout 2" — layout 2 added
+/// the policy tag byte after the record kind).
+const RECORD_MAGIC: &[u8; 4] = b"PQG2";
 const KIND_FULL: u8 = 0;
 const KIND_DELTA: u8 = 1;
 const ENTRY_BASE_REF: u8 = 0;
@@ -74,6 +82,15 @@ pub enum ReplicationError {
         /// supplied no base snapshot at all).
         have: Option<u64>,
     },
+    /// The record was produced under a different plan-selection policy than
+    /// the replica runs — applying it would install a cache another policy
+    /// built, so the subscription must be refused.
+    PolicyMismatch {
+        /// The policy this replica is configured with.
+        expected: PolicyId,
+        /// The policy tag carried by the record.
+        found: PolicyId,
+    },
     /// The embedded full snapshot failed to restore.
     Restore(RestoreError),
 }
@@ -86,6 +103,10 @@ impl std::fmt::Display for ReplicationError {
                 f,
                 "delta base generation {record_base} does not match replica generation {have:?}"
             ),
+            ReplicationError::PolicyMismatch { expected, found } => write!(
+                f,
+                "generation record was produced under policy `{found}` but this replica runs `{expected}`"
+            ),
             ReplicationError::Restore(e) => write!(f, "embedded snapshot: {e}"),
         }
     }
@@ -95,14 +116,25 @@ impl std::error::Error for ReplicationError {}
 
 impl From<RestoreError> for ReplicationError {
     fn from(e: RestoreError) -> Self {
-        ReplicationError::Restore(e)
+        match e {
+            RestoreError::PolicyMismatch { expected, found } => {
+                ReplicationError::PolicyMismatch { expected, found }
+            }
+            other => ReplicationError::Restore(other),
+        }
     }
 }
 
 impl From<ReplicationError> for PqoError {
     fn from(e: ReplicationError) -> Self {
-        PqoError::Persist {
-            message: e.to_string(),
+        match e {
+            ReplicationError::PolicyMismatch { expected, found } => PqoError::PolicyMismatch {
+                expected: expected.name().to_string(),
+                found: found.name().to_string(),
+            },
+            other => PqoError::Persist {
+                message: other.to_string(),
+            },
         }
     }
 }
@@ -115,6 +147,8 @@ pub struct RecordInfo {
     /// The base generation a delta record requires (`None` for full
     /// records).
     pub base: Option<u64>,
+    /// The plan-selection policy the producing writer runs.
+    pub policy: PolicyId,
 }
 
 /// Encode one published generation as a record.
@@ -129,12 +163,14 @@ pub fn encode_generation(snapshot: &CacheSnapshot, base: Option<&CacheSnapshot>)
     match base {
         Some(base) if base.generation() < snapshot.generation() => {
             out.push(KIND_DELTA);
+            out.push(snapshot.config().policy.as_tag());
             out.extend_from_slice(&snapshot.generation().to_le_bytes());
             out.extend_from_slice(&base.generation().to_le_bytes());
             encode_delta_body(snapshot, base, &mut out);
         }
         _ => {
             out.push(KIND_FULL);
+            out.push(snapshot.config().policy.as_tag());
             out.extend_from_slice(&snapshot.generation().to_le_bytes());
             persist::save_snapshot(snapshot, &mut out).expect("Vec writes are infallible");
         }
@@ -252,20 +288,29 @@ pub fn record_info(bytes: &[u8]) -> Result<RecordInfo, ReplicationError> {
         return Err(ReplicationError::Corrupt("bad record magic".into()));
     }
     let kind = c.u8()?;
+    let policy = read_policy(&mut c)?;
     let generation = c.u64()?;
     match kind {
         KIND_FULL => Ok(RecordInfo {
             generation,
             base: None,
+            policy,
         }),
         KIND_DELTA => Ok(RecordInfo {
             generation,
             base: Some(c.u64()?),
+            policy,
         }),
         k => Err(ReplicationError::Corrupt(format!(
             "unknown record kind {k}"
         ))),
     }
+}
+
+fn read_policy(c: &mut Cur<'_>) -> Result<PolicyId, ReplicationError> {
+    let tag = c.u8()?;
+    PolicyId::from_tag(tag)
+        .ok_or_else(|| ReplicationError::Corrupt(format!("unknown policy tag {tag}")))
 }
 
 /// Decode a generation record into a fresh [`Scr`], resolving delta
@@ -276,8 +321,9 @@ pub fn record_info(bytes: &[u8]) -> Result<RecordInfo, ReplicationError> {
 ///
 /// # Errors
 /// [`ReplicationError::BaseMismatch`] when a delta's base generation is not
-/// the one supplied; [`ReplicationError::Corrupt`] /
-/// [`ReplicationError::Restore`] on malformed bytes.
+/// the one supplied; [`ReplicationError::PolicyMismatch`] when the record
+/// carries a different policy tag than `config`; [`ReplicationError::Corrupt`]
+/// / [`ReplicationError::Restore`] on malformed bytes.
 pub fn apply_generation(
     config: ScrConfig,
     base: Option<&CacheSnapshot>,
@@ -288,6 +334,13 @@ pub fn apply_generation(
         return Err(ReplicationError::Corrupt("bad record magic".into()));
     }
     let kind = c.u8()?;
+    let policy = read_policy(&mut c)?;
+    if policy != config.policy {
+        return Err(ReplicationError::PolicyMismatch {
+            expected: config.policy,
+            found: policy,
+        });
+    }
     let generation = c.u64()?;
     match kind {
         KIND_FULL => {
@@ -652,6 +705,48 @@ mod tests {
             ),
             "{err}"
         );
+    }
+
+    #[test]
+    fn cross_policy_subscription_is_refused_with_typed_error() {
+        let t = fixture_template("repl_policy");
+        let engine = QueryEngine::new(Arc::clone(&t));
+        let lec_cfg = ScrConfig::new(1.5).unwrap().with_policy(PolicyId::Lec);
+        let (mut writer, first) = CacheWriter::new(Scr::with_config(lec_cfg.clone()).unwrap());
+        let cell = SnapshotCell::new(first);
+        for tg in targets(10) {
+            drive(&t, &engine, &mut writer, &cell, &tg);
+        }
+
+        // The record header advertises the producing policy.
+        let latest = writer.latest_snapshot();
+        let full = encode_generation(&latest, None);
+        assert_eq!(record_info(&full).unwrap().policy, PolicyId::Lec);
+        let base = writer.logged_snapshot(writer.generation() - 1).unwrap();
+        let delta = encode_generation(&latest, Some(&base));
+        assert_eq!(record_info(&delta).unwrap().policy, PolicyId::Lec);
+
+        // An SCR replica refuses both record kinds before touching the body.
+        let scr_cfg = ScrConfig::new(1.5).unwrap();
+        for record in [&full, &delta] {
+            let err = apply_generation(scr_cfg.clone(), Some(&base), record).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ReplicationError::PolicyMismatch {
+                        expected: PolicyId::Scr,
+                        found: PolicyId::Lec,
+                    }
+                ),
+                "{err}"
+            );
+            // And the workspace-wide error stays typed.
+            let wide: PqoError = err.into();
+            assert!(matches!(wide, PqoError::PolicyMismatch { .. }), "{wide}");
+        }
+
+        // A matching LEC replica applies the full record fine.
+        assert!(apply_generation(lec_cfg, None, &full).is_ok());
     }
 
     #[test]

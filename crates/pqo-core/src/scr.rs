@@ -42,6 +42,7 @@ use pqo_optimizer::svector::SVector;
 use pqo_optimizer::template::QueryInstance;
 
 use crate::cache::{InstanceEntry, PlanCache};
+use crate::policy::{LecPolicy, PenaltyPolicy, PlanPolicy, PolicyId, ScrPolicy};
 use crate::{OnlinePqo, PlanChoice};
 
 /// Dynamic λ mapping of Appendix D: cheaper instances tolerate a larger λ.
@@ -105,6 +106,12 @@ pub struct ScrConfig {
     /// starve the candidate list. Larger values trade index work for
     /// resilience under heavy Appendix G disabling.
     pub recost_fetch_factor: usize,
+    /// Which serving policy decides reuse/admission over this cache
+    /// (DESIGN.md §8). Part of the cache's identity: persisted in the
+    /// snapshot header and carried on every replication record, so a warm
+    /// restart or a replica subscription under a different policy fails
+    /// with a typed error instead of silently mixing decision streams.
+    pub policy: PolicyId,
 }
 
 impl ScrConfig {
@@ -128,7 +135,16 @@ impl ScrConfig {
             spatial_index_threshold: 64,
             candidate_order: CandidateOrder::GlAscending,
             recost_fetch_factor: 4,
+            policy: PolicyId::Scr,
         })
+    }
+
+    /// Select the serving policy (default [`PolicyId::Scr`]). The CLI
+    /// exposes this as `pqo serve --policy scr|lec|penalty`.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PolicyId) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Override the instance-list size at which `getPlan` switches from
@@ -246,6 +262,14 @@ pub struct ScrStats {
     /// Cumulative nanoseconds spent capturing + installing published
     /// generations (the cost the sharded index keeps at O(n/shards)).
     pub publish_nanos: u64,
+    /// Instances served by a non-SCR policy's decide hook (LEC /
+    /// Penalty). Always 0 under [`PolicyId::Scr`], whose hits land in
+    /// `selectivity_hits` / `cost_hits`.
+    pub policy_hits: u64,
+    /// Instances a non-SCR policy examined but routed to the optimizer
+    /// (neighbourhood too distant, or the λ-gate failed). Always 0 under
+    /// [`PolicyId::Scr`].
+    pub policy_rejects: u64,
 }
 
 /// The live (atomic) form of [`ScrStats`]. Counters bumped on the read path
@@ -274,6 +298,8 @@ pub(crate) struct ScrStatCells {
     index_points_rebuilt: AtomicU64,
     publishes: AtomicU64,
     publish_nanos: AtomicU64,
+    policy_hits: AtomicU64,
+    policy_rejects: AtomicU64,
 }
 
 impl ScrStatCells {
@@ -313,6 +339,25 @@ impl ScrStatCells {
         Self::add(&self.publish_nanos, nanos);
     }
 
+    /// One instance served by a non-SCR policy's decide hook.
+    pub(crate) fn record_policy_hit(&self) {
+        Self::bump(&self.policy_hits);
+    }
+
+    /// One instance a non-SCR policy examined but routed to the optimizer.
+    pub(crate) fn record_policy_reject(&self) {
+        Self::bump(&self.policy_rejects);
+    }
+
+    /// Recost work done inside a non-SCR decide hook — folded into the
+    /// same tallies the SCR cost check feeds, so the overhead split and
+    /// the per-call maximum stay comparable across policies.
+    pub(crate) fn record_policy_recosts(&self, n: u64, nanos: u64) {
+        Self::add(&self.getplan_recost_calls, n);
+        self.max_recosts_per_getplan.fetch_max(n, Ordering::Relaxed);
+        Self::add(&self.recost_nanos, nanos);
+    }
+
     pub(crate) fn snapshot(&self) -> ScrStats {
         ScrStats {
             selectivity_hits: self.selectivity_hits.load(Ordering::Relaxed),
@@ -334,6 +379,8 @@ impl ScrStatCells {
             index_points_rebuilt: self.index_points_rebuilt.load(Ordering::Relaxed),
             publishes: self.publishes.load(Ordering::Relaxed),
             publish_nanos: self.publish_nanos.load(Ordering::Relaxed),
+            policy_hits: self.policy_hits.load(Ordering::Relaxed),
+            policy_rejects: self.policy_rejects.load(Ordering::Relaxed),
         }
     }
 }
@@ -352,8 +399,8 @@ impl ScrStatCells {
 /// before reusing it against a different engine.
 #[derive(Debug, Default)]
 pub struct GetPlanScratch {
-    recosted: HashMap<PlanFingerprint, f64>,
-    recost: RecostScratch,
+    pub(crate) recosted: HashMap<PlanFingerprint, f64>,
+    pub(crate) recost: RecostScratch,
 }
 
 impl GetPlanScratch {
@@ -375,7 +422,7 @@ impl GetPlanScratch {
 #[derive(Debug)]
 pub struct Scr {
     config: ScrConfig,
-    cache: PlanCache,
+    pub(crate) cache: PlanCache,
     stats: Arc<ScrStatCells>,
     /// Running Σ log(C) and count over optimized instances — the cost scale
     /// for the dynamic-λ mapping. Written only on the `&mut` maintenance
@@ -409,7 +456,7 @@ impl ReadView<'_> {
     /// Effective λ for an entry with optimal cost `c` (Appendix D): static
     /// λ, or `λmin + (λmax − λmin)·exp(−c / Cref)` where `Cref` is the
     /// geometric mean of optimal costs seen so far.
-    fn effective_lambda(&self, c: f64) -> f64 {
+    pub(crate) fn effective_lambda(&self, c: f64) -> f64 {
         match self.config.dynamic_lambda {
             None => self.config.lambda,
             Some(DynamicLambda {
@@ -425,11 +472,28 @@ impl ReadView<'_> {
         }
     }
 
-    /// The cache-only part of `getPlan`: selectivity check then cost check,
-    /// never an optimizer call, never a structural cache mutation. `scratch`
-    /// carries the cost check's memo table and recost scratch across calls;
-    /// the hit path allocates nothing when the caller reuses one.
+    /// The cache-only part of `getPlan`: the active policy's decide hook —
+    /// never an optimizer call, never a structural cache mutation.
+    /// `scratch` carries the cost check's memo table and recost scratch
+    /// across calls; the hit path allocates nothing when the caller reuses
+    /// one. Dispatch is a static `match` on [`PolicyId`] (no `dyn` on the
+    /// hot path); the SCR arm is the unchanged pre-policy code.
     pub(crate) fn try_cached_plan(
+        &self,
+        sv: &SVector,
+        engine: &QueryEngine,
+        scratch: &mut GetPlanScratch,
+    ) -> Option<PlanChoice> {
+        match self.config.policy {
+            PolicyId::Scr => ScrPolicy::decide(self, sv, engine, scratch),
+            PolicyId::Lec => LecPolicy::decide(self, sv, engine, scratch),
+            PolicyId::Penalty => PenaltyPolicy::decide(self, sv, engine, scratch),
+        }
+    }
+
+    /// SCR's decide-on-hit: selectivity check then cost check (Algorithm 1
+    /// minus the optimizer arm).
+    pub(crate) fn scr_decide(
         &self,
         sv: &SVector,
         engine: &QueryEngine,
@@ -453,7 +517,7 @@ impl ReadView<'_> {
 
     /// Serve an instance through cache entry `idx` without an optimizer
     /// call.
-    fn serve(&self, idx: usize) -> PlanChoice {
+    pub(crate) fn serve(&self, idx: usize) -> PlanChoice {
         let e = &self.cache.instances()[idx];
         e.record_use();
         let plan = Arc::clone(self.cache.plan(e.plan).expect("entry points to live plan"));
@@ -788,19 +852,42 @@ impl Scr {
     /// Record a fresh optimization in the cache (`manageCache`), including
     /// the optimizer-call bookkeeping — the only path that mutates cache
     /// structure. Runs on a worker thread ([`crate::concurrent::AsyncScr`])
-    /// or under the service's write lock (Section 4.1).
+    /// or under the service's write lock (Section 4.1). The shared
+    /// pre-amble (optimizer-call tally, dynamic-λ accumulators) runs for
+    /// every policy; the structural admission dispatches to the active
+    /// policy's admit hook.
     pub fn manage_cache_entry(&mut self, sv: &SVector, opt: OptimizedPlan, engine: &QueryEngine) {
         ScrStatCells::bump(&self.stats.optimizer_calls);
         self.log_cost_sum += opt.cost.max(f64::MIN_POSITIVE).ln();
         self.opt_count += 1;
         let mut scratch = std::mem::take(&mut self.scratch);
-        self.manage_cache(sv, opt, engine, &mut scratch);
+        match self.config.policy {
+            PolicyId::Scr => ScrPolicy::admit(self, sv, opt, engine, &mut scratch),
+            PolicyId::Lec => LecPolicy::admit(self, sv, opt, engine, &mut scratch),
+            PolicyId::Penalty => PenaltyPolicy::admit(self, sv, opt, engine, &mut scratch),
+        }
         self.scratch = scratch;
         self.sync_index_stats();
     }
 
-    /// `manageCache` (Algorithm 2).
-    fn manage_cache(
+    /// Enforce the plan budget before an insertion (Section 6.3.1): drop
+    /// the minimum-aggregate-usage plan along with its instance entries
+    /// until a slot is free.
+    pub(crate) fn enforce_plan_budget(&mut self) {
+        if let Some(k) = self.config.plan_budget {
+            while self.cache.num_plans() >= k.max(1) {
+                let victim = self
+                    .cache
+                    .min_usage_plan()
+                    .expect("budget > 0 ⇒ victim exists");
+                self.cache.drop_plan(victim);
+                ScrStatCells::bump(&self.stats.budget_evictions);
+            }
+        }
+    }
+
+    /// SCR's admit-on-miss: `manageCache` (Algorithm 2).
+    pub(crate) fn scr_admit(
         &mut self,
         sv: &SVector,
         opt: OptimizedPlan,
@@ -844,18 +931,7 @@ impl Scr {
             }
         }
 
-        // Enforce the plan budget before inserting (Section 6.3.1): drop the
-        // minimum-aggregate-usage plan along with its instance entries.
-        if let Some(k) = self.config.plan_budget {
-            while self.cache.num_plans() >= k.max(1) {
-                let victim = self
-                    .cache
-                    .min_usage_plan()
-                    .expect("budget > 0 ⇒ victim exists");
-                self.cache.drop_plan(victim);
-                ScrStatCells::bump(&self.stats.budget_evictions);
-            }
-        }
+        self.enforce_plan_budget();
 
         self.cache.insert_plan(opt.plan);
         // Build the prepared form at insert time — every later Recost of
@@ -975,9 +1051,14 @@ impl Scr {
 
 impl OnlinePqo for Scr {
     fn name(&self) -> String {
-        let mut n = format!("SCR{}", self.config.lambda);
+        let stem = match self.config.policy {
+            PolicyId::Scr => "SCR",
+            PolicyId::Lec => "LEC",
+            PolicyId::Penalty => "PEN",
+        };
+        let mut n = format!("{stem}{}", self.config.lambda);
         if let Some(d) = self.config.dynamic_lambda {
-            n = format!("SCR[{},{}]", d.lambda_min, d.lambda_max);
+            n = format!("{stem}[{},{}]", d.lambda_min, d.lambda_max);
         }
         if let Some(k) = self.config.plan_budget {
             n.push_str(&format!("-k{k}"));

@@ -473,6 +473,80 @@ impl PqoService {
         ))
     }
 
+    /// Catch-up batch of [`PqoService::generation_record`]: every record a
+    /// subscriber at `since` needs to reach the latest published generation,
+    /// in apply order. When the whole span `since..=latest` is still in the
+    /// writer's generation log, the result is one *delta per intermediate
+    /// generation* — a resubscriber several generations behind gets the
+    /// missing deltas back-to-back in one burst instead of one full
+    /// snapshot or one round trip per generation. When any intermediate
+    /// generation has aged out of the log (or `since` is `None`), this
+    /// degrades to the single record [`PqoService::generation_record`]
+    /// would produce.
+    ///
+    /// The `Arc`s are grabbed under the writer lock; the encodes run after
+    /// it is released. Each element is `(record, generation it produces)`;
+    /// an already-caught-up subscriber gets an empty batch.
+    ///
+    /// # Errors
+    /// [`PqoError::UnknownTemplate`].
+    pub fn generation_records(
+        &self,
+        template: &str,
+        since: Option<u64>,
+    ) -> Result<Vec<(Vec<u8>, u64)>, PqoError> {
+        let shard = self.shard(template)?;
+        // Under the lock: the latest generation plus the contiguous chain of
+        // logged snapshots from `since` forward (base first).
+        let (latest, chain) = {
+            let writer = shard.writer();
+            let latest = writer.latest_snapshot();
+            let chain = since.map(|from| {
+                let mut chain = Vec::new();
+                for g in from..latest.generation() {
+                    match writer.logged_snapshot(g) {
+                        Some(s) => chain.push(s),
+                        None => {
+                            chain.clear();
+                            break;
+                        }
+                    }
+                }
+                chain
+            });
+            (latest, chain)
+        };
+        let latest_gen = latest.generation();
+        if since == Some(latest_gen) {
+            return Ok(Vec::new());
+        }
+        match chain {
+            // Contiguous span: one delta per missing generation, each
+            // encoded against its immediate predecessor.
+            Some(chain) if !chain.is_empty() => {
+                let mut records = Vec::with_capacity(chain.len());
+                for pair in chain.windows(2) {
+                    records.push((
+                        replication::encode_generation(&pair[1], Some(&pair[0])),
+                        pair[1].generation(),
+                    ));
+                }
+                let last_base = chain.last().expect("chain is non-empty");
+                records.push((
+                    replication::encode_generation(&latest, Some(last_base)),
+                    latest_gen,
+                ));
+                Ok(records)
+            }
+            // Base aged out of the log (or no base at all): a single full
+            // record re-ships the cache, exactly as `generation_record`.
+            _ => Ok(vec![(
+                replication::encode_generation(&latest, None),
+                latest_gen,
+            )]),
+        }
+    }
+
     /// Apply a pushed replication record to the named template (the replica
     /// side of [`PqoService::generation_record`]): decode against the
     /// current published generation as delta base, then install the decoded
@@ -805,6 +879,78 @@ mod tests {
             r.apply_generation("q_orders", &evil),
             Err(PqoError::Persist { .. })
         ));
+    }
+
+    #[test]
+    fn catch_up_batch_ships_consecutive_deltas() {
+        let t_orders = crate::testutil::fixture_template("q_orders");
+        let cfg = ScrConfig::new(1.5).unwrap();
+        let p = PqoService::new();
+        p.register(Arc::clone(&t_orders), cfg.clone()).unwrap();
+        let r = PqoService::new();
+        r.register(Arc::clone(&t_orders), cfg).unwrap();
+
+        // Caught-up subscriber: empty batch.
+        let g0 = p.generation("q_orders").unwrap();
+        assert!(p
+            .generation_records("q_orders", Some(g0))
+            .unwrap()
+            .is_empty());
+
+        // Drive a varied sweep until several generations publish while the
+        // subscriber is away, stopping before the log window (depth 8) ages
+        // the subscriber's base out.
+        let applied = p.generation("q_orders").unwrap();
+        let probe = |i: usize| {
+            [
+                0.02 + 0.012 * (i % 73) as f64,
+                0.03 + 0.011 * ((i * 7) % 67) as f64,
+            ]
+        };
+        let mut i = 0usize;
+        while p.generation("q_orders").unwrap() - applied < 4 {
+            let _ = p
+                .get_plan("q_orders", &inst_at(&t_orders, &probe(i)))
+                .unwrap();
+            i += 1;
+            assert!(i < 200, "workload never published 4 generations");
+        }
+        let latest = p.generation("q_orders").unwrap();
+        assert!(latest - applied >= 3, "workload must publish generations");
+
+        // The burst holds one delta per missing generation, in apply order.
+        let records = p.generation_records("q_orders", Some(applied)).unwrap();
+        assert_eq!(records.len(), (latest - applied) as usize);
+        let mut expected_base = applied;
+        let mut replica_gen = applied;
+        for (record, produced) in &records {
+            let info = replication::record_info(record).unwrap();
+            assert_eq!(
+                info.base,
+                Some(expected_base),
+                "records must chain consecutively"
+            );
+            assert_eq!(info.generation, *produced);
+            expected_base = *produced;
+            replica_gen = r.apply_generation("q_orders", record).unwrap();
+        }
+        assert_eq!(replica_gen, latest, "burst must land on the latest");
+        assert_eq!(r.total_plans(), p.total_plans());
+
+        // A subscriber whose base aged out of the log window degrades to a
+        // single full record.
+        while p.generation("q_orders").unwrap() - applied < 9 {
+            let _ = p
+                .get_plan("q_orders", &inst_at(&t_orders, &probe(i)))
+                .unwrap();
+            i += 1;
+            assert!(i < 400, "workload never aged the base out of the log");
+        }
+        let records = p.generation_records("q_orders", Some(applied)).unwrap();
+        assert_eq!(records.len(), 1, "aged-out base must fall back to full");
+        let info = replication::record_info(&records[0].0).unwrap();
+        assert_eq!(info.base, None, "fallback record must be full");
+        assert_eq!(info.generation, p.generation("q_orders").unwrap());
     }
 
     #[test]

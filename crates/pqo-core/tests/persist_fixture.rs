@@ -1,33 +1,37 @@
-//! On-disk format compatibility: a *committed* v2 snapshot fixture.
+//! On-disk format compatibility: *committed* snapshot fixtures.
 //!
 //! The inline `persist` tests prove save/restore roundtrips within one
-//! build; this suite pins the format across builds. The fixture under
-//! `tests/fixtures/` was produced by the `regenerate_fixture` test below
-//! and is checked into the repository — today's reader must load those
-//! exact bytes, reproduce them bit-for-bit on re-save, and reject a
-//! bumped version digit with the typed
+//! build; this suite pins the format across builds. The fixtures under
+//! `tests/fixtures/` were produced by the `regenerate_fixture` test below
+//! and are checked into the repository — today's reader must load the
+//! current-version (v3) bytes exactly, reproduce them bit-for-bit on
+//! re-save, keep loading the older v2 fixture through the compat path, and
+//! reject a bumped version digit with the typed
 //! [`RestoreError::UnsupportedVersion`] error rather than a decode crash.
 //!
 //! If the wire format ever changes intentionally, bump the magic to a new
-//! version, keep this fixture loading via a compat path, and commit an
-//! additional fixture for the new version — never overwrite this one
+//! version, keep these fixtures loading via compat paths, and commit an
+//! additional fixture for the new version — never overwrite these ones
 //! silently.
 
 use std::sync::Arc;
 
 use pqo_core::persist::{restore_with_generation, save_snapshot, RestoreError};
 use pqo_core::scr::{Scr, ScrConfig};
-use pqo_core::{CacheSnapshot, OnlinePqo};
+use pqo_core::{CacheSnapshot, OnlinePqo, PolicyId};
 use pqo_optimizer::engine::QueryEngine;
 use pqo_optimizer::svector::{compute_svector, instance_for_target};
 use pqo_optimizer::template::{QueryTemplate, RangeOp, TemplateBuilder};
 
-/// Bytes as committed; regenerated only by `regenerate_fixture`.
-const FIXTURE: &[u8] = include_bytes!("fixtures/scr_cache_v2.pqo-cache");
+/// v3 bytes as committed; regenerated only by `regenerate_fixture`.
+const FIXTURE_V3: &[u8] = include_bytes!("fixtures/scr_cache_v3.pqo-cache");
+/// v2 bytes as committed by the release that wrote them (no policy tag);
+/// pinned forever as the compat-path fixture.
+const FIXTURE_V2: &[u8] = include_bytes!("fixtures/scr_cache_v2.pqo-cache");
 
-/// λ the fixture was warmed under (part of the fixture's contract).
+/// λ the fixtures were warmed under (part of the fixture contract).
 const LAMBDA: f64 = 1.5;
-/// Generation stamp the fixture was captured at.
+/// Generation stamp the fixtures were captured at.
 const GENERATION: u64 = 7;
 
 /// The canonical orders ⋈ lineitem fixture template (mirrors the crate's
@@ -44,7 +48,7 @@ fn fixture_template() -> Arc<QueryTemplate> {
     b.build()
 }
 
-/// Deterministically warm an SCR with the fixed workload the fixture was
+/// Deterministically warm an SCR with the fixed workload the fixtures were
 /// built from: 24 instances swept across the first selectivity axis.
 fn warmed_scr() -> Scr {
     let t = fixture_template();
@@ -61,9 +65,11 @@ fn warmed_scr() -> Scr {
 
 #[test]
 fn committed_fixture_restores_and_resaves_bit_identically() {
-    let (scr, generation) =
-        restore_with_generation(ScrConfig::new(LAMBDA).expect("valid λ"), &mut &FIXTURE[..])
-            .expect("committed v2 fixture must keep loading");
+    let (scr, generation) = restore_with_generation(
+        ScrConfig::new(LAMBDA).expect("valid λ"),
+        &mut &FIXTURE_V3[..],
+    )
+    .expect("committed v3 fixture must keep loading");
     assert_eq!(generation, GENERATION, "generation stamp drifted");
     assert!(scr.cache().num_plans() > 0, "fixture carries no plans");
     assert!(
@@ -81,18 +87,64 @@ fn committed_fixture_restores_and_resaves_bit_identically() {
     let mut resaved = Vec::new();
     save_snapshot(&snap, &mut resaved).expect("re-save");
     assert_eq!(
-        resaved, FIXTURE,
+        resaved, FIXTURE_V3,
         "re-saving the restored fixture changed its bytes: the on-disk \
          format drifted — add a new version instead"
     );
 }
 
 #[test]
+fn committed_v2_fixture_keeps_loading_through_compat_path() {
+    // The v2 fixture predates the policy tag: it must restore as SCR with
+    // the same generation and the same cache shape as the v3 fixture (both
+    // were built from the identical warm workload).
+    let (scr, generation) = restore_with_generation(
+        ScrConfig::new(LAMBDA).expect("valid λ"),
+        &mut &FIXTURE_V2[..],
+    )
+    .expect("committed v2 fixture must keep loading");
+    assert_eq!(generation, GENERATION, "generation stamp drifted");
+    scr.cache()
+        .check_invariants()
+        .expect("restored cache invariants");
+
+    let (v3, _) = restore_with_generation(
+        ScrConfig::new(LAMBDA).expect("valid λ"),
+        &mut &FIXTURE_V3[..],
+    )
+    .expect("v3 fixture loads");
+    assert_eq!(scr.cache().num_plans(), v3.cache().num_plans());
+    assert_eq!(scr.cache().num_instances(), v3.cache().num_instances());
+
+    // And the policy check applies to v2 blobs too: a non-SCR configuration
+    // refuses them with the typed error.
+    let err = restore_with_generation(
+        ScrConfig::new(LAMBDA)
+            .expect("valid λ")
+            .with_policy(PolicyId::Lec),
+        &mut &FIXTURE_V2[..],
+    )
+    .expect_err("an SCR-era blob must not restore into an LEC service");
+    assert!(
+        matches!(
+            err,
+            RestoreError::PolicyMismatch {
+                expected: PolicyId::Lec,
+                found: PolicyId::Scr,
+            }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
 fn restored_fixture_serves_its_warm_region() {
-    let mut scr =
-        restore_with_generation(ScrConfig::new(LAMBDA).expect("valid λ"), &mut &FIXTURE[..])
-            .expect("fixture loads")
-            .0;
+    let mut scr = restore_with_generation(
+        ScrConfig::new(LAMBDA).expect("valid λ"),
+        &mut &FIXTURE_V3[..],
+    )
+    .expect("fixture loads")
+    .0;
     let t = fixture_template();
     let engine = QueryEngine::new(Arc::clone(&t));
     let inst = instance_for_target(&t, &[0.45, 0.35]);
@@ -107,26 +159,27 @@ fn restored_fixture_serves_its_warm_region() {
 
 #[test]
 fn bumped_version_digit_is_rejected_with_typed_error() {
-    let mut bumped = FIXTURE.to_vec();
-    assert_eq!(&bumped[..8], b"PQOCACH2", "fixture header moved");
-    bumped[7] = b'3';
+    let mut bumped = FIXTURE_V3.to_vec();
+    assert_eq!(&bumped[..8], b"PQOCACH3", "fixture header moved");
+    bumped[7] = b'4';
     let err = restore_with_generation(
         ScrConfig::new(LAMBDA).expect("valid λ"),
         &mut bumped.as_slice(),
     )
     .expect_err("a future version must not decode");
     assert!(
-        matches!(err, RestoreError::UnsupportedVersion { version: b'3' }),
+        matches!(err, RestoreError::UnsupportedVersion { version: b'4' }),
         "expected UnsupportedVersion, got: {err}"
     );
     // The error message names the version so operators can tell a
     // too-new snapshot from corruption.
-    assert!(err.to_string().contains('3'), "undiagnosable error: {err}");
+    assert!(err.to_string().contains('4'), "undiagnosable error: {err}");
 }
 
-/// Regenerates `tests/fixtures/scr_cache_v2.pqo-cache`. Run explicitly via
+/// Regenerates `tests/fixtures/scr_cache_v3.pqo-cache`. Run explicitly via
 /// `cargo test -p pqo-core --test persist_fixture regenerate -- --ignored`
-/// *only* when intentionally re-baselining, then commit the new bytes.
+/// *only* when intentionally re-baselining, then commit the new bytes. The
+/// v2 fixture is never rewritten — it pins the historical format.
 #[test]
 #[ignore = "writes the committed fixture; run only to re-baseline"]
 fn regenerate_fixture() {
@@ -135,7 +188,7 @@ fn regenerate_fixture() {
     let mut bytes = Vec::new();
     save_snapshot(&snap, &mut bytes).expect("serialize");
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/fixtures/scr_cache_v2.pqo-cache");
+        .join("tests/fixtures/scr_cache_v3.pqo-cache");
     std::fs::create_dir_all(path.parent().unwrap()).expect("fixtures dir");
     std::fs::write(&path, &bytes).expect("write fixture");
     println!("wrote {} bytes to {}", bytes.len(), path.display());

@@ -47,6 +47,17 @@ pub enum PqoError {
         /// Human-readable cause (I/O failure, bad header, corrupt section).
         message: String,
     },
+    /// A snapshot or replication stream was produced under a different
+    /// plan-selection policy than this service runs. Policies shape cache
+    /// contents (which plans are admitted, which entries survive), so
+    /// silently mixing them would poison the guarantee; the mismatch is a
+    /// typed error the operator must resolve explicitly.
+    PolicyMismatch {
+        /// The policy this service is configured with.
+        expected: String,
+        /// The policy carried by the snapshot or stream.
+        found: String,
+    },
 }
 
 impl std::fmt::Display for PqoError {
@@ -71,6 +82,10 @@ impl std::fmt::Display for PqoError {
                 write!(f, "invalid template `{name}`: {reason}")
             }
             PqoError::Persist { message } => write!(f, "persistence error: {message}"),
+            PqoError::PolicyMismatch { expected, found } => write!(
+                f,
+                "policy mismatch: this service runs `{expected}` but the snapshot/stream carries `{found}`"
+            ),
         }
     }
 }
@@ -131,6 +146,13 @@ mod tests {
                     message: "bad magic".into(),
                 },
                 "bad magic",
+            ),
+            (
+                PqoError::PolicyMismatch {
+                    expected: "scr".into(),
+                    found: "lec".into(),
+                },
+                "lec",
             ),
         ];
         for (e, offender) in variants {

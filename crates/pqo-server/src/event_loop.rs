@@ -472,9 +472,15 @@ impl EventLoop {
 
     /// Push newly published generations to every caught-up subscriber.
     /// Runs each loop iteration; the probe per subscription is one
-    /// published-snapshot load, so an idle fleet costs ~nothing. At most
-    /// one unacknowledged push per subscription is in flight, and a
-    /// connection over its buffer bound is skipped until it drains.
+    /// published-snapshot load, so an idle fleet costs ~nothing. In steady
+    /// state at most one unacknowledged push per subscription is in flight
+    /// (the ≤ 1 generation-lag invariant). A resubscriber several
+    /// generations behind but still inside the writer's log window gets
+    /// every missing delta record back-to-back in one burst (see
+    /// [`pqo_core::PqoService::generation_records`]) instead of one
+    /// full-snapshot re-ship or one ack round trip per generation; its ack
+    /// of the final generation settles the whole burst. A connection over
+    /// its buffer bound is skipped until it drains.
     fn pump_subscriptions(&mut self, now: Instant) {
         for slot in 0..self.conns.len() {
             let mut pushed = false;
@@ -498,33 +504,35 @@ impl EventLoop {
                     if current <= sub.sent {
                         continue;
                     }
-                    let Ok((record, generation)) = self
+                    let Ok(records) = self
                         .shared
                         .service
-                        .generation_record(&sub.template, Some(sub.sent))
+                        .generation_records(&sub.template, Some(sub.sent))
                     else {
                         continue;
                     };
                     let stats = &self.shared.stats;
-                    stats.gens_pushed.fetch_add(1, Ordering::Relaxed);
-                    stats
-                        .replication_bytes_out
-                        .fetch_add(record.len() as u64, Ordering::Relaxed);
-                    let mut body = Vec::new();
-                    encode_response(
-                        &Response::SnapshotPush {
-                            template: sub.template.clone(),
-                            generation,
-                            record,
-                        },
-                        &mut body,
-                    );
-                    if conn.wbuf.is_empty() {
-                        conn.last_write = now;
+                    for (record, generation) in records {
+                        stats.gens_pushed.fetch_add(1, Ordering::Relaxed);
+                        stats
+                            .replication_bytes_out
+                            .fetch_add(record.len() as u64, Ordering::Relaxed);
+                        let mut body = Vec::new();
+                        encode_response(
+                            &Response::SnapshotPush {
+                                template: sub.template.clone(),
+                                generation,
+                                record,
+                            },
+                            &mut body,
+                        );
+                        if conn.wbuf.is_empty() {
+                            conn.last_write = now;
+                        }
+                        conn.wbuf.push_frame(&body);
+                        sub.sent = generation;
+                        pushed = true;
                     }
-                    conn.wbuf.push_frame(&body);
-                    sub.sent = generation;
-                    pushed = true;
                 }
             }
             if pushed {

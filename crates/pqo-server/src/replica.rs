@@ -96,14 +96,16 @@ fn stream_from_primary(shared: &Shared) -> Result<(), ClientError> {
                 rep.note_applied(&push.template, applied);
                 client.ack_generation(&push.template, applied)?;
             }
-            Err(_) => {
+            Err(e) => {
                 // A record we cannot apply (base mismatch after a missed
-                // push, corruption in transit): drop the connection and
-                // resubscribe from the applied generation, which yields a
-                // delta from a base both sides agree on — or a full
-                // snapshot if the primary's log no longer covers it.
+                // push, a cross-policy stream, corruption in transit):
+                // drop the connection and resubscribe from the applied
+                // generation, which yields a delta from a base both sides
+                // agree on — or a full snapshot if the primary's log no
+                // longer covers it. The cause is surfaced so a policy
+                // mismatch is diagnosable from the replica's logs.
                 return Err(ClientError::Protocol(format!(
-                    "failed to apply generation {} of `{}`",
+                    "failed to apply generation {} of `{}`: {e}",
                     push.generation, push.template
                 )));
             }

@@ -736,5 +736,8 @@ fn gather_stats(shared: &Shared, template: &str) -> Result<WireStats, PqoError> 
         gens_applied: srv.gens_applied.load(Ordering::Relaxed),
         replication_bytes_out: srv.replication_bytes_out.load(Ordering::Relaxed),
         replication_bytes_in: srv.replication_bytes_in.load(Ordering::Relaxed),
+        policy_id: snapshot.config().policy.as_tag() as u64,
+        policy_hits: s.policy_hits,
+        policy_rejects: s.policy_rejects,
     })
 }

@@ -44,7 +44,12 @@ use pqo_optimizer::error::PqoError;
 /// stream generation records to read replicas; `STATS_OK` grew six
 /// replication fields (generation, lag, push/apply counts, bytes); the
 /// [`code::PRIMARY_UNREACHABLE`] error code was published.
-pub const PROTOCOL_VERSION: u16 = 4;
+///
+/// v5: the policy layer. `STATS_OK` grew three policy fields (the serving
+/// [`pqo_core::PolicyId`] tag plus the policy-specific hit/reject decision
+/// counters); replication records carry a policy tag (layout `PQG2`); the
+/// [`code::POLICY_MISMATCH`] error code was published.
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// Default upper bound on one frame's body, enforced by server and client.
 pub const DEFAULT_MAX_FRAME_BYTES: u32 = 1 << 20;
@@ -125,6 +130,9 @@ pub mod code {
     /// A replica could not forward a cache miss to its primary (or timed
     /// out waiting for the resulting generation to replicate).
     pub const PRIMARY_UNREACHABLE: u16 = 22;
+    /// [`PqoError::PolicyMismatch`]: a snapshot or replication stream was
+    /// produced under a different serving policy than this service runs.
+    pub const POLICY_MISMATCH: u16 = 23;
     /// A [`PqoError`] variant this protocol version does not know
     /// (`PqoError` is `#[non_exhaustive]`).
     pub const INTERNAL: u16 = 31;
@@ -142,6 +150,7 @@ pub fn error_code(e: &PqoError) -> u16 {
         PqoError::InvalidBudget { .. } => code::INVALID_BUDGET,
         PqoError::InvalidTemplate { .. } => code::INVALID_TEMPLATE,
         PqoError::Persist { .. } => code::PERSIST,
+        PqoError::PolicyMismatch { .. } => code::POLICY_MISMATCH,
         _ => code::INTERNAL,
     }
 }
@@ -317,6 +326,13 @@ wire_stats! {
     replication_bytes_out,
     /// Replication record bytes applied from a primary (server-wide).
     replication_bytes_in,
+    /// The [`pqo_core::PolicyId`] tag the service serves under (0 = SCR,
+    /// 1 = LEC, 2 = penalty).
+    policy_id,
+    /// Instances served by a non-SCR policy's decide step.
+    policy_hits,
+    /// Policy gate rejections that fell through to the optimizer.
+    policy_rejects,
 }
 
 /// A server → client message.
@@ -898,7 +914,7 @@ mod tests {
     fn stats_layout_is_pinned_to_protocol_version() {
         assert_eq!(
             (PROTOCOL_VERSION, STATS_FIELD_COUNT),
-            (4, 29),
+            (5, 32),
             "STATS_OK layout changed: bump PROTOCOL_VERSION and re-pin this pair"
         );
         let unique: std::collections::HashSet<_> = STATS_FIELD_NAMES.iter().collect();
@@ -1022,8 +1038,17 @@ mod tests {
                 21,
                 "PERSIST",
             ),
+            (
+                PqoError::PolicyMismatch {
+                    expected: "scr".into(),
+                    found: "lec".into(),
+                },
+                23,
+                "POLICY_MISMATCH",
+            ),
         ];
         assert_eq!(code::PRIMARY_UNREACHABLE, 22);
+        assert_eq!(code::POLICY_MISMATCH, 23);
         for (err, want, label) in cases {
             assert_eq!(error_code(&err), want, "{label} renumbered");
         }

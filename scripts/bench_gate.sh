@@ -20,13 +20,16 @@ runs="${PQO_BENCH_RUNS:-3}"
 baseline="${PQO_BENCH_BASELINE:-scripts/bench_baseline.json}"
 out="BENCH_$(date +%Y%m%d).json"
 
-benches=(service_throughput batch_throughput net_throughput spatial_publish replication)
+benches=(service_throughput batch_throughput net_throughput spatial_publish replication policy_throughput)
 # "<bench label>:<metric key>" — the headline metrics the gate tracks.
 # publish_sharded_eps is snapshot publications per second on a 10k-point
 # sharded spatial index (elements=1 per publish cycle).
 # replica_apply_eps is generations applied per second through
 # PqoService::apply_generation (decode + install + publish): the replica
 # must apply faster than the primary publishes for lag to stay bounded.
+# policy_scr_eps is warm-cache get_plan throughput under SCR through the
+# enum-dispatched policy seam — the policy-layer refactor must not tax the
+# hot reuse path.
 headline=(
     "service_throughput/get_plan_readmostly/8_threads:read_mostly_eps"
     "batch_throughput/get_plan_batch32/8_threads:batch_eps"
@@ -34,6 +37,7 @@ headline=(
     "net_throughput/get_plan_batch32/8_threads:net_batch_eps"
     "spatial_publish/sharded/10k:publish_sharded_eps"
     "replication/replica_apply/delta_chain:replica_apply_eps"
+    "policy_throughput/SCR2:policy_scr_eps"
 )
 
 log="$(mktemp)"

@@ -12,6 +12,7 @@ cd "$(dirname "$0")/.."
 net_tmp=""
 hc_tmp=""
 repl_tmp=""
+pol_tmp=""
 pids=()
 cleanup() {
     for pid in "${pids[@]:-}"; do
@@ -22,6 +23,7 @@ cleanup() {
     if [ -n "$net_tmp" ]; then rm -rf "$net_tmp"; fi
     if [ -n "$hc_tmp" ]; then rm -rf "$hc_tmp"; fi
     if [ -n "$repl_tmp" ]; then rm -rf "$repl_tmp"; fi
+    if [ -n "$pol_tmp" ]; then rm -rf "$pol_tmp"; fi
 }
 trap cleanup EXIT
 
@@ -180,6 +182,71 @@ grep -q "optimized : false" "$repl_tmp/after.txt" \
 wait "$repl_rpid"
 grep -Eq "generations applied : [1-9]" "$repl_tmp/replica.log" \
     || { echo "replica exit summary shows no applied generations"; cat "$repl_tmp/replica.log"; exit 1; }
+
+echo "==> policy matrix smoke (scr | lec | penalty served end-to-end)"
+# Every serving policy must survive the same loopback drill: serve it,
+# replay an oracle-checked workload (the in-process oracle runs the same
+# --policy), and shut down cleanly. The server must announce the policy it
+# serves so operators can tell the deployments apart.
+pol_tmp="$(mktemp -d)"
+pol_id="tpch_skew_B_d2"
+for pol in scr lec penalty; do
+    ./target/release/pqo serve --listen 127.0.0.1:0 --template "$pol_id" \
+        --policy "$pol" > "$pol_tmp/$pol.log" 2>&1 &
+    pol_pid=$!
+    pids+=("$pol_pid")
+    addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^listening on //p' "$pol_tmp/$pol.log")"
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "$pol server never reported its address"; cat "$pol_tmp/$pol.log"; exit 1; }
+    grep -q "(policy: $pol)" "$pol_tmp/$pol.log" \
+        || { echo "$pol server did not announce its policy"; cat "$pol_tmp/$pol.log"; exit 1; }
+    ./target/release/pqo client --connect "$addr" \
+        --template "$pol_id" --m 200 --batch 4 --check true --policy "$pol" \
+        | grep "oracle check        : OK" \
+        || { echo "oracle check failed under policy $pol"; exit 1; }
+    ./target/release/pqo client --connect "$addr" --op shutdown
+    wait "$pol_pid"
+done
+# One non-SCR policy through the replicated stack: an LEC primary feeding
+# an LEC replica, oracle-checked through the replica.
+./target/release/pqo serve --listen 127.0.0.1:0 --template "$pol_id" \
+    --policy lec --primary > "$pol_tmp/lec_primary.log" 2>&1 &
+pol_ppid=$!
+pids+=("$pol_ppid")
+paddr=""
+for _ in $(seq 1 100); do
+    paddr="$(sed -n 's/^listening on //p' "$pol_tmp/lec_primary.log")"
+    [ -n "$paddr" ] && break
+    sleep 0.1
+done
+[ -n "$paddr" ] || { echo "lec primary never reported its address"; cat "$pol_tmp/lec_primary.log"; exit 1; }
+./target/release/pqo serve --listen 127.0.0.1:0 --template "$pol_id" \
+    --policy lec --replica-of "$paddr" > "$pol_tmp/lec_replica.log" 2>&1 &
+pol_rpid=$!
+pids+=("$pol_rpid")
+raddr=""
+for _ in $(seq 1 100); do
+    raddr="$(sed -n 's/^listening on //p' "$pol_tmp/lec_replica.log")"
+    [ -n "$raddr" ] && break
+    sleep 0.1
+done
+[ -n "$raddr" ] || { echo "lec replica never reported its address"; cat "$pol_tmp/lec_replica.log"; exit 1; }
+grep -q "role: replica of" "$pol_tmp/lec_replica.log" \
+    || { echo "lec replica did not announce its role"; cat "$pol_tmp/lec_replica.log"; exit 1; }
+./target/release/pqo client --connect "$raddr" \
+    --template "$pol_id" --m 200 --batch 4 --check true --policy lec \
+    | grep "oracle check        : OK" \
+    || { echo "oracle check through the lec replica failed"; exit 1; }
+./target/release/pqo client --connect "$raddr" --op shutdown
+wait "$pol_rpid"
+./target/release/pqo client --connect "$paddr" --op shutdown
+wait "$pol_ppid"
+grep -Eq "generations applied : [1-9]" "$pol_tmp/lec_replica.log" \
+    || { echo "lec replica exit summary shows no applied generations"; cat "$pol_tmp/lec_replica.log"; exit 1; }
 
 if [ -n "${PQO_BENCH_GATE:-}" ]; then
     echo "==> bench regression gate"
