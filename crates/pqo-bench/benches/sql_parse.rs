@@ -1,0 +1,76 @@
+//! SQL frontend throughput: tokenizing + parsing the committed fixture
+//! corpus, and the full `pqo_sql::compile` pipeline (directives, parse,
+//! catalog-backed bind) that the server runs per `--templates-dir` file
+//! at startup. Catalogs are built once outside the timed region — the
+//! bench measures the frontend, not histogram construction.
+
+use std::hint::black_box;
+use std::path::PathBuf;
+
+use pqo_bench::microbench::Runner;
+use pqo_catalog::{schemas, Catalog};
+
+/// The committed `.sql` fixture corpus at `templates/`.
+fn fixtures() -> Vec<(String, String)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../templates");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("templates/ exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) == Some("sql") {
+            let stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .expect("utf-8 stem")
+                .to_string();
+            let src = std::fs::read_to_string(&path).expect("readable fixture");
+            out.push((stem, src));
+        }
+    }
+    out.sort();
+    assert!(out.len() >= 10, "fixture corpus is committed");
+    out
+}
+
+fn main() {
+    let runner = Runner::from_args();
+    let fixtures = fixtures();
+    let n = fixtures.len() as u64;
+
+    // One catalog instance per distinct `pqo:catalog` directive.
+    let mut catalogs: Vec<Catalog> = Vec::new();
+    let bound: Vec<(&str, &str, usize)> = fixtures
+        .iter()
+        .map(|(stem, src)| {
+            let name = pqo_sql::directives(src)
+                .expect("fixture directives parse")
+                .catalog
+                .expect("fixture names its catalog");
+            let idx = match catalogs.iter().position(|c| c.name() == name) {
+                Some(i) => i,
+                None => {
+                    catalogs.push(match name.as_str() {
+                        "tpch_skew" => schemas::tpch_skew(),
+                        "tpcds" => schemas::tpcds(),
+                        "rd1" => schemas::rd1(),
+                        "rd2" => schemas::rd2(),
+                        other => panic!("fixture names unknown catalog {other}"),
+                    });
+                    catalogs.len() - 1
+                }
+            };
+            (stem.as_str(), src.as_str(), idx)
+        })
+        .collect();
+
+    runner.bench_throughput("sql_parse/parse/corpus", n, || {
+        for (_, src, _) in &bound {
+            black_box(pqo_sql::parse(src).expect("fixture parses"));
+        }
+    });
+
+    runner.bench_throughput("sql_parse/compile/corpus", n, || {
+        for (stem, src, idx) in &bound {
+            black_box(pqo_sql::compile(stem, src, &catalogs[*idx]).expect("fixture compiles"));
+        }
+    });
+}

@@ -12,14 +12,16 @@
 //!              [--recost-fetch-factor N]
 //! pqo serve    --template ID [--lambda X] [--m N] [--seed N] [--batch N]
 //!              [--spatial-threshold N] [--recost-fetch-factor N]
-//! pqo serve    --listen ADDR --template ID[,ID...] [--lambda X]
-//!              [--policy scr|lec|penalty] [--snapshot-dir DIR]
+//! pqo serve    --listen ADDR --template ID[,ID...] [--templates-dir DIR]
+//!              [--lambda X] [--policy scr|lec|penalty] [--snapshot-dir DIR]
 //!              [--max-conns N] [--workers N]
 //!              [--primary | --replica-of ADDR]
-//! pqo client   --connect ADDR [--op plan|run|stats|follow-lag|shutdown|idle]
-//!              [--template ID] [--sel S1,...] [--m N] [--seed N] [--batch N]
-//!              [--check BOOL] [--policy scr|lec|penalty] [--conns N]
-//!              [--hold-ms T] [--count N] [--interval-ms T]
+//! pqo client   --connect ADDR
+//!              [--op plan|run|stats|explain|follow-lag|shutdown|idle]
+//!              [--template ID | --sql-file PATH] [--sel S1,...]
+//!              [--dialect postgres|mysql|duckdb] [--m N] [--seed N]
+//!              [--batch N] [--check BOOL] [--policy scr|lec|penalty]
+//!              [--conns N] [--hold-ms T] [--count N] [--interval-ms T]
 //! ```
 
 use std::process::exit;
@@ -81,9 +83,10 @@ fn usage() {
          pqo cache --template ID [--lambda X] [--m N] [--spatial-threshold N] [--recost-fetch-factor N]\n  \
          pqo serve --template ID [--lambda X] [--m N] [--seed N] [--batch N] [--spatial-threshold N]\n  \
                  [--recost-fetch-factor N]\n  \
-         pqo serve --listen ADDR --template ID[,ID...] [--lambda X] [--policy scr|lec|penalty] [--snapshot-dir DIR]\n  \
-                 [--max-conns N] [--workers N] [--primary | --replica-of ADDR]\n  \
-         pqo client --connect ADDR [--op plan|run|stats|follow-lag|shutdown|idle] [--template ID] [--sel S1,...]\n  \
+         pqo serve --listen ADDR --template ID[,ID...] [--templates-dir DIR] [--lambda X] [--policy scr|lec|penalty]\n  \
+                 [--snapshot-dir DIR] [--max-conns N] [--workers N] [--primary | --replica-of ADDR]\n  \
+         pqo client --connect ADDR [--op plan|run|stats|explain|follow-lag|shutdown|idle]\n  \
+                 [--template ID | --sql-file PATH] [--sel S1,...] [--dialect postgres|mysql|duckdb]\n  \
                  [--m N] [--seed N] [--batch N] [--check BOOL] [--policy scr|lec|penalty] [--conns N] [--hold-ms T]\n  \
                  [--count N] [--interval-ms T]"
     );

@@ -3,28 +3,37 @@
 //! from another process.
 //!
 //! The serve side registers one plan cache per `--template` id (comma
-//! separated) under the serving policy selected by `--policy` (SCR by
-//! default), warm-restarts each from `--snapshot-dir` when a prior
-//! snapshot exists (refusing snapshots written under a different policy),
-//! and prints a per-template counter summary after a graceful shutdown
-//! (triggered by a client's `SHUTDOWN` frame). With
-//! `--replica-of ADDR` the server runs as a read replica: it subscribes
-//! to the primary's generation stream, serves hits from the applied
-//! snapshots and forwards misses (`--primary` names the default role
-//! explicitly). The client side offers ops — `plan`, `run`, `stats`,
-//! `follow-lag`, `shutdown`, `idle` — inferred from the flags or forced
-//! with `--op`; `run --check true` replays the same generated workload
-//! through an in-process oracle and fails on the first decision
+//! separated) and one per `.sql` file under `--templates-dir` (compiled by
+//! `pqo-sql`, named by file stem, bound against the catalog its
+//! `-- pqo:catalog` directive declares) under the serving policy selected
+//! by `--policy` (SCR by default), warm-restarts each from
+//! `--snapshot-dir` when a prior snapshot exists (refusing snapshots
+//! written under a different policy), and prints a per-template counter
+//! summary after a graceful shutdown (triggered by a client's `SHUTDOWN`
+//! frame). With `--replica-of ADDR` the server runs as a read replica: it
+//! subscribes to the primary's generation stream, serves hits from the
+//! applied snapshots and forwards misses (`--primary` names the default
+//! role explicitly). The client side offers ops — `plan`, `run`, `stats`,
+//! `explain`, `follow-lag`, `shutdown`, `idle` — inferred from the flags
+//! or forced with `--op`; targets come from the corpus (`--template ID`)
+//! or from a local SQL file (`--sql-file PATH`, compiled exactly as the
+//! server compiles it); `run --check true` replays the same generated
+//! workload through an in-process oracle and fails on the first decision
 //! divergence, reporting the diverging instance index and both decisions;
-//! `follow-lag` polls a replica's generation lag.
+//! `explain` fetches the chosen plan rendered as dialect-specific hinted
+//! SQL; `follow-lag` polls a replica's generation lag.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use pqo_catalog::{schemas, Catalog};
 use pqo_core::PqoService;
 use pqo_optimizer::svector::instance_for_target;
+use pqo_optimizer::template::{QueryInstance, QueryTemplate};
 use pqo_server::{PqoClient, PqoServer, ServerConfig};
+use pqo_sql::DialectKind;
 use pqo_workload::corpus::{corpus, TemplateSpec};
+use pqo_workload::regions;
 
 use crate::args::Args;
 use crate::{scr_config, sels, spec};
@@ -47,10 +56,75 @@ fn spec_by_id(id: &str) -> Result<&'static TemplateSpec, String> {
         .ok_or_else(|| format!("unknown template `{id}` (try `pqo templates`)"))
 }
 
-/// `pqo serve --listen ADDR --template ID[,ID...]`: serve registered
-/// templates over TCP until a client requests shutdown.
+/// Build a catalog by its directive name, memoizing across template files
+/// (construction samples tens of thousands of rows per column).
+fn cached_catalog<'a>(cache: &'a mut Vec<Catalog>, name: &str) -> Result<&'a Catalog, String> {
+    if let Some(i) = cache.iter().position(|c| c.name() == name) {
+        return Ok(&cache[i]);
+    }
+    let built = match name {
+        "tpch_skew" => schemas::tpch_skew(),
+        "tpcds" => schemas::tpcds(),
+        "rd1" => schemas::rd1(),
+        "rd2" => schemas::rd2(),
+        other => {
+            return Err(format!(
+                "unknown catalog `{other}` (tpch_skew|tpcds|rd1|rd2)"
+            ))
+        }
+    };
+    cache.push(built);
+    Ok(cache.last().expect("just pushed"))
+}
+
+/// Compile one `.sql` template file: read, resolve the catalog its
+/// `-- pqo:catalog` directive names, and bind. The template is named by
+/// the file stem. Errors carry the file path plus the caret-rendered span.
+fn compile_sql_file(
+    path: &Path,
+    catalogs: &mut Vec<Catalog>,
+) -> Result<(String, pqo_sql::Compiled), String> {
+    let stem = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .filter(|s| !s.is_empty())
+        .ok_or_else(|| format!("{}: cannot derive a template name", path.display()))?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let dirs =
+        pqo_sql::directives(&src).map_err(|e| format!("{}: {}", path.display(), e.render(&src)))?;
+    let catalog_name = dirs.catalog.ok_or_else(|| {
+        format!(
+            "{}: missing `-- pqo:catalog <name>` directive (tpch_skew|tpcds|rd1|rd2)",
+            path.display()
+        )
+    })?;
+    let catalog =
+        cached_catalog(catalogs, &catalog_name).map_err(|e| format!("{}: {e}", path.display()))?;
+    let compiled = pqo_sql::compile(&stem, &src, catalog)
+        .map_err(|e| format!("{}: {}", path.display(), e.render(&src)))?;
+    Ok((stem, compiled))
+}
+
+/// The `.sql` files under `--templates-dir`, sorted by name so the
+/// registration order (and the `HELLO` template list) is deterministic.
+fn sql_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_file() && p.extension().is_some_and(|x| x == "sql"))
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+/// `pqo serve --listen ADDR --template ID[,ID...] | --templates-dir DIR`:
+/// serve registered templates over TCP until a client requests shutdown.
 pub fn serve_listen(args: &Args, listen: &str) -> Result<(), String> {
-    let ids = args.get("template")?;
+    let ids = args.opt("template");
+    let templates_dir = args.opt("templates-dir").map(PathBuf::from);
+    if ids.is_none() && templates_dir.is_none() {
+        return Err("pass --template ID[,ID...] and/or --templates-dir DIR".into());
+    }
     let lambda: f64 = parse_opt(args, "lambda", 2.0)?;
     let snapshot_dir = args.opt("snapshot-dir").map(PathBuf::from);
 
@@ -71,8 +145,7 @@ pub fn serve_listen(args: &Args, listen: &str) -> Result<(), String> {
 
     let service = Arc::new(PqoService::new());
     let mut names = Vec::new();
-    for id in ids.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-        let spec = spec_by_id(id)?;
+    let mut register = |id: &str, template: &Arc<QueryTemplate>| -> Result<(), String> {
         let cfg = scr_config(args, lambda)?;
         let warm = snapshot_dir
             .as_ref()
@@ -83,7 +156,7 @@ pub fn serve_listen(args: &Args, listen: &str) -> Result<(), String> {
                 let mut f =
                     std::fs::File::open(&path).map_err(|e| format!("{}: {e}", path.display()))?;
                 service
-                    .register_restored(Arc::clone(&spec.template), cfg, &mut f)
+                    .register_restored(Arc::clone(template), cfg, &mut f)
                     .map_err(|e| format!("{}: {e}", path.display()))?;
                 let plans = service
                     .snapshot(id)
@@ -94,11 +167,40 @@ pub fn serve_listen(args: &Args, listen: &str) -> Result<(), String> {
             }
             None => {
                 service
-                    .register(Arc::clone(&spec.template), cfg)
+                    .register(Arc::clone(template), cfg)
                     .map_err(|e| e.to_string())?;
             }
         }
         names.push(id.to_string());
+        Ok(())
+    };
+    for id in ids
+        .as_deref()
+        .unwrap_or("")
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+    {
+        let spec = spec_by_id(id)?;
+        register(id, &spec.template)?;
+    }
+    if let Some(dir) = &templates_dir {
+        let files = sql_files(dir)?;
+        if files.is_empty() {
+            return Err(format!("{}: no .sql template files", dir.display()));
+        }
+        let mut catalogs = Vec::new();
+        for path in &files {
+            let (stem, compiled) = compile_sql_file(path, &mut catalogs)?;
+            register(&stem, &compiled.template)?;
+            // Smoke scripts parse these lines to learn the registered set.
+            println!(
+                "compiled {stem} from {} ({} dialect, d = {})",
+                path.display(),
+                compiled.dialect,
+                compiled.template.dimensions()
+            );
+        }
     }
     if names.is_empty() {
         return Err("--template: no template ids given".into());
@@ -172,6 +274,68 @@ pub fn serve_listen(args: &Args, listen: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// What a client op drives: a corpus template (`--template ID`) or a local
+/// SQL file (`--sql-file PATH`) compiled exactly as `serve --templates-dir`
+/// compiles it — so the client-side oracle and the server agree on the
+/// template down to the name.
+enum Target {
+    Corpus(&'static TemplateSpec),
+    Sql {
+        id: String,
+        compiled: pqo_sql::Compiled,
+    },
+}
+
+impl Target {
+    fn id(&self) -> &str {
+        match self {
+            Target::Corpus(s) => &s.id,
+            Target::Sql { id, .. } => id,
+        }
+    }
+
+    fn template(&self) -> &Arc<QueryTemplate> {
+        match self {
+            Target::Corpus(s) => &s.template,
+            Target::Sql { compiled, .. } => &compiled.template,
+        }
+    }
+
+    fn dimensions(&self) -> usize {
+        self.template().dimensions()
+    }
+
+    /// The dialect to render `explain` output in when `--dialect` is not
+    /// given: the file's declared dialect, postgres for corpus templates.
+    fn default_dialect(&self) -> DialectKind {
+        match self {
+            Target::Corpus(_) => DialectKind::Postgres,
+            Target::Sql { compiled, .. } => compiled.dialect,
+        }
+    }
+
+    /// The same region-bucketized workload `pqo run` uses; corpus targets
+    /// keep their per-template seed mixing.
+    fn generate(&self, m: usize, seed: u64) -> Vec<QueryInstance> {
+        match self {
+            Target::Corpus(s) => s.generate(m, seed),
+            Target::Sql { compiled, .. } => regions::generate(&compiled.template, m, seed),
+        }
+    }
+}
+
+fn target(args: &Args) -> Result<Target, String> {
+    match args.opt("sql-file") {
+        Some(path) => {
+            let path = PathBuf::from(path);
+            let mut catalogs = Vec::new();
+            let (id, compiled) = compile_sql_file(&path, &mut catalogs)?;
+            Ok(Target::Sql { id, compiled })
+        }
+        None => Ok(Target::Corpus(spec(args)?)),
+    }
+}
+
 /// `pqo client --connect ADDR [...]`: one op per invocation.
 pub fn client_cmd(args: &Args) -> Result<(), String> {
     let addr = args.get("connect")?;
@@ -179,9 +343,11 @@ pub fn client_cmd(args: &Args) -> Result<(), String> {
         Some(op) => op,
         None if args.opt("sel").is_some() => "plan".into(),
         None if args.opt("m").is_some() => "run".into(),
-        None if args.opt("template").is_some() => "stats".into(),
+        None if args.opt("template").is_some() || args.opt("sql-file").is_some() => "stats".into(),
         None => {
-            return Err("cannot infer op; pass --op plan|run|stats|follow-lag|shutdown|idle".into())
+            return Err(
+                "cannot infer op; pass --op plan|run|stats|explain|follow-lag|shutdown|idle".into(),
+            )
         }
     };
     // The idle op never speaks the protocol (raw sockets, no handshake),
@@ -193,20 +359,24 @@ pub fn client_cmd(args: &Args) -> Result<(), String> {
         PqoClient::connect(&addr as &str).map_err(|e| format!("connect {addr}: {e}"))?;
     match op.as_str() {
         "plan" => {
-            let spec = spec(args)?;
-            let target = sels(args, "sel", spec.dimensions)?;
-            let inst = instance_for_target(&spec.template, &target);
+            let t = target(args)?;
+            let sel = sels(args, "sel", t.dimensions())?;
+            let inst = instance_for_target(t.template(), &sel);
             let choice = client
-                .get_plan(&spec.id, &inst.values)
+                .get_plan(t.id(), &inst.values)
                 .map_err(|e| e.to_string())?;
-            println!("template  : {}", spec.id);
+            println!("template  : {}", t.id());
             println!("plan      : {}", choice.fingerprint);
             println!("optimized : {}", choice.optimized);
             Ok(())
         }
+        "explain" => client_explain(args, &mut client),
         "run" => client_run(args, &mut client),
         "stats" => {
-            let id = args.get("template")?;
+            let id = match args.opt("template") {
+                Some(id) => id,
+                None => target(args)?.id().to_string(),
+            };
             let s = client.stats(&id).map_err(|e| e.to_string())?;
             println!("[{id}]");
             // Driven by the wire field table: a field added to the STATS
@@ -223,9 +393,32 @@ pub fn client_cmd(args: &Args) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!(
-            "unknown op `{other}` (plan|run|stats|follow-lag|shutdown|idle)"
+            "unknown op `{other}` (plan|run|stats|explain|follow-lag|shutdown|idle)"
         )),
     }
+}
+
+/// `pqo client --connect ADDR --op explain --sel S1,... [--dialect NAME]`:
+/// serve one instance and print the chosen plan as the server renders it —
+/// dialect-specific hinted SQL with the parameter values inlined.
+fn client_explain(args: &Args, client: &mut PqoClient) -> Result<(), String> {
+    let t = target(args)?;
+    let sel = sels(args, "sel", t.dimensions())?;
+    let inst = instance_for_target(t.template(), &sel);
+    let dialect = match args.opt("dialect") {
+        Some(raw) => DialectKind::parse(&raw).map_err(|e| format!("--dialect: {e}"))?,
+        None => t.default_dialect(),
+    };
+    let explain = client
+        .explain(t.id(), &inst.values, dialect.as_tag())
+        .map_err(|e| e.to_string())?;
+    println!("template  : {}", t.id());
+    println!("dialect   : {dialect}");
+    println!("plan      : {}", explain.choice.fingerprint);
+    println!("optimized : {}", explain.choice.optimized);
+    println!();
+    println!("{}", explain.sql);
+    Ok(())
 }
 
 /// `pqo client --connect ADDR --op follow-lag --template ID [--count N]
@@ -291,7 +484,7 @@ fn client_idle(args: &Args, addr: &str) -> Result<(), String> {
 /// The oracle assumes the server holds a *cold* cache with the same SCR
 /// configuration (λ, thresholds) this invocation was given.
 fn client_run(args: &Args, client: &mut PqoClient) -> Result<(), String> {
-    let spec = spec(args)?;
+    let t = target(args)?;
     let m: usize = parse_opt(args, "m", 1000)?;
     let seed: u64 = parse_opt(args, "seed", 42)?;
     let batch: usize = parse_opt(args, "batch", 1)?;
@@ -300,13 +493,13 @@ fn client_run(args: &Args, client: &mut PqoClient) -> Result<(), String> {
         return Err("--batch must be >= 1".into());
     }
 
-    let instances = spec.generate(m, seed);
+    let instances = t.generate(m, seed);
     let start = std::time::Instant::now();
     let mut decisions: Vec<(u64, bool)> = Vec::with_capacity(m);
     if batch == 1 {
         for inst in &instances {
             let c = client
-                .get_plan(&spec.id, &inst.values)
+                .get_plan(t.id(), &inst.values)
                 .map_err(|e| e.to_string())?;
             decisions.push((c.fingerprint.0, c.optimized));
         }
@@ -314,7 +507,7 @@ fn client_run(args: &Args, client: &mut PqoClient) -> Result<(), String> {
         for chunk in instances.chunks(batch) {
             let values: Vec<Vec<f64>> = chunk.iter().map(|q| q.values.clone()).collect();
             let cs = client
-                .get_plan_batch(&spec.id, &values)
+                .get_plan_batch(t.id(), &values)
                 .map_err(|e| e.to_string())?;
             decisions.extend(cs.iter().map(|c| (c.fingerprint.0, c.optimized)));
         }
@@ -322,10 +515,7 @@ fn client_run(args: &Args, client: &mut PqoClient) -> Result<(), String> {
     let elapsed = start.elapsed();
     let optimized = decisions.iter().filter(|(_, o)| *o).count();
 
-    println!(
-        "template            : {} (d = {})",
-        spec.id, spec.dimensions
-    );
+    println!("template            : {} (d = {})", t.id(), t.dimensions());
     println!("instances           : {m} (batch size {batch}, over TCP)");
     println!(
         "optimizer calls     : {optimized} ({:.1}%)",
@@ -341,10 +531,10 @@ fn client_run(args: &Args, client: &mut PqoClient) -> Result<(), String> {
         let lambda: f64 = parse_opt(args, "lambda", 2.0)?;
         let oracle = PqoService::new();
         oracle
-            .register(Arc::clone(&spec.template), scr_config(args, lambda)?)
+            .register(Arc::clone(t.template()), scr_config(args, lambda)?)
             .map_err(|e| e.to_string())?;
         for (i, (inst, &(fp, optimized))) in instances.iter().zip(&decisions).enumerate() {
-            let expect = oracle.get_plan(&spec.id, inst).map_err(|e| e.to_string())?;
+            let expect = oracle.get_plan(t.id(), inst).map_err(|e| e.to_string())?;
             if fp != expect.plan.fingerprint().0 || optimized != expect.optimized {
                 return Err(format!(
                     "oracle divergence at instance {i}: wire served plan {fp:#018x} \

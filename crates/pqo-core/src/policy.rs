@@ -94,9 +94,10 @@ impl PolicyId {
         }
     }
 
-    /// Parse a CLI/wire name (case-sensitive, matching [`PolicyId::name`]).
+    /// Parse a CLI/wire name, case-insensitively (`scr`, `LEC`, `Penalty`
+    /// all work; see [`PolicyId::name`] for the canonical spellings).
     pub fn parse(s: &str) -> Option<PolicyId> {
-        match s {
+        match s.trim().to_ascii_lowercase().as_str() {
             "scr" => Some(PolicyId::Scr),
             "lec" => Some(PolicyId::Lec),
             "penalty" => Some(PolicyId::Penalty),
@@ -426,11 +427,21 @@ mod tests {
             assert_eq!(p.to_string(), p.name());
         }
         assert_eq!(PolicyId::from_tag(3), None);
-        assert_eq!(PolicyId::parse("SCR"), None, "names are case-sensitive");
         // The tag bytes are a persisted format: pin them.
         assert_eq!(PolicyId::Scr.as_tag(), 0);
         assert_eq!(PolicyId::Lec.as_tag(), 1);
         assert_eq!(PolicyId::Penalty.as_tag(), 2);
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!(PolicyId::parse("SCR"), Some(PolicyId::Scr));
+        assert_eq!(PolicyId::parse("LEC"), Some(PolicyId::Lec));
+        assert_eq!(PolicyId::parse("Penalty"), Some(PolicyId::Penalty));
+        assert_eq!(PolicyId::parse(" lec "), Some(PolicyId::Lec));
+        assert_eq!(PolicyId::parse("pcm"), None);
+        // Canonical names stay lowercase — wire/persist tags are unaffected.
+        assert_eq!(PolicyId::parse("SCR").unwrap().name(), "scr");
     }
 
     fn warmed(policy: PolicyId) -> (Scr, pqo_optimizer::engine::QueryEngine) {

@@ -218,6 +218,33 @@ impl PqoClient {
         }
     }
 
+    /// Serve one instance and fetch the chosen plan rendered as hinted SQL
+    /// in `dialect` (parameter values inlined as literals).
+    ///
+    /// # Errors
+    /// As [`PqoClient::get_plan`], plus [`wire::code::MALFORMED`] for an
+    /// unknown dialect tag.
+    pub fn explain(
+        &mut self,
+        template: &str,
+        values: &[f64],
+        dialect_tag: u8,
+    ) -> Result<RemoteExplain, ClientError> {
+        match self.call(&Request::Explain {
+            template: template.into(),
+            values: values.to_vec(),
+            dialect_tag,
+        })? {
+            Response::ExplainOk { choice, sql } => Ok(RemoteExplain {
+                choice: RemoteChoice::from(choice),
+                sql,
+            }),
+            other => Err(ClientError::Protocol(format!(
+                "expected EXPLAIN_OK, got {other:?}"
+            ))),
+        }
+    }
+
     /// Counter snapshot for `template`.
     ///
     /// # Errors
@@ -372,4 +399,14 @@ impl From<WireChoice> for RemoteChoice {
             generation: c.generation,
         }
     }
+}
+
+/// An `EXPLAIN` decision: the usual plan choice plus the server-rendered
+/// dialect-specific hinted SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteExplain {
+    /// The served decision.
+    pub choice: RemoteChoice,
+    /// The chosen plan rendered as hinted SQL.
+    pub sql: String,
 }

@@ -54,6 +54,6 @@ mod replica;
 pub mod server;
 pub mod wire;
 
-pub use client::{ClientError, PqoClient, PushedGeneration, RemoteChoice};
+pub use client::{ClientError, PqoClient, PushedGeneration, RemoteChoice, RemoteExplain};
 pub use server::{PqoServer, ServerConfig, ServerHandle, ServerStats};
 pub use wire::{WireChoice, WireStats, PROTOCOL_VERSION};

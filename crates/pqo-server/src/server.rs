@@ -517,6 +517,17 @@ pub(crate) fn dispatch(req: Request, shared: &Shared) -> Response {
             Err(e) => pqo_error_frame(&e),
         },
         Request::Shutdown => Response::ShutdownOk,
+        Request::Explain {
+            template,
+            values,
+            dialect_tag,
+        } => match explain_one(shared, &template, values, dialect_tag) {
+            Ok(resp) => {
+                shared.stats.plans_served.fetch_add(1, Ordering::Relaxed);
+                resp
+            }
+            Err(resp) => resp,
+        },
         // Subscription control frames are handled inline by the event loop
         // (they mutate per-connection state the worker pool cannot see);
         // reaching dispatch means a logic error, answered defensively.
@@ -616,6 +627,61 @@ fn serve_batch(
             generation,
         })
         .collect())
+}
+
+/// Serve one instance and render the chosen plan as dialect-specific
+/// hinted SQL (values inlined as literals). On a replica the decision is
+/// served through the usual forwarding path first, which guarantees the
+/// chosen plan is in the local cache by the time it is rendered.
+#[allow(clippy::result_large_err)]
+fn explain_one(
+    shared: &Shared,
+    template: &str,
+    values: Vec<f64>,
+    dialect_tag: u8,
+) -> Result<Response, Response> {
+    let Some(dialect) = pqo_sql::DialectKind::from_tag(dialect_tag) else {
+        return Err(Response::Error {
+            code: code::MALFORMED,
+            message: format!("unknown dialect tag {dialect_tag} (0=postgres, 1=mysql, 2=duckdb)"),
+        });
+    };
+    let inst = validated_instance(shared, template, values)?;
+    let t = shared
+        .service
+        .template(template)
+        .map_err(|e| pqo_error_frame(&e))?;
+    if let Some(rep) = &shared.replica {
+        let choice = replica_serve(shared, rep, template, inst.clone())?;
+        let plan = match shared.service.serve_cached(template, &inst) {
+            Ok((Some(cached), _)) => cached.plan,
+            Ok((None, _)) => {
+                return Err(Response::Error {
+                    code: code::PRIMARY_UNREACHABLE,
+                    message: format!(
+                        "plan {:#018x} not in the local cache after forwarding",
+                        choice.fingerprint
+                    ),
+                })
+            }
+            Err(e) => return Err(pqo_error_frame(&e)),
+        };
+        let sql = pqo_sql::emit::render(&t, &plan, dialect, Some(&inst.values));
+        return Ok(Response::ExplainOk { choice, sql });
+    }
+    let (decision, generation) = shared
+        .service
+        .get_plan_with_generation(template, &inst)
+        .map_err(|e| pqo_error_frame(&e))?;
+    let sql = pqo_sql::emit::render(&t, &decision.plan, dialect, Some(&inst.values));
+    Ok(Response::ExplainOk {
+        choice: WireChoice {
+            fingerprint: decision.plan.fingerprint().0,
+            optimized: decision.optimized,
+            generation,
+        },
+        sql,
+    })
 }
 
 /// The replica serving path: a cache hit against the locally applied

@@ -49,7 +49,12 @@ use pqo_optimizer::error::PqoError;
 /// [`pqo_core::PolicyId`] tag plus the policy-specific hit/reject decision
 /// counters); replication records carry a policy tag (layout `PQG2`); the
 /// [`code::POLICY_MISMATCH`] error code was published.
-pub const PROTOCOL_VERSION: u16 = 5;
+///
+/// v6: the SQL frontend. `EXPLAIN`/`EXPLAIN_OK` serve one instance and
+/// return the chosen cached plan rendered as dialect-specific hinted SQL
+/// (the dialect is named by a `u8` tag: 0 = postgres, 1 = mysql,
+/// 2 = duckdb) alongside the usual plan decision.
+pub const PROTOCOL_VERSION: u16 = 6;
 
 /// Default upper bound on one frame's body, enforced by server and client.
 pub const DEFAULT_MAX_FRAME_BYTES: u32 = 1 << 20;
@@ -77,6 +82,9 @@ pub mod opcode {
     /// Client → server: acknowledge an applied pushed generation,
     /// releasing the next push for that subscription.
     pub const GEN_ACK: u8 = 0x07;
+    /// Client → server: serve one instance and render the chosen plan as
+    /// dialect-specific hinted SQL.
+    pub const EXPLAIN: u8 = 0x08;
 
     /// Server → client: handshake accepted.
     pub const HELLO_OK: u8 = 0x81;
@@ -93,6 +101,8 @@ pub mod opcode {
     pub const SUBSCRIBE_OK: u8 = 0x86;
     /// Server → client: one generation record pushed to a subscriber.
     pub const SNAPSHOT_PUSH: u8 = 0x87;
+    /// Server → client: plan decision plus rendered hinted SQL.
+    pub const EXPLAIN_OK: u8 = 0x88;
     /// Server → client: typed error frame.
     pub const ERROR: u8 = 0xEE;
 }
@@ -200,6 +210,17 @@ pub enum Request {
         template: String,
         /// The generation now applied on the subscriber.
         generation: u64,
+    },
+    /// Serve one instance and return the chosen plan rendered as hinted
+    /// SQL in the named dialect (values inlined as literals).
+    Explain {
+        /// Registered template name.
+        template: String,
+        /// Raw parameter values (`template.dimensions()` of them).
+        values: Vec<f64>,
+        /// Dialect tag: 0 = postgres, 1 = mysql, 2 = duckdb
+        /// (`pqo_sql::DialectKind::as_tag`).
+        dialect_tag: u8,
     },
 }
 
@@ -361,6 +382,13 @@ pub enum Response {
         /// is up to date once it has applied this).
         generation: u64,
     },
+    /// Plan decision plus rendered hinted SQL for one `EXPLAIN`.
+    ExplainOk {
+        /// The served decision (same layout as a `PLAN` choice).
+        choice: WireChoice,
+        /// The chosen plan rendered as dialect-specific hinted SQL.
+        sql: String,
+    },
     /// One generation record pushed to a subscriber.
     SnapshotPush {
         /// The template this record belongs to.
@@ -471,6 +499,16 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
             put_str(out, template);
             put_u64(out, *generation);
         }
+        Request::Explain {
+            template,
+            values,
+            dialect_tag,
+        } => {
+            out.push(opcode::EXPLAIN);
+            put_str(out, template);
+            put_values(out, values);
+            out.push(*dialect_tag);
+        }
     }
 }
 
@@ -504,6 +542,11 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
             }
         }
         Response::ShutdownOk => out.push(opcode::SHUTDOWN_OK),
+        Response::ExplainOk { choice, sql } => {
+            out.push(opcode::EXPLAIN_OK);
+            put_choice(out, choice);
+            put_str(out, sql);
+        }
         Response::SubscribeOk {
             template,
             generation,
@@ -675,6 +718,16 @@ pub fn decode_request(body: &[u8]) -> Result<Request, WireError> {
                 generation,
             })
         }
+        opcode::EXPLAIN => {
+            let template = c.str()?;
+            let values = c.values()?;
+            let dialect_tag = c.u8()?;
+            c.finish(Request::Explain {
+                template,
+                values,
+                dialect_tag,
+            })
+        }
         other => Err(malformed(format!("unknown request opcode {other:#04x}"))),
     }
 }
@@ -723,6 +776,11 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
             c.finish(Response::Stats(WireStats::from_fields(f)))
         }
         opcode::SHUTDOWN_OK => c.finish(Response::ShutdownOk),
+        opcode::EXPLAIN_OK => {
+            let choice = take_choice(&mut c)?;
+            let sql = c.str()?;
+            c.finish(Response::ExplainOk { choice, sql })
+        }
         opcode::SUBSCRIBE_OK => {
             let template = c.str()?;
             let generation = c.u64()?;
@@ -859,6 +917,11 @@ mod tests {
                 template: rand_string(&mut rng),
                 generation: rng.next_u64(),
             });
+            roundtrip_request(&Request::Explain {
+                template: rand_string(&mut rng),
+                values: rand_values(&mut rng),
+                dialect_tag: rng.gen_range(0u32..4) as u8,
+            });
 
             let choice = WireChoice {
                 fingerprint: rng.next_u64(),
@@ -888,6 +951,10 @@ mod tests {
                 ..WireStats::default()
             }));
             roundtrip_response(&Response::ShutdownOk);
+            roundtrip_response(&Response::ExplainOk {
+                choice,
+                sql: format!("-- plan: {:#x}\nSELECT count(*) FROM t", rng.next_u64()),
+            });
             roundtrip_response(&Response::SubscribeOk {
                 template: rand_string(&mut rng),
                 generation: rng.next_u64(),
@@ -914,7 +981,7 @@ mod tests {
     fn stats_layout_is_pinned_to_protocol_version() {
         assert_eq!(
             (PROTOCOL_VERSION, STATS_FIELD_COUNT),
-            (5, 32),
+            (6, 32),
             "STATS_OK layout changed: bump PROTOCOL_VERSION and re-pin this pair"
         );
         let unique: std::collections::HashSet<_> = STATS_FIELD_NAMES.iter().collect();
@@ -971,6 +1038,33 @@ mod tests {
         // Trailing garbage is malformed, not silently ignored.
         body.push(0);
         assert!(decode_request(&body).is_err());
+
+        // Same attack against the v6 EXPLAIN frame and its response.
+        encode_request(
+            &Request::Explain {
+                template: "tpch_skew_A_d2".into(),
+                values: vec![0.25, 0.5],
+                dialect_tag: 2,
+            },
+            &mut body,
+        );
+        for cut in 0..body.len() {
+            assert!(decode_request(&body[..cut]).is_err(), "cut at {cut}");
+        }
+        encode_response(
+            &Response::ExplainOk {
+                choice: WireChoice {
+                    fingerprint: 7,
+                    optimized: true,
+                    generation: 3,
+                },
+                sql: "SELECT count(*) FROM t WHERE a <= $1".into(),
+            },
+            &mut body,
+        );
+        for cut in 0..body.len() {
+            assert!(decode_response(&body[..cut]).is_err(), "cut at {cut}");
+        }
     }
 
     /// Hostile counts (batch / value counts far beyond the payload) are

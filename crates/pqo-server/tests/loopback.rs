@@ -345,6 +345,55 @@ fn limits_and_error_frames() {
     assert!(summary.error_frames >= 5);
 }
 
+/// The v6 EXPLAIN path: the decision must match the `GET_PLAN` stream, the
+/// rendered SQL must carry the chosen plan's fingerprint in every dialect,
+/// and an unknown dialect tag earns a recoverable `MALFORMED` frame.
+#[test]
+fn explain_round_trips_over_the_wire() {
+    let id = "tpch_skew_A_d2";
+    let service = fresh_service(&[id]);
+    let server =
+        PqoServer::bind(service, "127.0.0.1:0", ServerConfig::default()).expect("bind loopback");
+    let mut client = PqoClient::connect(server.local_addr()).expect("connects");
+
+    let values = [50_000.0, 900.0];
+    let first = client.explain(id, &values, 0).expect("explain served");
+    assert!(first.choice.optimized, "cold cache must optimize");
+
+    for tag in 0u8..3 {
+        let explain = client.explain(id, &values, tag).expect("explain served");
+        // Warm now: the decision matches the plain GET_PLAN stream.
+        let plan = client.get_plan(id, &values).expect("served");
+        assert_eq!(explain.choice.fingerprint, plan.fingerprint);
+        assert!(!explain.choice.optimized, "warm cache");
+        let fp = format!("{}", explain.choice.fingerprint);
+        assert!(
+            explain.sql.contains(&format!("-- plan: {fp}")),
+            "fingerprint hint missing from:\n{}",
+            explain.sql
+        );
+        assert!(explain.sql.contains("SELECT"), "{}", explain.sql);
+        // Values are inlined as literals, not placeholders.
+        assert!(explain.sql.contains("50000"), "{}", explain.sql);
+    }
+    // Dialect-specific rendering: mysql (tag 1) backticks + `?`-free text.
+    let mysql = client.explain(id, &values, 1).expect("served");
+    assert!(mysql.sql.contains("-- dialect: mysql"), "{}", mysql.sql);
+
+    match client.explain(id, &values, 9) {
+        Err(ClientError::Server { code: c, message }) => {
+            assert_eq!(c, code::MALFORMED);
+            assert!(message.contains("dialect"), "{message}");
+        }
+        other => panic!("unknown dialect tag yielded {other:?}"),
+    }
+    // The connection survived the error frame.
+    client.explain(id, &values, 2).expect("still served");
+
+    server.shutdown();
+    server.join();
+}
+
 #[test]
 fn idle_connections_are_dropped() {
     let id = "tpch_skew_A_d2";

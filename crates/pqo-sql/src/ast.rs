@@ -1,0 +1,198 @@
+//! The (deliberately small) SQL AST.
+//!
+//! The grammar covers exactly the template language of the paper:
+//! `SELECT` over a FROM list with `[INNER] JOIN ... ON` equi-joins, an
+//! AND-connected `WHERE` of simple comparisons, optional `GROUP BY` and
+//! `ORDER BY`. Every node carries the [`Span`] it was parsed from so the
+//! binder can report errors against the source text.
+
+use crate::error::Span;
+use crate::token::QuoteStyle;
+
+/// An identifier as written: name plus whether/how it was quoted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Name {
+    /// The identifier text (unquoted identifiers are lowercased).
+    pub text: String,
+    /// Quoting style, if quoted.
+    pub quote: Option<QuoteStyle>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A possibly-qualified column reference `[alias.]column`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnRef {
+    /// Qualifier (a FROM alias or table name), if written.
+    pub qualifier: Option<Name>,
+    /// The column name.
+    pub column: Name,
+    /// Span of the whole reference.
+    pub span: Span,
+}
+
+/// One item of the projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// A plain column.
+    Column(ColumnRef),
+    /// `fn(col)` or `count(*)`.
+    Aggregate {
+        /// Function name, lowercased (`count`, `sum`, `min`, `max`, `avg`).
+        func: String,
+        /// Argument column; `None` for `count(*)`.
+        arg: Option<ColumnRef>,
+        /// Span of the call.
+        span: Span,
+    },
+}
+
+/// A table in FROM or JOIN: `table [AS] alias`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name.
+    pub table: Name,
+    /// Optional alias.
+    pub alias: Option<Name>,
+    /// Span of the whole reference.
+    pub span: Span,
+}
+
+impl TableRef {
+    /// The name this relation binds in scope: the alias if given, else the
+    /// table name.
+    pub fn bound_name(&self) -> &str {
+        self.alias
+            .as_ref()
+            .map(|a| a.text.as_str())
+            .unwrap_or(&self.table.text)
+    }
+}
+
+/// Comparison operators in predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `=`
+    Eq,
+}
+
+impl CmpOp {
+    /// Mirror the operator (for `$1 >= col` → `col <= $1` normalization).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Eq => CmpOp::Eq,
+        }
+    }
+
+    /// SQL spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CmpOp::Le => "<=",
+            CmpOp::Lt => "<",
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+            CmpOp::Eq => "=",
+        }
+    }
+}
+
+/// One side of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// A column reference.
+    Column(ColumnRef),
+    /// A numeric literal.
+    Number {
+        /// The value.
+        value: f64,
+        /// Source span.
+        span: Span,
+    },
+    /// A string literal (tokenized but rejected by the binder: all template
+    /// columns are numeric).
+    Str {
+        /// The text.
+        text: String,
+        /// Source span.
+        span: Span,
+    },
+    /// A parameter placeholder: `$n` (`Some(n)`) or `?` (`None`).
+    Placeholder {
+        /// 1-based index for `$n`; `None` for `?`.
+        index: Option<u32>,
+        /// Source span.
+        span: Span,
+    },
+}
+
+impl Scalar {
+    /// Source span of this scalar.
+    pub fn span(&self) -> Span {
+        match self {
+            Scalar::Column(c) => c.span,
+            Scalar::Number { span, .. }
+            | Scalar::Str { span, .. }
+            | Scalar::Placeholder { span, .. } => *span,
+        }
+    }
+}
+
+/// One WHERE conjunct: `lhs op rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Left-hand side.
+    pub lhs: Scalar,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right-hand side.
+    pub rhs: Scalar,
+    /// Span of the whole conjunct.
+    pub span: Span,
+}
+
+/// An `ON left = right` equi-join condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinOn {
+    /// The joined table (the JOIN's right operand).
+    pub table: TableRef,
+    /// Left column of the ON condition.
+    pub left: ColumnRef,
+    /// Right column of the ON condition.
+    pub right: ColumnRef,
+    /// Span of the whole JOIN clause.
+    pub span: Span,
+}
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Projection list.
+    pub projection: Vec<SelectItem>,
+    /// First FROM entry, then any comma-separated FROM entries.
+    pub from: Vec<TableRef>,
+    /// `JOIN ... ON` clauses, in source order.
+    pub joins: Vec<JoinOn>,
+    /// AND-connected WHERE conjuncts.
+    pub predicates: Vec<Predicate>,
+    /// GROUP BY columns.
+    pub group_by: Vec<ColumnRef>,
+    /// ORDER BY columns (direction is parsed and discarded — only sortedness
+    /// matters to the cost model).
+    pub order_by: Vec<ColumnRef>,
+    /// Span of the whole statement.
+    pub span: Span,
+}

@@ -1,0 +1,556 @@
+//! Name resolution and lowering from the AST into a `QueryTemplate`.
+//!
+//! The binder resolves tables/columns against a [`Catalog`] and lowers the
+//! statement with exactly the derivations `TemplateBuilder` uses, so a
+//! bound `.sql` template is interchangeable with a hand-built one:
+//!
+//! * `JOIN ... ON a.x = b.y` (and `WHERE a.x = b.y`) → a `JoinEdge` with
+//!   selectivity `1 / max(ndv(a.x), ndv(b.y))` (NDVs floored at 1).
+//! * `col <= $k` / `col >= $k` (also `<`, `>`) → a `ParamPredicate`
+//!   dimension. With `$n` placeholders, dimension order is parameter-number
+//!   order and the numbers must cover `1..=d` exactly; with `?`, dimension
+//!   order is appearance order. Mixing the styles is an error.
+//! * `col = 42` → a `FixedPredicate` with selectivity `1 / max(ndv, 1)`;
+//!   `col <= 42` / `col >= 42` use the column histogram's
+//!   `selectivity_le` / `selectivity_ge` (already clamped to
+//!   `[MIN_SELECTIVITY, 1]`).
+//! * `GROUP BY c1, …` (or a bare aggregate projection) → an
+//!   `AggregateSpec` whose group count is the product of the grouping
+//!   columns' NDVs (1 for a bare aggregate).
+//! * `ORDER BY …` → the template's `order_by` flag.
+
+use std::sync::Arc;
+
+use pqo_catalog::Catalog;
+use pqo_optimizer::template::{
+    AggregateSpec, FixedPredicate, JoinEdge, ParamPredicate, QueryTemplate, RangeOp, RelationRef,
+};
+
+use crate::ast::{CmpOp, ColumnRef, Name, Predicate, Scalar, SelectItem, SelectStmt};
+use crate::dialect::DialectKind;
+use crate::error::{Span, SqlError, SqlErrorKind};
+
+/// Bind `stmt` against `catalog`, producing a validated template named
+/// `name`. `dialect` gates placeholder and quoting styles.
+pub fn bind(
+    stmt: &SelectStmt,
+    catalog: &Catalog,
+    dialect: DialectKind,
+    name: &str,
+) -> Result<Arc<QueryTemplate>, SqlError> {
+    Binder {
+        stmt,
+        catalog,
+        dialect,
+        relations: Vec::new(),
+    }
+    .run(name)
+}
+
+struct Binder<'a> {
+    stmt: &'a SelectStmt,
+    catalog: &'a Catalog,
+    dialect: DialectKind,
+    /// `(bound name, RelationRef)` in FROM/JOIN order.
+    relations: Vec<(String, RelationRef)>,
+}
+
+/// A parameterized predicate before dimension ordering is fixed.
+struct PendingParam {
+    pred: ParamPredicate,
+    /// `Some(n)` for `$n`, `None` for `?`.
+    index: Option<u32>,
+    span: Span,
+}
+
+impl<'a> Binder<'a> {
+    fn check_name(&self, n: &Name) -> Result<(), SqlError> {
+        if let Some(style) = n.quote {
+            self.dialect.check_quote(style, n.span)?;
+        }
+        Ok(())
+    }
+
+    fn add_relation(&mut self, table: &Name, alias: Option<&Name>) -> Result<usize, SqlError> {
+        self.check_name(table)?;
+        if let Some(a) = alias {
+            self.check_name(a)?;
+        }
+        let Some(def) = self.catalog.table(&table.text) else {
+            return Err(SqlError::new(
+                SqlErrorKind::UnknownTable(table.text.clone()),
+                table.span,
+            ));
+        };
+        let bound = alias.map(|a| a.text.as_str()).unwrap_or(&table.text);
+        if self.relations.iter().any(|(n, _)| n == bound) {
+            let span = alias.map(|a| a.span).unwrap_or(table.span);
+            return Err(SqlError::new(
+                SqlErrorKind::DuplicateAlias(bound.to_string()),
+                span,
+            ));
+        }
+        self.relations.push((
+            bound.to_string(),
+            RelationRef {
+                table: Arc::clone(def),
+                alias: bound.to_string(),
+            },
+        ));
+        Ok(self.relations.len() - 1)
+    }
+
+    /// Resolve a column reference to `(relation index, column index)`.
+    fn resolve(&self, col: &ColumnRef) -> Result<(usize, usize), SqlError> {
+        if let Some(q) = &col.qualifier {
+            self.check_name(q)?;
+        }
+        self.check_name(&col.column)?;
+        match &col.qualifier {
+            Some(q) => {
+                let Some(rel) = self.relations.iter().position(|(n, _)| n == &q.text) else {
+                    return Err(SqlError::new(
+                        SqlErrorKind::UnknownTable(q.text.clone()),
+                        q.span,
+                    ));
+                };
+                let table = &self.relations[rel].1.table;
+                let Some(ci) = table.column_index(&col.column.text) else {
+                    return Err(SqlError::new(
+                        SqlErrorKind::UnknownColumn {
+                            column: col.column.text.clone(),
+                            scope: format!("`{}` (table `{}`)", q.text, table.name),
+                        },
+                        col.column.span,
+                    ));
+                };
+                Ok((rel, ci))
+            }
+            None => {
+                let mut found = None;
+                for (rel, (_, r)) in self.relations.iter().enumerate() {
+                    if let Some(ci) = r.table.column_index(&col.column.text) {
+                        if found.is_some() {
+                            return Err(SqlError::new(
+                                SqlErrorKind::AmbiguousColumn(col.column.text.clone()),
+                                col.column.span,
+                            ));
+                        }
+                        found = Some((rel, ci));
+                    }
+                }
+                found.ok_or_else(|| {
+                    SqlError::new(
+                        SqlErrorKind::UnknownColumn {
+                            column: col.column.text.clone(),
+                            scope: "any FROM relation".into(),
+                        },
+                        col.column.span,
+                    )
+                })
+            }
+        }
+    }
+
+    fn ndv(&self, rel: usize, col: usize) -> u64 {
+        self.relations[rel].1.table.columns[col].stats.ndv.max(1)
+    }
+
+    fn join_edge(&self, l: &ColumnRef, r: &ColumnRef) -> Result<JoinEdge, SqlError> {
+        let left = self.resolve(l)?;
+        let right = self.resolve(r)?;
+        if left.0 == right.0 {
+            return Err(SqlError::new(
+                SqlErrorKind::Semantic(format!(
+                    "join condition compares two columns of the same relation `{}`",
+                    self.relations[left.0].0
+                )),
+                l.span.to(r.span),
+            ));
+        }
+        let selectivity = 1.0 / self.ndv(left.0, left.1).max(self.ndv(right.0, right.1)) as f64;
+        Ok(JoinEdge {
+            left,
+            right,
+            selectivity,
+        })
+    }
+
+    /// Lower one WHERE conjunct into the right bucket.
+    fn lower_predicate(
+        &self,
+        p: &Predicate,
+        params: &mut Vec<PendingParam>,
+        fixed: &mut Vec<FixedPredicate>,
+        joins: &mut Vec<JoinEdge>,
+    ) -> Result<(), SqlError> {
+        // Reject string literals outright: every template column is numeric.
+        for side in [&p.lhs, &p.rhs] {
+            if let Scalar::Str { span, .. } = side {
+                return Err(SqlError::new(
+                    SqlErrorKind::Unsupported(
+                        "string literals (template columns are numeric)".into(),
+                    ),
+                    *span,
+                ));
+            }
+        }
+        // Normalize so the column is on the left.
+        let (col, op, rhs) = match (&p.lhs, &p.rhs) {
+            (Scalar::Column(l), _) => (l, p.op, &p.rhs),
+            (_, Scalar::Column(r)) => (r, p.op.flipped(), &p.lhs),
+            _ => {
+                return Err(SqlError::new(
+                    SqlErrorKind::Unsupported("comparison without a column operand".into()),
+                    p.span,
+                ))
+            }
+        };
+        match rhs {
+            Scalar::Column(other) => {
+                if op != CmpOp::Eq {
+                    return Err(SqlError::new(
+                        SqlErrorKind::Unsupported(
+                            "non-equality comparison between two columns".into(),
+                        ),
+                        p.span,
+                    ));
+                }
+                joins.push(self.join_edge(col, other)?);
+            }
+            Scalar::Placeholder { index, span } => {
+                self.dialect.check_placeholder(*index, *span)?;
+                let range_op = match op {
+                    CmpOp::Le | CmpOp::Lt => RangeOp::Le,
+                    CmpOp::Ge | CmpOp::Gt => RangeOp::Ge,
+                    CmpOp::Eq => {
+                        return Err(SqlError::new(
+                            SqlErrorKind::Unsupported(
+                                "parameterized equality (templates use one-sided ranges: \
+                                 `col <= $n` or `col >= $n`)"
+                                    .into(),
+                            ),
+                            p.span,
+                        ))
+                    }
+                };
+                let (relation, column) = self.resolve(col)?;
+                params.push(PendingParam {
+                    pred: ParamPredicate {
+                        relation,
+                        column,
+                        op: range_op,
+                    },
+                    index: *index,
+                    span: *span,
+                });
+            }
+            Scalar::Number { value, .. } => {
+                let (relation, column) = self.resolve(col)?;
+                let stats = &self.relations[relation].1.table.columns[column].stats;
+                let selectivity = match op {
+                    CmpOp::Eq => 1.0 / stats.ndv.max(1) as f64,
+                    CmpOp::Le | CmpOp::Lt => stats.histogram.selectivity_le(*value),
+                    CmpOp::Ge | CmpOp::Gt => stats.histogram.selectivity_ge(*value),
+                };
+                fixed.push(FixedPredicate {
+                    relation,
+                    selectivity,
+                });
+            }
+            Scalar::Str { .. } => unreachable!("rejected above"),
+        }
+        Ok(())
+    }
+
+    /// Fix dimension order: `$n` → parameter-number order covering `1..=d`
+    /// exactly; `?` → appearance order. Mixing styles is an error.
+    fn order_params(&self, mut params: Vec<PendingParam>) -> Result<Vec<ParamPredicate>, SqlError> {
+        let numbered = params.iter().filter(|p| p.index.is_some()).count();
+        if numbered != 0 && numbered != params.len() {
+            let span = params
+                .iter()
+                .map(|p| p.span)
+                .reduce(Span::to)
+                .unwrap_or(self.stmt.span);
+            return Err(SqlError::new(
+                SqlErrorKind::Placeholder("cannot mix `$n` and `?` placeholders".into()),
+                span,
+            ));
+        }
+        if numbered == 0 {
+            return Ok(params.into_iter().map(|p| p.pred).collect());
+        }
+        params.sort_by_key(|p| p.index.unwrap_or(0));
+        let d = params.len() as u32;
+        for (slot, p) in params.iter().enumerate() {
+            let n = p.index.unwrap_or(0);
+            if n != slot as u32 + 1 {
+                let msg = if params.iter().filter(|q| q.index == p.index).count() > 1 {
+                    format!("parameter ${n} is used in more than one predicate")
+                } else {
+                    format!("parameters must cover $1..=${d} exactly; found ${n}")
+                };
+                return Err(SqlError::new(SqlErrorKind::Placeholder(msg), p.span));
+            }
+        }
+        Ok(params.into_iter().map(|p| p.pred).collect())
+    }
+
+    fn run(mut self, name: &str) -> Result<Arc<QueryTemplate>, SqlError> {
+        // FROM entries, then each JOIN's table, in source order — the same
+        // relation numbering TemplateBuilder callers use.
+        for t in &self.stmt.from {
+            self.add_relation(&t.table, t.alias.as_ref())?;
+        }
+        let mut join_edges = Vec::new();
+        for j in &self.stmt.joins {
+            self.add_relation(&j.table.table, j.table.alias.as_ref())?;
+            join_edges.push(self.join_edge(&j.left, &j.right)?);
+        }
+
+        // Projection columns must resolve (Star and count(*) aside).
+        let mut has_aggregate = false;
+        for item in &self.stmt.projection {
+            match item {
+                SelectItem::Star => {}
+                SelectItem::Column(c) => {
+                    self.resolve(c)?;
+                }
+                SelectItem::Aggregate { arg, .. } => {
+                    has_aggregate = true;
+                    if let Some(c) = arg {
+                        self.resolve(c)?;
+                    }
+                }
+            }
+        }
+
+        let mut params = Vec::new();
+        let mut fixed_preds = Vec::new();
+        for p in &self.stmt.predicates {
+            self.lower_predicate(p, &mut params, &mut fixed_preds, &mut join_edges)?;
+        }
+        let param_preds = self.order_params(params)?;
+        if param_preds.is_empty() {
+            return Err(SqlError::new(
+                SqlErrorKind::Semantic(
+                    "template has no parameterized predicate (add `col <= $1` or `col >= $1`)"
+                        .into(),
+                ),
+                self.stmt.span,
+            ));
+        }
+
+        let aggregate = if !self.stmt.group_by.is_empty() {
+            let mut groups = 1.0f64;
+            for c in &self.stmt.group_by {
+                let (rel, col) = self.resolve(c)?;
+                groups *= self.ndv(rel, col) as f64;
+            }
+            Some(AggregateSpec { groups })
+        } else if has_aggregate {
+            Some(AggregateSpec { groups: 1.0 })
+        } else {
+            None
+        };
+
+        for c in &self.stmt.order_by {
+            self.resolve(c)?;
+        }
+
+        let template = QueryTemplate {
+            name: name.to_string(),
+            relations: self.relations.into_iter().map(|(_, r)| r).collect(),
+            join_edges,
+            param_preds,
+            fixed_preds,
+            aggregate,
+            order_by: !self.stmt.order_by.is_empty(),
+        };
+        template
+            .validate()
+            .map_err(|e| SqlError::new(SqlErrorKind::Semantic(e), self.stmt.span))?;
+        Ok(Arc::new(template))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use pqo_catalog::schemas;
+
+    fn bind_pg(src: &str) -> Result<Arc<QueryTemplate>, SqlError> {
+        let cat = schemas::tpch_skew();
+        bind(&parse(src)?, &cat, DialectKind::Postgres, "t")
+    }
+
+    #[test]
+    fn lowers_like_template_builder() {
+        let t = bind_pg(
+            "SELECT count(*) FROM orders o JOIN lineitem l ON o.orders_pk = l.orders_fk \
+             WHERE o.o_totalprice <= $1 AND l.l_extendedprice <= $2 \
+             GROUP BY o.o_shippriority",
+        )
+        .unwrap();
+        use pqo_optimizer::template::TemplateBuilder;
+        let cat = schemas::tpch_skew();
+        let mut b = TemplateBuilder::new("t");
+        let o = b.relation(cat.expect_table("orders"), "o");
+        let l = b.relation(cat.expect_table("lineitem"), "l");
+        b.join((o, "orders_pk"), (l, "orders_fk"));
+        b.param(o, "o_totalprice", RangeOp::Le);
+        b.param(l, "l_extendedprice", RangeOp::Le);
+        b.aggregate(5.0); // o_shippriority has ndv 5
+        let oracle = b.build();
+
+        assert_eq!(t.relations.len(), oracle.relations.len());
+        assert_eq!(t.join_edges.len(), 1);
+        assert_eq!(t.join_edges[0].left, oracle.join_edges[0].left);
+        assert_eq!(t.join_edges[0].right, oracle.join_edges[0].right);
+        assert_eq!(
+            t.join_edges[0].selectivity,
+            oracle.join_edges[0].selectivity
+        );
+        assert_eq!(t.param_preds.len(), 2);
+        assert_eq!(t.param_preds[0].relation, oracle.param_preds[0].relation);
+        assert_eq!(t.param_preds[0].column, oracle.param_preds[0].column);
+        assert_eq!(t.param_preds[1].column, oracle.param_preds[1].column);
+        assert_eq!(t.aggregate.as_ref().unwrap().groups, 5.0);
+        assert!(!t.order_by);
+    }
+
+    #[test]
+    fn numbered_params_define_dimension_order() {
+        let t = bind_pg("SELECT * FROM lineitem WHERE l_extendedprice <= $2 AND l_shipdate >= $1")
+            .unwrap();
+        // $1 is the first dimension even though it appears second.
+        let lineitem = schemas::tpch_skew();
+        let li = lineitem.expect_table("lineitem");
+        assert_eq!(
+            t.param_preds[0].column,
+            li.column_index("l_shipdate").unwrap()
+        );
+        assert_eq!(t.param_preds[0].op, RangeOp::Ge);
+        assert_eq!(
+            t.param_preds[1].column,
+            li.column_index("l_extendedprice").unwrap()
+        );
+    }
+
+    #[test]
+    fn where_join_and_flipped_operands() {
+        let t = bind_pg(
+            "SELECT * FROM orders o, lineitem l \
+             WHERE o.orders_pk = l.orders_fk AND $1 >= o.o_totalprice",
+        )
+        .unwrap();
+        assert_eq!(t.join_edges.len(), 1);
+        // `$1 >= col` normalizes to `col <= $1`.
+        assert_eq!(t.param_preds[0].op, RangeOp::Le);
+    }
+
+    #[test]
+    fn constant_filters_use_stats() {
+        let t = bind_pg("SELECT * FROM orders WHERE o_shippriority = 3 AND o_totalprice <= $1")
+            .unwrap();
+        assert_eq!(t.fixed_preds.len(), 1);
+        assert_eq!(t.fixed_preds[0].selectivity, 1.0 / 5.0); // ndv(o_shippriority) = 5
+        let t2 = bind_pg("SELECT * FROM orders WHERE o_orderdate <= 1000 AND o_totalprice <= $1")
+            .unwrap();
+        let cat = schemas::tpch_skew();
+        let col = cat.expect_table("orders").column("o_orderdate").unwrap();
+        assert_eq!(
+            t2.fixed_preds[0].selectivity,
+            col.stats.histogram.selectivity_le(1000.0)
+        );
+    }
+
+    #[test]
+    fn binder_errors_are_typed() {
+        type KindCheck = fn(&SqlErrorKind) -> bool;
+        let cases: &[(&str, KindCheck)] = &[
+            ("SELECT * FROM nope WHERE x <= $1", |k| {
+                matches!(k, SqlErrorKind::UnknownTable(_))
+            }),
+            ("SELECT * FROM orders WHERE nope <= $1", |k| {
+                matches!(k, SqlErrorKind::UnknownColumn { .. })
+            }),
+            (
+                "SELECT * FROM supplier s, customer c \
+                 WHERE s.nation_fk = c.nation_fk AND nation_fk <= $1",
+                |k| matches!(k, SqlErrorKind::AmbiguousColumn(_)),
+            ),
+            (
+                "SELECT * FROM orders o, lineitem o WHERE o.o_totalprice <= $1",
+                |k| matches!(k, SqlErrorKind::DuplicateAlias(_)),
+            ),
+            (
+                "SELECT * FROM orders WHERE o_totalprice <= $1 AND o_orderdate <= $3",
+                |k| matches!(k, SqlErrorKind::Placeholder(_)),
+            ),
+            (
+                "SELECT * FROM orders WHERE o_totalprice <= $1 AND o_orderdate <= $1",
+                |k| matches!(k, SqlErrorKind::Placeholder(_)),
+            ),
+            ("SELECT * FROM orders WHERE o_totalprice = $1", |k| {
+                matches!(k, SqlErrorKind::Unsupported(_))
+            }),
+            ("SELECT * FROM orders WHERE o_totalprice <= 'big'", |k| {
+                matches!(k, SqlErrorKind::Unsupported(_))
+            }),
+            (
+                "SELECT * FROM orders, lineitem WHERE o_totalprice <= $1",
+                |k| matches!(k, SqlErrorKind::Semantic(_)),
+            ),
+            (
+                "SELECT * FROM orders o WHERE o.orders_pk = o.customer_fk",
+                |k| matches!(k, SqlErrorKind::Semantic(_)),
+            ),
+        ];
+        for (src, want) in cases {
+            let err = bind_pg(src).expect_err(src);
+            assert!(want(&err.kind), "{src}: {:?}", err.kind);
+            assert!(err.span.end >= err.span.start);
+        }
+
+        // Mixing `$n` and `?` is only reachable under duckdb, the one
+        // dialect that accepts both styles.
+        let cat = schemas::tpch_skew();
+        let stmt =
+            parse("SELECT * FROM orders WHERE o_totalprice <= $1 AND o_orderdate <= ?").unwrap();
+        let err = bind(&stmt, &cat, DialectKind::DuckDb, "t").unwrap_err();
+        assert!(
+            matches!(err.kind, SqlErrorKind::Placeholder(_)),
+            "{:?}",
+            err.kind
+        );
+    }
+
+    #[test]
+    fn dialect_gates_placeholders_and_quotes() {
+        let cat = schemas::tpch_skew();
+        let stmt = parse("SELECT * FROM orders WHERE o_totalprice <= ?").unwrap();
+        assert!(bind(&stmt, &cat, DialectKind::Postgres, "t").is_err());
+        assert!(bind(&stmt, &cat, DialectKind::MySql, "t").is_ok());
+        assert!(bind(&stmt, &cat, DialectKind::DuckDb, "t").is_ok());
+
+        let stmt = parse("SELECT * FROM `orders` WHERE o_totalprice <= ?").unwrap();
+        assert!(bind(&stmt, &cat, DialectKind::MySql, "t").is_ok());
+        assert!(bind(&stmt, &cat, DialectKind::DuckDb, "t").is_err());
+
+        let stmt = parse("SELECT * FROM \"orders\" WHERE o_totalprice <= $1").unwrap();
+        assert!(bind(&stmt, &cat, DialectKind::Postgres, "t").is_ok());
+        assert!(bind(&stmt, &cat, DialectKind::MySql, "t").is_err());
+    }
+
+    #[test]
+    fn order_by_and_bare_aggregate() {
+        let t =
+            bind_pg("SELECT count(*) FROM orders WHERE o_totalprice <= $1 ORDER BY o_orderdate")
+                .unwrap();
+        assert!(t.order_by);
+        assert_eq!(t.aggregate.as_ref().unwrap().groups, 1.0);
+    }
+}

@@ -1,0 +1,328 @@
+//! SQL dialects: placeholder syntax, identifier quoting, literal forms.
+//!
+//! The tokenizer accepts the union of all dialects; the [`Dialect`] trait
+//! then *validates* what a given dialect actually owns (postgres has no
+//! `?`, mysql has no `$n`, backtick quoting is mysql-only) and *renders*
+//! SQL back out in the dialect's native forms for the `--op explain`
+//! reverse path. [`DialectKind`] is the nameable/wire-taggable handle that
+//! dispatches to the trait implementations.
+
+use std::fmt;
+
+use crate::error::{Span, SqlError, SqlErrorKind};
+use crate::token::QuoteStyle;
+
+/// Per-dialect syntax: what it accepts on the way in, how it renders on the
+/// way out.
+pub trait Dialect {
+    /// Canonical lowercase name (`postgres`, `mysql`, `duckdb`).
+    fn name(&self) -> &'static str;
+
+    /// Whether numbered `$n` placeholders are valid input.
+    fn allows_numbered(&self) -> bool;
+
+    /// Whether anonymous `?` placeholders are valid input.
+    fn allows_anonymous(&self) -> bool;
+
+    /// The identifier quoting style this dialect owns.
+    fn quote_style(&self) -> QuoteStyle;
+
+    /// Render the placeholder for 1-based parameter `n`.
+    fn placeholder(&self, n: usize) -> String {
+        if self.allows_numbered() {
+            format!("${n}")
+        } else {
+            "?".into()
+        }
+    }
+
+    /// Quote an identifier in this dialect's native style.
+    fn quote_ident(&self, name: &str) -> String {
+        match self.quote_style() {
+            QuoteStyle::Double => format!("\"{}\"", name.replace('"', "\"\"")),
+            QuoteStyle::Backtick => format!("`{}`", name.replace('`', "``")),
+        }
+    }
+
+    /// Render a numeric literal (all template columns are numeric).
+    fn literal(&self, v: f64) -> String {
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v}")
+        }
+    }
+}
+
+/// PostgreSQL: `$n` placeholders, `"ident"` quoting.
+pub struct Postgres;
+
+impl Dialect for Postgres {
+    fn name(&self) -> &'static str {
+        "postgres"
+    }
+    fn allows_numbered(&self) -> bool {
+        true
+    }
+    fn allows_anonymous(&self) -> bool {
+        false
+    }
+    fn quote_style(&self) -> QuoteStyle {
+        QuoteStyle::Double
+    }
+}
+
+/// MySQL: `?` placeholders, `` `ident` `` quoting.
+pub struct MySql;
+
+impl Dialect for MySql {
+    fn name(&self) -> &'static str {
+        "mysql"
+    }
+    fn allows_numbered(&self) -> bool {
+        false
+    }
+    fn allows_anonymous(&self) -> bool {
+        true
+    }
+    fn quote_style(&self) -> QuoteStyle {
+        QuoteStyle::Backtick
+    }
+}
+
+/// DuckDB: accepts both `$n` and `?`, renders `$n`; `"ident"` quoting.
+pub struct DuckDb;
+
+impl Dialect for DuckDb {
+    fn name(&self) -> &'static str {
+        "duckdb"
+    }
+    fn allows_numbered(&self) -> bool {
+        true
+    }
+    fn allows_anonymous(&self) -> bool {
+        true
+    }
+    fn quote_style(&self) -> QuoteStyle {
+        QuoteStyle::Double
+    }
+}
+
+/// The supported dialects, as a nameable, wire-taggable handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DialectKind {
+    /// See [`Postgres`].
+    Postgres,
+    /// See [`MySql`].
+    MySql,
+    /// See [`DuckDb`].
+    DuckDb,
+}
+
+impl DialectKind {
+    /// All dialects, in canonical order.
+    pub const ALL: &'static [DialectKind] = &[
+        DialectKind::Postgres,
+        DialectKind::MySql,
+        DialectKind::DuckDb,
+    ];
+
+    /// The trait implementation this handle names.
+    pub fn dialect(&self) -> &'static dyn Dialect {
+        match self {
+            DialectKind::Postgres => &Postgres,
+            DialectKind::MySql => &MySql,
+            DialectKind::DuckDb => &DuckDb,
+        }
+    }
+
+    /// Canonical lowercase name.
+    pub fn name(&self) -> &'static str {
+        self.dialect().name()
+    }
+
+    /// Stable wire tag (u8) for the EXPLAIN request.
+    pub fn as_tag(&self) -> u8 {
+        match self {
+            DialectKind::Postgres => 0,
+            DialectKind::MySql => 1,
+            DialectKind::DuckDb => 2,
+        }
+    }
+
+    /// Inverse of [`DialectKind::as_tag`].
+    pub fn from_tag(tag: u8) -> Option<DialectKind> {
+        Some(match tag {
+            0 => DialectKind::Postgres,
+            1 => DialectKind::MySql,
+            2 => DialectKind::DuckDb,
+            _ => return None,
+        })
+    }
+
+    /// Parse a dialect name, case-insensitively (`Postgres`, `MYSQL`, …).
+    /// Unknown names get an error listing the valid options.
+    pub fn parse(s: &str) -> Result<DialectKind, String> {
+        let lower = s.trim().to_ascii_lowercase();
+        for d in DialectKind::ALL {
+            if lower == d.name() {
+                return Ok(*d);
+            }
+        }
+        let options = DialectKind::ALL
+            .iter()
+            .map(|d| d.name())
+            .collect::<Vec<_>>()
+            .join("|");
+        Err(format!("unknown dialect `{s}` ({options})"))
+    }
+
+    /// Validate a placeholder as written against this dialect; `index` is
+    /// `Some(n)` for `$n`, `None` for `?`.
+    pub fn check_placeholder(&self, index: Option<u32>, span: Span) -> Result<(), SqlError> {
+        let d = self.dialect();
+        let ok = match index {
+            Some(_) => d.allows_numbered(),
+            None => d.allows_anonymous(),
+        };
+        if ok {
+            Ok(())
+        } else {
+            let (style, fix) = match index {
+                Some(n) => (format!("`${n}`"), "use `?`"),
+                None => ("`?`".into(), "use `$n`"),
+            };
+            Err(SqlError::new(
+                SqlErrorKind::Unsupported(format!(
+                    "{style} placeholders are not valid in {} ({fix})",
+                    d.name()
+                )),
+                span,
+            ))
+        }
+    }
+
+    /// Validate a quoted identifier's style against this dialect.
+    pub fn check_quote(&self, style: QuoteStyle, span: Span) -> Result<(), SqlError> {
+        if self.dialect().quote_style() == style {
+            return Ok(());
+        }
+        let (seen, want) = match style {
+            QuoteStyle::Backtick => ("backtick", "\"double quotes\""),
+            QuoteStyle::Double => ("double-quote", "`backticks`"),
+        };
+        Err(SqlError::new(
+            SqlErrorKind::Unsupported(format!(
+                "{seen}-quoted identifiers are not valid in {} (use {want})",
+                self.name()
+            )),
+            span,
+        ))
+    }
+
+    /// Render the placeholder for 1-based parameter `n`.
+    pub fn placeholder(&self, n: usize) -> String {
+        self.dialect().placeholder(n)
+    }
+
+    /// Quote an identifier in this dialect's native style.
+    pub fn quote_ident(&self, name: &str) -> String {
+        self.dialect().quote_ident(name)
+    }
+
+    /// Render an identifier: bare when it's a plain, unreserved lowercase
+    /// word, quoted otherwise.
+    pub fn ident(&self, name: &str) -> String {
+        let plain = !name.is_empty()
+            && !crate::token::is_reserved(name)
+            && name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+            && name
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_lowercase() || c == '_');
+        if plain {
+            name.to_string()
+        } else {
+            self.quote_ident(name)
+        }
+    }
+
+    /// Render a numeric literal.
+    pub fn literal(&self, v: f64) -> String {
+        self.dialect().literal(v)
+    }
+}
+
+impl fmt::Display for DialectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!(DialectKind::parse("Postgres"), Ok(DialectKind::Postgres));
+        assert_eq!(DialectKind::parse("MYSQL"), Ok(DialectKind::MySql));
+        assert_eq!(DialectKind::parse(" DuckDB "), Ok(DialectKind::DuckDb));
+    }
+
+    #[test]
+    fn unknown_dialect_lists_options() {
+        let err = DialectKind::parse("oracle").unwrap_err();
+        assert!(err.contains("postgres|mysql|duckdb"), "{err}");
+        assert!(err.contains("oracle"), "{err}");
+    }
+
+    #[test]
+    fn tags_roundtrip() {
+        for d in DialectKind::ALL {
+            assert_eq!(DialectKind::from_tag(d.as_tag()), Some(*d));
+        }
+        assert_eq!(DialectKind::from_tag(9), None);
+    }
+
+    #[test]
+    fn placeholder_styles() {
+        assert_eq!(DialectKind::Postgres.placeholder(2), "$2");
+        assert_eq!(DialectKind::MySql.placeholder(2), "?");
+        assert_eq!(DialectKind::DuckDb.placeholder(1), "$1");
+        assert!(DialectKind::Postgres
+            .check_placeholder(None, Span::new(0, 1))
+            .is_err());
+        assert!(DialectKind::MySql
+            .check_placeholder(Some(1), Span::new(0, 1))
+            .is_err());
+        assert!(DialectKind::DuckDb
+            .check_placeholder(None, Span::new(0, 1))
+            .is_ok());
+        assert!(DialectKind::DuckDb
+            .check_placeholder(Some(1), Span::new(0, 1))
+            .is_ok());
+    }
+
+    #[test]
+    fn quoting() {
+        assert_eq!(DialectKind::Postgres.quote_ident("A b"), "\"A b\"");
+        assert_eq!(DialectKind::MySql.quote_ident("A b"), "`A b`");
+        assert_eq!(DialectKind::Postgres.ident("orders"), "orders");
+        assert_eq!(DialectKind::MySql.ident("Orders"), "`Orders`");
+        assert!(DialectKind::MySql
+            .check_quote(QuoteStyle::Double, Span::new(0, 1))
+            .is_err());
+        assert!(DialectKind::Postgres
+            .check_quote(QuoteStyle::Backtick, Span::new(0, 1))
+            .is_err());
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(DialectKind::Postgres.literal(42.0), "42");
+        assert_eq!(DialectKind::Postgres.literal(0.05), "0.05");
+    }
+}

@@ -1,0 +1,198 @@
+//! Typed, span-carrying errors for every layer of the SQL frontend.
+//!
+//! Nothing in this crate panics on malformed input: the tokenizer, parser
+//! and binder all return [`SqlError`], which names the byte range of the
+//! offending source text so callers can render a caret diagnostic.
+
+use std::fmt;
+
+/// A half-open byte range into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first offending byte.
+    pub start: usize,
+    /// Byte offset one past the last offending byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// Construct a span; callers guarantee `start <= end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// An empty span at `pos` (used for end-of-input errors).
+    pub fn point(pos: usize) -> Self {
+        Span {
+            start: pos,
+            end: pos,
+        }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// What went wrong, by frontend layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlErrorKind {
+    /// Tokenizer: a byte sequence that is not part of any token.
+    Lex(String),
+    /// Parser: a token that doesn't fit the grammar at this position.
+    UnexpectedToken {
+        /// What the grammar would have accepted.
+        expected: String,
+        /// What was actually found.
+        found: String,
+    },
+    /// Parser: the input ended mid-statement.
+    UnexpectedEnd {
+        /// What the grammar would have accepted.
+        expected: String,
+    },
+    /// A recognized but unsupported SQL construct (outer joins, subqueries,
+    /// string comparisons, …) or a construct invalid in the active dialect.
+    Unsupported(String),
+    /// Binder: FROM/JOIN names a table the catalog doesn't have.
+    UnknownTable(String),
+    /// Binder: a column reference that resolves to nothing.
+    UnknownColumn {
+        /// The column name as written.
+        column: String,
+        /// Where resolution was attempted (an alias, or "any relation").
+        scope: String,
+    },
+    /// Binder: an unqualified column name that exists on several relations.
+    AmbiguousColumn(String),
+    /// Binder: two FROM/JOIN entries share an alias.
+    DuplicateAlias(String),
+    /// Binder: `$n` placeholders must cover `1..=d` exactly once each, and
+    /// must not be mixed with `?`.
+    Placeholder(String),
+    /// Binder: the lowered template failed structural validation
+    /// (disconnected join graph, self-loop, too many relations, …).
+    Semantic(String),
+    /// A malformed `-- pqo:` directive header, or an unknown catalog /
+    /// dialect named by one.
+    Directive(String),
+}
+
+impl fmt::Display for SqlErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlErrorKind::Lex(m) => write!(f, "lex error: {m}"),
+            SqlErrorKind::UnexpectedToken { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            SqlErrorKind::UnexpectedEnd { expected } => {
+                write!(f, "unexpected end of input, expected {expected}")
+            }
+            SqlErrorKind::Unsupported(m) => write!(f, "unsupported: {m}"),
+            SqlErrorKind::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            SqlErrorKind::UnknownColumn { column, scope } => {
+                write!(f, "unknown column `{column}` in {scope}")
+            }
+            SqlErrorKind::AmbiguousColumn(c) => {
+                write!(f, "ambiguous column `{c}` (qualify it with an alias)")
+            }
+            SqlErrorKind::DuplicateAlias(a) => write!(f, "duplicate alias `{a}`"),
+            SqlErrorKind::Placeholder(m) => write!(f, "placeholder error: {m}"),
+            SqlErrorKind::Semantic(m) => write!(f, "semantic error: {m}"),
+            SqlErrorKind::Directive(m) => write!(f, "directive error: {m}"),
+        }
+    }
+}
+
+/// An error anywhere in the tokenize → parse → bind pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlError {
+    /// What went wrong.
+    pub kind: SqlErrorKind,
+    /// Where in the source text.
+    pub span: Span,
+}
+
+impl SqlError {
+    /// Construct an error.
+    pub fn new(kind: SqlErrorKind, span: Span) -> Self {
+        SqlError { kind, span }
+    }
+
+    /// Render a one-line diagnostic with `line:col` resolved against `src`,
+    /// plus the offending line and a caret underline. Safe on any `src`,
+    /// including one the span does not fit (falls back to byte offsets).
+    pub fn render(&self, src: &str) -> String {
+        let start = self.span.start.min(src.len());
+        let line_start = src[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let line_no = src[..start].matches('\n').count() + 1;
+        let col = src[line_start..start].chars().count() + 1;
+        let line_end = src[start..]
+            .find('\n')
+            .map(|i| start + i)
+            .unwrap_or(src.len());
+        let line = &src[line_start..line_end];
+        let caret_len = self
+            .span
+            .end
+            .min(line_end)
+            .saturating_sub(start)
+            .max(1)
+            .min(line.len().saturating_sub(start - line_start).max(1));
+        let pad = " ".repeat(col - 1);
+        let carets = "^".repeat(caret_len);
+        format!(
+            "error at {line_no}:{col}: {}\n  | {line}\n  | {pad}{carets}",
+            self.kind
+        )
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at bytes {}", self.kind, self.span)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_and_display() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.to(b), Span::new(2, 9));
+        assert_eq!(b.to(a), Span::new(2, 9));
+        assert_eq!(format!("{a}"), "2..5");
+    }
+
+    #[test]
+    fn render_points_at_offending_line() {
+        let src = "SELECT *\nFROM nope\n";
+        let err = SqlError::new(SqlErrorKind::UnknownTable("nope".into()), Span::new(14, 18));
+        let msg = err.render(src);
+        assert!(msg.contains("error at 2:6"), "{msg}");
+        assert!(msg.contains("unknown table `nope`"), "{msg}");
+        assert!(msg.contains("^^^^"), "{msg}");
+    }
+
+    #[test]
+    fn render_survives_out_of_range_span() {
+        let err = SqlError::new(SqlErrorKind::Lex("x".into()), Span::new(100, 200));
+        let _ = err.render("short");
+        let _ = err.render("");
+    }
+}

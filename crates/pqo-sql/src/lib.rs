@@ -1,0 +1,197 @@
+//! # pqo-sql — the SQL template frontend
+//!
+//! Lowers real parameterized SQL text into the serving stack's
+//! `QueryTemplate`, in four layers:
+//!
+//! 1. **[`token`]** — a never-panic tokenizer with byte-accurate spans.
+//! 2. **[`ast`] / [`parser`]** — recursive descent over the template
+//!    subset: `SELECT … FROM … [JOIN … ON …] WHERE …` with positional
+//!    (`$n`, `?`) parameters, equi-joins, constant filters, `GROUP BY`
+//!    and `ORDER BY`.
+//! 3. **[`dialect`]** — a [`Dialect`] trait (postgres, mysql, duckdb)
+//!    owning placeholder syntax, identifier quoting and literal forms.
+//! 4. **[`binder`]** — name resolution against a `pqo_catalog::Catalog`
+//!    and lowering into `pqo_optimizer::QueryTemplate` with exactly the
+//!    `TemplateBuilder` derivations, so SQL-born templates are
+//!    indistinguishable from hand-built ones.
+//!
+//! [`emit`] is the reverse path: a chosen plan renders back out as
+//! dialect-specific hinted SQL (join order as comment hints).
+//!
+//! ## Template files
+//!
+//! A `.sql` template file opens with directive comments naming the catalog
+//! it binds against and (optionally) its dialect, then one `SELECT`:
+//!
+//! ```sql
+//! -- pqo:catalog tpch_skew
+//! -- pqo:dialect postgres
+//! SELECT count(*)
+//! FROM orders o JOIN lineitem l ON o.orders_pk = l.orders_fk
+//! WHERE o.o_totalprice <= $1 AND l.l_extendedprice <= $2
+//! ```
+//!
+//! [`compile`] runs the whole pipeline on such a file. Every layer returns
+//! typed, span-carrying [`SqlError`]s; nothing panics on malformed input.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod binder;
+pub mod dialect;
+pub mod emit;
+pub mod error;
+pub mod parser;
+pub mod token;
+
+use std::sync::Arc;
+
+use pqo_catalog::Catalog;
+use pqo_optimizer::QueryTemplate;
+
+pub use binder::bind;
+pub use dialect::{Dialect, DialectKind, DuckDb, MySql, Postgres};
+pub use error::{Span, SqlError, SqlErrorKind};
+pub use parser::parse;
+pub use token::tokenize;
+
+/// Directives read from a template file's leading `-- pqo:` comments.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Directives {
+    /// `-- pqo:catalog <name>` — the catalog the template binds against.
+    pub catalog: Option<String>,
+    /// `-- pqo:dialect <name>` — the SQL dialect of the file.
+    pub dialect: Option<DialectKind>,
+}
+
+/// Extract `-- pqo:key value` directives from comment lines. Unknown
+/// `pqo:` keys and malformed values are typed errors; ordinary comments
+/// pass through untouched.
+pub fn directives(src: &str) -> Result<Directives, SqlError> {
+    let mut out = Directives::default();
+    let mut offset = 0usize;
+    for line in src.lines() {
+        let trimmed = line.trim_start();
+        let indent = line.len() - trimmed.len();
+        if let Some(comment) = trimmed.strip_prefix("--") {
+            let body = comment.trim();
+            if let Some(rest) = body.strip_prefix("pqo:") {
+                let span_start = offset + indent;
+                let span = Span::new(span_start, offset + line.len());
+                let mut parts = rest.splitn(2, char::is_whitespace);
+                let key = parts.next().unwrap_or("");
+                let value = parts.next().unwrap_or("").trim();
+                if value.is_empty() {
+                    return Err(SqlError::new(
+                        SqlErrorKind::Directive(format!("`pqo:{key}` needs a value")),
+                        span,
+                    ));
+                }
+                match key {
+                    "catalog" => out.catalog = Some(value.to_string()),
+                    "dialect" => {
+                        let d = DialectKind::parse(value)
+                            .map_err(|e| SqlError::new(SqlErrorKind::Directive(e), span))?;
+                        out.dialect = Some(d);
+                    }
+                    other => {
+                        return Err(SqlError::new(
+                            SqlErrorKind::Directive(format!(
+                                "unknown directive `pqo:{other}` (catalog|dialect)"
+                            )),
+                            span,
+                        ))
+                    }
+                }
+            }
+        }
+        offset += line.len() + 1;
+    }
+    Ok(out)
+}
+
+/// A template compiled from SQL text.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The bound, validated template.
+    pub template: Arc<QueryTemplate>,
+    /// The dialect the file declared (default: postgres).
+    pub dialect: DialectKind,
+}
+
+/// Run the whole pipeline — directives, tokenize, parse, bind — on one
+/// template file's text. `name` becomes the template name (for files, the
+/// file stem). The file's `pqo:catalog` directive, if present, must match
+/// `catalog`'s name.
+pub fn compile(name: &str, src: &str, catalog: &Catalog) -> Result<Compiled, SqlError> {
+    let dirs = directives(src)?;
+    if let Some(c) = &dirs.catalog {
+        if c != catalog.name() {
+            return Err(SqlError::new(
+                SqlErrorKind::Directive(format!(
+                    "template declares catalog `{c}` but is bound against `{}`",
+                    catalog.name()
+                )),
+                Span::point(0),
+            ));
+        }
+    }
+    let dialect = dirs.dialect.unwrap_or(DialectKind::Postgres);
+    let stmt = parser::parse(src)?;
+    let template = binder::bind(&stmt, catalog, dialect, name)?;
+    Ok(Compiled { template, dialect })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqo_catalog::schemas;
+
+    const FILE: &str = "-- pqo:catalog tpch_skew\n-- pqo:dialect postgres\n\
+        -- a plain comment\n\
+        SELECT count(*) FROM orders o JOIN lineitem l ON o.orders_pk = l.orders_fk\n\
+        WHERE o.o_totalprice <= $1 AND l.l_extendedprice <= $2\n";
+
+    #[test]
+    fn directives_parse() {
+        let d = directives(FILE).unwrap();
+        assert_eq!(d.catalog.as_deref(), Some("tpch_skew"));
+        assert_eq!(d.dialect, Some(DialectKind::Postgres));
+    }
+
+    #[test]
+    fn directive_errors_are_typed() {
+        for bad in [
+            "-- pqo:catalog\nSELECT 1",
+            "-- pqo:dialect oracle\nSELECT 1",
+            "-- pqo:nope x\nSELECT 1",
+        ] {
+            let err = directives(bad).unwrap_err();
+            assert!(matches!(err.kind, SqlErrorKind::Directive(_)), "{bad}");
+        }
+    }
+
+    #[test]
+    fn compile_end_to_end() {
+        let cat = schemas::tpch_skew();
+        let c = compile("q", FILE, &cat).unwrap();
+        assert_eq!(c.template.name, "q");
+        assert_eq!(c.template.dimensions(), 2);
+        assert_eq!(c.dialect, DialectKind::Postgres);
+    }
+
+    #[test]
+    fn compile_rejects_catalog_mismatch() {
+        let cat = schemas::tpcds();
+        let err = compile("q", FILE, &cat).unwrap_err();
+        assert!(matches!(err.kind, SqlErrorKind::Directive(_)));
+    }
+
+    #[test]
+    fn dialect_is_case_insensitive_in_directives() {
+        let src = "-- pqo:dialect DuckDB\nSELECT * FROM orders WHERE o_totalprice <= ?";
+        let cat = schemas::tpch_skew();
+        let c = compile("q", src, &cat).unwrap();
+        assert_eq!(c.dialect, DialectKind::DuckDb);
+    }
+}

@@ -1,0 +1,440 @@
+//! Recursive-descent parser from tokens to [`SelectStmt`].
+//!
+//! The parser is total: any token sequence either parses or yields a typed
+//! [`SqlError`] with the span of the offending token. Recognized-but-
+//! unsupported constructs (outer joins, subqueries, `OR`, arithmetic) are
+//! reported as [`SqlErrorKind::Unsupported`] rather than a generic parse
+//! error, so callers can tell "not SQL" from "not this subset".
+
+use crate::ast::{
+    CmpOp, ColumnRef, JoinOn, Name, Predicate, Scalar, SelectItem, SelectStmt, TableRef,
+};
+use crate::error::{Span, SqlError, SqlErrorKind};
+use crate::token::{tokenize, Kw, SpannedTok, Tok, UNSUPPORTED_WORDS};
+
+/// Aggregate function names the projection accepts.
+const AGG_FUNCS: &[&str] = &["count", "sum", "min", "max", "avg"];
+
+/// Parse one `SELECT` statement from SQL text.
+pub fn parse(src: &str) -> Result<SelectStmt, SqlError> {
+    let toks = tokenize(src)?;
+    Parser {
+        toks: &toks,
+        pos: 0,
+        end: src.len(),
+    }
+    .stmt()
+}
+
+struct Parser<'a> {
+    toks: &'a [SpannedTok],
+    pos: usize,
+    end: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a SpannedTok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&'a SpannedTok> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> Span {
+        self.peek()
+            .map(|t| t.span)
+            .unwrap_or_else(|| Span::point(self.end))
+    }
+
+    fn err_expected(&self, expected: &str) -> SqlError {
+        match self.peek() {
+            Some(t) => {
+                if let Tok::Ident(w) = &t.tok {
+                    if UNSUPPORTED_WORDS.contains(&w.as_str()) {
+                        return SqlError::new(
+                            SqlErrorKind::Unsupported(format!(
+                                "`{}` is not part of the template subset",
+                                w.to_ascii_uppercase()
+                            )),
+                            t.span,
+                        );
+                    }
+                }
+                SqlError::new(
+                    SqlErrorKind::UnexpectedToken {
+                        expected: expected.into(),
+                        found: t.tok.describe(),
+                    },
+                    t.span,
+                )
+            }
+            None => SqlError::new(
+                SqlErrorKind::UnexpectedEnd {
+                    expected: expected.into(),
+                },
+                Span::point(self.end),
+            ),
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Kw) -> Result<Span, SqlError> {
+        match self.peek() {
+            Some(t) if t.tok == Tok::Keyword(kw) => {
+                self.pos += 1;
+                Ok(t.span)
+            }
+            _ => Err(self.err_expected(kw.as_str())),
+        }
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek().map(|t| &t.tok) == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn name(&mut self, what: &str) -> Result<Name, SqlError> {
+        match self.peek() {
+            Some(t) => match &t.tok {
+                Tok::Ident(s) => {
+                    if UNSUPPORTED_WORDS.contains(&s.as_str()) {
+                        return Err(SqlError::new(
+                            SqlErrorKind::Unsupported(format!(
+                                "`{}` is not part of the template subset",
+                                s.to_ascii_uppercase()
+                            )),
+                            t.span,
+                        ));
+                    }
+                    self.pos += 1;
+                    Ok(Name {
+                        text: s.clone(),
+                        quote: None,
+                        span: t.span,
+                    })
+                }
+                Tok::Quoted(s, style) => {
+                    self.pos += 1;
+                    Ok(Name {
+                        text: s.clone(),
+                        quote: Some(*style),
+                        span: t.span,
+                    })
+                }
+                _ => Err(self.err_expected(what)),
+            },
+            None => Err(self.err_expected(what)),
+        }
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef, SqlError> {
+        let first = self.name("a column name")?;
+        if self.eat(&Tok::Dot) {
+            let col = self.name("a column name after `.`")?;
+            let span = first.span.to(col.span);
+            Ok(ColumnRef {
+                qualifier: Some(first),
+                column: col,
+                span,
+            })
+        } else {
+            let span = first.span;
+            Ok(ColumnRef {
+                qualifier: None,
+                column: first,
+                span,
+            })
+        }
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let table = self.name("a table name")?;
+        let mut span = table.span;
+        let alias = if self.eat(&Tok::Keyword(Kw::As)) {
+            let a = self.name("an alias after AS")?;
+            span = span.to(a.span);
+            Some(a)
+        } else if matches!(self.peek().map(|t| &t.tok), Some(Tok::Quoted(..)))
+            || matches!(self.peek().map(|t| &t.tok),
+                Some(Tok::Ident(w)) if !UNSUPPORTED_WORDS.contains(&w.as_str()))
+        {
+            let a = self.name("an alias")?;
+            span = span.to(a.span);
+            Some(a)
+        } else {
+            None
+        };
+        Ok(TableRef { table, alias, span })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlError> {
+        if let Some(t) = self.peek() {
+            if t.tok == Tok::Star {
+                self.pos += 1;
+                return Ok(SelectItem::Star);
+            }
+            if let Tok::Ident(f) = &t.tok {
+                if AGG_FUNCS.contains(&f.as_str())
+                    && self.toks.get(self.pos + 1).map(|t| &t.tok) == Some(&Tok::LParen)
+                {
+                    let func = f.clone();
+                    let start = t.span;
+                    self.pos += 2;
+                    let arg = if self.eat(&Tok::Star) {
+                        if func != "count" {
+                            return Err(SqlError::new(
+                                SqlErrorKind::Unsupported(format!("{func}(*) — only count(*)")),
+                                start,
+                            ));
+                        }
+                        None
+                    } else {
+                        Some(self.column_ref()?)
+                    };
+                    let close = self.here();
+                    if !self.eat(&Tok::RParen) {
+                        return Err(self.err_expected("`)`"));
+                    }
+                    return Ok(SelectItem::Aggregate {
+                        func,
+                        arg,
+                        span: start.to(close),
+                    });
+                }
+            }
+        }
+        Ok(SelectItem::Column(self.column_ref()?))
+    }
+
+    fn scalar(&mut self) -> Result<Scalar, SqlError> {
+        match self.peek() {
+            Some(t) => match &t.tok {
+                Tok::Number(v) => {
+                    self.pos += 1;
+                    Ok(Scalar::Number {
+                        value: *v,
+                        span: t.span,
+                    })
+                }
+                Tok::Str(s) => {
+                    self.pos += 1;
+                    Ok(Scalar::Str {
+                        text: s.clone(),
+                        span: t.span,
+                    })
+                }
+                Tok::Placeholder(idx) => {
+                    self.pos += 1;
+                    Ok(Scalar::Placeholder {
+                        index: *idx,
+                        span: t.span,
+                    })
+                }
+                Tok::Ident(_) | Tok::Quoted(..) => Ok(Scalar::Column(self.column_ref()?)),
+                _ => Err(self.err_expected("a column, literal or placeholder")),
+            },
+            None => Err(self.err_expected("a column, literal or placeholder")),
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, SqlError> {
+        let op = match self.peek().map(|t| &t.tok) {
+            Some(Tok::Le) => CmpOp::Le,
+            Some(Tok::Lt) => CmpOp::Lt,
+            Some(Tok::Ge) => CmpOp::Ge,
+            Some(Tok::Gt) => CmpOp::Gt,
+            Some(Tok::Eq) => CmpOp::Eq,
+            _ => return Err(self.err_expected("a comparison operator (`<=`, `>=`, `<`, `>`, `=`)")),
+        };
+        self.pos += 1;
+        Ok(op)
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, SqlError> {
+        let lhs = self.scalar()?;
+        let op = self.cmp_op()?;
+        let rhs = self.scalar()?;
+        let span = lhs.span().to(rhs.span());
+        Ok(Predicate { lhs, op, rhs, span })
+    }
+
+    fn column_list(&mut self) -> Result<Vec<ColumnRef>, SqlError> {
+        let mut cols = vec![self.column_ref()?];
+        while self.eat(&Tok::Comma) {
+            cols.push(self.column_ref()?);
+        }
+        Ok(cols)
+    }
+
+    fn stmt(&mut self) -> Result<SelectStmt, SqlError> {
+        let start = self.expect_kw(Kw::Select)?;
+
+        let mut projection = vec![self.select_item()?];
+        while self.eat(&Tok::Comma) {
+            projection.push(self.select_item()?);
+        }
+
+        self.expect_kw(Kw::From)?;
+        let mut from = vec![self.table_ref()?];
+        let mut joins = Vec::new();
+        loop {
+            if self.eat(&Tok::Comma) {
+                if !joins.is_empty() {
+                    return Err(SqlError::new(
+                        SqlErrorKind::Unsupported("comma-FROM entries after a JOIN clause".into()),
+                        self.here(),
+                    ));
+                }
+                from.push(self.table_ref()?);
+                continue;
+            }
+            let inner = self.eat(&Tok::Keyword(Kw::Inner));
+            if self.peek().map(|t| &t.tok) == Some(&Tok::Keyword(Kw::Join)) {
+                let jspan = self.next().map(|t| t.span).unwrap_or_else(|| self.here());
+                let table = self.table_ref()?;
+                self.expect_kw(Kw::On)?;
+                let left = self.column_ref()?;
+                if !self.eat(&Tok::Eq) {
+                    return Err(self.err_expected("`=` in a join condition"));
+                }
+                let right = self.column_ref()?;
+                let span = jspan.to(right.span);
+                joins.push(JoinOn {
+                    table,
+                    left,
+                    right,
+                    span,
+                });
+                continue;
+            }
+            if inner {
+                return Err(self.err_expected("JOIN after INNER"));
+            }
+            break;
+        }
+
+        let mut predicates = Vec::new();
+        if self.eat(&Tok::Keyword(Kw::Where)) {
+            predicates.push(self.predicate()?);
+            while self.eat(&Tok::Keyword(Kw::And)) {
+                predicates.push(self.predicate()?);
+            }
+        }
+
+        let mut group_by = Vec::new();
+        if self.eat(&Tok::Keyword(Kw::Group)) {
+            self.expect_kw(Kw::By)?;
+            group_by = self.column_list()?;
+        }
+
+        let mut order_by = Vec::new();
+        if self.eat(&Tok::Keyword(Kw::Order)) {
+            self.expect_kw(Kw::By)?;
+            order_by = self.column_list()?;
+            // Direction applies to the whole list; sortedness is all the
+            // cost model sees, so the direction itself is discarded.
+            let _ = self.eat(&Tok::Keyword(Kw::Asc)) || self.eat(&Tok::Keyword(Kw::Desc));
+        }
+
+        let end_span = self.here();
+        self.eat(&Tok::Semi);
+        if self.peek().is_some() {
+            return Err(self.err_expected("end of statement"));
+        }
+
+        Ok(SelectStmt {
+            projection,
+            from,
+            joins,
+            predicates,
+            group_by,
+            order_by,
+            span: start.to(end_span),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_select() {
+        let s = parse("SELECT * FROM lineitem WHERE l_shipdate <= $1").unwrap();
+        assert_eq!(s.projection, vec![SelectItem::Star]);
+        assert_eq!(s.from.len(), 1);
+        assert_eq!(s.from[0].table.text, "lineitem");
+        assert_eq!(s.predicates.len(), 1);
+        assert!(s.group_by.is_empty() && s.order_by.is_empty());
+    }
+
+    #[test]
+    fn parses_joins_aliases_groups() {
+        let s = parse(
+            "SELECT o.o_totalprice, count(*) FROM orders AS o \
+             JOIN lineitem l ON o.orders_pk = l.orders_fk \
+             WHERE o.o_totalprice <= $1 AND l.l_discount = 0.05 \
+             GROUP BY o.o_shippriority ORDER BY o.o_totalprice DESC",
+        )
+        .unwrap();
+        assert_eq!(s.from[0].bound_name(), "o");
+        assert_eq!(s.joins.len(), 1);
+        assert_eq!(s.joins[0].table.bound_name(), "l");
+        assert_eq!(s.predicates.len(), 2);
+        assert_eq!(s.group_by.len(), 1);
+        assert_eq!(s.order_by.len(), 1);
+    }
+
+    #[test]
+    fn comma_from_is_accepted() {
+        let s = parse("SELECT * FROM a, b WHERE a.x = b.y AND a.m <= ?").unwrap();
+        assert_eq!(s.from.len(), 2);
+        assert_eq!(s.predicates.len(), 2);
+    }
+
+    #[test]
+    fn unsupported_constructs_are_typed() {
+        for src in [
+            "SELECT * FROM a LEFT JOIN b ON a.x = b.y",
+            "SELECT DISTINCT x FROM a",
+            "SELECT * FROM a WHERE x = 1 OR y = 2",
+            "SELECT * FROM a WHERE x BETWEEN 1 AND 2",
+        ] {
+            let err = parse(src).unwrap_err();
+            assert!(
+                matches!(err.kind, SqlErrorKind::Unsupported(_)),
+                "{src}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_typed_with_spans() {
+        let err = parse("SELECT FROM t").unwrap_err();
+        assert!(matches!(err.kind, SqlErrorKind::UnexpectedToken { .. }));
+        let err = parse("SELECT *").unwrap_err();
+        assert!(matches!(err.kind, SqlErrorKind::UnexpectedEnd { .. }));
+        let err = parse("SELECT * FROM t WHERE").unwrap_err();
+        assert!(matches!(err.kind, SqlErrorKind::UnexpectedEnd { .. }));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let err = parse("SELECT * FROM t ; SELECT").unwrap_err();
+        assert!(matches!(err.kind, SqlErrorKind::UnexpectedToken { .. }));
+    }
+
+    #[test]
+    fn count_star_only() {
+        assert!(parse("SELECT sum(*) FROM t").is_err());
+        assert!(parse("SELECT count(*) FROM t").is_ok());
+    }
+}

@@ -1,0 +1,534 @@
+//! Never-panic SQL tokenizer.
+//!
+//! The tokenizer is dialect-agnostic: it accepts both `"double-quoted"` and
+//! `` `backtick-quoted` `` identifiers and both `$n` and `?` placeholders,
+//! recording which style was used so the dialect layer can reject the ones
+//! it doesn't own. Every token carries the byte [`Span`] it was read from.
+
+use crate::error::{Span, SqlError, SqlErrorKind};
+
+/// Identifier quoting styles (validated per dialect at parse time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuoteStyle {
+    /// `"name"` (postgres, duckdb).
+    Double,
+    /// `` `name` `` (mysql).
+    Backtick,
+}
+
+/// Keywords the grammar knows. Anything else lexes as an identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // the variants are the keywords themselves
+pub enum Kw {
+    Select,
+    From,
+    Where,
+    Inner,
+    Join,
+    On,
+    And,
+    As,
+    Group,
+    Order,
+    By,
+    Asc,
+    Desc,
+}
+
+impl Kw {
+    fn from_ident(lower: &str) -> Option<Kw> {
+        Some(match lower {
+            "select" => Kw::Select,
+            "from" => Kw::From,
+            "where" => Kw::Where,
+            "inner" => Kw::Inner,
+            "join" => Kw::Join,
+            "on" => Kw::On,
+            "and" => Kw::And,
+            "as" => Kw::As,
+            "group" => Kw::Group,
+            "order" => Kw::Order,
+            "by" => Kw::By,
+            "asc" => Kw::Asc,
+            "desc" => Kw::Desc,
+            _ => return None,
+        })
+    }
+
+    /// The canonical spelling, for diagnostics.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Kw::Select => "SELECT",
+            Kw::From => "FROM",
+            Kw::Where => "WHERE",
+            Kw::Inner => "INNER",
+            Kw::Join => "JOIN",
+            Kw::On => "ON",
+            Kw::And => "AND",
+            Kw::As => "AS",
+            Kw::Group => "GROUP",
+            Kw::Order => "ORDER",
+            Kw::By => "BY",
+            Kw::Asc => "ASC",
+            Kw::Desc => "DESC",
+        }
+    }
+}
+
+/// Words we recognize but refuse (outer joins, subqueries, …), so the
+/// parser can tell "not SQL" from "not this subset". Kept here next to the
+/// keywords because together they form the reserved-word set.
+pub const UNSUPPORTED_WORDS: &[&str] = &[
+    "left", "right", "full", "outer", "cross", "union", "having", "limit", "offset", "distinct",
+    "or", "not", "in", "between", "like", "exists", "case",
+];
+
+/// Whether `s` (lowercase) is reserved — a keyword or a recognized
+/// unsupported construct — and therefore needs quoting when emitted as an
+/// identifier.
+pub fn is_reserved(s: &str) -> bool {
+    Kw::from_ident(s).is_some() || UNSUPPORTED_WORDS.contains(&s)
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Unquoted identifier, lowercased.
+    Ident(String),
+    /// Quoted identifier, case preserved, with the quoting style used.
+    Quoted(String, QuoteStyle),
+    /// A recognized keyword.
+    Keyword(Kw),
+    /// Numeric literal.
+    Number(f64),
+    /// `'single-quoted'` string literal (`''` escapes a quote).
+    Str(String),
+    /// `$n` (`Some(n)`, 1-based) or `?` (`None`).
+    Placeholder(Option<u32>),
+    /// `*`
+    Star,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+}
+
+impl Tok {
+    /// Short description for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Quoted(s, _) => format!("identifier `{s}`"),
+            Tok::Keyword(k) => format!("keyword {}", k.as_str()),
+            Tok::Number(n) => format!("number {n}"),
+            Tok::Str(_) => "string literal".into(),
+            Tok::Placeholder(Some(n)) => format!("placeholder ${n}"),
+            Tok::Placeholder(None) => "placeholder ?".into(),
+            Tok::Star => "`*`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Dot => "`.`".into(),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::Semi => "`;`".into(),
+            Tok::Eq => "`=`".into(),
+            Tok::Lt => "`<`".into(),
+            Tok::Gt => "`>`".into(),
+            Tok::Le => "`<=`".into(),
+            Tok::Ge => "`>=`".into(),
+        }
+    }
+}
+
+/// A token plus where it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Its byte range in the source.
+    pub span: Span,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`. Returns every token or the first lex error; never panics,
+/// whatever bytes `src` holds.
+pub fn tokenize(src: &str) -> Result<Vec<SpannedTok>, SqlError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut it = src.char_indices().peekable();
+
+    while let Some(&(start, c)) = it.peek() {
+        // Whitespace.
+        if c.is_whitespace() {
+            it.next();
+            continue;
+        }
+        // `-- line comment`
+        if c == '-' && bytes.get(start + 1) == Some(&b'-') {
+            while let Some(&(_, ch)) = it.peek() {
+                it.next();
+                if ch == '\n' {
+                    break;
+                }
+            }
+            continue;
+        }
+        // `/* block comment */` (non-nesting)
+        if c == '/' && bytes.get(start + 1) == Some(&b'*') {
+            it.next();
+            it.next();
+            let mut closed = false;
+            while let Some((i, ch)) = it.next() {
+                if ch == '*' && bytes.get(i + 1) == Some(&b'/') {
+                    it.next();
+                    closed = true;
+                    break;
+                }
+            }
+            if !closed {
+                return Err(SqlError::new(
+                    SqlErrorKind::Lex("unterminated block comment".into()),
+                    Span::new(start, src.len()),
+                ));
+            }
+            continue;
+        }
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let mut end = start;
+            while let Some(&(i, ch)) = it.peek() {
+                if is_ident_cont(ch) {
+                    end = i + ch.len_utf8();
+                    it.next();
+                } else {
+                    break;
+                }
+            }
+            let word = &src[start..end];
+            let lower = word.to_ascii_lowercase();
+            let tok = match Kw::from_ident(&lower) {
+                Some(k) => Tok::Keyword(k),
+                None => Tok::Ident(lower),
+            };
+            out.push(SpannedTok {
+                tok,
+                span: Span::new(start, end),
+            });
+            continue;
+        }
+        // Quoted identifiers.
+        if c == '"' || c == '`' {
+            let style = if c == '"' {
+                QuoteStyle::Double
+            } else {
+                QuoteStyle::Backtick
+            };
+            it.next();
+            let mut name = String::new();
+            let mut end = None;
+            for (i, ch) in it.by_ref() {
+                if ch == c {
+                    end = Some(i + ch.len_utf8());
+                    break;
+                }
+                name.push(ch);
+            }
+            let Some(end) = end else {
+                return Err(SqlError::new(
+                    SqlErrorKind::Lex(format!("unterminated quoted identifier (opened with {c})")),
+                    Span::new(start, src.len()),
+                ));
+            };
+            if name.is_empty() {
+                return Err(SqlError::new(
+                    SqlErrorKind::Lex("empty quoted identifier".into()),
+                    Span::new(start, end),
+                ));
+            }
+            out.push(SpannedTok {
+                tok: Tok::Quoted(name, style),
+                span: Span::new(start, end),
+            });
+            continue;
+        }
+        // String literals ('' escapes a quote).
+        if c == '\'' {
+            it.next();
+            let mut text = String::new();
+            let mut end = None;
+            while let Some((i, ch)) = it.next() {
+                if ch == '\'' {
+                    if it.peek().map(|&(_, n)| n) == Some('\'') {
+                        text.push('\'');
+                        it.next();
+                    } else {
+                        end = Some(i + 1);
+                        break;
+                    }
+                } else {
+                    text.push(ch);
+                }
+            }
+            let Some(end) = end else {
+                return Err(SqlError::new(
+                    SqlErrorKind::Lex("unterminated string literal".into()),
+                    Span::new(start, src.len()),
+                ));
+            };
+            out.push(SpannedTok {
+                tok: Tok::Str(text),
+                span: Span::new(start, end),
+            });
+            continue;
+        }
+        // Numbers: digits, optional fraction, optional exponent. A leading
+        // `.5` is also accepted.
+        if c.is_ascii_digit() || (c == '.' && bytes.get(start + 1).is_some_and(u8::is_ascii_digit))
+        {
+            let mut end = start;
+            let mut seen_dot = false;
+            let mut seen_exp = false;
+            while let Some(&(i, ch)) = it.peek() {
+                let ok = ch.is_ascii_digit()
+                    || (ch == '.' && !seen_dot && !seen_exp)
+                    || ((ch == 'e' || ch == 'E') && !seen_exp && i > start)
+                    || ((ch == '+' || ch == '-')
+                        && seen_exp
+                        && matches!(bytes.get(i.wrapping_sub(1)), Some(b'e') | Some(b'E')));
+                if !ok {
+                    break;
+                }
+                seen_dot |= ch == '.';
+                seen_exp |= ch == 'e' || ch == 'E';
+                end = i + ch.len_utf8();
+                it.next();
+            }
+            let text = &src[start..end];
+            let Ok(v) = text.parse::<f64>() else {
+                return Err(SqlError::new(
+                    SqlErrorKind::Lex(format!("malformed number `{text}`")),
+                    Span::new(start, end),
+                ));
+            };
+            if !v.is_finite() {
+                return Err(SqlError::new(
+                    SqlErrorKind::Lex(format!("number `{text}` overflows")),
+                    Span::new(start, end),
+                ));
+            }
+            out.push(SpannedTok {
+                tok: Tok::Number(v),
+                span: Span::new(start, end),
+            });
+            continue;
+        }
+        // Placeholders.
+        if c == '?' {
+            it.next();
+            out.push(SpannedTok {
+                tok: Tok::Placeholder(None),
+                span: Span::new(start, start + 1),
+            });
+            continue;
+        }
+        if c == '$' {
+            it.next();
+            let mut end = start + 1;
+            while let Some(&(i, ch)) = it.peek() {
+                if ch.is_ascii_digit() {
+                    end = i + 1;
+                    it.next();
+                } else {
+                    break;
+                }
+            }
+            let digits = &src[start + 1..end];
+            if digits.is_empty() {
+                return Err(SqlError::new(
+                    SqlErrorKind::Lex("`$` must be followed by a parameter number".into()),
+                    Span::new(start, end),
+                ));
+            }
+            let Ok(n) = digits.parse::<u32>() else {
+                return Err(SqlError::new(
+                    SqlErrorKind::Lex(format!("parameter number `${digits}` overflows")),
+                    Span::new(start, end),
+                ));
+            };
+            if n == 0 {
+                return Err(SqlError::new(
+                    SqlErrorKind::Lex("parameter numbers are 1-based; `$0` is invalid".into()),
+                    Span::new(start, end),
+                ));
+            }
+            out.push(SpannedTok {
+                tok: Tok::Placeholder(Some(n)),
+                span: Span::new(start, end),
+            });
+            continue;
+        }
+        // Operators and punctuation.
+        let (tok, len) = match c {
+            '*' => (Tok::Star, 1),
+            ',' => (Tok::Comma, 1),
+            '.' => (Tok::Dot, 1),
+            '(' => (Tok::LParen, 1),
+            ')' => (Tok::RParen, 1),
+            ';' => (Tok::Semi, 1),
+            '=' => (Tok::Eq, 1),
+            '<' => {
+                if bytes.get(start + 1) == Some(&b'=') {
+                    (Tok::Le, 2)
+                } else {
+                    (Tok::Lt, 1)
+                }
+            }
+            '>' => {
+                if bytes.get(start + 1) == Some(&b'=') {
+                    (Tok::Ge, 2)
+                } else {
+                    (Tok::Gt, 1)
+                }
+            }
+            other => {
+                return Err(SqlError::new(
+                    SqlErrorKind::Lex(format!("unexpected character `{other}`")),
+                    Span::new(start, start + other.len_utf8()),
+                ));
+            }
+        };
+        for _ in 0..len {
+            it.next();
+        }
+        out.push(SpannedTok {
+            tok,
+            span: Span::new(start, start + len),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            toks("select FROM Where"),
+            vec![
+                Tok::Keyword(Kw::Select),
+                Tok::Keyword(Kw::From),
+                Tok::Keyword(Kw::Where)
+            ]
+        );
+    }
+
+    #[test]
+    fn idents_lowercase_quoted_preserve() {
+        assert_eq!(
+            toks("Orders \"CamelCase\" `tick`"),
+            vec![
+                Tok::Ident("orders".into()),
+                Tok::Quoted("CamelCase".into(), QuoteStyle::Double),
+                Tok::Quoted("tick".into(), QuoteStyle::Backtick),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_placeholders() {
+        assert_eq!(
+            toks("42 3.5 .5 1e3 $2 ?"),
+            vec![
+                Tok::Number(42.0),
+                Tok::Number(3.5),
+                Tok::Number(0.5),
+                Tok::Number(1000.0),
+                Tok::Placeholder(Some(2)),
+                Tok::Placeholder(None),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("<= >= < > = . , ; ( ) *"),
+            vec![
+                Tok::Le,
+                Tok::Ge,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eq,
+                Tok::Dot,
+                Tok::Comma,
+                Tok::Semi,
+                Tok::LParen,
+                Tok::RParen,
+                Tok::Star,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a -- trailing\n/* block\nspans */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(toks("'it''s'"), vec![Tok::Str("it's".into())]);
+    }
+
+    #[test]
+    fn lex_errors_are_typed() {
+        for bad in ["$", "$0", "'open", "\"open", "/* open", "@", "1e999"] {
+            let err = tokenize(bad).unwrap_err();
+            assert!(matches!(err.kind, SqlErrorKind::Lex(_)), "{bad}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn spans_are_byte_accurate() {
+        let ts = tokenize("ab  <=").unwrap();
+        assert_eq!(ts[0].span, Span::new(0, 2));
+        assert_eq!(ts[1].span, Span::new(4, 6));
+    }
+
+    #[test]
+    fn arbitrary_utf8_never_panics() {
+        for src in ["π ≤ $1", "emoji 🦀 soup", "\u{0}\u{1}\u{7f}"] {
+            let _ = tokenize(src);
+        }
+    }
+}

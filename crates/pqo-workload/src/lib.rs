@@ -10,10 +10,14 @@
 //! * [`orderings`] — the five sequence orderings: random, decreasing
 //!   optimal cost, round-robin across plan-optimality groups, inside-out
 //!   and outside-in.
+//! * [`sqlgen`] — renders corpus templates back out as textual `.sql`
+//!   fixtures (directive header + dialected SQL) that `pqo-sql` can
+//!   re-compile to the identical template.
 
 pub mod corpus;
 pub mod orderings;
 pub mod regions;
+pub mod sqlgen;
 
 pub use corpus::{corpus, TemplateSpec};
 pub use orderings::Ordering;

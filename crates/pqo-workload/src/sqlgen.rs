@@ -1,0 +1,269 @@
+//! Textual template fixtures: render corpus templates back out as `.sql`.
+//!
+//! This is the workload side of the SQL frontend (`pqo-sql`): where the
+//! frontend lowers SQL text *into* `QueryTemplate`, this module emits a
+//! `QueryTemplate` *as* a TPC-H-style textual fixture — directive header
+//! (`-- pqo:catalog`, `-- pqo:dialect`), canonical projection, FROM/JOIN
+//! chain and parameterized WHERE — in any supported dialect. Re-compiling
+//! an emitted fixture through `pqo_sql::compile` reproduces the original
+//! template, which the unit tests assert for the whole expressible corpus.
+//!
+//! Not every corpus template is expressible as SQL: fixed predicates carry
+//! only a selectivity (the literal that produced it is gone), and an
+//! aggregate's group count only round-trips when some column's NDV matches
+//! it exactly (the binder derives groups from the GROUP BY columns'
+//! NDVs). [`render_template`] reports such templates as errors and
+//! [`fixtures`] skips them.
+
+use pqo_optimizer::template::{QueryTemplate, RangeOp};
+use pqo_sql::DialectKind;
+
+use crate::corpus;
+
+/// One emitted fixture.
+#[derive(Debug, Clone)]
+pub struct Fixture {
+    /// Template name (the corpus id); also the intended file stem.
+    pub name: String,
+    /// Catalog the fixture binds against.
+    pub catalog: String,
+    /// Dialect it is written in.
+    pub dialect: DialectKind,
+    /// The `.sql` file contents.
+    pub sql: String,
+}
+
+/// Render `template` as a `.sql` fixture in `dialect`, or explain why it
+/// cannot be expressed as SQL.
+pub fn render_template(
+    template: &QueryTemplate,
+    catalog: &str,
+    dialect: DialectKind,
+) -> Result<String, String> {
+    if !template.fixed_preds.is_empty() {
+        return Err(format!(
+            "template `{}` has fixed predicates; their literals are not recoverable",
+            template.name
+        ));
+    }
+
+    // An aggregate's group count must be derivable from one column's NDV
+    // (or be the bare-aggregate count of 1).
+    let mut group_col: Option<(usize, usize)> = None;
+    if let Some(agg) = &template.aggregate {
+        if agg.groups != 1.0 {
+            'search: for (ri, r) in template.relations.iter().enumerate() {
+                for (ci, c) in r.table.columns.iter().enumerate() {
+                    if c.stats.ndv.max(1) as f64 == agg.groups {
+                        group_col = Some((ri, ci));
+                        break 'search;
+                    }
+                }
+            }
+            if group_col.is_none() {
+                return Err(format!(
+                    "template `{}` aggregates into {} groups, which no column NDV matches",
+                    template.name, agg.groups
+                ));
+            }
+        }
+    }
+
+    let col_sql = |rel: usize, col: usize| {
+        let r = &template.relations[rel];
+        let name = r
+            .table
+            .columns
+            .get(col)
+            .map(|c| c.name.as_str())
+            .unwrap_or("?col");
+        format!("{}.{}", dialect.ident(&r.alias), dialect.ident(name))
+    };
+    let rel_sql = |i: usize| {
+        let r = &template.relations[i];
+        if r.table.name == r.alias {
+            dialect.ident(&r.table.name)
+        } else {
+            format!(
+                "{} AS {}",
+                dialect.ident(&r.table.name),
+                dialect.ident(&r.alias)
+            )
+        }
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!("-- pqo:catalog {catalog}\n"));
+    out.push_str(&format!("-- pqo:dialect {}\n", dialect.name()));
+    out.push_str(&format!(
+        "-- generated from corpus template `{}`\n",
+        template.name
+    ));
+
+    out.push_str("SELECT ");
+    if template.aggregate.is_some() {
+        out.push_str("count(*)");
+    } else if let Some(p) = template.param_preds.first() {
+        out.push_str(&col_sql(p.relation, p.column));
+    } else {
+        out.push('*');
+    }
+    out.push('\n');
+
+    // JOINs must follow relation order so the re-bound template numbers
+    // relations (and therefore edges and params) identically: relation `i`
+    // joins via an edge to some relation `< i`.
+    out.push_str(&format!("FROM {}\n", rel_sql(0)));
+    let n = template.relations.len();
+    let mut edge_used = vec![false; template.join_edges.len()];
+    for i in 1..n {
+        let Some(ei) = template.join_edges.iter().enumerate().position(|(ei, e)| {
+            !edge_used[ei] && ((e.left.0 == i && e.right.0 < i) || (e.right.0 == i && e.left.0 < i))
+        }) else {
+            return Err(format!(
+                "template `{}`: relation {i} has no join edge to an earlier relation; \
+                 not expressible as an ordered JOIN chain",
+                template.name
+            ));
+        };
+        edge_used[ei] = true;
+        let e = &template.join_edges[ei];
+        out.push_str(&format!(
+            "  JOIN {} ON {} = {}\n",
+            rel_sql(i),
+            col_sql(e.left.0, e.left.1),
+            col_sql(e.right.0, e.right.1)
+        ));
+    }
+    if edge_used.iter().any(|u| !u) {
+        // A validated template is connected, so a leftover edge closes a
+        // cycle — not expressible as a plain JOIN chain.
+        return Err(format!(
+            "template `{}` has a cyclic join graph; not expressible as a JOIN chain",
+            template.name
+        ));
+    }
+
+    for (k, p) in template.param_preds.iter().enumerate() {
+        out.push_str(if k == 0 { "WHERE " } else { "  AND " });
+        let op = match p.op {
+            RangeOp::Le => "<=",
+            RangeOp::Ge => ">=",
+        };
+        out.push_str(&format!(
+            "{} {op} {}\n",
+            col_sql(p.relation, p.column),
+            dialect.placeholder(k + 1)
+        ));
+    }
+
+    if let Some((ri, ci)) = group_col {
+        out.push_str(&format!("GROUP BY {}\n", col_sql(ri, ci)));
+    }
+    if template.order_by {
+        let (ri, ci) = template
+            .param_preds
+            .first()
+            .map(|p| (p.relation, p.column))
+            .unwrap_or((0, 0));
+        out.push_str(&format!("ORDER BY {}\n", col_sql(ri, ci)));
+    }
+    Ok(out)
+}
+
+/// Emit every expressible corpus template as a fixture in `dialect`.
+pub fn fixtures(dialect: DialectKind) -> Vec<Fixture> {
+    corpus::corpus()
+        .iter()
+        .filter_map(|spec| {
+            render_template(&spec.template, spec.catalog, dialect)
+                .ok()
+                .map(|sql| Fixture {
+                    name: spec.id.clone(),
+                    catalog: spec.catalog.to_string(),
+                    dialect,
+                    sql,
+                })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqo_catalog::schemas;
+
+    fn catalog_by_name(name: &str) -> pqo_catalog::Catalog {
+        match name {
+            "tpch_skew" => schemas::tpch_skew(),
+            "tpcds" => schemas::tpcds(),
+            "rd1" => schemas::rd1(),
+            "rd2" => schemas::rd2(),
+            other => panic!("unknown catalog {other}"),
+        }
+    }
+
+    #[test]
+    fn corpus_emits_a_substantial_fixture_set() {
+        let fx = fixtures(DialectKind::Postgres);
+        assert!(
+            fx.len() >= 40,
+            "expected most of the corpus to be expressible, got {}",
+            fx.len()
+        );
+    }
+
+    #[test]
+    fn emitted_fixtures_recompile_to_the_same_template() {
+        for dialect in DialectKind::ALL {
+            let mut checked = 0;
+            let mut cat_cache: std::collections::BTreeMap<String, pqo_catalog::Catalog> =
+                Default::default();
+            for f in fixtures(*dialect) {
+                let cat = cat_cache
+                    .entry(f.catalog.clone())
+                    .or_insert_with(|| catalog_by_name(&f.catalog));
+                let compiled = pqo_sql::compile(&f.name, &f.sql, cat)
+                    .unwrap_or_else(|e| panic!("{}:\n{}\n{}", f.name, f.sql, e.render(&f.sql)));
+                let orig = &corpus::corpus()
+                    .iter()
+                    .find(|s| s.id == f.name)
+                    .unwrap()
+                    .template;
+                let t = &compiled.template;
+                assert_eq!(t.relations.len(), orig.relations.len(), "{}", f.name);
+                for (a, b) in t.relations.iter().zip(orig.relations.iter()) {
+                    assert_eq!(a.table.name, b.table.name, "{}", f.name);
+                    assert_eq!(a.alias, b.alias, "{}", f.name);
+                }
+                assert_eq!(t.param_preds.len(), orig.param_preds.len(), "{}", f.name);
+                for (a, b) in t.param_preds.iter().zip(orig.param_preds.iter()) {
+                    assert_eq!(
+                        (a.relation, a.column, a.op),
+                        (b.relation, b.column, b.op),
+                        "{}",
+                        f.name
+                    );
+                }
+                assert_eq!(t.join_edges.len(), orig.join_edges.len(), "{}", f.name);
+                for (a, b) in t.join_edges.iter().zip(orig.join_edges.iter()) {
+                    assert_eq!(
+                        (a.left, a.right, a.selectivity),
+                        (b.left, b.right, b.selectivity),
+                        "{}",
+                        f.name
+                    );
+                }
+                assert_eq!(
+                    t.aggregate.as_ref().map(|a| a.groups),
+                    orig.aggregate.as_ref().map(|a| a.groups),
+                    "{}",
+                    f.name
+                );
+                assert_eq!(t.order_by, orig.order_by, "{}", f.name);
+                checked += 1;
+            }
+            assert!(checked >= 40, "{dialect}: only {checked} fixtures checked");
+        }
+    }
+}

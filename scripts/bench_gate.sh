@@ -20,7 +20,7 @@ runs="${PQO_BENCH_RUNS:-3}"
 baseline="${PQO_BENCH_BASELINE:-scripts/bench_baseline.json}"
 out="BENCH_$(date +%Y%m%d).json"
 
-benches=(service_throughput batch_throughput net_throughput spatial_publish replication policy_throughput)
+benches=(service_throughput batch_throughput net_throughput spatial_publish replication policy_throughput sql_parse)
 # "<bench label>:<metric key>" — the headline metrics the gate tracks.
 # publish_sharded_eps is snapshot publications per second on a 10k-point
 # sharded spatial index (elements=1 per publish cycle).
@@ -30,6 +30,9 @@ benches=(service_throughput batch_throughput net_throughput spatial_publish repl
 # policy_scr_eps is warm-cache get_plan throughput under SCR through the
 # enum-dispatched policy seam — the policy-layer refactor must not tax the
 # hot reuse path.
+# sql_parse_eps is full pqo-sql compiles (directives + parse + catalog
+# bind) per second over the committed templates/ fixture corpus — the
+# per-file cost the server pays at --templates-dir startup.
 headline=(
     "service_throughput/get_plan_readmostly/8_threads:read_mostly_eps"
     "batch_throughput/get_plan_batch32/8_threads:batch_eps"
@@ -38,6 +41,7 @@ headline=(
     "spatial_publish/sharded/10k:publish_sharded_eps"
     "replication/replica_apply/delta_chain:replica_apply_eps"
     "policy_throughput/SCR2:policy_scr_eps"
+    "sql_parse/compile/corpus:sql_parse_eps"
 )
 
 log="$(mktemp)"

@@ -13,6 +13,7 @@ net_tmp=""
 hc_tmp=""
 repl_tmp=""
 pol_tmp=""
+sf_tmp=""
 pids=()
 cleanup() {
     for pid in "${pids[@]:-}"; do
@@ -24,6 +25,7 @@ cleanup() {
     if [ -n "$hc_tmp" ]; then rm -rf "$hc_tmp"; fi
     if [ -n "$repl_tmp" ]; then rm -rf "$repl_tmp"; fi
     if [ -n "$pol_tmp" ]; then rm -rf "$pol_tmp"; fi
+    if [ -n "$sf_tmp" ]; then rm -rf "$sf_tmp"; fi
 }
 trap cleanup EXIT
 
@@ -247,6 +249,51 @@ wait "$pol_rpid"
 wait "$pol_ppid"
 grep -Eq "generations applied : [1-9]" "$pol_tmp/lec_replica.log" \
     || { echo "lec replica exit summary shows no applied generations"; cat "$pol_tmp/lec_replica.log"; exit 1; }
+
+echo "==> sql-frontend smoke (templates-dir serving across three dialects)"
+# The SQL frontend end to end: serve every committed .sql fixture from
+# templates/ (the corpus spans postgres, mysql and duckdb), replay an
+# oracle-checked workload against one template per dialect (the client
+# compiles the same .sql file into its in-process oracle), and round-trip
+# one --op explain, verifying the reply carries dialect-tagged hinted SQL.
+sf_tmp="$(mktemp -d)"
+./target/release/pqo serve --listen 127.0.0.1:0 \
+    --templates-dir templates > "$sf_tmp/server.log" 2>&1 &
+sf_pid=$!
+pids+=("$sf_pid")
+addr=""
+for _ in $(seq 1 600); do
+    addr="$(sed -n 's/^listening on //p' "$sf_tmp/server.log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "sql server never reported its address"; cat "$sf_tmp/server.log"; exit 1; }
+sf_compiled="$(grep -c '^compiled ' "$sf_tmp/server.log")"
+[ "$sf_compiled" -ge 10 ] \
+    || { echo "expected >=10 compiled templates, got ${sf_compiled}"; cat "$sf_tmp/server.log"; exit 1; }
+for d in postgres mysql duckdb; do
+    grep -q "($d dialect" "$sf_tmp/server.log" \
+        || { echo "no $d-dialect template compiled"; cat "$sf_tmp/server.log"; exit 1; }
+done
+# One oracle-checked client per dialect: the wire decision stream must be
+# byte-identical to an in-process SCR fed the same compiled template.
+for f in tpch_orders_lineitem tpch_partsupp_mysql rd2_telemetry; do
+    ./target/release/pqo client --connect "$addr" \
+        --sql-file "templates/$f.sql" --m 150 --batch 4 --check true \
+        | grep "oracle check        : OK" \
+        || { echo "oracle check failed for templates/$f.sql"; exit 1; }
+done
+./target/release/pqo client --connect "$addr" \
+    --op explain --sql-file templates/tpch_orders_lineitem.sql \
+    --sel 0.4,0.7 --dialect mysql > "$sf_tmp/explain.txt"
+grep -q -- "-- dialect: mysql" "$sf_tmp/explain.txt" \
+    || { echo "explain reply missing mysql dialect header"; cat "$sf_tmp/explain.txt"; exit 1; }
+grep -q -- "-- plan: P" "$sf_tmp/explain.txt" \
+    || { echo "explain reply missing plan fingerprint"; cat "$sf_tmp/explain.txt"; exit 1; }
+grep -q "SELECT" "$sf_tmp/explain.txt" \
+    || { echo "explain reply missing rendered SQL"; cat "$sf_tmp/explain.txt"; exit 1; }
+./target/release/pqo client --connect "$addr" --op shutdown
+wait "$sf_pid"
 
 if [ -n "${PQO_BENCH_GATE:-}" ]; then
     echo "==> bench regression gate"

@@ -14,6 +14,10 @@
 //!   PCM, Ellipse, Density, Ranges), metrics, the sequence runner, and the
 //!   concurrent [`PqoService`] serving layer.
 //! * [`exec`] — the execution-time simulation behind the paper's Table 3.
+//! * [`sql`] — the multi-dialect SQL template frontend: tokenizer, parser,
+//!   dialect layer (postgres/mysql/duckdb) and the catalog-backed binder
+//!   that lowers parameterized SQL text into the same `QueryTemplate`s the
+//!   corpus hand-builds, plus the reverse hinted-SQL emitter.
 //! * [`workload`] — the 90-template corpus, region-bucketized instance
 //!   generation and the five orderings of §7.1.
 //!
@@ -81,6 +85,7 @@ pub use pqo_core as core;
 pub use pqo_exec as exec;
 pub use pqo_optimizer as optimizer;
 pub use pqo_server as server;
+pub use pqo_sql as sql;
 pub use pqo_workload as workload;
 
 pub use pqo_core::{PqoError, PqoService};

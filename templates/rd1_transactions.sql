@@ -1,0 +1,10 @@
+-- pqo:catalog rd1
+-- pqo:dialect postgres
+-- Payments: transaction amount band against account balance and merchant rating.
+SELECT count(*)
+FROM transactions t
+  JOIN accounts a ON t.accounts_fk = a.accounts_pk
+  JOIN merchants m ON t.merchants_fk = m.merchants_pk
+WHERE t.t_amount <= $1
+  AND a.a_balance <= $2
+  AND m.mrc_rating >= $3

@@ -1,0 +1,9 @@
+-- pqo:catalog rd1
+-- pqo:dialect mysql
+-- Younger users and their recently opened accounts.
+SELECT count(*)
+FROM users u
+  JOIN accounts a ON u.users_pk = a.users_fk
+WHERE u.u_score <= ?
+  AND a.a_opened >= ?
+  AND u.u_age <= 40

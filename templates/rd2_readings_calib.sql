@@ -1,0 +1,11 @@
+-- pqo:catalog rd2
+-- pqo:dialect postgres
+-- Sensor readings against calibration drift, three dimensions.
+SELECT count(*)
+FROM readings r
+  JOIN sensors sn ON r.sensors_fk = sn.sensors_pk
+  JOIN calib cb ON sn.sensors_pk = cb.sensors_fk
+WHERE r.r_value <= $1
+  AND sn.sn_range <= $2
+  AND cb.cb_drift >= $3
+GROUP BY sn.sn_precision

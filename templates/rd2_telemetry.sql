@@ -1,0 +1,10 @@
+-- pqo:catalog rd2
+-- pqo:dialect duckdb
+-- Telemetry for aging devices at high-elevation sites.
+SELECT count(*)
+FROM telemetry t
+  JOIN devices d ON t.devices_fk = d.devices_pk
+  JOIN sites s ON d.sites_fk = s.sites_pk
+WHERE t.t_ts <= $1
+  AND d.d_age_days <= $2
+  AND s.st_elevation >= $3

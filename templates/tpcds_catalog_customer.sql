@@ -1,0 +1,10 @@
+-- pqo:catalog tpcds
+-- pqo:dialect mysql
+-- Catalog sales joined out to customer geography.
+SELECT cs.cs_quantity
+FROM catalog_sales cs
+  JOIN customer c ON cs.customer_fk = c.customer_pk
+  JOIN customer_address ca ON c.customer_address_fk = ca.customer_address_pk
+WHERE cs.cs_wholesale_cost <= ?
+  AND c.c_birth_year >= ?
+ORDER BY cs.cs_quantity

@@ -1,0 +1,11 @@
+-- pqo:catalog tpcds
+-- pqo:dialect postgres
+-- Store sales sliced by date and item price, three dimensions.
+SELECT count(*)
+FROM store_sales ss
+  JOIN date_dim d ON ss.date_dim_fk = d.date_dim_pk
+  JOIN item i ON ss.item_fk = i.item_pk
+WHERE ss.ss_sales_price <= $1
+  AND i.i_current_price <= $2
+  AND d.d_year >= $3
+GROUP BY d.d_moy

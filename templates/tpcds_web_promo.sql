@@ -1,0 +1,11 @@
+-- pqo:catalog tpcds
+-- pqo:dialect duckdb
+-- Promoted web sales in one item category.
+SELECT count(*)
+FROM web_sales ws
+  JOIN item i ON ws.item_fk = i.item_pk
+  JOIN promotion p ON ws.promotion_fk = p.promotion_pk
+WHERE ws.ws_sales_price <= $1
+  AND p.p_cost <= $2
+  AND i.i_category = 5
+GROUP BY i.i_brand

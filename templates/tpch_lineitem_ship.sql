@@ -1,0 +1,7 @@
+-- pqo:catalog tpch_skew
+-- pqo:dialect postgres
+-- TPC-H Q1 style: pricing summary over recently shipped lineitems.
+SELECT count(*)
+FROM lineitem l
+WHERE l.l_shipdate <= $1
+GROUP BY l.l_quantity

@@ -1,0 +1,9 @@
+-- pqo:catalog tpch_skew
+-- pqo:dialect postgres
+-- Orders joined to their lineitems, parameterized on both price columns.
+SELECT count(*)
+FROM orders o
+  JOIN lineitem l ON o.orders_pk = l.orders_fk
+WHERE o.o_totalprice <= $1
+  AND l.l_extendedprice <= $2
+GROUP BY o.o_shippriority

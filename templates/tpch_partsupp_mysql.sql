@@ -1,0 +1,8 @@
+-- pqo:catalog tpch_skew
+-- pqo:dialect mysql
+-- Parts and their supply costs, anonymous placeholders, backtick quoting.
+SELECT count(*)
+FROM `part` p
+  JOIN partsupp ps ON p.part_pk = ps.part_fk
+WHERE p.p_retailprice <= ?
+  AND ps.ps_supplycost <= ?

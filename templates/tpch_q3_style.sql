@@ -1,0 +1,12 @@
+-- pqo:catalog tpch_skew
+-- pqo:dialect postgres
+-- TPC-H Q3 style: shipping priority for a market segment, three dimensions.
+SELECT o.o_orderdate, o.o_shippriority
+FROM customer c
+  JOIN orders o ON c.customer_pk = o.customer_fk
+  JOIN lineitem l ON o.orders_pk = l.orders_fk
+WHERE c.c_acctbal <= $1
+  AND o.o_orderdate <= $2
+  AND l.l_shipdate >= $3
+  AND c.c_mktsegment = 2
+ORDER BY o.o_orderdate

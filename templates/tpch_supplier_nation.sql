@@ -1,0 +1,8 @@
+-- pqo:catalog tpch_skew
+-- pqo:dialect duckdb
+-- Suppliers in a region band, parameterized on account balance.
+SELECT s.supplier_pk
+FROM supplier s
+  JOIN nation n ON s.nation_fk = n.nation_pk
+WHERE s.s_acctbal >= $1
+  AND n.region_fk = 2

@@ -1,0 +1,291 @@
+//! Satellite: the SQL frontend is a *faithful* second front door. Every
+//! committed `templates/*.sql` fixture, compiled by `pqo-sql` against its
+//! declared catalog, must be equivalent to a hand-built
+//! [`TemplateBuilder`] oracle of the same query — equivalent in the
+//! strongest sense that matters to the serving stack: the SCR decision
+//! stream over a seeded region-bucketized run is **byte-identical**
+//! (fingerprint `u64` LE + optimized flag per instance).
+//!
+//! A structural comparison runs first so a divergence names the exact
+//! field (relations, param dimensions, join selectivities, fixed filters,
+//! aggregate groups, sort flag) instead of a byte offset.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use pqo::catalog::{schemas, Catalog};
+use pqo::core::scr::ScrConfig;
+use pqo::core::PqoService;
+use pqo::optimizer::template::{QueryTemplate, RangeOp, TemplateBuilder};
+use pqo::workload::regions;
+
+const RUN_LEN: usize = 160;
+const SEED: u64 = 0x51E9_0217;
+
+/// `col = const` lowering rule: `1 / max(ndv, 1)`.
+fn eq_sel(cat: &Catalog, table: &str, col: &str) -> f64 {
+    let stats = &cat.expect_table(table).column(col).expect("column").stats;
+    1.0 / stats.ndv.max(1) as f64
+}
+
+/// `col <= const` lowering rule: histogram mass at or below the constant.
+fn le_sel(cat: &Catalog, table: &str, col: &str, v: f64) -> f64 {
+    let stats = &cat.expect_table(table).column(col).expect("column").stats;
+    stats.histogram.selectivity_le(v)
+}
+
+/// `GROUP BY col` lowering rule: output groups = `max(ndv, 1)`.
+fn groups(cat: &Catalog, table: &str, col: &str) -> f64 {
+    let stats = &cat.expect_table(table).column(col).expect("column").stats;
+    stats.ndv.max(1) as f64
+}
+
+/// The hand-built oracle for one fixture, under the fixture's own name so
+/// the two templates are indistinguishable to the serving layer.
+fn oracle(name: &str, cat: &Catalog) -> Arc<QueryTemplate> {
+    let mut b = TemplateBuilder::new(name);
+    match name {
+        "tpch_lineitem_ship" => {
+            let l = b.relation(cat.expect_table("lineitem"), "l");
+            b.param(l, "l_shipdate", RangeOp::Le);
+            b.aggregate(groups(cat, "lineitem", "l_quantity"));
+        }
+        "tpch_orders_lineitem" => {
+            let o = b.relation(cat.expect_table("orders"), "o");
+            let l = b.relation(cat.expect_table("lineitem"), "l");
+            b.join((o, "orders_pk"), (l, "orders_fk"));
+            b.param(o, "o_totalprice", RangeOp::Le);
+            b.param(l, "l_extendedprice", RangeOp::Le);
+            b.aggregate(groups(cat, "orders", "o_shippriority"));
+        }
+        "tpch_q3_style" => {
+            let c = b.relation(cat.expect_table("customer"), "c");
+            let o = b.relation(cat.expect_table("orders"), "o");
+            let l = b.relation(cat.expect_table("lineitem"), "l");
+            b.join((c, "customer_pk"), (o, "customer_fk"));
+            b.join((o, "orders_pk"), (l, "orders_fk"));
+            b.param(c, "c_acctbal", RangeOp::Le);
+            b.param(o, "o_orderdate", RangeOp::Le);
+            b.param(l, "l_shipdate", RangeOp::Ge);
+            b.filter(c, eq_sel(cat, "customer", "c_mktsegment"));
+            b.order_by();
+        }
+        "tpch_supplier_nation" => {
+            let s = b.relation(cat.expect_table("supplier"), "s");
+            let n = b.relation(cat.expect_table("nation"), "n");
+            b.join((s, "nation_fk"), (n, "nation_pk"));
+            b.param(s, "s_acctbal", RangeOp::Ge);
+            b.filter(n, eq_sel(cat, "nation", "region_fk"));
+        }
+        "tpch_partsupp_mysql" => {
+            let p = b.relation(cat.expect_table("part"), "p");
+            let ps = b.relation(cat.expect_table("partsupp"), "ps");
+            b.join((p, "part_pk"), (ps, "part_fk"));
+            b.param(p, "p_retailprice", RangeOp::Le);
+            b.param(ps, "ps_supplycost", RangeOp::Le);
+            b.aggregate(1.0);
+        }
+        "tpcds_store_sales" => {
+            let ss = b.relation(cat.expect_table("store_sales"), "ss");
+            let d = b.relation(cat.expect_table("date_dim"), "d");
+            let i = b.relation(cat.expect_table("item"), "i");
+            b.join((ss, "date_dim_fk"), (d, "date_dim_pk"));
+            b.join((ss, "item_fk"), (i, "item_pk"));
+            b.param(ss, "ss_sales_price", RangeOp::Le);
+            b.param(i, "i_current_price", RangeOp::Le);
+            b.param(d, "d_year", RangeOp::Ge);
+            b.aggregate(groups(cat, "date_dim", "d_moy"));
+        }
+        "tpcds_web_promo" => {
+            let ws = b.relation(cat.expect_table("web_sales"), "ws");
+            let i = b.relation(cat.expect_table("item"), "i");
+            let p = b.relation(cat.expect_table("promotion"), "p");
+            b.join((ws, "item_fk"), (i, "item_pk"));
+            b.join((ws, "promotion_fk"), (p, "promotion_pk"));
+            b.param(ws, "ws_sales_price", RangeOp::Le);
+            b.param(p, "p_cost", RangeOp::Le);
+            b.filter(i, eq_sel(cat, "item", "i_category"));
+            b.aggregate(groups(cat, "item", "i_brand"));
+        }
+        "tpcds_catalog_customer" => {
+            let cs = b.relation(cat.expect_table("catalog_sales"), "cs");
+            let c = b.relation(cat.expect_table("customer"), "c");
+            let ca = b.relation(cat.expect_table("customer_address"), "ca");
+            b.join((cs, "customer_fk"), (c, "customer_pk"));
+            b.join((c, "customer_address_fk"), (ca, "customer_address_pk"));
+            b.param(cs, "cs_wholesale_cost", RangeOp::Le);
+            b.param(c, "c_birth_year", RangeOp::Ge);
+            b.order_by();
+        }
+        "rd1_transactions" => {
+            let t = b.relation(cat.expect_table("transactions"), "t");
+            let a = b.relation(cat.expect_table("accounts"), "a");
+            let m = b.relation(cat.expect_table("merchants"), "m");
+            b.join((t, "accounts_fk"), (a, "accounts_pk"));
+            b.join((t, "merchants_fk"), (m, "merchants_pk"));
+            b.param(t, "t_amount", RangeOp::Le);
+            b.param(a, "a_balance", RangeOp::Le);
+            b.param(m, "mrc_rating", RangeOp::Ge);
+            b.aggregate(1.0);
+        }
+        "rd1_users_mysql" => {
+            let u = b.relation(cat.expect_table("users"), "u");
+            let a = b.relation(cat.expect_table("accounts"), "a");
+            b.join((u, "users_pk"), (a, "users_fk"));
+            b.param(u, "u_score", RangeOp::Le);
+            b.param(a, "a_opened", RangeOp::Ge);
+            b.filter(u, le_sel(cat, "users", "u_age", 40.0));
+            b.aggregate(1.0);
+        }
+        "rd2_telemetry" => {
+            let t = b.relation(cat.expect_table("telemetry"), "t");
+            let d = b.relation(cat.expect_table("devices"), "d");
+            let s = b.relation(cat.expect_table("sites"), "s");
+            b.join((t, "devices_fk"), (d, "devices_pk"));
+            b.join((d, "sites_fk"), (s, "sites_pk"));
+            b.param(t, "t_ts", RangeOp::Le);
+            b.param(d, "d_age_days", RangeOp::Le);
+            b.param(s, "st_elevation", RangeOp::Ge);
+            b.aggregate(1.0);
+        }
+        "rd2_readings_calib" => {
+            let r = b.relation(cat.expect_table("readings"), "r");
+            let sn = b.relation(cat.expect_table("sensors"), "sn");
+            let cb = b.relation(cat.expect_table("calib"), "cb");
+            b.join((r, "sensors_fk"), (sn, "sensors_pk"));
+            b.join((sn, "sensors_pk"), (cb, "sensors_fk"));
+            b.param(r, "r_value", RangeOp::Le);
+            b.param(sn, "sn_range", RangeOp::Le);
+            b.param(cb, "cb_drift", RangeOp::Ge);
+            b.aggregate(groups(cat, "sensors", "sn_precision"));
+        }
+        other => panic!("fixture `{other}` has no oracle — add one here"),
+    }
+    b.build()
+}
+
+/// Field-by-field structural equality with named failure messages.
+fn assert_structurally_equal(name: &str, got: &QueryTemplate, want: &QueryTemplate) {
+    assert_eq!(got.name, want.name, "[{name}] template name");
+    let aliases = |t: &QueryTemplate| -> Vec<(String, String)> {
+        t.relations
+            .iter()
+            .map(|r| (r.table.name.clone(), r.alias.clone()))
+            .collect()
+    };
+    assert_eq!(aliases(got), aliases(want), "[{name}] relations");
+    let params = |t: &QueryTemplate| -> Vec<(usize, usize, RangeOp)> {
+        t.param_preds
+            .iter()
+            .map(|p| (p.relation, p.column, p.op))
+            .collect()
+    };
+    assert_eq!(params(got), params(want), "[{name}] param dimensions");
+    type Edge = ((usize, usize), (usize, usize), f64);
+    let edges = |t: &QueryTemplate| -> Vec<Edge> {
+        t.join_edges
+            .iter()
+            .map(|e| (e.left, e.right, e.selectivity))
+            .collect()
+    };
+    assert_eq!(edges(got), edges(want), "[{name}] join edges");
+    let fixed = |t: &QueryTemplate| -> Vec<(usize, f64)> {
+        t.fixed_preds
+            .iter()
+            .map(|f| (f.relation, f.selectivity))
+            .collect()
+    };
+    assert_eq!(fixed(got), fixed(want), "[{name}] fixed filters");
+    assert_eq!(
+        got.aggregate.as_ref().map(|a| a.groups),
+        want.aggregate.as_ref().map(|a| a.groups),
+        "[{name}] aggregate groups"
+    );
+    assert_eq!(got.order_by, want.order_by, "[{name}] order_by");
+}
+
+/// Serialize one template's SCR decision stream over a seeded run:
+/// 9 bytes per instance (plan fingerprint `u64` LE + optimized flag).
+fn decision_stream(template: &Arc<QueryTemplate>) -> Vec<u8> {
+    let service = PqoService::new();
+    service
+        .register(Arc::clone(template), ScrConfig::new(2.0).expect("λ"))
+        .expect("registers");
+    let instances = regions::generate(template, RUN_LEN, SEED);
+    let mut bytes = Vec::with_capacity(instances.len() * 9);
+    for inst in &instances {
+        let choice = service.get_plan(&template.name, inst).expect("serves");
+        bytes.extend_from_slice(&choice.plan.fingerprint().0.to_le_bytes());
+        bytes.push(u8::from(choice.optimized));
+    }
+    bytes
+}
+
+#[test]
+fn every_fixture_matches_its_handbuilt_oracle() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("templates");
+    let mut fixtures: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("templates dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "sql"))
+        .collect();
+    fixtures.sort();
+    assert!(
+        fixtures.len() >= 10,
+        "committed fixture corpus shrank to {}",
+        fixtures.len()
+    );
+
+    // Catalog construction samples tens of thousands of rows per column —
+    // build each of the four at most once.
+    let mut catalogs: BTreeMap<String, Catalog> = BTreeMap::new();
+    let mut dialects_seen = std::collections::BTreeSet::new();
+
+    for path in &fixtures {
+        let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let src = std::fs::read_to_string(path).expect("fixture reads");
+        let directives = pqo::sql::directives(&src).expect("directives parse");
+        let catalog_name = directives.catalog.expect("fixture declares a catalog");
+        let cat =
+            catalogs
+                .entry(catalog_name.clone())
+                .or_insert_with(|| match catalog_name.as_str() {
+                    "tpch_skew" => schemas::tpch_skew(),
+                    "tpcds" => schemas::tpcds(),
+                    "rd1" => schemas::rd1(),
+                    "rd2" => schemas::rd2(),
+                    other => panic!("fixture declares unknown catalog `{other}`"),
+                });
+        let compiled = pqo::sql::compile(&name, &src, cat)
+            .unwrap_or_else(|e| panic!("[{name}] {}", e.render(&src)));
+        dialects_seen.insert(compiled.dialect.name());
+
+        let want = oracle(&name, cat);
+        assert_structurally_equal(&name, &compiled.template, &want);
+
+        let got_stream = decision_stream(&compiled.template);
+        let want_stream = decision_stream(&want);
+        assert_eq!(
+            got_stream.len(),
+            want_stream.len(),
+            "[{name}] stream length"
+        );
+        assert!(
+            got_stream == want_stream,
+            "[{name}] SCR decision stream diverged from the TemplateBuilder \
+             oracle (first differing instance: {})",
+            got_stream
+                .chunks(9)
+                .zip(want_stream.chunks(9))
+                .position(|(a, b)| a != b)
+                .unwrap_or(usize::MAX)
+        );
+    }
+    // The committed corpus must keep covering all three dialects.
+    assert_eq!(
+        dialects_seen.into_iter().collect::<Vec<_>>(),
+        vec!["duckdb", "mysql", "postgres"],
+        "fixture corpus no longer spans all dialects"
+    );
+}
